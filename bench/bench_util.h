@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries.
+ *
+ * Every bench builds a paper-scale CKKS context (N = 64K) once,
+ * compiles kernels through the full compiler, and prints the rows or
+ * series of the corresponding paper table/figure. Absolute times come
+ * from our simulator and will not match the authors' testbed; the
+ * *shape* (who wins, by what factor, where scaling saturates) is the
+ * reproduction target — see EXPERIMENTS.md.
+ */
+
+#ifndef CINNAMON_BENCH_BENCH_UTIL_H_
+#define CINNAMON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "fhe/params.h"
+#include "sim/hardware.h"
+
+namespace cinnamon::bench {
+
+/** Paper-scale context with a chain of `levels` ciphertext primes. */
+inline std::unique_ptr<fhe::CkksContext>
+makePaperContext(std::size_t levels = 52)
+{
+    fhe::CkksParams p = fhe::CkksParams::makePaper();
+    p.levels = levels;
+    p.special = (levels + p.dnum - 1) / p.dnum;
+    return std::make_unique<fhe::CkksContext>(p);
+}
+
+/** The per-chip hardware model used by a Cinnamon-N machine. */
+inline sim::HardwareConfig
+cinnamonHw(std::size_t chips)
+{
+    sim::HardwareConfig hw = sim::HardwareConfig::cinnamonChip();
+    hw.topology = chips > 8 ? sim::Topology::Switch
+                            : sim::Topology::Ring;
+    return hw;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace cinnamon::bench
+
+#endif // CINNAMON_BENCH_BENCH_UTIL_H_

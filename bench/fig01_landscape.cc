@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 1: the growth of ML model parameters versus the
+ * on-chip cache capacity of FHE architectures. Both series are
+ * static, publicly documented data points; the figure's message is
+ * the widening gap that motivates scale-out FHE.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    cinnamon::bench::printHeader(
+        "Figure 1: ML model growth vs FHE accelerator cache capacity");
+
+    struct Model
+    {
+        int year;
+        const char *name;
+        double params_m; // millions
+    };
+    const Model models[] = {
+        {2012, "AlexNet", 61},      {2014, "VGG-16", 138},
+        {2015, "ResNet-50", 26},    {2018, "BERT-Base", 110},
+        {2019, "GPT-2", 1500},      {2020, "GPT-3", 175000},
+        {2022, "PaLM", 540000},
+    };
+    std::printf("%-6s %-12s %14s\n", "year", "model", "params (M)");
+    for (const auto &m : models)
+        std::printf("%-6d %-12s %14.0f\n", m.year, m.name, m.params_m);
+
+    struct Accel
+    {
+        int year;
+        const char *name;
+        double cache_mb;
+    };
+    const Accel accels[] = {
+        {2021, "F1", 64},         {2022, "BTS", 512},
+        {2022, "CraterLake", 256}, {2022, "ARK", 512},
+        {2023, "SHARP", 198},     {2024, "CiFHER", 256},
+        {2025, "Cinnamon", 56},
+    };
+    std::printf("\n%-6s %-12s %14s\n", "year", "accelerator",
+                "on-chip MB");
+    for (const auto &a : accels)
+        std::printf("%-6d %-12s %14.0f\n", a.year, a.name, a.cache_mb);
+
+    std::printf("\nTakeaway: model parameters grow ~10x/2yr while FHE "
+                "caches plateau at 256-512 MB per chip;\nCinnamon "
+                "scales out with 56 MB chips instead.\n");
+    return 0;
+}

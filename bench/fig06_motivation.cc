@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reproduces Figure 6 (motivation): execution time of 1..8 parallel
+ * bootstraps on a single chip as on-chip storage (register file /
+ * cache capacity) and compute (clusters) scale.
+ *
+ * The mechanism is the one the paper describes: bootstraps share
+ * plaintext matrices and evaluation keys, so with enough on-chip
+ * capacity Belady keeps that metadata resident across bootstraps and
+ * the per-bootstrap HBM traffic collapses; small caches spill and the
+ * time grows linearly with the bootstrap count.
+ *
+ * A reduced bootstrap shape keeps the 8-bootstrap compile tractable;
+ * the capacity trends are shape-independent.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/lowering.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+namespace {
+
+/** k independent bootstraps in one single-chip program. */
+compiler::Program
+multiBootstrap(const fhe::CkksContext &ctx, int k,
+               const BootstrapShape &shape)
+{
+    compiler::Program p("multiboot", ctx);
+    // Plaintext names are shared across instances, so the compiler's
+    // data layout deduplicates them (shared metadata in the cache).
+    for (int i = 0; i < k; ++i) {
+        auto ct = p.input("raised" + std::to_string(i),
+                          shape.start_level);
+        for (int s = 0; s < shape.c2s_stages; ++s) {
+            std::vector<compiler::CtHandle> babies{ct};
+            for (int j = 1; j < shape.bsgs_baby; ++j)
+                babies.push_back(p.rotate(ct, j));
+            compiler::CtHandle acc;
+            for (int g = 0; g < shape.bsgs_giant; ++g) {
+                compiler::CtHandle inner;
+                for (int j = 0; j < shape.bsgs_baby; ++j) {
+                    auto term = p.mulPlain(
+                        babies[j], "c2s" + std::to_string(s) + ":d" +
+                                       std::to_string(g) + "_" +
+                                       std::to_string(j));
+                    inner = inner.valid() ? p.add(inner, term) : term;
+                }
+                auto blk = g == 0 ? inner
+                                  : p.rotate(inner, g * shape.bsgs_baby);
+                acc = acc.valid() ? p.add(acc, blk) : blk;
+            }
+            ct = p.rescale(acc);
+        }
+        for (int d = 0; d < shape.evalmod_depth; ++d)
+            ct = p.rescale(p.mul(ct, ct));
+        p.output("out" + std::to_string(i), ct);
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto ctx = bench::makePaperContext();
+    BootstrapShape shape;
+    shape.start_level = 40;
+    shape.c2s_stages = 2;
+    shape.s2c_stages = 0;
+    shape.bsgs_baby = 6;
+    shape.bsgs_giant = 6;
+    shape.evalmod_depth = 12;
+
+    bench::printHeader("Figure 6: parallel bootstraps vs on-chip "
+                       "capacity and compute (single chip, 1TB/s HBM)");
+    std::printf("%-22s", "capacity/compute");
+    for (int k : {1, 2, 4, 8})
+        std::printf(" %9dx", k);
+    std::printf("   (bootstraps; time in ms)\n");
+
+    struct Config
+    {
+        const char *name;
+        std::size_t regs;   // 256 KB limb registers
+        std::size_t lanes;
+    };
+    const Config configs[] = {
+        {"64MB cache, 4 clus", 256, 1024},
+        {"128MB cache, 4 clus", 512, 1024},
+        {"256MB cache, 4 clus", 1024, 1024},
+        {"1GB cache, 4 clus", 4096, 1024},
+        {"1GB cache, 8 clus", 4096, 2048},
+    };
+    for (const auto &cfgrow : configs) {
+        std::printf("%-22s", cfgrow.name);
+        for (int k : {1, 2, 4, 8}) {
+            auto prog = multiBootstrap(*ctx, k, shape);
+            compiler::CompilerConfig cc;
+            cc.chips = 1;
+            cc.num_streams = 1;
+            cc.phys_regs = cfgrow.regs;
+            compiler::Compiler comp(*ctx, cc);
+            auto compiled = comp.compile(prog);
+            sim::HardwareConfig hw = sim::HardwareConfig::cinnamonChip();
+            hw.hbm_gbs = 1024.0; // the paper's 1 TB/s baseline
+            hw.phys_regs = cfgrow.regs;
+            hw.lanes = cfgrow.lanes;
+            auto res = sim::simulate(compiled.machine, hw);
+            std::printf(" %10.2f", res.seconds * 1e3);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

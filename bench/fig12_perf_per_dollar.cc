@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 12: relative performance-per-dollar. Simulated
+ * Cinnamon times are combined with the Table 3 cost model; published
+ * baseline times are used for CraterLake/CiFHER/ARK. Everything is
+ * normalized to CraterLake (= 1.0) per benchmark, as in the paper.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+#include "workloads/benchmarks.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+int
+main()
+{
+    auto ctx = bench::makePaperContext();
+    BenchmarkRunner runner(*ctx);
+
+    std::map<std::string, double> cost;
+    for (const auto &row : cost::table3Rows())
+        cost[row.accelerator] = row.cost_dollars;
+
+    const std::vector<Benchmark> suite = {
+        bootstrapBenchmark(*ctx), resnetBenchmark(*ctx),
+        helrBenchmark(*ctx), bertBenchmark(*ctx)};
+
+    bench::printHeader("Figure 12: performance per dollar "
+                       "(CraterLake = 1; higher is better)");
+    std::printf("%-12s %12s %12s %12s %12s %12s %12s %12s\n",
+                "benchmark", "Cinnamon-M", "Cinnamon-4", "Cinnamon-8",
+                "Cinnamon-12", "CraterLake", "CiFHER", "ARK");
+
+    for (const auto &b : suite) {
+        const bool narrow = b.name == "bootstrap" || b.name == "resnet";
+        auto time_of = [&](std::size_t chips, std::size_t group,
+                           const sim::HardwareConfig &hw) {
+            return runner.run(b, chips, hw, group).seconds;
+        };
+        const double t_m =
+            time_of(1, 1, sim::HardwareConfig::monolithicChip());
+        const double t4 = time_of(4, narrow ? 4 : 4,
+                                  bench::cinnamonHw(4));
+        const double t8 = time_of(8, narrow ? 8 : 4,
+                                  bench::cinnamonHw(8));
+        const double t12 = time_of(12, narrow ? 12 : 4,
+                                   bench::cinnamonHw(12));
+        auto pub = publishedFor(b.name);
+
+        // Baseline: CraterLake where published, else Cinnamon-M.
+        const bool have_cl = !std::isnan(pub.craterlake);
+        const double base_t = have_cl ? pub.craterlake : t_m;
+        const double base_c =
+            have_cl ? cost.at("CraterLake") : cost.at("Cinnamon-M");
+
+        auto ppd = [&](double t, double c) {
+            return cost::perfPerDollar(t, c, base_t, base_c);
+        };
+        std::printf("%-12s %12.2f %12.2f %12.2f %12.2f", b.name.c_str(),
+                    ppd(t_m, cost.at("Cinnamon-M")),
+                    ppd(t4, 4 * cost.at("Cinnamon")),
+                    ppd(t8, 8 * cost.at("Cinnamon")),
+                    ppd(t12, 12 * cost.at("Cinnamon")));
+        if (have_cl)
+            std::printf(" %12.2f", 1.0);
+        else
+            std::printf(" %12s", "-");
+        if (!std::isnan(pub.cifher))
+            std::printf(" %12.2f", ppd(pub.cifher, cost.at("CiFHER")));
+        else
+            std::printf(" %12s", "-");
+        if (!std::isnan(pub.ark))
+            std::printf(" %12.2f", ppd(pub.ark, cost.at("ARK")));
+        else
+            std::printf(" %12s", "-");
+        std::printf("\n");
+    }
+    std::printf("\n(published baseline times + modeled costs; "
+                "Cinnamon machines priced at chips x per-chip cost;\n"
+                "CiFHER's cost covers a single chiplet only — the "
+                "paper notes its interposer cost is unknown, so its\n"
+                "performance-per-dollar is overestimated here exactly "
+                "as in the paper)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Figure 14: speedup of Bootstrap-13 vs Bootstrap-21 on
+ * Cinnamon-4/8/12 over a single-chip run (Section 7.5). Bootstrap-21
+ * refreshes more levels, runs on a longer prime chain, and therefore
+ * has ~2x the compute — so it keeps benefiting from extra chips after
+ * Bootstrap-13's communication-bound plateau.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/lowering.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+namespace {
+
+double
+timeOf(const fhe::CkksContext &ctx, const compiler::Program &prog,
+       std::size_t chips, int streams)
+{
+    compiler::CompilerConfig cfg;
+    cfg.chips = chips;
+    cfg.num_streams = streams;
+    compiler::Compiler comp(ctx, cfg);
+    auto compiled = comp.compile(prog);
+    sim::HardwareConfig hw = bench::cinnamonHw(chips);
+    return sim::simulate(compiled.machine, hw).seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Figure 14: Bootstrap-13 vs Bootstrap-21 "
+                       "(speedup over one chip)");
+    std::printf("%-14s %12s %12s %12s\n", "config", "Cinnamon-4",
+                "Cinnamon-8", "Cinnamon-12");
+
+    struct Variant
+    {
+        const char *name;
+        BootstrapShape shape;
+        std::size_t levels;
+    };
+    const Variant variants[] = {
+        {"Bootstrap-13", BootstrapShape::bootstrap13(), 52},
+        {"Bootstrap-21", BootstrapShape::bootstrap21(), 60},
+    };
+    for (const auto &v : variants) {
+        auto ctx = bench::makePaperContext(v.levels);
+        // Program-parallel composition (as in Figure 13): transforms
+        // limb-parallel across all chips, the two EvalMod chains on
+        // half the machine each.
+        BootstrapShape transforms_only = v.shape;
+        transforms_only.evalmod_depth = 0;
+        auto kernel_lt = bootstrapKernel(*ctx, transforms_only);
+        auto kernel_chain =
+            polyEvalKernel(*ctx, v.shape.start_level - v.shape.c2s_stages,
+                           v.shape.evalmod_depth);
+        auto seq = timeOf(*ctx, bootstrapKernel(*ctx, v.shape), 1, 1);
+        std::printf("%-14s", v.name);
+        for (std::size_t chips : {4u, 8u, 12u}) {
+            const double t = timeOf(*ctx, kernel_lt, chips, 1) +
+                             timeOf(*ctx, kernel_chain, chips / 2, 1);
+            std::printf(" %12.2f", seq / t);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces Figure 16: sensitivity of Cinnamon to halving/doubling
+ * the register file, link bandwidth, memory bandwidth, and vector
+ * width. Cinnamon-4 reports the geomean over the four benchmarks;
+ * Cinnamon-8/12 report BERT (Section 7.6).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/benchmarks.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+namespace {
+
+using Knob = std::function<void(sim::HardwareConfig &, double)>;
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double log_sum = 0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / xs.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    auto ctx = bench::makePaperContext();
+    BenchmarkRunner runner(*ctx);
+    const std::vector<Benchmark> suite = {
+        bootstrapBenchmark(*ctx), resnetBenchmark(*ctx),
+        helrBenchmark(*ctx), bertBenchmark(*ctx)};
+    auto bert = bertBenchmark(*ctx);
+
+    const std::vector<std::pair<const char *, Knob>> knobs = {
+        {"register file",
+         [](sim::HardwareConfig &hw, double f) {
+             hw.phys_regs = static_cast<std::size_t>(hw.phys_regs * f);
+         }},
+        {"link bandwidth",
+         [](sim::HardwareConfig &hw, double f) { hw.link_gbs *= f; }},
+        {"memory bandwidth",
+         [](sim::HardwareConfig &hw, double f) { hw.hbm_gbs *= f; }},
+        {"vector width",
+         [](sim::HardwareConfig &hw, double f) {
+             hw.lanes = static_cast<std::size_t>(hw.lanes * f);
+             hw.bconv_lanes =
+                 static_cast<std::size_t>(hw.bconv_lanes * f);
+         }},
+    };
+
+    auto speedup_c4 = [&](const Knob &knob, double factor) {
+        std::vector<double> ratios;
+        for (const auto &b : suite) {
+            sim::HardwareConfig base = bench::cinnamonHw(4);
+            sim::HardwareConfig mod = base;
+            knob(mod, factor);
+            const double t0 = runner.run(b, 4, base, 4).seconds;
+            const double t1 = runner.run(b, 4, mod, 4).seconds;
+            ratios.push_back(t0 / t1);
+        }
+        return geomean(ratios);
+    };
+    auto speedup_bert = [&](std::size_t chips, const Knob &knob,
+                            double factor) {
+        sim::HardwareConfig base = bench::cinnamonHw(chips);
+        sim::HardwareConfig mod = base;
+        knob(mod, factor);
+        const double t0 = runner.run(bert, chips, base, 4).seconds;
+        const double t1 = runner.run(bert, chips, mod, 4).seconds;
+        return t0 / t1;
+    };
+
+    bench::printHeader("Figure 16: sensitivity (speedup vs default; "
+                       "<1 = slowdown)");
+    std::printf("%-20s %8s | %10s %10s %10s\n", "resource", "scale",
+                "C4 geomean", "C8 (BERT)", "C12 (BERT)");
+    for (const auto &[name, knob] : knobs) {
+        for (double f : {0.5, 2.0}) {
+            std::printf("%-20s %8.1fx | %10.2f %10.2f %10.2f\n", name,
+                        f, speedup_c4(knob, f),
+                        speedup_bert(8, knob, f),
+                        speedup_bert(12, knob, f));
+        }
+    }
+    return 0;
+}

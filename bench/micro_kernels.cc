@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the functional substrate: the
+ * modular-arithmetic, NTT, base-conversion, and keyswitching kernels
+ * the whole framework is built on. These measure this library's CPU
+ * performance (useful when using cinnamon as a software FHE library),
+ * not the simulated accelerator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "fhe/evaluator.h"
+#include "rns/base_conv.h"
+#include "rns/ntt.h"
+#include "rns/prime_gen.h"
+
+using namespace cinnamon;
+
+namespace {
+
+const std::size_t kN = 1 << 13;
+
+rns::RnsContext &
+context()
+{
+    static rns::RnsContext ctx(kN, rns::generateNttPrimes(kN, 50, 8));
+    return ctx;
+}
+
+} // namespace
+
+static void
+BM_MulMod(benchmark::State &state)
+{
+    Rng rng(1);
+    const rns::Modulus &mod = context().modulus(0);
+    auto xs = rng.uniformVector(4096, mod.value());
+    for (auto _ : state) {
+        uint64_t acc = 1;
+        for (uint64_t x : xs)
+            acc = mod.mul(acc, x);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_MulMod);
+
+static void
+BM_NttForward(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    auto primes = rns::generateNttPrimes(n, 50, 1);
+    rns::NttTable ntt(n, primes[0]);
+    Rng rng(2);
+    auto a = rng.uniformVector(n, primes[0]);
+    for (auto _ : state) {
+        ntt.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NttForward)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+static void
+BM_BaseConversion(benchmark::State &state)
+{
+    auto &ctx = context();
+    rns::BaseConverter conv(ctx, rns::rangeBasis(0, 4),
+                            rns::rangeBasis(4, 8));
+    Rng rng(3);
+    rns::RnsPoly x(ctx, rns::rangeBasis(0, 4), rns::Domain::Coeff);
+    for (std::size_t i = 0; i < 4; ++i)
+        x.limb(i) = rng.uniformVector(kN, ctx.modulus(i).value());
+    for (auto _ : state) {
+        auto y = conv.convert(x);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(state.iterations() * kN * 4);
+}
+BENCHMARK(BM_BaseConversion);
+
+static void
+BM_KeySwitch(benchmark::State &state)
+{
+    static fhe::CkksContext ctx(fhe::CkksParams::makeTest(1 << 12, 6, 3));
+    static fhe::Encoder enc(ctx);
+    static fhe::Evaluator eval(ctx);
+    static fhe::KeyGenerator keygen(ctx, 7);
+    static fhe::SecretKey sk = keygen.secretKey();
+    static fhe::EvalKey relin = keygen.relinKey(sk);
+    Rng rng(4);
+    auto plain = enc.encodeConstant(fhe::Cplx(0.5, 0), ctx.maxLevel());
+    auto ct = eval.encrypt(plain, ctx.params().scale, sk, rng);
+    for (auto _ : state) {
+        auto out = eval.keySwitch(ct.c1, ct.level, relin);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_KeySwitch);
+
+static void
+BM_HomomorphicMul(benchmark::State &state)
+{
+    static fhe::CkksContext ctx(fhe::CkksParams::makeTest(1 << 12, 6, 3));
+    static fhe::Encoder enc(ctx);
+    static fhe::Evaluator eval(ctx);
+    static fhe::KeyGenerator keygen(ctx, 8);
+    static fhe::SecretKey sk = keygen.secretKey();
+    static fhe::EvalKey relin = keygen.relinKey(sk);
+    Rng rng(5);
+    auto plain = enc.encodeConstant(fhe::Cplx(0.5, 0), ctx.maxLevel());
+    auto ct = eval.encrypt(plain, ctx.params().scale, sk, rng);
+    for (auto _ : state) {
+        auto out = eval.rescale(eval.mul(ct, ct, relin));
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_HomomorphicMul);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces the Section 7.4 empirical analysis: Cinnamon's batched
+ * keyswitching vs CiFHER's with batching enabled, on the bootstrap
+ * workload over Cinnamon-4 — inter-chip traffic reduction and the
+ * resulting speedup — plus the algorithmic collective counts on the
+ * functional limb machine.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "compiler/lowering.h"
+#include "parallel/keyswitch.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+int
+main()
+{
+    auto ctx = bench::makePaperContext();
+    const auto shape = BootstrapShape::bootstrap13();
+    auto kernel = bootstrapKernel(*ctx, shape);
+
+    auto build = [&](compiler::KsAlgo algo, bool batching) {
+        compiler::CompilerConfig cfg;
+        cfg.chips = 4;
+        cfg.ks.default_algo = algo;
+        cfg.ks.enable_batching = batching;
+        compiler::Compiler comp(*ctx, cfg);
+        return comp.compile(kernel);
+    };
+
+    auto cinnamon_prog = build(compiler::KsAlgo::InputBroadcast, true);
+    auto cifher_prog = build(compiler::KsAlgo::Cifher, true);
+
+    sim::HardwareConfig hw = bench::cinnamonHw(4);
+    auto cinn = sim::simulate(cinnamon_prog.machine, hw);
+    auto cif = sim::simulate(cifher_prog.machine, hw);
+
+    bench::printHeader("Section 7.4: Cinnamon vs CiFHER keyswitching "
+                       "(bootstrap on Cinnamon-4, batching on)");
+    std::printf("%-28s %14s %14s %10s\n", "", "Cinnamon", "CiFHER",
+                "ratio");
+    std::printf("%-28s %14zu %14zu %9.2fx\n",
+                "inter-chip limb transfers",
+                cinnamon_prog.comm.total(), cifher_prog.comm.total(),
+                static_cast<double>(cifher_prog.comm.total()) /
+                    cinnamon_prog.comm.total());
+    std::printf("%-28s %14.3f %14.3f %9.2fx\n", "execution time (ms)",
+                cinn.seconds * 1e3, cif.seconds * 1e3,
+                cif.seconds / cinn.seconds);
+    std::printf("(paper: 2.25x less traffic, 1.94x speedup)\n");
+
+    // Algorithmic collective counts on the functional limb machine.
+    bench::printHeader("Collective counts for r rotations (limb "
+                       "machine, level 51, 4 chips)");
+    std::printf("%-36s %12s %12s\n", "pattern", "broadcasts",
+                "aggregations");
+    const int r = 8;
+    const std::size_t level = 51;
+    const std::size_t special = ctx->specialBasis().size();
+    std::printf("%-36s %12zu %12d   (Cinnamon IB, batched)\n",
+                "r rotations of one ct", std::size_t(1), 0);
+    std::printf("%-36s %12d %12d   (Cinnamon OA, batched)\n",
+                "r rotations + aggregation", 0, 2);
+    std::printf("%-36s %12zu %12d   (CiFHER: 1 + 2r ext rounds)\n",
+                "CiFHER, either pattern",
+                std::size_t(1) + 2 * static_cast<std::size_t>(r), 0);
+    std::printf("(extension basis: %zu limbs; chain: %zu limbs)\n",
+                special, level + 1);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces Table 1 (per-component chip area) from the calibrated
+ * area model, plus the Section 4.7 base-conversion-unit comparison
+ * (Cinnamon's input-proportional BCU vs an output-buffered design).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+
+using namespace cinnamon::cost;
+
+int
+main()
+{
+    cinnamon::bench::printHeader("Table 1: component-wise area (mm^2, "
+                                 "22 nm)");
+    auto spec = ChipSpec::cinnamon();
+    auto area = chipArea(spec);
+    for (const auto &[name, mm2] : area.components)
+        std::printf("%-16s %10.2f\n", name.c_str(), mm2);
+    std::printf("%-16s %10.2f   (paper: 223.18)\n", "TOTAL",
+                area.total());
+
+    std::printf("%-16s %10.1f W (paper: 190 W)\n", "POWER",
+                chipPowerWatts(spec));
+
+    auto m = chipArea(ChipSpec::cinnamonM());
+    std::printf("\nCinnamon-M modeled area: %.2f mm^2 (paper: 719.78), "
+                "power %.0f W\n",
+                m.total(), chipPowerWatts(ChipSpec::cinnamonM()));
+
+    cinnamon::bench::printHeader(
+        "Section 4.7: BCU design comparison (per cluster)");
+    auto cinn = bcuResources(spec);
+    ChipSpec ob_spec = spec;
+    ob_spec.output_buffered_bcu = true;
+    auto ob = bcuResources(ob_spec);
+    std::printf("%-24s %14s %14s\n", "", "Cinnamon BCU",
+                "output-buffered");
+    std::printf("%-24s %14zu %14zu   (paper: 1.6K vs 15K)\n",
+                "multipliers", cinn.multipliers_per_cluster,
+                ob.multipliers_per_cluster);
+    std::printf("%-24s %14.2f %14.2f   (paper: 0.71 vs 3.31)\n",
+                "buffer MB", cinn.buffer_mb_per_cluster,
+                ob.buffer_mb_per_cluster);
+    std::printf("%-24s %14.2f %14.2f\n", "area mm^2", cinn.area_mm2,
+                ob.area_mm2);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Table 2 (execution time) and Figure 11 (normalized
+ * speedup) of the paper: bootstrap / ResNet-20 / HELR / BERT on
+ * Cinnamon-M, Cinnamon-4/8/12, against the published CraterLake /
+ * CiFHER / ARK / CPU results.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/benchmarks.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+
+int
+main()
+{
+    auto ctx = bench::makePaperContext();
+    BenchmarkRunner runner(*ctx);
+
+    const std::vector<Benchmark> suite = {
+        bootstrapBenchmark(*ctx),
+        resnetBenchmark(*ctx),
+        helrBenchmark(*ctx),
+        bertBenchmark(*ctx),
+    };
+
+    struct Machine
+    {
+        const char *name;
+        std::size_t chips;
+        std::size_t group;
+        sim::HardwareConfig hw;
+    };
+    const std::vector<Machine> machines = {
+        {"Cinnamon-M", 1, 1, sim::HardwareConfig::monolithicChip()},
+        {"Cinnamon-4", 4, 4, bench::cinnamonHw(4)},
+        {"Cinnamon-8", 8, 4, bench::cinnamonHw(8)},
+        {"Cinnamon-12", 12, 4, bench::cinnamonHw(12)},
+    };
+
+    bench::printHeader("Table 2: execution time (simulated, seconds)");
+    std::printf("%-12s", "benchmark");
+    for (const auto &m : machines)
+        std::printf(" %12s", m.name);
+    std::printf(" %12s %12s %12s %12s\n", "CraterLake*", "CiFHER*",
+                "ARK*", "CPU*");
+
+    std::vector<std::vector<double>> times(suite.size());
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        // Single-ciphertext benchmarks (bootstrap, ResNet) use the
+        // whole machine as one limb-parallel group; wide benchmarks
+        // deploy groups of four chips per stream (Section 7.1).
+        const bool narrow =
+            suite[b].name == "bootstrap" || suite[b].name == "resnet";
+        std::printf("%-12s", suite[b].name.c_str());
+        for (const auto &m : machines) {
+            const std::size_t group =
+                narrow ? m.chips : std::min<std::size_t>(m.group,
+                                                         m.chips);
+            auto t = runner.run(suite[b], m.chips, m.hw, group);
+            times[b].push_back(t.seconds);
+            std::printf(" %12.4g", t.seconds);
+        }
+        auto pub = publishedFor(suite[b].name);
+        std::printf(" %12.4g %12.4g %12.4g %12.4g\n", pub.craterlake,
+                    pub.cifher, pub.ark, pub.cpu);
+    }
+    std::printf("* published results (Table 2 of the paper)\n");
+
+    bench::printHeader("Figure 11: speedup normalized to Cinnamon-M");
+    std::printf("%-12s", "benchmark");
+    for (const auto &m : machines)
+        std::printf(" %12s", m.name);
+    std::printf("\n");
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        std::printf("%-12s", suite[b].name.c_str());
+        for (std::size_t m = 0; m < machines.size(); ++m)
+            std::printf(" %12.2f", times[b][0] / times[b][m]);
+        std::printf("\n");
+    }
+
+    bench::printHeader("Headline: BERT speedup vs CPU");
+    auto pub = publishedFor("bert");
+    const double c12 = times[3][3];
+    std::printf("BERT on Cinnamon-12: %.3f s (paper: 1.67 s); "
+                "speedup vs published CPU: %.0fx (paper: 36600x)\n",
+                c12, pub.cpu / c12);
+    return 0;
+}

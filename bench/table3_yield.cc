@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces Table 3: die area, manufacturing yield (negative
+ * binomial, D0 = 0.2 cm^-2, alpha = 3) and yield-normalized cost for
+ * each FHE accelerator.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/cost_model.h"
+
+using namespace cinnamon::cost;
+
+int
+main()
+{
+    cinnamon::bench::printHeader(
+        "Table 3: manufacturing yield and estimated tape-out cost");
+    std::printf("%-12s %12s %8s %9s %14s %14s\n", "accelerator",
+                "area (mm^2)", "process", "yield", "$/mm^2 wafer",
+                "cost ($)");
+    for (const auto &row : table3Rows()) {
+        std::printf("%-12s %12.2f %8s %8.0f%% %14.0f %14.3g\n",
+                    row.accelerator.c_str(), row.die_area_mm2,
+                    row.process.c_str(), row.yield * 100.0,
+                    row.wafer_price_per_mm2, row.cost_dollars);
+    }
+    std::printf("\nGross dies per 300mm wafer: Cinnamon %.0f, "
+                "Cinnamon-M %.0f\n",
+                diesPerWafer(223.18), diesPerWafer(719.78));
+    return 0;
+}

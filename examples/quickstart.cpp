@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: encrypt a vector, compute on it homomorphically, and
+ * decrypt. This exercises the core CKKS API (src/fhe) — the
+ * functional substrate underneath the Cinnamon compiler and
+ * simulator.
+ *
+ *   build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "fhe/evaluator.h"
+
+using namespace cinnamon;
+using fhe::Cplx;
+
+int
+main()
+{
+    // Small, fast parameters: n = 4096 (2048 complex slots), 6-level
+    // chain, 3 keyswitch digits.
+    auto params = fhe::CkksParams::makeTest(1 << 12, 6, 3);
+    fhe::CkksContext ctx(params);
+    fhe::Encoder encoder(ctx);
+    fhe::Evaluator eval(ctx);
+    fhe::KeyGenerator keygen(ctx, /*seed=*/2025);
+    auto sk = keygen.secretKey();
+    auto relin = keygen.relinKey(sk);
+    auto gks = keygen.galoisKeys(sk, {1});
+
+    std::printf("CKKS context: n=%zu, %zu slots, %zu levels\n",
+                ctx.n(), ctx.slots(), params.levels);
+
+    // Encrypt x = (0, 0.01, 0.02, ...).
+    Rng rng(7);
+    std::vector<Cplx> x(ctx.slots());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = Cplx(0.01 * static_cast<double>(i % 100), 0.0);
+    auto ct = eval.encrypt(encoder.encode(x, ctx.maxLevel()),
+                           params.scale, sk, rng);
+
+    // y = x^2 + rotate(x, 1): one multiply (with relinearization and
+    // rescale) and one rotation (keyswitch). After the rescale the
+    // square's scale is Δ²/q ≈ Δ, so the two align within tolerance.
+    auto sq = eval.rescale(eval.mul(ct, ct, relin));
+    auto rot = eval.dropToLevel(eval.rotate(ct, 1, gks), sq.level);
+    rot.scale = sq.scale; // Δ vs Δ²/q: ~2^-28 relative difference
+    auto y = eval.add(sq, rot);
+
+    auto out = encoder.decode(eval.decrypt(y, sk), y.scale);
+    std::printf("slot 5:  x=%.4f  x^2+x_rot=%.4f  (expected %.4f)\n",
+                x[5].real(), out[5].real(),
+                x[5].real() * x[5].real() + x[6].real());
+    std::printf("slot 42: x=%.4f  x^2+x_rot=%.4f  (expected %.4f)\n",
+                x[42].real(), out[42].real(),
+                x[42].real() * x[42].real() + x[43].real());
+    std::printf("done.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+#include "common/bigint.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cinnamon {
+
+using uint128_t = unsigned __int128;
+
+BigUInt::BigUInt(uint64_t v)
+{
+    if (v != 0)
+        words_.push_back(v);
+}
+
+void
+BigUInt::trim()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+void
+BigUInt::add(const BigUInt &other)
+{
+    if (words_.size() < other.words_.size())
+        words_.resize(other.words_.size(), 0);
+    uint64_t carry = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        uint128_t s = (uint128_t)words_[i] + carry;
+        if (i < other.words_.size())
+            s += other.words_[i];
+        words_[i] = static_cast<uint64_t>(s);
+        carry = static_cast<uint64_t>(s >> 64);
+    }
+    if (carry)
+        words_.push_back(carry);
+}
+
+void
+BigUInt::sub(const BigUInt &other)
+{
+    CINN_ASSERT(compare(other) >= 0, "BigUInt::sub would underflow");
+    uint64_t borrow = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        uint128_t o = borrow;
+        if (i < other.words_.size())
+            o += other.words_[i];
+        if ((uint128_t)words_[i] >= o) {
+            words_[i] = static_cast<uint64_t>((uint128_t)words_[i] - o);
+            borrow = 0;
+        } else {
+            words_[i] = static_cast<uint64_t>(
+                ((uint128_t)1 << 64) + words_[i] - o);
+            borrow = 1;
+        }
+    }
+    CINN_ASSERT(borrow == 0, "BigUInt::sub underflow");
+    trim();
+}
+
+void
+BigUInt::mulWord(uint64_t w)
+{
+    if (w == 0) {
+        words_.clear();
+        return;
+    }
+    uint64_t carry = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        uint128_t p = (uint128_t)words_[i] * w + carry;
+        words_[i] = static_cast<uint64_t>(p);
+        carry = static_cast<uint64_t>(p >> 64);
+    }
+    if (carry)
+        words_.push_back(carry);
+}
+
+int
+BigUInt::compare(const BigUInt &other) const
+{
+    if (words_.size() != other.words_.size())
+        return words_.size() < other.words_.size() ? -1 : 1;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != other.words_[i])
+            return words_[i] < other.words_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+double
+BigUInt::toDouble() const
+{
+    double out = 0.0;
+    // Horner over words, most significant first.
+    for (std::size_t i = words_.size(); i-- > 0;)
+        out = out * std::ldexp(1.0, 64) + static_cast<double>(words_[i]);
+    return out;
+}
+
+BigUInt
+BigUInt::shiftRight(unsigned k) const
+{
+    BigUInt out;
+    const unsigned wshift = k / 64;
+    const unsigned bshift = k % 64;
+    if (wshift >= words_.size())
+        return out;
+    out.words_.assign(words_.begin() + wshift, words_.end());
+    if (bshift != 0) {
+        for (std::size_t i = 0; i + 1 < out.words_.size(); ++i) {
+            out.words_[i] = (out.words_[i] >> bshift) |
+                            (out.words_[i + 1] << (64 - bshift));
+        }
+        out.words_.back() >>= bshift;
+    }
+    out.trim();
+    return out;
+}
+
+std::size_t
+BigUInt::bitLength() const
+{
+    if (words_.empty())
+        return 0;
+    std::size_t bits = (words_.size() - 1) * 64;
+    uint64_t top = words_.back();
+    while (top != 0) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+} // namespace cinnamon

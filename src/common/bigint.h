@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal unsigned big-integer arithmetic.
+ *
+ * The CKKS decoder must reconstruct centered coefficients from RNS
+ * residues exactly (CRT), and coefficient magnitudes can far exceed
+ * 128 bits for deep prime chains. This class provides exactly the
+ * operations CRT composition needs: add, subtract, compare, multiply
+ * by a word, and lossy conversion to double. It is not a general
+ * bignum library and is deliberately kept tiny.
+ */
+
+#ifndef CINNAMON_COMMON_BIGINT_H_
+#define CINNAMON_COMMON_BIGINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cinnamon {
+
+/** An arbitrary-precision unsigned integer (little-endian 64-bit words). */
+class BigUInt
+{
+  public:
+    BigUInt() = default;
+    explicit BigUInt(uint64_t v);
+
+    bool isZero() const { return words_.empty(); }
+
+    /** this += other. */
+    void add(const BigUInt &other);
+
+    /** this -= other; requires this >= other. */
+    void sub(const BigUInt &other);
+
+    /** this *= w. */
+    void mulWord(uint64_t w);
+
+    /** -1 / 0 / +1 for this < / == / > other. */
+    int compare(const BigUInt &other) const;
+
+    /** Lossy conversion to double (may overflow to inf; callers scale). */
+    double toDouble() const;
+
+    /** this / 2^k truncated toward zero, as a new value. */
+    BigUInt shiftRight(unsigned k) const;
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+  private:
+    void trim();
+
+    std::vector<uint64_t> words_;
+};
+
+} // namespace cinnamon
+
+#endif // CINNAMON_COMMON_BIGINT_H_

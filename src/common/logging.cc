@@ -1,0 +1,28 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cinnamon {
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+} // namespace cinnamon

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library).
+ * fatal()  — the simulation cannot continue due to a user error
+ *            (bad configuration, invalid arguments).
+ * warn()   — something is suspicious but execution can continue.
+ *
+ * CINN_ASSERT(cond, msg) panics when cond is false. It is kept enabled in
+ * release builds because the cost is negligible at the granularity we use
+ * it (per-limb, not per-coefficient).
+ */
+
+#ifndef CINNAMON_COMMON_LOGGING_H_
+#define CINNAMON_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cinnamon {
+
+/** Abort with a message; used for internal invariant violations. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit with an error; used for user-caused configuration errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+} // namespace cinnamon
+
+#define CINN_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream cinn_assert_oss_;                            \
+            cinn_assert_oss_ << "assertion failed at " << __FILE__ << ":"   \
+                             << __LINE__ << ": " #cond " — " << msg;        \
+            ::cinnamon::panic(cinn_assert_oss_.str());                      \
+        }                                                                   \
+    } while (0)
+
+#define CINN_FATAL_UNLESS(cond, msg)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream cinn_fatal_oss_;                             \
+            cinn_fatal_oss_ << msg;                                         \
+            ::cinnamon::fatal(cinn_fatal_oss_.str());                       \
+        }                                                                   \
+    } while (0)
+
+#endif // CINNAMON_COMMON_LOGGING_H_

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Compiled-program containers shared by the lowering, the runtime and
+ * the cycle simulator.
+ *
+ * A CompiledProgram couples the multi-chip ISA streams with a data
+ * layout: every Load/Store address maps to a DataDescriptor telling
+ * the runtime what to materialize there (an input ciphertext limb, an
+ * encoded plaintext limb, an evaluation-key limb) or where to collect
+ * results from.
+ */
+
+#ifndef CINNAMON_COMPILER_COMPILED_H_
+#define CINNAMON_COMPILER_COMPILED_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/ks_pass.h"
+#include "compiler/regalloc.h"
+#include "isa/isa.h"
+#include "rns/context.h"
+
+namespace cinnamon::compiler {
+
+/** What lives behind one memory address. */
+struct DataDescriptor
+{
+    enum class Kind { InputCt, Plain, EvalKey, Output };
+
+    Kind kind = Kind::InputCt;
+    std::string name;      ///< input/plain/output name; "relin" or
+                           ///  "galois:<g>" for keys
+    int poly = 0;          ///< ciphertext/key polynomial index (0/1)
+    uint32_t prime = 0;    ///< prime index of the limb
+    std::size_t digit = 0; ///< evaluation-key digit index
+    std::size_t level = 0; ///< plaintext encode level
+    double scale = 0.0;    ///< plaintext encode scale
+    uint64_t galois = 0;   ///< Galois element for rotation keys
+    bool chip_digits = false; ///< key digits = per-chip partition
+    uint32_t group_size = 0;  ///< group size for chip-digit keys
+};
+
+/** Where a program output lives after execution. */
+struct OutputInfo
+{
+    std::size_t level = 0;
+    double scale = 0.0;
+    /** addrs[poly][limb] — address of each limb, on its owner chip. */
+    std::array<std::vector<uint64_t>, 2> addrs;
+    /** owner chip of each limb. */
+    std::vector<uint32_t> owners;
+};
+
+/** Aggregate communication emitted by the compiler. */
+struct CommSummary
+{
+    std::size_t broadcast_limbs = 0;
+    std::size_t aggregation_limbs = 0;
+
+    std::size_t total() const
+    {
+        return broadcast_limbs + aggregation_limbs;
+    }
+};
+
+/** Compiler configuration. */
+struct CompilerConfig
+{
+    std::size_t chips = 4;        ///< total chips in the machine
+    int num_streams = 1;          ///< chip groups (program parallelism)
+    KsPassOptions ks;             ///< keyswitch pass options
+    std::size_t phys_regs = 224;  ///< register file limbs per chip
+    bool allocate = true;         ///< run register allocation
+    EvictionPolicy regalloc_policy = EvictionPolicy::Belady;
+};
+
+/** The full compiler output. */
+struct CompiledProgram
+{
+    isa::MachineProgram machine;
+    std::map<uint64_t, DataDescriptor> data;
+    std::map<std::string, OutputInfo> outputs;
+    CommSummary comm;
+    CompilerConfig config;
+    KsPassResult ks_pass;
+    RegAllocStats regalloc; ///< zeroed when allocation is disabled
+};
+
+/**
+ * The per-chip digit bases used by output-aggregation keyswitching on
+ * a group of `group_size` chips at `level`: digit p = the prime
+ * indices i ≤ level with i mod group_size == p. Shared between the
+ * compiler and the runtime so key material lines up.
+ */
+std::vector<rns::Basis> chipDigitBases(std::size_t level,
+                                       std::size_t group_size);
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_COMPILED_H_

@@ -1,0 +1,226 @@
+#include "compiler/dsl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace cinnamon::compiler {
+
+std::size_t
+CtHandle::level() const
+{
+    CINN_ASSERT(program_ != nullptr, "invalid ciphertext handle");
+    return program_->op(id_).level;
+}
+
+double
+CtHandle::scale() const
+{
+    CINN_ASSERT(program_ != nullptr, "invalid ciphertext handle");
+    return program_->op(id_).scale;
+}
+
+int
+Program::append(CtOp op)
+{
+    op.id = static_cast<int>(ops_.size());
+    op.stream = current_stream_;
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+const CtOp &
+Program::checkHandle(CtHandle h) const
+{
+    CINN_ASSERT(h.valid(), "operation on an invalid handle");
+    CINN_ASSERT(h.id() >= 0 && h.id() < static_cast<int>(ops_.size()),
+                "handle out of range");
+    return ops_[h.id()];
+}
+
+CtHandle
+Program::input(const std::string &name, std::size_t level)
+{
+    CINN_FATAL_UNLESS(level <= ctx_->maxLevel(),
+                      "input level exceeds the parameter chain");
+    CtOp op;
+    op.kind = CtOpKind::Input;
+    op.name = name;
+    op.level = level;
+    op.scale = ctx_->params().scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::add(CtHandle a, CtHandle b)
+{
+    const CtOp &oa = checkHandle(a);
+    const CtOp &ob = checkHandle(b);
+    CINN_FATAL_UNLESS(oa.level == ob.level,
+                      "add: operand levels differ (" << oa.level << " vs "
+                                                     << ob.level << ")");
+    CINN_FATAL_UNLESS(std::abs(oa.scale - ob.scale) <
+                          1e-6 * std::max(oa.scale, ob.scale),
+                      "add: operand scales differ");
+    CtOp op;
+    op.kind = CtOpKind::Add;
+    op.args = {a.id(), b.id()};
+    op.level = oa.level;
+    op.scale = oa.scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::sub(CtHandle a, CtHandle b)
+{
+    CtHandle h = add(a, b); // same checks and shape
+    ops_.back().kind = CtOpKind::Sub;
+    return h;
+}
+
+CtHandle
+Program::mul(CtHandle a, CtHandle b)
+{
+    const CtOp &oa = checkHandle(a);
+    const CtOp &ob = checkHandle(b);
+    CINN_FATAL_UNLESS(oa.level == ob.level, "mul: operand levels differ");
+    CtOp op;
+    op.kind = CtOpKind::Mul;
+    op.args = {a.id(), b.id()};
+    op.level = oa.level;
+    op.scale = oa.scale * ob.scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::mulPlain(CtHandle a, const std::string &plain)
+{
+    const CtOp &oa = checkHandle(a);
+    CtOp op;
+    op.kind = CtOpKind::MulPlain;
+    op.args = {a.id()};
+    op.name = plain;
+    op.level = oa.level;
+    op.scale = oa.scale * ctx_->params().scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::addPlain(CtHandle a, const std::string &plain)
+{
+    const CtOp &oa = checkHandle(a);
+    CtOp op;
+    op.kind = CtOpKind::AddPlain;
+    op.args = {a.id()};
+    op.name = plain;
+    op.level = oa.level;
+    op.scale = oa.scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::rescale(CtHandle a)
+{
+    const CtOp &oa = checkHandle(a);
+    CINN_FATAL_UNLESS(oa.level >= 1, "rescale at level 0");
+    CtOp op;
+    op.kind = CtOpKind::Rescale;
+    op.args = {a.id()};
+    op.level = oa.level - 1;
+    // EVA-style waterline scale management: the exact post-rescale
+    // scale is s/q_level ≈ Δ (each chain prime sits near the
+    // waterline); tracking it exactly would let the per-prime drift
+    // compound double-exponentially through squaring chains, so —
+    // like the paper's EVA-derived frontend — we pin the result to
+    // the waterline. The ≲2^-28 relative value error this introduces
+    // per rescale is far below the CKKS noise floor.
+    op.scale = oa.scale /
+               static_cast<double>(ctx_->q(oa.level)) /
+               ctx_->params().scale;
+    op.scale = ctx_->params().scale *
+               (op.scale > 0.5 && op.scale < 2.0 ? 1.0 : op.scale);
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::rotate(CtHandle a, int steps)
+{
+    const CtOp &oa = checkHandle(a);
+    CtOp op;
+    op.kind = CtOpKind::Rotate;
+    op.args = {a.id()};
+    op.rotation = steps;
+    op.level = oa.level;
+    op.scale = oa.scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+CtHandle
+Program::conjugate(CtHandle a)
+{
+    const CtOp &oa = checkHandle(a);
+    CtOp op;
+    op.kind = CtOpKind::Conjugate;
+    op.args = {a.id()};
+    op.level = oa.level;
+    op.scale = oa.scale;
+    return CtHandle(this, append(std::move(op)));
+}
+
+void
+Program::output(const std::string &name, CtHandle a)
+{
+    const CtOp &oa = checkHandle(a);
+    CtOp op;
+    op.kind = CtOpKind::Output;
+    op.args = {a.id()};
+    op.name = name;
+    op.level = oa.level;
+    op.scale = oa.scale;
+    append(std::move(op));
+}
+
+void
+Program::beginStream(int stream_id)
+{
+    CINN_ASSERT(stream_id >= 0, "stream ids must be non-negative");
+    current_stream_ = stream_id;
+}
+
+void
+Program::endStream()
+{
+    current_stream_ = 0;
+}
+
+int
+Program::numStreams() const
+{
+    int max_stream = 0;
+    for (const auto &op : ops_)
+        max_stream = std::max(max_stream, op.stream);
+    return max_stream + 1;
+}
+
+std::vector<int>
+Program::rotationSteps() const
+{
+    std::set<int> steps;
+    for (const auto &op : ops_) {
+        if (op.kind == CtOpKind::Rotate && op.rotation != 0)
+            steps.insert(op.rotation);
+    }
+    return std::vector<int>(steps.begin(), steps.end());
+}
+
+bool
+Program::usesConjugation() const
+{
+    return std::any_of(ops_.begin(), ops_.end(), [](const CtOp &op) {
+        return op.kind == CtOpKind::Conjugate;
+    });
+}
+
+} // namespace cinnamon::compiler

@@ -1,0 +1,149 @@
+#include "compiler/ks_pass.h"
+
+#include <algorithm>
+
+namespace cinnamon::compiler {
+
+namespace {
+
+/** Ops that contain a keyswitch. */
+bool
+hasKeyswitch(CtOpKind kind)
+{
+    return kind == CtOpKind::Mul || kind == CtOpKind::Rotate ||
+           kind == CtOpKind::Conjugate;
+}
+
+} // namespace
+
+KsPassResult
+runKeyswitchPass(const Program &program, const KsPassOptions &options)
+{
+    KsPassResult result;
+    const auto &ops = program.ops();
+
+    // Default annotation for every keyswitch-bearing op.
+    for (const auto &op : ops) {
+        if (hasKeyswitch(op.kind))
+            result.annotations[op.id] = KsAnnotation{options.default_algo,
+                                                     -1};
+    }
+    if (!options.enable_batching ||
+        options.default_algo == KsAlgo::Cifher) {
+        // CiFHER's mod-down broadcasts cannot be hoisted (Section
+        // 7.4), and with batching disabled there is nothing to do.
+        return result;
+    }
+
+    // Use counts (how many ops consume each value).
+    std::map<int, std::vector<int>> users;
+    for (const auto &op : ops) {
+        for (int a : op.args)
+            users[a].push_back(op.id);
+    }
+
+    int next_batch = 0;
+    std::set<int> claimed; // rotations already assigned to a batch
+
+    // ---- Pattern 2: rotations combined only by an addition tree. ----
+    if (options.enable_output_aggregation) {
+        // Roots: Add ops not consumed by another Add.
+        for (const auto &op : ops) {
+            if (op.kind != CtOpKind::Add)
+                continue;
+            bool consumed_by_add = false;
+            for (int u : users[op.id]) {
+                if (ops[u].kind == CtOpKind::Add)
+                    consumed_by_add = true;
+            }
+            if (consumed_by_add)
+                continue;
+
+            // DFS through the add tree collecting leaves. Single-use
+            // rotations become batch members; any other leaf is kept
+            // as an extra addend applied after the aggregation
+            // (associativity makes this exact).
+            OaBatch batch;
+            std::vector<int> stack{op.id};
+            while (!stack.empty()) {
+                int cur = stack.back();
+                stack.pop_back();
+                if (ops[cur].kind == CtOpKind::Add &&
+                    (cur == op.id || users[cur].size() == 1)) {
+                    batch.tree_adds.insert(cur);
+                    for (int a : ops[cur].args)
+                        stack.push_back(a);
+                } else if (ops[cur].kind == CtOpKind::Rotate &&
+                           users[cur].size() == 1 &&
+                           !claimed.count(cur)) {
+                    batch.rotations.push_back(cur);
+                } else {
+                    batch.extras.push_back(cur);
+                }
+            }
+            // All members and extras must share one level and stream
+            // for the batched collective to be well defined.
+            bool valid = batch.rotations.size() >= 2;
+            if (valid) {
+                const auto &first = ops[batch.rotations.front()];
+                for (int r : batch.rotations) {
+                    if (ops[r].level != first.level ||
+                        ops[r].stream != first.stream)
+                        valid = false;
+                }
+                for (int e : batch.extras) {
+                    if (ops[e].level != first.level)
+                        valid = false;
+                }
+            }
+            if (!valid)
+                continue;
+
+            batch.id = next_batch++;
+            batch.root = op.id;
+            for (int r : batch.rotations) {
+                claimed.insert(r);
+                result.annotations[r] =
+                    KsAnnotation{KsAlgo::OutputAggregation, batch.id};
+            }
+            std::sort(batch.rotations.begin(), batch.rotations.end());
+            result.oa_batches.push_back(std::move(batch));
+        }
+    }
+
+    // ---- Pattern 1: several rotations of the same ciphertext. ----
+    std::map<int, std::vector<int>> by_input;
+    for (const auto &op : ops) {
+        if ((op.kind == CtOpKind::Rotate ||
+             op.kind == CtOpKind::Conjugate) &&
+            !claimed.count(op.id)) {
+            by_input[op.args[0]].push_back(op.id);
+        }
+    }
+    for (auto &[input, rots] : by_input) {
+        if (rots.size() < 2)
+            continue;
+        // Same stream required (one group performs the broadcast).
+        const int stream = ops[rots.front()].stream;
+        std::vector<int> members;
+        for (int r : rots) {
+            if (ops[r].stream == stream)
+                members.push_back(r);
+        }
+        if (members.size() < 2)
+            continue;
+        IbBatch batch;
+        batch.id = next_batch++;
+        batch.input = input;
+        batch.rotations = members;
+        for (int r : members) {
+            result.annotations[r] =
+                KsAnnotation{KsAlgo::InputBroadcast, batch.id};
+        }
+        result.ib_batches.push_back(std::move(batch));
+    }
+
+    return result;
+}
+
+} // namespace cinnamon::compiler

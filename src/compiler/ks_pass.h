@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Cinnamon keyswitch pass (Section 4.3.1, "Cinnamon Keyswitch
+ * Pass").
+ *
+ * The pass scans the ciphertext dataflow graph for the two program
+ * patterns whose keyswitch communication can be batched:
+ *
+ *  pattern 1 — several rotations of the same ciphertext: use
+ *      input-broadcast keyswitching and hoist the broadcast, so the
+ *      whole batch costs ONE broadcast;
+ *  pattern 2 — several rotations whose results are only combined by
+ *      an addition tree: use output-aggregation keyswitching and
+ *      batch the collectives, so the whole tree costs TWO
+ *      aggregations.
+ *
+ * Every other keyswitch defaults to the configured standalone
+ * algorithm. Disabling batching and/or forcing the CiFHER algorithm
+ * reproduces the ablation rungs of Figure 13.
+ */
+
+#ifndef CINNAMON_COMPILER_KS_PASS_H_
+#define CINNAMON_COMPILER_KS_PASS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "compiler/dsl.h"
+
+namespace cinnamon::compiler {
+
+/** Which parallel keyswitching algorithm an op uses. */
+enum class KsAlgo {
+    InputBroadcast,
+    OutputAggregation,
+    Cifher,
+};
+
+/** Per-op annotation produced by the pass. */
+struct KsAnnotation
+{
+    KsAlgo algo = KsAlgo::InputBroadcast;
+    int batch = -1; ///< batch id (-1: unbatched)
+};
+
+/** One output-aggregation batch: rotations plus their addition tree. */
+struct OaBatch
+{
+    int id = -1;
+    std::vector<int> rotations; ///< member Rotate op ids
+    std::vector<int> extras;    ///< non-rotation leaves added after
+                                ///  the batched aggregation
+    std::set<int> tree_adds;    ///< Add ops folded into the batch
+    int root = -1;              ///< the Add op producing the sum
+};
+
+/** One input-broadcast batch: rotations sharing a hoisted broadcast. */
+struct IbBatch
+{
+    int id = -1;
+    int input = -1;             ///< the shared input op id
+    std::vector<int> rotations; ///< member Rotate/Conjugate op ids
+};
+
+struct KsPassOptions
+{
+    bool enable_batching = true;             ///< hoist/batch collectives
+    bool enable_output_aggregation = true;   ///< allow pattern 2
+    KsAlgo default_algo = KsAlgo::InputBroadcast;
+};
+
+/** The pass result: annotations plus the discovered batches. */
+struct KsPassResult
+{
+    std::map<int, KsAnnotation> annotations; ///< keyed by op id
+    std::vector<IbBatch> ib_batches;
+    std::vector<OaBatch> oa_batches;
+
+    const KsAnnotation &
+    of(int op_id) const
+    {
+        static const KsAnnotation kDefault{};
+        auto it = annotations.find(op_id);
+        return it == annotations.end() ? kDefault : it->second;
+    }
+};
+
+/** Run the keyswitch pass over a program. */
+KsPassResult runKeyswitchPass(const Program &program,
+                              const KsPassOptions &options = {});
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_KS_PASS_H_

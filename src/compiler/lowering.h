@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lowering from the ciphertext DSL to Cinnamon ISA streams.
+ *
+ * This stage realizes the paper's polynomial IR and limb IR in one
+ * pass: each ciphertext op is first expanded to operations on its two
+ * polynomials (polynomial IR, Section 4.2 step 2), each polynomial op
+ * is then expanded limb-by-limb with modular limb-to-chip placement
+ * (limb IR, Section 4.3), keyswitches are expanded according to the
+ * algorithm the keyswitch pass selected — including hoisted broadcasts
+ * for input-broadcast batches and deferred collective aggregation for
+ * output-aggregation batches — and the result is SSA-form Cinnamon ISA
+ * (Section 4.6) ready for Belady register allocation (Section 4.4).
+ *
+ * Streams (program-level parallelism) map to disjoint chip groups:
+ * stream s runs on chips [s*g, (s+1)*g) where g = chips/num_streams.
+ * All collectives are scoped to the owning group.
+ */
+
+#ifndef CINNAMON_COMPILER_LOWERING_H_
+#define CINNAMON_COMPILER_LOWERING_H_
+
+#include "compiler/compiled.h"
+#include "compiler/dsl.h"
+#include "fhe/params.h"
+
+namespace cinnamon::compiler {
+
+/** The Cinnamon compiler backend. */
+class Compiler
+{
+  public:
+    Compiler(const fhe::CkksContext &ctx, CompilerConfig config)
+        : ctx_(&ctx), config_(config)
+    {
+    }
+
+    /**
+     * Compile a DSL program to a multi-chip ISA program.
+     *
+     * Runs the keyswitch pass, lowers every op, and (by default)
+     * performs Belady register allocation per chip.
+     */
+    CompiledProgram compile(const Program &program);
+
+  private:
+    const fhe::CkksContext *ctx_;
+    CompilerConfig config_;
+};
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_LOWERING_H_

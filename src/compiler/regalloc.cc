@@ -1,0 +1,243 @@
+#include "compiler/regalloc.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cinnamon::compiler {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+/** Allocation state for one chip's stream. */
+class ChipAllocator
+{
+  public:
+    ChipAllocator(std::vector<Instruction> &in, std::size_t phys_regs,
+                  uint64_t spill_base, RegAllocStats &stats,
+                  EvictionPolicy policy)
+        : in_(in), phys_(phys_regs), spill_base_(spill_base),
+          stats_(stats), policy_(policy)
+    {
+    }
+
+    std::vector<Instruction> run();
+
+  private:
+    /** Position of the next use of `vreg` strictly after `after`. */
+    std::size_t
+    nextUse(int vreg, std::size_t after)
+    {
+        const auto &uses = uses_[vreg];
+        auto it = std::upper_bound(uses.begin(), uses.end(), after);
+        return it == uses.end() ? kInf : *it;
+    }
+
+    /** Pick a free physical register or evict per Belady. */
+    int
+    acquire(std::size_t at, const std::set<int> &pinned)
+    {
+        if (!free_.empty()) {
+            int p = *free_.begin();
+            free_.erase(free_.begin());
+            return p;
+        }
+        // Belady: evict the resident vreg with the farthest next use.
+        // LRU (ablation): evict the least recently touched one.
+        int victim = -1;
+        std::size_t farthest = 0;
+        if (policy_ == EvictionPolicy::Belady) {
+            for (const auto &[vreg, p] : loc_) {
+                if (pinned.count(vreg))
+                    continue;
+                const std::size_t nu = nextUse(vreg, at);
+                if (victim == -1 || nu > farthest) {
+                    victim = vreg;
+                    farthest = nu;
+                }
+            }
+        } else {
+            std::size_t oldest = kInf;
+            for (const auto &[vreg, p] : loc_) {
+                if (pinned.count(vreg))
+                    continue;
+                const std::size_t touched =
+                    last_touch_.count(vreg) ? last_touch_.at(vreg) : 0;
+                if (victim == -1 || touched < oldest) {
+                    victim = vreg;
+                    oldest = touched;
+                }
+            }
+            if (victim != -1)
+                farthest = nextUse(victim, at);
+        }
+        CINN_ASSERT(victim != -1,
+                    "register pressure exceeds the physical register "
+                    "file even with everything evictable pinned");
+        const int p = loc_.at(victim);
+        if (farthest != kInf && !spilled_.count(victim) &&
+            !remat_.count(victim)) {
+            // Value is still needed later, has no memory copy yet,
+            // and cannot be rematerialized from read-only data.
+            Instruction st;
+            st.op = Opcode::Store;
+            st.srcs = {p};
+            st.prime = prime_.at(victim);
+            st.imm = spillSlot(victim);
+            out_.push_back(std::move(st));
+            spilled_.insert(victim);
+            ++stats_.spill_stores;
+        }
+        loc_.erase(victim);
+        return p;
+    }
+
+    /** Ensure `vreg` is resident; reload from its spill slot if not. */
+    void
+    ensureResident(int vreg, std::size_t at, const std::set<int> &pinned)
+    {
+        if (loc_.count(vreg))
+            return;
+        auto rm = remat_.find(vreg);
+        CINN_ASSERT(rm != remat_.end() || spilled_.count(vreg),
+                    "use of virtual register v" << vreg
+                                                << " with no definition");
+        const int p = acquire(at, pinned);
+        Instruction ld;
+        ld.op = Opcode::Load;
+        ld.dst = p;
+        ld.prime = prime_.at(vreg);
+        ld.imm = rm != remat_.end() ? rm->second : spillSlot(vreg);
+        out_.push_back(std::move(ld));
+        loc_[vreg] = p;
+        ++stats_.spill_loads;
+    }
+
+    uint64_t
+    spillSlot(int vreg)
+    {
+        auto it = slots_.find(vreg);
+        if (it != slots_.end())
+            return it->second;
+        const uint64_t slot = spill_base_ + slots_.size();
+        slots_.emplace(vreg, slot);
+        return slot;
+    }
+
+    std::vector<Instruction> &in_;
+    std::size_t phys_;
+    uint64_t spill_base_;
+    RegAllocStats &stats_;
+
+    std::map<int, std::vector<std::size_t>> uses_;
+    std::map<int, uint32_t> prime_;   ///< prime of each vreg's limb
+    std::map<int, uint64_t> remat_;   ///< data loads: re-loadable addr
+    std::map<int, std::size_t> last_touch_; ///< for the LRU ablation
+    EvictionPolicy policy_;
+    std::map<int, int> loc_;          ///< vreg → phys
+    std::set<int> free_;
+    std::set<int> spilled_;
+    std::map<int, uint64_t> slots_;
+    std::vector<Instruction> out_;
+};
+
+std::vector<Instruction>
+ChipAllocator::run()
+{
+    // Use positions and per-vreg limb primes.
+    for (std::size_t i = 0; i < in_.size(); ++i) {
+        for (int s : in_[i].srcs) {
+            if (s >= 0)
+                uses_[s].push_back(i);
+        }
+        if (in_[i].dst >= 0) {
+            prime_[in_[i].dst] = in_[i].prime;
+            // Pre-allocation Loads read immutable program data; their
+            // values can be rematerialized instead of spilled.
+            if (in_[i].op == Opcode::Load)
+                remat_[in_[i].dst] = in_[i].imm;
+        }
+    }
+    for (std::size_t p = 0; p < phys_; ++p)
+        free_.insert(static_cast<int>(p));
+
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < in_.size(); ++i) {
+        Instruction ins = in_[i];
+
+        // Sources first: reload any spilled operand, pinning the
+        // instruction's own operands against eviction.
+        std::set<int> pinned(ins.srcs.begin(), ins.srcs.end());
+        if (ins.dst >= 0)
+            pinned.insert(ins.dst);
+        for (int s : ins.srcs) {
+            if (s >= 0) {
+                ensureResident(s, i, pinned);
+                last_touch_[s] = i;
+            }
+        }
+        // Rewrite sources, then free the ones that die here.
+        std::vector<int> dead;
+        for (int &s : ins.srcs) {
+            if (s < 0)
+                continue;
+            const int vreg = s;
+            s = loc_.at(vreg);
+            if (nextUse(vreg, i) == kInf)
+                dead.push_back(vreg);
+        }
+        for (int vreg : dead) {
+            auto it = loc_.find(vreg);
+            if (it != loc_.end()) {
+                free_.insert(it->second);
+                loc_.erase(it);
+            }
+        }
+        // Destination.
+        if (ins.dst >= 0) {
+            const int vreg = ins.dst;
+            const int p = acquire(i, pinned);
+            loc_[vreg] = p;
+            last_touch_[vreg] = i;
+            ins.dst = p;
+            // Dead-on-arrival values (e.g. unused collective copies)
+            // are freed immediately after definition.
+            if (uses_.find(vreg) == uses_.end()) {
+                free_.insert(p);
+                loc_.erase(vreg);
+            }
+        }
+        live = std::max(live, phys_ - free_.size());
+        out_.push_back(std::move(ins));
+    }
+    stats_.max_live = std::max(stats_.max_live, live);
+    return std::move(out_);
+}
+
+} // namespace
+
+RegAllocStats
+allocateRegisters(isa::MachineProgram &program, std::size_t phys_regs,
+                  uint64_t spill_addr_base, EvictionPolicy policy)
+{
+    CINN_FATAL_UNLESS(phys_regs >= 8,
+                      "cannot allocate with fewer than 8 registers");
+    RegAllocStats stats;
+    for (auto &chip : program.chips) {
+        ChipAllocator alloc(chip.instrs, phys_regs, spill_addr_base,
+                            stats, policy);
+        chip.instrs = alloc.run();
+    }
+    program.allocated = true;
+    return stats;
+}
+
+} // namespace cinnamon::compiler

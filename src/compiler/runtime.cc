@@ -1,0 +1,149 @@
+#include "compiler/runtime.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cinnamon::compiler {
+
+void
+ProgramRuntime::bindInput(const std::string &name,
+                          const fhe::Ciphertext &ct)
+{
+    inputs_[name] = ct;
+}
+
+void
+ProgramRuntime::bindPlain(const std::string &name,
+                          std::vector<fhe::Cplx> values)
+{
+    plains_[name] = std::move(values);
+}
+
+const fhe::EvalKey &
+ProgramRuntime::evalKeyFor(const DataDescriptor &desc)
+{
+    std::ostringstream key;
+    key << desc.name << ':' << desc.chip_digits << ':' << desc.group_size;
+    auto it = key_cache_.find(key.str());
+    if (it != key_cache_.end())
+        return it->second;
+
+    fhe::EvalKey evk;
+    if (desc.chip_digits) {
+        const auto digits =
+            chipDigitBases(ctx_->maxLevel(), desc.group_size);
+        if (desc.name == "relin") {
+            auto s2 = sk_->s.mul(sk_->s);
+            evk = keygen_->makeKeySwitchKeyForDigits(*sk_, s2, digits);
+        } else {
+            evk = keygen_->galoisKeyForDigits(*sk_, desc.galois, digits);
+        }
+    } else {
+        if (desc.name == "relin") {
+            evk = keygen_->relinKey(*sk_);
+        } else {
+            evk = keygen_->galoisKey(*sk_, desc.galois);
+        }
+    }
+    return key_cache_.emplace(key.str(), std::move(evk)).first->second;
+}
+
+isa::Limb
+ProgramRuntime::materialize(const DataDescriptor &desc)
+{
+    switch (desc.kind) {
+      case DataDescriptor::Kind::InputCt: {
+        auto it = inputs_.find(desc.name);
+        CINN_FATAL_UNLESS(it != inputs_.end(),
+                          "unbound program input '" << desc.name << "'");
+        const fhe::Ciphertext &ct = it->second;
+        const rns::RnsPoly &p = desc.poly == 0 ? ct.c0 : ct.c1;
+        int pos = p.findPrime(desc.prime);
+        CINN_FATAL_UNLESS(pos >= 0, "input '" << desc.name
+                                              << "' lacks limb "
+                                              << desc.prime);
+        return isa::Limb{desc.prime, p.limb(pos)};
+      }
+      case DataDescriptor::Kind::Plain: {
+        std::ostringstream key;
+        key << desc.name << ':' << desc.level << ':' << desc.scale;
+        auto cached = plain_cache_.find(key.str());
+        if (cached == plain_cache_.end()) {
+            auto it = plains_.find(desc.name);
+            CINN_FATAL_UNLESS(it != plains_.end(),
+                              "unbound plaintext '" << desc.name << "'");
+            auto poly = encoder_->encode(it->second, desc.level,
+                                         desc.scale);
+            poly.toEval();
+            cached = plain_cache_.emplace(key.str(), std::move(poly))
+                         .first;
+        }
+        int pos = cached->second.findPrime(desc.prime);
+        CINN_ASSERT(pos >= 0, "plaintext limb missing");
+        return isa::Limb{desc.prime, cached->second.limb(pos)};
+      }
+      case DataDescriptor::Kind::EvalKey: {
+        const fhe::EvalKey &evk = evalKeyFor(desc);
+        CINN_ASSERT(desc.digit < evk.parts.size(),
+                    "evaluation key digit out of range");
+        const rns::RnsPoly &p = desc.poly == 0
+                                    ? evk.parts[desc.digit].first
+                                    : evk.parts[desc.digit].second;
+        int pos = p.findPrime(desc.prime);
+        CINN_ASSERT(pos >= 0, "evaluation key limb missing");
+        return isa::Limb{desc.prime, p.limb(pos)};
+      }
+      case DataDescriptor::Kind::Output:
+        panic("outputs are not materialized as inputs");
+    }
+    panic("unreachable");
+}
+
+std::map<std::string, fhe::Ciphertext>
+ProgramRuntime::run(const CompiledProgram &program)
+{
+    const std::size_t chips = program.machine.numChips();
+    isa::Emulator emu(*ctx_, chips);
+
+    // Materialize exactly the addresses each chip loads.
+    for (std::size_t c = 0; c < chips; ++c) {
+        for (const auto &ins : program.machine.chips[c].instrs) {
+            if (ins.op != isa::Opcode::Load)
+                continue;
+            auto it = program.data.find(ins.imm);
+            if (it == program.data.end())
+                continue; // spill slot, produced by a Store at run time
+            if (emu.memory(c).count(ins.imm))
+                continue;
+            emu.memory(c).emplace(ins.imm, materialize(it->second));
+        }
+    }
+
+    emu.run(program.machine);
+    last_stats_ = emu.stats();
+
+    // Collect outputs from the owner chips' memories.
+    std::map<std::string, fhe::Ciphertext> outputs;
+    for (const auto &[name, info] : program.outputs) {
+        const rns::Basis basis = ctx_->ciphertextBasis(info.level);
+        fhe::Ciphertext ct;
+        ct.level = info.level;
+        ct.scale = info.scale;
+        for (int poly = 0; poly < 2; ++poly) {
+            rns::RnsPoly p(ctx_->rns(), basis, rns::Domain::Eval);
+            for (std::size_t i = 0; i <= info.level; ++i) {
+                const uint32_t chip = info.owners[i];
+                auto it = emu.memory(chip).find(info.addrs[poly][i]);
+                CINN_ASSERT(it != emu.memory(chip).end(),
+                            "output limb was never stored");
+                p.limb(i) = it->second.data;
+            }
+            (poly == 0 ? ct.c0 : ct.c1) = std::move(p);
+        }
+        outputs.emplace(name, std::move(ct));
+    }
+    return outputs;
+}
+
+} // namespace cinnamon::compiler

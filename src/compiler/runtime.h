@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Execution runtime for compiled programs.
+ *
+ * The runtime materializes every DataDescriptor of a CompiledProgram
+ * into the ISA emulator's per-chip memories — input ciphertext limbs,
+ * encoded plaintext limbs, and evaluation-key limbs (generating the
+ * exact key material each keyswitch variant expects, including
+ * chip-digit-partition keys for output-aggregation batches) — then
+ * runs the program and reassembles the named outputs into ordinary
+ * Ciphertexts. It is the bridge that lets compiled instruction
+ * streams be validated against the fhe/ reference implementation
+ * (Section 6.2's correctness methodology).
+ */
+
+#ifndef CINNAMON_COMPILER_RUNTIME_H_
+#define CINNAMON_COMPILER_RUNTIME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/compiled.h"
+#include "fhe/ciphertext.h"
+#include "fhe/encoder.h"
+#include "fhe/keys.h"
+#include "isa/emulator.h"
+
+namespace cinnamon::compiler {
+
+/** Binds program inputs and executes compiled programs. */
+class ProgramRuntime
+{
+  public:
+    ProgramRuntime(const fhe::CkksContext &ctx,
+                   const fhe::Encoder &encoder, fhe::KeyGenerator &keygen,
+                   const fhe::SecretKey &sk)
+        : ctx_(&ctx), encoder_(&encoder), keygen_(&keygen), sk_(&sk)
+    {
+    }
+
+    /** Bind an encrypted input by name. */
+    void bindInput(const std::string &name, const fhe::Ciphertext &ct);
+
+    /** Bind a plaintext slot vector by name (encoded on demand). */
+    void bindPlain(const std::string &name,
+                   std::vector<fhe::Cplx> values);
+
+    /**
+     * Execute a compiled program on the ISA emulator.
+     *
+     * @return the named output ciphertexts.
+     */
+    std::map<std::string, fhe::Ciphertext>
+    run(const CompiledProgram &program);
+
+    /** Emulator statistics from the last run. */
+    const isa::EmulatorStats &lastStats() const { return last_stats_; }
+
+  private:
+    /** Produce the limb a descriptor names. */
+    isa::Limb materialize(const DataDescriptor &desc);
+
+    /** Fetch or create the evaluation key a descriptor names. */
+    const fhe::EvalKey &evalKeyFor(const DataDescriptor &desc);
+
+    const fhe::CkksContext *ctx_;
+    const fhe::Encoder *encoder_;
+    fhe::KeyGenerator *keygen_;
+    const fhe::SecretKey *sk_;
+
+    std::map<std::string, fhe::Ciphertext> inputs_;
+    std::map<std::string, std::vector<fhe::Cplx>> plains_;
+    std::map<std::string, fhe::EvalKey> key_cache_;
+    std::map<std::string, rns::RnsPoly> plain_cache_;
+    isa::EmulatorStats last_stats_;
+};
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_RUNTIME_H_

@@ -1,0 +1,230 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cinnamon::cost {
+
+namespace {
+
+// Calibration constants derived from Table 1 (22 nm synthesis).
+constexpr double kNttArea = 34.08;       // per unit at 1024 lanes
+constexpr double kTransposeArea = 3.56;
+constexpr double kRotationArea = 2.48;
+constexpr double kAddArea = 0.4;
+constexpr double kMulArea = 2.55;
+constexpr double kPrngArea = 5.72;
+constexpr double kBarrettArea = 1.04;
+constexpr double kRnsResolveArea = 1.33;
+constexpr double kBcuLogicArea = 14.12;  // 512 lanes, 13 inputs
+// Residual to make the functional-unit subtotal match the published
+// 82.55 mm² row (clock/control/intra-cluster interconnect).
+constexpr double kFuOtherArea = 8.60;
+constexpr double kBcuSramPerMb = 11.44 / 2.85;
+constexpr double kRfSramPerMb = 80.9 / 56.0;
+constexpr double kHbmPhyArea = 38.64 / 4.0;
+constexpr double kNetPhyArea = 9.66 / 2.0;
+constexpr double kBcuBufferMbBase = 2.85; // 512 lanes, 13 inputs
+// Section 4.7: the output-buffered (CraterLake-style) design needs
+// 15K multipliers and 3.31 MB per cluster vs 1.6K and 0.71 MB.
+constexpr double kObLogicFactor = 15000.0 / 1600.0;
+constexpr double kObBufferFactor = 3.31 / 0.71;
+
+} // namespace
+
+double
+AreaBreakdown::total() const
+{
+    double t = 0.0;
+    for (const auto &[name, area] : components)
+        t += area;
+    return t;
+}
+
+ChipSpec
+ChipSpec::cinnamon()
+{
+    return ChipSpec{};
+}
+
+ChipSpec
+ChipSpec::cinnamonM()
+{
+    ChipSpec s;
+    s.clusters = 8;
+    s.register_file_mb = 224.0;
+    s.ntt_units = 2;
+    s.transpose_units = 2;
+    s.add_units = 5;
+    s.mul_units = 5;
+    s.bconv_max_inputs = 32;
+    return s;
+}
+
+BcuResources
+bcuResources(const ChipSpec &spec)
+{
+    const double lane_scale =
+        static_cast<double>(spec.clusters *
+                            spec.bconv_lanes_per_cluster) /
+        512.0;
+    const double input_scale =
+        static_cast<double>(spec.bconv_max_inputs) / 13.0;
+    // Per-cluster scaling relative to the reference cluster
+    // (128 BCU lanes, 13 limb buffers): 1.6K multipliers, 0.71 MB.
+    const double cluster_scale =
+        static_cast<double>(spec.bconv_lanes_per_cluster) / 128.0 *
+        input_scale;
+    BcuResources r;
+    double mults = 1600.0 * cluster_scale;
+    double buffer_mb = (kBcuBufferMbBase / 4.0) * cluster_scale;
+    if (spec.output_buffered_bcu) {
+        mults *= kObLogicFactor;
+        buffer_mb *= kObBufferFactor;
+    }
+    r.multipliers_per_cluster = static_cast<std::size_t>(mults);
+    r.buffer_mb_per_cluster = buffer_mb;
+    r.area_mm2 = kBcuLogicArea * lane_scale * input_scale *
+                     (spec.output_buffered_bcu ? kObLogicFactor : 1.0) +
+                 kBcuSramPerMb * kBcuBufferMbBase * lane_scale *
+                     input_scale *
+                     (spec.output_buffered_bcu ? kObBufferFactor : 1.0);
+    return r;
+}
+
+AreaBreakdown
+chipArea(const ChipSpec &spec)
+{
+    const double lane_scale =
+        static_cast<double>(spec.clusters * spec.lanes_per_cluster) /
+        1024.0;
+    const double bconv_scale =
+        static_cast<double>(spec.clusters *
+                            spec.bconv_lanes_per_cluster) /
+        512.0;
+    const double input_scale =
+        static_cast<double>(spec.bconv_max_inputs) / 13.0;
+    const double ob_logic =
+        spec.output_buffered_bcu ? kObLogicFactor : 1.0;
+    const double ob_buf =
+        spec.output_buffered_bcu ? kObBufferFactor : 1.0;
+
+    AreaBreakdown a;
+    a.components["ntt"] = spec.ntt_units * kNttArea * lane_scale;
+    a.components["transpose"] =
+        spec.transpose_units * kTransposeArea * lane_scale;
+    a.components["rotation"] = kRotationArea * lane_scale;
+    a.components["add"] = spec.add_units * kAddArea * lane_scale;
+    a.components["multiply"] = spec.mul_units * kMulArea * lane_scale;
+    a.components["prng"] = spec.prng_units * kPrngArea * lane_scale;
+    a.components["barrett"] = kBarrettArea * lane_scale;
+    a.components["rns_resolve"] = kRnsResolveArea * lane_scale;
+    a.components["fu_other"] = kFuOtherArea * lane_scale;
+    a.components["bcu_logic"] =
+        kBcuLogicArea * bconv_scale * input_scale * ob_logic;
+    const double bcu_mb =
+        kBcuBufferMbBase * bconv_scale * input_scale * ob_buf;
+    a.components["bcu_buffers"] = kBcuSramPerMb * bcu_mb;
+    a.components["register_file"] =
+        kRfSramPerMb * spec.register_file_mb;
+    a.components["hbm_phy"] = spec.hbm_phys * kHbmPhyArea;
+    a.components["net_phy"] = spec.net_phys * kNetPhyArea;
+    return a;
+}
+
+double
+chipPowerWatts(const ChipSpec &spec)
+{
+    // Power densities (W/mm² at 22 nm, 1 GHz) by component class,
+    // calibrated so the standard chip dissipates the published 190 W:
+    // logic switches hardest, SRAM is mostly leakage + access energy,
+    // PHYs are I/O-dominated.
+    constexpr double kLogicWPerMm2 = 1.474;
+    constexpr double kSramWPerMm2 = 0.35;
+    constexpr double kPhyWPerMm2 = 0.75;
+
+    const auto area = chipArea(spec);
+    double watts = 0.0;
+    for (const auto &[name, mm2] : area.components) {
+        if (name == "register_file" || name == "bcu_buffers")
+            watts += kSramWPerMm2 * mm2;
+        else if (name == "hbm_phy" || name == "net_phy")
+            watts += kPhyWPerMm2 * mm2;
+        else
+            watts += kLogicWPerMm2 * mm2;
+    }
+    return watts;
+}
+
+double
+dieYield(double area_mm2, double defect_density_cm2, double alpha)
+{
+    CINN_ASSERT(area_mm2 > 0, "die area must be positive");
+    const double area_cm2 = area_mm2 / 100.0;
+    return std::pow(1.0 + area_cm2 * defect_density_cm2 / alpha,
+                    -alpha);
+}
+
+double
+diesPerWafer(double area_mm2, double wafer_diameter_mm)
+{
+    const double r = wafer_diameter_mm / 2.0;
+    const double usable = M_PI * r * r / area_mm2;
+    const double edge = M_PI * wafer_diameter_mm /
+                        std::sqrt(2.0 * area_mm2);
+    return std::max(0.0, usable - edge);
+}
+
+double
+yieldNormalizedCost(const ProcessSpec &spec)
+{
+    const double y = dieYield(spec.die_area_mm2,
+                              spec.defect_density_cm2, spec.alpha);
+    return spec.die_area_mm2 * spec.wafer_price_per_mm2 / y;
+}
+
+std::vector<CostRow>
+table3Rows()
+{
+    struct Entry
+    {
+        const char *name;
+        double area;
+        const char *process;
+        double price;
+    };
+    const Entry entries[] = {
+        {"ARK", 418.3, "7nm", 57500.0},
+        {"CiFHER", 47.08, "7nm", 57500.0},
+        {"CraterLake", 472.0, "14nm", 23000.0},
+        {"Cinnamon-M", 719.78, "22nm", 10500.0},
+        {"Cinnamon", 223.18, "22nm", 10500.0},
+    };
+    std::vector<CostRow> rows;
+    for (const auto &e : entries) {
+        CostRow row;
+        row.accelerator = e.name;
+        row.die_area_mm2 = e.area;
+        row.process = e.process;
+        row.yield = dieYield(e.area);
+        row.wafer_price_per_mm2 = e.price;
+        ProcessSpec ps;
+        ps.name = e.name;
+        ps.die_area_mm2 = e.area;
+        ps.wafer_price_per_mm2 = e.price;
+        row.cost_dollars = yieldNormalizedCost(ps);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+perfPerDollar(double time_s, double cost_dollars, double base_time_s,
+              double base_cost_dollars)
+{
+    CINN_ASSERT(time_s > 0 && cost_dollars > 0, "invalid perf/cost");
+    return (base_time_s * base_cost_dollars) / (time_s * cost_dollars);
+}
+
+} // namespace cinnamon::cost

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Area, power, yield, and cost models (Sections 5, 7.2; Tables 1, 3).
+ *
+ * The paper obtains component areas from RTL synthesis on a
+ * commercial 22 nm PDK plus an SRAM compiler. We cannot run a
+ * proprietary PDK, so this model encodes the published Table 1
+ * component areas together with scaling rules (SRAM mm²/MB, per-lane
+ * multiplier counts) so that configuration changes — the monolithic
+ * Cinnamon-M chip, the space-optimized vs. output-buffered BCU —
+ * reproduce the paper's deltas.
+ *
+ * Yield uses the negative-binomial model of Stow et al. with the
+ * paper's optimistic parameters (defect density D0 = 0.2 cm⁻²,
+ * clustering α = 3) on a 300 mm wafer, and wafer $/mm² per process
+ * node from Table 3.
+ */
+
+#ifndef CINNAMON_COST_COST_MODEL_H_
+#define CINNAMON_COST_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cinnamon::cost {
+
+/** Per-component area of one chip configuration, mm² at 22 nm. */
+struct AreaBreakdown
+{
+    std::map<std::string, double> components;
+
+    double total() const;
+};
+
+/** Chip-level knobs the area model understands. */
+struct ChipSpec
+{
+    std::size_t clusters = 4;
+    std::size_t lanes_per_cluster = 256;
+    std::size_t bconv_lanes_per_cluster = 128; ///< Section 4.7
+    std::size_t bconv_max_inputs = 13;         ///< BCU limb buffers
+    double register_file_mb = 56.0;
+    std::size_t ntt_units = 1;
+    std::size_t transpose_units = 1;
+    std::size_t add_units = 2;
+    std::size_t mul_units = 2;
+    std::size_t prng_units = 2;
+    std::size_t hbm_phys = 4;
+    std::size_t net_phys = 2;
+    /** Output-buffered (CraterLake-style) BCU instead of Cinnamon's. */
+    bool output_buffered_bcu = false;
+
+    static ChipSpec cinnamon();
+    static ChipSpec cinnamonM();
+};
+
+/** Compute the Table 1 breakdown for a chip spec. */
+AreaBreakdown chipArea(const ChipSpec &spec);
+
+/**
+ * Chip power estimate in watts (Section 5: 223 mm² chip = 190 W at
+ * 1 GHz). Modeled as power densities per component class — switching
+ * logic, SRAM, and PHY — calibrated to the published total.
+ */
+double chipPowerWatts(const ChipSpec &spec);
+
+/**
+ * BCU resource counts (Section 4.7's comparison: 15K → 1.6K
+ * multipliers, 3.31 MB → 0.71 MB of buffers per cluster).
+ */
+struct BcuResources
+{
+    std::size_t multipliers_per_cluster = 0;
+    double buffer_mb_per_cluster = 0.0;
+    double area_mm2 = 0.0;
+};
+
+BcuResources bcuResources(const ChipSpec &spec);
+
+/** Manufacturing/process description for one accelerator (Table 3). */
+struct ProcessSpec
+{
+    std::string name;
+    double die_area_mm2 = 0.0;
+    double wafer_price_per_mm2 = 0.0; ///< $/mm² of *die* area basis
+    double defect_density_cm2 = 0.2;
+    double alpha = 3.0;
+};
+
+/** Negative-binomial die yield (Stow et al.). */
+double dieYield(double area_mm2, double defect_density_cm2 = 0.2,
+                double alpha = 3.0);
+
+/** Gross dies per 300 mm wafer for a die area. */
+double diesPerWafer(double area_mm2, double wafer_diameter_mm = 300.0);
+
+/** Yield-normalized cost of one good die, dollars. */
+double yieldNormalizedCost(const ProcessSpec &spec);
+
+/** One row of Table 3. */
+struct CostRow
+{
+    std::string accelerator;
+    double die_area_mm2 = 0.0;
+    std::string process;
+    double yield = 0.0;
+    double wafer_price_per_mm2 = 0.0;
+    double cost_dollars = 0.0; ///< per good die, yield-normalized
+};
+
+/** The Table 3 rows (paper die areas and process prices). */
+std::vector<CostRow> table3Rows();
+
+/**
+ * Performance-per-dollar relative to a baseline:
+ * (1/time)/cost normalized so the baseline is 1.0.
+ */
+double perfPerDollar(double time_s, double cost_dollars,
+                     double base_time_s, double base_cost_dollars);
+
+} // namespace cinnamon::cost
+
+#endif // CINNAMON_COST_COST_MODEL_H_

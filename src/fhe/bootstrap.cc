@@ -1,0 +1,213 @@
+#include "fhe/bootstrap.h"
+
+#include <cmath>
+#include <functional>
+
+namespace cinnamon::fhe {
+
+namespace {
+
+/** Build the matrix of a linear map from its action on unit vectors. */
+std::vector<std::vector<Cplx>>
+matrixOf(std::size_t dim,
+         const std::function<std::vector<Cplx>(std::vector<Cplx>)> &map)
+{
+    std::vector<std::vector<Cplx>> m(dim, std::vector<Cplx>(dim));
+    for (std::size_t c = 0; c < dim; ++c) {
+        std::vector<Cplx> e(dim, Cplx(0, 0));
+        e[c] = Cplx(1, 0);
+        auto col = map(e);
+        for (std::size_t r = 0; r < dim; ++r)
+            m[r][c] = col[r];
+    }
+    return m;
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(const CkksContext &ctx, const Encoder &encoder,
+                           const Evaluator &eval, KeyGenerator &keygen,
+                           const SecretKey &sk, BootstrapConfig config)
+    : ctx_(&ctx), encoder_(&encoder), eval_(&eval), config_(config)
+{
+    const std::size_t slots = ctx.slots();
+    // Fold Δ/q0 (the rescale from the raised plaintext t = Δm + q0·I
+    // to x = t/q0) and the 1/2^{r+1} pre-division for the squaring
+    // chain into the CoeffToSlot matrix, so the ciphertext scale stays
+    // at Δ throughout the pipeline.
+    const double down = ctx.params().scale /
+                        static_cast<double>(ctx.q(0)) *
+                        std::ldexp(1.0, -(config_.squarings + 1));
+
+    auto vinv = matrixOf(slots, [&](std::vector<Cplx> v) {
+        return encoder.embedInverse(std::move(v));
+    });
+    for (auto &row : vinv) {
+        for (auto &x : row)
+            x *= down;
+    }
+    c2s_diags_ = diagonalsOf(vinv);
+
+    auto vfwd = matrixOf(slots, [&](std::vector<Cplx> v) {
+        return encoder.embedForward(std::move(v));
+    });
+    s2c_diags_ = diagonalsOf(vfwd);
+
+    // Keys: relinearization plus every BSGS rotation and conjugation.
+    relin_ = keygen.relinKey(sk);
+    auto rots = bsgsRotations(c2s_diags_, config_.bsgs_g);
+    auto rots2 = bsgsRotations(s2c_diags_, config_.bsgs_g);
+    rots.insert(rots.end(), rots2.begin(), rots2.end());
+    gks_ = keygen.galoisKeys(sk, rots, /*include_conjugation=*/true);
+}
+
+Ciphertext
+Bootstrapper::modRaise(const Ciphertext &ct) const
+{
+    Ciphertext low = eval_->dropToLevel(ct, 0);
+    rns::RnsPoly c0 = low.c0;
+    rns::RnsPoly c1 = low.c1;
+    c0.toCoeff();
+    c1.toCoeff();
+
+    const rns::Basis full = ctx_->ciphertextBasis(ctx_->maxLevel());
+    const rns::Modulus &q0 = ctx_->rns().modulus(0);
+    auto lift = [&](const rns::RnsPoly &p) {
+        rns::RnsPoly out(ctx_->rns(), full, rns::Domain::Coeff);
+        for (std::size_t i = 0; i < full.size(); ++i) {
+            const rns::Modulus &qi = ctx_->rns().modulus(full[i]);
+            for (std::size_t j = 0; j < ctx_->n(); ++j)
+                out.limb(i)[j] = qi.fromSigned(q0.toSigned(p.limb(0)[j]));
+        }
+        out.toEval();
+        return out;
+    };
+    // The raised plaintext is t = Δm + q0·I; the scale stays at Δ and
+    // CoeffToSlot's matrix carries the Δ/q0 correction.
+    return Ciphertext{lift(c0), lift(c1), ctx_->maxLevel(), low.scale};
+}
+
+Ciphertext
+Bootstrapper::coeffToSlot(const Ciphertext &ct, bool imag_part) const
+{
+    // w has slots x / 2^{r+1} in complex-paired form.
+    Ciphertext w = applyLinearTransform(*eval_, *encoder_, ct, c2s_diags_,
+                                        gks_, config_.bsgs_g);
+    w = eval_->rescale(w);
+    Ciphertext wc = eval_->conjugate(w, gks_);
+    ++stats_.conjugations;
+    // Re: w + conj(w) = x_lo / 2^r.  Im: w - conj(w) = i·x_hi / 2^r.
+    return imag_part ? eval_->sub(w, wc) : eval_->add(w, wc);
+}
+
+Ciphertext
+Bootstrapper::evalMod(const Ciphertext &ct, bool imag_input) const
+{
+    // Input slots hold y = x/2^r (real path) or i·x/2^r (imag path).
+    // Either way exp(beta·y)^{2^r} = exp(2πi·x) when beta is 2πi on
+    // the real path and 2π on the imaginary path; choosing beta by
+    // path avoids an explicit multiplication by -i (one level saved).
+    const int d = config_.taylor_degree;
+    const Cplx beta = imag_input ? Cplx(2.0 * M_PI, 0.0)
+                                 : Cplx(0.0, 2.0 * M_PI);
+
+    std::vector<Cplx> coeff(d + 1);
+    Cplx bk(1.0, 0.0);
+    double fact = 1.0;
+    for (int k = 0; k <= d; ++k) {
+        coeff[k] = bk / fact;
+        bk *= beta;
+        fact *= (k + 1);
+    }
+
+    // Horner: acc = c_d; acc = acc*y + c_{k}.
+    Ciphertext y = ct;
+    auto cd = encoder_->encodeConstant(coeff[d], y.level);
+    Ciphertext acc = eval_->mulPlain(y, cd, ctx_->params().scale);
+    acc = eval_->rescale(acc);
+    ++stats_.multiplications;
+    auto cdm1 = encoder_->encodeConstant(coeff[d - 1], acc.level,
+                                         acc.scale);
+    acc = eval_->addPlain(acc, cdm1, acc.scale);
+    for (int k = d - 2; k >= 0; --k) {
+        Ciphertext yk = eval_->dropToLevel(y, acc.level);
+        acc = eval_->rescale(eval_->mul(acc, yk, relin_));
+        ++stats_.multiplications;
+        auto ck = encoder_->encodeConstant(coeff[k], acc.level, acc.scale);
+        acc = eval_->addPlain(acc, ck, acc.scale);
+    }
+
+    // Repeated squaring: e ← e^2, r times.
+    for (int r = 0; r < config_.squarings; ++r) {
+        acc = eval_->rescale(eval_->mul(acc, acc, relin_));
+        ++stats_.multiplications;
+    }
+    return acc;
+}
+
+Ciphertext
+Bootstrapper::slotToCoeff(const Ciphertext &re, const Ciphertext &im) const
+{
+    Ciphertext combined = eval_->add(re, im);
+    Ciphertext out = applyLinearTransform(*eval_, *encoder_, combined,
+                                          s2c_diags_, gks_, config_.bsgs_g);
+    return eval_->rescale(out);
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext &ct) const
+{
+    stats_ = BootstrapStats{};
+    const double input_scale = ct.scale;
+    const uint64_t q0 = ctx_->q(0);
+
+    Ciphertext raised = modRaise(ct);
+    const std::size_t start_level = raised.level;
+
+    Ciphertext y_re = coeffToSlot(raised, /*imag_part=*/false);
+    Ciphertext y_im = coeffToSlot(raised, /*imag_part=*/true);
+
+    Ciphertext e_re = evalMod(y_re, /*imag_input=*/false);
+    Ciphertext e_im = evalMod(y_im, /*imag_input=*/true);
+
+    // sin(2πx) = (e - conj(e)) / 2i; desired slot value is
+    // (q0/Δ)·sin(2πx)/(2π) ≈ m's coefficient pairs. The imaginary
+    // path additionally multiplies by i so slotToCoeff's single add
+    // reconstructs u_re + i·u_im.
+    auto finish = [&](const Ciphertext &e, bool imag) {
+        Ciphertext s = eval_->sub(e, eval_->conjugate(e, gks_));
+        ++stats_.conjugations;
+        const double factor = static_cast<double>(q0) / input_scale;
+        Cplx kappa = Cplx(0, -1.0 / (4.0 * M_PI)) * factor;
+        if (imag)
+            kappa *= Cplx(0, 1);
+        auto plain = encoder_->encodeConstant(kappa, s.level);
+        Ciphertext out = eval_->mulPlain(s, plain, ctx_->params().scale);
+        ++stats_.multiplications;
+        return eval_->rescale(out);
+    };
+    Ciphertext u_re = finish(e_re, false);
+    Ciphertext u_im = finish(e_im, true);
+
+    Ciphertext out = slotToCoeff(u_re, u_im);
+    stats_.levels_consumed = start_level - out.level;
+    // Rotation count: both transforms run BSGS over their diagonals.
+    const auto count_lt = [&](const Diagonals &d) {
+        std::size_t giants = 0;
+        std::size_t babies = std::min<std::size_t>(config_.bsgs_g - 1,
+                                                   d.size());
+        int last = -1;
+        for (const auto &[k, v] : d) {
+            (void)v;
+            int g = k / static_cast<int>(config_.bsgs_g);
+            if (g != last && g != 0)
+                ++giants;
+            last = g;
+        }
+        return babies + giants;
+    };
+    stats_.rotations = 2 * count_lt(c2s_diags_) + count_lt(s2c_diags_);
+    return out;
+}
+
+} // namespace cinnamon::fhe

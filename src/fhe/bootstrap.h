@@ -1,0 +1,101 @@
+/**
+ * @file
+ * CKKS bootstrapping (Section 2, "Bootstrapping").
+ *
+ * Bootstrapping refreshes a ciphertext's multiplicative budget. The
+ * pipeline follows Cheon et al. / Han-Ki:
+ *
+ *  1. ModRaise — reinterpret the exhausted ciphertext (level 0) over
+ *     the full prime chain; the plaintext becomes t = Δm + q0·I for a
+ *     small integer polynomial I.
+ *  2. CoeffToSlot — a homomorphic linear transform (V^{-1} via BSGS)
+ *     that moves coefficients into slots, split into real and
+ *     imaginary parts with one conjugation.
+ *  3. EvalMod — evaluate x ↦ (1/2π)·sin(2πx) ≈ x mod 1 on x = t/q0
+ *     using a degree-d Taylor expansion of exp(2πi·x/2^r) followed by
+ *     r repeated squarings; the sine is (e - conj(e)) / 2i.
+ *  4. SlotToCoeff — the inverse transform (V) back to coefficients.
+ *
+ * The bootstrap consumes a fixed number of levels and returns a
+ * ciphertext at a higher level than it entered with, exactly the
+ * budget-refresh contract the paper's benchmarks rely on. The
+ * homomorphic structure (two linear transforms full of rotations plus
+ * a polynomial evaluation full of multiplies) is also what the
+ * workload generators in src/workloads count when they emit
+ * paper-scale instruction streams.
+ */
+
+#ifndef CINNAMON_FHE_BOOTSTRAP_H_
+#define CINNAMON_FHE_BOOTSTRAP_H_
+
+#include <memory>
+
+#include "fhe/linear.h"
+
+namespace cinnamon::fhe {
+
+/** Tunable bootstrap knobs. */
+struct BootstrapConfig
+{
+    std::size_t bsgs_g = 12;  ///< BSGS baby-step count for C2S/S2C
+    int taylor_degree = 11;   ///< exp Taylor degree
+    int squarings = 7;        ///< r: halvings before / squarings after
+};
+
+/** Counters describing one bootstrap invocation. */
+struct BootstrapStats
+{
+    std::size_t rotations = 0;
+    std::size_t multiplications = 0;
+    std::size_t conjugations = 0;
+    std::size_t levels_consumed = 0;
+};
+
+/**
+ * Precomputes transform diagonals and key material, then bootstraps
+ * ciphertexts. One instance is reusable for any number of bootstraps.
+ */
+class Bootstrapper
+{
+  public:
+    /**
+     * @param keygen used to derive the rotation/conjugation keys the
+     *        transforms need; the secret key is only used to generate
+     *        evaluation keys (as a real deployment's client would).
+     */
+    Bootstrapper(const CkksContext &ctx, const Encoder &encoder,
+                 const Evaluator &eval, KeyGenerator &keygen,
+                 const SecretKey &sk, BootstrapConfig config = {});
+
+    /**
+     * Refresh `ct` (any level; only its level-0 content is used) to a
+     * high-level ciphertext encrypting the same slots.
+     */
+    Ciphertext bootstrap(const Ciphertext &ct) const;
+
+    /** Raise a level-0 ciphertext to the top of the chain (step 1). */
+    Ciphertext modRaise(const Ciphertext &ct) const;
+
+    const BootstrapStats &lastStats() const { return stats_; }
+    const BootstrapConfig &config() const { return config_; }
+
+  private:
+    Ciphertext coeffToSlot(const Ciphertext &ct, bool imag_part) const;
+    Ciphertext evalMod(const Ciphertext &ct, bool imag_input) const;
+    Ciphertext slotToCoeff(const Ciphertext &re,
+                           const Ciphertext &im) const;
+
+    const CkksContext *ctx_;
+    const Encoder *encoder_;
+    const Evaluator *eval_;
+    BootstrapConfig config_;
+    EvalKey relin_;
+    GaloisKeys gks_;
+    Diagonals c2s_diags_; ///< V^{-1} / 2^{r+1}
+    Diagonals s2c_diags_; ///< V
+    mutable BootstrapStats stats_;
+};
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_BOOTSTRAP_H_

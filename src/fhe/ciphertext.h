@@ -1,0 +1,33 @@
+/**
+ * @file
+ * A CKKS ciphertext: two RNS polynomials plus scale/level metadata.
+ *
+ * Decryption computes c0 + c1 * s ≈ Δ * m over the level's prime
+ * chain. The level is the ciphertext's remaining multiplicative
+ * budget (Section 2, "Multiplicative Budget"): each rescale after a
+ * multiplication drops one prime from the basis.
+ */
+
+#ifndef CINNAMON_FHE_CIPHERTEXT_H_
+#define CINNAMON_FHE_CIPHERTEXT_H_
+
+#include <cstddef>
+
+#include "rns/poly.h"
+
+namespace cinnamon::fhe {
+
+/** A two-polynomial CKKS ciphertext. Polynomials live in Eval domain. */
+struct Ciphertext
+{
+    rns::RnsPoly c0;
+    rns::RnsPoly c1;
+    std::size_t level = 0;
+    double scale = 0.0;
+
+    bool valid() const { return c0.valid() && c1.valid(); }
+};
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_CIPHERTEXT_H_

@@ -1,0 +1,201 @@
+#include "fhe/encoder.h"
+
+#include <cmath>
+
+#include "common/bigint.h"
+#include "common/logging.h"
+
+namespace cinnamon::fhe {
+
+namespace {
+
+void
+arrayBitReverse(std::vector<Cplx> &vals)
+{
+    const std::size_t size = vals.size();
+    for (std::size_t i = 1, j = 0; i < size; ++i) {
+        std::size_t bit = size >> 1;
+        for (; j >= bit; bit >>= 1)
+            j -= bit;
+        j += bit;
+        if (i < j)
+            std::swap(vals[i], vals[j]);
+    }
+}
+
+} // namespace
+
+Encoder::Encoder(const CkksContext &ctx) : ctx_(&ctx), slots_(ctx.n() / 2)
+{
+    const std::size_t two_n = 2 * ctx.n();
+    rot_group_.resize(slots_);
+    uint64_t g = 1;
+    for (std::size_t i = 0; i < slots_; ++i) {
+        rot_group_[i] = static_cast<uint32_t>(g);
+        g = (g * 5) % two_n;
+    }
+    ksi_pows_.resize(two_n + 1);
+    for (std::size_t j = 0; j <= two_n; ++j) {
+        const double angle = 2.0 * M_PI * j / static_cast<double>(two_n);
+        ksi_pows_[j] = Cplx(std::cos(angle), std::sin(angle));
+    }
+}
+
+void
+Encoder::fftSpecial(std::vector<Cplx> &vals) const
+{
+    const std::size_t size = vals.size();
+    const std::size_t m = 2 * ctx_->n();
+    arrayBitReverse(vals);
+    for (std::size_t len = 2; len <= size; len <<= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            const std::size_t lenh = len >> 1;
+            const std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                const std::size_t idx = (rot_group_[j] % lenq) * (m / lenq);
+                Cplx u = vals[i + j];
+                Cplx v = vals[i + j + lenh] * ksi_pows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+Encoder::fftSpecialInv(std::vector<Cplx> &vals) const
+{
+    const std::size_t size = vals.size();
+    const std::size_t m = 2 * ctx_->n();
+    for (std::size_t len = size; len >= 2; len >>= 1) {
+        for (std::size_t i = 0; i < size; i += len) {
+            const std::size_t lenh = len >> 1;
+            const std::size_t lenq = len << 2;
+            for (std::size_t j = 0; j < lenh; ++j) {
+                const std::size_t idx =
+                    (lenq - (rot_group_[j] % lenq)) * (m / lenq);
+                Cplx u = vals[i + j] + vals[i + j + lenh];
+                Cplx v = (vals[i + j] - vals[i + j + lenh]) * ksi_pows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    arrayBitReverse(vals);
+    for (auto &v : vals)
+        v /= static_cast<double>(size);
+}
+
+std::vector<Cplx>
+Encoder::embedForward(std::vector<Cplx> vals) const
+{
+    CINN_ASSERT(vals.size() == slots_, "embed expects a full slot vector");
+    fftSpecial(vals);
+    return vals;
+}
+
+std::vector<Cplx>
+Encoder::embedInverse(std::vector<Cplx> vals) const
+{
+    CINN_ASSERT(vals.size() == slots_, "embed expects a full slot vector");
+    fftSpecialInv(vals);
+    return vals;
+}
+
+rns::RnsPoly
+Encoder::encode(const std::vector<Cplx> &values, std::size_t level,
+                double scale) const
+{
+    if (scale == 0.0)
+        scale = ctx_->params().scale;
+    CINN_ASSERT(values.size() <= slots_, "too many slot values");
+
+    std::vector<Cplx> u(slots_, Cplx(0, 0));
+    std::copy(values.begin(), values.end(), u.begin());
+    fftSpecialInv(u);
+
+    const std::size_t n = ctx_->n();
+    const rns::Basis basis = ctx_->ciphertextBasis(level);
+    rns::RnsPoly out(ctx_->rns(), basis, rns::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+        auto &limb = out.limb(i);
+        for (std::size_t j = 0; j < slots_; ++j) {
+            const double re = u[j].real() * scale;
+            const double im = u[j].imag() * scale;
+            CINN_ASSERT(std::abs(re) < std::ldexp(1.0, 62) &&
+                            std::abs(im) < std::ldexp(1.0, 62),
+                        "encoded coefficient exceeds 62 bits; "
+                        "reduce the scale or input magnitude");
+            limb[j] = mod.fromSigned(static_cast<int64_t>(std::llround(re)));
+            limb[j + n / 2] =
+                mod.fromSigned(static_cast<int64_t>(std::llround(im)));
+        }
+    }
+    return out;
+}
+
+rns::RnsPoly
+Encoder::encodeConstant(Cplx value, std::size_t level, double scale) const
+{
+    return encode(std::vector<Cplx>(slots_, value), level, scale);
+}
+
+std::vector<Cplx>
+Encoder::decode(const rns::RnsPoly &plain, double scale) const
+{
+    CINN_ASSERT(plain.domain() == rns::Domain::Coeff,
+                "decode requires the coefficient domain");
+    const std::size_t n = ctx_->n();
+    const std::size_t ell = plain.numLimbs();
+
+    // Exact CRT composition: x = sum_j y_j * Qhat_j mod Q, centered.
+    // y_j = x_j * (Q/q_j)^{-1} mod q_j.
+    std::vector<uint64_t> qhat_inv(ell);
+    std::vector<BigUInt> qhat(ell);
+    BigUInt q_total(1);
+    for (std::size_t j = 0; j < ell; ++j) {
+        const rns::Modulus &qj = plain.limbModulus(j);
+        uint64_t prod = 1;
+        BigUInt big(1);
+        for (std::size_t k = 0; k < ell; ++k) {
+            if (k == j)
+                continue;
+            prod = qj.mul(prod, plain.limbModulus(k).value() % qj.value());
+            big.mulWord(plain.limbModulus(k).value());
+        }
+        qhat_inv[j] = qj.inv(prod);
+        qhat[j] = big;
+        q_total.mulWord(qj.value());
+    }
+    BigUInt q_half = q_total.shiftRight(1);
+
+    std::vector<double> coeffs(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        BigUInt acc(0);
+        for (std::size_t j = 0; j < ell; ++j) {
+            const rns::Modulus &qj = plain.limbModulus(j);
+            BigUInt term = qhat[j];
+            term.mulWord(qj.mul(plain.limb(j)[c], qhat_inv[j]));
+            acc.add(term);
+        }
+        // Reduce mod Q (acc < ell * Q, so a few subtractions suffice).
+        while (acc.compare(q_total) >= 0)
+            acc.sub(q_total);
+        if (acc.compare(q_half) > 0) {
+            BigUInt neg = q_total;
+            neg.sub(acc);
+            coeffs[c] = -neg.toDouble();
+        } else {
+            coeffs[c] = acc.toDouble();
+        }
+    }
+
+    std::vector<Cplx> u(slots_);
+    for (std::size_t j = 0; j < slots_; ++j)
+        u[j] = Cplx(coeffs[j] / scale, coeffs[j + n / 2] / scale);
+    fftSpecial(u);
+    return u;
+}
+
+} // namespace cinnamon::fhe

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CKKS encoder: complex slot vectors ↔ RNS plaintext polynomials.
+ *
+ * CKKS batches n/2 complex values into one polynomial via the
+ * canonical embedding (Figure 2 of the paper). We use the HEAAN
+ * convention: the special FFT evaluates a real polynomial at the odd
+ * powers ζ^{5^j} of the primitive 2n-th root of unity, and slot j of
+ * the decoded vector is m(ζ^{5^j}) / Δ. Under this ordering the Galois
+ * automorphism X → X^5 rotates slots by one position and X → X^{-1}
+ * conjugates every slot, which is what homomorphic rotation relies on.
+ */
+
+#ifndef CINNAMON_FHE_ENCODER_H_
+#define CINNAMON_FHE_ENCODER_H_
+
+#include <complex>
+#include <vector>
+
+#include "fhe/params.h"
+#include "rns/poly.h"
+
+namespace cinnamon::fhe {
+
+using Cplx = std::complex<double>;
+
+/**
+ * Encoder/decoder tied to one CkksContext.
+ *
+ * encode() produces a coefficient-domain RnsPoly at the requested
+ * level whose decryption decodes back to the input slots (up to CKKS
+ * approximation error).
+ */
+class Encoder
+{
+  public:
+    explicit Encoder(const CkksContext &ctx);
+
+    std::size_t slots() const { return slots_; }
+
+    /**
+     * Encode complex slots into a plaintext polynomial.
+     *
+     * @param values up to n/2 complex values (padded with zeros).
+     * @param level target level (basis q_0..q_level).
+     * @param scale encoding scale Δ (defaults to the context scale).
+     */
+    rns::RnsPoly encode(const std::vector<Cplx> &values, std::size_t level,
+                        double scale = 0.0) const;
+
+    /** Encode a constant into all slots. */
+    rns::RnsPoly encodeConstant(Cplx value, std::size_t level,
+                                double scale = 0.0) const;
+
+    /**
+     * The canonical-embedding transform V as a plain linear map on
+     * slot vectors (coefficient pairs → slots). Exposed so
+     * bootstrapping can build the CoeffToSlot/SlotToCoeff matrices.
+     */
+    std::vector<Cplx> embedForward(std::vector<Cplx> vals) const;
+
+    /** The inverse transform V^{-1} (slots → coefficient pairs). */
+    std::vector<Cplx> embedInverse(std::vector<Cplx> vals) const;
+
+    /**
+     * Decode a plaintext polynomial back into n/2 complex slots.
+     *
+     * @param plain coefficient-domain polynomial over some prefix
+     *        basis q_0..q_l.
+     * @param scale the scale the polynomial carries.
+     */
+    std::vector<Cplx> decode(const rns::RnsPoly &plain, double scale) const;
+
+  private:
+    /** Slot → coefficient transform (inverse special FFT). */
+    void fftSpecialInv(std::vector<Cplx> &vals) const;
+
+    /** Coefficient → slot transform (forward special FFT). */
+    void fftSpecial(std::vector<Cplx> &vals) const;
+
+    const CkksContext *ctx_;
+    std::size_t slots_;
+    /** 5^j mod 2n, j in [0, n/2). */
+    std::vector<uint32_t> rot_group_;
+    /** exp(2 pi i j / 2n), j in [0, 2n]. */
+    std::vector<Cplx> ksi_pows_;
+};
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_ENCODER_H_

@@ -1,0 +1,289 @@
+#include "fhe/evaluator.h"
+
+#include <cmath>
+
+namespace cinnamon::fhe {
+
+namespace {
+
+/** Relative scale mismatch tolerated when adding ciphertexts. */
+constexpr double kScaleTolerance = 1e-6;
+
+bool
+scalesAgree(double a, double b)
+{
+    return std::abs(a - b) <= kScaleTolerance * std::max(a, b);
+}
+
+} // namespace
+
+Ciphertext
+Evaluator::encrypt(const rns::RnsPoly &plain, double scale,
+                   const SecretKey &sk, Rng &rng) const
+{
+    CINN_ASSERT(plain.domain() == rns::Domain::Coeff,
+                "encrypt expects a coefficient-domain plaintext");
+    const rns::Basis basis = plain.basis();
+    const std::size_t level = basis.size() - 1;
+
+    rns::RnsPoly c1(ctx_->rns(), basis, rns::Domain::Eval);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        c1.limb(i) = rng.uniformVector(
+            ctx_->n(), ctx_->rns().modulus(basis[i]).value());
+    }
+
+    auto e = rng.gaussianVector(ctx_->n());
+    rns::RnsPoly me = plain;
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+        for (std::size_t j = 0; j < e.size(); ++j) {
+            me.limb(i)[j] =
+                mod.add(me.limb(i)[j], mod.fromSigned(e[j]));
+        }
+    }
+    me.toEval();
+
+    rns::RnsPoly c0 = c1.mul(sk.s.restrictTo(basis));
+    c0.negateInPlace();
+    c0.addInPlace(me);
+    return Ciphertext{std::move(c0), std::move(c1), level, scale};
+}
+
+Ciphertext
+Evaluator::encryptPublic(const rns::RnsPoly &plain, double scale,
+                         const PublicKey &pk, Rng &rng) const
+{
+    CINN_ASSERT(plain.domain() == rns::Domain::Coeff,
+                "encrypt expects a coefficient-domain plaintext");
+    const rns::Basis basis = plain.basis();
+    const std::size_t level = basis.size() - 1;
+
+    // u ternary; c0 = pk.b * u + e0 + m; c1 = pk.a * u + e1.
+    auto ut = rng.ternaryVector(ctx_->n());
+    rns::RnsPoly u(ctx_->rns(), basis, rns::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+        for (std::size_t j = 0; j < ut.size(); ++j)
+            u.limb(i)[j] = mod.fromSigned(ut[j]);
+    }
+    u.toEval();
+
+    auto addNoise = [&](rns::RnsPoly &p) {
+        auto e = rng.gaussianVector(ctx_->n());
+        rns::RnsPoly ep(ctx_->rns(), basis, rns::Domain::Coeff);
+        for (std::size_t i = 0; i < basis.size(); ++i) {
+            const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+            for (std::size_t j = 0; j < e.size(); ++j)
+                ep.limb(i)[j] = mod.fromSigned(e[j]);
+        }
+        ep.toEval();
+        p.addInPlace(ep);
+    };
+
+    rns::RnsPoly m = plain;
+    m.toEval();
+
+    rns::RnsPoly c0 = pk.b.restrictTo(basis).mul(u);
+    addNoise(c0);
+    c0.addInPlace(m);
+    rns::RnsPoly c1 = pk.a.restrictTo(basis).mul(u);
+    addNoise(c1);
+    return Ciphertext{std::move(c0), std::move(c1), level, scale};
+}
+
+rns::RnsPoly
+Evaluator::decrypt(const Ciphertext &ct, const SecretKey &sk) const
+{
+    rns::RnsPoly m = ct.c1.mul(sk.s.restrictTo(ct.c1.basis()));
+    m.addInPlace(ct.c0);
+    m.toCoeff();
+    return m;
+}
+
+void
+Evaluator::checkCompatible(const Ciphertext &a, const Ciphertext &b) const
+{
+    CINN_ASSERT(a.level == b.level,
+                "ciphertext levels differ (" << a.level << " vs "
+                                             << b.level << ")");
+    CINN_ASSERT(scalesAgree(a.scale, b.scale),
+                "ciphertext scales differ (" << a.scale << " vs "
+                                             << b.scale << ")");
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkCompatible(a, b);
+    return Ciphertext{a.c0.add(b.c0), a.c1.add(b.c1), a.level, a.scale};
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkCompatible(a, b);
+    return Ciphertext{a.c0.sub(b.c0), a.c1.sub(b.c1), a.level, a.scale};
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    out.c0.negateInPlace();
+    out.c1.negateInPlace();
+    return out;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext &a, const rns::RnsPoly &plain,
+                    double plain_scale) const
+{
+    CINN_ASSERT(scalesAgree(a.scale, plain_scale),
+                "plaintext scale must match the ciphertext scale");
+    rns::RnsPoly p = plain;
+    p.toEval();
+    CINN_ASSERT(p.basis() == a.c0.basis(), "plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.addInPlace(p);
+    return out;
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext &a, const rns::RnsPoly &plain,
+                    double plain_scale) const
+{
+    rns::RnsPoly p = plain;
+    p.toEval();
+    CINN_ASSERT(p.basis() == a.c0.basis(), "plaintext level mismatch");
+    Ciphertext out;
+    out.c0 = a.c0.mul(p);
+    out.c1 = a.c1.mul(p);
+    out.level = a.level;
+    out.scale = a.scale * plain_scale;
+    return out;
+}
+
+std::pair<rns::RnsPoly, rns::RnsPoly>
+Evaluator::keySwitch(const rns::RnsPoly &target, std::size_t level,
+                     const EvalKey &evk) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    CINN_ASSERT(target.basis() == ct_basis, "keySwitch basis mismatch");
+    const rns::Basis ext_basis =
+        rns::unionBasis(ct_basis, ctx_->specialBasis());
+
+    rns::RnsPoly input = target;
+    input.toCoeff();
+
+    const auto digits = ctx_->digits(level);
+    CINN_ASSERT(digits.size() <= evk.parts.size(),
+                "evaluation key has too few digits");
+
+    rns::RnsPoly acc0(ctx_->rns(), ext_basis, rns::Domain::Eval);
+    rns::RnsPoly acc1(ctx_->rns(), ext_basis, rns::Domain::Eval);
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        rns::RnsPoly digit = input.restrictTo(digits[j]);
+        rns::RnsPoly up = ctx_->tool().modUp(digit, ext_basis);
+        up.toEval();
+        acc0.addInPlace(up.mul(evk.parts[j].first.restrictTo(ext_basis)));
+        acc1.addInPlace(up.mul(evk.parts[j].second.restrictTo(ext_basis)));
+    }
+
+    acc0.toCoeff();
+    acc1.toCoeff();
+    rns::RnsPoly out0 =
+        ctx_->tool().modDown(acc0, ct_basis, ctx_->specialBasis());
+    rns::RnsPoly out1 =
+        ctx_->tool().modDown(acc1, ct_basis, ctx_->specialBasis());
+    out0.toEval();
+    out1.toEval();
+    return {std::move(out0), std::move(out1)};
+}
+
+Ciphertext
+Evaluator::mul(const Ciphertext &a, const Ciphertext &b,
+               const EvalKey &relin) const
+{
+    CINN_ASSERT(a.level == b.level, "mul requires matching levels");
+    rns::RnsPoly d0 = a.c0.mul(b.c0);
+    rns::RnsPoly d1 = a.c0.mul(b.c1);
+    d1.addInPlace(a.c1.mul(b.c0));
+    rns::RnsPoly d2 = a.c1.mul(b.c1);
+
+    auto [k0, k1] = keySwitch(d2, a.level, relin);
+    d0.addInPlace(k0);
+    d1.addInPlace(k1);
+    return Ciphertext{std::move(d0), std::move(d1), a.level,
+                      a.scale * b.scale};
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext &a) const
+{
+    CINN_ASSERT(a.level >= 1, "cannot rescale at level 0");
+    const uint64_t q_last = ctx_->q(a.level);
+    rns::RnsPoly c0 = a.c0;
+    rns::RnsPoly c1 = a.c1;
+    c0.toCoeff();
+    c1.toCoeff();
+    c0 = ctx_->tool().rescale(c0);
+    c1 = ctx_->tool().rescale(c1);
+    c0.toEval();
+    c1.toEval();
+    return Ciphertext{std::move(c0), std::move(c1), a.level - 1,
+                      a.scale / static_cast<double>(q_last)};
+}
+
+Ciphertext
+Evaluator::dropToLevel(const Ciphertext &a, std::size_t level) const
+{
+    CINN_ASSERT(level <= a.level, "dropToLevel cannot raise the level");
+    const rns::Basis basis = ctx_->ciphertextBasis(level);
+    return Ciphertext{a.c0.restrictTo(basis), a.c1.restrictTo(basis),
+                      level, a.scale};
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, int steps,
+                  const GaloisKeys &gks) const
+{
+    if (steps % static_cast<long long>(ctx_->slots()) == 0)
+        return a;
+    const uint64_t g = ctx_->galoisForRotation(steps);
+    const EvalKey &evk = gks.get(g);
+
+    rns::RnsPoly c0 = a.c0;
+    rns::RnsPoly c1 = a.c1;
+    c0.toCoeff();
+    c1.toCoeff();
+    rns::RnsPoly r0 = c0.automorphism(g);
+    rns::RnsPoly r1 = c1.automorphism(g);
+    r0.toEval();
+    r1.toEval();
+
+    auto [k0, k1] = keySwitch(r1, a.level, evk);
+    k0.addInPlace(r0);
+    return Ciphertext{std::move(k0), std::move(k1), a.level, a.scale};
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gks) const
+{
+    const uint64_t g = ctx_->galoisForConjugation();
+    const EvalKey &evk = gks.get(g);
+
+    rns::RnsPoly c0 = a.c0;
+    rns::RnsPoly c1 = a.c1;
+    c0.toCoeff();
+    c1.toCoeff();
+    rns::RnsPoly r0 = c0.automorphism(g);
+    rns::RnsPoly r1 = c1.automorphism(g);
+    r0.toEval();
+    r1.toEval();
+
+    auto [k0, k1] = keySwitch(r1, a.level, evk);
+    k0.addInPlace(r0);
+    return Ciphertext{std::move(k0), std::move(k1), a.level, a.scale};
+}
+
+} // namespace cinnamon::fhe

@@ -1,0 +1,164 @@
+#include "fhe/keys.h"
+
+#include <algorithm>
+
+namespace cinnamon::fhe {
+
+KeyGenerator::KeyGenerator(const CkksContext &ctx, uint64_t seed)
+    : ctx_(&ctx), rng_(seed)
+{
+}
+
+rns::RnsPoly
+KeyGenerator::sampleUniform(const rns::Basis &basis)
+{
+    rns::RnsPoly p(ctx_->rns(), basis, rns::Domain::Eval);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const uint64_t q = ctx_->rns().modulus(basis[i]).value();
+        p.limb(i) = rng_.uniformVector(ctx_->n(), q);
+    }
+    return p;
+}
+
+rns::RnsPoly
+KeyGenerator::sampleError(const rns::Basis &basis)
+{
+    auto e = rng_.gaussianVector(ctx_->n());
+    rns::RnsPoly p(ctx_->rns(), basis, rns::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+        for (std::size_t j = 0; j < e.size(); ++j)
+            p.limb(i)[j] = mod.fromSigned(e[j]);
+    }
+    p.toEval();
+    return p;
+}
+
+SecretKey
+KeyGenerator::secretKey()
+{
+    auto t = rng_.ternaryVector(ctx_->n());
+    const rns::Basis basis = ctx_->keyBasis();
+    rns::RnsPoly s(ctx_->rns(), basis, rns::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
+        for (std::size_t j = 0; j < t.size(); ++j)
+            s.limb(i)[j] = mod.fromSigned(t[j]);
+    }
+    s.toEval();
+    return SecretKey{std::move(s)};
+}
+
+PublicKey
+KeyGenerator::publicKey(const SecretKey &sk)
+{
+    const rns::Basis basis = ctx_->ciphertextBasis(ctx_->maxLevel());
+    rns::RnsPoly a = sampleUniform(basis);
+    rns::RnsPoly e = sampleError(basis);
+    rns::RnsPoly b = a.mul(sk.s.restrictTo(basis));
+    b.negateInPlace();
+    b.addInPlace(e);
+    return PublicKey{std::move(b), std::move(a)};
+}
+
+EvalKey
+KeyGenerator::makeKeySwitchKey(const SecretKey &sk,
+                               const rns::RnsPoly &old_secret)
+{
+    return makeKeySwitchKeyForDigits(sk, old_secret,
+                                     ctx_->digits(ctx_->maxLevel()));
+}
+
+EvalKey
+KeyGenerator::makeKeySwitchKeyForDigits(
+    const SecretKey &sk, const rns::RnsPoly &old_secret,
+    const std::vector<rns::Basis> &digits)
+{
+    const rns::Basis key_basis = ctx_->keyBasis();
+    CINN_ASSERT(old_secret.basis() == key_basis &&
+                    old_secret.domain() == rns::Domain::Eval,
+                "old_secret must span the key basis in Eval domain");
+
+    // P mod q for every prime of the key basis.
+    const rns::Basis special = ctx_->specialBasis();
+    std::vector<uint64_t> p_mod(key_basis.size());
+    for (std::size_t i = 0; i < key_basis.size(); ++i) {
+        const rns::Modulus &mod = ctx_->rns().modulus(key_basis[i]);
+        uint64_t p = 1;
+        for (uint32_t sp : special)
+            p = mod.mul(p, ctx_->rns().modulus(sp).value() % mod.value());
+        p_mod[i] = p;
+    }
+
+    EvalKey evk;
+    for (const rns::Basis &digit : digits) {
+        rns::RnsPoly a = sampleUniform(key_basis);
+        rns::RnsPoly b = sampleError(key_basis);
+        rns::RnsPoly as = a.mul(sk.s);
+        b.subInPlace(as);
+
+        // Add (P mod q) * [q in digit] * old_secret per limb.
+        std::vector<uint64_t> factors(key_basis.size(), 0);
+        for (std::size_t i = 0; i < key_basis.size(); ++i) {
+            if (std::find(digit.begin(), digit.end(), key_basis[i]) !=
+                digit.end()) {
+                factors[i] = p_mod[i];
+            }
+        }
+        rns::RnsPoly payload = old_secret;
+        payload.mulScalarPerLimb(factors);
+        b.addInPlace(payload);
+
+        evk.parts.emplace_back(std::move(b), std::move(a));
+    }
+    return evk;
+}
+
+EvalKey
+KeyGenerator::relinKey(const SecretKey &sk)
+{
+    rns::RnsPoly s2 = sk.s.mul(sk.s);
+    return makeKeySwitchKey(sk, s2);
+}
+
+EvalKey
+KeyGenerator::galoisKey(const SecretKey &sk, uint64_t galois)
+{
+    rns::RnsPoly s_coeff = sk.s;
+    s_coeff.toCoeff();
+    rns::RnsPoly s_auto = s_coeff.automorphism(galois);
+    s_auto.toEval();
+    return makeKeySwitchKey(sk, s_auto);
+}
+
+EvalKey
+KeyGenerator::galoisKeyForDigits(const SecretKey &sk, uint64_t galois,
+                                 const std::vector<rns::Basis> &digits)
+{
+    rns::RnsPoly s_coeff = sk.s;
+    s_coeff.toCoeff();
+    rns::RnsPoly s_auto = s_coeff.automorphism(galois);
+    s_auto.toEval();
+    return makeKeySwitchKeyForDigits(sk, s_auto, digits);
+}
+
+GaloisKeys
+KeyGenerator::galoisKeys(const SecretKey &sk,
+                         const std::vector<int> &rotations,
+                         bool include_conjugation)
+{
+    GaloisKeys gks;
+    for (int r : rotations) {
+        const uint64_t g = ctx_->galoisForRotation(r);
+        if (!gks.has(g))
+            gks.keys.emplace(g, galoisKey(sk, g));
+    }
+    if (include_conjugation) {
+        const uint64_t g = ctx_->galoisForConjugation();
+        if (!gks.has(g))
+            gks.keys.emplace(g, galoisKey(sk, g));
+    }
+    return gks;
+}
+
+} // namespace cinnamon::fhe

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CKKS key material and key generation.
+ *
+ * Evaluation keys follow the hybrid (digit-decomposed) keyswitching
+ * scheme the paper assumes (Figure 4): the chain is split into dnum
+ * digits; the key for digit j encrypts P * g_j * s_old over the
+ * extended basis Q ∪ E, where P = prod(E) and g_j is the CRT
+ * "selector" integer that is ≡ 1 mod every prime of digit j and
+ * ≡ 0 mod every other ciphertext prime. Because the selector is
+ * multiplied by P, its residues modulo the extension primes are
+ * irrelevant (they carry a factor P ≡ 0), so the per-prime factor
+ * reduces to (P mod q) * [q ∈ digit j] — no big-integer arithmetic is
+ * required anywhere in key generation.
+ */
+
+#ifndef CINNAMON_FHE_KEYS_H_
+#define CINNAMON_FHE_KEYS_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "fhe/params.h"
+#include "rns/poly.h"
+
+namespace cinnamon::fhe {
+
+/** The secret key: a ternary polynomial over the full key basis. */
+struct SecretKey
+{
+    rns::RnsPoly s; ///< evaluation domain, basis Q ∪ E
+};
+
+/** A public encryption key (b, a) with b = -a s + e over Q. */
+struct PublicKey
+{
+    rns::RnsPoly b;
+    rns::RnsPoly a;
+};
+
+/**
+ * An evaluation key: one (b_j, a_j) pair per digit, over Q ∪ E, with
+ * b_j = -a_j s + e_j + (P mod q)[q ∈ D_j] * s_old.
+ */
+struct EvalKey
+{
+    std::vector<std::pair<rns::RnsPoly, rns::RnsPoly>> parts;
+};
+
+/** A set of rotation/conjugation keys indexed by Galois element. */
+struct GaloisKeys
+{
+    std::map<uint64_t, EvalKey> keys;
+
+    bool has(uint64_t galois) const { return keys.count(galois) != 0; }
+
+    const EvalKey &
+    get(uint64_t galois) const
+    {
+        auto it = keys.find(galois);
+        CINN_ASSERT(it != keys.end(),
+                    "missing Galois key for element " << galois);
+        return it->second;
+    }
+};
+
+/** Generates all key material from a seeded Rng. */
+class KeyGenerator
+{
+  public:
+    KeyGenerator(const CkksContext &ctx, uint64_t seed);
+
+    /** Sample a fresh ternary secret key. */
+    SecretKey secretKey();
+
+    /** Public key for the given secret. */
+    PublicKey publicKey(const SecretKey &sk);
+
+    /** Relinearization key: switches s^2 back to s. */
+    EvalKey relinKey(const SecretKey &sk);
+
+    /** Rotation key for a specific Galois element. */
+    EvalKey galoisKey(const SecretKey &sk, uint64_t galois);
+
+    /** Rotation keys for a set of slot rotations (plus conjugation). */
+    GaloisKeys galoisKeys(const SecretKey &sk,
+                          const std::vector<int> &rotations,
+                          bool include_conjugation = false);
+
+    /**
+     * Generic keyswitching key: encrypts old_secret (over Q ∪ E,
+     * evaluation domain) so keyswitching re-encrypts a ciphertext
+     * component times old_secret under sk.
+     */
+    EvalKey makeKeySwitchKey(const SecretKey &sk,
+                             const rns::RnsPoly &old_secret);
+
+    /**
+     * Keyswitching key for an explicit digit partition (the digit
+     * choice is free — Section 4.3.1 notes all digit selections are
+     * interchangeable; output-aggregation keyswitching uses the
+     * per-chip limb partition as its digits).
+     */
+    EvalKey makeKeySwitchKeyForDigits(const SecretKey &sk,
+                                      const rns::RnsPoly &old_secret,
+                                      const std::vector<rns::Basis> &digits);
+
+    /** Galois key material for an explicit digit partition. */
+    EvalKey galoisKeyForDigits(const SecretKey &sk, uint64_t galois,
+                               const std::vector<rns::Basis> &digits);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    /** Sample a uniform polynomial over `basis` in the Eval domain. */
+    rns::RnsPoly sampleUniform(const rns::Basis &basis);
+
+    /** Sample a gaussian error polynomial, returned in Eval domain. */
+    rns::RnsPoly sampleError(const rns::Basis &basis);
+
+    const CkksContext *ctx_;
+    Rng rng_;
+};
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_KEYS_H_

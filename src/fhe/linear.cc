@@ -1,0 +1,116 @@
+#include "fhe/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cinnamon::fhe {
+
+Diagonals
+diagonalsOf(const std::vector<std::vector<Cplx>> &matrix)
+{
+    const std::size_t dim = matrix.size();
+    Diagonals out;
+    for (std::size_t k = 0; k < dim; ++k) {
+        std::vector<Cplx> diag(dim);
+        bool nonzero = false;
+        for (std::size_t r = 0; r < dim; ++r) {
+            diag[r] = matrix[r][(r + k) % dim];
+            if (std::abs(diag[r]) > 0)
+                nonzero = true;
+        }
+        if (nonzero)
+            out.emplace(static_cast<int>(k), std::move(diag));
+    }
+    return out;
+}
+
+std::vector<int>
+bsgsRotations(const Diagonals &diags, std::size_t g)
+{
+    std::vector<int> rots;
+    for (std::size_t j = 1; j < g; ++j)
+        rots.push_back(static_cast<int>(j));
+    for (const auto &[k, d] : diags) {
+        (void)d;
+        const int giant = (k / static_cast<int>(g)) * static_cast<int>(g);
+        if (giant != 0)
+            rots.push_back(giant);
+    }
+    std::sort(rots.begin(), rots.end());
+    rots.erase(std::unique(rots.begin(), rots.end()), rots.end());
+    return rots;
+}
+
+Ciphertext
+applyLinearTransform(const Evaluator &eval, const Encoder &encoder,
+                     const Ciphertext &ct, const Diagonals &diags,
+                     const GaloisKeys &gks, std::size_t g,
+                     double plain_scale)
+{
+    CINN_ASSERT(!diags.empty(), "linear transform needs diagonals");
+    CINN_ASSERT(g >= 1, "BSGS parameter must be positive");
+    const auto &ctx = eval.context();
+    if (plain_scale == 0.0)
+        plain_scale = ctx.params().scale;
+    const std::size_t slots = ctx.slots();
+
+    // Baby steps: rot_j(ct) for every needed j in [0, g).
+    std::vector<bool> need_baby(g, false);
+    for (const auto &[k, d] : diags) {
+        (void)d;
+        CINN_ASSERT(k >= 0 && static_cast<std::size_t>(k) < slots,
+                    "diagonal index out of range");
+        need_baby[k % g] = true;
+    }
+    std::vector<Ciphertext> baby(g);
+    for (std::size_t j = 0; j < g; ++j) {
+        if (!need_baby[j])
+            continue;
+        baby[j] = j == 0 ? ct : eval.rotate(ct, static_cast<int>(j), gks);
+    }
+
+    // Group diagonals by giant step i = k / g.
+    std::map<int, std::vector<int>> by_giant;
+    for (const auto &[k, d] : diags) {
+        (void)d;
+        by_giant[k / static_cast<int>(g)].push_back(k);
+    }
+
+    Ciphertext acc;
+    for (const auto &[i, ks] : by_giant) {
+        const int giant = i * static_cast<int>(g);
+        Ciphertext inner;
+        for (int k : ks) {
+            // Encode the diagonal pre-rotated by -giant so the final
+            // giant-step rotation aligns it: rot_{-ig}(d)[r] = d[r-ig].
+            const auto &d = diags.at(k);
+            std::vector<Cplx> rotated(slots, Cplx(0, 0));
+            for (std::size_t r = 0; r < slots; ++r)
+                rotated[r] = d[(r + slots - giant % slots) % slots];
+            auto plain = encoder.encode(rotated, ct.level, plain_scale);
+            auto term = eval.mulPlain(baby[k % g], plain, plain_scale);
+            inner = inner.valid() ? eval.add(inner, term) : term;
+        }
+        if (giant != 0)
+            inner = eval.rotate(inner, giant, gks);
+        acc = acc.valid() ? eval.add(acc, inner) : inner;
+    }
+    return acc;
+}
+
+Ciphertext
+rotateAccumulate(const Evaluator &eval, const Ciphertext &ct, int step,
+                 std::size_t span, const GaloisKeys &gks)
+{
+    CINN_ASSERT(span >= 1 && (span & (span - 1)) == 0,
+                "span must be a power of two");
+    Ciphertext acc = ct;
+    int stride = step;
+    for (std::size_t s = 1; s < span; s <<= 1) {
+        acc = eval.add(acc, eval.rotate(acc, stride, gks));
+        stride *= 2;
+    }
+    return acc;
+}
+
+} // namespace cinnamon::fhe

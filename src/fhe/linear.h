@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Homomorphic linear algebra: slot-wise matrix-vector products via the
+ * diagonal method with baby-step/giant-step (BSGS) rotation batching.
+ *
+ * For a (slots × slots) matrix M, M·z = Σ_k d_k ⊙ rot_k(z) where d_k
+ * is the k-th generalized diagonal. BSGS splits k = i·g + j so only
+ * g + D/g distinct rotations are needed instead of D. This kernel is
+ * the core of bootstrapping's CoeffToSlot/SlotToCoeff and of every ML
+ * benchmark's matrix multiply; it also contains exactly the two
+ * communication patterns Cinnamon's keyswitch pass optimizes
+ * (Section 4.3.1): many rotations of one ciphertext (baby steps,
+ * input-broadcast keyswitching) and rotate-then-accumulate (giant
+ * steps, output-aggregation keyswitching).
+ */
+
+#ifndef CINNAMON_FHE_LINEAR_H_
+#define CINNAMON_FHE_LINEAR_H_
+
+#include <map>
+#include <vector>
+
+#include "fhe/ciphertext.h"
+#include "fhe/encoder.h"
+#include "fhe/evaluator.h"
+
+namespace cinnamon::fhe {
+
+/** Sparse set of generalized diagonals of a slots × slots matrix. */
+using Diagonals = std::map<int, std::vector<Cplx>>;
+
+/** Extract all nonzero generalized diagonals of a dense matrix. */
+Diagonals diagonalsOf(const std::vector<std::vector<Cplx>> &matrix);
+
+/**
+ * The rotation steps (baby and giant) required to apply `diags` with
+ * BSGS parameter g. Feed to KeyGenerator::galoisKeys.
+ */
+std::vector<int> bsgsRotations(const Diagonals &diags, std::size_t g);
+
+/**
+ * Apply a linear transform to a ciphertext using BSGS.
+ *
+ * The result has scale ct.scale * plain_scale and the ciphertext's
+ * level; callers normally rescale() afterwards.
+ *
+ * @param g baby-step count (≈ sqrt(#diagonals) is a good choice).
+ * @param plain_scale the scale used to encode the diagonals.
+ */
+Ciphertext applyLinearTransform(const Evaluator &eval,
+                                const Encoder &encoder,
+                                const Ciphertext &ct,
+                                const Diagonals &diags,
+                                const GaloisKeys &gks, std::size_t g,
+                                double plain_scale = 0.0);
+
+/**
+ * Rotate-and-sum over a power-of-two span: Σ_{i<span} rot_{i*step}(ct).
+ * Used for slot-wise reductions (inner products, softmax denominators).
+ * Requires keys for step, 2*step, 4*step, ...
+ */
+Ciphertext rotateAccumulate(const Evaluator &eval, const Ciphertext &ct,
+                            int step, std::size_t span,
+                            const GaloisKeys &gks);
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_LINEAR_H_

@@ -1,0 +1,120 @@
+#include "fhe/params.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "rns/prime_gen.h"
+
+namespace cinnamon::fhe {
+
+CkksParams
+CkksParams::makeTest(std::size_t n, std::size_t levels, std::size_t dnum)
+{
+    CkksParams p;
+    p.n = n;
+    p.levels = levels;
+    p.dnum = dnum;
+    // Special primes must cover the largest digit for hybrid
+    // keyswitching noise to stay bounded (P > max digit product).
+    p.special = (levels + dnum - 1) / dnum;
+    p.first_prime_bits = 50;
+    p.scale_bits = 40;
+    p.scale = std::ldexp(1.0, p.scale_bits);
+    return p;
+}
+
+CkksParams
+CkksParams::makePaper()
+{
+    // Section 6.2: ring dimension 64K, bootstrap raises to level 51.
+    CkksParams p;
+    p.n = 1ULL << 16;
+    p.levels = 52;   // q_0..q_51
+    p.dnum = 4;      // BCU supports up to 13 input limbs => alpha <= 13
+    p.special = 13;
+    p.first_prime_bits = 50;
+    p.scale_bits = 40;
+    p.scale = std::ldexp(1.0, p.scale_bits);
+    return p;
+}
+
+CkksContext::CkksContext(const CkksParams &params) : params_(params)
+{
+    CINN_FATAL_UNLESS(params.levels >= 1, "need at least one prime");
+    CINN_FATAL_UNLESS(params.dnum >= 1 && params.dnum <= params.levels,
+                      "dnum must be in [1, levels]");
+    // q_0 is wider (integer headroom); the rest sit near the scale.
+    auto q0 = rns::generateNttPrimes(params.n, params.first_prime_bits, 1);
+    auto qs = rns::generateNttPrimes(params.n, params.scale_bits,
+                                     params.levels - 1, q0);
+    auto exclude = q0;
+    exclude.insert(exclude.end(), qs.begin(), qs.end());
+    auto ps = rns::generateNttPrimes(params.n, params.first_prime_bits,
+                                     params.special, exclude);
+
+    std::vector<uint64_t> all = q0;
+    all.insert(all.end(), qs.begin(), qs.end());
+    all.insert(all.end(), ps.begin(), ps.end());
+    rns_ = std::make_unique<rns::RnsContext>(params.n, all);
+    tool_ = std::make_unique<rns::RnsTool>(*rns_);
+}
+
+rns::Basis
+CkksContext::ciphertextBasis(std::size_t level) const
+{
+    CINN_ASSERT(level < params_.levels, "level out of range");
+    return rns::rangeBasis(0, static_cast<uint32_t>(level + 1));
+}
+
+rns::Basis
+CkksContext::specialBasis() const
+{
+    return rns::rangeBasis(static_cast<uint32_t>(params_.levels),
+                           static_cast<uint32_t>(params_.levels +
+                                                 params_.special));
+}
+
+rns::Basis
+CkksContext::keyBasis() const
+{
+    return rns::rangeBasis(0, static_cast<uint32_t>(params_.levels +
+                                                    params_.special));
+}
+
+std::vector<rns::Basis>
+CkksContext::digits(std::size_t level) const
+{
+    const std::size_t alpha = (params_.levels + params_.dnum - 1) /
+                              params_.dnum;
+    std::vector<rns::Basis> out;
+    for (std::size_t j = 0; j * alpha <= level; ++j) {
+        const uint32_t lo = static_cast<uint32_t>(j * alpha);
+        const uint32_t hi = static_cast<uint32_t>(
+            std::min((j + 1) * alpha, level + 1));
+        out.push_back(rns::rangeBasis(lo, hi));
+    }
+    return out;
+}
+
+uint64_t
+CkksContext::q(std::size_t i) const
+{
+    return rns_->modulus(static_cast<uint32_t>(i)).value();
+}
+
+uint64_t
+CkksContext::galoisForRotation(int steps) const
+{
+    const std::size_t slots = params_.n / 2;
+    const uint64_t two_n = 2 * params_.n;
+    // Normalize steps into [0, slots).
+    long long r = steps % static_cast<long long>(slots);
+    if (r < 0)
+        r += static_cast<long long>(slots);
+    uint64_t g = 1;
+    for (long long i = 0; i < r; ++i)
+        g = (g * 5) % two_n;
+    return g;
+}
+
+} // namespace cinnamon::fhe

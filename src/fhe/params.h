@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CKKS parameter sets.
+ *
+ * A parameter set fixes the ring dimension n, the ciphertext prime
+ * chain q_0..q_L (level L = multiplicative budget, Section 2), the
+ * keyswitching extension primes p_0..p_{k-1} (the paper's basis E),
+ * the number of keyswitch digits (dnum), and the encoding scale.
+ *
+ * Two families are provided:
+ *  - test parameters: small n (2^10..2^13) for fast functional tests;
+ *  - paper parameters: n = 64K, 28-bit datapath metadata used by the
+ *    compiler and simulator (no data-plane computation at this size).
+ */
+
+#ifndef CINNAMON_FHE_PARAMS_H_
+#define CINNAMON_FHE_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rns/base_conv.h"
+#include "rns/context.h"
+
+namespace cinnamon::fhe {
+
+/** Static description of a CKKS parameter set. */
+struct CkksParams
+{
+    std::size_t n = 0;          ///< ring dimension (power of two)
+    std::size_t levels = 0;     ///< L + 1 ciphertext primes
+    std::size_t special = 0;    ///< extension primes (paper's basis E)
+    std::size_t dnum = 0;       ///< keyswitch digits at full level
+    int first_prime_bits = 0;   ///< q_0 width (integer part head-room)
+    int scale_bits = 0;         ///< q_1..q_L width ≈ log2(scale)
+    double scale = 0.0;         ///< encoding scale Δ
+
+    /**
+     * Small parameters for functional testing.
+     *
+     * @param n ring dimension.
+     * @param levels number of ciphertext primes (L + 1).
+     * @param dnum keyswitch digit count.
+     */
+    static CkksParams makeTest(std::size_t n = 1 << 12,
+                               std::size_t levels = 6,
+                               std::size_t dnum = 3);
+
+    /**
+     * The paper's evaluation parameters (Section 6.2): n = 64K,
+     * 128-bit security, bootstrap from level 2 to 51. Intended for
+     * compiler/simulator use; instantiating ciphertexts at this size
+     * is functional but slow.
+     */
+    static CkksParams makePaper();
+};
+
+/**
+ * Instantiated CKKS context: the RNS prime chain with NTT tables,
+ * conversion caches, and derived bases.
+ *
+ * Prime layout inside the RnsContext: indices [0, levels) are the
+ * ciphertext chain q_0..q_L; indices [levels, levels+special) are the
+ * extension primes.
+ */
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    const rns::RnsContext &rns() const { return *rns_; }
+    rns::RnsTool &tool() const { return *tool_; }
+
+    std::size_t n() const { return params_.n; }
+    std::size_t slots() const { return params_.n / 2; }
+
+    /** Ciphertext basis at a level: {q_0..q_level}. */
+    rns::Basis ciphertextBasis(std::size_t level) const;
+
+    /** The extension (special-prime) basis E. */
+    rns::Basis specialBasis() const;
+
+    /** Full key basis Q ∪ E. */
+    rns::Basis keyBasis() const;
+
+    /** Top ciphertext level L. */
+    std::size_t maxLevel() const { return params_.levels - 1; }
+
+    /**
+     * Digit decomposition of the chain prefix {q_0..q_level}: up to
+     * dnum contiguous groups of alpha = ceil(levels/dnum) primes,
+     * trimmed to the live prefix (Section 2 "Digits").
+     */
+    std::vector<rns::Basis> digits(std::size_t level) const;
+
+    /** Value of ciphertext prime i. */
+    uint64_t q(std::size_t i) const;
+
+    /** Galois element implementing a rotation by `steps` slots. */
+    uint64_t galoisForRotation(int steps) const;
+
+    /** Galois element implementing slot conjugation. */
+    uint64_t galoisForConjugation() const { return 2 * params_.n - 1; }
+
+  private:
+    CkksParams params_;
+    std::unique_ptr<rns::RnsContext> rns_;
+    mutable std::unique_ptr<rns::RnsTool> tool_;
+};
+
+} // namespace cinnamon::fhe
+
+#endif // CINNAMON_FHE_PARAMS_H_

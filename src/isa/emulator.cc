@@ -1,0 +1,293 @@
+#include "isa/emulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cinnamon::isa {
+
+Emulator::Emulator(const fhe::CkksContext &ctx, std::size_t chips)
+    : ctx_(&ctx), chips_(chips)
+{
+    regs_.resize(chips);
+    mem_.resize(chips);
+}
+
+MemoryImage &
+Emulator::memory(std::size_t chip)
+{
+    CINN_ASSERT(chip < chips_, "chip index out of range");
+    return mem_[chip];
+}
+
+const Limb &
+Emulator::reg(std::size_t chip, int index) const
+{
+    CINN_ASSERT(chip < chips_ && index >= 0 &&
+                    static_cast<std::size_t>(index) < regs_[chip].size(),
+                "register access out of range");
+    return regs_[chip][index];
+}
+
+void
+Emulator::execute(std::size_t chip, const Instruction &ins)
+{
+    auto &regs = regs_[chip];
+    const rns::Modulus &mod = ctx_->rns().modulus(ins.prime);
+    const uint64_t q = mod.value();
+    const std::size_t n = ctx_->n();
+    ++stats_.executed[ins.op];
+
+    auto src = [&](std::size_t i) -> const Limb & {
+        CINN_ASSERT(i < ins.srcs.size() && ins.srcs[i] >= 0 &&
+                        static_cast<std::size_t>(ins.srcs[i]) <
+                            regs.size(),
+                    "missing source operand: " << ins.toString());
+        return regs[ins.srcs[i]];
+    };
+    auto dst = [&]() -> Limb & {
+        CINN_ASSERT(ins.dst >= 0, "missing destination: "
+                                      << ins.toString());
+        if (static_cast<std::size_t>(ins.dst) >= regs.size())
+            regs.resize(ins.dst + 1);
+        return regs[ins.dst];
+    };
+
+    switch (ins.op) {
+      case Opcode::Nop:
+      case Opcode::Fence:
+      case Opcode::Halt:
+        break;
+      case Opcode::Load: {
+        auto it = mem_[chip].find(ins.imm);
+        CINN_ASSERT(it != mem_[chip].end(),
+                    "load from unmapped address " << ins.imm << " on chip "
+                                                  << chip);
+        dst() = it->second;
+        break;
+      }
+      case Opcode::Store:
+        mem_[chip][ins.imm] = src(0);
+        break;
+      case Opcode::Ntt: {
+        Limb out = src(0);
+        CINN_ASSERT(out.prime == ins.prime, "ntt prime mismatch");
+        ctx_->rns().ntt(ins.prime).forward(out.data);
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::Intt: {
+        Limb out = src(0);
+        CINN_ASSERT(out.prime == ins.prime, "intt prime mismatch");
+        ctx_->rns().ntt(ins.prime).inverse(out.data);
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul: {
+        const Limb &a = src(0);
+        const Limb &b = src(1);
+        CINN_ASSERT(a.prime == ins.prime && b.prime == ins.prime,
+                    "binary op prime mismatch: " << ins.toString());
+        Limb out{ins.prime, std::vector<uint64_t>(n)};
+        for (std::size_t j = 0; j < n; ++j) {
+            if (ins.op == Opcode::Add)
+                out.data[j] = rns::addMod(a.data[j], b.data[j], q);
+            else if (ins.op == Opcode::Sub)
+                out.data[j] = rns::subMod(a.data[j], b.data[j], q);
+            else
+                out.data[j] = mod.mul(a.data[j], b.data[j]);
+        }
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::AddScalar:
+      case Opcode::SubScalar:
+      case Opcode::MulScalar: {
+        const Limb &a = src(0);
+        CINN_ASSERT(a.prime == ins.prime, "scalar op prime mismatch");
+        const uint64_t s = ins.imm % q;
+        Limb out{ins.prime, std::vector<uint64_t>(n)};
+        for (std::size_t j = 0; j < n; ++j) {
+            if (ins.op == Opcode::AddScalar)
+                out.data[j] = rns::addMod(a.data[j], s, q);
+            else if (ins.op == Opcode::SubScalar)
+                out.data[j] = rns::subMod(a.data[j], s, q);
+            else
+                out.data[j] = mod.mul(a.data[j], s);
+        }
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::Automorph: {
+        const Limb &a = src(0);
+        CINN_ASSERT(a.prime == ins.prime, "automorph prime mismatch");
+        const uint64_t g = ins.imm;
+        Limb out{ins.prime, std::vector<uint64_t>(n)};
+        for (std::size_t j = 0; j < n; ++j) {
+            const uint64_t idx = (j * g) % (2 * n);
+            if (idx < n)
+                out.data[idx] = a.data[j];
+            else
+                out.data[idx - n] =
+                    a.data[j] == 0 ? 0 : q - a.data[j];
+        }
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::BConv: {
+        // dst_j = Σ_i src_i[j] * ((S / s_i) mod q); sources must be
+        // pre-scaled by (S/s_i)^{-1} mod s_i (the compiler emits
+        // MulScalar first — this mirrors the two-stage BCU).
+        CINN_ASSERT(ins.aux.size() == ins.srcs.size(),
+                    "bconv needs one source prime per operand");
+        Limb out{ins.prime, std::vector<uint64_t>(n, 0)};
+        for (std::size_t i = 0; i < ins.srcs.size(); ++i) {
+            const Limb &a = src(i);
+            CINN_ASSERT(a.prime == ins.aux[i],
+                        "bconv source prime mismatch");
+            uint64_t f = 1;
+            for (std::size_t k = 0; k < ins.aux.size(); ++k) {
+                if (k == i)
+                    continue;
+                f = mod.mul(f, ctx_->rns().modulus(ins.aux[k]).value() % q);
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                out.data[j] =
+                    mod.add(out.data[j], mod.mul(a.data[j], f));
+            }
+        }
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::Mod: {
+        CINN_ASSERT(ins.aux.size() == 1, "mod needs the source prime");
+        const Limb &a = src(0);
+        CINN_ASSERT(a.prime == ins.aux[0], "mod source prime mismatch");
+        Limb out{ins.prime, std::vector<uint64_t>(n)};
+        for (std::size_t j = 0; j < n; ++j)
+            out.data[j] = a.data[j] % q;
+        dst() = std::move(out);
+        break;
+      }
+      case Opcode::Bcast:
+      case Opcode::Agg:
+        panic("collective reached scalar executor");
+    }
+}
+
+void
+Emulator::executeCollective(const MachineProgram &program,
+                            const std::vector<std::size_t> &pcs,
+                            uint32_t lo, uint32_t hi)
+{
+    const std::size_t n = ctx_->n();
+    const Instruction &first = program.chips[lo].instrs[pcs[lo]];
+    for (std::size_t c = lo + 1; c < hi; ++c) {
+        const Instruction &ins = program.chips[c].instrs[pcs[c]];
+        CINN_ASSERT(ins.op == first.op && ins.tag == first.tag,
+                    "collective mismatch across chips: "
+                        << first.toString() << " vs " << ins.toString());
+    }
+    ++stats_.executed[first.op];
+
+    if (first.op == Opcode::Bcast) {
+        // imm = owner chip; owner's src0 is copied to every dst.
+        const std::size_t owner = first.imm;
+        CINN_ASSERT(owner >= lo && owner < hi,
+                    "broadcast owner outside participant group");
+        const Instruction &oins = program.chips[owner].instrs[pcs[owner]];
+        CINN_ASSERT(!oins.srcs.empty() && oins.srcs[0] >= 0,
+                    "broadcast owner missing source");
+        Limb value = regs_[owner].at(oins.srcs[0]);
+        for (std::size_t c = lo; c < hi; ++c) {
+            const Instruction &ins = program.chips[c].instrs[pcs[c]];
+            if (ins.dst >= 0) {
+                if (static_cast<std::size_t>(ins.dst) >= regs_[c].size())
+                    regs_[c].resize(ins.dst + 1);
+                regs_[c][ins.dst] = value;
+            }
+        }
+    } else { // Agg
+        const rns::Modulus &mod = ctx_->rns().modulus(first.prime);
+        Limb sum{first.prime, std::vector<uint64_t>(n, 0)};
+        for (std::size_t c = lo; c < hi; ++c) {
+            const Instruction &ins = program.chips[c].instrs[pcs[c]];
+            CINN_ASSERT(!ins.srcs.empty() && ins.srcs[0] >= 0,
+                        "aggregation missing source");
+            const Limb &a = regs_[c].at(ins.srcs[0]);
+            CINN_ASSERT(a.prime == first.prime,
+                        "aggregation prime mismatch");
+            for (std::size_t j = 0; j < n; ++j)
+                sum.data[j] = mod.add(sum.data[j], a.data[j]);
+        }
+        for (std::size_t c = lo; c < hi; ++c) {
+            const Instruction &ins = program.chips[c].instrs[pcs[c]];
+            if (ins.dst >= 0) {
+                if (static_cast<std::size_t>(ins.dst) >= regs_[c].size())
+                    regs_[c].resize(ins.dst + 1);
+                regs_[c][ins.dst] = sum;
+            }
+        }
+    }
+}
+
+void
+Emulator::run(const MachineProgram &program)
+{
+    CINN_ASSERT(program.numChips() == chips_,
+                "program chip count mismatch");
+    std::vector<std::size_t> pcs(chips_, 0);
+
+    while (true) {
+        bool all_done = true;
+        // Advance every chip to its next collective (or the end).
+        for (std::size_t c = 0; c < chips_; ++c) {
+            const auto &instrs = program.chips[c].instrs;
+            while (pcs[c] < instrs.size() &&
+                   !isCollective(instrs[pcs[c]].op)) {
+                execute(c, instrs[pcs[c]]);
+                ++pcs[c];
+            }
+            if (pcs[c] < instrs.size())
+                all_done = false;
+        }
+        if (all_done)
+            break;
+        // Find a collective whose participant group is fully parked
+        // on the same tag. Groups (streams) progress independently.
+        bool progressed = false;
+        for (std::size_t c = 0; c < chips_ && !progressed; ++c) {
+            const auto &instrs = program.chips[c].instrs;
+            if (pcs[c] >= instrs.size())
+                continue;
+            const Instruction &ins = instrs[pcs[c]];
+            const uint32_t lo = ins.part_lo;
+            const uint32_t hi = ins.part_hi == 0
+                ? static_cast<uint32_t>(chips_)
+                : ins.part_hi;
+            bool ready = true;
+            for (uint32_t p = lo; p < hi; ++p) {
+                const auto &pin = program.chips[p].instrs;
+                if (pcs[p] >= pin.size() ||
+                    !isCollective(pin[pcs[p]].op) ||
+                    pin[pcs[p]].tag != ins.tag) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready)
+                continue;
+            executeCollective(program, pcs, lo, hi);
+            for (uint32_t p = lo; p < hi; ++p)
+                ++pcs[p];
+            progressed = true;
+        }
+        CINN_ASSERT(progressed,
+                    "collective deadlock: no participant group is "
+                    "fully assembled");
+    }
+}
+
+} // namespace cinnamon::isa

@@ -1,0 +1,74 @@
+#include "isa/isa.h"
+
+#include <sstream>
+
+namespace cinnamon::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return "nop";
+      case Opcode::Load:
+        return "ld";
+      case Opcode::Store:
+        return "st";
+      case Opcode::Ntt:
+        return "ntt";
+      case Opcode::Intt:
+        return "intt";
+      case Opcode::Add:
+        return "add";
+      case Opcode::Sub:
+        return "sub";
+      case Opcode::Mul:
+        return "mul";
+      case Opcode::AddScalar:
+        return "adds";
+      case Opcode::SubScalar:
+        return "subs";
+      case Opcode::MulScalar:
+        return "muls";
+      case Opcode::Automorph:
+        return "auto";
+      case Opcode::BConv:
+        return "bcv";
+      case Opcode::Mod:
+        return "mod";
+      case Opcode::Bcast:
+        return "bcast";
+      case Opcode::Agg:
+        return "agg";
+      case Opcode::Fence:
+        return "fence";
+      case Opcode::Halt:
+        return "halt";
+    }
+    return "?";
+}
+
+bool
+isCollective(Opcode op)
+{
+    return op == Opcode::Bcast || op == Opcode::Agg;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op);
+    if (dst >= 0)
+        oss << " r" << dst;
+    for (int s : srcs)
+        oss << ", r" << s;
+    oss << " [q" << prime << "]";
+    if (imm != 0)
+        oss << " imm=" << imm;
+    if (tag != 0)
+        oss << " tag=" << tag;
+    return oss.str();
+}
+
+} // namespace cinnamon::isa

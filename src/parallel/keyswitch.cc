@@ -1,0 +1,358 @@
+#include "parallel/keyswitch.h"
+
+#include <algorithm>
+
+namespace cinnamon::parallel {
+
+std::vector<rns::Basis>
+ParallelKeySwitcher::chipDigits(std::size_t level) const
+{
+    const rns::Basis full = ctx_->ciphertextBasis(level);
+    std::vector<rns::Basis> digits;
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        rns::Basis local = machine_->localBasis(full, c);
+        if (!local.empty())
+            digits.push_back(std::move(local));
+    }
+    return digits;
+}
+
+rns::RnsPoly
+ParallelKeySwitcher::localModUp(const rns::RnsPoly &digit_poly,
+                                const rns::Basis &digit,
+                                const rns::Basis &local_out) const
+{
+    // Output limbs not in the digit are produced by partial base
+    // conversion; digit limbs present in the output are copied.
+    const rns::Basis missing_local = rns::differenceBasis(local_out, digit);
+    rns::RnsPoly conv;
+    if (!missing_local.empty()) {
+        // The converter is cached per (digit → full complement) pair;
+        // convertPartial restricts the work to this chip's limbs, so
+        // compute cost scales down with the chip count as in the
+        // paper's limb-level parallelism.
+        const rns::Basis full_target =
+            rns::unionBasis(ctx_->ciphertextBasis(ctx_->maxLevel()),
+                            ctx_->specialBasis());
+        const rns::Basis missing_full =
+            rns::differenceBasis(full_target, digit);
+        const auto &bc = ctx_->tool().converter(digit, missing_full);
+        std::vector<std::size_t> positions;
+        for (uint32_t idx : missing_local) {
+            auto it = std::find(missing_full.begin(), missing_full.end(),
+                                idx);
+            CINN_ASSERT(it != missing_full.end(),
+                        "mod-up target limb not in converter range");
+            positions.push_back(
+                static_cast<std::size_t>(it - missing_full.begin()));
+        }
+        conv = bc.convertPartial(digit_poly, positions);
+    }
+
+    rns::RnsPoly out(ctx_->rns(), local_out, rns::Domain::Coeff);
+    for (std::size_t i = 0; i < local_out.size(); ++i) {
+        int pos = digit_poly.findPrime(local_out[i]);
+        if (pos >= 0) {
+            out.limb(i) = digit_poly.limb(pos);
+        } else {
+            int cpos = conv.findPrime(local_out[i]);
+            CINN_ASSERT(cpos >= 0, "partial mod-up missing a limb");
+            out.limb(i) = conv.limb(cpos);
+        }
+    }
+    return out;
+}
+
+void
+ParallelKeySwitcher::accumulate(rns::RnsPoly &acc0, rns::RnsPoly &acc1,
+                                rns::RnsPoly up, const fhe::EvalKey &evk,
+                                std::size_t digit_index,
+                                const rns::Basis &local_basis) const
+{
+    CINN_ASSERT(digit_index < evk.parts.size(),
+                "evaluation key has too few digits");
+    up.toEval();
+    acc0.addInPlace(
+        up.mul(evk.parts[digit_index].first.restrictTo(local_basis)));
+    acc1.addInPlace(
+        up.mul(evk.parts[digit_index].second.restrictTo(local_basis)));
+}
+
+KsOutput
+ParallelKeySwitcher::inputBroadcast(const DistPoly &target,
+                                    std::size_t level,
+                                    const fhe::EvalKey &evk) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    const rns::Basis special = ctx_->specialBasis();
+    const auto digits = ctx_->digits(level);
+
+    // (1) One broadcast: every chip receives all input limbs.
+    auto copies = machine_->broadcast(target, ct_basis);
+
+    KsOutput out;
+    out.p0.shard.resize(machine_->chips());
+    out.p1.shard.resize(machine_->chips());
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        rns::RnsPoly input = copies[c];
+        input.toCoeff();
+        // Local output basis: resident ciphertext limbs plus the FULL
+        // (duplicated) extension basis — the key insight that makes
+        // the mod-down communication-free.
+        const rns::Basis local_ct = machine_->localBasis(ct_basis, c);
+        const rns::Basis local_out = rns::unionBasis(local_ct, special);
+
+        rns::RnsPoly acc0(ctx_->rns(), local_out, rns::Domain::Eval);
+        rns::RnsPoly acc1(ctx_->rns(), local_out, rns::Domain::Eval);
+        for (std::size_t j = 0; j < digits.size(); ++j) {
+            rns::RnsPoly digit = input.restrictTo(digits[j]);
+            accumulate(acc0, acc1,
+                       localModUp(digit, digits[j], local_out), evk, j,
+                       local_out);
+        }
+        acc0.toCoeff();
+        acc1.toCoeff();
+        out.p0.shard[c] = ctx_->tool().modDown(acc0, local_ct, special);
+        out.p1.shard[c] = ctx_->tool().modDown(acc1, local_ct, special);
+        out.p0.shard[c].toEval();
+        out.p1.shard[c].toEval();
+    }
+    return out;
+}
+
+KsOutput
+ParallelKeySwitcher::outputAggregation(const DistPoly &target,
+                                       std::size_t level,
+                                       const fhe::EvalKey &evk) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    const rns::Basis special = ctx_->specialBasis();
+    const rns::Basis full_out = rns::unionBasis(ct_basis, special);
+    const auto digits = chipDigits(level);
+
+    // Each chip's resident limbs are its digit: no broadcast at all.
+    std::vector<rns::RnsPoly> part0(machine_->chips());
+    std::vector<rns::RnsPoly> part1(machine_->chips());
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        if (c >= digits.size()) {
+            // Chip holds no limbs at this level; contributes zero.
+            part0[c] = rns::RnsPoly(ctx_->rns(), ct_basis,
+                                    rns::Domain::Coeff);
+            part1[c] = part0[c];
+            continue;
+        }
+        rns::RnsPoly digit_poly = target.shard[c];
+        digit_poly.toCoeff();
+
+        rns::RnsPoly acc0(ctx_->rns(), full_out, rns::Domain::Eval);
+        rns::RnsPoly acc1(ctx_->rns(), full_out, rns::Domain::Eval);
+        accumulate(acc0, acc1,
+                   localModUp(digit_poly, digits[c], full_out), evk, c,
+                   full_out);
+        acc0.toCoeff();
+        acc1.toCoeff();
+        // Mod-down locally; mod-down and aggregation commute.
+        part0[c] = ctx_->tool().modDown(acc0, ct_basis, special);
+        part1[c] = ctx_->tool().modDown(acc1, ct_basis, special);
+    }
+
+    // Two aggregate+scatter collectives, one per output polynomial.
+    KsOutput out;
+    out.p0 = machine_->aggregateScatter(part0);
+    out.p1 = machine_->aggregateScatter(part1);
+    for (auto &s : out.p0.shard)
+        s.toEval();
+    for (auto &s : out.p1.shard)
+        s.toEval();
+    return out;
+}
+
+KsOutput
+ParallelKeySwitcher::cifher(const DistPoly &target, std::size_t level,
+                            const fhe::EvalKey &evk) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    const rns::Basis special = ctx_->specialBasis();
+    const auto digits = ctx_->digits(level);
+
+    // (1) Broadcast of the input limbs, as in input-broadcast.
+    auto copies = machine_->broadcast(target, ct_basis);
+
+    // Per chip: extension limbs are PARTITIONED (not duplicated).
+    std::vector<rns::RnsPoly> acc0(machine_->chips());
+    std::vector<rns::RnsPoly> acc1(machine_->chips());
+    std::vector<rns::Basis> local_ct(machine_->chips());
+    std::vector<rns::Basis> local_sp(machine_->chips());
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        rns::RnsPoly input = copies[c];
+        input.toCoeff();
+        local_ct[c] = machine_->localBasis(ct_basis, c);
+        local_sp[c] = machine_->localBasis(special, c);
+        const rns::Basis local_out =
+            rns::unionBasis(local_ct[c], local_sp[c]);
+
+        acc0[c] = rns::RnsPoly(ctx_->rns(), local_out, rns::Domain::Eval);
+        acc1[c] = rns::RnsPoly(ctx_->rns(), local_out, rns::Domain::Eval);
+        for (std::size_t j = 0; j < digits.size(); ++j) {
+            rns::RnsPoly digit = input.restrictTo(digits[j]);
+            accumulate(acc0[c], acc1[c],
+                       localModUp(digit, digits[j], local_out), evk, j,
+                       local_out);
+        }
+        acc0[c].toCoeff();
+        acc1[c].toCoeff();
+    }
+
+    // (2)+(3) Mod-down requires every chip to see the accumulators'
+    // limbs: two more full broadcasts (the paper's "2 broadcasts in
+    // (6)" that batching cannot remove). Functionally only the
+    // extension limbs are consumed off-chip, but the whole polynomial
+    // is broadcast, which is the traffic CiFHER pays.
+    auto gatherExt = [&](std::vector<rns::RnsPoly> &acc) {
+        rns::RnsPoly ext(ctx_->rns(), special, rns::Domain::Coeff);
+        for (std::size_t i = 0; i < special.size(); ++i) {
+            const std::size_t c = machine_->chipOf(special[i]);
+            int pos = acc[c].findPrime(special[i]);
+            CINN_ASSERT(pos >= 0, "cifher: extension limb missing");
+            ext.limb(i) = acc[c].limb(pos);
+        }
+        machine_->countBroadcast(ct_basis.size() + special.size());
+        return ext;
+    };
+    rns::RnsPoly ext0 = gatherExt(acc0);
+    rns::RnsPoly ext1 = gatherExt(acc1);
+
+    KsOutput out;
+    out.p0.shard.resize(machine_->chips());
+    out.p1.shard.resize(machine_->chips());
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        auto finish = [&](const rns::RnsPoly &acc, const rns::RnsPoly &ext) {
+            // out_i = P^{-1} (acc_i - conv(ext)_i) over local limbs.
+            rns::RnsPoly keep = acc.restrictTo(local_ct[c]);
+            if (!local_ct[c].empty()) {
+                const auto &bc = ctx_->tool().converter(special,
+                                                        local_ct[c]);
+                keep.subInPlace(bc.convert(ext));
+                keep.mulScalarPerLimb(
+                    ctx_->tool().extProductInverse(local_ct[c], special));
+            }
+            keep.toEval();
+            return keep;
+        };
+        out.p0.shard[c] = finish(acc0[c], ext0);
+        out.p1.shard[c] = finish(acc1[c], ext1);
+    }
+    return out;
+}
+
+std::vector<KsOutput>
+ParallelKeySwitcher::hoistedRotations(
+    const DistPoly &c1, std::size_t level,
+    const std::vector<uint64_t> &galois,
+    const std::map<uint64_t, fhe::EvalKey> &keys) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    const rns::Basis special = ctx_->specialBasis();
+    const auto digits = ctx_->digits(level);
+
+    // ONE broadcast for the entire batch (the compiler pass's
+    // reordering: the broadcast commutes with the per-rotation
+    // automorphisms, which are limb-local).
+    auto copies = machine_->broadcast(c1, ct_basis);
+
+    std::vector<KsOutput> results(galois.size());
+    for (auto &r : results) {
+        r.p0.shard.resize(machine_->chips());
+        r.p1.shard.resize(machine_->chips());
+    }
+
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        rns::RnsPoly input = copies[c];
+        input.toCoeff();
+        const rns::Basis local_ct = machine_->localBasis(ct_basis, c);
+        const rns::Basis local_out = rns::unionBasis(local_ct, special);
+
+        for (std::size_t r = 0; r < galois.size(); ++r) {
+            rns::RnsPoly rotated = input.automorphism(galois[r]);
+            const fhe::EvalKey &evk = keys.at(galois[r]);
+
+            rns::RnsPoly acc0(ctx_->rns(), local_out, rns::Domain::Eval);
+            rns::RnsPoly acc1(ctx_->rns(), local_out, rns::Domain::Eval);
+            for (std::size_t j = 0; j < digits.size(); ++j) {
+                rns::RnsPoly digit = rotated.restrictTo(digits[j]);
+                accumulate(acc0, acc1,
+                           localModUp(digit, digits[j], local_out), evk,
+                           j, local_out);
+            }
+            acc0.toCoeff();
+            acc1.toCoeff();
+            results[r].p0.shard[c] =
+                ctx_->tool().modDown(acc0, local_ct, special);
+            results[r].p1.shard[c] =
+                ctx_->tool().modDown(acc1, local_ct, special);
+            results[r].p0.shard[c].toEval();
+            results[r].p1.shard[c].toEval();
+        }
+    }
+    return results;
+}
+
+KsOutput
+ParallelKeySwitcher::rotateAggregate(
+    const std::vector<DistPoly> &c1s, std::size_t level,
+    const std::vector<uint64_t> &galois,
+    const std::map<uint64_t, fhe::EvalKey> &keys) const
+{
+    CINN_ASSERT(c1s.size() == galois.size(),
+                "one Galois element per input required");
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    const rns::Basis special = ctx_->specialBasis();
+    const rns::Basis full_out = rns::unionBasis(ct_basis, special);
+    const auto digits = chipDigits(level);
+
+    std::vector<rns::RnsPoly> part0(machine_->chips());
+    std::vector<rns::RnsPoly> part1(machine_->chips());
+    for (std::size_t c = 0; c < machine_->chips(); ++c) {
+        part0[c] = rns::RnsPoly(ctx_->rns(), ct_basis, rns::Domain::Coeff);
+        part1[c] = part0[c];
+        if (c >= digits.size())
+            continue;
+
+        // Accumulate ALL r keyswitches' evalkey products locally
+        // before the (batched) collective.
+        rns::RnsPoly acc0(ctx_->rns(), full_out, rns::Domain::Eval);
+        rns::RnsPoly acc1(ctx_->rns(), full_out, rns::Domain::Eval);
+        for (std::size_t r = 0; r < c1s.size(); ++r) {
+            rns::RnsPoly digit_poly = c1s[r].shard[c];
+            digit_poly.toCoeff();
+            rns::RnsPoly rotated = digit_poly.automorphism(galois[r]);
+            accumulate(acc0, acc1,
+                       localModUp(rotated, digits[c], full_out),
+                       keys.at(galois[r]), c, full_out);
+        }
+        acc0.toCoeff();
+        acc1.toCoeff();
+        part0[c] = ctx_->tool().modDown(acc0, ct_basis, special);
+        part1[c] = ctx_->tool().modDown(acc1, ct_basis, special);
+    }
+
+    // TWO aggregations for the whole batch.
+    KsOutput out;
+    out.p0 = machine_->aggregateScatter(part0);
+    out.p1 = machine_->aggregateScatter(part1);
+    for (auto &s : out.p0.shard)
+        s.toEval();
+    for (auto &s : out.p1.shard)
+        s.toEval();
+    return out;
+}
+
+std::pair<rns::RnsPoly, rns::RnsPoly>
+ParallelKeySwitcher::gather(const KsOutput &out, std::size_t level) const
+{
+    const rns::Basis ct_basis = ctx_->ciphertextBasis(level);
+    return {machine_->gather(out.p0, ct_basis),
+            machine_->gather(out.p1, ct_basis)};
+}
+
+} // namespace cinnamon::parallel

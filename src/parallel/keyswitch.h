@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel keyswitching algorithms (Section 4.3.1, Figure 8).
+ *
+ * Four engines compute the same hybrid keyswitch over an n-chip
+ * limb-partitioned machine, differing only in where communication
+ * happens:
+ *
+ *  - sequential      — single-chip reference (Figure 8a); no comm.
+ *  - cifher          — the CiFHER baseline: broadcasts the input limbs
+ *                      at mod-up AND the extension limbs of both
+ *                      accumulators at mod-down (3 collectives).
+ *  - inputBroadcast  — Cinnamon #1 (Figure 8b): one broadcast of the
+ *                      input limbs; extension limbs are duplicated on
+ *                      every chip so mod-down is local.
+ *  - outputAggregation — Cinnamon #2 (Figure 8c): the per-chip limb
+ *                      partition *is* the digit partition, so mod-up
+ *                      needs no communication; two aggregate+scatter
+ *                      collectives at the end.
+ *
+ * Batched entry points implement the two program patterns the
+ * compiler's keyswitch pass exploits: r rotations of one ciphertext
+ * (one broadcast total) and r rotations followed by aggregation (two
+ * aggregations total).
+ */
+
+#ifndef CINNAMON_PARALLEL_KEYSWITCH_H_
+#define CINNAMON_PARALLEL_KEYSWITCH_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fhe/keys.h"
+#include "parallel/limb_machine.h"
+
+namespace cinnamon::parallel {
+
+/** The two output polynomials of a keyswitch, sharded per chip. */
+struct KsOutput
+{
+    DistPoly p0;
+    DistPoly p1;
+};
+
+/**
+ * Runs keyswitches on a LimbMachine. Holds no state besides the
+ * context/machine bindings; communication tallies accumulate on the
+ * machine.
+ */
+class ParallelKeySwitcher
+{
+  public:
+    ParallelKeySwitcher(const fhe::CkksContext &ctx, LimbMachine &machine)
+        : ctx_(&ctx), machine_(&machine)
+    {
+    }
+
+    /** The digit partition used by output-aggregation keyswitching:
+     *  digit c = the limbs resident on chip c. */
+    std::vector<rns::Basis> chipDigits(std::size_t level) const;
+
+    /** Cinnamon input-broadcast keyswitching (Figure 8b). */
+    KsOutput inputBroadcast(const DistPoly &target, std::size_t level,
+                            const fhe::EvalKey &evk) const;
+
+    /**
+     * Cinnamon output-aggregation keyswitching (Figure 8c). The
+     * evaluation key must be generated for chipDigits(level)
+     * (KeyGenerator::makeKeySwitchKeyForDigits).
+     */
+    KsOutput outputAggregation(const DistPoly &target, std::size_t level,
+                               const fhe::EvalKey &evk) const;
+
+    /** CiFHER-style broadcast keyswitching (state-of-the-art baseline). */
+    KsOutput cifher(const DistPoly &target, std::size_t level,
+                    const fhe::EvalKey &evk) const;
+
+    /**
+     * Batched pattern 1 — r rotations of one ciphertext polynomial:
+     * a single broadcast is hoisted over all rotations (input-
+     * broadcast keyswitching + the compiler pass's batching).
+     *
+     * @param galois one Galois element per rotation.
+     * @param keys the per-element rotation keys (standard digits).
+     * @return one keyswitch output per rotation; the automorphism has
+     *         already been applied to the keyswitched polynomials.
+     */
+    std::vector<KsOutput>
+    hoistedRotations(const DistPoly &c1, std::size_t level,
+                     const std::vector<uint64_t> &galois,
+                     const std::map<uint64_t, fhe::EvalKey> &keys) const;
+
+    /**
+     * Batched pattern 2 — r rotations of r ciphertext polynomials
+     * followed by aggregation: output-aggregation keyswitching with
+     * the two final collectives batched across all r keyswitches.
+     *
+     * @param c1s one distributed polynomial per rotation.
+     * @param keys per-element rotation keys generated for
+     *        chipDigits(level).
+     * @return the aggregated keyswitch output Σ_r KS(auto_{g_r}(c1_r)).
+     */
+    KsOutput
+    rotateAggregate(const std::vector<DistPoly> &c1s, std::size_t level,
+                    const std::vector<uint64_t> &galois,
+                    const std::map<uint64_t, fhe::EvalKey> &keys) const;
+
+    /** Gather a keyswitch output into plain (full-basis) polynomials. */
+    std::pair<rns::RnsPoly, rns::RnsPoly>
+    gather(const KsOutput &out, std::size_t level) const;
+
+  private:
+    /** Per-chip partial mod-up of one digit to local basis ∪ ext. */
+    rns::RnsPoly localModUp(const rns::RnsPoly &digit_poly,
+                            const rns::Basis &digit,
+                            const rns::Basis &local_out) const;
+
+    /** Per-chip inner-product accumulation against one evk digit. */
+    void accumulate(rns::RnsPoly &acc0, rns::RnsPoly &acc1,
+                    rns::RnsPoly up, const fhe::EvalKey &evk,
+                    std::size_t digit_index,
+                    const rns::Basis &local_basis) const;
+
+    const fhe::CkksContext *ctx_;
+    LimbMachine *machine_;
+};
+
+} // namespace cinnamon::parallel
+
+#endif // CINNAMON_PARALLEL_KEYSWITCH_H_

@@ -1,0 +1,75 @@
+#include "parallel/limb_machine.h"
+
+namespace cinnamon::parallel {
+
+rns::Basis
+LimbMachine::localBasis(const rns::Basis &full, std::size_t chip) const
+{
+    rns::Basis out;
+    for (uint32_t idx : full) {
+        if (chipOf(idx) == chip)
+            out.push_back(idx);
+    }
+    return out;
+}
+
+DistPoly
+LimbMachine::scatter(const rns::RnsPoly &p) const
+{
+    DistPoly out;
+    out.shard.reserve(chips_);
+    for (std::size_t c = 0; c < chips_; ++c)
+        out.shard.push_back(p.restrictTo(localBasis(p.basis(), c)));
+    return out;
+}
+
+rns::RnsPoly
+LimbMachine::gather(const DistPoly &p, const rns::Basis &order) const
+{
+    CINN_ASSERT(p.chips() == chips_, "shard count mismatch");
+    rns::RnsPoly out(ctx_->rns(), order, p.shard[0].domain());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::size_t c = chipOf(order[i]);
+        const int pos = p.shard[c].findPrime(order[i]);
+        CINN_ASSERT(pos >= 0, "gather: limb missing from owning chip");
+        CINN_ASSERT(p.shard[c].domain() == p.shard[0].domain(),
+                    "gather: mixed domains");
+        out.limb(i) = p.shard[c].limb(pos);
+    }
+    return out;
+}
+
+std::vector<rns::RnsPoly>
+LimbMachine::broadcast(const DistPoly &p, const rns::Basis &order)
+{
+    rns::RnsPoly full = gather(p, order);
+    countBroadcast(order.size());
+    return std::vector<rns::RnsPoly>(chips_, full);
+}
+
+DistPoly
+LimbMachine::aggregateScatter(const std::vector<rns::RnsPoly> &parts)
+{
+    CINN_ASSERT(parts.size() == chips_, "aggregateScatter shard mismatch");
+    rns::RnsPoly sum = parts[0];
+    for (std::size_t c = 1; c < chips_; ++c)
+        sum.addInPlace(parts[c]);
+    countAggregation(sum.numLimbs());
+    return scatter(sum);
+}
+
+void
+LimbMachine::countBroadcast(std::size_t limbs)
+{
+    ++stats_.broadcasts;
+    stats_.limbs_broadcast += limbs;
+}
+
+void
+LimbMachine::countAggregation(std::size_t limbs)
+{
+    ++stats_.aggregations;
+    stats_.limbs_aggregated += limbs;
+}
+
+} // namespace cinnamon::parallel

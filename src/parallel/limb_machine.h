@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A virtual multi-chip machine with limb-level data placement.
+ *
+ * Cinnamon partitions a polynomial's limbs across n chips modularly:
+ * chip c holds Q_c = { q_i : i mod n = c } (Section 4.3.1). This
+ * class models that placement for functional execution: distributed
+ * polynomials are stored as per-chip shards, and all data movement
+ * between chips must go through the explicit collective primitives,
+ * which tally communication volume. The keyswitching engines built on
+ * top therefore cannot cheat — any cross-chip dependency shows up in
+ * the communication statistics.
+ */
+
+#ifndef CINNAMON_PARALLEL_LIMB_MACHINE_H_
+#define CINNAMON_PARALLEL_LIMB_MACHINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fhe/params.h"
+#include "rns/poly.h"
+
+namespace cinnamon::parallel {
+
+/** Communication tally for one or more collective operations. */
+struct CommStats
+{
+    std::size_t broadcasts = 0;     ///< collective broadcast/allgather ops
+    std::size_t aggregations = 0;   ///< collective reduce(+scatter) ops
+    std::size_t limbs_broadcast = 0;
+    std::size_t limbs_aggregated = 0;
+
+    /** Total limb transfers (the unit the paper's Section 7.3 plots). */
+    std::size_t totalLimbs() const
+    {
+        return limbs_broadcast + limbs_aggregated;
+    }
+
+    CommStats &
+    operator+=(const CommStats &o)
+    {
+        broadcasts += o.broadcasts;
+        aggregations += o.aggregations;
+        limbs_broadcast += o.limbs_broadcast;
+        limbs_aggregated += o.limbs_aggregated;
+        return *this;
+    }
+};
+
+/** A polynomial sharded across chips (shard[c] holds chip c's limbs). */
+struct DistPoly
+{
+    std::vector<rns::RnsPoly> shard;
+
+    std::size_t chips() const { return shard.size(); }
+};
+
+/**
+ * The n-chip limb-partitioned machine.
+ *
+ * Thread-compatible; holds no polynomial state itself, only the
+ * partitioning rules and the running communication tally.
+ */
+class LimbMachine
+{
+  public:
+    LimbMachine(const fhe::CkksContext &ctx, std::size_t num_chips)
+        : ctx_(&ctx), chips_(num_chips)
+    {
+        CINN_ASSERT(num_chips >= 1, "machine needs at least one chip");
+    }
+
+    std::size_t chips() const { return chips_; }
+    const fhe::CkksContext &context() const { return *ctx_; }
+
+    /** Chip that owns prime index `idx` under modular partitioning. */
+    std::size_t chipOf(uint32_t idx) const { return idx % chips_; }
+
+    /** The sub-basis of `full` resident on `chip` (modular policy). */
+    rns::Basis localBasis(const rns::Basis &full, std::size_t chip) const;
+
+    /**
+     * Place a polynomial onto the machine in the canonical modular
+     * layout. This models the steady-state layout, not a transfer, so
+     * no communication is counted.
+     */
+    DistPoly scatter(const rns::RnsPoly &p) const;
+
+    /** Reassemble a distributed polynomial in `order` basis order. */
+    rns::RnsPoly gather(const DistPoly &p, const rns::Basis &order) const;
+
+    /**
+     * Broadcast/allgather: every chip ends up with all limbs of `p`.
+     * Counts one broadcast of p's total limb count.
+     *
+     * @return per-chip copies of the full polynomial in `order` order.
+     */
+    std::vector<rns::RnsPoly> broadcast(const DistPoly &p,
+                                        const rns::Basis &order);
+
+    /**
+     * Aggregate + scatter: sums per-chip polynomials (all over the
+     * same full basis) and re-distributes the sum modularly. Counts
+     * one aggregation of the full limb count.
+     */
+    DistPoly aggregateScatter(const std::vector<rns::RnsPoly> &parts);
+
+    /** Tally a broadcast performed by an engine that moves data itself. */
+    void countBroadcast(std::size_t limbs);
+
+    /** Tally an aggregation performed by an engine itself. */
+    void countAggregation(std::size_t limbs);
+
+    CommStats &stats() { return stats_; }
+    const CommStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CommStats{}; }
+
+  private:
+    const fhe::CkksContext *ctx_;
+    std::size_t chips_;
+    CommStats stats_;
+};
+
+} // namespace cinnamon::parallel
+
+#endif // CINNAMON_PARALLEL_LIMB_MACHINE_H_

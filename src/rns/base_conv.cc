@@ -1,0 +1,172 @@
+#include "rns/base_conv.h"
+
+#include <algorithm>
+
+namespace cinnamon::rns {
+
+BaseConverter::BaseConverter(const RnsContext &ctx, Basis src, Basis dst)
+    : ctx_(&ctx), src_(std::move(src)), dst_(std::move(dst))
+{
+    CINN_ASSERT(!src_.empty(), "base conversion needs a source basis");
+    for (uint32_t s : src_) {
+        CINN_ASSERT(std::find(dst_.begin(), dst_.end(), s) == dst_.end(),
+                    "source and target bases must be disjoint");
+    }
+
+    const std::size_t ell = src_.size();
+    shat_inv_.resize(ell);
+    shat_mod_dst_.assign(ell, std::vector<uint64_t>(dst_.size()));
+
+    for (std::size_t j = 0; j < ell; ++j) {
+        const Modulus &sj = ctx.modulus(src_[j]);
+        // (S / s_j) mod s_j = product of the other source primes.
+        uint64_t prod = 1;
+        for (std::size_t k = 0; k < ell; ++k) {
+            if (k == j)
+                continue;
+            prod = sj.mul(prod, ctx.modulus(src_[k]).value() % sj.value());
+        }
+        shat_inv_[j] = sj.inv(prod);
+
+        for (std::size_t t = 0; t < dst_.size(); ++t) {
+            const Modulus &tk = ctx.modulus(dst_[t]);
+            uint64_t p = 1;
+            for (std::size_t k = 0; k < ell; ++k) {
+                if (k == j)
+                    continue;
+                p = tk.mul(p, ctx.modulus(src_[k]).value() % tk.value());
+            }
+            shat_mod_dst_[j][t] = p;
+        }
+    }
+}
+
+RnsPoly
+BaseConverter::convert(const RnsPoly &x) const
+{
+    std::vector<std::size_t> all(dst_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return convertPartial(x, all);
+}
+
+RnsPoly
+BaseConverter::convertPartial(const RnsPoly &x,
+                              const std::vector<std::size_t> &dst_limbs) const
+{
+    CINN_ASSERT(x.basis() == src_, "converter source basis mismatch");
+    CINN_ASSERT(x.domain() == Domain::Coeff,
+                "base conversion requires the coefficient domain");
+    const std::size_t n = ctx_->n();
+    const std::size_t ell = src_.size();
+
+    // y_j = x_j * (S/s_j)^{-1} mod s_j, shared by all output limbs.
+    std::vector<std::vector<uint64_t>> y(ell);
+    for (std::size_t j = 0; j < ell; ++j) {
+        const Modulus &sj = ctx_->modulus(src_[j]);
+        y[j] = x.limb(j);
+        for (auto &c : y[j])
+            c = sj.mul(c, shat_inv_[j]);
+    }
+
+    Basis out_basis;
+    out_basis.reserve(dst_limbs.size());
+    for (std::size_t t : dst_limbs) {
+        CINN_ASSERT(t < dst_.size(), "target limb index out of range");
+        out_basis.push_back(dst_[t]);
+    }
+    RnsPoly out(*ctx_, out_basis, Domain::Coeff);
+    for (std::size_t oi = 0; oi < dst_limbs.size(); ++oi) {
+        const std::size_t t = dst_limbs[oi];
+        const Modulus &tk = ctx_->modulus(dst_[t]);
+        auto &dst = out.limb(oi);
+        for (std::size_t j = 0; j < ell; ++j) {
+            const uint64_t f = shat_mod_dst_[j][t];
+            const auto &src = y[j];
+            for (std::size_t c = 0; c < n; ++c)
+                dst[c] = tk.add(dst[c], tk.mul(src[c], f));
+        }
+    }
+    return out;
+}
+
+const BaseConverter &
+RnsTool::converter(const Basis &src, const Basis &dst)
+{
+    auto key = std::make_pair(src, dst);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(key, BaseConverter(*ctx_, src, dst)).first;
+    }
+    return it->second;
+}
+
+RnsPoly
+RnsTool::modUp(const RnsPoly &x, const Basis &target)
+{
+    CINN_ASSERT(x.domain() == Domain::Coeff,
+                "modUp requires the coefficient domain");
+    CINN_ASSERT(isSubsetOf(x.basis(), target),
+                "modUp target must contain the digit basis");
+    const Basis missing = differenceBasis(target, x.basis());
+
+    RnsPoly out(*ctx_, target, Domain::Coeff);
+    RnsPoly conv;
+    if (!missing.empty())
+        conv = converter(x.basis(), missing).convert(x);
+    for (std::size_t i = 0; i < target.size(); ++i) {
+        int pos = x.findPrime(target[i]);
+        if (pos >= 0) {
+            out.limb(i) = x.limb(pos);
+        } else {
+            int cpos = conv.findPrime(target[i]);
+            CINN_ASSERT(cpos >= 0, "modUp: missing converted limb");
+            out.limb(i) = conv.limb(cpos);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsTool::modDown(const RnsPoly &x, const Basis &keep, const Basis &ext)
+{
+    CINN_ASSERT(x.domain() == Domain::Coeff,
+                "modDown requires the coefficient domain");
+    CINN_ASSERT(x.basis() == unionBasis(keep, ext),
+                "modDown: input basis must be keep ∪ ext");
+
+    const RnsPoly x_ext = x.restrictTo(ext);
+    const RnsPoly conv = converter(ext, keep).convert(x_ext);
+    RnsPoly out = x.restrictTo(keep);
+    out.subInPlace(conv);
+    out.mulScalarPerLimb(extProductInverse(keep, ext));
+    return out;
+}
+
+RnsPoly
+RnsTool::rescale(const RnsPoly &x)
+{
+    CINN_ASSERT(x.domain() == Domain::Coeff,
+                "rescale requires the coefficient domain");
+    CINN_ASSERT(x.numLimbs() >= 2, "cannot rescale a one-limb polynomial");
+    Basis keep = x.basis();
+    const Basis last = {keep.back()};
+    keep.pop_back();
+    return modDown(x, keep, last);
+}
+
+std::vector<uint64_t>
+RnsTool::extProductInverse(const Basis &keep, const Basis &ext)
+{
+    std::vector<uint64_t> inv(keep.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        const Modulus &qi = ctx_->modulus(keep[i]);
+        uint64_t p = 1;
+        for (uint32_t e : ext)
+            p = qi.mul(p, ctx_->modulus(e).value() % qi.value());
+        inv[i] = qi.inv(p);
+    }
+    return inv;
+}
+
+} // namespace cinnamon::rns

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fast RNS base conversion, mod-up, mod-down, and rescale.
+ *
+ * Base conversion (Section 2 of the paper, and Bajard et al. [6])
+ * transforms a polynomial's limbs from one RNS basis S to a disjoint
+ * basis T:
+ *
+ *     C_{t_k} = sum_j (C_{s_j} * (S/s_j)^{-1} mod s_j) * (S/s_j) mod t_k
+ *
+ * This is the *approximate* fast variant: the result may differ from
+ * the exact value by a small multiple of S (at most |S| of them),
+ * which CKKS absorbs into its noise budget — the same choice every
+ * production RNS-CKKS library makes. Unlike all other limb operations
+ * this one is not data-parallel across limbs, which is exactly why
+ * keyswitching is hard to scale out (Section 3.2).
+ *
+ * ModUp expands a digit to a larger basis, ModDown drops the extension
+ * basis with division-by-P rounding (Figure 3), and rescale divides a
+ * ciphertext polynomial by its last prime (CKKS level consumption).
+ */
+
+#ifndef CINNAMON_RNS_BASE_CONV_H_
+#define CINNAMON_RNS_BASE_CONV_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rns/poly.h"
+
+namespace cinnamon::rns {
+
+/**
+ * Precomputed tables to convert from a fixed source basis S to a fixed
+ * (disjoint) target basis T.
+ */
+class BaseConverter
+{
+  public:
+    BaseConverter(const RnsContext &ctx, Basis src, Basis dst);
+
+    const Basis &srcBasis() const { return src_; }
+    const Basis &dstBasis() const { return dst_; }
+
+    /**
+     * Convert x (over basis S, coefficient domain) to basis T.
+     *
+     * @return a coefficient-domain polynomial over T.
+     */
+    RnsPoly convert(const RnsPoly &x) const;
+
+    /**
+     * Convert only a subset of the output limbs, identified by their
+     * positions in the target basis. Used by the parallel keyswitching
+     * engines where each chip produces only its resident output limbs.
+     */
+    RnsPoly convertPartial(const RnsPoly &x,
+                           const std::vector<std::size_t> &dst_limbs) const;
+
+  private:
+    const RnsContext *ctx_;
+    Basis src_;
+    Basis dst_;
+    /** (S/s_j)^{-1} mod s_j. */
+    std::vector<uint64_t> shat_inv_;
+    /** (S/s_j) mod t_k, indexed [j][k]. */
+    std::vector<std::vector<uint64_t>> shat_mod_dst_;
+};
+
+/**
+ * Caches BaseConverter instances per (src, dst) pair and exposes the
+ * composite RNS routines built on them.
+ */
+class RnsTool
+{
+  public:
+    explicit RnsTool(const RnsContext &ctx) : ctx_(&ctx) {}
+
+    /** Get (or build) the converter from src to dst. */
+    const BaseConverter &converter(const Basis &src, const Basis &dst);
+
+    /**
+     * Mod up: expand x (over digit basis D ⊆ target) to `target`.
+     * Limbs already present are copied; missing limbs are produced by
+     * base conversion. Input and output are in the coefficient domain.
+     */
+    RnsPoly modUp(const RnsPoly &x, const Basis &target);
+
+    /**
+     * Mod down: drop the extension limbs `ext` from x (over q ∪ ext)
+     * and divide by P = prod(ext) with rounding:
+     *     out_i = P^{-1} * (x_i - conv(x_P)_i) mod q_i
+     * Input/output in the coefficient domain; output basis is `keep`.
+     */
+    RnsPoly modDown(const RnsPoly &x, const Basis &keep, const Basis &ext);
+
+    /**
+     * Rescale: divide by the last prime of x's basis (CKKS level
+     * drop). Input/output in the coefficient domain.
+     */
+    RnsPoly rescale(const RnsPoly &x);
+
+    /** P^{-1} mod q_i for each q_i in keep, with P = prod(ext). */
+    std::vector<uint64_t> extProductInverse(const Basis &keep,
+                                            const Basis &ext);
+
+  private:
+    const RnsContext *ctx_;
+    std::map<std::pair<Basis, Basis>, BaseConverter> cache_;
+};
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_BASE_CONV_H_

@@ -1,0 +1,64 @@
+#include "rns/context.h"
+
+#include <algorithm>
+
+namespace cinnamon::rns {
+
+Basis
+rangeBasis(uint32_t lo, uint32_t hi)
+{
+    CINN_ASSERT(lo <= hi, "invalid basis range");
+    Basis b;
+    b.reserve(hi - lo);
+    for (uint32_t i = lo; i < hi; ++i)
+        b.push_back(i);
+    return b;
+}
+
+Basis
+unionBasis(const Basis &a, const Basis &b)
+{
+    Basis out = a;
+    for (uint32_t idx : b) {
+        if (std::find(a.begin(), a.end(), idx) == a.end())
+            out.push_back(idx);
+    }
+    return out;
+}
+
+bool
+isSubsetOf(const Basis &sub, const Basis &super)
+{
+    for (uint32_t idx : sub) {
+        if (std::find(super.begin(), super.end(), idx) == super.end())
+            return false;
+    }
+    return true;
+}
+
+Basis
+differenceBasis(const Basis &a, const Basis &b)
+{
+    Basis out;
+    for (uint32_t idx : a) {
+        if (std::find(b.begin(), b.end(), idx) == b.end())
+            out.push_back(idx);
+    }
+    return out;
+}
+
+RnsContext::RnsContext(std::size_t n, const std::vector<uint64_t> &primes)
+    : n_(n)
+{
+    CINN_ASSERT(!primes.empty(), "context needs at least one prime");
+    moduli_.reserve(primes.size());
+    ntt_.reserve(primes.size());
+    for (uint64_t q : primes) {
+        CINN_ASSERT((q - 1) % (2 * n) == 0,
+                    "prime " << q << " is not NTT friendly for n=" << n);
+        moduli_.emplace_back(q);
+        ntt_.push_back(std::make_unique<NttTable>(n, q));
+    }
+}
+
+} // namespace cinnamon::rns

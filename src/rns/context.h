@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RNS context: the global table of physical primes and NTT tables.
+ *
+ * A context owns the full chain of primes an application may ever use
+ * (the ciphertext chain q_0..q_L plus the keyswitching extension
+ * primes p_0..p_{k-1}; Section 2 "Limbs" and "Digits"). Individual
+ * polynomials reference a *basis* — an ordered subset of these primes
+ * identified by index — so that base-conversion precomputations can be
+ * cached per (source, target) pair.
+ */
+
+#ifndef CINNAMON_RNS_CONTEXT_H_
+#define CINNAMON_RNS_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "rns/modarith.h"
+#include "rns/ntt.h"
+
+namespace cinnamon::rns {
+
+/** An ordered set of prime indices into an RnsContext. */
+using Basis = std::vector<uint32_t>;
+
+/** Return indices [lo, hi) as a Basis. */
+Basis rangeBasis(uint32_t lo, uint32_t hi);
+
+/** Set-union preserving order: a followed by members of b not in a. */
+Basis unionBasis(const Basis &a, const Basis &b);
+
+/** True if every index in sub also appears in super. */
+bool isSubsetOf(const Basis &sub, const Basis &super);
+
+/** Elements of a that are not in b, preserving order. */
+Basis differenceBasis(const Basis &a, const Basis &b);
+
+/**
+ * Shared immutable tables for a ring dimension and a prime chain.
+ *
+ * Thread-compatible: all members are immutable after construction.
+ */
+class RnsContext
+{
+  public:
+    /**
+     * @param n ring dimension (power of two).
+     * @param primes the full physical prime chain; all must satisfy
+     *        p ≡ 1 (mod 2n) so every limb supports the NTT.
+     */
+    RnsContext(std::size_t n, const std::vector<uint64_t> &primes);
+
+    std::size_t n() const { return n_; }
+    std::size_t numPrimes() const { return moduli_.size(); }
+
+    const Modulus &
+    modulus(uint32_t idx) const
+    {
+        CINN_ASSERT(idx < moduli_.size(), "prime index out of range");
+        return moduli_[idx];
+    }
+
+    const NttTable &
+    ntt(uint32_t idx) const
+    {
+        CINN_ASSERT(idx < ntt_.size(), "prime index out of range");
+        return *ntt_[idx];
+    }
+
+  private:
+    std::size_t n_;
+    std::vector<Modulus> moduli_;
+    std::vector<std::unique_ptr<NttTable>> ntt_;
+};
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_CONTEXT_H_

@@ -1,0 +1,62 @@
+#include "rns/modarith.h"
+
+namespace cinnamon::rns {
+
+uint64_t
+powMod(uint64_t a, uint64_t e, uint64_t q)
+{
+    uint64_t result = 1;
+    uint64_t base = a % q;
+    while (e > 0) {
+        if (e & 1)
+            result = mulMod(result, base, q);
+        base = mulMod(base, base, q);
+        e >>= 1;
+    }
+    return result;
+}
+
+uint64_t
+invMod(uint64_t a, uint64_t q)
+{
+    CINN_ASSERT(a % q != 0, "cannot invert 0 mod " << q);
+    return powMod(a % q, q - 2, q);
+}
+
+bool
+isPrime(uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                       19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0)
+            return n == p;
+    }
+    // Miller-Rabin with a base set that is deterministic for 64 bits.
+    uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                       19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        uint64_t x = powMod(a, d, n);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool witness = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mulMod(x, x, n);
+            if (x == n - 1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cinnamon::rns

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Scalar modular arithmetic over word-sized prime moduli.
+ *
+ * FHE schemes in RNS representation (Section 2 of the Cinnamon paper)
+ * decompose a huge ciphertext modulus into a product of word-sized
+ * primes, so every polynomial coefficient operation reduces to scalar
+ * arithmetic mod a ~30-60 bit prime. These helpers are the innermost
+ * kernel of the whole library.
+ *
+ * Multiplication uses 128-bit intermediate products; the Modulus class
+ * additionally carries a Barrett constant so the hot mulMod path avoids
+ * a hardware divide.
+ */
+
+#ifndef CINNAMON_RNS_MODARITH_H_
+#define CINNAMON_RNS_MODARITH_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace cinnamon::rns {
+
+using uint128_t = unsigned __int128;
+
+/** a + b mod q, assuming a, b < q. */
+inline uint64_t
+addMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    uint64_t s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** a - b mod q, assuming a, b < q. */
+inline uint64_t
+subMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** a * b mod q via a 128-bit product. */
+inline uint64_t
+mulMod(uint64_t a, uint64_t b, uint64_t q)
+{
+    return static_cast<uint64_t>((uint128_t)a * b % q);
+}
+
+/** a^e mod q by square-and-multiply. */
+uint64_t powMod(uint64_t a, uint64_t e, uint64_t q);
+
+/** Multiplicative inverse of a mod prime q (Fermat). */
+uint64_t invMod(uint64_t a, uint64_t q);
+
+/** Deterministic Miller-Rabin primality test for 64-bit integers. */
+bool isPrime(uint64_t n);
+
+/**
+ * A word-sized prime modulus with Barrett reduction constants.
+ *
+ * The Barrett constant is floor(2^128 / q) stored as a 128-bit value;
+ * reduce() computes x mod q for x < q^2 without a divide instruction.
+ */
+class Modulus
+{
+  public:
+    Modulus() : value_(0), barrett_(0) {}
+
+    explicit Modulus(uint64_t q) : value_(q)
+    {
+        CINN_ASSERT(q > 1, "modulus must exceed 1");
+        CINN_ASSERT(q < (1ULL << 62), "modulus must fit in 62 bits");
+        // floor(2^128 / q): divide (2^128 - 1) by q and correct.
+        uint128_t numer = ~(uint128_t)0;
+        barrett_ = numer / q;
+        if ((numer - barrett_ * q) + 1 == q)
+            ++barrett_;
+    }
+
+    uint64_t value() const { return value_; }
+
+    /** Reduce a 128-bit value x < q^2 to x mod q. */
+    uint64_t
+    reduce(uint128_t x) const
+    {
+        // Approximate quotient: floor(x * floor(2^128/q) / 2^128).
+        // We only need the top 128 bits of the 256-bit product; since
+        // x < 2^124 in practice, computing with the high 64 bits of x
+        // suffices with at most two correction subtractions.
+        uint64_t xhi = static_cast<uint64_t>(x >> 64);
+        uint64_t xlo = static_cast<uint64_t>(x);
+        uint64_t bhi = static_cast<uint64_t>(barrett_ >> 64);
+        uint64_t blo = static_cast<uint64_t>(barrett_);
+        // q_approx = high 128 bits of x * barrett_.
+        uint128_t cross1 = (uint128_t)xhi * blo;
+        uint128_t cross2 = (uint128_t)xlo * bhi;
+        uint128_t lolo_hi = ((uint128_t)xlo * blo) >> 64;
+        uint128_t mid = cross1 + cross2 + lolo_hi;
+        uint128_t quot = (uint128_t)xhi * bhi + (mid >> 64);
+        uint64_t r = static_cast<uint64_t>(x - quot * value_);
+        while (r >= value_)
+            r -= value_;
+        return r;
+    }
+
+    uint64_t add(uint64_t a, uint64_t b) const { return addMod(a, b, value_); }
+    uint64_t sub(uint64_t a, uint64_t b) const { return subMod(a, b, value_); }
+
+    uint64_t
+    mul(uint64_t a, uint64_t b) const
+    {
+        return reduce((uint128_t)a * b);
+    }
+
+    uint64_t pow(uint64_t a, uint64_t e) const { return powMod(a, e, value_); }
+    uint64_t inv(uint64_t a) const { return invMod(a, value_); }
+
+    /** Map a signed value into [0, q). */
+    uint64_t
+    fromSigned(int64_t v) const
+    {
+        int64_t r = v % static_cast<int64_t>(value_);
+        if (r < 0)
+            r += static_cast<int64_t>(value_);
+        return static_cast<uint64_t>(r);
+    }
+
+    /** Map a residue to its centered representative in (-q/2, q/2]. */
+    int64_t
+    toSigned(uint64_t v) const
+    {
+        return v > value_ / 2 ? static_cast<int64_t>(v) -
+                                    static_cast<int64_t>(value_)
+                              : static_cast<int64_t>(v);
+    }
+
+    bool operator==(const Modulus &o) const { return value_ == o.value_; }
+
+  private:
+    uint64_t value_;
+    uint128_t barrett_;
+};
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_MODARITH_H_

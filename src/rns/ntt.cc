@@ -1,0 +1,80 @@
+#include "rns/ntt.h"
+
+#include "common/logging.h"
+#include "rns/prime_gen.h"
+
+namespace cinnamon::rns {
+
+NttTable::NttTable(std::size_t n, uint64_t q) : n_(n), mod_(q)
+{
+    CINN_ASSERT(n >= 2 && (n & (n - 1)) == 0, "n must be a power of 2");
+    log_n_ = 0;
+    while ((1ULL << log_n_) < n)
+        ++log_n_;
+
+    const uint64_t psi = findPrimitiveRoot(2 * n, q);
+    const uint64_t psi_inv = invMod(psi, q);
+
+    psi_br_.resize(n);
+    psi_inv_br_.resize(n);
+    uint64_t pow_fwd = 1;
+    std::vector<uint64_t> fwd(n), inv(n);
+    uint64_t pow_inv = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        fwd[i] = pow_fwd;
+        inv[i] = pow_inv;
+        pow_fwd = mod_.mul(pow_fwd, psi);
+        pow_inv = mod_.mul(pow_inv, psi_inv);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_br_[i] = fwd[bitReverse(static_cast<uint32_t>(i), log_n_)];
+        psi_inv_br_[i] = inv[bitReverse(static_cast<uint32_t>(i), log_n_)];
+    }
+    n_inv_ = invMod(static_cast<uint64_t>(n), q);
+}
+
+void
+NttTable::forward(uint64_t *a) const
+{
+    const uint64_t q = mod_.value();
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const uint64_t s = psi_br_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const uint64_t u = a[j];
+                const uint64_t v = mod_.mul(a[j + t], s);
+                a[j] = addMod(u, v, q);
+                a[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(uint64_t *a) const
+{
+    const uint64_t q = mod_.value();
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        const std::size_t h = m >> 1;
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            const uint64_t s = psi_inv_br_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const uint64_t u = a[j];
+                const uint64_t v = a[j + t];
+                a[j] = addMod(u, v, q);
+                a[j + t] = mod_.mul(subMod(u, v, q), s);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t j = 0; j < n_; ++j)
+        a[j] = mod_.mul(a[j], n_inv_);
+}
+
+} // namespace cinnamon::rns

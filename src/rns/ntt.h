@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform over a prime field.
+ *
+ * The NTT is the analog of the FFT in a prime field (Section 2 of the
+ * paper). Polynomials live in Z_q[X]/(X^n + 1); multiplying them is a
+ * negacyclic convolution, which the NTT turns into a pointwise product.
+ * We use the standard merged-twiddle formulation (Longa & Naehrig):
+ * forward Cooley-Tukey butterflies with powers of the 2n-th root psi in
+ * bit-reversed order, inverse Gentleman-Sande butterflies, both fully
+ * in-place and in natural coefficient order.
+ */
+
+#ifndef CINNAMON_RNS_NTT_H_
+#define CINNAMON_RNS_NTT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rns/modarith.h"
+
+namespace cinnamon::rns {
+
+/**
+ * Precomputed twiddle tables for one (n, q) pair.
+ *
+ * Construction cost is O(n); forward() and inverse() are O(n log n).
+ */
+class NttTable
+{
+  public:
+    /**
+     * @param n transform length (power of two).
+     * @param q an NTT-friendly prime, q ≡ 1 (mod 2n).
+     */
+    NttTable(std::size_t n, uint64_t q);
+
+    /** In-place forward negacyclic NTT (coefficient → evaluation). */
+    void forward(uint64_t *a) const;
+
+    /** In-place inverse negacyclic NTT (evaluation → coefficient). */
+    void inverse(uint64_t *a) const;
+
+    void forward(std::vector<uint64_t> &a) const { forward(a.data()); }
+    void inverse(std::vector<uint64_t> &a) const { inverse(a.data()); }
+
+    std::size_t n() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+
+  private:
+    std::size_t n_;
+    int log_n_;
+    Modulus mod_;
+    /** psi^bitrev(i) for forward butterflies. */
+    std::vector<uint64_t> psi_br_;
+    /** psi^-bitrev(i) for inverse butterflies. */
+    std::vector<uint64_t> psi_inv_br_;
+    /** n^-1 mod q for the final inverse scaling. */
+    uint64_t n_inv_;
+};
+
+/** Reverse the low `bits` bits of x. */
+inline uint32_t
+bitReverse(uint32_t x, int bits)
+{
+    uint32_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_NTT_H_

@@ -1,0 +1,202 @@
+#include "rns/poly.h"
+
+#include <algorithm>
+
+namespace cinnamon::rns {
+
+RnsPoly::RnsPoly(const RnsContext &ctx, Basis basis, Domain domain)
+    : ctx_(&ctx), basis_(std::move(basis)), domain_(domain)
+{
+    limbs_.resize(basis_.size());
+    for (auto &l : limbs_)
+        l.assign(ctx.n(), 0);
+}
+
+int
+RnsPoly::findPrime(uint32_t idx) const
+{
+    auto it = std::find(basis_.begin(), basis_.end(), idx);
+    if (it == basis_.end())
+        return -1;
+    return static_cast<int>(it - basis_.begin());
+}
+
+void
+RnsPoly::toEval()
+{
+    if (domain_ == Domain::Eval)
+        return;
+    for (std::size_t i = 0; i < limbs_.size(); ++i)
+        ctx_->ntt(basis_[i]).forward(limbs_[i]);
+    domain_ = Domain::Eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    if (domain_ == Domain::Coeff)
+        return;
+    for (std::size_t i = 0; i < limbs_.size(); ++i)
+        ctx_->ntt(basis_[i]).inverse(limbs_[i]);
+    domain_ = Domain::Coeff;
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &other)
+{
+    CINN_ASSERT(basis_ == other.basis_ && domain_ == other.domain_,
+                "add: mismatched basis or domain");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        const auto &ol = other.limbs_[i];
+        auto &l = limbs_[i];
+        for (std::size_t j = 0; j < l.size(); ++j)
+            l[j] = addMod(l[j], ol[j], q);
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &other)
+{
+    CINN_ASSERT(basis_ == other.basis_ && domain_ == other.domain_,
+                "sub: mismatched basis or domain");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        const auto &ol = other.limbs_[i];
+        auto &l = limbs_[i];
+        for (std::size_t j = 0; j < l.size(); ++j)
+            l[j] = subMod(l[j], ol[j], q);
+    }
+}
+
+void
+RnsPoly::mulInPlace(const RnsPoly &other)
+{
+    CINN_ASSERT(basis_ == other.basis_, "mul: mismatched basis");
+    CINN_ASSERT(domain_ == Domain::Eval && other.domain_ == Domain::Eval,
+                "pointwise mul requires the evaluation domain");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &mod = limbModulus(i);
+        const auto &ol = other.limbs_[i];
+        auto &l = limbs_[i];
+        for (std::size_t j = 0; j < l.size(); ++j)
+            l[j] = mod.mul(l[j], ol[j]);
+    }
+}
+
+void
+RnsPoly::negateInPlace()
+{
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        for (auto &c : limbs_[i])
+            c = c == 0 ? 0 : q - c;
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimb(const std::vector<uint64_t> &scalars)
+{
+    CINN_ASSERT(scalars.size() == limbs_.size(),
+                "per-limb scalar count mismatch");
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &mod = limbModulus(i);
+        const uint64_t s = scalars[i];
+        for (auto &c : limbs_[i])
+            c = mod.mul(c, s);
+    }
+}
+
+void
+RnsPoly::mulScalarInt(uint64_t scalar)
+{
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const Modulus &mod = limbModulus(i);
+        const uint64_t s = scalar % mod.value();
+        for (auto &c : limbs_[i])
+            c = mod.mul(c, s);
+    }
+}
+
+RnsPoly
+RnsPoly::add(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out.addInPlace(other);
+    return out;
+}
+
+RnsPoly
+RnsPoly::sub(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out.subInPlace(other);
+    return out;
+}
+
+RnsPoly
+RnsPoly::mul(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out.mulInPlace(other);
+    return out;
+}
+
+RnsPoly
+RnsPoly::automorphism(uint64_t galois) const
+{
+    CINN_ASSERT(domain_ == Domain::Coeff,
+                "automorphism implemented in the coefficient domain");
+    const std::size_t n = ctx_->n();
+    CINN_ASSERT((galois & 1) == 1 && galois < 2 * n,
+                "galois element must be odd and < 2n");
+    RnsPoly out(*ctx_, basis_, Domain::Coeff);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        const auto &src = limbs_[i];
+        auto &dst = out.limbs_[i];
+        for (std::size_t j = 0; j < n; ++j) {
+            // X^j maps to X^(j*g mod 2n); X^n = -1 folds the sign.
+            const uint64_t idx = (j * galois) % (2 * n);
+            if (idx < n) {
+                dst[idx] = src[j];
+            } else {
+                dst[idx - n] = src[j] == 0 ? 0 : q - src[j];
+            }
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::restrictTo(const Basis &sub) const
+{
+    RnsPoly out(*ctx_, sub, domain_);
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+        int pos = findPrime(sub[i]);
+        CINN_ASSERT(pos >= 0, "restrictTo: prime not present in basis");
+        out.limbs_[i] = limbs_[pos];
+    }
+    return out;
+}
+
+bool
+RnsPoly::isZero() const
+{
+    for (const auto &l : limbs_) {
+        for (uint64_t c : l) {
+            if (c != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+RnsPoly::operator==(const RnsPoly &other) const
+{
+    return ctx_ == other.ctx_ && basis_ == other.basis_ &&
+           domain_ == other.domain_ && limbs_ == other.limbs_;
+}
+
+} // namespace cinnamon::rns

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * RNS polynomials: a tuple of limbs over a basis of primes.
+ *
+ * An RnsPoly represents an element of Z_Q[X]/(X^n + 1) where Q is the
+ * product of the primes in its basis, stored as one limb (length-n
+ * coefficient vector) per prime (Section 2, "Limbs"). Each polynomial
+ * tracks whether it is in the coefficient or evaluation (NTT) domain;
+ * pointwise multiplication requires the evaluation domain, base
+ * conversion and automorphism require the coefficient domain, and the
+ * domain-changing helpers are explicit so callers account for every
+ * (I)NTT — the dominant cost in real hardware.
+ */
+
+#ifndef CINNAMON_RNS_POLY_H_
+#define CINNAMON_RNS_POLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/context.h"
+
+namespace cinnamon::rns {
+
+/** Polynomial representation domain. */
+enum class Domain { Coeff, Eval };
+
+/**
+ * A polynomial in RNS form over a subset of the context primes.
+ *
+ * Value semantics; copying copies all limbs.
+ */
+class RnsPoly
+{
+  public:
+    RnsPoly() : ctx_(nullptr), domain_(Domain::Coeff) {}
+
+    /** All-zero polynomial over the given basis. */
+    RnsPoly(const RnsContext &ctx, Basis basis, Domain domain);
+
+    bool valid() const { return ctx_ != nullptr; }
+    const RnsContext &context() const { return *ctx_; }
+    const Basis &basis() const { return basis_; }
+    Domain domain() const { return domain_; }
+    std::size_t numLimbs() const { return limbs_.size(); }
+    std::size_t n() const { return ctx_->n(); }
+
+    std::vector<uint64_t> &limb(std::size_t i) { return limbs_[i]; }
+    const std::vector<uint64_t> &limb(std::size_t i) const
+    {
+        return limbs_[i];
+    }
+
+    /** Prime index backing limb i. */
+    uint32_t primeIndex(std::size_t i) const { return basis_[i]; }
+
+    /** Modulus backing limb i. */
+    const Modulus &
+    limbModulus(std::size_t i) const
+    {
+        return ctx_->modulus(basis_[i]);
+    }
+
+    /** Position of prime index `idx` in this basis, or -1. */
+    int findPrime(uint32_t idx) const;
+
+    /** In-place conversion to the evaluation domain (per-limb NTT). */
+    void toEval();
+
+    /** In-place conversion to the coefficient domain (per-limb INTT). */
+    void toCoeff();
+
+    /** this += other (same basis, same domain). */
+    void addInPlace(const RnsPoly &other);
+
+    /** this -= other (same basis, same domain). */
+    void subInPlace(const RnsPoly &other);
+
+    /** this *= other pointwise (same basis, both Eval domain). */
+    void mulInPlace(const RnsPoly &other);
+
+    /** this = -this. */
+    void negateInPlace();
+
+    /** Multiply limb i by scalars[i] (any domain; scalars are per-limb). */
+    void mulScalarPerLimb(const std::vector<uint64_t> &scalars);
+
+    /** Multiply every limb by the image of a single integer scalar. */
+    void mulScalarInt(uint64_t scalar);
+
+    /** Add the image of a single integer scalar to coefficient 0 ... */
+    RnsPoly add(const RnsPoly &other) const;
+    RnsPoly sub(const RnsPoly &other) const;
+    RnsPoly mul(const RnsPoly &other) const;
+
+    /**
+     * Apply the Galois automorphism X → X^g (coefficient domain).
+     *
+     * @param galois an odd exponent in [1, 2n).
+     */
+    RnsPoly automorphism(uint64_t galois) const;
+
+    /**
+     * Restrict to a sub-basis: keep only limbs whose prime index
+     * appears in `sub` (order taken from `sub`).
+     */
+    RnsPoly restrictTo(const Basis &sub) const;
+
+    /** True when every coefficient of every limb is zero. */
+    bool isZero() const;
+
+    bool operator==(const RnsPoly &other) const;
+
+  private:
+    const RnsContext *ctx_;
+    Basis basis_;
+    Domain domain_;
+    std::vector<std::vector<uint64_t>> limbs_;
+};
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_POLY_H_

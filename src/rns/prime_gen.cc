@@ -1,0 +1,65 @@
+#include "rns/prime_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "rns/modarith.h"
+
+namespace cinnamon::rns {
+
+std::vector<uint64_t>
+generateNttPrimes(std::size_t n, int bits, std::size_t count,
+                  const std::vector<uint64_t> &exclude)
+{
+    CINN_ASSERT((n & (n - 1)) == 0, "ring dimension must be a power of 2");
+    CINN_ASSERT(bits >= 20 && bits <= 61, "prime width out of range");
+    const uint64_t step = 2 * static_cast<uint64_t>(n);
+    const uint64_t center = 1ULL << bits;
+
+    std::vector<uint64_t> primes;
+    // Alternate candidates above and below 2^bits so that products of
+    // consecutive primes stay close to powers of the scaling factor.
+    uint64_t up = center + 1;
+    uint64_t down = center + 1 - step;
+    bool take_up = true;
+    while (primes.size() < count) {
+        uint64_t cand;
+        if (take_up) {
+            cand = up;
+            up += step;
+        } else {
+            cand = down;
+            CINN_ASSERT(down >= step, "ran out of candidates below 2^bits");
+            down -= step;
+        }
+        take_up = !take_up;
+        if (!isPrime(cand))
+            continue;
+        if (std::find(exclude.begin(), exclude.end(), cand) != exclude.end())
+            continue;
+        if (std::find(primes.begin(), primes.end(), cand) != primes.end())
+            continue;
+        primes.push_back(cand);
+    }
+    return primes;
+}
+
+uint64_t
+findPrimitiveRoot(std::size_t two_n, uint64_t q)
+{
+    CINN_ASSERT((q - 1) % two_n == 0, "q is not NTT friendly for this n");
+    const uint64_t group_order = q - 1;
+    const uint64_t exponent = group_order / two_n;
+    // Try small candidates; g^((q-1)/2n) is a primitive 2n-th root iff
+    // its (2n/2)-th power is not 1, i.e. it has exact order 2n.
+    for (uint64_t g = 2; g < q; ++g) {
+        uint64_t root = powMod(g, exponent, q);
+        if (root == 1)
+            continue;
+        if (powMod(root, two_n / 2, q) != 1 && powMod(root, two_n, q) == 1)
+            return root;
+    }
+    panic("no primitive root found (q is not prime?)");
+}
+
+} // namespace cinnamon::rns

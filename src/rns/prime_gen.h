@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Generation of NTT-friendly primes.
+ *
+ * A negacyclic NTT of length n requires a primitive 2n-th root of
+ * unity mod q, i.e. q ≡ 1 (mod 2n). The prime generator walks
+ * candidates of that shape near a target bit width. CKKS additionally
+ * wants the scaling primes q_1..q_L close to the scaling factor 2^Δ so
+ * that rescaling keeps the plaintext scale stable; we alternate
+ * candidates above/below 2^bits to balance the products.
+ */
+
+#ifndef CINNAMON_RNS_PRIME_GEN_H_
+#define CINNAMON_RNS_PRIME_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cinnamon::rns {
+
+/**
+ * Generate `count` distinct primes q ≡ 1 (mod 2n) of roughly `bits`
+ * bits, excluding any prime already in `exclude`.
+ *
+ * @param n ring dimension (power of two).
+ * @param bits target bit width (result primes are within ±1 bit).
+ * @param count number of primes to produce.
+ * @param exclude primes that must not be reused.
+ */
+std::vector<uint64_t> generateNttPrimes(std::size_t n, int bits,
+                                        std::size_t count,
+                                        const std::vector<uint64_t> &exclude =
+                                            {});
+
+/** Find a generator-derived primitive 2n-th root of unity mod q. */
+uint64_t findPrimitiveRoot(std::size_t two_n, uint64_t q);
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_PRIME_GEN_H_

@@ -1,0 +1,47 @@
+#include "sim/hardware.h"
+
+namespace cinnamon::sim {
+
+const char *
+fuName(FuType t)
+{
+    switch (t) {
+      case FuType::Ntt:
+        return "ntt";
+      case FuType::Add:
+        return "add";
+      case FuType::Mul:
+        return "mul";
+      case FuType::Auto:
+        return "auto";
+      case FuType::BConv:
+        return "bconv";
+      case FuType::ModRed:
+        return "modred";
+      case FuType::None:
+        return "none";
+    }
+    return "?";
+}
+
+HardwareConfig
+HardwareConfig::cinnamonChip()
+{
+    return HardwareConfig{};
+}
+
+HardwareConfig
+HardwareConfig::monolithicChip()
+{
+    HardwareConfig hw;
+    hw.lanes = 2048;        // 8 clusters
+    hw.bconv_lanes = 2048;  // doubled BCU buffers + block size 32
+    hw.phys_regs = 896;     // 224 MB register file
+    hw.fu_count = {
+        {FuType::Ntt, 2},  {FuType::Add, 5},   {FuType::Mul, 5},
+        {FuType::Auto, 2}, {FuType::BConv, 2}, {FuType::ModRed, 2},
+    };
+    return hw;
+}
+
+} // namespace cinnamon::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hardware configuration for the Cinnamon cycle-level simulator.
+ *
+ * Numbers default to the paper's chip (Section 5): 1 GHz clock, four
+ * compute clusters of 256 lanes (1024 vector lanes total), a
+ * half-width base-conversion unit (Section 4.7: 128 lanes/cluster), a
+ * 56 MB vector register file (224 limb registers at N = 64K × 4 B),
+ * four HBM2E stacks totalling 2 TB/s, and two 256 GB/s network PHYs.
+ * Cinnamon-M (the monolithic comparison chip, Section 6.1) doubles
+ * clusters and functional units and quadruples the register file.
+ */
+
+#ifndef CINNAMON_SIM_HARDWARE_H_
+#define CINNAMON_SIM_HARDWARE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace cinnamon::sim {
+
+/** Functional-unit classes of a Cinnamon chip (Table 1). */
+enum class FuType { Ntt, Add, Mul, Auto, BConv, ModRed, None };
+
+const char *fuName(FuType t);
+
+/** Interconnect topology (Section 4.5.1). */
+enum class Topology { Ring, Switch };
+
+/** One chip + machine configuration. */
+struct HardwareConfig
+{
+    // Vector datapath.
+    std::size_t n = 65536;          ///< ring dimension (vector length)
+    double clock_ghz = 1.0;
+    std::size_t lanes = 1024;       ///< 4 clusters × 256 lanes
+    std::size_t bconv_lanes = 512;  ///< 4 × 128 (space-optimized BCU)
+    std::size_t word_bytes = 4;     ///< 28-bit datapath, padded
+
+    // Functional-unit instance counts (Table 1 mix).
+    std::map<FuType, std::size_t> fu_count = {
+        {FuType::Ntt, 1},  {FuType::Add, 2},   {FuType::Mul, 2},
+        {FuType::Auto, 1}, {FuType::BConv, 1}, {FuType::ModRed, 1},
+    };
+
+    // Pipeline latencies (cycles past occupancy).
+    std::map<FuType, double> fu_latency = {
+        {FuType::Ntt, 24},  {FuType::Add, 4},   {FuType::Mul, 8},
+        {FuType::Auto, 12}, {FuType::BConv, 16}, {FuType::ModRed, 6},
+    };
+
+    // Memory system.
+    double hbm_gbs = 2048.0;        ///< per-chip HBM bandwidth, GB/s
+    std::size_t phys_regs = 224;    ///< limb registers (RF size)
+
+    // Interconnect.
+    double link_gbs = 256.0;        ///< per-link bandwidth, GB/s
+    double hop_latency_cycles = 100.0;
+    Topology topology = Topology::Ring;
+
+    /** Bytes in one limb register. */
+    std::size_t limbBytes() const { return n * word_bytes; }
+
+    /** HBM bytes per cycle. */
+    double hbmBytesPerCycle() const { return hbm_gbs / clock_ghz; }
+
+    /** Link bytes per cycle. */
+    double linkBytesPerCycle() const { return link_gbs / clock_ghz; }
+
+    /** Register file capacity in MB. */
+    double
+    registerFileMb() const
+    {
+        return static_cast<double>(phys_regs) * limbBytes() /
+               (1024.0 * 1024.0);
+    }
+
+    /** The paper's standard Cinnamon chip. */
+    static HardwareConfig cinnamonChip();
+
+    /**
+     * Cinnamon-M: the scaled-up monolithic chip (224 MB register
+     * file, 8 clusters, 2 NTT/Transpose units, doubled BCU).
+     */
+    static HardwareConfig monolithicChip();
+};
+
+} // namespace cinnamon::sim
+
+#endif // CINNAMON_SIM_HARDWARE_H_

@@ -1,0 +1,272 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cinnamon::sim {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+FuType
+fuOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ntt:
+      case Opcode::Intt:
+        return FuType::Ntt;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::AddScalar:
+      case Opcode::SubScalar:
+        return FuType::Add;
+      case Opcode::Mul:
+      case Opcode::MulScalar:
+        return FuType::Mul;
+      case Opcode::Automorph:
+        return FuType::Auto;
+      case Opcode::BConv:
+        return FuType::BConv;
+      case Opcode::Mod:
+        return FuType::ModRed;
+      default:
+        return FuType::None;
+    }
+}
+
+constexpr double kHbmLatency = 200.0;
+
+/** Timing state for one chip. */
+struct ChipState
+{
+    double now = 0.0;
+    double finish = 0.0;
+    double hbm_free = 0.0;
+    std::vector<double> reg_ready;
+    std::map<FuType, std::vector<double>> fu_free;
+    std::size_t pc = 0;
+
+    double
+    ready(int reg) const
+    {
+        if (reg < 0 || static_cast<std::size_t>(reg) >= reg_ready.size())
+            return 0.0;
+        return reg_ready[reg];
+    }
+
+    void
+    setReady(int reg, double t)
+    {
+        if (reg < 0)
+            return;
+        if (static_cast<std::size_t>(reg) >= reg_ready.size())
+            reg_ready.resize(reg + 1, 0.0);
+        reg_ready[reg] = t;
+    }
+};
+
+/** Area weights for utilization reporting (Table 1, mm^2). */
+const std::map<FuType, double> kAreaWeights = {
+    {FuType::Ntt, 34.08}, {FuType::Add, 0.4},
+    {FuType::Mul, 2.55},  {FuType::Auto, 6.04},
+    {FuType::BConv, 14.12}, {FuType::ModRed, 2.37},
+};
+
+} // namespace
+
+double
+SimResult::computeUtilization(const HardwareConfig &hw) const
+{
+    if (cycles <= 0.0)
+        return 0.0;
+    double weighted = 0.0;
+    double total_weight = 0.0;
+    for (const auto &[ft, weight] : kAreaWeights) {
+        auto cit = hw.fu_count.find(ft);
+        const double count =
+            cit == hw.fu_count.end() ? 1.0
+                                     : static_cast<double>(cit->second);
+        const double capacity =
+            count * static_cast<double>(chips) * cycles;
+        auto bit = fu_busy.find(ft);
+        const double busy = bit == fu_busy.end() ? 0.0 : bit->second;
+        weighted += weight * std::min(1.0, busy / capacity);
+        total_weight += weight;
+    }
+    return weighted / total_weight;
+}
+
+double
+SimResult::memoryUtilization(const HardwareConfig &hw) const
+{
+    (void)hw;
+    if (cycles <= 0.0)
+        return 0.0;
+    return std::min(1.0, hbm_busy / (static_cast<double>(chips) * cycles));
+}
+
+double
+SimResult::networkUtilization(const HardwareConfig &hw) const
+{
+    (void)hw;
+    if (cycles <= 0.0)
+        return 0.0;
+    return std::min(1.0,
+                    net_busy / (static_cast<double>(chips) * cycles));
+}
+
+SimResult
+simulate(const isa::MachineProgram &program, const HardwareConfig &hw)
+{
+    const std::size_t chips = program.numChips();
+    std::vector<ChipState> state(chips);
+    for (auto &s : state) {
+        for (const auto &[ft, count] : hw.fu_count)
+            s.fu_free[ft].assign(count, 0.0);
+    }
+
+    SimResult result;
+    result.chips = chips;
+    result.instructions = program.totalInstructions();
+
+    const double limb_bytes = static_cast<double>(hw.limbBytes());
+    const double elem_occ =
+        static_cast<double>(hw.n) / static_cast<double>(hw.lanes);
+    const double bconv_occ =
+        static_cast<double>(hw.n) / static_cast<double>(hw.bconv_lanes);
+    const double hbm_xfer = limb_bytes / hw.hbmBytesPerCycle();
+    const double link_xfer = limb_bytes / hw.linkBytesPerCycle();
+
+    std::map<uint32_t, double> link_free; ///< per group (part_lo)
+
+    // Execute one non-collective instruction's timing on chip c.
+    auto step = [&](std::size_t c, const Instruction &ins) {
+        ChipState &s = state[c];
+        double src_ready = 0.0;
+        for (int r : ins.srcs)
+            src_ready = std::max(src_ready, s.ready(r));
+
+        // Decoupled issue: the front end dispatches one instruction
+        // per cycle into per-FU queues; execution begins when the
+        // operands and a unit are ready. This models the statically
+        // scheduled machine the compiler targets (Section 4.4 hoists
+        // loads "as early as possible"), so a long-latency load does
+        // not stall independent work behind it.
+        if (ins.op == Opcode::Load || ins.op == Opcode::Store) {
+            const double issue =
+                std::max({s.now, src_ready, s.hbm_free});
+            s.hbm_free = issue + hbm_xfer;
+            result.hbm_busy += hbm_xfer;
+            result.bytes_moved_hbm += hw.limbBytes();
+            if (ins.op == Opcode::Load)
+                s.setReady(ins.dst, issue + hbm_xfer + kHbmLatency);
+            s.now += 1.0;
+            s.finish = std::max(s.finish, issue + hbm_xfer + kHbmLatency);
+            return;
+        }
+
+        const FuType ft = fuOf(ins.op);
+        if (ft == FuType::None) { // Fence/Nop/Halt
+            s.now += 1.0;
+            return;
+        }
+        auto &insts = s.fu_free[ft];
+        CINN_ASSERT(!insts.empty(), "no functional unit instance for "
+                                        << fuName(ft));
+        auto best = std::min_element(insts.begin(), insts.end());
+        const double occ = ft == FuType::BConv ? bconv_occ : elem_occ;
+        const double lat = hw.fu_latency.at(ft);
+        const double issue = std::max({s.now, src_ready, *best});
+        *best = issue + occ;
+        result.fu_busy[ft] += occ;
+        s.setReady(ins.dst, issue + occ + lat);
+        s.now += 1.0;
+        s.finish = std::max(s.finish, issue + occ + lat);
+    };
+
+    while (true) {
+        bool all_done = true;
+        for (std::size_t c = 0; c < chips; ++c) {
+            const auto &instrs = program.chips[c].instrs;
+            while (state[c].pc < instrs.size() &&
+                   !isCollective(instrs[state[c].pc].op)) {
+                step(c, instrs[state[c].pc]);
+                ++state[c].pc;
+            }
+            if (state[c].pc < instrs.size())
+                all_done = false;
+        }
+        if (all_done)
+            break;
+
+        bool progressed = false;
+        for (std::size_t c = 0; c < chips && !progressed; ++c) {
+            const auto &instrs = program.chips[c].instrs;
+            if (state[c].pc >= instrs.size())
+                continue;
+            const Instruction &ins = instrs[state[c].pc];
+            const uint32_t lo = ins.part_lo;
+            const uint32_t hi =
+                ins.part_hi == 0 ? static_cast<uint32_t>(chips)
+                                 : ins.part_hi;
+            bool ready = true;
+            for (uint32_t p = lo; p < hi && ready; ++p) {
+                const auto &pin = program.chips[p].instrs;
+                ready = state[p].pc < pin.size() &&
+                        isCollective(pin[state[p].pc].op) &&
+                        pin[state[p].pc].tag == ins.tag;
+            }
+            if (!ready)
+                continue;
+
+            // Arrival: every participant's front end plus its source.
+            double arrival = link_free[lo];
+            for (uint32_t p = lo; p < hi; ++p) {
+                const Instruction &pi =
+                    program.chips[p].instrs[state[p].pc];
+                double sr = state[p].now;
+                for (int r : pi.srcs)
+                    sr = std::max(sr, state[p].ready(r));
+                arrival = std::max(arrival, sr);
+            }
+            const std::size_t participants = hi - lo;
+            double duration = 0.0;
+            if (participants > 1) {
+                const double hops =
+                    hw.topology == Topology::Ring
+                        ? std::max<double>(
+                              1.0, std::ceil((participants - 1) / 2.0))
+                        : 2.0;
+                duration = link_xfer + hops * hw.hop_latency_cycles;
+                link_free[lo] = arrival + link_xfer;
+                result.net_busy += link_xfer;
+                result.bytes_moved_net += hw.limbBytes();
+            }
+
+            const double done = arrival + duration;
+            for (uint32_t p = lo; p < hi; ++p) {
+                const Instruction &pi =
+                    program.chips[p].instrs[state[p].pc];
+                state[p].setReady(pi.dst, done);
+                state[p].now = std::max(state[p].now, arrival + 1.0);
+                state[p].finish = std::max(state[p].finish, done);
+                ++state[p].pc;
+            }
+            progressed = true;
+        }
+        CINN_ASSERT(progressed, "simulator collective deadlock");
+    }
+
+    for (const auto &s : state)
+        result.cycles = std::max(result.cycles, s.finish);
+    result.seconds = result.cycles / (hw.clock_ghz * 1e9);
+    return result;
+}
+
+} // namespace cinnamon::sim

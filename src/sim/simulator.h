@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace-driven cycle-level simulator for the Cinnamon scale-out
+ * architecture (Section 6: "We built a cycle-accurate simulator to
+ * model the Cinnamon hardware architecture").
+ *
+ * The simulator consumes compiled multi-chip ISA streams and models:
+ *  - per-chip in-order issue with structural hazards across the
+ *    Table 1 functional-unit mix (multiple instances per FU class,
+ *    pipelined: occupancy = vector length / lanes);
+ *  - a bandwidth-limited HBM channel per chip for Load/Store traffic
+ *    (register-file spills included, which is how register-file size
+ *    shows up in Figures 6 and 16);
+ *  - ring or switch interconnect collectives with cut-through
+ *    pipelining: duration = bytes/link-bandwidth + hop latencies,
+ *    serialized on the group's link resource.
+ *
+ * Statistics follow Section 7.6: per-FU busy cycles (area-weighted
+ * compute utilization), memory busy cycles, network busy cycles.
+ */
+
+#ifndef CINNAMON_SIM_SIMULATOR_H_
+#define CINNAMON_SIM_SIMULATOR_H_
+
+#include <map>
+
+#include "isa/isa.h"
+#include "sim/hardware.h"
+
+namespace cinnamon::sim {
+
+/** Result of simulating one program on one machine configuration. */
+struct SimResult
+{
+    double cycles = 0.0;     ///< makespan over all chips
+    double seconds = 0.0;
+
+    /** Busy cycles summed over instances, per FU class, all chips. */
+    std::map<FuType, double> fu_busy;
+    double hbm_busy = 0.0;   ///< HBM busy cycles, all chips
+    double net_busy = 0.0;   ///< link busy cycles, all groups
+    std::size_t chips = 0;
+    std::size_t instructions = 0;
+    std::size_t bytes_moved_hbm = 0;
+    std::size_t bytes_moved_net = 0;
+
+    /**
+     * Area-weighted average compute utilization (Section 7.6), using
+     * relative FU areas from Table 1 as weights.
+     */
+    double computeUtilization(const HardwareConfig &hw) const;
+
+    /** Fraction of cycles the HBM channels were busy. */
+    double memoryUtilization(const HardwareConfig &hw) const;
+
+    /** Fraction of cycles the network links were busy. */
+    double networkUtilization(const HardwareConfig &hw) const;
+};
+
+/** Simulate a compiled program on `chips` copies of `hw`. */
+SimResult simulate(const isa::MachineProgram &program,
+                   const HardwareConfig &hw);
+
+} // namespace cinnamon::sim
+
+#endif // CINNAMON_SIM_SIMULATOR_H_

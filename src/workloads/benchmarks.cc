@@ -1,0 +1,197 @@
+#include "workloads/benchmarks.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cinnamon::workloads {
+
+namespace {
+
+std::shared_ptr<compiler::Program>
+share(compiler::Program p)
+{
+    return std::make_shared<compiler::Program>(std::move(p));
+}
+
+} // namespace
+
+Benchmark
+bootstrapBenchmark(const fhe::CkksContext &ctx,
+                   const BootstrapShape &shape)
+{
+    Benchmark b;
+    b.name = shape.start_level > 51 ? "bootstrap21" : "bootstrap";
+    b.phases.push_back(
+        Phase{"bootstrap", share(bootstrapKernel(ctx, shape)), 1, 1});
+    return b;
+}
+
+Benchmark
+resnetBenchmark(const fhe::CkksContext &ctx)
+{
+    // ResNet-20 [43]: one ciphertext carries the whole image; each of
+    // the ~20 conv layers is a set of BSGS matvecs; ReLU is a
+    // polynomial approximation; ~50 bootstraps refresh the budget.
+    // Single-ciphertext model: no program-level parallelism.
+    Benchmark b;
+    b.name = "resnet";
+    b.phases.push_back(Phase{
+        "conv", share(bsgsMatVecKernel(ctx, 13, 8, 8, "resnet_conv")),
+        76, 1});
+    b.phases.push_back(
+        Phase{"relu", share(polyEvalKernel(ctx, 13, 4)), 19, 1});
+    b.phases.push_back(
+        Phase{"bootstrap",
+              share(bootstrapKernel(ctx, BootstrapShape::bootstrap13())),
+              50, 1});
+    return b;
+}
+
+Benchmark
+helrBenchmark(const fhe::CkksContext &ctx)
+{
+    // HELR [42]: 30 iterations of minibatch logistic regression; each
+    // iteration is two matvecs (forward + gradient) and a sigmoid
+    // polynomial; a bootstrap refreshes the model every other
+    // iteration. The minibatch rows give modest 2-wide parallelism.
+    Benchmark b;
+    b.name = "helr";
+    b.phases.push_back(Phase{
+        "matvec", share(bsgsMatVecKernel(ctx, 13, 8, 8, "helr_mv")), 60,
+        2});
+    b.phases.push_back(
+        Phase{"sigmoid", share(polyEvalKernel(ctx, 13, 3)), 30, 2});
+    b.phases.push_back(
+        Phase{"bootstrap",
+              share(bootstrapKernel(ctx, BootstrapShape::bootstrap13())),
+              16, 2});
+    return b;
+}
+
+Benchmark
+bertBenchmark(const fhe::CkksContext &ctx)
+{
+    // BERT-base, 128-token input (Section 6.2): 3 ciphertexts per
+    // activation, ~1400 bootstraps per inference. Attention exposes 6
+    // parallel ciphertext streams, GELU 12 (Section 7.1: together
+    // about 85% of the program); residual/layernorm sections are
+    // narrow.
+    Benchmark b;
+    b.name = "bert";
+    auto boot =
+        share(bootstrapKernel(ctx, BootstrapShape::bootstrap13()));
+    auto attn_mv = share(bsgsMatVecKernel(ctx, 13, 8, 8, "bert_attn"));
+    auto gelu = share(polyEvalKernel(ctx, 13, 8));
+    auto norm = share(polyEvalKernel(ctx, 13, 4));
+
+    // 12 layers x (QKV + output + 2 FFN matvecs) x 6-wide streams.
+    b.phases.push_back(Phase{"attention_matvec", attn_mv, 12 * 48, 6});
+    b.phases.push_back(Phase{"attention_bootstrap", boot, 700, 6});
+    b.phases.push_back(Phase{"gelu", gelu, 12 * 12, 12});
+    b.phases.push_back(Phase{"gelu_bootstrap", boot, 520, 12});
+    b.phases.push_back(Phase{"layernorm", norm, 12 * 4, 1});
+    b.phases.push_back(Phase{"residual_bootstrap", boot, 180, 1});
+    return b;
+}
+
+PublishedBaselines
+publishedFor(const std::string &benchmark)
+{
+    const double nan = std::nan("");
+    if (benchmark == "bootstrap" || benchmark == "bootstrap21")
+        return {6.33e-3, 5.58e-3, 3.5e-3, 33.0};
+    if (benchmark == "resnet")
+        return {321.26e-3, 189e-3, 125e-3, 17.5 * 60};
+    if (benchmark == "helr")
+        return {121.91e-3, 106.88e-3, nan, 14.9 * 60};
+    if (benchmark == "bert")
+        return {nan, nan, nan, 1037.5 * 60};
+    return {nan, nan, nan, nan};
+}
+
+const compiler::CompiledProgram &
+BenchmarkRunner::compiled(const compiler::Program &kernel,
+                          std::size_t group, std::size_t phys_regs,
+                          const compiler::KsPassOptions &ks)
+{
+    std::ostringstream key;
+    key << kernel.name() << ':' << kernel.ops().size() << ':' << group
+        << ':' << phys_regs << ':' << ks.enable_batching << ':'
+        << ks.enable_output_aggregation << ':'
+        << static_cast<int>(ks.default_algo);
+    auto it = compile_cache_.find(key.str());
+    if (it == compile_cache_.end()) {
+        compiler::CompilerConfig cfg;
+        cfg.chips = group;
+        cfg.num_streams = 1;
+        cfg.ks = ks;
+        cfg.phys_regs = phys_regs;
+        compiler::Compiler comp(*ctx_, cfg);
+        it = compile_cache_.emplace(key.str(), comp.compile(kernel))
+                 .first;
+    }
+    return it->second;
+}
+
+sim::SimResult
+BenchmarkRunner::kernelResult(const compiler::Program &kernel,
+                              std::size_t group,
+                              const sim::HardwareConfig &hw,
+                              const compiler::KsPassOptions &ks)
+{
+    std::ostringstream key;
+    key << kernel.name() << ':' << kernel.ops().size() << ':' << group
+        << ':' << hw.lanes << ':' << hw.phys_regs << ':' << hw.hbm_gbs
+        << ':' << hw.link_gbs << ':'
+        << static_cast<int>(hw.topology) << ':' << hw.n << ':'
+        << ks.enable_batching << ':' << ks.enable_output_aggregation
+        << ':' << static_cast<int>(ks.default_algo);
+    auto it = sim_cache_.find(key.str());
+    if (it == sim_cache_.end()) {
+        const auto &prog = compiled(kernel, group, hw.phys_regs, ks);
+        it = sim_cache_.emplace(key.str(), simulate(prog.machine, hw))
+                 .first;
+    }
+    return it->second;
+}
+
+BenchTiming
+BenchmarkRunner::run(const Benchmark &bench, std::size_t chips,
+                     const sim::HardwareConfig &hw, std::size_t group,
+                     const compiler::KsPassOptions &ks)
+{
+    CINN_FATAL_UNLESS(group >= 1 && chips >= group,
+                      "machine must have at least one group");
+    const std::size_t max_streams = chips / group;
+
+    BenchTiming total;
+    double util_c = 0, util_m = 0, util_n = 0;
+    for (const auto &phase : bench.phases) {
+        const auto res = kernelResult(*phase.kernel, group, hw, ks);
+        ++total.kernels_simulated;
+        const std::size_t streams = std::max<std::size_t>(
+            1, std::min<std::size_t>(phase.parallelism, max_streams));
+        const double rounds = std::ceil(
+            static_cast<double>(phase.invocations) /
+            static_cast<double>(streams));
+        const double t = res.seconds * rounds;
+        total.seconds += t;
+        // Utilization weighted by time; idle groups count as zeros.
+        const double active =
+            static_cast<double>(streams * group) /
+            static_cast<double>(chips);
+        util_c += t * res.computeUtilization(hw) * active;
+        util_m += t * res.memoryUtilization(hw) * active;
+        util_n += t * res.networkUtilization(hw) * active;
+    }
+    if (total.seconds > 0) {
+        total.compute_util = util_c / total.seconds;
+        total.memory_util = util_m / total.seconds;
+        total.network_util = util_n / total.seconds;
+    }
+    return total;
+}
+
+} // namespace cinnamon::workloads

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The paper's benchmark suite (Section 6.2) as phase compositions,
+ * plus the runner that times them on simulated Cinnamon machines.
+ *
+ * Each benchmark is a list of phases: a kernel program, an invocation
+ * count, and the program-level parallelism available (how many
+ * independent ciphertext streams the phase exposes). The runner
+ * compiles each kernel once per (group size, keyswitch options)
+ * through the full compiler, times it with the cycle simulator, and
+ * composes phases analytically:
+ *
+ *   phase time = kernel time(group) * ceil(invocations / streams)
+ *   streams    = min(available parallelism, chips / group)
+ *
+ * which is exactly how Cinnamon deploys groups of four chips per
+ * stream and parallelizes wide phases across groups (Section 7.1).
+ * Published results for CraterLake / ARK / CiFHER / CPU (Table 2) are
+ * provided as comparison baselines.
+ */
+
+#ifndef CINNAMON_WORKLOADS_BENCHMARKS_H_
+#define CINNAMON_WORKLOADS_BENCHMARKS_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/lowering.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+namespace cinnamon::workloads {
+
+/** One phase of a benchmark. */
+struct Phase
+{
+    std::string name;
+    std::shared_ptr<compiler::Program> kernel;
+    std::size_t invocations = 1;
+    int parallelism = 1; ///< independent ciphertext streams available
+};
+
+/** A composed benchmark. */
+struct Benchmark
+{
+    std::string name;
+    std::vector<Phase> phases;
+};
+
+/** Single bootstrap (Table 2 row 1). */
+Benchmark bootstrapBenchmark(const fhe::CkksContext &ctx,
+                             const BootstrapShape &shape =
+                                 BootstrapShape::bootstrap13());
+
+/** ResNet-20 CIFAR-10 inference [43]: 1 ciphertext, ~50 bootstraps. */
+Benchmark resnetBenchmark(const fhe::CkksContext &ctx);
+
+/** HELR logistic-regression training [42], 30 iterations. */
+Benchmark helrBenchmark(const fhe::CkksContext &ctx);
+
+/**
+ * BERT-base 128-token inference [65-style]: ~1400 bootstraps;
+ * attention exposes 6 parallel ciphertexts and GELU 12 (Section 7.1).
+ */
+Benchmark bertBenchmark(const fhe::CkksContext &ctx);
+
+/** Timing + utilization of one benchmark on one machine. */
+struct BenchTiming
+{
+    double seconds = 0.0;
+    double compute_util = 0.0;
+    double memory_util = 0.0;
+    double network_util = 0.0;
+    std::size_t kernels_simulated = 0;
+};
+
+/** Published comparison numbers (Table 2), seconds. NaN if absent. */
+struct PublishedBaselines
+{
+    double craterlake, cifher, ark, cpu;
+};
+
+PublishedBaselines publishedFor(const std::string &benchmark);
+
+/** Compiles and simulates kernels with caching. */
+class BenchmarkRunner
+{
+  public:
+    explicit BenchmarkRunner(const fhe::CkksContext &ctx) : ctx_(&ctx) {}
+
+    /**
+     * Time a benchmark.
+     *
+     * @param chips total chips (e.g. 4/8/12; 1 for Cinnamon-M).
+     * @param hw per-chip hardware model.
+     * @param group chips per stream (4 for Cinnamon; 1 for -M).
+     * @param ks keyswitch pass configuration (Figure 13 ablations).
+     */
+    BenchTiming run(const Benchmark &bench, std::size_t chips,
+                    const sim::HardwareConfig &hw, std::size_t group,
+                    const compiler::KsPassOptions &ks = {});
+
+    /** Simulate one kernel on a chip group (cached). */
+    sim::SimResult kernelResult(const compiler::Program &kernel,
+                                std::size_t group,
+                                const sim::HardwareConfig &hw,
+                                const compiler::KsPassOptions &ks);
+
+    /** Compile a kernel for a group (cached). */
+    const compiler::CompiledProgram &
+    compiled(const compiler::Program &kernel, std::size_t group,
+             std::size_t phys_regs, const compiler::KsPassOptions &ks);
+
+  private:
+    const fhe::CkksContext *ctx_;
+    std::map<std::string, compiler::CompiledProgram> compile_cache_;
+    std::map<std::string, sim::SimResult> sim_cache_;
+};
+
+} // namespace cinnamon::workloads
+
+#endif // CINNAMON_WORKLOADS_BENCHMARKS_H_

@@ -1,0 +1,84 @@
+#include "workloads/cpu_model.h"
+
+#include <cmath>
+
+namespace cinnamon::workloads {
+
+CpuWork
+CpuModel::work(const compiler::Program &program) const
+{
+    const auto &ctx = program.context();
+    const double n = static_cast<double>(ctx.n());
+    const double logn = std::log2(n);
+    const double special =
+        static_cast<double>(ctx.specialBasis().size());
+    const double dnum = static_cast<double>(ctx.params().dnum);
+
+    CpuWork w;
+    for (const auto &op : program.ops()) {
+        const double limbs = static_cast<double>(op.level + 1);
+        switch (op.kind) {
+          case compiler::CtOpKind::Add:
+          case compiler::CtOpKind::Sub:
+          case compiler::CtOpKind::AddPlain:
+            w.coeff_ops += 2.0 * limbs * n;
+            break;
+          case compiler::CtOpKind::MulPlain:
+            w.coeff_ops += 2.0 * limbs * n;
+            break;
+          case compiler::CtOpKind::Rescale:
+            // INTT + NTT per remaining limb plus the subtraction.
+            w.coeff_ops += 2.0 * limbs * n * logn + 3.0 * limbs * n;
+            break;
+          case compiler::CtOpKind::Mul:
+          case compiler::CtOpKind::Rotate:
+          case compiler::CtOpKind::Conjugate: {
+            // Tensor/automorphism plus a hybrid keyswitch: dnum
+            // digit mod-ups to (limbs + special) limbs, each with an
+            // (I)NTT pair and an evalkey MAC, then the mod-down.
+            const double ext = limbs + special;
+            const double tensor =
+                op.kind == compiler::CtOpKind::Mul ? 4.0 * limbs * n
+                                                   : 2.0 * limbs * n;
+            const double modup =
+                dnum * ext * (2.0 * n * logn + 4.0 * n);
+            const double macs = dnum * ext * 4.0 * n;
+            const double moddown =
+                2.0 * (limbs + special) * n * logn + 6.0 * limbs * n;
+            w.coeff_ops += tensor + modup + macs + moddown;
+            break;
+          }
+          case compiler::CtOpKind::Input:
+          case compiler::CtOpKind::Output:
+            break;
+        }
+    }
+    return w;
+}
+
+double
+CpuModel::seconds(const compiler::Program &program) const
+{
+    return work(program).coeff_ops / coeff_ops_per_second;
+}
+
+double
+CpuModel::seconds(const Benchmark &bench) const
+{
+    double total = 0.0;
+    for (const auto &phase : bench.phases) {
+        total += seconds(*phase.kernel) *
+                 static_cast<double>(phase.invocations);
+    }
+    return total;
+}
+
+void
+CpuModel::calibrate(const compiler::Program &program,
+                    double target_seconds)
+{
+    const double w = work(program).coeff_ops;
+    coeff_ops_per_second = w / target_seconds;
+}
+
+} // namespace cinnamon::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic CPU baseline model (DESIGN.md substitution for the paper's
+ * 48-core Xeon measurements).
+ *
+ * Table 2's CPU column is only used as a speedup denominator. We
+ * model it from operation counts: every homomorphic op costs time
+ * proportional to its limb count times n·log2(n) (the NTT bound),
+ * with keyswitch-bearing ops paying the hybrid-keyswitch multiplier
+ * (dnum mod-ups + evalkey inner products + mod-down). The single
+ * calibration constant — effective coefficient-operations per second
+ * across all cores — is chosen so a Bootstrap-13 at N = 64K costs the
+ * paper's measured 33 s; every other benchmark is then predicted, not
+ * fitted, and lands within ~2-3x of the paper's measurements (good
+ * enough for a 10^4x speedup denominator).
+ */
+
+#ifndef CINNAMON_WORKLOADS_CPU_MODEL_H_
+#define CINNAMON_WORKLOADS_CPU_MODEL_H_
+
+#include "compiler/dsl.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::workloads {
+
+/** Work accounting for one DSL program on a CPU. */
+struct CpuWork
+{
+    double coeff_ops = 0.0; ///< modular coefficient operations
+};
+
+/** CPU throughput model. */
+struct CpuModel
+{
+    /**
+     * Effective modular coefficient operations per second over the
+     * whole machine. Calibrated so bootstrapKernel(bootstrap13) at
+     * N = 64K costs 33 s (Table 2's measured CPU bootstrap).
+     */
+    double coeff_ops_per_second = 2.6e9;
+
+    /** Count the work in one program. */
+    CpuWork work(const compiler::Program &program) const;
+
+    /** Seconds for one program. */
+    double seconds(const compiler::Program &program) const;
+
+    /** Seconds for a composed benchmark (no parallel streams: the
+     *  paper's CPU baseline runs one inference end to end). */
+    double seconds(const Benchmark &bench) const;
+
+    /**
+     * Calibrate coeff_ops_per_second so `program` costs
+     * `target_seconds`.
+     */
+    void calibrate(const compiler::Program &program,
+                   double target_seconds);
+};
+
+} // namespace cinnamon::workloads
+
+#endif // CINNAMON_WORKLOADS_CPU_MODEL_H_

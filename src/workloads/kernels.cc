@@ -1,0 +1,272 @@
+#include "workloads/kernels.h"
+
+#include "common/logging.h"
+
+namespace cinnamon::workloads {
+
+using compiler::CtHandle;
+using compiler::Program;
+
+Program
+keyswitchKernel(const fhe::CkksContext &ctx, std::size_t level)
+{
+    Program p("keyswitch", ctx);
+    auto x = p.input("x", level);
+    p.output("y", p.rotate(x, 1));
+    return p;
+}
+
+Program
+hoistedRotationsKernel(const fhe::CkksContext &ctx, std::size_t level,
+                       int r)
+{
+    Program p("hoisted_rotations", ctx);
+    auto x = p.input("x", level);
+    for (int i = 1; i <= r; ++i)
+        p.output("y" + std::to_string(i), p.rotate(x, i));
+    return p;
+}
+
+Program
+rotateAggregateKernel(const fhe::CkksContext &ctx, std::size_t level,
+                      int r)
+{
+    CINN_ASSERT(r >= 2, "aggregation needs at least two rotations");
+    Program p("rotate_aggregate", ctx);
+    std::vector<CtHandle> rotated;
+    for (int i = 0; i < r; ++i) {
+        auto x = p.input("x" + std::to_string(i), level);
+        rotated.push_back(p.rotate(x, i + 1));
+    }
+    // Balanced addition tree (the pass folds it into one OA batch).
+    while (rotated.size() > 1) {
+        std::vector<CtHandle> next;
+        for (std::size_t i = 0; i + 1 < rotated.size(); i += 2)
+            next.push_back(p.add(rotated[i], rotated[i + 1]));
+        if (rotated.size() % 2 == 1)
+            next.push_back(rotated.back());
+        rotated = std::move(next);
+    }
+    p.output("y", rotated[0]);
+    return p;
+}
+
+Program
+bsgsMatVecKernel(const fhe::CkksContext &ctx, std::size_t level,
+                 int baby, int giant, const std::string &name)
+{
+    CINN_ASSERT(level >= 1, "matvec needs a level to rescale into");
+    Program p(name, ctx);
+    auto x = p.input("x", level);
+
+    // Baby steps: `baby` rotations of x — pattern 1, one broadcast.
+    std::vector<CtHandle> babies;
+    babies.push_back(x);
+    for (int j = 1; j < baby; ++j)
+        babies.push_back(p.rotate(x, j));
+
+    // Giant steps: each giant block multiplies every baby step by a
+    // diagonal plaintext, sums, and rotates the block sum; block sums
+    // are aggregated — pattern 2, two batched aggregations.
+    std::vector<CtHandle> blocks;
+    for (int i = 0; i < giant; ++i) {
+        CtHandle inner;
+        for (int j = 0; j < baby; ++j) {
+            std::string diag = name + ":d" + std::to_string(i) + "_" +
+                               std::to_string(j);
+            auto term = p.mulPlain(babies[j], diag);
+            inner = inner.valid() ? p.add(inner, term) : term;
+        }
+        blocks.push_back(i == 0 ? inner : p.rotate(inner, i * baby));
+    }
+    CtHandle acc;
+    for (auto &b : blocks)
+        acc = acc.valid() ? p.add(acc, b) : b;
+    p.output("y", p.rescale(acc));
+    return p;
+}
+
+Program
+polyEvalKernel(const fhe::CkksContext &ctx, std::size_t level, int depth)
+{
+    CINN_ASSERT(level >= static_cast<std::size_t>(depth),
+                "polynomial depth exceeds the level budget");
+    Program p("polyeval", ctx);
+    auto x = p.input("x", level);
+    auto acc = x;
+    for (int d = 0; d < depth; ++d) {
+        acc = p.rescale(p.mul(acc, acc));
+        // Keep the multiplicand level-aligned via the DSL's graph:
+        // squaring needs only acc itself, which models the dominant
+        // EvalMod structure (repeated squaring, Section 2).
+    }
+    p.output("y", acc);
+    return p;
+}
+
+BootstrapShape
+BootstrapShape::bootstrap13()
+{
+    // Raise to 51, consume 36, leave l_eff = 13 (Section 6.2).
+    BootstrapShape s;
+    s.start_level = 51;
+    s.c2s_stages = 4;
+    s.s2c_stages = 3;
+    s.evalmod_depth = 29;
+    return s;
+}
+
+BootstrapShape
+BootstrapShape::bootstrap21()
+{
+    // Refreshes 21 levels: a longer chain and a costlier EvalMod
+    // (Section 7.5: "almost 2x the compute of Bootstrap-13").
+    BootstrapShape s;
+    s.start_level = 59;
+    s.c2s_stages = 5;
+    s.s2c_stages = 4;
+    s.bsgs_baby = 10;
+    s.bsgs_giant = 10;
+    s.evalmod_depth = 29;
+    return s;
+}
+
+Program
+bootstrapKernel(const fhe::CkksContext &ctx, const BootstrapShape &shape)
+{
+    CINN_ASSERT(shape.start_level <= ctx.maxLevel(),
+                "bootstrap shape exceeds the parameter chain");
+    CINN_ASSERT(shape.consumed() < shape.start_level,
+                "bootstrap shape consumes the whole chain");
+    Program p("bootstrap", ctx);
+    auto ct = p.input("raised", shape.start_level);
+
+    // CoeffToSlot: BSGS stages, each one level.
+    for (int s = 0; s < shape.c2s_stages; ++s) {
+        std::string stage = "c2s" + std::to_string(s);
+        // Baby steps (pattern 1).
+        std::vector<CtHandle> babies{ct};
+        for (int j = 1; j < shape.bsgs_baby; ++j)
+            babies.push_back(p.rotate(ct, j));
+        // Giant blocks (pattern 2).
+        std::vector<CtHandle> blocks;
+        for (int i = 0; i < shape.bsgs_giant; ++i) {
+            CtHandle inner;
+            for (int j = 0; j < shape.bsgs_baby; ++j) {
+                auto term = p.mulPlain(
+                    babies[j], stage + ":d" + std::to_string(i) + "_" +
+                                   std::to_string(j));
+                inner = inner.valid() ? p.add(inner, term) : term;
+            }
+            blocks.push_back(
+                i == 0 ? inner : p.rotate(inner, i * shape.bsgs_baby));
+        }
+        CtHandle acc;
+        for (auto &b : blocks)
+            acc = acc.valid() ? p.add(acc, b) : b;
+        ct = p.rescale(acc);
+    }
+
+    // EvalMod: the two sine-approximation multiply chains (real and
+    // imaginary coefficient paths, split with one conjugation), run
+    // sequentially on this machine.
+    auto im = p.conjugate(ct);
+    auto re = ct;
+    for (int d = 0; d < shape.evalmod_depth; ++d) {
+        re = p.rescale(p.mul(re, re));
+        im = p.rescale(p.mul(im, im));
+    }
+    ct = p.add(re, im);
+
+    // SlotToCoeff stages.
+    for (int s = 0; s < shape.s2c_stages; ++s) {
+        std::string stage = "s2c" + std::to_string(s);
+        std::vector<CtHandle> babies{ct};
+        for (int j = 1; j < shape.bsgs_baby; ++j)
+            babies.push_back(p.rotate(ct, j));
+        std::vector<CtHandle> blocks;
+        for (int i = 0; i < shape.bsgs_giant; ++i) {
+            CtHandle inner;
+            for (int j = 0; j < shape.bsgs_baby; ++j) {
+                auto term = p.mulPlain(
+                    babies[j], stage + ":d" + std::to_string(i) + "_" +
+                                   std::to_string(j));
+                inner = inner.valid() ? p.add(inner, term) : term;
+            }
+            blocks.push_back(
+                i == 0 ? inner : p.rotate(inner, i * shape.bsgs_baby));
+        }
+        CtHandle acc;
+        for (auto &b : blocks)
+            acc = acc.valid() ? p.add(acc, b) : b;
+        ct = p.rescale(acc);
+    }
+
+    p.output("refreshed", ct);
+    return p;
+}
+
+namespace {
+
+/** One BSGS stage used by the parallel bootstrap builder. */
+compiler::CtHandle
+bsgsStage(Program &p, compiler::CtHandle ct, const BootstrapShape &shape,
+          const std::string &stage)
+{
+    std::vector<CtHandle> babies{ct};
+    for (int j = 1; j < shape.bsgs_baby; ++j)
+        babies.push_back(p.rotate(ct, j));
+    std::vector<CtHandle> blocks;
+    for (int i = 0; i < shape.bsgs_giant; ++i) {
+        CtHandle inner;
+        for (int j = 0; j < shape.bsgs_baby; ++j) {
+            auto term = p.mulPlain(babies[j],
+                                   stage + ":d" + std::to_string(i) +
+                                       "_" + std::to_string(j));
+            inner = inner.valid() ? p.add(inner, term) : term;
+        }
+        blocks.push_back(i == 0 ? inner
+                                : p.rotate(inner, i * shape.bsgs_baby));
+    }
+    CtHandle acc;
+    for (auto &b : blocks)
+        acc = acc.valid() ? p.add(acc, b) : b;
+    return p.rescale(acc);
+}
+
+} // namespace
+
+Program
+bootstrapParallelKernel(const fhe::CkksContext &ctx,
+                        const BootstrapShape &shape)
+{
+    CINN_ASSERT(shape.start_level <= ctx.maxLevel(),
+                "bootstrap shape exceeds the parameter chain");
+    Program p("bootstrap_pp", ctx);
+
+    // CoeffToSlot runs in stream 0; its two outputs (real and
+    // imaginary paths, split by one conjugation) are processed by two
+    // concurrent EvalMod streams — the compiler migrates the
+    // imaginary path's limbs to stream 1's chip group automatically.
+    auto ct = p.input("raised", shape.start_level);
+    for (int st = 0; st < shape.c2s_stages; ++st)
+        ct = bsgsStage(p, ct, shape, "c2spp" + std::to_string(st));
+    auto re = ct;
+    auto im = p.conjugate(ct);
+
+    for (int d = 0; d < shape.evalmod_depth; ++d)
+        re = p.rescale(p.mul(re, re));
+    p.beginStream(1);
+    for (int d = 0; d < shape.evalmod_depth; ++d)
+        im = p.rescale(p.mul(im, im));
+    p.endStream();
+
+    // Join and SlotToCoeff back in stream 0.
+    ct = p.add(re, im);
+    for (int st = 0; st < shape.s2c_stages; ++st)
+        ct = bsgsStage(p, ct, shape, "s2cpp" + std::to_string(st));
+    p.output("refreshed", ct);
+    return p;
+}
+
+} // namespace cinnamon::workloads

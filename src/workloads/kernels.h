@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Paper-scale FHE kernel generators (Section 6.2 benchmarks).
+ *
+ * Each kernel is a real DSL program compiled through the full
+ * pipeline (keyswitch pass → limb lowering → Belady allocation) at
+ * the paper's N = 64K parameters. Benchmarks are composed of phases:
+ * a kernel, an invocation count, and the ciphertext-level parallelism
+ * available (the paper's stream width — e.g. BERT's attention exposes
+ * 6 parallel ciphertexts and its GELU 12).
+ *
+ * The two building blocks mirror the paper's motivating patterns:
+ * BSGS matrix-vector products (hoisted baby-step rotations = pattern
+ * 1; giant-step rotate-and-accumulate = pattern 2) and polynomial
+ * evaluation chains (sequential multiply + rescale).
+ */
+
+#ifndef CINNAMON_WORKLOADS_KERNELS_H_
+#define CINNAMON_WORKLOADS_KERNELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/dsl.h"
+
+namespace cinnamon::workloads {
+
+/** A single rotation (one keyswitch) at a level. */
+compiler::Program keyswitchKernel(const fhe::CkksContext &ctx,
+                                  std::size_t level);
+
+/** r rotations of one ciphertext (pattern 1: hoistable broadcast). */
+compiler::Program hoistedRotationsKernel(const fhe::CkksContext &ctx,
+                                         std::size_t level, int r);
+
+/** r rotations of r ciphertexts summed (pattern 2: batched aggregation). */
+compiler::Program rotateAggregateKernel(const fhe::CkksContext &ctx,
+                                        std::size_t level, int r);
+
+/**
+ * A BSGS matrix-vector product: `baby` hoisted rotations, `giant`
+ * diagonal-block partial products each rotated and aggregated, one
+ * rescale. Consumes one level.
+ */
+compiler::Program bsgsMatVecKernel(const fhe::CkksContext &ctx,
+                                   std::size_t level, int baby,
+                                   int giant,
+                                   const std::string &name = "matvec");
+
+/**
+ * A polynomial-evaluation chain: `depth` sequential ciphertext
+ * multiplications (relinearize + rescale each). Consumes `depth`
+ * levels.
+ */
+compiler::Program polyEvalKernel(const fhe::CkksContext &ctx,
+                                 std::size_t level, int depth);
+
+/** The structural knobs of a bootstrap implementation. */
+struct BootstrapShape
+{
+    std::size_t start_level = 51; ///< level after ModRaise
+    int c2s_stages = 4;           ///< CoeffToSlot BSGS stages
+    int s2c_stages = 3;           ///< SlotToCoeff BSGS stages
+    int bsgs_baby = 8;            ///< rotations per stage (pattern 1)
+    int bsgs_giant = 8;           ///< aggregations per stage (pattern 2)
+    int evalmod_depth = 29;       ///< sine-evaluation multiply chain
+
+    /** Levels a bootstrap with this shape consumes. */
+    std::size_t
+    consumed() const
+    {
+        return c2s_stages + s2c_stages + evalmod_depth;
+    }
+
+    /** The paper's Bootstrap-13 (refreshes down to l_eff = 13). */
+    static BootstrapShape bootstrap13();
+
+    /** Bootstrap-21 (Section 7.5: ~2x the compute of Bootstrap-13). */
+    static BootstrapShape bootstrap21();
+};
+
+/**
+ * A full bootstrap kernel: CoeffToSlot stages, the EvalMod multiply
+ * chain, SlotToCoeff stages (Section 2 "Bootstrapping" structure at
+ * paper scale).
+ */
+compiler::Program bootstrapKernel(const fhe::CkksContext &ctx,
+                                  const BootstrapShape &shape);
+
+/**
+ * The program-parallel bootstrap (Section 7.3, "+ Program
+ * parallelism"): the two homomorphic modular-reduction paths (the
+ * real and imaginary EvalMod chains) run as two concurrent streams,
+ * each with its own CoeffToSlot, joined before SlotToCoeff.
+ */
+compiler::Program bootstrapParallelKernel(const fhe::CkksContext &ctx,
+                                          const BootstrapShape &shape);
+
+} // namespace cinnamon::workloads
+
+#endif // CINNAMON_WORKLOADS_KERNELS_H_

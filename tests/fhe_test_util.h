@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared fixtures and helpers for the CKKS-level tests.
+ */
+
+#ifndef CINNAMON_TESTS_FHE_TEST_UTIL_H_
+#define CINNAMON_TESTS_FHE_TEST_UTIL_H_
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fhe/encoder.h"
+#include "fhe/evaluator.h"
+#include "fhe/keys.h"
+#include "fhe/params.h"
+
+namespace cinnamon::testutil {
+
+/** A complete small CKKS deployment shared by tests. */
+struct CkksHarness
+{
+    fhe::CkksParams params;
+    std::unique_ptr<fhe::CkksContext> ctx;
+    std::unique_ptr<fhe::Encoder> encoder;
+    std::unique_ptr<fhe::Evaluator> eval;
+    std::unique_ptr<fhe::KeyGenerator> keygen;
+    fhe::SecretKey sk;
+    fhe::EvalKey relin;
+    Rng rng{12345};
+
+    explicit
+    CkksHarness(std::size_t n = 1 << 10, std::size_t levels = 6,
+                std::size_t dnum = 3)
+    {
+        params = fhe::CkksParams::makeTest(n, levels, dnum);
+        ctx = std::make_unique<fhe::CkksContext>(params);
+        encoder = std::make_unique<fhe::Encoder>(*ctx);
+        eval = std::make_unique<fhe::Evaluator>(*ctx);
+        keygen = std::make_unique<fhe::KeyGenerator>(*ctx, 777);
+        sk = keygen->secretKey();
+        relin = keygen->relinKey(sk);
+    }
+
+    /** Encrypt complex slots at a level. */
+    fhe::Ciphertext
+    encryptSlots(const std::vector<fhe::Cplx> &slots, std::size_t level)
+    {
+        auto plain = encoder->encode(slots, level);
+        return eval->encrypt(plain, params.scale, sk, rng);
+    }
+
+    /** Decrypt and decode to complex slots. */
+    std::vector<fhe::Cplx>
+    decryptSlots(const fhe::Ciphertext &ct)
+    {
+        auto plain = eval->decrypt(ct, sk);
+        return encoder->decode(plain, ct.scale);
+    }
+
+    /** Random complex test vector with |re|, |im| <= mag. */
+    std::vector<fhe::Cplx>
+    randomSlots(double mag = 1.0)
+    {
+        std::vector<fhe::Cplx> v(ctx->slots());
+        for (auto &x : v) {
+            x = fhe::Cplx(rng.uniformReal(-mag, mag),
+                          rng.uniformReal(-mag, mag));
+        }
+        return v;
+    }
+};
+
+/** Max |a_i - b_i| over the first `count` entries. */
+inline double
+maxError(const std::vector<fhe::Cplx> &a, const std::vector<fhe::Cplx> &b,
+         std::size_t count = 0)
+{
+    if (count == 0)
+        count = std::min(a.size(), b.size());
+    double m = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace cinnamon::testutil
+
+#endif // CINNAMON_TESTS_FHE_TEST_UTIL_H_

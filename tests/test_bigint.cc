@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the minimal big-integer helper (src/common/bigint).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bigint.h"
+
+using cinnamon::BigUInt;
+
+TEST(BigUInt, ZeroProperties)
+{
+    BigUInt z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.bitLength(), 0u);
+    EXPECT_DOUBLE_EQ(z.toDouble(), 0.0);
+    BigUInt z2(0);
+    EXPECT_TRUE(z2.isZero());
+}
+
+TEST(BigUInt, AddCarryPropagates)
+{
+    BigUInt a(~0ULL);
+    BigUInt b(1);
+    a.add(b);
+    EXPECT_EQ(a.bitLength(), 65u);
+    EXPECT_DOUBLE_EQ(a.toDouble(), std::ldexp(1.0, 64));
+}
+
+TEST(BigUInt, SubBorrowPropagates)
+{
+    BigUInt a(~0ULL);
+    a.add(BigUInt(1)); // 2^64
+    a.sub(BigUInt(1));
+    EXPECT_EQ(a.bitLength(), 64u);
+    EXPECT_EQ(a.compare(BigUInt(~0ULL)), 0);
+}
+
+TEST(BigUInt, MulWordGrowsWords)
+{
+    BigUInt a(1ULL << 60);
+    a.mulWord(1ULL << 60);
+    EXPECT_EQ(a.bitLength(), 121u);
+    // (2^60)^2 = 2^120
+    EXPECT_DOUBLE_EQ(a.toDouble(), std::ldexp(1.0, 120));
+}
+
+TEST(BigUInt, CompareOrdering)
+{
+    BigUInt small(5);
+    BigUInt big(7);
+    EXPECT_LT(small.compare(big), 0);
+    EXPECT_GT(big.compare(small), 0);
+    EXPECT_EQ(small.compare(BigUInt(5)), 0);
+
+    BigUInt huge(1);
+    huge.mulWord(~0ULL);
+    huge.mulWord(~0ULL);
+    EXPECT_GT(huge.compare(big), 0);
+}
+
+TEST(BigUInt, ShiftRight)
+{
+    BigUInt a(1);
+    a.mulWord(1ULL << 63);
+    a.mulWord(16); // 2^67
+    EXPECT_EQ(a.bitLength(), 68u);
+    BigUInt b = a.shiftRight(67);
+    EXPECT_EQ(b.compare(BigUInt(1)), 0);
+    BigUInt c = a.shiftRight(68);
+    EXPECT_TRUE(c.isZero());
+    BigUInt d = a.shiftRight(3);
+    EXPECT_DOUBLE_EQ(d.toDouble(), std::ldexp(1.0, 64));
+}
+
+TEST(BigUInt, CrtStyleComposition)
+{
+    // 2-prime CRT: value v, primes p, q; v = (v mod p)*q*(q^-1 mod p)
+    // + (v mod q)*p*(p^-1 mod q) (mod pq) — check with small numbers.
+    const uint64_t p = 97, q = 101, v = 5000;
+    // q^-1 mod p = ?
+    uint64_t qinv = 1;
+    while ((qinv * q) % p != 1)
+        ++qinv;
+    uint64_t pinv = 1;
+    while ((pinv * p) % q != 1)
+        ++pinv;
+    BigUInt acc(0);
+    BigUInt t1(q);
+    t1.mulWord(((v % p) * qinv) % p);
+    BigUInt t2(p);
+    t2.mulWord(((v % q) * pinv) % q);
+    acc.add(t1);
+    acc.add(t2);
+    BigUInt mod(p);
+    mod.mulWord(q);
+    while (acc.compare(mod) >= 0)
+        acc.sub(mod);
+    EXPECT_DOUBLE_EQ(acc.toDouble(), static_cast<double>(v));
+}

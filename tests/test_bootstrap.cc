@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Functional tests for CKKS bootstrapping (src/fhe/bootstrap).
+ *
+ * These run at n = 256 so a full bootstrap (two dense linear
+ * transforms + degree-11 exp Taylor + 7 squarings) completes in
+ * seconds while exercising exactly the structure the paper's
+ * benchmarks are built from.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe/bootstrap.h"
+#include "fhe_test_util.h"
+
+using namespace cinnamon;
+using testutil::maxError;
+using fhe::Cplx;
+
+namespace {
+
+struct BootHarness
+{
+    fhe::CkksParams params;
+    std::unique_ptr<fhe::CkksContext> ctx;
+    std::unique_ptr<fhe::Encoder> encoder;
+    std::unique_ptr<fhe::Evaluator> eval;
+    std::unique_ptr<fhe::KeyGenerator> keygen;
+    fhe::SecretKey sk;
+    std::unique_ptr<fhe::Bootstrapper> boot;
+    Rng rng{424242};
+
+    BootHarness()
+    {
+        params = fhe::CkksParams::makeTest(256, 23, 4);
+        // q0 must stay close to the scale so the Δ/q0 factor folded
+        // into CoeffToSlot retains enough plaintext precision.
+        params.first_prime_bits = 44;
+        ctx = std::make_unique<fhe::CkksContext>(params);
+        encoder = std::make_unique<fhe::Encoder>(*ctx);
+        eval = std::make_unique<fhe::Evaluator>(*ctx);
+        keygen = std::make_unique<fhe::KeyGenerator>(*ctx, 99);
+        sk = keygen->secretKey();
+        boot = std::make_unique<fhe::Bootstrapper>(*ctx, *encoder, *eval,
+                                                   *keygen, sk);
+    }
+};
+
+BootHarness &
+harness()
+{
+    static BootHarness h;
+    return h;
+}
+
+} // namespace
+
+TEST(Bootstrap, ModRaisePreservesValueModQ0)
+{
+    auto &h = harness();
+    std::vector<Cplx> v(h.ctx->slots(), Cplx(0.25, -0.5));
+    auto plain = h.encoder->encode(v, 0);
+    auto ct = h.eval->encrypt(plain, h.params.scale, h.sk, h.rng);
+    auto raised = h.boot->modRaise(ct);
+    EXPECT_EQ(raised.level, h.ctx->maxLevel());
+    // Decrypting the raised ciphertext and reducing mod q0 recovers
+    // the original plaintext: check the first limb agrees.
+    auto m_low = h.eval->decrypt(ct, h.sk);
+    auto m_high = h.eval->decrypt(raised, h.sk);
+    EXPECT_EQ(m_high.limb(0), m_low.limb(0));
+}
+
+TEST(Bootstrap, RefreshesExhaustedCiphertext)
+{
+    auto &h = harness();
+    auto v = std::vector<Cplx>();
+    for (std::size_t i = 0; i < h.ctx->slots(); ++i) {
+        v.push_back(Cplx(0.8 * std::sin(0.1 * i), 0.5 * std::cos(0.2 * i)));
+    }
+    auto plain = h.encoder->encode(v, 0);
+    auto ct = h.eval->encrypt(plain, h.params.scale, h.sk, h.rng);
+    ASSERT_EQ(ct.level, 0u);
+
+    auto fresh = h.boot->bootstrap(ct);
+    EXPECT_GE(fresh.level, 1u);
+
+    auto back = h.encoder->decode(h.eval->decrypt(fresh, h.sk),
+                                  fresh.scale);
+    EXPECT_LT(maxError(v, back), 5e-2);
+}
+
+TEST(Bootstrap, OutputSupportsFurtherComputation)
+{
+    auto &h = harness();
+    std::vector<Cplx> v(h.ctx->slots(), Cplx(0.5, 0.0));
+    auto plain = h.encoder->encode(v, 0);
+    auto ct = h.eval->encrypt(plain, h.params.scale, h.sk, h.rng);
+
+    auto fresh = h.boot->bootstrap(ct);
+    ASSERT_GE(fresh.level, 1u);
+    // Square the refreshed ciphertext: 0.25 expected.
+    auto relin = h.keygen->relinKey(h.sk);
+    auto sq = h.eval->rescale(h.eval->mul(fresh, fresh, relin));
+    auto back = h.encoder->decode(h.eval->decrypt(sq, h.sk), sq.scale);
+    EXPECT_LT(std::abs(back[0] - Cplx(0.25, 0)), 5e-2);
+}
+
+TEST(Bootstrap, StatsReflectStructure)
+{
+    auto &h = harness();
+    std::vector<Cplx> v(h.ctx->slots(), Cplx(0.1, 0.1));
+    auto plain = h.encoder->encode(v, 0);
+    auto ct = h.eval->encrypt(plain, h.params.scale, h.sk, h.rng);
+    (void)h.boot->bootstrap(ct);
+    const auto &stats = h.boot->lastStats();
+    // Two EvalMods: each taylor_degree Horner-stage mults (the first
+    // is a plaintext mult) + squarings mults, plus one finishing
+    // constant mult per path.
+    const auto &cfg = h.boot->config();
+    const std::size_t expect_mults =
+        2 * (static_cast<std::size_t>(cfg.taylor_degree) +
+             cfg.squarings) + 2;
+    EXPECT_EQ(stats.multiplications, expect_mults);
+    EXPECT_EQ(stats.conjugations, 4u);
+    EXPECT_GT(stats.rotations, 2 * cfg.bsgs_g);
+    EXPECT_GE(stats.levels_consumed, 15u);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * End-to-end CKKS tests: encoding, encryption, homomorphic add/mul,
+ * rescaling, rotation, conjugation, and multiplicative depth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe_test_util.h"
+
+using namespace cinnamon;
+using testutil::CkksHarness;
+using testutil::maxError;
+using fhe::Cplx;
+
+namespace {
+
+CkksHarness &
+harness()
+{
+    static CkksHarness h;
+    return h;
+}
+
+} // namespace
+
+TEST(CkksEncoder, EncodeDecodeRoundTrip)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(10.0);
+    auto plain = h.encoder->encode(v, h.ctx->maxLevel());
+    auto back = h.encoder->decode(plain, h.params.scale);
+    EXPECT_LT(maxError(v, back), 1e-6);
+}
+
+TEST(CkksEncoder, EncodeConstant)
+{
+    auto &h = harness();
+    auto plain = h.encoder->encodeConstant(Cplx(2.5, -1.0), 2);
+    auto back = h.encoder->decode(plain, h.params.scale);
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 17)
+        EXPECT_LT(std::abs(back[i] - Cplx(2.5, -1.0)), 1e-6);
+}
+
+TEST(CkksEncoder, EncodeAtLowerLevelUsesFewerLimbs)
+{
+    auto &h = harness();
+    auto plain = h.encoder->encode({Cplx(1, 0)}, 1);
+    EXPECT_EQ(plain.numLimbs(), 2u);
+}
+
+TEST(Ckks, EncryptDecrypt)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(5.0);
+    auto ct = h.encryptSlots(v, h.ctx->maxLevel());
+    auto back = h.decryptSlots(ct);
+    EXPECT_LT(maxError(v, back), 1e-4);
+}
+
+TEST(Ckks, PublicKeyEncryptDecrypt)
+{
+    auto &h = harness();
+    auto pk = h.keygen->publicKey(h.sk);
+    auto v = h.randomSlots(5.0);
+    auto plain = h.encoder->encode(v, h.ctx->maxLevel());
+    auto ct = h.eval->encryptPublic(plain, h.params.scale, pk, h.rng);
+    auto back = h.decryptSlots(ct);
+    EXPECT_LT(maxError(v, back), 1e-3);
+}
+
+TEST(Ckks, HomomorphicAddSubNegate)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(3.0);
+    auto vb = h.randomSlots(3.0);
+    auto ca = h.encryptSlots(va, 3);
+    auto cb = h.encryptSlots(vb, 3);
+
+    auto sum = h.decryptSlots(h.eval->add(ca, cb));
+    auto diff = h.decryptSlots(h.eval->sub(ca, cb));
+    auto neg = h.decryptSlots(h.eval->negate(ca));
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 13) {
+        EXPECT_LT(std::abs(sum[i] - (va[i] + vb[i])), 1e-4);
+        EXPECT_LT(std::abs(diff[i] - (va[i] - vb[i])), 1e-4);
+        EXPECT_LT(std::abs(neg[i] + va[i]), 1e-4);
+    }
+}
+
+TEST(Ckks, AddPlainMulPlain)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(2.0);
+    auto vb = h.randomSlots(2.0);
+    auto ca = h.encryptSlots(va, 3);
+    auto pb = h.encoder->encode(vb, 3);
+
+    auto sum = h.decryptSlots(h.eval->addPlain(ca, pb, h.params.scale));
+    auto prod_ct = h.eval->rescale(
+        h.eval->mulPlain(ca, pb, h.params.scale));
+    auto prod = h.decryptSlots(prod_ct);
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 13) {
+        EXPECT_LT(std::abs(sum[i] - (va[i] + vb[i])), 1e-4);
+        EXPECT_LT(std::abs(prod[i] - va[i] * vb[i]), 1e-3);
+    }
+    EXPECT_EQ(prod_ct.level, 2u);
+}
+
+TEST(Ckks, CiphertextMultiplyWithRelin)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(2.0);
+    auto vb = h.randomSlots(2.0);
+    auto ca = h.encryptSlots(va, 3);
+    auto cb = h.encryptSlots(vb, 3);
+
+    auto prod_ct = h.eval->rescale(h.eval->mul(ca, cb, h.relin));
+    auto prod = h.decryptSlots(prod_ct);
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 7)
+        EXPECT_LT(std::abs(prod[i] - va[i] * vb[i]), 1e-3);
+}
+
+TEST(Ckks, MultiplicativeDepthChain)
+{
+    auto &h = harness();
+    // Square repeatedly until the budget runs out: x^(2^k).
+    std::vector<Cplx> v(h.ctx->slots(), Cplx(0.9, 0.0));
+    auto ct = h.encryptSlots(v, h.ctx->maxLevel());
+    double expected = 0.9;
+    while (ct.level >= 1) {
+        ct = h.eval->rescale(h.eval->mul(ct, ct, h.relin));
+        expected *= expected;
+    }
+    auto back = h.decryptSlots(ct);
+    EXPECT_LT(std::abs(back[0] - Cplx(expected, 0)), 1e-2);
+    // 5 squarings happened (levels 5 -> 0): x^32.
+    EXPECT_NEAR(expected, std::pow(0.9, 32), 1e-12);
+}
+
+TEST(Ckks, RotationBySmallSteps)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(2.0);
+    auto gks = h.keygen->galoisKeys(h.sk, {1, 2, 5});
+
+    for (int steps : {1, 2, 5}) {
+        auto ct = h.encryptSlots(v, 2);
+        auto rot = h.decryptSlots(h.eval->rotate(ct, steps, gks));
+        const std::size_t s = h.ctx->slots();
+        double err = 0;
+        for (std::size_t i = 0; i < s; i += 11)
+            err = std::max(err, std::abs(rot[i] - v[(i + steps) % s]));
+        EXPECT_LT(err, 1e-3) << "rotation by " << steps;
+    }
+}
+
+TEST(Ckks, RotationComposition)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(2.0);
+    auto gks = h.keygen->galoisKeys(h.sk, {3, 4, 7});
+    auto ct = h.encryptSlots(v, 2);
+    auto r34 = h.eval->rotate(h.eval->rotate(ct, 3, gks), 4, gks);
+    auto r7 = h.eval->rotate(ct, 7, gks);
+    auto a = h.decryptSlots(r34);
+    auto b = h.decryptSlots(r7);
+    EXPECT_LT(maxError(a, b), 1e-3);
+}
+
+TEST(Ckks, RotationByZeroIsIdentity)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(2.0);
+    fhe::GaloisKeys gks; // no keys needed for step 0
+    auto ct = h.encryptSlots(v, 2);
+    auto rot = h.decryptSlots(h.eval->rotate(ct, 0, gks));
+    EXPECT_LT(maxError(v, rot), 1e-4);
+}
+
+TEST(Ckks, Conjugation)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(2.0);
+    auto gks = h.keygen->galoisKeys(h.sk, {}, true);
+    auto ct = h.encryptSlots(v, 2);
+    auto conj = h.decryptSlots(h.eval->conjugate(ct, gks));
+    double err = 0;
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 11)
+        err = std::max(err, std::abs(conj[i] - std::conj(v[i])));
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(Ckks, DropToLevel)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(2.0);
+    auto ct = h.encryptSlots(v, h.ctx->maxLevel());
+    auto low = h.eval->dropToLevel(ct, 1);
+    EXPECT_EQ(low.level, 1u);
+    auto back = h.decryptSlots(low);
+    EXPECT_LT(maxError(v, back), 1e-4);
+}
+
+TEST(Ckks, KeySwitchReencryptsUnderNewKey)
+{
+    auto &h = harness();
+    // keySwitch(c1) must produce (k0, k1) with k0 + k1 s ≈ c1 * s_old.
+    // Exercise it via a second secret key.
+    auto sk2 = h.keygen->secretKey();
+    auto ksk = h.keygen->makeKeySwitchKey(h.sk, sk2.s);
+
+    // Symmetric encryption under sk2 at level 2.
+    auto v = h.randomSlots(2.0);
+    auto plain = h.encoder->encode(v, 2);
+    auto ct = h.eval->encrypt(plain, h.params.scale, sk2, h.rng);
+
+    // Switch to h.sk: result c0' = c0 + ks0, c1' = ks1.
+    auto [k0, k1] = h.eval->keySwitch(ct.c1, ct.level, ksk);
+    fhe::Ciphertext switched{ct.c0.add(k0), k1, ct.level, ct.scale};
+    auto back = h.decryptSlots(switched);
+    EXPECT_LT(maxError(v, back), 1e-3);
+}
+
+TEST(Ckks, DigitsPartitionChainPrefix)
+{
+    auto &h = harness();
+    auto digits = h.ctx->digits(h.ctx->maxLevel());
+    ASSERT_EQ(digits.size(), h.params.dnum);
+    std::size_t total = 0;
+    for (const auto &d : digits)
+        total += d.size();
+    EXPECT_EQ(total, h.params.levels);
+    // Lower level: fewer digits.
+    auto low = h.ctx->digits(1);
+    ASSERT_EQ(low.size(), 1u);
+    EXPECT_EQ(low[0].size(), 2u);
+}
+
+TEST(Ckks, GaloisForRotationWrapsAndInverts)
+{
+    auto &h = harness();
+    EXPECT_EQ(h.ctx->galoisForRotation(0), 1u);
+    // Rotation by slots ≡ rotation by 0.
+    EXPECT_EQ(h.ctx->galoisForRotation(
+                  static_cast<int>(h.ctx->slots())), 1u);
+    // Negative rotation is the modular complement.
+    EXPECT_EQ(h.ctx->galoisForRotation(-1),
+              h.ctx->galoisForRotation(static_cast<int>(h.ctx->slots()) -
+                                       1));
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the area/yield/cost model (src/cost) against the paper's
+ * published Tables 1 and 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+using namespace cinnamon::cost;
+
+TEST(AreaModel, StandardChipMatchesTable1)
+{
+    auto area = chipArea(ChipSpec::cinnamon());
+    // Component rows of Table 1.
+    EXPECT_NEAR(area.components.at("ntt"), 34.08, 0.01);
+    EXPECT_NEAR(area.components.at("bcu_logic"), 14.12, 0.01);
+    EXPECT_NEAR(area.components.at("bcu_buffers"), 11.44, 0.01);
+    EXPECT_NEAR(area.components.at("register_file"), 80.9, 0.01);
+    EXPECT_NEAR(area.components.at("hbm_phy"), 38.64, 0.01);
+    EXPECT_NEAR(area.components.at("net_phy"), 9.66, 0.01);
+    // Total chip area 223.18 mm^2.
+    EXPECT_NEAR(area.total(), 223.18, 0.1);
+}
+
+TEST(AreaModel, MonolithicChipIsRoughly720mm2)
+{
+    auto area = chipArea(ChipSpec::cinnamonM());
+    // Section 6.1: "about 719.78mm^2" — the parametric model lands
+    // within ~2% of the published synthesis total.
+    EXPECT_NEAR(area.total(), 719.78, 0.02 * 719.78);
+}
+
+TEST(AreaModel, OutputBufferedBcuIsMuchLarger)
+{
+    ChipSpec cinn = ChipSpec::cinnamon();
+    ChipSpec ob = cinn;
+    ob.output_buffered_bcu = true;
+    auto r_cinn = bcuResources(cinn);
+    auto r_ob = bcuResources(ob);
+    // Section 4.7: 15K vs 1.6K multipliers, 3.31 vs 0.71 MB buffers.
+    EXPECT_NEAR(static_cast<double>(r_ob.multipliers_per_cluster) /
+                    r_cinn.multipliers_per_cluster,
+                15000.0 / 1600.0, 0.05);
+    EXPECT_NEAR(r_ob.buffer_mb_per_cluster /
+                    r_cinn.buffer_mb_per_cluster,
+                3.31 / 0.71, 0.05);
+    EXPECT_GT(r_ob.area_mm2, 3.0 * r_cinn.area_mm2);
+}
+
+TEST(YieldModel, MatchesTable3Yields)
+{
+    EXPECT_NEAR(dieYield(223.18), 0.66, 0.01);  // Cinnamon
+    EXPECT_NEAR(dieYield(719.78), 0.31, 0.01);  // Cinnamon-M
+    EXPECT_NEAR(dieYield(472.0), 0.44, 0.01);   // CraterLake
+    EXPECT_NEAR(dieYield(418.3), 0.48, 0.01);   // ARK
+    EXPECT_NEAR(dieYield(47.08), 0.90, 0.02);   // CiFHER
+}
+
+TEST(YieldModel, YieldDecreasesWithArea)
+{
+    double prev = 1.0;
+    for (double a : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+        double y = dieYield(a);
+        EXPECT_LT(y, prev);
+        prev = y;
+    }
+}
+
+TEST(CostModel, Table3CostsMatchPublished)
+{
+    auto rows = table3Rows();
+    ASSERT_EQ(rows.size(), 5u);
+    std::map<std::string, double> expect = {
+        {"ARK", 50e6},        {"CiFHER", 3.5e6},
+        {"CraterLake", 25e6}, {"Cinnamon-M", 25e6},
+        {"Cinnamon", 3.5e6},
+    };
+    for (const auto &row : rows) {
+        // Published values are rounded to one significant digit in
+        // Table 3 (e.g. CiFHER "3.5M" vs a modeled 2.97M); allow 20%.
+        EXPECT_NEAR(row.cost_dollars, expect.at(row.accelerator),
+                    0.20 * expect.at(row.accelerator))
+            << row.accelerator;
+    }
+}
+
+TEST(CostModel, DiesPerWaferSane)
+{
+    // A 223 mm^2 die on a 300 mm wafer: ~250-300 gross dies.
+    double dies = diesPerWafer(223.18);
+    EXPECT_GT(dies, 200.0);
+    EXPECT_LT(dies, 350.0);
+    // Bigger dies, fewer of them.
+    EXPECT_LT(diesPerWafer(719.78), dies / 2.5);
+}
+
+TEST(CostModel, PerfPerDollarNormalization)
+{
+    // Baseline relative to itself is 1.
+    EXPECT_DOUBLE_EQ(perfPerDollar(1.0, 10.0, 1.0, 10.0), 1.0);
+    // Twice as fast at the same cost: 2x.
+    EXPECT_DOUBLE_EQ(perfPerDollar(0.5, 10.0, 1.0, 10.0), 2.0);
+    // Same speed at half the cost: 2x.
+    EXPECT_DOUBLE_EQ(perfPerDollar(1.0, 5.0, 1.0, 10.0), 2.0);
+}
+
+TEST(PowerModel, MatchesPublishedChipPower)
+{
+    // Section 5: 223.18 mm^2 chip at 1 GHz dissipates 190 W.
+    EXPECT_NEAR(chipPowerWatts(ChipSpec::cinnamon()), 190.0, 2.0);
+    // The monolith burns proportionally more (more logic, more SRAM).
+    EXPECT_GT(chipPowerWatts(ChipSpec::cinnamonM()), 400.0);
+    // Four Cinnamon chips dissipate more total power than one chip
+    // but each stays air-coolable, unlike the monolith.
+    EXPECT_LT(chipPowerWatts(ChipSpec::cinnamon()), 250.0);
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Algebraic property tests on the CKKS layer: ring homomorphism laws
+ * that must survive encryption (commutativity, distributivity,
+ * rotation linearity, conjugation multiplicativity), encoder
+ * linearity, and DSL construction error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/dsl.h"
+#include "fhe_test_util.h"
+
+using namespace cinnamon;
+using testutil::CkksHarness;
+using testutil::maxError;
+using fhe::Cplx;
+
+namespace {
+
+CkksHarness &
+harness()
+{
+    static CkksHarness h(1 << 10, 6, 3);
+    return h;
+}
+
+} // namespace
+
+TEST(FheProperties, AdditionCommutesAndAssociates)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto vc = h.randomSlots(1.0);
+    auto a = h.encryptSlots(va, 3);
+    auto b = h.encryptSlots(vb, 3);
+    auto c = h.encryptSlots(vc, 3);
+
+    // (a+b)+c == a+(b+c), and a+b == b+a — exactly, ciphertext-wise.
+    auto lhs = h.eval->add(h.eval->add(a, b), c);
+    auto rhs = h.eval->add(a, h.eval->add(b, c));
+    EXPECT_TRUE(lhs.c0 == rhs.c0 && lhs.c1 == rhs.c1);
+    auto ab = h.eval->add(a, b);
+    auto ba = h.eval->add(b, a);
+    EXPECT_TRUE(ab.c0 == ba.c0 && ab.c1 == ba.c1);
+}
+
+TEST(FheProperties, MultiplicationDistributesOverAddition)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto vc = h.randomSlots(1.0);
+    auto a = h.encryptSlots(va, 3);
+    auto b = h.encryptSlots(vb, 3);
+    auto c = h.encryptSlots(vc, 3);
+
+    auto lhs = h.decryptSlots(
+        h.eval->rescale(h.eval->mul(h.eval->add(a, b), c, h.relin)));
+    auto rhs = h.decryptSlots(h.eval->rescale(h.eval->add(
+        h.eval->mul(a, c, h.relin), h.eval->mul(b, c, h.relin))));
+    EXPECT_LT(maxError(lhs, rhs), 1e-3);
+    // And against the plaintext ground truth.
+    double err = 0;
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 29)
+        err = std::max(err,
+                       std::abs(lhs[i] - (va[i] + vb[i]) * vc[i]));
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(FheProperties, RotationIsLinear)
+{
+    auto &h = harness();
+    auto gks = h.keygen->galoisKeys(h.sk, {3});
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto a = h.encryptSlots(va, 2);
+    auto b = h.encryptSlots(vb, 2);
+
+    // rot(a+b) == rot(a) + rot(b)
+    auto lhs = h.decryptSlots(h.eval->rotate(h.eval->add(a, b), 3, gks));
+    auto rhs = h.decryptSlots(
+        h.eval->add(h.eval->rotate(a, 3, gks),
+                    h.eval->rotate(b, 3, gks)));
+    EXPECT_LT(maxError(lhs, rhs), 1e-3);
+}
+
+TEST(FheProperties, ConjugationIsMultiplicative)
+{
+    auto &h = harness();
+    auto gks = h.keygen->galoisKeys(h.sk, {}, true);
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto a = h.encryptSlots(va, 3);
+    auto b = h.encryptSlots(vb, 3);
+
+    // conj(a*b) == conj(a)*conj(b)
+    auto lhs = h.decryptSlots(h.eval->conjugate(
+        h.eval->rescale(h.eval->mul(a, b, h.relin)), gks));
+    auto rhs = h.decryptSlots(h.eval->rescale(
+        h.eval->mul(h.eval->conjugate(a, gks),
+                    h.eval->conjugate(b, gks), h.relin)));
+    EXPECT_LT(maxError(lhs, rhs), 1e-3);
+}
+
+TEST(FheProperties, EncoderIsLinear)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto pa = h.encoder->encode(va, 2);
+    auto pb = h.encoder->encode(vb, 2);
+    auto psum = pa.add(pb);
+    auto back = h.encoder->decode(psum, h.params.scale);
+    double err = 0;
+    for (std::size_t i = 0; i < h.ctx->slots(); i += 17)
+        err = std::max(err, std::abs(back[i] - (va[i] + vb[i])));
+    EXPECT_LT(err, 1e-5);
+}
+
+TEST(FheProperties, EmbedForwardInverseAreMutual)
+{
+    auto &h = harness();
+    auto v = h.randomSlots(1.0);
+    auto round = h.encoder->embedForward(h.encoder->embedInverse(v));
+    EXPECT_LT(maxError(v, round), 1e-9);
+    auto round2 = h.encoder->embedInverse(h.encoder->embedForward(v));
+    EXPECT_LT(maxError(v, round2), 1e-9);
+}
+
+TEST(FheProperties, FreshNoiseIsSmall)
+{
+    auto &h = harness();
+    // Encrypt zero and measure the decrypted magnitude: the noise
+    // floor must be orders of magnitude below one slot unit.
+    std::vector<Cplx> zero(h.ctx->slots(), Cplx(0, 0));
+    auto ct = h.encryptSlots(zero, 2);
+    auto back = h.decryptSlots(ct);
+    EXPECT_LT(maxError(zero, back), 1e-6);
+}
+
+TEST(FheProperties, SubIsAddOfNegate)
+{
+    auto &h = harness();
+    auto va = h.randomSlots(1.0);
+    auto vb = h.randomSlots(1.0);
+    auto a = h.encryptSlots(va, 2);
+    auto b = h.encryptSlots(vb, 2);
+    auto lhs = h.eval->sub(a, b);
+    auto rhs = h.eval->add(a, h.eval->negate(b));
+    EXPECT_TRUE(lhs.c0 == rhs.c0 && lhs.c1 == rhs.c1);
+}
+
+TEST(DslErrors, LevelMismatchIsFatal)
+{
+    auto &h = harness();
+    compiler::Program p("bad", *h.ctx);
+    auto x = p.input("x", 3);
+    auto y = p.input("y", 2);
+    EXPECT_EXIT({ p.add(x, y); }, ::testing::ExitedWithCode(1),
+                "levels differ");
+}
+
+TEST(DslErrors, RescaleAtLevelZeroIsFatal)
+{
+    auto &h = harness();
+    compiler::Program p("bad", *h.ctx);
+    auto x = p.input("x", 0);
+    EXPECT_EXIT({ p.rescale(x); }, ::testing::ExitedWithCode(1),
+                "rescale at level 0");
+}
+
+TEST(DslErrors, InputAboveChainIsFatal)
+{
+    auto &h = harness();
+    compiler::Program p("bad", *h.ctx);
+    EXPECT_EXIT({ p.input("x", 99); }, ::testing::ExitedWithCode(1),
+                "exceeds the parameter chain");
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for homomorphic linear transforms (BSGS matrix-vector) and
+ * rotate-accumulate reductions (src/fhe/linear).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe/linear.h"
+#include "fhe_test_util.h"
+
+using namespace cinnamon;
+using testutil::CkksHarness;
+using testutil::maxError;
+using fhe::Cplx;
+
+namespace {
+
+CkksHarness &
+harness()
+{
+    static CkksHarness h(1 << 9, 6, 3); // n = 512, 256 slots
+    return h;
+}
+
+std::vector<std::vector<Cplx>>
+randomMatrix(Rng &rng, std::size_t dim, double mag = 1.0)
+{
+    std::vector<std::vector<Cplx>> m(dim, std::vector<Cplx>(dim));
+    for (auto &row : m) {
+        for (auto &x : row)
+            x = Cplx(rng.uniformReal(-mag, mag),
+                     rng.uniformReal(-mag, mag));
+    }
+    return m;
+}
+
+std::vector<Cplx>
+matVec(const std::vector<std::vector<Cplx>> &m, const std::vector<Cplx> &z)
+{
+    std::vector<Cplx> out(m.size(), Cplx(0, 0));
+    for (std::size_t r = 0; r < m.size(); ++r) {
+        for (std::size_t c = 0; c < m.size(); ++c)
+            out[r] += m[r][c] * z[c];
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Diagonals, ExtractionMatchesDefinition)
+{
+    std::vector<std::vector<Cplx>> m = {
+        {Cplx(1, 0), Cplx(2, 0), Cplx(0, 0)},
+        {Cplx(0, 0), Cplx(4, 0), Cplx(5, 0)},
+        {Cplx(7, 0), Cplx(0, 0), Cplx(9, 0)},
+    };
+    auto d = fhe::diagonalsOf(m);
+    ASSERT_EQ(d.size(), 2u); // diag 2 is all-zero in this matrix? no:
+    // diag 0: (1,4,9); diag 1: (2,5,7); diag 2: (0,0,0)? m[0][2]=0,
+    // m[1][0]=0, m[2][1]=0 — indeed zero, dropped.
+    EXPECT_EQ(d.at(0)[0], Cplx(1, 0));
+    EXPECT_EQ(d.at(0)[2], Cplx(9, 0));
+    EXPECT_EQ(d.at(1)[0], Cplx(2, 0));
+    EXPECT_EQ(d.at(1)[2], Cplx(7, 0)); // m[2][(2+1)%3]
+}
+
+TEST(Diagonals, BsgsRotationsCoverBabyAndGiant)
+{
+    fhe::Diagonals d;
+    d[0] = {};
+    d[3] = {};
+    d[7] = {};
+    d[8] = {};
+    auto rots = fhe::bsgsRotations(d, 4);
+    // babies 1..3, giants 4 (for k=7) and 8.
+    EXPECT_EQ(rots, (std::vector<int>{1, 2, 3, 4, 8}));
+}
+
+TEST(LinearTransform, DiagonalMatrixActsSlotwise)
+{
+    auto &h = harness();
+    const std::size_t slots = h.ctx->slots();
+    // A purely diagonal matrix is a slot-wise product.
+    std::vector<std::vector<Cplx>> m(slots, std::vector<Cplx>(slots));
+    for (std::size_t i = 0; i < slots; ++i)
+        m[i][i] = Cplx(0.5 + 0.001 * i, 0);
+    auto diags = fhe::diagonalsOf(m);
+    ASSERT_EQ(diags.size(), 1u);
+
+    auto v = h.randomSlots(1.0);
+    auto ct = h.encryptSlots(v, 3);
+    fhe::GaloisKeys gks; // no rotations needed
+    auto out = fhe::applyLinearTransform(*h.eval, *h.encoder, ct, diags,
+                                         gks, 1);
+    auto back = h.decryptSlots(h.eval->rescale(out));
+    auto expected = matVec(m, v);
+    EXPECT_LT(maxError(expected, back), 1e-3);
+}
+
+TEST(LinearTransform, DenseMatrixMatchesPlainMatVec)
+{
+    auto &h = harness();
+    const std::size_t slots = h.ctx->slots();
+    Rng mrng(2024);
+    auto m = randomMatrix(mrng, slots, 0.5);
+    auto diags = fhe::diagonalsOf(m);
+    const std::size_t g = 16;
+    auto gks = h.keygen->galoisKeys(h.sk, fhe::bsgsRotations(diags, g));
+
+    auto v = h.randomSlots(1.0);
+    auto ct = h.encryptSlots(v, 3);
+    auto out = fhe::applyLinearTransform(*h.eval, *h.encoder, ct, diags,
+                                         gks, g);
+    auto back = h.decryptSlots(h.eval->rescale(out));
+    auto expected = matVec(m, v);
+    // Dense accumulation of 256 products: allow a looser bound.
+    EXPECT_LT(maxError(expected, back), 5e-2);
+}
+
+TEST(LinearTransform, SparseDiagonalsSkipWork)
+{
+    auto &h = harness();
+    const std::size_t slots = h.ctx->slots();
+    // Circulant shift-by-2 matrix: single diagonal k=2 of ones.
+    fhe::Diagonals diags;
+    diags[2] = std::vector<Cplx>(slots, Cplx(1, 0));
+    auto gks = h.keygen->galoisKeys(h.sk, fhe::bsgsRotations(diags, 2));
+
+    auto v = h.randomSlots(1.0);
+    auto ct = h.encryptSlots(v, 3);
+    auto out = fhe::applyLinearTransform(*h.eval, *h.encoder, ct, diags,
+                                         gks, 2);
+    auto back = h.decryptSlots(h.eval->rescale(out));
+    double err = 0;
+    for (std::size_t i = 0; i < slots; i += 7)
+        err = std::max(err, std::abs(back[i] - v[(i + 2) % slots]));
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(RotateAccumulate, SumsPowerOfTwoSpan)
+{
+    auto &h = harness();
+    const std::size_t slots = h.ctx->slots();
+    auto gks = h.keygen->galoisKeys(h.sk, {1, 2, 4});
+    auto v = h.randomSlots(1.0);
+    auto ct = h.encryptSlots(v, 2);
+    auto sum = fhe::rotateAccumulate(*h.eval, ct, 1, 8, gks);
+    auto back = h.decryptSlots(sum);
+    for (std::size_t i = 0; i < slots; i += 31) {
+        Cplx expected(0, 0);
+        for (std::size_t k = 0; k < 8; ++k)
+            expected += v[(i + k) % slots];
+        EXPECT_LT(std::abs(back[i] - expected), 1e-3) << "slot " << i;
+    }
+}
+
+TEST(RotateAccumulate, SpanOneIsIdentity)
+{
+    auto &h = harness();
+    fhe::GaloisKeys gks;
+    auto v = h.randomSlots(1.0);
+    auto ct = h.encryptSlots(v, 2);
+    auto out = fhe::rotateAccumulate(*h.eval, ct, 1, 1, gks);
+    EXPECT_LT(maxError(v, h.decryptSlots(out)), 1e-4);
+}

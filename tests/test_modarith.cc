@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit and property tests for scalar modular arithmetic (src/rns).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rns/modarith.h"
+#include "rns/prime_gen.h"
+
+namespace cr = cinnamon::rns;
+
+TEST(ModArith, AddSubBasics)
+{
+    const uint64_t q = 17;
+    EXPECT_EQ(cr::addMod(9, 9, q), 1u);
+    EXPECT_EQ(cr::addMod(0, 0, q), 0u);
+    EXPECT_EQ(cr::addMod(16, 16, q), 15u);
+    EXPECT_EQ(cr::subMod(3, 9, q), 11u);
+    EXPECT_EQ(cr::subMod(9, 3, q), 6u);
+    EXPECT_EQ(cr::subMod(0, 16, q), 1u);
+}
+
+TEST(ModArith, MulMatchesSchoolbook)
+{
+    const uint64_t q = 1000003;
+    EXPECT_EQ(cr::mulMod(999999, 999999, q), (999999ULL * 999999ULL) % q);
+}
+
+TEST(ModArith, PowMod)
+{
+    EXPECT_EQ(cr::powMod(2, 10, 1000003), 1024u);
+    EXPECT_EQ(cr::powMod(5, 0, 97), 1u);
+    // Fermat: a^(p-1) = 1 mod p.
+    EXPECT_EQ(cr::powMod(123456789, 1000002, 1000003), 1u);
+}
+
+TEST(ModArith, InvMod)
+{
+    const uint64_t q = 1000003;
+    for (uint64_t a : {2ULL, 3ULL, 999999ULL, 500000ULL}) {
+        uint64_t inv = cr::invMod(a, q);
+        EXPECT_EQ(cr::mulMod(a, inv, q), 1u);
+    }
+}
+
+TEST(ModArith, IsPrimeSmall)
+{
+    EXPECT_FALSE(cr::isPrime(0));
+    EXPECT_FALSE(cr::isPrime(1));
+    EXPECT_TRUE(cr::isPrime(2));
+    EXPECT_TRUE(cr::isPrime(3));
+    EXPECT_FALSE(cr::isPrime(4));
+    EXPECT_TRUE(cr::isPrime(97));
+    EXPECT_FALSE(cr::isPrime(91)); // 7 * 13
+    EXPECT_TRUE(cr::isPrime((1ULL << 61) - 1)); // Mersenne prime M61
+    EXPECT_FALSE(cr::isPrime((1ULL << 60)));
+}
+
+TEST(ModArith, BarrettMatchesDivide)
+{
+    cinnamon::Rng rng(42);
+    for (int bits : {30, 40, 50, 59}) {
+        auto primes = cr::generateNttPrimes(1024, bits, 2);
+        for (uint64_t q : primes) {
+            cr::Modulus mod(q);
+            for (int i = 0; i < 2000; ++i) {
+                uint64_t a = rng.uniformMod(q);
+                uint64_t b = rng.uniformMod(q);
+                EXPECT_EQ(mod.mul(a, b), cr::mulMod(a, b, q));
+            }
+        }
+    }
+}
+
+TEST(ModArith, BarrettReduceUnreducedOperand)
+{
+    // mul() must tolerate operands up to 62 bits even if above q.
+    auto primes = cr::generateNttPrimes(1024, 30, 1);
+    cr::Modulus mod(primes[0]);
+    uint64_t big = (1ULL << 61) + 12345;
+    EXPECT_EQ(mod.mul(big, 7), cr::mulMod(big % mod.value(), 7,
+                                          mod.value()));
+}
+
+TEST(ModArith, SignedRoundTrip)
+{
+    cr::Modulus mod(1000003);
+    for (int64_t v : {0LL, 1LL, -1LL, 500001LL, -500001LL, 123456LL}) {
+        EXPECT_EQ(mod.toSigned(mod.fromSigned(v)), v);
+    }
+}
+
+TEST(PrimeGen, ProducesNttFriendlyPrimes)
+{
+    const std::size_t n = 4096;
+    auto primes = cr::generateNttPrimes(n, 40, 8);
+    ASSERT_EQ(primes.size(), 8u);
+    for (uint64_t q : primes) {
+        EXPECT_TRUE(cr::isPrime(q));
+        EXPECT_EQ((q - 1) % (2 * n), 0u);
+        // Within ±1 bit of the request.
+        EXPECT_GE(q, 1ULL << 39);
+        EXPECT_LE(q, 1ULL << 41);
+    }
+    // All distinct.
+    std::sort(primes.begin(), primes.end());
+    EXPECT_EQ(std::adjacent_find(primes.begin(), primes.end()),
+              primes.end());
+}
+
+TEST(PrimeGen, RespectsExclusions)
+{
+    auto first = cr::generateNttPrimes(1024, 35, 4);
+    auto second = cr::generateNttPrimes(1024, 35, 4, first);
+    for (uint64_t q : second) {
+        EXPECT_EQ(std::find(first.begin(), first.end(), q), first.end());
+    }
+}
+
+TEST(PrimeGen, PrimitiveRootHasExactOrder)
+{
+    const std::size_t n = 2048;
+    auto primes = cr::generateNttPrimes(n, 45, 3);
+    for (uint64_t q : primes) {
+        uint64_t psi = cr::findPrimitiveRoot(2 * n, q);
+        EXPECT_EQ(cr::powMod(psi, 2 * n, q), 1u);
+        EXPECT_NE(cr::powMod(psi, n, q), 1u);
+        // psi^n must be -1 (negacyclic property).
+        EXPECT_EQ(cr::powMod(psi, n, q), q - 1);
+    }
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the negacyclic NTT: inversion, linearity, and the
+ * convolution theorem against a schoolbook negacyclic multiply.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rns/modarith.h"
+#include "rns/ntt.h"
+#include "rns/prime_gen.h"
+
+namespace cr = cinnamon::rns;
+
+namespace {
+
+/** Schoolbook multiply in Z_q[X]/(X^n + 1). */
+std::vector<uint64_t>
+negacyclicMul(const std::vector<uint64_t> &a, const std::vector<uint64_t> &b,
+              uint64_t q)
+{
+    const std::size_t n = a.size();
+    std::vector<uint64_t> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            uint64_t prod = cr::mulMod(a[i], b[j], q);
+            std::size_t k = i + j;
+            if (k < n) {
+                out[k] = cr::addMod(out[k], prod, q);
+            } else {
+                out[k - n] = cr::subMod(out[k - n], prod, q);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+class NttParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttParam, ForwardInverseIsIdentity)
+{
+    const std::size_t n = GetParam();
+    auto primes = cr::generateNttPrimes(n, 45, 1);
+    cr::NttTable ntt(n, primes[0]);
+    cinnamon::Rng rng(7);
+    auto a = rng.uniformVector(n, primes[0]);
+    auto b = a;
+    ntt.forward(b);
+    EXPECT_NE(a, b); // transform must do something
+    ntt.inverse(b);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParam, ConvolutionTheorem)
+{
+    const std::size_t n = GetParam();
+    if (n > 256)
+        GTEST_SKIP() << "schoolbook reference too slow beyond 256";
+    auto primes = cr::generateNttPrimes(n, 40, 1);
+    const uint64_t q = primes[0];
+    cr::NttTable ntt(n, q);
+    cinnamon::Rng rng(13);
+    auto a = rng.uniformVector(n, q);
+    auto b = rng.uniformVector(n, q);
+    auto expected = negacyclicMul(a, b, q);
+
+    ntt.forward(a);
+    ntt.forward(b);
+    std::vector<uint64_t> c(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = cr::mulMod(a[i], b[i], q);
+    ntt.inverse(c);
+    EXPECT_EQ(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttParam,
+                         ::testing::Values(4, 8, 16, 64, 256, 1024, 4096));
+
+TEST(Ntt, Linearity)
+{
+    const std::size_t n = 512;
+    auto primes = cr::generateNttPrimes(n, 40, 1);
+    const uint64_t q = primes[0];
+    cr::NttTable ntt(n, q);
+    cinnamon::Rng rng(99);
+    auto a = rng.uniformVector(n, q);
+    auto b = rng.uniformVector(n, q);
+
+    // NTT(a + b) == NTT(a) + NTT(b)
+    std::vector<uint64_t> sum(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sum[i] = cr::addMod(a[i], b[i], q);
+    ntt.forward(sum);
+    ntt.forward(a);
+    ntt.forward(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], cr::addMod(a[i], b[i], q));
+}
+
+TEST(Ntt, ConstantPolynomialMapsToConstantSpectrum)
+{
+    const std::size_t n = 128;
+    auto primes = cr::generateNttPrimes(n, 40, 1);
+    const uint64_t q = primes[0];
+    cr::NttTable ntt(n, q);
+    // The constant polynomial 5 evaluates to 5 at every root.
+    std::vector<uint64_t> a(n, 0);
+    a[0] = 5;
+    ntt.forward(a);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], 5u);
+}
+
+TEST(Ntt, MultiplyByXIsNegacyclicShift)
+{
+    const std::size_t n = 64;
+    auto primes = cr::generateNttPrimes(n, 40, 1);
+    const uint64_t q = primes[0];
+    cr::NttTable ntt(n, q);
+    cinnamon::Rng rng(3);
+    auto a = rng.uniformVector(n, q);
+
+    // x poly = X
+    std::vector<uint64_t> x(n, 0);
+    x[1] = 1;
+    auto expected = negacyclicMul(a, x, q);
+
+    auto fa = a;
+    auto fx = x;
+    ntt.forward(fa);
+    ntt.forward(fx);
+    std::vector<uint64_t> c(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = cr::mulMod(fa[i], fx[i], q);
+    ntt.inverse(c);
+    EXPECT_EQ(c, expected);
+    // And explicitly: coefficient n-1 wraps to -a[n-1] at position 0.
+    EXPECT_EQ(expected[0], cr::subMod(0, a[n - 1], q));
+}
+
+TEST(Ntt, BitReverse)
+{
+    EXPECT_EQ(cr::bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(cr::bitReverse(0b110, 3), 0b011u);
+    EXPECT_EQ(cr::bitReverse(1, 1), 1u);
+    EXPECT_EQ(cr::bitReverse(0, 4), 0u);
+}

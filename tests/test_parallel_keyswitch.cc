@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the parallel keyswitching engines (src/parallel).
+ *
+ * The central claims verified here mirror Section 4.3.1 / 7.4 of the
+ * paper:
+ *  - input-broadcast keyswitching is bit-exact with the sequential
+ *    algorithm and needs exactly one broadcast;
+ *  - CiFHER-style keyswitching is also correct but needs three
+ *    collectives;
+ *  - output-aggregation keyswitching (chip-partition digits) is a
+ *    valid keyswitch needing two aggregations and no broadcast;
+ *  - hoisting batches r rotations into one broadcast, and
+ *    rotate-aggregate batches r keyswitches into two aggregations;
+ *  - Cinnamon's batched communication beats CiFHER's per-keyswitch
+ *    broadcasts for realistic batch sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe_test_util.h"
+#include "parallel/keyswitch.h"
+
+using namespace cinnamon;
+using testutil::CkksHarness;
+using testutil::maxError;
+using fhe::Cplx;
+
+namespace {
+
+constexpr std::size_t kChips = 4;
+
+struct ParHarness
+{
+    CkksHarness base{1 << 10, 6, 3};
+    parallel::LimbMachine machine{*base.ctx, kChips};
+    parallel::ParallelKeySwitcher ks{*base.ctx, machine};
+};
+
+ParHarness &
+harness()
+{
+    static ParHarness h;
+    return h;
+}
+
+} // namespace
+
+TEST(LimbMachine, ModularPartition)
+{
+    auto &h = harness();
+    rns::Basis full = rns::rangeBasis(0, 6);
+    EXPECT_EQ(h.machine.localBasis(full, 0), (rns::Basis{0, 4}));
+    EXPECT_EQ(h.machine.localBasis(full, 1), (rns::Basis{1, 5}));
+    EXPECT_EQ(h.machine.localBasis(full, 3), (rns::Basis{3}));
+}
+
+TEST(LimbMachine, ScatterGatherRoundTrip)
+{
+    auto &h = harness();
+    auto v = h.base.randomSlots(1.0);
+    auto plain = h.base.encoder->encode(v, h.base.ctx->maxLevel());
+    auto dist = h.machine.scatter(plain);
+    EXPECT_EQ(dist.chips(), kChips);
+    auto back = h.machine.gather(dist, plain.basis());
+    EXPECT_EQ(back, plain);
+}
+
+TEST(LimbMachine, CollectivesCountCommunication)
+{
+    auto &h = harness();
+    h.machine.resetStats();
+    auto v = h.base.randomSlots(1.0);
+    auto plain = h.base.encoder->encode(v, 5);
+    auto dist = h.machine.scatter(plain);
+    (void)h.machine.broadcast(dist, plain.basis());
+    EXPECT_EQ(h.machine.stats().broadcasts, 1u);
+    EXPECT_EQ(h.machine.stats().limbs_broadcast, 6u);
+
+    std::vector<rns::RnsPoly> parts(kChips, plain);
+    (void)h.machine.aggregateScatter(parts);
+    EXPECT_EQ(h.machine.stats().aggregations, 1u);
+    EXPECT_EQ(h.machine.stats().limbs_aggregated, 6u);
+}
+
+TEST(ParallelKeyswitch, InputBroadcastBitExactWithSequential)
+{
+    auto &h = harness();
+    const std::size_t level = h.base.ctx->maxLevel();
+    auto v = h.base.randomSlots(1.0);
+    auto ct = h.base.encryptSlots(v, level);
+
+    auto [s0, s1] = h.base.eval->keySwitch(ct.c1, level, h.base.relin);
+
+    h.machine.resetStats();
+    auto dist = h.machine.scatter(ct.c1);
+    auto out = h.ks.inputBroadcast(dist, level, h.base.relin);
+    auto [p0, p1] = h.ks.gather(out, level);
+
+    EXPECT_EQ(p0, s0);
+    EXPECT_EQ(p1, s1);
+    EXPECT_EQ(h.machine.stats().broadcasts, 1u);
+    EXPECT_EQ(h.machine.stats().aggregations, 0u);
+    EXPECT_EQ(h.machine.stats().limbs_broadcast, level + 1);
+}
+
+TEST(ParallelKeyswitch, InputBroadcastAtLowerLevel)
+{
+    auto &h = harness();
+    const std::size_t level = 2;
+    auto v = h.base.randomSlots(1.0);
+    auto ct = h.base.encryptSlots(v, level);
+    auto [s0, s1] = h.base.eval->keySwitch(ct.c1, level, h.base.relin);
+    auto out = h.ks.inputBroadcast(h.machine.scatter(ct.c1), level,
+                                   h.base.relin);
+    auto [p0, p1] = h.ks.gather(out, level);
+    EXPECT_EQ(p0, s0);
+    EXPECT_EQ(p1, s1);
+}
+
+TEST(ParallelKeyswitch, CifherBitExactWithSequentialButThreeCollectives)
+{
+    auto &h = harness();
+    const std::size_t level = h.base.ctx->maxLevel();
+    auto v = h.base.randomSlots(1.0);
+    auto ct = h.base.encryptSlots(v, level);
+
+    auto [s0, s1] = h.base.eval->keySwitch(ct.c1, level, h.base.relin);
+
+    h.machine.resetStats();
+    auto out = h.ks.cifher(h.machine.scatter(ct.c1), level, h.base.relin);
+    auto [p0, p1] = h.ks.gather(out, level);
+
+    EXPECT_EQ(p0, s0);
+    EXPECT_EQ(p1, s1);
+    // 1 input broadcast + 2 full accumulator broadcasts at mod-down.
+    EXPECT_EQ(h.machine.stats().broadcasts, 3u);
+    const std::size_t special = h.base.ctx->specialBasis().size();
+    EXPECT_EQ(h.machine.stats().limbs_broadcast,
+              3 * (level + 1) + 2 * special);
+}
+
+TEST(ParallelKeyswitch, OutputAggregationIsValidKeyswitch)
+{
+    auto &h = harness();
+    const std::size_t level = h.base.ctx->maxLevel();
+    // Relinearization via output aggregation: keys for chip digits.
+    auto digits = h.ks.chipDigits(level);
+    auto s2 = h.base.sk.s.mul(h.base.sk.s);
+    auto evk = h.base.keygen->makeKeySwitchKeyForDigits(h.base.sk, s2,
+                                                        digits);
+
+    auto va = h.base.randomSlots(1.0);
+    auto vb = h.base.randomSlots(1.0);
+    auto ca = h.base.encryptSlots(va, level);
+    auto cb = h.base.encryptSlots(vb, level);
+
+    // Tensor, then relinearize d2 with the parallel engine.
+    auto d0 = ca.c0.mul(cb.c0);
+    auto d1 = ca.c0.mul(cb.c1);
+    d1.addInPlace(ca.c1.mul(cb.c0));
+    auto d2 = ca.c1.mul(cb.c1);
+
+    h.machine.resetStats();
+    auto out = h.ks.outputAggregation(h.machine.scatter(d2), level, evk);
+    auto [k0, k1] = h.ks.gather(out, level);
+    EXPECT_EQ(h.machine.stats().broadcasts, 0u);
+    EXPECT_EQ(h.machine.stats().aggregations, 2u);
+    EXPECT_EQ(h.machine.stats().limbs_aggregated, 2 * (level + 1));
+
+    d0.addInPlace(k0);
+    d1.addInPlace(k1);
+    fhe::Ciphertext prod{d0, d1, level,
+                         ca.scale * cb.scale};
+    auto back = h.base.decryptSlots(h.base.eval->rescale(prod));
+    double err = 0;
+    for (std::size_t i = 0; i < h.base.ctx->slots(); i += 17)
+        err = std::max(err, std::abs(back[i] - va[i] * vb[i]));
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(ParallelKeyswitch, HoistedRotationsOneBroadcast)
+{
+    auto &h = harness();
+    const std::size_t level = 3;
+    const std::vector<int> steps{1, 2, 5, 9};
+    auto gks = h.base.keygen->galoisKeys(h.base.sk, steps);
+
+    std::vector<uint64_t> galois;
+    std::map<uint64_t, fhe::EvalKey> keys;
+    for (int s : steps) {
+        uint64_t g = h.base.ctx->galoisForRotation(s);
+        galois.push_back(g);
+        keys.emplace(g, h.base.keygen->galoisKey(h.base.sk, g));
+    }
+
+    auto v = h.base.randomSlots(1.0);
+    auto ct = h.base.encryptSlots(v, level);
+
+    h.machine.resetStats();
+    auto results = h.ks.hoistedRotations(h.machine.scatter(ct.c1), level,
+                                         galois, keys);
+    ASSERT_EQ(results.size(), steps.size());
+    EXPECT_EQ(h.machine.stats().broadcasts, 1u);
+    EXPECT_EQ(h.machine.stats().limbs_broadcast, level + 1);
+    EXPECT_EQ(h.machine.stats().aggregations, 0u);
+
+    // Each hoisted result must complete into a correct rotation.
+    rns::RnsPoly c0 = ct.c0;
+    c0.toCoeff();
+    for (std::size_t r = 0; r < steps.size(); ++r) {
+        auto [k0, k1] = h.ks.gather(results[r], level);
+        rns::RnsPoly r0 = c0.automorphism(galois[r]);
+        r0.toEval();
+        k0.addInPlace(r0);
+        fhe::Ciphertext rot{k0, k1, level, ct.scale};
+        auto back = h.base.decryptSlots(rot);
+        const std::size_t slots = h.base.ctx->slots();
+        double err = 0;
+        for (std::size_t i = 0; i < slots; i += 13) {
+            err = std::max(err,
+                           std::abs(back[i] -
+                                    v[(i + steps[r]) % slots]));
+        }
+        EXPECT_LT(err, 1e-3) << "rotation " << steps[r];
+    }
+}
+
+TEST(ParallelKeyswitch, RotateAggregateTwoAggregations)
+{
+    auto &h = harness();
+    const std::size_t level = h.base.ctx->maxLevel();
+    const std::vector<int> steps{1, 3, 4};
+    auto digits = h.ks.chipDigits(level);
+
+    std::vector<uint64_t> galois;
+    std::map<uint64_t, fhe::EvalKey> keys;
+    for (int s : steps) {
+        uint64_t g = h.base.ctx->galoisForRotation(s);
+        galois.push_back(g);
+        keys.emplace(g, h.base.keygen->galoisKeyForDigits(h.base.sk, g,
+                                                          digits));
+    }
+
+    // Three ciphertexts rotated then aggregated.
+    std::vector<std::vector<Cplx>> vs;
+    std::vector<fhe::Ciphertext> cts;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        vs.push_back(h.base.randomSlots(1.0));
+        cts.push_back(h.base.encryptSlots(vs.back(), level));
+    }
+
+    h.machine.resetStats();
+    std::vector<parallel::DistPoly> c1s;
+    for (const auto &ct : cts)
+        c1s.push_back(h.machine.scatter(ct.c1));
+    auto out = h.ks.rotateAggregate(c1s, level, galois, keys);
+    EXPECT_EQ(h.machine.stats().broadcasts, 0u);
+    EXPECT_EQ(h.machine.stats().aggregations, 2u);
+
+    auto [k0, k1] = h.ks.gather(out, level);
+    // Complete: add Σ auto(c0_r).
+    for (std::size_t r = 0; r < cts.size(); ++r) {
+        rns::RnsPoly c0 = cts[r].c0;
+        c0.toCoeff();
+        rns::RnsPoly a = c0.automorphism(galois[r]);
+        a.toEval();
+        k0.addInPlace(a);
+    }
+    fhe::Ciphertext sum{k0, k1, level, cts[0].scale};
+    auto back = h.base.decryptSlots(sum);
+
+    const std::size_t slots = h.base.ctx->slots();
+    double err = 0;
+    for (std::size_t i = 0; i < slots; i += 13) {
+        Cplx expected(0, 0);
+        for (std::size_t r = 0; r < steps.size(); ++r)
+            expected += vs[r][(i + steps[r]) % slots];
+        err = std::max(err, std::abs(back[i] - expected));
+    }
+    EXPECT_LT(err, 1e-3);
+}
+
+TEST(ParallelKeyswitch, CinnamonBeatsCifherOnBatchedPatterns)
+{
+    // Communication model comparison for pattern 1 (r rotations of one
+    // ciphertext), mirroring the Section 7.4 algorithmic analysis:
+    // CiFHER: r * (1 input + 2 extension) collectives with only the
+    // input broadcast batchable; Cinnamon: 1 broadcast total.
+    auto &h = harness();
+    const std::size_t level = h.base.ctx->maxLevel();
+    const std::size_t special = h.base.ctx->specialBasis().size();
+    const std::size_t r = 8;
+
+    const std::size_t cifher_limbs =
+        (level + 1) + r * 2 * (level + 1 + special);
+    const std::size_t cinnamon_limbs = level + 1;
+    EXPECT_GT(cifher_limbs, 2 * cinnamon_limbs);
+
+    // And empirically on the machine for one keyswitch each:
+    auto v = h.base.randomSlots(1.0);
+    auto ct = h.base.encryptSlots(v, level);
+    auto dist = h.machine.scatter(ct.c1);
+
+    h.machine.resetStats();
+    (void)h.ks.cifher(dist, level, h.base.relin);
+    auto cifher_stats = h.machine.stats();
+
+    h.machine.resetStats();
+    (void)h.ks.inputBroadcast(dist, level, h.base.relin);
+    auto cinnamon_stats = h.machine.stats();
+
+    EXPECT_LT(cinnamon_stats.totalLimbs(), cifher_stats.totalLimbs());
+}

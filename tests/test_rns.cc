@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for RNS context, basis utilities, polynomial operations, base
+ * conversion, mod-up/mod-down, and rescale (src/rns).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rns/base_conv.h"
+#include "rns/context.h"
+#include "rns/poly.h"
+#include "rns/prime_gen.h"
+
+namespace cr = cinnamon::rns;
+
+namespace {
+
+constexpr std::size_t kN = 64;
+
+/** A context with 4 "ciphertext" primes and 2 "extension" primes. */
+cr::RnsContext
+makeContext()
+{
+    auto qs = cr::generateNttPrimes(kN, 30, 4);
+    auto ps = cr::generateNttPrimes(kN, 31, 2, qs);
+    std::vector<uint64_t> all = qs;
+    all.insert(all.end(), ps.begin(), ps.end());
+    return cr::RnsContext(kN, all);
+}
+
+/** Build the RNS image of a signed-integer coefficient vector. */
+cr::RnsPoly
+fromIntCoeffs(const cr::RnsContext &ctx, const cr::Basis &basis,
+              const std::vector<int64_t> &coeffs)
+{
+    cr::RnsPoly p(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const cr::Modulus &mod = ctx.modulus(basis[i]);
+        for (std::size_t j = 0; j < coeffs.size(); ++j)
+            p.limb(i)[j] = mod.fromSigned(coeffs[j]);
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(BasisUtils, RangeUnionDiffSubset)
+{
+    cr::Basis a = cr::rangeBasis(0, 3);
+    EXPECT_EQ(a, (cr::Basis{0, 1, 2}));
+    cr::Basis b{2, 5};
+    EXPECT_EQ(cr::unionBasis(a, b), (cr::Basis{0, 1, 2, 5}));
+    EXPECT_EQ(cr::differenceBasis(a, b), (cr::Basis{0, 1}));
+    EXPECT_TRUE(cr::isSubsetOf({1, 2}, a));
+    EXPECT_FALSE(cr::isSubsetOf({1, 4}, a));
+    EXPECT_TRUE(cr::isSubsetOf({}, a));
+}
+
+TEST(RnsPoly, AddSubMulAgainstScalars)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 3);
+    cinnamon::Rng rng(11);
+
+    cr::RnsPoly a(ctx, basis, cr::Domain::Eval);
+    cr::RnsPoly b(ctx, basis, cr::Domain::Eval);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const uint64_t q = ctx.modulus(basis[i]).value();
+        for (std::size_t j = 0; j < kN; ++j) {
+            a.limb(i)[j] = rng.uniformMod(q);
+            b.limb(i)[j] = rng.uniformMod(q);
+        }
+    }
+    auto sum = a.add(b);
+    auto diff = a.sub(b);
+    auto prod = a.mul(b);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const uint64_t q = ctx.modulus(basis[i]).value();
+        for (std::size_t j = 0; j < kN; ++j) {
+            EXPECT_EQ(sum.limb(i)[j], cr::addMod(a.limb(i)[j],
+                                                 b.limb(i)[j], q));
+            EXPECT_EQ(diff.limb(i)[j], cr::subMod(a.limb(i)[j],
+                                                  b.limb(i)[j], q));
+            EXPECT_EQ(prod.limb(i)[j], cr::mulMod(a.limb(i)[j],
+                                                  b.limb(i)[j], q));
+        }
+    }
+}
+
+TEST(RnsPoly, NegateIsAdditiveInverse)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 4);
+    cinnamon::Rng rng(5);
+    cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+    cr::RnsPoly neg = a;
+    neg.negateInPlace();
+    auto sum = a.add(neg);
+    EXPECT_TRUE(sum.isZero());
+}
+
+TEST(RnsPoly, DomainRoundTrip)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 4);
+    cinnamon::Rng rng(21);
+    cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+    cr::RnsPoly b = a;
+    b.toEval();
+    EXPECT_EQ(b.domain(), cr::Domain::Eval);
+    b.toCoeff();
+    EXPECT_EQ(a, b);
+}
+
+TEST(RnsPoly, AutomorphismConjugationIsInvolution)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 2);
+    cinnamon::Rng rng(17);
+    cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+    const uint64_t conj = 2 * kN - 1;
+    EXPECT_EQ(a.automorphism(conj).automorphism(conj), a);
+}
+
+TEST(RnsPoly, AutomorphismComposition)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 2);
+    cinnamon::Rng rng(23);
+    cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+    const uint64_t g1 = 5, g2 = 25;
+    auto lhs = a.automorphism(g1).automorphism(g2);
+    auto rhs = a.automorphism((g1 * g2) % (2 * kN));
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RnsPoly, RestrictToSelectsLimbs)
+{
+    auto ctx = makeContext();
+    cr::Basis basis = cr::rangeBasis(0, 4);
+    cinnamon::Rng rng(31);
+    cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i)
+        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+    auto r = a.restrictTo({2, 0});
+    EXPECT_EQ(r.basis(), (cr::Basis{2, 0}));
+    EXPECT_EQ(r.limb(0), a.limb(2));
+    EXPECT_EQ(r.limb(1), a.limb(0));
+}
+
+TEST(BaseConversion, SmallIntegersConvertUpToMultipleOfSource)
+{
+    auto ctx = makeContext();
+    cr::Basis src = cr::rangeBasis(0, 2);
+    cr::Basis dst{4, 5};
+    cr::BaseConverter conv(ctx, src, dst);
+
+    // Source modulus S = q0 * q1 as a 128-bit value.
+    cr::uint128_t s_prod = (cr::uint128_t)ctx.modulus(0).value() *
+                           ctx.modulus(1).value();
+
+    std::vector<int64_t> coeffs(kN, 0);
+    coeffs[0] = 12345;
+    coeffs[1] = -678;
+    coeffs[kN - 1] = 1;
+    auto x = fromIntCoeffs(ctx, src, coeffs);
+    auto y = conv.convert(x);
+    ASSERT_EQ(y.basis(), dst);
+
+    // Fast base conversion may add u*S for 0 <= u < ell to nonneg
+    // representatives; check each output residue is explainable.
+    for (std::size_t t = 0; t < dst.size(); ++t) {
+        const cr::Modulus &mod = ctx.modulus(dst[t]);
+        for (std::size_t j : {std::size_t(0), std::size_t(1), kN - 1}) {
+            // Nonnegative representative of the coefficient mod S.
+            cr::uint128_t v = coeffs[j] >= 0
+                ? (cr::uint128_t)coeffs[j]
+                : s_prod - (cr::uint128_t)(-coeffs[j]);
+            bool found = false;
+            for (unsigned u = 0; u <= src.size(); ++u) {
+                uint64_t cand = static_cast<uint64_t>(
+                    (v + (cr::uint128_t)u * s_prod) % mod.value());
+                if (y.limb(t)[j] == cand) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found) << "limb " << t << " coeff " << j;
+        }
+    }
+}
+
+TEST(BaseConversion, PartialMatchesFull)
+{
+    auto ctx = makeContext();
+    cr::Basis src = cr::rangeBasis(0, 3);
+    cr::Basis dst{3, 4, 5};
+    cr::BaseConverter conv(ctx, src, dst);
+    cinnamon::Rng rng(41);
+    cr::RnsPoly x(ctx, src, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        x.limb(i) = rng.uniformVector(kN, ctx.modulus(src[i]).value());
+
+    auto full = conv.convert(x);
+    auto part = conv.convertPartial(x, {1, 2});
+    EXPECT_EQ(part.basis(), (cr::Basis{4, 5}));
+    EXPECT_EQ(part.limb(0), full.limb(1));
+    EXPECT_EQ(part.limb(1), full.limb(2));
+}
+
+TEST(RnsTool, ModUpKeepsDigitLimbsExactly)
+{
+    auto ctx = makeContext();
+    cr::RnsTool tool(ctx);
+    cr::Basis digit{0, 1};
+    cr::Basis target = cr::rangeBasis(0, 6);
+    cinnamon::Rng rng(51);
+    cr::RnsPoly x(ctx, digit, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < digit.size(); ++i)
+        x.limb(i) = rng.uniformVector(kN, ctx.modulus(digit[i]).value());
+
+    auto up = tool.modUp(x, target);
+    EXPECT_EQ(up.basis(), target);
+    EXPECT_EQ(up.limb(0), x.limb(0));
+    EXPECT_EQ(up.limb(1), x.limb(1));
+}
+
+TEST(RnsTool, ModDownDividesExactMultiples)
+{
+    auto ctx = makeContext();
+    cr::RnsTool tool(ctx);
+    cr::Basis keep = cr::rangeBasis(0, 4);
+    cr::Basis ext{4, 5};
+    cr::Basis full = cr::unionBasis(keep, ext);
+
+    // Coefficients equal to v * P: mod-down divides by P exactly.
+    cr::uint128_t p_prod = (cr::uint128_t)ctx.modulus(4).value() *
+                           ctx.modulus(5).value();
+    std::vector<int64_t> vs(kN, 0);
+    vs[0] = 7;
+    vs[3] = -11;
+
+    cr::RnsPoly x(ctx, full, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        const cr::Modulus &mod = ctx.modulus(full[i]);
+        const uint64_t p_mod = static_cast<uint64_t>(p_prod % mod.value());
+        for (std::size_t j = 0; j < kN; ++j)
+            x.limb(i)[j] = mod.mul(mod.fromSigned(vs[j]), p_mod);
+    }
+
+    auto down = tool.modDown(x, keep, ext);
+    auto expected = fromIntCoeffs(ctx, keep, vs);
+    EXPECT_EQ(down, expected);
+}
+
+TEST(RnsTool, RescaleDividesByLastPrime)
+{
+    auto ctx = makeContext();
+    cr::RnsTool tool(ctx);
+    cr::Basis basis = cr::rangeBasis(0, 3);
+    const uint64_t q_last = ctx.modulus(2).value();
+
+    std::vector<int64_t> vs(kN, 0);
+    vs[0] = 3;
+    vs[5] = -42;
+    cr::RnsPoly x(ctx, basis, cr::Domain::Coeff);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        const cr::Modulus &mod = ctx.modulus(basis[i]);
+        for (std::size_t j = 0; j < kN; ++j)
+            x.limb(i)[j] = mod.mul(mod.fromSigned(vs[j]),
+                                   q_last % mod.value());
+    }
+
+    auto scaled = tool.rescale(x);
+    auto expected = fromIntCoeffs(ctx, cr::rangeBasis(0, 2), vs);
+    EXPECT_EQ(scaled, expected);
+}
+
+TEST(RnsTool, ConverterCacheReturnsSameInstance)
+{
+    auto ctx = makeContext();
+    cr::RnsTool tool(ctx);
+    const auto &a = tool.converter({0, 1}, {2, 3});
+    const auto &b = tool.converter({0, 1}, {2, 3});
+    EXPECT_EQ(&a, &b);
+}

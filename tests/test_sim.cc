@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the cycle-level simulator (src/sim): conservation
+ * properties, bandwidth sensitivity, and topology behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lowering.h"
+#include "fhe_test_util.h"
+#include "sim/simulator.h"
+
+using namespace cinnamon;
+using testutil::CkksHarness;
+
+namespace {
+
+CkksHarness &
+harness()
+{
+    static CkksHarness h(1 << 10, 6, 3);
+    return h;
+}
+
+/** Compile a small rotation-heavy program for `chips`. */
+isa::MachineProgram
+compileRotations(std::size_t chips, bool batching = true)
+{
+    auto &h = harness();
+    compiler::Program p("rot", *h.ctx);
+    auto x = p.input("x", 5);
+    for (int r = 1; r <= 4; ++r)
+        p.output("o" + std::to_string(r), p.rotate(x, r));
+    compiler::CompilerConfig cfg;
+    cfg.chips = chips;
+    cfg.phys_regs = 64;
+    cfg.ks.enable_batching = batching;
+    compiler::Compiler c(*h.ctx, cfg);
+    return c.compile(p).machine;
+}
+
+} // namespace
+
+TEST(Simulator, ProducesPositiveMakespanAndStats)
+{
+    auto prog = compileRotations(4);
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10; // simulate at the compiled ring dimension
+    auto res = sim::simulate(prog, hw);
+    EXPECT_GT(res.cycles, 0.0);
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_EQ(res.chips, 4u);
+    EXPECT_EQ(res.instructions, prog.totalInstructions());
+    EXPECT_GT(res.fu_busy.at(sim::FuType::Ntt), 0.0);
+    EXPECT_GT(res.hbm_busy, 0.0);
+    EXPECT_GT(res.net_busy, 0.0);
+    EXPECT_GT(res.computeUtilization(hw), 0.0);
+    EXPECT_LE(res.computeUtilization(hw), 1.0);
+}
+
+TEST(Simulator, MoreLinkBandwidthNeverHurts)
+{
+    auto prog = compileRotations(4);
+    sim::HardwareConfig slow;
+    slow.n = 1 << 10;
+    slow.link_gbs = 64;
+    sim::HardwareConfig fast = slow;
+    fast.link_gbs = 1024;
+    auto r_slow = sim::simulate(prog, slow);
+    auto r_fast = sim::simulate(prog, fast);
+    EXPECT_LE(r_fast.cycles, r_slow.cycles);
+}
+
+TEST(Simulator, MoreHbmBandwidthNeverHurts)
+{
+    auto prog = compileRotations(4);
+    sim::HardwareConfig slow;
+    slow.n = 1 << 10;
+    slow.hbm_gbs = 256;
+    sim::HardwareConfig fast = slow;
+    fast.hbm_gbs = 4096;
+    auto r_slow = sim::simulate(prog, slow);
+    auto r_fast = sim::simulate(prog, fast);
+    EXPECT_LT(r_fast.cycles, r_slow.cycles);
+}
+
+TEST(Simulator, BatchingReducesNetworkTraffic)
+{
+    auto batched = compileRotations(4, true);
+    auto unbatched = compileRotations(4, false);
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10;
+    auto rb = sim::simulate(batched, hw);
+    auto ru = sim::simulate(unbatched, hw);
+    EXPECT_LT(rb.bytes_moved_net, ru.bytes_moved_net);
+}
+
+TEST(Simulator, SwitchBeatsRingForWideMachines)
+{
+    // With many participants a ring pays more hop latency.
+    auto prog = compileRotations(12);
+    sim::HardwareConfig ring;
+    ring.n = 1 << 10;
+    ring.topology = sim::Topology::Ring;
+    sim::HardwareConfig sw = ring;
+    sw.topology = sim::Topology::Switch;
+    auto rr = sim::simulate(prog, ring);
+    auto rs = sim::simulate(prog, sw);
+    EXPECT_LE(rs.cycles, rr.cycles);
+}
+
+TEST(Simulator, SmallerRegisterFileAddsSpillTraffic)
+{
+    auto &h = harness();
+    compiler::Program p("mul", *h.ctx);
+    auto x = p.input("x", 5);
+    auto y = p.input("y", 5);
+    p.output("o", p.rescale(p.mul(x, y)));
+
+    auto compileWith = [&](std::size_t regs) {
+        compiler::CompilerConfig cfg;
+        cfg.chips = 2;
+        cfg.phys_regs = regs;
+        compiler::Compiler c(*h.ctx, cfg);
+        return c.compile(p).machine;
+    };
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10;
+    auto small = sim::simulate(compileWith(16), hw);
+    auto large = sim::simulate(compileWith(256), hw);
+    EXPECT_GT(small.bytes_moved_hbm, large.bytes_moved_hbm);
+    EXPECT_GE(small.cycles, large.cycles);
+}
+
+TEST(SimulatorUtilization, BoundsRespected)
+{
+    auto prog = compileRotations(4);
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10;
+    auto res = sim::simulate(prog, hw);
+    for (double u : {res.computeUtilization(hw),
+                     res.memoryUtilization(hw),
+                     res.networkUtilization(hw)}) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Simulator, CollectiveDurationScalesWithRingSize)
+{
+    // A single-limb broadcast takes longer on a wider ring (more
+    // hops) when measured in isolation on a dependency chain.
+    auto &h = harness();
+    auto build = [&](std::size_t chips) {
+        compiler::Program p("chain", *h.ctx);
+        auto x = p.input("x", 5);
+        // Serial rotations: each keyswitch's broadcasts sit on the
+        // critical path.
+        auto r = p.rotate(x, 1);
+        r = p.rotate(r, 1);
+        p.output("o", r);
+        compiler::CompilerConfig cfg;
+        cfg.chips = chips;
+        compiler::Compiler c(*h.ctx, cfg);
+        return c.compile(p).machine;
+    };
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10;
+    hw.link_gbs = 16; // slow links so communication dominates
+    auto t2 = sim::simulate(build(2), hw);
+    auto t4 = sim::simulate(build(4), hw);
+    // More chips split compute but each collective still ships the
+    // full polynomial; with slow links the 4-chip machine cannot be
+    // 2x faster than the 2-chip one.
+    EXPECT_GT(t4.cycles, 0.5 * t2.cycles);
+}
+
+TEST(Simulator, SingleChipCollectivesAreFree)
+{
+    auto &h = harness();
+    compiler::Program p("solo", *h.ctx);
+    auto x = p.input("x", 5);
+    p.output("o", p.rotate(x, 1));
+    compiler::CompilerConfig cfg;
+    cfg.chips = 1;
+    compiler::Compiler c(*h.ctx, cfg);
+    auto prog = c.compile(p).machine;
+    sim::HardwareConfig hw;
+    hw.n = 1 << 10;
+    auto res = sim::simulate(prog, hw);
+    EXPECT_EQ(res.net_busy, 0.0);
+    EXPECT_EQ(res.bytes_moved_net, 0u);
+}
+
+TEST(Simulator, HigherClockShortensSeconds)
+{
+    auto prog = compileRotations(4);
+    sim::HardwareConfig slow;
+    slow.n = 1 << 10;
+    slow.clock_ghz = 1.0;
+    sim::HardwareConfig fast = slow;
+    fast.clock_ghz = 2.0;
+    // Bandwidths are specified in GB/s, so doubling the clock halves
+    // per-cycle bandwidth but also halves the cycle time: cycles may
+    // grow, seconds must not double.
+    auto rs = sim::simulate(prog, slow);
+    auto rf = sim::simulate(prog, fast);
+    EXPECT_LT(rf.seconds, rs.seconds * 1.5);
+}

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the workload generators and the benchmark runner
+ * (src/workloads). Kernels here are compiled at a reduced ring
+ * dimension for speed; paper-scale compilation is exercised by the
+ * bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fhe_test_util.h"
+#include "workloads/benchmarks.h"
+
+using namespace cinnamon;
+using namespace cinnamon::workloads;
+using testutil::CkksHarness;
+
+namespace {
+
+/** Small chain deep enough for a miniature bootstrap shape. */
+struct WlHarness
+{
+    fhe::CkksParams params;
+    std::unique_ptr<fhe::CkksContext> ctx;
+
+    WlHarness()
+    {
+        params = fhe::CkksParams::makeTest(1 << 8, 16, 4);
+        ctx = std::make_unique<fhe::CkksContext>(params);
+    }
+};
+
+WlHarness &
+harness()
+{
+    static WlHarness h;
+    return h;
+}
+
+BootstrapShape
+miniBootstrap()
+{
+    BootstrapShape s;
+    s.start_level = 14;
+    s.c2s_stages = 2;
+    s.s2c_stages = 2;
+    s.bsgs_baby = 3;
+    s.bsgs_giant = 3;
+    s.evalmod_depth = 6;
+    return s;
+}
+
+} // namespace
+
+TEST(Kernels, BsgsMatVecStructure)
+{
+    auto &h = harness();
+    auto p = bsgsMatVecKernel(*h.ctx, 5, 4, 4);
+    // 3 baby rotations + 3 giant rotations, 16 plaintext mults.
+    std::size_t rotations = 0, plains = 0, rescales = 0;
+    for (const auto &op : p.ops()) {
+        if (op.kind == compiler::CtOpKind::Rotate)
+            ++rotations;
+        if (op.kind == compiler::CtOpKind::MulPlain)
+            ++plains;
+        if (op.kind == compiler::CtOpKind::Rescale)
+            ++rescales;
+    }
+    EXPECT_EQ(rotations, 6u);
+    EXPECT_EQ(plains, 16u);
+    EXPECT_EQ(rescales, 1u);
+
+    // The pass finds both patterns inside BSGS.
+    auto pass = compiler::runKeyswitchPass(p);
+    EXPECT_GE(pass.ib_batches.size(), 1u);
+    EXPECT_GE(pass.oa_batches.size(), 1u);
+}
+
+TEST(Kernels, BootstrapShapeLevels)
+{
+    auto s13 = BootstrapShape::bootstrap13();
+    EXPECT_EQ(s13.start_level - s13.consumed(), 15u);
+    auto s21 = BootstrapShape::bootstrap21();
+    EXPECT_GT(s21.start_level - s21.consumed(), 20u);
+    // Bootstrap-21 runs at higher levels: more limbs => more compute.
+    EXPECT_GT(s21.start_level, s13.start_level);
+}
+
+TEST(Kernels, BootstrapKernelConsumesExpectedLevels)
+{
+    auto &h = harness();
+    auto shape = miniBootstrap();
+    auto p = bootstrapKernel(*h.ctx, shape);
+    // The output op records the final level.
+    const auto &ops = p.ops();
+    const auto &out = ops.back();
+    ASSERT_EQ(out.kind, compiler::CtOpKind::Output);
+    EXPECT_EQ(out.level, shape.start_level - shape.consumed());
+}
+
+TEST(Kernels, PolyEvalDepthMatches)
+{
+    auto &h = harness();
+    auto p = polyEvalKernel(*h.ctx, 10, 4);
+    EXPECT_EQ(p.ops().back().level, 6u);
+}
+
+TEST(Runner, KernelCachingAvoidsRecompiles)
+{
+    auto &h = harness();
+    BenchmarkRunner runner(*h.ctx);
+    auto kernel = keyswitchKernel(*h.ctx, 8);
+    sim::HardwareConfig hw;
+    hw.n = h.params.n;
+    auto a = runner.kernelResult(kernel, 4, hw, {});
+    auto b = runner.kernelResult(kernel, 4, hw, {});
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+}
+
+TEST(Runner, ParallelStreamsReduceWidePhaseTime)
+{
+    auto &h = harness();
+    BenchmarkRunner runner(*h.ctx);
+    sim::HardwareConfig hw;
+    hw.n = h.params.n;
+
+    Benchmark wide;
+    wide.name = "wide";
+    wide.phases.push_back(Phase{
+        "p",
+        std::make_shared<compiler::Program>(keyswitchKernel(*h.ctx, 8)),
+        12, 12});
+    auto t4 = runner.run(wide, 4, hw, 4);
+    auto t8 = runner.run(wide, 8, hw, 4);
+    auto t12 = runner.run(wide, 12, hw, 4);
+    // 12 invocations / {1,2,3} streams → 12, 6, 4 rounds.
+    EXPECT_NEAR(t4.seconds / t8.seconds, 2.0, 1e-9);
+    EXPECT_NEAR(t4.seconds / t12.seconds, 3.0, 1e-9);
+}
+
+TEST(Runner, NarrowPhaseDoesNotScale)
+{
+    auto &h = harness();
+    BenchmarkRunner runner(*h.ctx);
+    sim::HardwareConfig hw;
+    hw.n = h.params.n;
+
+    Benchmark narrow;
+    narrow.name = "narrow";
+    narrow.phases.push_back(Phase{
+        "p",
+        std::make_shared<compiler::Program>(keyswitchKernel(*h.ctx, 8)),
+        8, 1});
+    auto t4 = runner.run(narrow, 4, hw, 4);
+    auto t12 = runner.run(narrow, 12, hw, 4);
+    EXPECT_DOUBLE_EQ(t4.seconds, t12.seconds);
+    // But idle groups lower reported utilization.
+    EXPECT_GT(t4.compute_util, t12.compute_util);
+}
+
+TEST(Baselines, PublishedNumbersPresent)
+{
+    auto boot = publishedFor("bootstrap");
+    EXPECT_NEAR(boot.craterlake, 6.33e-3, 1e-6);
+    EXPECT_NEAR(boot.ark, 3.5e-3, 1e-6);
+    EXPECT_NEAR(boot.cpu, 33.0, 1e-9);
+    auto bert = publishedFor("bert");
+    EXPECT_TRUE(std::isnan(bert.craterlake));
+    EXPECT_NEAR(bert.cpu, 1037.5 * 60, 1e-6);
+}
+
+#include "workloads/cpu_model.h"
+
+TEST(CpuModel, CalibrationHitsTarget)
+{
+    auto &h = harness();
+    CpuModel model;
+    auto kernel = bootstrapKernel(*h.ctx, miniBootstrap());
+    model.calibrate(kernel, 3.3);
+    EXPECT_NEAR(model.seconds(kernel), 3.3, 1e-9);
+}
+
+TEST(CpuModel, WorkScalesWithDepthAndLevel)
+{
+    auto &h = harness();
+    CpuModel model;
+    auto shallow = polyEvalKernel(*h.ctx, 8, 2);
+    auto deep = polyEvalKernel(*h.ctx, 8, 6);
+    EXPECT_GT(model.seconds(deep), 2.0 * model.seconds(shallow));
+
+    auto low = keyswitchKernel(*h.ctx, 4);
+    auto high = keyswitchKernel(*h.ctx, 12);
+    EXPECT_GT(model.seconds(high), 1.5 * model.seconds(low));
+}
+
+TEST(CpuModel, BenchmarkIsSumOfPhases)
+{
+    auto &h = harness();
+    CpuModel model;
+    Benchmark b;
+    b.name = "two";
+    auto k = std::make_shared<compiler::Program>(keyswitchKernel(*h.ctx, 8));
+    b.phases.push_back(Phase{"a", k, 3, 1});
+    b.phases.push_back(Phase{"b", k, 2, 4});
+    // CPU model ignores parallelism: 5 invocations total.
+    EXPECT_NEAR(model.seconds(b), 5.0 * model.seconds(*k), 1e-12);
+}
+
+namespace {
+
+/** A deep (52-level) but tiny-ring context for suite-structure tests. */
+fhe::CkksContext &
+deepContext()
+{
+    static fhe::CkksContext ctx(fhe::CkksParams::makeTest(256, 52, 4));
+    return ctx;
+}
+
+} // namespace
+
+TEST(BenchmarkSuite, BertMatchesPaperStructure)
+{
+    auto b = bertBenchmark(deepContext());
+    // Section 6.2: ~1400 bootstraps per 128-token inference;
+    // Section 7.1: attention exposes 6 parallel ciphertexts, GELU 12,
+    // and the parallel sections cover ~85% of the program.
+    std::size_t bootstraps = 0;
+    bool has6 = false, has12 = false;
+    for (const auto &phase : b.phases) {
+        if (phase.name.find("bootstrap") != std::string::npos)
+            bootstraps += phase.invocations;
+        has6 |= phase.parallelism == 6;
+        has12 |= phase.parallelism == 12;
+    }
+    EXPECT_EQ(bootstraps, 1400u);
+    EXPECT_TRUE(has6);
+    EXPECT_TRUE(has12);
+
+    // Parallel phases must dominate the composition (the 85% claim):
+    // count invocation-weighted bootstrap work by parallelism.
+    std::size_t parallel_boots = 0;
+    for (const auto &phase : b.phases) {
+        if (phase.name.find("bootstrap") != std::string::npos &&
+            phase.parallelism >= 6)
+            parallel_boots += phase.invocations;
+    }
+    EXPECT_GT(parallel_boots, (bootstraps * 8) / 10);
+}
+
+TEST(BenchmarkSuite, ResnetIsSingleCiphertext)
+{
+    auto b = resnetBenchmark(deepContext());
+    std::size_t bootstraps = 0;
+    for (const auto &phase : b.phases) {
+        EXPECT_EQ(phase.parallelism, 1) << phase.name;
+        if (phase.name == "bootstrap")
+            bootstraps = phase.invocations;
+    }
+    // "about fifty bootstraps" (Section 1).
+    EXPECT_EQ(bootstraps, 50u);
+}
+
+TEST(BenchmarkSuite, AllBenchmarksHavePublishedCpuBaselines)
+{
+    for (const char *name : {"bootstrap", "resnet", "helr", "bert"}) {
+        auto pub = publishedFor(name);
+        EXPECT_FALSE(std::isnan(pub.cpu)) << name;
+        EXPECT_GT(pub.cpu, 0.0) << name;
+    }
+}
