@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablations.dir/ablations.cc.o"
+  "CMakeFiles/ablations.dir/ablations.cc.o.d"
+  "ablations"
+  "ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

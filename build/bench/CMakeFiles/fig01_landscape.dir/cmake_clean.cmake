@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_landscape.dir/fig01_landscape.cc.o"
+  "CMakeFiles/fig01_landscape.dir/fig01_landscape.cc.o.d"
+  "fig01_landscape"
+  "fig01_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

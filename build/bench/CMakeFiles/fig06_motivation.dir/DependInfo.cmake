@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_motivation.cc" "bench/CMakeFiles/fig06_motivation.dir/fig06_motivation.cc.o" "gcc" "bench/CMakeFiles/fig06_motivation.dir/fig06_motivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/cinnamon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/cinnamon_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/cinnamon_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cinnamon_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cinnamon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cinnamon_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fhe/CMakeFiles/cinnamon_fhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/cinnamon_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinnamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_motivation.dir/fig06_motivation.cc.o"
+  "CMakeFiles/fig06_motivation.dir/fig06_motivation.cc.o.d"
+  "fig06_motivation"
+  "fig06_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_perf_per_dollar.dir/fig12_perf_per_dollar.cc.o"
+  "CMakeFiles/fig12_perf_per_dollar.dir/fig12_perf_per_dollar.cc.o.d"
+  "fig12_perf_per_dollar"
+  "fig12_perf_per_dollar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_perf_per_dollar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

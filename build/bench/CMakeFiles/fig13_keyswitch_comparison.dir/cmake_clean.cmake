@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_keyswitch_comparison.dir/fig13_keyswitch_comparison.cc.o"
+  "CMakeFiles/fig13_keyswitch_comparison.dir/fig13_keyswitch_comparison.cc.o.d"
+  "fig13_keyswitch_comparison"
+  "fig13_keyswitch_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_keyswitch_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

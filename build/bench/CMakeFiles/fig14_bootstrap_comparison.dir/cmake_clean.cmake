@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bootstrap_comparison.dir/fig14_bootstrap_comparison.cc.o"
+  "CMakeFiles/fig14_bootstrap_comparison.dir/fig14_bootstrap_comparison.cc.o.d"
+  "fig14_bootstrap_comparison"
+  "fig14_bootstrap_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bootstrap_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

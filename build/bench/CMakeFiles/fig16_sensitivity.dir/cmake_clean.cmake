@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sensitivity.dir/fig16_sensitivity.cc.o"
+  "CMakeFiles/fig16_sensitivity.dir/fig16_sensitivity.cc.o.d"
+  "fig16_sensitivity"
+  "fig16_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

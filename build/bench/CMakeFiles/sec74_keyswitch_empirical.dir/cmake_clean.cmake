@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec74_keyswitch_empirical.dir/sec74_keyswitch_empirical.cc.o"
+  "CMakeFiles/sec74_keyswitch_empirical.dir/sec74_keyswitch_empirical.cc.o.d"
+  "sec74_keyswitch_empirical"
+  "sec74_keyswitch_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec74_keyswitch_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

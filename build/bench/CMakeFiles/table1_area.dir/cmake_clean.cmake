@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_area.dir/table1_area.cc.o"
+  "CMakeFiles/table1_area.dir/table1_area.cc.o.d"
+  "table1_area"
+  "table1_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

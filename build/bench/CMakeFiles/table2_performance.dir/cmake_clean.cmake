@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_performance.dir/table2_performance.cc.o"
+  "CMakeFiles/table2_performance.dir/table2_performance.cc.o.d"
+  "table2_performance"
+  "table2_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_yield.dir/table3_yield.cc.o"
+  "CMakeFiles/table3_yield.dir/table3_yield.cc.o.d"
+  "table3_yield"
+  "table3_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

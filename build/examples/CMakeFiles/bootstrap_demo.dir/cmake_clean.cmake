@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_demo.dir/bootstrap_demo.cpp.o"
+  "CMakeFiles/bootstrap_demo.dir/bootstrap_demo.cpp.o.d"
+  "bootstrap_demo"
+  "bootstrap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_simulate.dir/compile_and_simulate.cpp.o"
+  "CMakeFiles/compile_and_simulate.dir/compile_and_simulate.cpp.o.d"
+  "compile_and_simulate"
+  "compile_and_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compile_and_simulate.
+# This may be replaced when dependencies are built.

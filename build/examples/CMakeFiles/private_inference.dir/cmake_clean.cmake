@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_inference.dir/private_inference.cpp.o"
+  "CMakeFiles/private_inference.dir/private_inference.cpp.o.d"
+  "private_inference"
+  "private_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

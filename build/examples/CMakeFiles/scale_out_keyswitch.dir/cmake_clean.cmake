@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_out_keyswitch.dir/scale_out_keyswitch.cpp.o"
+  "CMakeFiles/scale_out_keyswitch.dir/scale_out_keyswitch.cpp.o.d"
+  "scale_out_keyswitch"
+  "scale_out_keyswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_out_keyswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

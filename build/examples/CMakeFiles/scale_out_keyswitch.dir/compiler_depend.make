@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scale_out_keyswitch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_common.dir/bigint.cc.o"
+  "CMakeFiles/cinnamon_common.dir/bigint.cc.o.d"
+  "CMakeFiles/cinnamon_common.dir/logging.cc.o"
+  "CMakeFiles/cinnamon_common.dir/logging.cc.o.d"
+  "CMakeFiles/cinnamon_common.dir/random.cc.o"
+  "CMakeFiles/cinnamon_common.dir/random.cc.o.d"
+  "libcinnamon_common.a"
+  "libcinnamon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

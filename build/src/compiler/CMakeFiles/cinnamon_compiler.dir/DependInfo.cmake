@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/dsl.cc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/dsl.cc.o" "gcc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/dsl.cc.o.d"
+  "/root/repo/src/compiler/ks_pass.cc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/ks_pass.cc.o" "gcc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/ks_pass.cc.o.d"
+  "/root/repo/src/compiler/lowering.cc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/lowering.cc.o" "gcc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/lowering.cc.o.d"
+  "/root/repo/src/compiler/regalloc.cc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/regalloc.cc.o" "gcc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/regalloc.cc.o.d"
+  "/root/repo/src/compiler/runtime.cc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/runtime.cc.o" "gcc" "src/compiler/CMakeFiles/cinnamon_compiler.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cinnamon_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fhe/CMakeFiles/cinnamon_fhe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/cinnamon_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinnamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

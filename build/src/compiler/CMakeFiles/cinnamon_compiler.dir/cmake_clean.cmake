@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_compiler.dir/dsl.cc.o"
+  "CMakeFiles/cinnamon_compiler.dir/dsl.cc.o.d"
+  "CMakeFiles/cinnamon_compiler.dir/ks_pass.cc.o"
+  "CMakeFiles/cinnamon_compiler.dir/ks_pass.cc.o.d"
+  "CMakeFiles/cinnamon_compiler.dir/lowering.cc.o"
+  "CMakeFiles/cinnamon_compiler.dir/lowering.cc.o.d"
+  "CMakeFiles/cinnamon_compiler.dir/regalloc.cc.o"
+  "CMakeFiles/cinnamon_compiler.dir/regalloc.cc.o.d"
+  "CMakeFiles/cinnamon_compiler.dir/runtime.cc.o"
+  "CMakeFiles/cinnamon_compiler.dir/runtime.cc.o.d"
+  "libcinnamon_compiler.a"
+  "libcinnamon_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_cost.dir/cost_model.cc.o"
+  "CMakeFiles/cinnamon_cost.dir/cost_model.cc.o.d"
+  "libcinnamon_cost.a"
+  "libcinnamon_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

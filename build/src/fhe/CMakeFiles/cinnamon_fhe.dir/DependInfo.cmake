@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fhe/bootstrap.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/bootstrap.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/bootstrap.cc.o.d"
+  "/root/repo/src/fhe/encoder.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/encoder.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/encoder.cc.o.d"
+  "/root/repo/src/fhe/evaluator.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/evaluator.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/evaluator.cc.o.d"
+  "/root/repo/src/fhe/keys.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/keys.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/keys.cc.o.d"
+  "/root/repo/src/fhe/linear.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/linear.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/linear.cc.o.d"
+  "/root/repo/src/fhe/params.cc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/params.cc.o" "gcc" "src/fhe/CMakeFiles/cinnamon_fhe.dir/params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rns/CMakeFiles/cinnamon_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cinnamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_fhe.dir/bootstrap.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/bootstrap.cc.o.d"
+  "CMakeFiles/cinnamon_fhe.dir/encoder.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/encoder.cc.o.d"
+  "CMakeFiles/cinnamon_fhe.dir/evaluator.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/evaluator.cc.o.d"
+  "CMakeFiles/cinnamon_fhe.dir/keys.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/keys.cc.o.d"
+  "CMakeFiles/cinnamon_fhe.dir/linear.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/linear.cc.o.d"
+  "CMakeFiles/cinnamon_fhe.dir/params.cc.o"
+  "CMakeFiles/cinnamon_fhe.dir/params.cc.o.d"
+  "libcinnamon_fhe.a"
+  "libcinnamon_fhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_fhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

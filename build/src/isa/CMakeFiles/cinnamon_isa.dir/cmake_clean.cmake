@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_isa.dir/emulator.cc.o"
+  "CMakeFiles/cinnamon_isa.dir/emulator.cc.o.d"
+  "CMakeFiles/cinnamon_isa.dir/isa.cc.o"
+  "CMakeFiles/cinnamon_isa.dir/isa.cc.o.d"
+  "libcinnamon_isa.a"
+  "libcinnamon_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

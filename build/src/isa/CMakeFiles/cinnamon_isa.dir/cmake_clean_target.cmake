@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcinnamon_isa.a"
+)

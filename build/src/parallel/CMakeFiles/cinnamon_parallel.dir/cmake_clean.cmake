@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_parallel.dir/keyswitch.cc.o"
+  "CMakeFiles/cinnamon_parallel.dir/keyswitch.cc.o.d"
+  "CMakeFiles/cinnamon_parallel.dir/limb_machine.cc.o"
+  "CMakeFiles/cinnamon_parallel.dir/limb_machine.cc.o.d"
+  "libcinnamon_parallel.a"
+  "libcinnamon_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

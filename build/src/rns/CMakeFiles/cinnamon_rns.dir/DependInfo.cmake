@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/base_conv.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/base_conv.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/base_conv.cc.o.d"
+  "/root/repo/src/rns/context.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/context.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/context.cc.o.d"
+  "/root/repo/src/rns/modarith.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/modarith.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/modarith.cc.o.d"
+  "/root/repo/src/rns/ntt.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/ntt.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/ntt.cc.o.d"
+  "/root/repo/src/rns/poly.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/poly.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/poly.cc.o.d"
+  "/root/repo/src/rns/prime_gen.cc" "src/rns/CMakeFiles/cinnamon_rns.dir/prime_gen.cc.o" "gcc" "src/rns/CMakeFiles/cinnamon_rns.dir/prime_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cinnamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

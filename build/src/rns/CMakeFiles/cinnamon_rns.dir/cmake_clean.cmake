@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_rns.dir/base_conv.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/base_conv.cc.o.d"
+  "CMakeFiles/cinnamon_rns.dir/context.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/context.cc.o.d"
+  "CMakeFiles/cinnamon_rns.dir/modarith.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/modarith.cc.o.d"
+  "CMakeFiles/cinnamon_rns.dir/ntt.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/ntt.cc.o.d"
+  "CMakeFiles/cinnamon_rns.dir/poly.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/poly.cc.o.d"
+  "CMakeFiles/cinnamon_rns.dir/prime_gen.cc.o"
+  "CMakeFiles/cinnamon_rns.dir/prime_gen.cc.o.d"
+  "libcinnamon_rns.a"
+  "libcinnamon_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

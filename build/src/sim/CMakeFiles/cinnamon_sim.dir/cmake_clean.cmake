@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_sim.dir/hardware.cc.o"
+  "CMakeFiles/cinnamon_sim.dir/hardware.cc.o.d"
+  "CMakeFiles/cinnamon_sim.dir/simulator.cc.o"
+  "CMakeFiles/cinnamon_sim.dir/simulator.cc.o.d"
+  "libcinnamon_sim.a"
+  "libcinnamon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cinnamon_workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/cinnamon_workloads.dir/benchmarks.cc.o.d"
+  "CMakeFiles/cinnamon_workloads.dir/cpu_model.cc.o"
+  "CMakeFiles/cinnamon_workloads.dir/cpu_model.cc.o.d"
+  "CMakeFiles/cinnamon_workloads.dir/kernels.cc.o"
+  "CMakeFiles/cinnamon_workloads.dir/kernels.cc.o.d"
+  "libcinnamon_workloads.a"
+  "libcinnamon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cinnamon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigint.dir/test_bigint.cc.o"
+  "CMakeFiles/test_bigint.dir/test_bigint.cc.o.d"
+  "test_bigint"
+  "test_bigint.pdb"
+  "test_bigint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

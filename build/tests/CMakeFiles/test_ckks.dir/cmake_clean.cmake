@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckks.dir/test_ckks.cc.o"
+  "CMakeFiles/test_ckks.dir/test_ckks.cc.o.d"
+  "test_ckks"
+  "test_ckks.pdb"
+  "test_ckks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

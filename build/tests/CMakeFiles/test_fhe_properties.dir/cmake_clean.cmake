@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fhe_properties.dir/test_fhe_properties.cc.o"
+  "CMakeFiles/test_fhe_properties.dir/test_fhe_properties.cc.o.d"
+  "test_fhe_properties"
+  "test_fhe_properties.pdb"
+  "test_fhe_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fhe_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

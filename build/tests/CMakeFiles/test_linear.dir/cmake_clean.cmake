@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear.dir/test_linear.cc.o"
+  "CMakeFiles/test_linear.dir/test_linear.cc.o.d"
+  "test_linear"
+  "test_linear.pdb"
+  "test_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

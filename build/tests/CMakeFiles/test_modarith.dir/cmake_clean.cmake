@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modarith.dir/test_modarith.cc.o"
+  "CMakeFiles/test_modarith.dir/test_modarith.cc.o.d"
+  "test_modarith"
+  "test_modarith.pdb"
+  "test_modarith[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modarith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

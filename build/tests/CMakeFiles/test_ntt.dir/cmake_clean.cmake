@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt.dir/test_ntt.cc.o"
+  "CMakeFiles/test_ntt.dir/test_ntt.cc.o.d"
+  "test_ntt"
+  "test_ntt.pdb"
+  "test_ntt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_keyswitch.cc" "tests/CMakeFiles/test_parallel_keyswitch.dir/test_parallel_keyswitch.cc.o" "gcc" "tests/CMakeFiles/test_parallel_keyswitch.dir/test_parallel_keyswitch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cinnamon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/cinnamon_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/cinnamon_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fhe/CMakeFiles/cinnamon_fhe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_keyswitch.dir/test_parallel_keyswitch.cc.o"
+  "CMakeFiles/test_parallel_keyswitch.dir/test_parallel_keyswitch.cc.o.d"
+  "test_parallel_keyswitch"
+  "test_parallel_keyswitch.pdb"
+  "test_parallel_keyswitch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_keyswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

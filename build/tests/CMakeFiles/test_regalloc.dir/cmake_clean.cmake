@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regalloc.dir/test_regalloc.cc.o"
+  "CMakeFiles/test_regalloc.dir/test_regalloc.cc.o.d"
+  "test_regalloc"
+  "test_regalloc.pdb"
+  "test_regalloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

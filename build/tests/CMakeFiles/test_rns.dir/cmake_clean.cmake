@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns.dir/test_rns.cc.o"
+  "CMakeFiles/test_rns.dir/test_rns.cc.o.d"
+  "test_rns"
+  "test_rns.pdb"
+  "test_rns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_modarith[1]_include.cmake")
+include("/root/repo/build/tests/test_ntt[1]_include.cmake")
+include("/root/repo/build/tests/test_rns[1]_include.cmake")
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_ckks[1]_include.cmake")
+include("/root/repo/build/tests/test_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_bootstrap[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_keyswitch[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_regalloc[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_fhe_properties[1]_include.cmake")
