@@ -1,28 +1,59 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
 
 namespace cinnamon {
+
+namespace {
+
+/**
+ * Serializes message emission so concurrent worker threads (the serve
+ * runtime's pool) never interleave characters of two diagnostics. The
+ * full line is formatted first and written with a single fwrite under
+ * the lock.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
 
 void
 panic(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    emitLine("panic: ", msg);
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    emitLine("fatal: ", msg);
     std::exit(1);
 }
 
 void
 warn(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    emitLine("warn: ", msg);
 }
 
 } // namespace cinnamon

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A thread-safe, sharded, insert-only memoization cache.
+ *
+ * The serve runtime's worker pool compiles and simulates kernels
+ * concurrently; this cache lets all workers share one compiled-program
+ * and one sim-result store without a global lock. Keys hash to one of
+ * `kShards` shards, each guarded by its own mutex; a miss installs an
+ * entry slot under the shard lock and then computes the value under
+ * the entry's own lock, so two workers asking for the *same* key wait
+ * on each other (the value is computed exactly once) while workers on
+ * *different* keys proceed in parallel — even within a shard, because
+ * the shard lock is never held during computation.
+ *
+ * Entries are never evicted, so references returned by getOrCompute()
+ * remain valid for the cache's lifetime (callers hold them across
+ * calls, exactly like the unsynchronized std::map they replace).
+ */
+
+#ifndef CINNAMON_COMMON_SHARDED_CACHE_H_
+#define CINNAMON_COMMON_SHARDED_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace cinnamon {
+
+/** Hit/miss counters for one cache (or a sum over several). */
+struct CacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+
+    std::size_t lookups() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return lookups() == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(lookups());
+    }
+
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        return *this;
+    }
+};
+
+/** String-keyed sharded cache of immutable values. */
+template <typename V> class ShardedCache
+{
+  public:
+    /**
+     * Fetch the value for `key`, computing it with `make` on a miss.
+     * `make` runs at most once per key across all threads.
+     */
+    template <typename F>
+    const V &
+    getOrCompute(const std::string &key, F &&make)
+    {
+        Shard &shard = shards_[shardOf(key)];
+        std::shared_ptr<Entry> entry;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.entries.find(key);
+            if (it == shard.entries.end())
+                it = shard.entries
+                         .emplace(key, std::make_shared<Entry>())
+                         .first;
+            entry = it->second;
+        }
+        // Compute (or wait for the computing thread) outside the
+        // shard lock so unrelated keys never serialize.
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        if (!entry->value) {
+            entry->value = std::make_unique<V>(make());
+            misses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return *entry->value;
+    }
+
+    /** Snapshot of the hit/miss counters. */
+    CacheStats
+    stats() const
+    {
+        CacheStats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    /** Number of cached values (for tests; takes every shard lock). */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            n += shard.entries.size();
+        }
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        std::mutex mutex;
+        std::unique_ptr<V> value;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, std::shared_ptr<Entry>> entries;
+    };
+
+    static constexpr std::size_t kShards = 16;
+
+    static std::size_t
+    shardOf(const std::string &key)
+    {
+        return std::hash<std::string>{}(key) % kShards;
+    }
+
+    Shard shards_[kShards];
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+};
+
+} // namespace cinnamon
+
+#endif // CINNAMON_COMMON_SHARDED_CACHE_H_

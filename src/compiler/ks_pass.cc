@@ -146,4 +146,15 @@ runKeyswitchPass(const Program &program, const KsPassOptions &options)
     return result;
 }
 
+std::string
+cacheKeyOf(const KsPassOptions &options)
+{
+    std::string key;
+    key += options.enable_batching ? "b1" : "b0";
+    key += options.enable_output_aggregation ? ":oa1" : ":oa0";
+    key += ":a";
+    key += std::to_string(static_cast<int>(options.default_algo));
+    return key;
+}
+
 } // namespace cinnamon::compiler

@@ -24,6 +24,7 @@
 
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "compiler/dsl.h"
@@ -69,6 +70,14 @@ struct KsPassOptions
     bool enable_output_aggregation = true;   ///< allow pattern 2
     KsAlgo default_algo = KsAlgo::InputBroadcast;
 };
+
+/**
+ * Serialization of *every* KsPassOptions field, for use in cache
+ * keys: two configurations map to the same string iff they compile
+ * identically, so cached programs/results can never alias across
+ * distinct configurations. Extend this when adding fields.
+ */
+std::string cacheKeyOf(const KsPassOptions &options);
 
 /** The pass result: annotations plus the discovered batches. */
 struct KsPassResult

@@ -94,6 +94,7 @@ const BaseConverter &
 RnsTool::converter(const Basis &src, const Basis &dst)
 {
     auto key = std::make_pair(src, dst);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
         it = cache_.emplace(key, BaseConverter(*ctx_, src, dst)).first;

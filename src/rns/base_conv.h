@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "rns/poly.h"
@@ -71,6 +72,12 @@ class BaseConverter
 /**
  * Caches BaseConverter instances per (src, dst) pair and exposes the
  * composite RNS routines built on them.
+ *
+ * Thread-safe: the converter cache is mutex-guarded (a CkksContext —
+ * and hence its RnsTool — is shared by every serve worker thread),
+ * and a BaseConverter is immutable once built. Cached converters are
+ * never evicted, so returned references stay valid for the tool's
+ * lifetime.
  */
 class RnsTool
 {
@@ -107,6 +114,7 @@ class RnsTool
 
   private:
     const RnsContext *ctx_;
+    std::mutex cache_mutex_;
     std::map<std::pair<Basis, Basis>, BaseConverter> cache_;
 };
 

@@ -1,0 +1,155 @@
+#include "serve/catalog.h"
+
+#include "common/logging.h"
+
+namespace cinnamon::serve {
+
+namespace {
+
+using workloads::Benchmark;
+using workloads::BootstrapShape;
+using workloads::Phase;
+
+std::shared_ptr<compiler::Program>
+share(compiler::Program p)
+{
+    return std::make_shared<compiler::Program>(std::move(p));
+}
+
+/** A shallow bootstrap that fits a ~16-level test chain. */
+BootstrapShape
+miniBootstrapShape(std::size_t max_level)
+{
+    BootstrapShape s;
+    s.start_level = max_level - 1;
+    s.c2s_stages = 2;
+    s.s2c_stages = 2;
+    s.bsgs_baby = 3;
+    s.bsgs_giant = 3;
+    s.evalmod_depth = 6;
+    return s;
+}
+
+/** Miniature Section 6.2 suite for small test parameter sets. */
+std::map<Workload, Benchmark>
+miniSuite(const fhe::CkksContext &ctx)
+{
+    const std::size_t max_level = ctx.maxLevel();
+    CINN_FATAL_UNLESS(
+        max_level >= 14,
+        "serving needs a chain of >= 15 levels for the miniature "
+        "bootstrap (got max level " << max_level << ")");
+    const auto shape = miniBootstrapShape(max_level);
+    const std::size_t lvl = max_level - 2;
+    auto boot = share(workloads::bootstrapKernel(ctx, shape));
+
+    std::map<Workload, Benchmark> suite;
+
+    Benchmark ks;
+    ks.name = "keyswitch";
+    ks.phases.push_back(
+        Phase{"keyswitch", share(workloads::keyswitchKernel(ctx, lvl)), 1, 1});
+    suite[Workload::Keyswitch] = std::move(ks);
+
+    Benchmark bs;
+    bs.name = "bootstrap";
+    bs.phases.push_back(Phase{"bootstrap", boot, 1, 1});
+    suite[Workload::Bootstrap] = std::move(bs);
+
+    // Single-ciphertext ResNet miniature: conv matvecs, polynomial
+    // ReLU, refresh bootstraps — same phase structure, fewer rounds.
+    Benchmark rn;
+    rn.name = "resnet";
+    rn.phases.push_back(Phase{
+        "conv", share(workloads::bsgsMatVecKernel(ctx, lvl, 4, 4, "serve_conv")),
+        8, 1});
+    rn.phases.push_back(
+        Phase{"relu", share(workloads::polyEvalKernel(ctx, lvl, 2)), 4, 1});
+    rn.phases.push_back(Phase{"bootstrap", boot, 5, 1});
+    suite[Workload::ResNet] = std::move(rn);
+
+    // HELR miniature: 2-wide minibatch parallelism as in the paper.
+    Benchmark lr;
+    lr.name = "helr";
+    lr.phases.push_back(Phase{
+        "matvec", share(workloads::bsgsMatVecKernel(ctx, lvl, 4, 4, "serve_mv")),
+        6, 2});
+    lr.phases.push_back(
+        Phase{"sigmoid", share(workloads::polyEvalKernel(ctx, lvl, 2)), 3, 2});
+    lr.phases.push_back(Phase{"bootstrap", boot, 2, 2});
+    suite[Workload::Helr] = std::move(lr);
+
+    return suite;
+}
+
+/** The paper's suite, used when the chain supports Bootstrap-13. */
+std::map<Workload, Benchmark>
+paperSuite(const fhe::CkksContext &ctx)
+{
+    std::map<Workload, Benchmark> suite;
+    suite[Workload::Bootstrap] = workloads::bootstrapBenchmark(ctx);
+    suite[Workload::ResNet] = workloads::resnetBenchmark(ctx);
+    suite[Workload::Helr] = workloads::helrBenchmark(ctx);
+    Benchmark ks;
+    ks.name = "keyswitch";
+    ks.phases.push_back(Phase{
+        "keyswitch", share(workloads::keyswitchKernel(ctx, 13)), 1, 1});
+    suite[Workload::Keyswitch] = std::move(ks);
+    return suite;
+}
+
+} // namespace
+
+const char *
+workloadName(Workload w)
+{
+    switch (w) {
+    case Workload::Bootstrap: return "bootstrap";
+    case Workload::ResNet: return "resnet";
+    case Workload::Helr: return "helr";
+    case Workload::Keyswitch: return "keyswitch";
+    }
+    return "?";
+}
+
+const char *
+statusName(RequestStatus s)
+{
+    switch (s) {
+    case RequestStatus::Completed: return "completed";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::Expired: return "expired";
+    case RequestStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+WorkloadCatalog::WorkloadCatalog(const fhe::CkksContext &ctx)
+{
+    benchmarks_ = ctx.maxLevel() >= 51 ? paperSuite(ctx)
+                                       : miniSuite(ctx);
+
+    // The end-to-end probe: both keyswitch patterns (a hoisted
+    // rotation window summed by an addition tree) plus a square, so
+    // every request exercises rotation keys, the relin key, and a
+    // rescale through the compiled ISA on the emulator.
+    probe_level_ = 4;
+    probe_ = std::make_unique<compiler::Program>("serve_probe", ctx);
+    auto x = probe_->input("x", probe_level_);
+    auto window = probe_->add(
+        probe_->add(probe_->rotate(x, 1), probe_->rotate(x, 2)),
+        probe_->add(probe_->rotate(x, 3), probe_->rotate(x, 4)));
+    probe_->output("window_sum", window);
+    probe_->output("square",
+                   probe_->rescale(probe_->mul(x, x)));
+}
+
+const workloads::Benchmark &
+WorkloadCatalog::benchmark(Workload w) const
+{
+    auto it = benchmarks_.find(w);
+    CINN_ASSERT(it != benchmarks_.end(), "workload missing from catalog");
+    return it->second;
+}
+
+} // namespace cinnamon::serve

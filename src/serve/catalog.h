@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload catalog: maps a request's Workload tag to an executable
+ * description, scaled to the serving context's parameter set.
+ *
+ * At paper parameters (level budget ≥ 51) the catalog hands out the
+ * Section 6.2 benchmarks verbatim; at the small test parameter sets
+ * used by unit tests and the demo it substitutes structurally
+ * faithful miniatures (a shallow bootstrap shape, narrower matvecs)
+ * so every workload still compiles and simulates in milliseconds.
+ *
+ * The catalog also owns the *probe* program: a small two-stream DSL
+ * program (hoisted rotations summed + an independent square) that the
+ * runtime executes end-to-end on the ISA emulator per request with
+ * request-seeded keys and inputs. The probe is what makes a served
+ * request verifiable — its output ciphertexts hash to a value that
+ * must be identical whether the trace ran on one worker or many.
+ */
+
+#ifndef CINNAMON_SERVE_CATALOG_H_
+#define CINNAMON_SERVE_CATALOG_H_
+
+#include <map>
+#include <memory>
+
+#include "serve/request.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::serve {
+
+/** Immutable after construction; shared by all worker threads. */
+class WorkloadCatalog
+{
+  public:
+    explicit WorkloadCatalog(const fhe::CkksContext &ctx);
+
+    /** The benchmark a workload tag runs on the simulator. */
+    const workloads::Benchmark &benchmark(Workload w) const;
+
+    /** The shared end-to-end probe program. */
+    const compiler::Program &probe() const { return *probe_; }
+
+    /** Level the probe's input ciphertext is encrypted at. */
+    std::size_t probeLevel() const { return probe_level_; }
+
+  private:
+    std::map<Workload, workloads::Benchmark> benchmarks_;
+    std::unique_ptr<compiler::Program> probe_;
+    std::size_t probe_level_ = 0;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_CATALOG_H_

@@ -1,0 +1,53 @@
+#include "serve/queue.h"
+
+namespace cinnamon::serve {
+
+bool
+RequestQueue::submit(Request request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+    }
+    request.admitted = Clock::now();
+    items_.push_back(std::move(request));
+    ready_.notify_one();
+    return true;
+}
+
+std::optional<Request>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty())
+        return std::nullopt;
+    Request r = std::move(items_.front());
+    items_.pop_front();
+    return r;
+}
+
+void
+RequestQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+std::size_t
+RequestQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bounded admission queue for the serving runtime.
+ *
+ * Admission control is the backpressure point of the system: when the
+ * queue is full, submit() fails immediately instead of blocking the
+ * client or growing without bound — exactly the behaviour a front-end
+ * load balancer needs to shed load onto another replica. Workers pop
+ * FIFO; a request whose deadline elapsed while it waited is handed
+ * back as expired rather than executed (its latency budget is already
+ * spent, so running it would only delay the requests behind it).
+ */
+
+#ifndef CINNAMON_SERVE_QUEUE_H_
+#define CINNAMON_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.h"
+
+namespace cinnamon::serve {
+
+/** MPMC bounded FIFO with admission control and shutdown. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit a request. Stamps `admitted` on success.
+     *
+     * @return false when the queue is full (backpressure) or closed.
+     */
+    bool submit(Request request);
+
+    /**
+     * Pop the oldest request, blocking while the queue is empty and
+     * open.
+     *
+     * @return nullopt once the queue is closed *and* drained.
+     */
+    std::optional<Request> pop();
+
+    /** Reject new work; pending requests still drain. */
+    void close();
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+    /** Requests bounced by admission control so far. */
+    std::size_t rejected() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Request> items_;
+    std::size_t rejected_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_QUEUE_H_

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Request/response types for the multi-tenant serving runtime.
+ *
+ * A request names an encrypted-inference workload (one of the paper's
+ * Section 6.2 benchmarks, or the small end-to-end probe program), a
+ * seed that determines its key material and input ciphertexts, and an
+ * optional deadline. The runtime answers with a response carrying the
+ * request's fate, its latency decomposition (queue wait, service,
+ * total — wall-clock), the simulated on-accelerator seconds, and a
+ * hash of the decrypted-able output ciphertexts so that concurrent
+ * and serial executions can be compared bit-for-bit.
+ */
+
+#ifndef CINNAMON_SERVE_REQUEST_H_
+#define CINNAMON_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cinnamon::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/** The workload a request asks the runtime to execute. */
+enum class Workload {
+    Bootstrap, ///< one full CKKS bootstrap
+    ResNet,    ///< ResNet-20 CIFAR-10 inference
+    Helr,      ///< HELR logistic-regression training
+    Keyswitch, ///< a single rotation (smallest kernel)
+};
+
+const char *workloadName(Workload w);
+
+/** One encrypted-inference request. */
+struct Request
+{
+    uint64_t id = 0;
+    Workload workload = Workload::Keyswitch;
+    /** Determines the request's keys and input ciphertexts. */
+    uint64_t seed = 0;
+    /** Wall-clock deadline measured from admission; 0 = none. */
+    std::chrono::milliseconds deadline{0};
+    /** Stamped by the queue at admission. */
+    Clock::time_point admitted{};
+};
+
+/** How a request left the system. */
+enum class RequestStatus {
+    Completed, ///< executed end-to-end
+    Rejected,  ///< bounced at admission (queue full — backpressure)
+    Expired,   ///< deadline passed while queued
+    Failed,    ///< execution raised an error
+};
+
+const char *statusName(RequestStatus s);
+
+/** The runtime's answer to one request. */
+struct Response
+{
+    uint64_t id = 0;
+    Workload workload = Workload::Keyswitch;
+    RequestStatus status = RequestStatus::Completed;
+
+    double queue_ms = 0.0;   ///< admission → dequeue
+    double service_ms = 0.0; ///< dequeue → completion (incl. group wait)
+    double total_ms = 0.0;   ///< admission → completion
+    double sim_seconds = 0.0; ///< simulated on-accelerator time
+
+    /** FNV-1a over the output ciphertext limbs (0 if not emulated). */
+    uint64_t output_hash = 0;
+    /** Chip group that served the request (size_t(-1) if none). */
+    std::size_t group = static_cast<std::size_t>(-1);
+    std::string error; ///< for Failed
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_REQUEST_H_

@@ -1,0 +1,106 @@
+#include "serve/scheduler.h"
+
+#include "common/logging.h"
+
+namespace cinnamon::serve {
+
+namespace {
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+} // namespace
+
+void
+GroupLease::release()
+{
+    if (sched_ != nullptr) {
+        sched_->release(group_);
+        sched_ = nullptr;
+    }
+}
+
+ChipGroupScheduler::ChipGroupScheduler(std::size_t chips,
+                                       std::size_t group_size)
+    : group_size_(group_size)
+{
+    CINN_FATAL_UNLESS(group_size >= 1 && chips >= group_size,
+                      "machine must have at least one chip group");
+    CINN_FATAL_UNLESS(chips % group_size == 0,
+                      "chips (" << chips << ") must be a multiple of "
+                                << "the group size (" << group_size
+                                << "); a remainder would strand chips");
+    const std::size_t groups = chips / group_size;
+    busy_since_.assign(groups, Clock::time_point{});
+    busy_seconds_.assign(groups, 0.0);
+    free_.reserve(groups);
+    for (std::size_t g = groups; g-- > 0;)
+        free_.push_back(g); // pop_back hands out group 0 first
+}
+
+GroupLease
+ChipGroupScheduler::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const uint64_t ticket = next_ticket_++;
+    freed_.wait(lock, [&] {
+        return ticket == serving_ticket_ && !free_.empty();
+    });
+    ++serving_ticket_;
+    const std::size_t group = free_.back();
+    free_.pop_back();
+    busy_since_[group] = Clock::now();
+    // Wake the next ticket holder (they wait on the same cv).
+    freed_.notify_all();
+    return GroupLease(this, group);
+}
+
+GroupLease
+ChipGroupScheduler::tryAcquire()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Respect FIFO: if someone holds an earlier ticket, don't overtake.
+    if (next_ticket_ != serving_ticket_ || free_.empty())
+        return GroupLease();
+    const std::size_t group = free_.back();
+    free_.pop_back();
+    busy_since_[group] = Clock::now();
+    return GroupLease(this, group);
+}
+
+void
+ChipGroupScheduler::release(std::size_t group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CINN_ASSERT(group < busy_since_.size(), "release of unknown group");
+    CINN_ASSERT(busy_since_[group] != Clock::time_point{},
+                "double release of group " << group);
+    busy_seconds_[group] += secondsSince(busy_since_[group]);
+    busy_since_[group] = Clock::time_point{};
+    free_.push_back(group);
+    freed_.notify_all();
+}
+
+std::size_t
+ChipGroupScheduler::busyGroups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return busy_since_.size() - free_.size();
+}
+
+std::vector<double>
+ChipGroupScheduler::busySeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<double> out = busy_seconds_;
+    for (std::size_t g = 0; g < out.size(); ++g) {
+        if (busy_since_[g] != Clock::time_point{})
+            out[g] += secondsSince(busy_since_[g]);
+    }
+    return out;
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Chip-group scheduler for the serving runtime.
+ *
+ * Cinnamon deploys one ciphertext stream per group of (typically
+ * four) chips and parallelizes across groups (Section 7.1). For
+ * serving, the machine is therefore partitioned statically: an 8-chip
+ * Cinnamon-8 becomes two independent 4-chip groups, each able to run
+ * one request at a time. The scheduler hands out whole groups —
+ * a chip can never belong to two leases at once — and admits waiters
+ * in strict FIFO ticket order so a burst of workers cannot starve an
+ * early one. Per-group busy time is accounted on release, which is
+ * what the ServeStats utilization report is built from.
+ */
+
+#ifndef CINNAMON_SERVE_SCHEDULER_H_
+#define CINNAMON_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace cinnamon::serve {
+
+class ChipGroupScheduler;
+
+/** RAII ownership of one chip group; releases on destruction. */
+class GroupLease
+{
+  public:
+    GroupLease() = default;
+    GroupLease(ChipGroupScheduler *sched, std::size_t group)
+        : sched_(sched), group_(group)
+    {
+    }
+    GroupLease(GroupLease &&o) noexcept { *this = std::move(o); }
+    GroupLease &
+    operator=(GroupLease &&o) noexcept
+    {
+        release();
+        sched_ = o.sched_;
+        group_ = o.group_;
+        o.sched_ = nullptr;
+        return *this;
+    }
+    GroupLease(const GroupLease &) = delete;
+    GroupLease &operator=(const GroupLease &) = delete;
+    ~GroupLease() { release(); }
+
+    bool held() const { return sched_ != nullptr; }
+    std::size_t group() const { return group_; }
+
+    void release();
+
+  private:
+    ChipGroupScheduler *sched_ = nullptr;
+    std::size_t group_ = 0;
+};
+
+/** Partitions `chips` into `chips / group_size` exclusive groups. */
+class ChipGroupScheduler
+{
+  public:
+    /**
+     * @param chips total chips in the machine (must be a multiple of
+     *        group_size; a remainder would strand chips).
+     * @param group_size chips per ciphertext stream (4 for Cinnamon).
+     */
+    ChipGroupScheduler(std::size_t chips, std::size_t group_size);
+
+    /** Block until a group is free (FIFO among waiters) and lease it. */
+    GroupLease acquire();
+
+    /** Lease a group only if one is free right now. */
+    GroupLease tryAcquire();
+
+    std::size_t numGroups() const { return busy_since_.size(); }
+    std::size_t groupSize() const { return group_size_; }
+
+    /** Chip indices [lo, hi) of a group. */
+    std::pair<std::size_t, std::size_t>
+    chipsOf(std::size_t group) const
+    {
+        return {group * group_size_, (group + 1) * group_size_};
+    }
+
+    /** Groups currently leased. */
+    std::size_t busyGroups() const;
+
+    /**
+     * Cumulative busy seconds per group (leased time; an in-flight
+     * lease counts up to now).
+     */
+    std::vector<double> busySeconds() const;
+
+  private:
+    friend class GroupLease;
+    void release(std::size_t group);
+
+    const std::size_t group_size_;
+    mutable std::mutex mutex_;
+    std::condition_variable freed_;
+    std::vector<std::size_t> free_;         ///< free-group LIFO
+    std::vector<Clock::time_point> busy_since_; ///< epoch = free
+    std::vector<double> busy_seconds_;
+    uint64_t next_ticket_ = 0;  ///< next ticket to hand out
+    uint64_t serving_ticket_ = 0; ///< lowest ticket allowed to lease
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_SCHEDULER_H_

@@ -1,0 +1,241 @@
+#include "serve/server.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "compiler/runtime.h"
+#include "fhe/evaluator.h"
+
+namespace cinnamon::serve {
+
+namespace {
+
+double
+msSince(Clock::time_point t)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t)
+        .count();
+}
+
+/** FNV-1a, the order-independent-of-scheduling output fingerprint. */
+uint64_t
+fnv1a(uint64_t h, const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+hashPoly(uint64_t h, const rns::RnsPoly &poly)
+{
+    for (std::size_t i = 0; i < poly.numLimbs(); ++i) {
+        const auto &limb = poly.limb(i);
+        h = fnv1a(h, limb.data(), limb.size() * sizeof(uint64_t));
+    }
+    return h;
+}
+
+uint64_t
+hashOutputs(const std::map<std::string, fhe::Ciphertext> &outputs)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto &[name, ct] : outputs) { // map: name-ordered
+        h = fnv1a(h, name.data(), name.size());
+        const uint64_t level = ct.level;
+        h = fnv1a(h, &level, sizeof(level));
+        h = hashPoly(h, ct.c0);
+        h = hashPoly(h, ct.c1);
+    }
+    return h;
+}
+
+} // namespace
+
+Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
+    : ctx_(&ctx), options_(options)
+{
+    options_.hw.n = ctx.n();
+    CINN_FATAL_UNLESS(options_.workers >= 1,
+                      "the worker pool needs at least one thread");
+    catalog_ = std::make_unique<WorkloadCatalog>(ctx);
+    runner_ = std::make_unique<workloads::BenchmarkRunner>(ctx);
+    queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
+    scheduler_ = std::make_unique<ChipGroupScheduler>(
+        options_.chips, options_.group_size);
+    encoder_ = std::make_unique<fhe::Encoder>(ctx);
+}
+
+Server::~Server()
+{
+    if (started_)
+        drainAndStop();
+}
+
+void
+Server::start()
+{
+    CINN_ASSERT(!started_, "server already started");
+    started_ = true;
+    start_time_ = Clock::now();
+    workers_.reserve(options_.workers);
+    for (std::size_t w = 0; w < options_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+bool
+Server::submit(Workload workload, uint64_t seed,
+               std::chrono::milliseconds deadline)
+{
+    Request r;
+    r.workload = workload;
+    r.seed = seed;
+    r.deadline = deadline;
+    {
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        r.id = next_id_++;
+        ++submitted_;
+    }
+    return queue_->submit(std::move(r));
+}
+
+void
+Server::drainAndStop()
+{
+    CINN_ASSERT(started_, "server not started");
+    queue_->close();
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+    wall_seconds_ =
+        std::chrono::duration<double>(Clock::now() - start_time_)
+            .count();
+    started_ = false;
+}
+
+void
+Server::workerLoop()
+{
+    while (auto request = queue_->pop()) {
+        Response resp = process(*request);
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        responses_.push_back(std::move(resp));
+    }
+}
+
+Response
+Server::process(const Request &request)
+{
+    Response resp;
+    resp.id = request.id;
+    resp.workload = request.workload;
+    resp.queue_ms = msSince(request.admitted);
+
+    // A request whose latency budget was spent in the queue is shed
+    // here: running it would only push the requests behind it past
+    // their own deadlines.
+    if (request.deadline.count() > 0 &&
+        resp.queue_ms >
+            static_cast<double>(request.deadline.count())) {
+        resp.status = RequestStatus::Expired;
+        resp.total_ms = resp.queue_ms;
+        return resp;
+    }
+
+    const auto service_start = Clock::now();
+    try {
+        GroupLease lease = scheduler_->acquire();
+        resp.group = lease.group();
+
+        // Time the workload's kernels on this group (shared cache:
+        // the first request of a kind compiles, the rest hit).
+        const auto &bench = catalog_->benchmark(request.workload);
+        const auto timing =
+            runner_->run(bench, options_.group_size, options_.hw,
+                         options_.group_size);
+        resp.sim_seconds = timing.seconds;
+
+        // End-to-end functional execution at small parameter sets.
+        if (options_.emulate && ctx_->n() <= options_.emulate_max_n)
+            resp.output_hash =
+                runProbe(request, options_.group_size);
+
+        // Model the accelerator group's real occupancy: the host
+        // thread waits on the device for the simulated duration
+        // (scaled), keeping the group leased the whole time.
+        if (options_.time_dilation > 0.0) {
+            const auto dwell = std::chrono::duration<double>(
+                resp.sim_seconds * options_.time_dilation);
+            std::this_thread::sleep_for(dwell);
+        }
+        resp.status = RequestStatus::Completed;
+    } catch (const std::exception &e) {
+        resp.status = RequestStatus::Failed;
+        resp.error = e.what();
+    }
+    resp.service_ms = msSince(service_start);
+    resp.total_ms = resp.queue_ms + resp.service_ms;
+    return resp;
+}
+
+uint64_t
+Server::runProbe(const Request &request, std::size_t group_chips)
+{
+    const auto &compiled = runner_->compiled(
+        catalog_->probe(), group_chips, options_.hw.phys_regs, {});
+
+    // All randomness is derived from the request seed, so the output
+    // hash is a pure function of (seed, catalog, parameters) — never
+    // of worker count or scheduling order.
+    fhe::KeyGenerator keygen(*ctx_, request.seed);
+    auto sk = keygen.secretKey();
+    fhe::Evaluator eval(*ctx_);
+    Rng data_rng(request.seed ^ 0x9e3779b97f4a7c15ull);
+
+    std::vector<fhe::Cplx> values(ctx_->slots());
+    for (auto &v : values)
+        v = fhe::Cplx(data_rng.uniformReal(-1.0, 1.0), 0.0);
+
+    auto plain =
+        encoder_->encode(values, catalog_->probeLevel());
+    auto ct = eval.encrypt(plain, ctx_->params().scale, sk, data_rng);
+
+    compiler::ProgramRuntime runtime(*ctx_, *encoder_, keygen, sk);
+    runtime.bindInput("x", ct);
+    auto outputs = runtime.run(compiled);
+    return hashOutputs(outputs);
+}
+
+std::vector<Response>
+Server::responses() const
+{
+    std::lock_guard<std::mutex> lock(responses_mutex_);
+    return responses_;
+}
+
+ServeStats
+Server::stats() const
+{
+    std::vector<Response> resp;
+    std::size_t submitted;
+    {
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        resp = responses_;
+        submitted = submitted_;
+    }
+    const double wall =
+        started_ ? std::chrono::duration<double>(Clock::now() -
+                                                 start_time_)
+                       .count()
+                 : wall_seconds_;
+    return ServeStats::fromResponses(resp, submitted,
+                                     queue_->rejected(), wall,
+                                     runner_->cacheStats(),
+                                     scheduler_->busySeconds());
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The multi-tenant serving runtime.
+ *
+ * A Server owns the whole pipeline a Cinnamon deployment needs to go
+ * from "request arrived" to "encrypted result + latency numbers":
+ *
+ *   submit() → RequestQueue (bounded, admission-controlled)
+ *            → worker pool (std::thread)
+ *            → ChipGroupScheduler (one exclusive chip group/request)
+ *            → BenchmarkRunner (shared thread-safe compile/sim cache)
+ *            → optional end-to-end probe on the ISA emulator
+ *            → Response (latency split, simulated time, output hash)
+ *
+ * Each served request simulates its workload's kernels on its chip
+ * group (hitting the shared compile/sim cache after the first request
+ * of a kind) and, at small parameter sets, executes the catalog probe
+ * program end-to-end — request-seeded keys, encryption, compiled ISA
+ * on the functional emulator — so the serving path is continuously
+ * validated, not just timed. If `time_dilation` is set, the worker
+ * additionally holds its group for `sim_seconds * time_dilation`
+ * wall-clock seconds, modelling the accelerator's real occupancy (the
+ * host thread waits on the device); that is what makes multi-worker
+ * runs overlap device time across groups, exactly as a real serving
+ * tier overlaps accelerator work.
+ *
+ * Determinism contract: a request's output hash depends only on
+ * (request seed, workload catalog, parameter set) — never on worker
+ * count, scheduling order, or cache state. Concurrent and serial runs
+ * of the same trace are bit-identical.
+ */
+
+#ifndef CINNAMON_SERVE_SERVER_H_
+#define CINNAMON_SERVE_SERVER_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fhe/encoder.h"
+#include "serve/catalog.h"
+#include "serve/queue.h"
+#include "serve/scheduler.h"
+#include "serve/stats.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::serve {
+
+/** Deployment shape of one serving replica. */
+struct ServeOptions
+{
+    std::size_t chips = 8;       ///< simulated machine size
+    std::size_t group_size = 4;  ///< chips per ciphertext stream
+    std::size_t workers = 2;     ///< host worker threads
+    std::size_t queue_capacity = 64;
+    /** Run the end-to-end emulator probe per request (small n only). */
+    bool emulate = true;
+    /** Ring dimension above which the probe is skipped. */
+    std::size_t emulate_max_n = 1 << 12;
+    /**
+     * Wall-clock seconds a chip group stays occupied per simulated
+     * second (device-occupancy modelling). 0 disables the dwell.
+     */
+    double time_dilation = 0.0;
+    sim::HardwareConfig hw; ///< per-chip model (hw.n set from ctx)
+};
+
+class Server
+{
+  public:
+    Server(const fhe::CkksContext &ctx, ServeOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker pool and open the queue. */
+    void start();
+
+    /**
+     * Admit a request.
+     *
+     * @return false under backpressure (queue full) — the caller
+     *         should retry later or shed the request.
+     */
+    bool submit(Workload workload, uint64_t seed,
+                std::chrono::milliseconds deadline =
+                    std::chrono::milliseconds(0));
+
+    /**
+     * Stop admitting, drain every queued request, and join the pool.
+     * After this returns, responses() and stats() are final.
+     */
+    void drainAndStop();
+
+    /** Responses recorded so far (complete after drainAndStop). */
+    std::vector<Response> responses() const;
+
+    /** Aggregate statistics for the run so far. */
+    ServeStats stats() const;
+
+    const WorkloadCatalog &catalog() const { return *catalog_; }
+    const ChipGroupScheduler &scheduler() const { return *scheduler_; }
+    workloads::BenchmarkRunner &runner() { return *runner_; }
+
+  private:
+    void workerLoop();
+    Response process(const Request &request);
+
+    /** The end-to-end emulator probe; returns the output hash. */
+    uint64_t runProbe(const Request &request, std::size_t group_chips);
+
+    const fhe::CkksContext *ctx_;
+    ServeOptions options_;
+    std::unique_ptr<WorkloadCatalog> catalog_;
+    std::unique_ptr<workloads::BenchmarkRunner> runner_;
+    std::unique_ptr<RequestQueue> queue_;
+    std::unique_ptr<ChipGroupScheduler> scheduler_;
+    std::unique_ptr<fhe::Encoder> encoder_;
+
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    Clock::time_point start_time_{};
+    double wall_seconds_ = 0.0; ///< fixed at drainAndStop
+
+    mutable std::mutex responses_mutex_;
+    std::vector<Response> responses_;
+    std::size_t submitted_ = 0;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_SERVER_H_

@@ -1,0 +1,106 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace cinnamon::serve {
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    const double rank =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ServeStats
+ServeStats::fromResponses(const std::vector<Response> &responses,
+                          std::size_t submitted, std::size_t rejected,
+                          double wall_seconds, const CacheStats &cache,
+                          const std::vector<double> &group_busy_seconds)
+{
+    ServeStats s;
+    s.submitted = submitted;
+    s.rejected = rejected;
+    s.wall_seconds = wall_seconds;
+    s.cache = cache;
+
+    std::vector<double> lat_ms, sim_s, queue_ms;
+    for (const auto &r : responses) {
+        switch (r.status) {
+        case RequestStatus::Completed:
+            ++s.completed;
+            lat_ms.push_back(r.total_ms);
+            queue_ms.push_back(r.queue_ms);
+            sim_s.push_back(r.sim_seconds);
+            s.sim_seconds_total += r.sim_seconds;
+            break;
+        case RequestStatus::Expired: ++s.expired; break;
+        case RequestStatus::Failed: ++s.failed; break;
+        case RequestStatus::Rejected: break; // counted via `rejected`
+        }
+    }
+    if (wall_seconds > 0)
+        s.throughput_rps =
+            static_cast<double>(s.completed) / wall_seconds;
+    if (!queue_ms.empty())
+        s.queue_ms_mean =
+            std::accumulate(queue_ms.begin(), queue_ms.end(), 0.0) /
+            static_cast<double>(queue_ms.size());
+    s.latency_ms_p50 = percentile(lat_ms, 50);
+    s.latency_ms_p95 = percentile(lat_ms, 95);
+    s.latency_ms_p99 = percentile(lat_ms, 99);
+    s.sim_seconds_p50 = percentile(sim_s, 50);
+    s.sim_seconds_p99 = percentile(sim_s, 99);
+
+    s.group_utilization.reserve(group_busy_seconds.size());
+    for (double busy : group_busy_seconds)
+        s.group_utilization.push_back(
+            wall_seconds > 0 ? busy / wall_seconds : 0.0);
+    return s;
+}
+
+std::string
+ServeStats::report() const
+{
+    char buf[256];
+    std::string out;
+    auto line = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+        out += '\n';
+    };
+    line("requests: %zu submitted, %zu completed, %zu rejected "
+         "(backpressure), %zu expired, %zu failed",
+         submitted, completed, rejected, expired, failed);
+    line("wall time: %.3f s   throughput: %.2f req/s", wall_seconds,
+         throughput_rps);
+    line("latency (wall ms): p50 %.2f  p95 %.2f  p99 %.2f   "
+         "queue wait mean %.2f",
+         latency_ms_p50, latency_ms_p95, latency_ms_p99,
+         queue_ms_mean);
+    line("simulated seconds: p50 %.6f  p99 %.6f  total %.6f",
+         sim_seconds_p50, sim_seconds_p99, sim_seconds_total);
+    line("cache: %zu hits / %zu lookups (%.1f%% hit rate)",
+         cache.hits, cache.lookups(), 100.0 * cache.hitRate());
+    out += "group utilization:";
+    for (std::size_t g = 0; g < group_utilization.size(); ++g) {
+        std::snprintf(buf, sizeof(buf), "  g%zu %.1f%%", g,
+                      100.0 * group_utilization[g]);
+        out += buf;
+    }
+    out += '\n';
+    return out;
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Serving statistics: the report a deployment would put on a
+ * dashboard — throughput, queue wait, latency percentiles (wall-clock
+ * and simulated on-accelerator seconds), compile/sim cache hit rate,
+ * admission-control counters, and per-chip-group utilization.
+ */
+
+#ifndef CINNAMON_SERVE_STATS_H_
+#define CINNAMON_SERVE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/sharded_cache.h"
+#include "serve/request.h"
+
+namespace cinnamon::serve {
+
+/**
+ * Linear-interpolated percentile of an unsorted sample, p in [0, 100].
+ * Returns 0 for an empty sample.
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Aggregated over one serving run. */
+struct ServeStats
+{
+    // Request accounting.
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0; ///< backpressured at admission
+    std::size_t expired = 0;  ///< deadline passed in queue
+    std::size_t failed = 0;
+
+    double wall_seconds = 0.0; ///< first submit → drain complete
+    double throughput_rps = 0.0; ///< completed / wall_seconds
+
+    // Wall-clock latency (ms) over completed requests.
+    double queue_ms_mean = 0.0;
+    double latency_ms_p50 = 0.0;
+    double latency_ms_p95 = 0.0;
+    double latency_ms_p99 = 0.0;
+
+    // Simulated on-accelerator seconds over completed requests.
+    double sim_seconds_p50 = 0.0;
+    double sim_seconds_p99 = 0.0;
+    double sim_seconds_total = 0.0;
+
+    CacheStats cache; ///< compile + sim cache hits/misses
+
+    /** Busy fraction of each chip group over wall_seconds. */
+    std::vector<double> group_utilization;
+
+    /** Compute the derived fields from a set of responses. */
+    static ServeStats fromResponses(
+        const std::vector<Response> &responses, std::size_t submitted,
+        std::size_t rejected, double wall_seconds,
+        const CacheStats &cache,
+        const std::vector<double> &group_busy_seconds);
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_STATS_H_

@@ -118,21 +118,16 @@ BenchmarkRunner::compiled(const compiler::Program &kernel,
 {
     std::ostringstream key;
     key << kernel.name() << ':' << kernel.ops().size() << ':' << group
-        << ':' << phys_regs << ':' << ks.enable_batching << ':'
-        << ks.enable_output_aggregation << ':'
-        << static_cast<int>(ks.default_algo);
-    auto it = compile_cache_.find(key.str());
-    if (it == compile_cache_.end()) {
+        << ':' << phys_regs << ':' << compiler::cacheKeyOf(ks);
+    return compile_cache_.getOrCompute(key.str(), [&] {
         compiler::CompilerConfig cfg;
         cfg.chips = group;
         cfg.num_streams = 1;
         cfg.ks = ks;
         cfg.phys_regs = phys_regs;
         compiler::Compiler comp(*ctx_, cfg);
-        it = compile_cache_.emplace(key.str(), comp.compile(kernel))
-                 .first;
-    }
-    return it->second;
+        return comp.compile(kernel);
+    });
 }
 
 sim::SimResult
@@ -146,15 +141,11 @@ BenchmarkRunner::kernelResult(const compiler::Program &kernel,
         << ':' << hw.lanes << ':' << hw.phys_regs << ':' << hw.hbm_gbs
         << ':' << hw.link_gbs << ':'
         << static_cast<int>(hw.topology) << ':' << hw.n << ':'
-        << ks.enable_batching << ':' << ks.enable_output_aggregation
-        << ':' << static_cast<int>(ks.default_algo);
-    auto it = sim_cache_.find(key.str());
-    if (it == sim_cache_.end()) {
+        << compiler::cacheKeyOf(ks);
+    return sim_cache_.getOrCompute(key.str(), [&] {
         const auto &prog = compiled(kernel, group, hw.phys_regs, ks);
-        it = sim_cache_.emplace(key.str(), simulate(prog.machine, hw))
-                 .first;
-    }
-    return it->second;
+        return simulate(prog.machine, hw);
+    });
 }
 
 BenchTiming

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sharded_cache.h"
 #include "compiler/lowering.h"
 #include "sim/simulator.h"
 #include "workloads/kernels.h"
@@ -85,7 +86,18 @@ struct PublishedBaselines
 
 PublishedBaselines publishedFor(const std::string &benchmark);
 
-/** Compiles and simulates kernels with caching. */
+/**
+ * Compiles and simulates kernels with caching.
+ *
+ * Thread-safe: the compiled-program and sim-result caches are sharded
+ * and mutex-guarded (common/sharded_cache.h), so one runner can be
+ * shared by every worker of the serve runtime's thread pool. Each
+ * distinct (kernel, group, hardware, keyswitch-options) configuration
+ * is compiled/simulated exactly once; concurrent requests for the
+ * same configuration block only each other. Cached entries are never
+ * evicted, so returned references stay valid for the runner's
+ * lifetime.
+ */
 class BenchmarkRunner
 {
   public:
@@ -114,10 +126,19 @@ class BenchmarkRunner
     compiled(const compiler::Program &kernel, std::size_t group,
              std::size_t phys_regs, const compiler::KsPassOptions &ks);
 
+    /** Combined hit/miss counters over both caches. */
+    CacheStats
+    cacheStats() const
+    {
+        CacheStats s = compile_cache_.stats();
+        s += sim_cache_.stats();
+        return s;
+    }
+
   private:
     const fhe::CkksContext *ctx_;
-    std::map<std::string, compiler::CompiledProgram> compile_cache_;
-    std::map<std::string, sim::SimResult> sim_cache_;
+    ShardedCache<compiler::CompiledProgram> compile_cache_;
+    ShardedCache<sim::SimResult> sim_cache_;
 };
 
 } // namespace cinnamon::workloads

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the multi-tenant serving runtime (src/serve): admission
+ * control under saturation, chip-group exclusivity, FIFO leasing,
+ * deterministic (bit-identical) outputs under concurrency, cache hit
+ * accounting, and deadline shedding. This target is also built and
+ * run under ThreadSanitizer in CI — every test here doubles as a race
+ * detector workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "serve/server.h"
+
+using namespace cinnamon;
+using namespace cinnamon::serve;
+
+namespace {
+
+/** One shared context: a 16-level chain fits the mini bootstrap. */
+const fhe::CkksContext &
+serveContext()
+{
+    static fhe::CkksContext ctx(
+        fhe::CkksParams::makeTest(1 << 8, 16, 4));
+    return ctx;
+}
+
+ServeOptions
+smallOptions()
+{
+    ServeOptions opt;
+    opt.chips = 8;
+    opt.group_size = 4;
+    opt.workers = 2;
+    opt.queue_capacity = 64;
+    return opt;
+}
+
+/** The demo's mixed tenant trace. */
+Workload
+traceWorkload(std::size_t i)
+{
+    switch (i % 4) {
+    case 0: return Workload::Bootstrap;
+    case 1: return Workload::ResNet;
+    case 2: return Workload::Helr;
+    default: return Workload::Keyswitch;
+    }
+}
+
+std::map<uint64_t, uint64_t>
+completedHashes(const Server &server)
+{
+    std::map<uint64_t, uint64_t> hashes;
+    for (const auto &r : server.responses())
+        if (r.status == RequestStatus::Completed)
+            hashes[r.id] = r.output_hash;
+    return hashes;
+}
+
+} // namespace
+
+TEST(Percentile, InterpolatesAndClamps)
+{
+    std::vector<double> v{4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Queue, SaturationRejectsWithBackpressure)
+{
+    RequestQueue q(4);
+    std::size_t admitted = 0;
+    for (std::size_t i = 0; i < 10; ++i)
+        admitted += q.submit(Request{}) ? 1 : 0;
+    EXPECT_EQ(admitted, 4u);
+    EXPECT_EQ(q.rejected(), 6u);
+    EXPECT_EQ(q.size(), 4u);
+
+    // Draining one slot re-opens admission — no deadlock, no loss.
+    ASSERT_TRUE(q.pop().has_value());
+    EXPECT_TRUE(q.submit(Request{}));
+}
+
+TEST(Queue, CloseDrainsPendingThenStops)
+{
+    RequestQueue q(8);
+    ASSERT_TRUE(q.submit(Request{}));
+    ASSERT_TRUE(q.submit(Request{}));
+    q.close();
+    EXPECT_FALSE(q.submit(Request{})); // closed: admission rejects
+    EXPECT_TRUE(q.pop().has_value());
+    EXPECT_TRUE(q.pop().has_value());
+    EXPECT_FALSE(q.pop().has_value()); // closed + drained
+}
+
+TEST(Scheduler, GroupsNeverOversubscribeChips)
+{
+    ChipGroupScheduler sched(8, 4);
+    ASSERT_EQ(sched.numGroups(), 2u);
+
+    std::atomic<int> concurrent{0}, max_concurrent{0};
+    std::mutex held_mutex;
+    std::set<std::size_t> held_groups;
+
+    auto hammer = [&] {
+        for (int i = 0; i < 25; ++i) {
+            GroupLease lease = sched.acquire();
+            const int now = concurrent.fetch_add(1) + 1;
+            int seen = max_concurrent.load();
+            while (now > seen &&
+                   !max_concurrent.compare_exchange_weak(seen, now)) {
+            }
+            {
+                // The same group must never be leased twice at once
+                // (a chip can't serve two requests).
+                std::lock_guard<std::mutex> lock(held_mutex);
+                ASSERT_TRUE(held_groups.insert(lease.group()).second);
+            }
+            std::this_thread::yield();
+            {
+                std::lock_guard<std::mutex> lock(held_mutex);
+                held_groups.erase(lease.group());
+            }
+            concurrent.fetch_sub(1);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t)
+        threads.emplace_back(hammer);
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_LE(max_concurrent.load(), 2);
+    EXPECT_EQ(sched.busyGroups(), 0u);
+    // Both groups did real work.
+    for (double busy : sched.busySeconds())
+        EXPECT_GT(busy, 0.0);
+}
+
+TEST(Scheduler, TryAcquireRespectsCapacity)
+{
+    ChipGroupScheduler sched(8, 4);
+    GroupLease a = sched.tryAcquire();
+    GroupLease b = sched.tryAcquire();
+    ASSERT_TRUE(a.held());
+    ASSERT_TRUE(b.held());
+    EXPECT_NE(a.group(), b.group());
+    EXPECT_FALSE(sched.tryAcquire().held()); // machine fully leased
+    a.release();
+    EXPECT_TRUE(sched.tryAcquire().held());
+}
+
+TEST(Scheduler, ChipRangesPartitionTheMachine)
+{
+    ChipGroupScheduler sched(12, 4);
+    ASSERT_EQ(sched.numGroups(), 3u);
+    std::set<std::size_t> chips;
+    for (std::size_t g = 0; g < sched.numGroups(); ++g) {
+        auto [lo, hi] = sched.chipsOf(g);
+        for (std::size_t c = lo; c < hi; ++c)
+            EXPECT_TRUE(chips.insert(c).second) << "chip " << c;
+    }
+    EXPECT_EQ(chips.size(), 12u);
+}
+
+TEST(Runner, ConcurrentKernelResultsAreConsistent)
+{
+    // The sharded cache satellite: many threads asking for the same
+    // configuration must agree and compile/simulate it exactly once.
+    workloads::BenchmarkRunner runner(serveContext());
+    auto kernel = workloads::keyswitchKernel(serveContext(), 8);
+    sim::HardwareConfig hw;
+    hw.n = serveContext().n();
+
+    std::vector<double> cycles(4, 0.0);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < cycles.size(); ++t)
+        threads.emplace_back([&, t] {
+            cycles[t] = runner.kernelResult(kernel, 4, hw, {}).cycles;
+        });
+    for (auto &t : threads)
+        t.join();
+    for (std::size_t t = 1; t < cycles.size(); ++t)
+        EXPECT_DOUBLE_EQ(cycles[0], cycles[t]);
+
+    auto stats = runner.cacheStats();
+    EXPECT_EQ(stats.misses, 2u); // one compile + one simulate
+    EXPECT_EQ(stats.hits, cycles.size() - 1);
+}
+
+TEST(Server, ConcurrentOutputsBitIdenticalToSerial)
+{
+    const std::size_t kRequests = 8;
+    std::map<uint64_t, uint64_t> serial, concurrent;
+
+    for (std::size_t workers : {1u, 3u}) {
+        ServeOptions opt = smallOptions();
+        opt.workers = workers;
+        Server server(serveContext(), opt);
+        server.start();
+        for (std::size_t i = 0; i < kRequests; ++i)
+            ASSERT_TRUE(server.submit(traceWorkload(i), 7000 + i));
+        server.drainAndStop();
+
+        auto stats = server.stats();
+        EXPECT_EQ(stats.completed, kRequests);
+        EXPECT_EQ(stats.failed, 0u);
+        (workers == 1 ? serial : concurrent) =
+            completedHashes(server);
+    }
+
+    ASSERT_EQ(serial.size(), kRequests);
+    EXPECT_EQ(serial, concurrent);
+    // Hashes are seeded per request: distinct tenants, distinct data.
+    std::set<uint64_t> distinct;
+    for (const auto &[id, h] : serial)
+        distinct.insert(h);
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Server, CacheHitsAreCounted)
+{
+    ServeOptions opt = smallOptions();
+    Server server(serveContext(), opt);
+    server.start();
+    // Four requests of the same workload: the first compiles and
+    // simulates its kernels, the remaining three must hit.
+    for (std::size_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(server.submit(Workload::Helr, 42 + i));
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_GT(stats.cache.hits, 0u);
+    EXPECT_GT(stats.cache.hitRate(), 0.4);
+    EXPECT_GT(stats.cache.misses, 0u); // the cold compiles
+}
+
+TEST(Server, DeadlineExpiresInQueue)
+{
+    ServeOptions opt = smallOptions();
+    opt.workers = 1;
+    opt.emulate = false;
+    Server server(serveContext(), opt);
+
+    // Admit before starting the pool, then let the deadline lapse:
+    // the worker must shed the stale requests instead of serving.
+    using std::chrono::milliseconds;
+    ASSERT_TRUE(
+        server.submit(Workload::Keyswitch, 1, milliseconds(5)));
+    ASSERT_TRUE(
+        server.submit(Workload::Keyswitch, 2, milliseconds(5)));
+    ASSERT_TRUE(server.submit(Workload::Keyswitch, 3)); // no deadline
+    std::this_thread::sleep_for(milliseconds(30));
+    server.start();
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.expired, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(Server, BackpressureUnderSaturation)
+{
+    ServeOptions opt = smallOptions();
+    opt.workers = 1;
+    opt.queue_capacity = 2;
+    opt.emulate = false;
+    // Slow each request down so the queue genuinely saturates.
+    opt.time_dilation = 1000.0;
+
+    Server server(serveContext(), opt);
+    server.start();
+    std::size_t admitted = 0, shed = 0;
+    for (std::size_t i = 0; i < 12; ++i) {
+        if (server.submit(Workload::Keyswitch, 100 + i))
+            ++admitted;
+        else
+            ++shed;
+    }
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(stats.submitted, 12u);
+    EXPECT_EQ(stats.rejected, shed);
+    EXPECT_EQ(stats.completed, admitted);
+    // Nothing lost, nothing duplicated.
+    EXPECT_EQ(stats.completed + stats.rejected + stats.expired +
+                  stats.failed,
+              stats.submitted);
+}
+
+TEST(Server, StatsReportMentionsEveryGroup)
+{
+    ServeOptions opt = smallOptions();
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(server.submit(traceWorkload(i), 9000 + i));
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    ASSERT_EQ(stats.group_utilization.size(), 2u);
+    auto report = stats.report();
+    EXPECT_NE(report.find("throughput"), std::string::npos);
+    EXPECT_NE(report.find("p50"), std::string::npos);
+    EXPECT_NE(report.find("hit rate"), std::string::npos);
+    EXPECT_NE(report.find("g0"), std::string::npos);
+    EXPECT_NE(report.find("g1"), std::string::npos);
+}
