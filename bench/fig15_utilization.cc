@@ -3,16 +3,37 @@
  * Reproduces Figure 15: compute / memory-bandwidth / network
  * utilization. Cinnamon-4 reports the average across all four
  * benchmarks; Cinnamon-8 and Cinnamon-12 report BERT (Section 7.6).
+ *
+ * Each machine row is also published to the process-wide metrics
+ * registry as gauges (fig15.<machine>.<resource>), and the run ends
+ * with the registry's text and JSON snapshots so the numbers can be
+ * scraped without parsing the table.
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "workloads/benchmarks.h"
 
 using namespace cinnamon;
 using namespace cinnamon::workloads;
+
+namespace {
+
+void
+publishRow(const std::string &machine, double compute, double memory,
+           double network)
+{
+    auto &reg = MetricsRegistry::global();
+    reg.gauge("fig15." + machine + ".compute").set(compute);
+    reg.gauge("fig15." + machine + ".memory").set(memory);
+    reg.gauge("fig15." + machine + ".network").set(network);
+}
+
+} // namespace
 
 int
 main()
@@ -38,9 +59,12 @@ main()
             m += t.memory_util;
             n += t.network_util;
         }
+        c /= suite.size();
+        m /= suite.size();
+        n /= suite.size();
         std::printf("%-24s %10.2f %10.2f %10.2f\n",
-                    "Cinnamon-4 (all avg)", c / suite.size(),
-                    m / suite.size(), n / suite.size());
+                    "Cinnamon-4 (all avg)", c, m, n);
+        publishRow("c4", c, m, n);
     }
 
     // Cinnamon-8 / Cinnamon-12 on BERT.
@@ -49,9 +73,17 @@ main()
         auto t = runner.run(bert, chips, bench::cinnamonHw(chips), 4);
         std::printf("Cinnamon-%-15zu %10.2f %10.2f %10.2f\n", chips,
                     t.compute_util, t.memory_util, t.network_util);
+        publishRow("c" + std::to_string(chips), t.compute_util,
+                   t.memory_util, t.network_util);
     }
     std::printf("\n(paper shape: Cinnamon-4 ~60%% across resources; "
                 "Cinnamon-12 lower on compute/memory as narrow\n"
                 "program sections leave stream groups idle)\n");
+
+    auto &reg = MetricsRegistry::global();
+    std::printf("\nmetrics snapshot:\n%s",
+                reg.textSnapshot("fig15.").c_str());
+    std::printf("\nmetrics json:\n%s\n",
+                reg.jsonSnapshot("fig15.").c_str());
     return 0;
 }

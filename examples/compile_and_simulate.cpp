@@ -7,11 +7,19 @@
  * then time the same program on the cycle-level simulator at several
  * machine sizes.
  *
- *   build/examples/compile_and_simulate
+ *   build/examples/compile_and_simulate [--trace FILE.trace.json]
+ *
+ * With --trace, the 4-chip simulation additionally dumps a per-chip,
+ * per-functional-unit instruction timeline as Chrome trace-event
+ * JSON — open it in Perfetto or about://tracing to see the machine
+ * the way Figure 15 aggregates it.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "common/trace.h"
 #include "compiler/lowering.h"
 #include "compiler/runtime.h"
 #include "fhe/evaluator.h"
@@ -21,8 +29,18 @@ using namespace cinnamon;
 using fhe::Cplx;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
     auto params = fhe::CkksParams::makeTest(1 << 10, 6, 3);
     fhe::CkksContext ctx(params);
     fhe::Encoder encoder(ctx);
@@ -95,13 +113,25 @@ main()
         auto prog2 = comp2.compile(prog);
         sim::HardwareConfig hw;
         hw.n = params.n;
-        auto res = sim::simulate(prog2.machine, hw);
+        // Trace the largest machine only: one file, one timeline.
+        TraceRecorder trace;
+        const bool tracing = chips == 4 && !trace_path.empty();
+        auto res = sim::simulate(prog2.machine, hw,
+                                 tracing ? &trace : nullptr);
         std::printf("%zu chips x 2 strms %12.0f %9.0f%% %9.0f%% "
                     "%9.0f%%\n",
                     chips, res.cycles,
                     100 * res.computeUtilization(hw),
                     100 * res.memoryUtilization(hw),
                     100 * res.networkUtilization(hw));
+        if (tracing) {
+            if (trace.writeFile(trace_path))
+                std::printf("  (wrote %zu trace events to %s)\n",
+                            trace.size(), trace_path.c_str());
+            else
+                std::fprintf(stderr, "failed to write trace to %s\n",
+                             trace_path.c_str());
+        }
     }
     std::printf("done.\n");
     return 0;

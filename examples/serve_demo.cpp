@@ -13,12 +13,18 @@
  *
  *   build/examples/serve_demo [--requests N] [--workers W]
  *       [--chips C] [--group G] [--queue Q] [--dilation D]
+ *       [--trace FILE.trace.json]
+ *
+ * With --trace, the pooled run's per-request spans (queue → acquire →
+ * simulate → probe → dwell) are written as Chrome trace-event JSON —
+ * open the file in Perfetto or about://tracing.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "serve/server.h"
@@ -36,6 +42,7 @@ struct DemoConfig
     std::size_t group = 4;
     std::size_t queue = 64;
     double dilation = 300.0; ///< wall s per simulated s (device dwell)
+    std::string trace_path;  ///< empty = no trace dump
 };
 
 DemoConfig
@@ -61,6 +68,9 @@ parseArgs(int argc, char **argv)
             cfg.queue = static_cast<std::size_t>(v);
         else if ((v = num("--dilation")) >= 0)
             cfg.dilation = v;
+        else if (std::strcmp(argv[i], "--trace") == 0 &&
+                 i + 1 < argc)
+            cfg.trace_path = argv[++i];
         else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             std::exit(2);
@@ -77,10 +87,11 @@ parseArgs(int argc, char **argv)
 Workload
 traceWorkload(std::size_t i)
 {
-    switch (i % 4) {
+    switch (i % 5) {
     case 0: return Workload::Bootstrap;
     case 1: return Workload::ResNet;
     case 2: return Workload::Helr;
+    case 3: return Workload::Bert;
     default: return Workload::Keyswitch;
     }
 }
@@ -88,7 +99,8 @@ traceWorkload(std::size_t i)
 /** Run the whole trace on a fresh server; returns per-id hashes. */
 std::map<uint64_t, uint64_t>
 runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
-         std::size_t workers, ServeStats *stats_out)
+         std::size_t workers, ServeStats *stats_out,
+         const std::string &trace_path = "")
 {
     ServeOptions opt;
     opt.chips = cfg.chips;
@@ -96,6 +108,7 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
     opt.workers = workers;
     opt.queue_capacity = cfg.queue;
     opt.time_dilation = cfg.dilation;
+    opt.trace = !trace_path.empty();
 
     Server server(ctx, opt);
     server.start();
@@ -111,6 +124,14 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
         std::printf("  (%zu requests shed by admission control)\n",
                     shed);
     *stats_out = server.stats();
+    if (opt.trace) {
+        if (server.trace().writeFile(trace_path))
+            std::printf("  (wrote %zu trace events to %s)\n",
+                        server.trace().size(), trace_path.c_str());
+        else
+            std::fprintf(stderr, "failed to write trace to %s\n",
+                         trace_path.c_str());
+    }
 
     std::map<uint64_t, uint64_t> hashes;
     for (const auto &r : server.responses())
@@ -139,7 +160,8 @@ main(int argc, char **argv)
     std::printf("%s\n", serial_stats.report().c_str());
 
     std::printf("--- worker pool (--workers %zu) ---\n", cfg.workers);
-    auto pooled = runTrace(ctx, cfg, cfg.workers, &pool_stats);
+    auto pooled =
+        runTrace(ctx, cfg, cfg.workers, &pool_stats, cfg.trace_path);
     std::printf("%s\n", pool_stats.report().c_str());
 
     // Bit-identity is a per-request contract: under saturation the two

@@ -1,0 +1,171 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cinnamon {
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+void
+writeArgs(std::ostream &os, const TraceEvent &e)
+{
+    if (e.num_args.empty() && e.str_args.empty())
+        return;
+    os << ",\"args\":{";
+    bool first = true;
+    for (const auto &[k, v] : e.num_args) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(k) << "\":";
+        writeNumber(os, v);
+    }
+    for (const auto &[k, v] : e.str_args) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(k) << "\":\"" << jsonEscape(v) << '"';
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+TraceRecorder::complete(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::setProcessName(uint32_t pid, std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    process_names_[pid] = std::move(name);
+}
+
+void
+TraceRecorder::setThreadName(uint32_t pid, uint32_t tid,
+                             std::string name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    thread_names_[{pid, tid}] = std::move(name);
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    process_names_.clear();
+    thread_names_.clear();
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[pid, name] : process_names_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+           << "\"}}";
+    }
+    for (const auto &[key, name] : thread_names_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+           << key.first << ",\"tid\":" << key.second
+           << ",\"args\":{\"name\":\"" << jsonEscape(name) << "\"}}";
+    }
+    for (const auto &e : events_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
+           << jsonEscape(e.category) << "\",\"ph\":\"X\",\"pid\":"
+           << e.pid << ",\"tid\":" << e.tid << ",\"ts\":";
+        writeNumber(os, e.ts_us);
+        os << ",\"dur\":";
+        writeNumber(os, e.dur_us);
+        writeArgs(os, e);
+        os << '}';
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string
+TraceRecorder::json() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+bool
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace cinnamon

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight span/event recorder with Chrome trace-event JSON export.
+ *
+ * One TraceRecorder collects timed events from any number of threads
+ * and serializes them in the Chrome trace-event format (the JSON array
+ * form understood by Perfetto and about://tracing). Two producers use
+ * it:
+ *
+ *  - the cycle simulator (sim/simulator.cc) emits one complete event
+ *    per instruction, with pid = chip and tid = functional unit, so a
+ *    traced simulation opens in Perfetto as a per-chip, per-FU
+ *    timeline — a visual Figure 15;
+ *  - the serving runtime (serve/server.cc) emits per-request spans
+ *    (queue → acquire → simulate → probe → dwell) with pid = server
+ *    and tid = worker, timestamped on the wall clock relative to the
+ *    recorder's construction.
+ *
+ * Timestamps and durations are microseconds (the trace-event unit).
+ * Simulated timelines convert cycles to microseconds at the modeled
+ * clock so both producers agree on units.
+ */
+
+#ifndef CINNAMON_COMMON_TRACE_H_
+#define CINNAMON_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cinnamon {
+
+/** One Chrome trace-event "complete" ("ph":"X") event. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    double ts_us = 0.0;  ///< start, microseconds
+    double dur_us = 0.0; ///< duration, microseconds
+    /** Numeric args, rendered as JSON numbers. */
+    std::vector<std::pair<std::string, double>> num_args;
+    /** String args, rendered as JSON strings. */
+    std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/** Thread-safe event sink; see file comment for the producers. */
+class TraceRecorder
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    TraceRecorder() : epoch_(Clock::now()) {}
+
+    /** Microseconds from the recorder's construction to `t`. */
+    double
+    toUs(Clock::time_point t) const
+    {
+        return std::chrono::duration<double, std::micro>(t - epoch_)
+            .count();
+    }
+
+    /** Microseconds from the recorder's construction to now. */
+    double nowUs() const { return toUs(Clock::now()); }
+
+    /** Record a complete event at an explicit [ts, ts+dur) interval. */
+    void complete(TraceEvent event);
+
+    /** Name the track a pid renders as ("process_name" metadata). */
+    void setProcessName(uint32_t pid, std::string name);
+
+    /** Name the row a (pid, tid) renders as ("thread_name"). */
+    void setThreadName(uint32_t pid, uint32_t tid, std::string name);
+
+    std::size_t size() const;
+    void clear();
+
+    /** Snapshot of every event recorded so far. */
+    std::vector<TraceEvent> events() const;
+
+    /** Serialize as {"traceEvents": [...]} (Perfetto-loadable). */
+    void writeJson(std::ostream &os) const;
+    std::string json() const;
+
+    /** Write the JSON to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    const Clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::map<uint32_t, std::string> process_names_;
+    std::map<std::pair<uint32_t, uint32_t>, std::string> thread_names_;
+};
+
+/**
+ * RAII wall-clock span: records a complete event covering the scope's
+ * lifetime into `recorder` (which must outlive the span). A null
+ * recorder makes the span a no-op, so call sites can gate tracing on
+ * a flag without branching.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceRecorder *recorder, std::string name,
+               std::string category, uint32_t pid, uint32_t tid)
+        : recorder_(recorder)
+    {
+        if (recorder_ == nullptr)
+            return;
+        event_.name = std::move(name);
+        event_.category = std::move(category);
+        event_.pid = pid;
+        event_.tid = tid;
+        event_.ts_us = recorder_->nowUs();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Movable so helper functions can build and return spans. */
+    ScopedSpan(ScopedSpan &&o) noexcept
+        : recorder_(o.recorder_), event_(std::move(o.event_))
+    {
+        o.recorder_ = nullptr;
+    }
+
+    /** Attach a numeric argument (shown in the Perfetto side panel). */
+    void
+    arg(std::string key, double value)
+    {
+        if (recorder_ != nullptr)
+            event_.num_args.emplace_back(std::move(key), value);
+    }
+
+    /** Attach a string argument. */
+    void
+    arg(std::string key, std::string value)
+    {
+        if (recorder_ != nullptr)
+            event_.str_args.emplace_back(std::move(key),
+                                         std::move(value));
+    }
+
+    ~ScopedSpan()
+    {
+        if (recorder_ == nullptr)
+            return;
+        event_.dur_us = recorder_->nowUs() - event_.ts_us;
+        recorder_->complete(std::move(event_));
+    }
+
+  private:
+    TraceRecorder *recorder_;
+    TraceEvent event_;
+};
+
+} // namespace cinnamon
+
+#endif // CINNAMON_COMMON_TRACE_H_

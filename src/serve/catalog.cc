@@ -79,6 +79,21 @@ miniSuite(const fhe::CkksContext &ctx)
     lr.phases.push_back(Phase{"bootstrap", boot, 2, 2});
     suite[Workload::Helr] = std::move(lr);
 
+    // BERT miniature: attention matvecs with 2-wide streams, GELU
+    // polynomials, refresh bootstraps — the paper's S16 phase shape
+    // (attention/GELU expose program-level parallelism, the residual
+    // sections are narrow) at unit-test scale.
+    Benchmark bt;
+    bt.name = "bert";
+    bt.phases.push_back(Phase{
+        "attention",
+        share(workloads::bsgsMatVecKernel(ctx, lvl, 4, 4, "serve_attn")),
+        6, 2});
+    bt.phases.push_back(
+        Phase{"gelu", share(workloads::polyEvalKernel(ctx, lvl, 2)), 4, 2});
+    bt.phases.push_back(Phase{"bootstrap", boot, 3, 1});
+    suite[Workload::Bert] = std::move(bt);
+
     return suite;
 }
 
@@ -90,6 +105,7 @@ paperSuite(const fhe::CkksContext &ctx)
     suite[Workload::Bootstrap] = workloads::bootstrapBenchmark(ctx);
     suite[Workload::ResNet] = workloads::resnetBenchmark(ctx);
     suite[Workload::Helr] = workloads::helrBenchmark(ctx);
+    suite[Workload::Bert] = workloads::bertBenchmark(ctx);
     Benchmark ks;
     ks.name = "keyswitch";
     ks.phases.push_back(Phase{
@@ -107,6 +123,7 @@ workloadName(Workload w)
     case Workload::Bootstrap: return "bootstrap";
     case Workload::ResNet: return "resnet";
     case Workload::Helr: return "helr";
+    case Workload::Bert: return "bert";
     case Workload::Keyswitch: return "keyswitch";
     }
     return "?";

@@ -28,6 +28,7 @@ enum class Workload {
     Bootstrap, ///< one full CKKS bootstrap
     ResNet,    ///< ResNet-20 CIFAR-10 inference
     Helr,      ///< HELR logistic-regression training
+    Bert,      ///< BERT-base 128-token inference (S16, DESIGN §3)
     Keyswitch, ///< a single rotation (smallest kernel)
 };
 

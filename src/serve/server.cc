@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "compiler/runtime.h"
 #include "fhe/evaluator.h"
@@ -10,6 +11,9 @@
 namespace cinnamon::serve {
 
 namespace {
+
+/** pid of the server's track in the request trace. */
+constexpr uint32_t kServerPid = 0;
 
 double
 msSince(Clock::time_point t)
@@ -68,23 +72,37 @@ Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
     scheduler_ = std::make_unique<ChipGroupScheduler>(
         options_.chips, options_.group_size);
     encoder_ = std::make_unique<fhe::Encoder>(ctx);
+    if (options_.trace) {
+        trace_.setProcessName(kServerPid, "cinnamon-serve");
+        for (std::size_t w = 0; w < options_.workers; ++w)
+            trace_.setThreadName(kServerPid, static_cast<uint32_t>(w),
+                                 "worker " + std::to_string(w));
+    }
 }
 
 Server::~Server()
 {
-    if (started_)
+    bool started;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        started = started_;
+    }
+    if (started)
         drainAndStop();
 }
 
 void
 Server::start()
 {
-    CINN_ASSERT(!started_, "server already started");
-    started_ = true;
-    start_time_ = Clock::now();
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        CINN_ASSERT(!started_, "server already started");
+        started_ = true;
+        start_time_ = Clock::now();
+    }
     workers_.reserve(options_.workers);
     for (std::size_t w = 0; w < options_.workers; ++w)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, w] { workerLoop(w); });
 }
 
 bool
@@ -100,40 +118,81 @@ Server::submit(Workload workload, uint64_t seed,
         r.id = next_id_++;
         ++submitted_;
     }
-    return queue_->submit(std::move(r));
+    auto &metrics = MetricsRegistry::global();
+    metrics.counter("serve.requests.submitted").add();
+    const bool admitted = queue_->submit(std::move(r));
+    if (!admitted)
+        metrics.counter("serve.requests.rejected").add();
+    return admitted;
 }
 
 void
 Server::drainAndStop()
 {
-    CINN_ASSERT(started_, "server not started");
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        CINN_ASSERT(started_, "server not started");
+    }
     queue_->close();
     for (auto &t : workers_)
         t.join();
     workers_.clear();
-    wall_seconds_ =
-        std::chrono::duration<double>(Clock::now() - start_time_)
-            .count();
-    started_ = false;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        wall_seconds_ =
+            std::chrono::duration<double>(Clock::now() - start_time_)
+                .count();
+        started_ = false;
+    }
 }
 
 void
-Server::workerLoop()
+Server::workerLoop(std::size_t worker)
 {
     while (auto request = queue_->pop()) {
-        Response resp = process(*request);
+        Response resp = process(*request, worker);
         std::lock_guard<std::mutex> lock(responses_mutex_);
         responses_.push_back(std::move(resp));
     }
 }
 
 Response
-Server::process(const Request &request)
+Server::process(const Request &request, std::size_t worker)
 {
+    TraceRecorder *trace = options_.trace ? &trace_ : nullptr;
+    const auto tid = static_cast<uint32_t>(worker);
+    auto span = [&](const char *name) {
+        ScopedSpan s(trace, name, "serve", kServerPid, tid);
+        s.arg("rid", static_cast<double>(request.id));
+        s.arg("workload", workloadName(request.workload));
+        return s;
+    };
+
+    auto &metrics = MetricsRegistry::global();
     Response resp;
     resp.id = request.id;
     resp.workload = request.workload;
     resp.queue_ms = msSince(request.admitted);
+    if (trace != nullptr) {
+        TraceEvent e;
+        e.name = "queue";
+        e.category = "serve";
+        e.pid = kServerPid;
+        e.tid = tid;
+        e.ts_us = trace->toUs(request.admitted);
+        e.dur_us = resp.queue_ms * 1e3;
+        e.num_args.emplace_back("rid",
+                                static_cast<double>(request.id));
+        e.str_args.emplace_back("workload",
+                                workloadName(request.workload));
+        trace->complete(std::move(e));
+    }
+
+    auto expire = [&] {
+        resp.status = RequestStatus::Expired;
+        resp.total_ms = resp.queue_ms + resp.service_ms;
+        metrics.counter("serve.requests.expired").add();
+    };
 
     // A request whose latency budget was spent in the queue is shed
     // here: running it would only push the requests behind it past
@@ -141,33 +200,56 @@ Server::process(const Request &request)
     if (request.deadline.count() > 0 &&
         resp.queue_ms >
             static_cast<double>(request.deadline.count())) {
-        resp.status = RequestStatus::Expired;
-        resp.total_ms = resp.queue_ms;
+        expire();
         return resp;
     }
 
     const auto service_start = Clock::now();
     try {
-        GroupLease lease = scheduler_->acquire();
+        GroupLease lease;
+        {
+            auto s = span("acquire");
+            lease = scheduler_->acquire();
+        }
         resp.group = lease.group();
+
+        // Re-check after the (possibly long) wait for a chip group: a
+        // request whose deadline lapsed while other tenants held the
+        // machine must be shed, not run — otherwise it occupies the
+        // group for work nobody can use and delays everyone behind it.
+        if (request.deadline.count() > 0 &&
+            msSince(request.admitted) >
+                static_cast<double>(request.deadline.count())) {
+            resp.service_ms = msSince(service_start);
+            expire();
+            metrics.counter("serve.requests.expired_after_lease")
+                .add();
+            return resp;
+        }
 
         // Time the workload's kernels on this group (shared cache:
         // the first request of a kind compiles, the rest hit).
-        const auto &bench = catalog_->benchmark(request.workload);
-        const auto timing =
-            runner_->run(bench, options_.group_size, options_.hw,
-                         options_.group_size);
-        resp.sim_seconds = timing.seconds;
+        {
+            auto s = span("simulate");
+            const auto &bench = catalog_->benchmark(request.workload);
+            const auto timing =
+                runner_->run(bench, options_.group_size, options_.hw,
+                             options_.group_size);
+            resp.sim_seconds = timing.seconds;
+        }
 
         // End-to-end functional execution at small parameter sets.
-        if (options_.emulate && ctx_->n() <= options_.emulate_max_n)
+        if (options_.emulate && ctx_->n() <= options_.emulate_max_n) {
+            auto s = span("probe");
             resp.output_hash =
                 runProbe(request, options_.group_size);
+        }
 
         // Model the accelerator group's real occupancy: the host
         // thread waits on the device for the simulated duration
         // (scaled), keeping the group leased the whole time.
         if (options_.time_dilation > 0.0) {
+            auto s = span("dwell");
             const auto dwell = std::chrono::duration<double>(
                 resp.sim_seconds * options_.time_dilation);
             std::this_thread::sleep_for(dwell);
@@ -176,9 +258,16 @@ Server::process(const Request &request)
     } catch (const std::exception &e) {
         resp.status = RequestStatus::Failed;
         resp.error = e.what();
+        metrics.counter("serve.requests.failed").add();
     }
     resp.service_ms = msSince(service_start);
     resp.total_ms = resp.queue_ms + resp.service_ms;
+    if (resp.status == RequestStatus::Completed) {
+        metrics.counter("serve.requests.completed").add();
+        metrics.histogram("serve.queue_ms").observe(resp.queue_ms);
+        metrics.histogram("serve.service_ms").observe(resp.service_ms);
+        metrics.histogram("serve.total_ms").observe(resp.total_ms);
+    }
     return resp;
 }
 
@@ -227,11 +316,15 @@ Server::stats() const
         resp = responses_;
         submitted = submitted_;
     }
-    const double wall =
-        started_ ? std::chrono::duration<double>(Clock::now() -
-                                                 start_time_)
-                       .count()
-                 : wall_seconds_;
+    double wall;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        wall = started_
+                   ? std::chrono::duration<double>(Clock::now() -
+                                                   start_time_)
+                         .count()
+                   : wall_seconds_;
+    }
     return ServeStats::fromResponses(resp, submitted,
                                      queue_->rejected(), wall,
                                      runner_->cacheStats(),

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
 #include "fhe/encoder.h"
 #include "serve/catalog.h"
 #include "serve/queue.h"
@@ -62,6 +63,12 @@ struct ServeOptions
      * second (device-occupancy modelling). 0 disables the dwell.
      */
     double time_dilation = 0.0;
+    /**
+     * Record per-request spans (queue → acquire → simulate → probe →
+     * dwell) into the server's TraceRecorder, exportable as Chrome
+     * trace-event JSON via trace().
+     */
+    bool trace = false;
     sim::HardwareConfig hw; ///< per-chip model (hw.n set from ctx)
 };
 
@@ -103,9 +110,12 @@ class Server
     const ChipGroupScheduler &scheduler() const { return *scheduler_; }
     workloads::BenchmarkRunner &runner() { return *runner_; }
 
+    /** Per-request span recorder (populated when options.trace). */
+    const TraceRecorder &trace() const { return trace_; }
+
   private:
-    void workerLoop();
-    Response process(const Request &request);
+    void workerLoop(std::size_t worker);
+    Response process(const Request &request, std::size_t worker);
 
     /** The end-to-end emulator probe; returns the output hash. */
     uint64_t runProbe(const Request &request, std::size_t group_chips);
@@ -119,6 +129,13 @@ class Server
     std::unique_ptr<fhe::Encoder> encoder_;
 
     std::vector<std::thread> workers_;
+    TraceRecorder trace_;
+
+    /**
+     * Guards the run lifecycle fields below: stats() reads them from
+     * arbitrary threads while start()/drainAndStop() write them.
+     */
+    mutable std::mutex state_mutex_;
     bool started_ = false;
     Clock::time_point start_time_{};
     double wall_seconds_ = 0.0; ///< fixed at drainAndStop

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <sstream>
+
+#include "common/metrics.h"
 
 namespace cinnamon::serve {
 
@@ -100,6 +103,21 @@ ServeStats::report() const
         out += buf;
     }
     out += '\n';
+
+    // The process-wide registry: request outcome counters and latency
+    // histograms booked by every server in this process.
+    const std::string metrics =
+        MetricsRegistry::global().textSnapshot("serve.");
+    if (!metrics.empty()) {
+        out += "metrics (process-wide):\n";
+        std::istringstream lines(metrics);
+        std::string metric_line;
+        while (std::getline(lines, metric_line)) {
+            out += "  ";
+            out += metric_line;
+            out += '\n';
+        }
+    }
     return out;
 }
 

@@ -56,6 +56,7 @@ struct HardwareConfig
 
     // Interconnect.
     double link_gbs = 256.0;        ///< per-link bandwidth, GB/s
+    std::size_t net_links = 2;      ///< network PHYs per chip
     double hop_latency_cycles = 100.0;
     Topology topology = Topology::Ring;
 

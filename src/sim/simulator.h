@@ -11,19 +11,33 @@
  *  - a bandwidth-limited HBM channel per chip for Load/Store traffic
  *    (register-file spills included, which is how register-file size
  *    shows up in Figures 6 and 16);
- *  - ring or switch interconnect collectives with cut-through
- *    pipelining: duration = bytes/link-bandwidth + hop latencies,
- *    serialized on the group's link resource.
+ *  - ring or switch interconnect collectives: a k-chip collective
+ *    moves (k-1) limb transfers across the group's links — an
+ *    aggregation serializes them (partial sums combine hop by hop),
+ *    a broadcast pipelines them cut-through (the source link is
+ *    occupied for one transfer while every link carries the limb
+ *    once) — plus hop latencies.
  *
  * Statistics follow Section 7.6: per-FU busy cycles (area-weighted
- * compute utilization), memory busy cycles, network busy cycles.
+ * compute utilization), memory busy cycles, network busy cycles
+ * normalized over every link resource (net_links PHYs per chip).
+ *
+ * The result carries its own books — per-chip issue/retire counts and
+ * per-op byte sums — and checkConservation() cross-checks them
+ * against the aggregate statistics; simulate() asserts the checks and
+ * exposes them through the global MetricsRegistry. Passing a
+ * TraceRecorder emits one Chrome trace event per instruction
+ * (pid = chip, tid = functional unit) for Perfetto.
  */
 
 #ifndef CINNAMON_SIM_SIMULATOR_H_
 #define CINNAMON_SIM_SIMULATOR_H_
 
 #include <map>
+#include <string>
+#include <vector>
 
+#include "common/trace.h"
 #include "isa/isa.h"
 #include "sim/hardware.h"
 
@@ -38,11 +52,19 @@ struct SimResult
     /** Busy cycles summed over instances, per FU class, all chips. */
     std::map<FuType, double> fu_busy;
     double hbm_busy = 0.0;   ///< HBM busy cycles, all chips
-    double net_busy = 0.0;   ///< link busy cycles, all groups
+    double net_busy = 0.0;   ///< link busy cycles, all links
     std::size_t chips = 0;
     std::size_t instructions = 0;
     std::size_t bytes_moved_hbm = 0;
     std::size_t bytes_moved_net = 0;
+
+    // Self-accounting for the conservation checks.
+    std::vector<std::size_t> issued_per_chip;  ///< front-end issues
+    std::vector<std::size_t> retired_per_chip; ///< completed (= pc)
+    std::size_t loads = 0;          ///< Load instructions executed
+    std::size_t stores = 0;         ///< Store instructions executed
+    std::size_t collectives = 0;    ///< collective rendezvous count
+    std::size_t net_transfers = 0;  ///< limb transfers, Σ (k-1)
 
     /**
      * Area-weighted average compute utilization (Section 7.6), using
@@ -53,13 +75,35 @@ struct SimResult
     /** Fraction of cycles the HBM channels were busy. */
     double memoryUtilization(const HardwareConfig &hw) const;
 
-    /** Fraction of cycles the network links were busy. */
+    /**
+     * Fraction of cycles the network links were busy, over all
+     * chips × net_links link resources in the machine.
+     */
     double networkUtilization(const HardwareConfig &hw) const;
+
+    /**
+     * Conservation laws over the result's own books: instructions
+     * issued = retired per chip (and sum to `instructions`), HBM and
+     * network bytes equal the per-op sums, and no resource is busier
+     * than its capacity. Returns one message per violated invariant
+     * (empty = all hold). simulate() asserts this; callers can re-run
+     * it after deserializing or aggregating results.
+     */
+    std::vector<std::string>
+    checkConservation(const HardwareConfig &hw) const;
 };
 
-/** Simulate a compiled program on `chips` copies of `hw`. */
+/**
+ * Simulate a compiled program on `chips` copies of `hw`.
+ *
+ * With a non-null `trace`, every instruction lands in the recorder as
+ * a complete event on the timeline of its chip (pid) and functional
+ * unit (tid), with cycle timestamps converted to microseconds at
+ * `hw.clock_ghz`.
+ */
 SimResult simulate(const isa::MachineProgram &program,
-                   const HardwareConfig &hw);
+                   const HardwareConfig &hw,
+                   TraceRecorder *trace = nullptr);
 
 } // namespace cinnamon::sim
 

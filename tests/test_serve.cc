@@ -46,12 +46,30 @@ smallOptions()
 Workload
 traceWorkload(std::size_t i)
 {
-    switch (i % 4) {
+    switch (i % 5) {
     case 0: return Workload::Bootstrap;
     case 1: return Workload::ResNet;
     case 2: return Workload::Helr;
+    case 3: return Workload::Bert;
     default: return Workload::Keyswitch;
     }
+}
+
+/** Simulated seconds one keyswitch request takes on this context. */
+double
+measureKeyswitchSeconds()
+{
+    ServeOptions opt;
+    opt.chips = 4;
+    opt.group_size = 4;
+    opt.workers = 1;
+    opt.emulate = false;
+    opt.time_dilation = 0.0;
+    Server server(serveContext(), opt);
+    server.start();
+    EXPECT_TRUE(server.submit(Workload::Keyswitch, 1));
+    server.drainAndStop();
+    return server.stats().sim_seconds_total;
 }
 
 std::map<uint64_t, uint64_t>
@@ -268,6 +286,135 @@ TEST(Server, DeadlineExpiresInQueue)
     auto stats = server.stats();
     EXPECT_EQ(stats.expired, 2u);
     EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(Server, DeadlineExpiresWhileWaitingForGroup)
+{
+    // A request that passes the queue-side deadline check but spends
+    // its budget waiting for a chip group must be shed after the lease
+    // is acquired, not run. One group, two workers: the first request
+    // dwells on the only group while the second waits in acquire.
+    const double ks_seconds = measureKeyswitchSeconds();
+    ASSERT_GT(ks_seconds, 0.0);
+
+    ServeOptions opt;
+    opt.chips = 4;
+    opt.group_size = 4; // a single group serializes the machine
+    opt.workers = 2;
+    opt.emulate = false;
+    opt.time_dilation = 0.4 / ks_seconds; // ~400 ms device dwell
+
+    using std::chrono::milliseconds;
+    Server server(serveContext(), opt);
+    server.start();
+    ASSERT_TRUE(server.submit(Workload::Keyswitch, 1)); // no deadline
+    std::this_thread::sleep_for(milliseconds(80));
+    // Popped immediately by the idle second worker (so it cannot
+    // expire in the queue), then blocked in acquire past its budget.
+    ASSERT_TRUE(
+        server.submit(Workload::Keyswitch, 2, milliseconds(100)));
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_EQ(stats.expired, 1u);
+    for (const auto &r : server.responses())
+        if (r.status == RequestStatus::Expired) {
+            // The budget was burned in service (waiting), not queued.
+            EXPECT_GT(r.service_ms, r.queue_ms);
+            EXPECT_GT(r.total_ms, 100.0);
+        }
+}
+
+TEST(Server, StatsConcurrentWithShutdown)
+{
+    // stats() reads the lifecycle fields (started_, wall clock) that
+    // drainAndStop() writes; under TSan this test is the race
+    // detector for that pair.
+    ServeOptions opt = smallOptions();
+    opt.emulate = false;
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(server.submit(traceWorkload(i), 3000 + i));
+
+    std::atomic<bool> done{false};
+    std::thread poller([&] {
+        while (!done.load()) {
+            auto s = server.stats();
+            EXPECT_GE(s.wall_seconds, 0.0);
+            std::this_thread::yield();
+        }
+    });
+    server.drainAndStop();
+    done.store(true);
+    poller.join();
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 6u);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(Server, BertWorkloadServesDeterministically)
+{
+    ServeOptions opt = smallOptions();
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(server.submit(Workload::Bert, 5000 + i));
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GT(stats.sim_seconds_total, 0.0);
+    EXPECT_STREQ(workloadName(Workload::Bert), "bert");
+
+    // Distinct seeds, distinct outputs; same catalog, so a rerun with
+    // the same seed must reproduce the hash bit for bit.
+    auto first = completedHashes(server);
+    ASSERT_EQ(first.size(), 3u);
+
+    Server rerun(serveContext(), opt);
+    rerun.start();
+    for (std::size_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(rerun.submit(Workload::Bert, 5000 + i));
+    rerun.drainAndStop();
+    EXPECT_EQ(completedHashes(rerun), first);
+}
+
+TEST(Server, TraceSpansSumToRequestTotal)
+{
+    // The per-request spans (queue → acquire → simulate → probe →
+    // dwell) are leaves: per request they must tile the measured
+    // total_ms to within a millisecond.
+    ServeOptions opt = smallOptions();
+    opt.workers = 1; // serial: no scheduling noise between spans
+    opt.trace = true;
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(server.submit(traceWorkload(i), 8000 + i));
+    server.drainAndStop();
+
+    std::map<uint64_t, double> span_ms;
+    for (const auto &e : server.trace().events()) {
+        for (const auto &[key, value] : e.num_args)
+            if (key == "rid")
+                span_ms[static_cast<uint64_t>(value)] +=
+                    e.dur_us / 1e3;
+    }
+    std::size_t checked = 0;
+    for (const auto &r : server.responses()) {
+        if (r.status != RequestStatus::Completed)
+            continue;
+        auto it = span_ms.find(r.id);
+        ASSERT_NE(it, span_ms.end()) << "request " << r.id;
+        EXPECT_NEAR(it->second, r.total_ms, 1.0)
+            << "request " << r.id;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 3u);
 }
 
 TEST(Server, BackpressureUnderSaturation)

@@ -192,6 +192,80 @@ TEST(Simulator, SingleChipCollectivesAreFree)
     EXPECT_EQ(res.bytes_moved_net, 0u);
 }
 
+TEST(Simulator, ConservationLawsHold)
+{
+    for (std::size_t chips : {1u, 2u, 4u}) {
+        auto prog = compileRotations(chips);
+        sim::HardwareConfig hw;
+        hw.n = 1 << 10;
+        auto res = sim::simulate(prog, hw);
+        const auto violations = res.checkConservation(hw);
+        EXPECT_TRUE(violations.empty())
+            << chips << " chips: " << violations.front();
+        ASSERT_EQ(res.issued_per_chip.size(), chips);
+        std::size_t retired = 0;
+        for (std::size_t c = 0; c < chips; ++c) {
+            EXPECT_EQ(res.issued_per_chip[c], res.retired_per_chip[c]);
+            retired += res.retired_per_chip[c];
+        }
+        EXPECT_EQ(retired, res.instructions);
+        EXPECT_EQ(res.bytes_moved_hbm,
+                  (res.loads + res.stores) * hw.limbBytes());
+        EXPECT_EQ(res.bytes_moved_net,
+                  res.net_transfers * hw.limbBytes());
+    }
+}
+
+TEST(Simulator, CollectiveTrafficCountsParticipants)
+{
+    // Regression for the traffic undercount: a k-chip collective must
+    // book (k-1) limb transfers, so the expected transfer count can be
+    // recovered by scanning the compiled program itself.
+    for (std::size_t chips : {2u, 4u}) {
+        auto prog = compileRotations(chips);
+        std::size_t expected_transfers = 0;
+        std::size_t expected_collectives = 0;
+        for (std::size_t c = 0; c < prog.numChips(); ++c) {
+            for (const auto &ins : prog.chips[c].instrs) {
+                if (!isa::isCollective(ins.op) || ins.part_lo != c)
+                    continue; // count each collective once, at its lo
+                const std::size_t hi =
+                    ins.part_hi == 0 ? chips : ins.part_hi;
+                ++expected_collectives;
+                if (hi - ins.part_lo > 1)
+                    expected_transfers += hi - ins.part_lo - 1;
+            }
+        }
+        ASSERT_GT(expected_collectives, 0u);
+        sim::HardwareConfig hw;
+        hw.n = 1 << 10;
+        auto res = sim::simulate(prog, hw);
+        EXPECT_EQ(res.collectives, expected_collectives);
+        EXPECT_EQ(res.net_transfers, expected_transfers);
+        EXPECT_EQ(res.bytes_moved_net,
+                  expected_transfers * hw.limbBytes());
+    }
+}
+
+TEST(Simulator, NetworkUtilizationNormalizesByLinkCount)
+{
+    // Doubling the modeled PHY count per chip must halve the reported
+    // utilization for identical traffic.
+    auto prog = compileRotations(4);
+    sim::HardwareConfig one;
+    one.n = 1 << 10;
+    one.net_links = 1;
+    sim::HardwareConfig two = one;
+    two.net_links = 2;
+    auto r1 = sim::simulate(prog, one);
+    auto r2 = sim::simulate(prog, two);
+    // net_links only affects reporting, not timing.
+    EXPECT_DOUBLE_EQ(r1.cycles, r2.cycles);
+    EXPECT_GT(r1.networkUtilization(one), 0.0);
+    EXPECT_NEAR(r2.networkUtilization(two),
+                0.5 * r1.networkUtilization(one), 1e-12);
+}
+
 TEST(Simulator, HigherClockShortensSeconds)
 {
     auto prog = compileRotations(4);

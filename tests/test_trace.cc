@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the observability layer (src/common/trace.h, metrics.h):
+ * span recording and nesting, Chrome trace-event JSON validity, the
+ * metrics registry round-trip, and a traced end-to-end simulation
+ * whose output must be loadable by Perfetto (structurally: valid JSON
+ * with the trace-event required fields).
+ */
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "compiler/lowering.h"
+#include "fhe/params.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace cinnamon;
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON validator — enough to assert the
+ * exporters emit structurally valid JSON without a JSON dependency.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])) ==
+                                0)
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) !=
+                    0 ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TEST(Trace, RecordsCompleteEvents)
+{
+    TraceRecorder trace;
+    TraceEvent e;
+    e.name = "work";
+    e.category = "test";
+    e.pid = 1;
+    e.tid = 2;
+    e.ts_us = 10.0;
+    e.dur_us = 5.0;
+    trace.complete(e);
+    ASSERT_EQ(trace.size(), 1u);
+    const auto events = trace.events();
+    EXPECT_EQ(events[0].name, "work");
+    EXPECT_EQ(events[0].pid, 1u);
+    EXPECT_EQ(events[0].tid, 2u);
+    EXPECT_DOUBLE_EQ(events[0].ts_us, 10.0);
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, NestedSpansStayContained)
+{
+    TraceRecorder trace;
+    {
+        ScopedSpan outer(&trace, "outer", "test", 0, 0);
+        {
+            ScopedSpan inner(&trace, "inner", "test", 0, 0);
+            inner.arg("depth", 1.0);
+        }
+    }
+    // Spans record at destruction: inner first, then outer.
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 2u);
+    const TraceEvent &inner = events[0];
+    const TraceEvent &outer = events[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_GE(inner.ts_us, outer.ts_us);
+    EXPECT_LE(inner.ts_us + inner.dur_us,
+              outer.ts_us + outer.dur_us + 1.0);
+    ASSERT_EQ(inner.num_args.size(), 1u);
+    EXPECT_EQ(inner.num_args[0].first, "depth");
+}
+
+TEST(Trace, NullRecorderSpansAreNoOps)
+{
+    ScopedSpan span(nullptr, "nothing", "test", 0, 0);
+    span.arg("ignored", 1.0);
+    span.arg("also", std::string("ignored"));
+    // Destruction must not crash; there is no recorder to check.
+}
+
+TEST(Trace, JsonIsValidAndCarriesRequiredFields)
+{
+    TraceRecorder trace;
+    trace.setProcessName(3, "chip 3");
+    trace.setThreadName(3, 1, "ntt");
+    TraceEvent e;
+    e.name = "Ntt \"quoted\"\nline"; // exercise escaping
+    e.category = "sim";
+    e.pid = 3;
+    e.tid = 1;
+    e.ts_us = 1.5;
+    e.dur_us = 2.25;
+    e.num_args.emplace_back("limb", 4.0);
+    e.str_args.emplace_back("note", "a\tb");
+    trace.complete(e);
+
+    const std::string json = trace.json();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos)
+        << "raw newline must be escaped";
+}
+
+TEST(Trace, WriteFileRoundTrips)
+{
+    TraceRecorder trace;
+    TraceEvent e;
+    e.name = "work";
+    e.category = "test";
+    trace.complete(e);
+    const std::string path =
+        ::testing::TempDir() + "cinnamon_trace_test.trace.json";
+    ASSERT_TRUE(trace.writeFile(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string contents;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        contents.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(contents, trace.json());
+    EXPECT_TRUE(JsonChecker(contents).valid());
+}
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("test.requests").add();
+    reg.counter("test.requests").add(2.0);
+    reg.gauge("test.depth").set(7.5);
+    auto &h = reg.histogram("test.latency_ms");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.observe(v);
+
+    EXPECT_DOUBLE_EQ(reg.counter("test.requests").value(), 3.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("test.depth").value(), 7.5);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_DOUBLE_EQ(snap.sum, 10.0);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 4.0);
+    EXPECT_DOUBLE_EQ(snap.mean, 2.5);
+
+    const std::string text = reg.textSnapshot();
+    EXPECT_NE(text.find("test.requests 3"), std::string::npos) << text;
+    EXPECT_NE(text.find("test.depth 7.5"), std::string::npos) << text;
+    EXPECT_NE(text.find("test.latency_ms"), std::string::npos);
+
+    const std::string json = reg.jsonSnapshot();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, PrefixFiltersSnapshots)
+{
+    MetricsRegistry reg;
+    reg.counter("sim.instructions").add(10);
+    reg.counter("serve.requests").add(2);
+    const std::string sim_only = reg.textSnapshot("sim.");
+    EXPECT_NE(sim_only.find("sim.instructions"), std::string::npos);
+    EXPECT_EQ(sim_only.find("serve.requests"), std::string::npos);
+    const std::string json = reg.jsonSnapshot("serve.");
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("serve.requests"), std::string::npos);
+    EXPECT_EQ(json.find("sim.instructions"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentCounterAddsAreLossless)
+{
+    MetricsRegistry reg;
+    auto &counter = reg.counter("test.concurrent");
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kAdds; ++i)
+                counter.add();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(counter.value(),
+                     static_cast<double>(kThreads) * kAdds);
+}
+
+TEST(Trace, TracedBootstrapSimulationEmitsLoadableTimeline)
+{
+    // The acceptance path: compile a miniature bootstrap, simulate it
+    // with tracing on, and require (a) clean conservation books and
+    // (b) a structurally valid Chrome trace with the per-chip tracks.
+    auto params = fhe::CkksParams::makeTest(1 << 8, 16, 4);
+    fhe::CkksContext ctx(params);
+    workloads::BootstrapShape shape;
+    shape.start_level = 15;
+    shape.c2s_stages = 2;
+    shape.s2c_stages = 2;
+    shape.bsgs_baby = 3;
+    shape.bsgs_giant = 3;
+    shape.evalmod_depth = 6;
+    auto prog = workloads::bootstrapKernel(ctx, shape);
+
+    compiler::CompilerConfig cfg;
+    cfg.chips = 4;
+    compiler::Compiler comp(ctx, cfg);
+    auto compiled = comp.compile(prog);
+
+    sim::HardwareConfig hw;
+    hw.n = params.n;
+    TraceRecorder trace;
+    auto res = sim::simulate(compiled.machine, hw, &trace);
+
+    EXPECT_TRUE(res.checkConservation(hw).empty());
+    EXPECT_GT(trace.size(), 0u);
+    EXPECT_LE(trace.size(), res.instructions);
+
+    // Every event sits inside the simulated makespan.
+    const double us_per_cycle = 1.0 / (hw.clock_ghz * 1e3);
+    const double makespan_us = res.cycles * us_per_cycle;
+    for (const auto &e : trace.events()) {
+        EXPECT_GE(e.ts_us, 0.0);
+        EXPECT_GE(e.dur_us, 0.0);
+        EXPECT_LE(e.ts_us + e.dur_us, makespan_us * (1.0 + 1e-9));
+        EXPECT_LT(e.pid, 4u);
+    }
+
+    const std::string json = trace.json();
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("\"chip 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"chip 3\""), std::string::npos);
+    EXPECT_NE(json.find("\"ntt\""), std::string::npos);
+    EXPECT_NE(json.find("\"hbm\""), std::string::npos);
+}
+
+TEST(Trace, SimulationWithoutRecorderBooksSameResult)
+{
+    auto params = fhe::CkksParams::makeTest(1 << 8, 16, 4);
+    fhe::CkksContext ctx(params);
+    auto prog = workloads::keyswitchKernel(ctx, 10);
+    compiler::CompilerConfig cfg;
+    cfg.chips = 4;
+    compiler::Compiler comp(ctx, cfg);
+    auto compiled = comp.compile(prog);
+    sim::HardwareConfig hw;
+    hw.n = params.n;
+    TraceRecorder trace;
+    auto plain = sim::simulate(compiled.machine, hw);
+    auto traced = sim::simulate(compiled.machine, hw, &trace);
+    EXPECT_DOUBLE_EQ(plain.cycles, traced.cycles);
+    EXPECT_EQ(plain.bytes_moved_net, traced.bytes_moved_net);
+    EXPECT_EQ(plain.net_transfers, traced.net_transfers);
+}
