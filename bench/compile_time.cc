@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Compile-latency smoke benchmark for the staged pass pipeline.
+ *
+ * Compiles a multi-stream bootstrap program twice — once with the
+ * worker pool disabled (compile_workers = 1) and once with one worker
+ * per hardware core (compile_workers = 0) — and prints one JSON
+ * object per line with the wall-clock numbers. The limb-lowering and
+ * register-allocation passes parallelize over independent stream
+ * units / chips, so the parallel run should show a measurable
+ * wall-time reduction while producing a byte-identical program (the
+ * equivalence itself is asserted by tests/test_pipeline.cc; this
+ * binary only times it).
+ *
+ *   build/bench/compile_time [streams] [reps]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/parallel.h"
+#include "compiler/dsl.h"
+#include "compiler/lowering.h"
+#include "fhe/params.h"
+#include "workloads/kernels.h"
+
+using namespace cinnamon;
+
+namespace {
+
+double
+compileMs(const fhe::CkksContext &ctx, const compiler::Program &prog,
+          std::size_t streams, std::size_t workers)
+{
+    compiler::CompilerConfig cfg;
+    cfg.chips = 2 * streams;
+    cfg.num_streams = streams;
+    cfg.phys_regs = 64;
+    cfg.compile_workers = workers;
+    compiler::Compiler comp(ctx, cfg);
+    const auto start = std::chrono::steady_clock::now();
+    auto out = comp.compile(prog);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    // Touch the result so the compile cannot be optimized away.
+    if (out.machine.totalInstructions() == 0)
+        std::abort();
+    return ms;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t streams =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+    const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+
+    // Mid-size context: big enough that lowering dominates, small
+    // enough for a CI smoke run.
+    auto params = fhe::CkksParams::makeTest(1 << 10, 16, 4);
+    fhe::CkksContext ctx(params);
+
+    workloads::BootstrapShape shape;
+    shape.start_level = ctx.maxLevel();
+    shape.c2s_stages = 2;
+    shape.s2c_stages = 2;
+    shape.bsgs_baby = 3;
+    shape.bsgs_giant = 3;
+    shape.evalmod_depth = 6;
+    auto kernel = workloads::bootstrapKernel(ctx, shape);
+    auto prog = compiler::replicateStreams(
+        kernel, static_cast<int>(streams));
+
+    // Best-of-reps to damp scheduler noise in CI.
+    double serial_ms = std::numeric_limits<double>::infinity();
+    double parallel_ms = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        serial_ms =
+            std::min(serial_ms, compileMs(ctx, prog, streams, 1));
+        parallel_ms =
+            std::min(parallel_ms, compileMs(ctx, prog, streams, 0));
+    }
+
+    std::printf("{\"benchmark\":\"compile_time\","
+                "\"program\":\"bootstrap_x%zu\","
+                "\"ops\":%zu,\"chips\":%zu,\"streams\":%zu,"
+                "\"hw_workers\":%zu,\"reps\":%d,"
+                "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,"
+                "\"speedup\":%.3f}\n",
+                streams, prog.ops().size(), 2 * streams, streams,
+                defaultWorkers(), reps, serial_ms, parallel_ms,
+                serial_ms / parallel_ms);
+    return 0;
+}

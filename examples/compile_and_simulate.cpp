@@ -8,11 +8,18 @@
  * machine sizes.
  *
  *   build/examples/compile_and_simulate [--trace FILE.trace.json]
+ *                                       [--dump-ir STAGE]
  *
  * With --trace, the 4-chip simulation additionally dumps a per-chip,
  * per-functional-unit instruction timeline as Chrome trace-event
  * JSON — open it in Perfetto or about://tracing to see the machine
  * the way Figure 15 aggregates it.
+ *
+ * With --dump-ir poly|limb|isa, the compiler prints the materialized
+ * IR after the pass that produces that stage (poly = the keyswitch-
+ * annotated polynomial IR, limb = the placed limb IR, isa = the
+ * emitted machine program) to stdout — the quickest way to see what
+ * each pipeline pass actually did to the program.
  */
 
 #include <cstdio>
@@ -32,13 +39,26 @@ int
 main(int argc, char **argv)
 {
     std::string trace_path;
+    std::string dump_stage;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strncmp(argv[i], "--dump-ir=", 10) == 0) {
+            dump_stage = argv[i] + 10;
+        } else if (std::strcmp(argv[i], "--dump-ir") == 0 &&
+                   i + 1 < argc) {
+            dump_stage = argv[++i];
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return 2;
         }
+    }
+    if (!dump_stage.empty() && dump_stage != "poly" &&
+        dump_stage != "limb" && dump_stage != "isa") {
+        std::fprintf(stderr,
+                     "--dump-ir takes poly, limb, or isa (got %s)\n",
+                     dump_stage.c_str());
+        return 2;
     }
 
     auto params = fhe::CkksParams::makeTest(1 << 10, 6, 3);
@@ -67,6 +87,16 @@ main(int argc, char **argv)
     cfg.num_streams = 2;
     cfg.phys_regs = 64;
     compiler::Compiler comp(ctx, cfg);
+    if (!dump_stage.empty()) {
+        comp.setDumpHandler([&](const std::string &stage,
+                                const std::string &text) {
+            if (stage == dump_stage) {
+                std::printf("=== %s IR ===\n%s=== end %s IR ===\n",
+                            stage.c_str(), text.c_str(),
+                            stage.c_str());
+            }
+        });
+    }
     auto compiled = comp.compile(prog);
     std::printf("compiled: %zu instructions on %zu chips, "
                 "%zu IB batches, %zu OA batches, "

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal fork-join helper for CPU-bound compiler work.
+ *
+ * parallelFor runs `fn(i)` for i in [0, n) on up to `workers` threads
+ * pulling indices from a shared atomic counter. It is deliberately
+ * tiny: no pool reuse, no work stealing — compiler passes call it a
+ * handful of times per compile with coarse-grained items (one compile
+ * unit, one chip), where thread spawn cost is noise. `workers <= 1`
+ * (or n <= 1) degenerates to a plain serial loop, which keeps
+ * single-threaded builds and tests byte-for-byte reproducible paths.
+ *
+ * The first exception thrown by any item is rethrown on the calling
+ * thread after all workers join; later exceptions are dropped.
+ */
+
+#ifndef CINNAMON_COMMON_PARALLEL_H_
+#define CINNAMON_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cinnamon {
+
+/** Number of workers to use when a config says "auto" (0). */
+inline std::size_t
+defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+template <typename Fn>
+void
+parallelFor(std::size_t n, std::size_t workers, Fn &&fn)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    if (workers > n)
+        workers = n;
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto body = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        threads.emplace_back(body);
+    body();
+    for (auto &t : threads)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace cinnamon
+
+#endif // CINNAMON_COMMON_PARALLEL_H_

@@ -76,7 +76,21 @@ struct CompilerConfig
     std::size_t phys_regs = 224;  ///< register file limbs per chip
     bool allocate = true;         ///< run register allocation
     EvictionPolicy regalloc_policy = EvictionPolicy::Belady;
+    /** Worker threads for limb lowering / register allocation
+     *  (0 = one per hardware core). Never affects the output. */
+    std::size_t compile_workers = 0;
+    bool verify_ir = true; ///< run the inter-pass IR verifiers
 };
+
+/**
+ * Serialization of every CompilerConfig field that affects the
+ * compiled output, for use in program-cache keys: two configurations
+ * map to the same string iff they compile identically. Worker count
+ * and verifier toggles are deliberately excluded — they change how
+ * fast (and how checked) compilation runs, never what it emits.
+ * Extend this when adding fields.
+ */
+std::string cacheKeyOf(const CompilerConfig &config);
 
 /** The full compiler output. */
 struct CompiledProgram

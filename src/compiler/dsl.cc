@@ -223,4 +223,60 @@ Program::usesConjugation() const
     });
 }
 
+Program
+replicateStreams(const Program &prog, int copies)
+{
+    CINN_ASSERT(copies >= 1, "replicateStreams needs at least one copy");
+    const int base_streams = prog.numStreams();
+    Program out(prog.name() +
+                    (copies > 1 ? "x" + std::to_string(copies) : ""),
+                prog.context());
+    for (int k = 0; k < copies; ++k) {
+        const std::string suffix =
+            k == 0 ? std::string() : "@" + std::to_string(k);
+        std::vector<CtHandle> cloned(prog.ops().size());
+        for (const CtOp &op : prog.ops()) {
+            out.beginStream(k * base_streams + op.stream);
+            switch (op.kind) {
+            case CtOpKind::Input:
+                cloned[op.id] = out.input(op.name + suffix, op.level);
+                break;
+            case CtOpKind::Add:
+                cloned[op.id] =
+                    out.add(cloned[op.args[0]], cloned[op.args[1]]);
+                break;
+            case CtOpKind::Sub:
+                cloned[op.id] =
+                    out.sub(cloned[op.args[0]], cloned[op.args[1]]);
+                break;
+            case CtOpKind::Mul:
+                cloned[op.id] =
+                    out.mul(cloned[op.args[0]], cloned[op.args[1]]);
+                break;
+            case CtOpKind::MulPlain:
+                cloned[op.id] = out.mulPlain(cloned[op.args[0]], op.name);
+                break;
+            case CtOpKind::AddPlain:
+                cloned[op.id] = out.addPlain(cloned[op.args[0]], op.name);
+                break;
+            case CtOpKind::Rescale:
+                cloned[op.id] = out.rescale(cloned[op.args[0]]);
+                break;
+            case CtOpKind::Rotate:
+                cloned[op.id] =
+                    out.rotate(cloned[op.args[0]], op.rotation);
+                break;
+            case CtOpKind::Conjugate:
+                cloned[op.id] = out.conjugate(cloned[op.args[0]]);
+                break;
+            case CtOpKind::Output:
+                out.output(op.name + suffix, cloned[op.args[0]]);
+                break;
+            }
+        }
+    }
+    out.endStream();
+    return out;
+}
+
 } // namespace cinnamon::compiler

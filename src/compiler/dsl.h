@@ -145,6 +145,16 @@ class Program
     int current_stream_ = 0;
 };
 
+/**
+ * Clone a program into `copies` data-parallel instances running in
+ * disjoint stream ranges (copy k occupies streams [k*S, (k+1)*S) where
+ * S is the source program's stream count). Inputs and outputs of copy
+ * k > 0 are renamed with an "@k" suffix; plaintext names are shared —
+ * every copy multiplies by the same weights, the serving-style batch
+ * shape. Copy 0 is unchanged, so replicateStreams(p, 1) == p.
+ */
+Program replicateStreams(const Program &prog, int copies);
+
 } // namespace cinnamon::compiler
 
 #endif // CINNAMON_COMPILER_DSL_H_

@@ -1,10 +1,14 @@
 #include "compiler/lowering.h"
 
 #include <algorithm>
-#include <set>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
+#include "compiler/limb_ir.h"
+#include "compiler/pass.h"
+#include "compiler/poly_ir.h"
 #include "compiler/regalloc.h"
 
 namespace cinnamon::compiler {
@@ -14,1048 +18,132 @@ namespace {
 using isa::Instruction;
 using isa::Opcode;
 
-/** A contiguous chip range hosting one stream. */
-struct Group
-{
-    uint32_t lo = 0;
-    uint32_t hi = 0;
-
-    std::size_t size() const { return hi - lo; }
-};
-
-/** A lowered ciphertext value: vregs per polynomial per limb. */
-struct CtVal
-{
-    std::size_t level = 0;
-    double scale = 0.0;
-    int stream = 0; ///< stream (chip group) where the limbs live
-    std::array<std::vector<int>, 2> regs; ///< regs[poly][limb index]
-};
-
-/** The working state of one lowering run. */
-class LowerImpl
-{
-  public:
-    LowerImpl(const fhe::CkksContext &ctx, const Program &program,
-              const CompilerConfig &config)
-        : ctx_(&ctx), prog_(&program), cfg_(config)
-    {
-        CINN_FATAL_UNLESS(cfg_.chips >= 1, "need at least one chip");
-        CINN_FATAL_UNLESS(cfg_.num_streams >= 1 &&
-                              cfg_.chips % cfg_.num_streams == 0,
-                          "chips must divide evenly among streams");
-        code_.resize(cfg_.chips);
-        nreg_.assign(cfg_.chips, 0);
-    }
-
-    CompiledProgram run();
-
-  private:
-    // ---- plumbing -------------------------------------------------
-    Group
-    groupOf(int stream) const
-    {
-        const uint32_t g =
-            static_cast<uint32_t>(cfg_.chips / cfg_.num_streams);
-        CINN_ASSERT(stream >= 0 && stream < cfg_.num_streams,
-                    "op stream " << stream << " exceeds configured "
-                                 << cfg_.num_streams << " streams");
-        return Group{static_cast<uint32_t>(stream) * g,
-                     static_cast<uint32_t>(stream + 1) * g};
-    }
-
-    uint32_t
-    chipOfLimb(const Group &g, std::size_t limb) const
-    {
-        return g.lo + static_cast<uint32_t>(limb % g.size());
-    }
-
-    int
-    newReg(uint32_t chip)
-    {
-        return nreg_[chip]++;
-    }
-
-    void
-    emit(uint32_t chip, Instruction ins)
-    {
-        code_[chip].push_back(std::move(ins));
-    }
-
-    uint64_t
-    addrFor(const DataDescriptor &desc)
-    {
-        std::ostringstream key;
-        key << static_cast<int>(desc.kind) << ':' << desc.name << ':'
-            << desc.poly << ':' << desc.prime << ':' << desc.digit << ':'
-            << desc.level << ':' << desc.galois << ':' << desc.chip_digits
-            << ':' << desc.group_size;
-        auto it = addr_by_key_.find(key.str());
-        if (it != addr_by_key_.end())
-            return it->second;
-        const uint64_t addr = next_addr_++;
-        addr_by_key_.emplace(key.str(), addr);
-        data_.emplace(addr, desc);
-        return addr;
-    }
-
-    // ---- scalar precomputation ------------------------------------
-    /** (D/d_i)^{-1} mod d_i for a digit basis D. */
-    uint64_t
-    digitShatInv(const rns::Basis &digit, std::size_t i) const
-    {
-        const rns::Modulus &di = ctx_->rns().modulus(digit[i]);
-        uint64_t prod = 1;
-        for (std::size_t k = 0; k < digit.size(); ++k) {
-            if (k != i)
-                prod = di.mul(prod,
-                              ctx_->rns().modulus(digit[k]).value() %
-                                  di.value());
-        }
-        return di.inv(prod);
-    }
-
-    /** P^{-1} mod q_i with P = product of the special primes. */
-    uint64_t
-    specialProdInv(uint32_t prime) const
-    {
-        const rns::Modulus &qi = ctx_->rns().modulus(prime);
-        uint64_t p = 1;
-        for (uint32_t s : ctx_->specialBasis())
-            p = qi.mul(p, ctx_->rns().modulus(s).value() % qi.value());
-        return qi.inv(p);
-    }
-
-    // ---- collective emission --------------------------------------
-    /** Broadcast one limb (vreg on `owner`) to every chip in `g`. */
-    std::vector<int>
-    emitBcast(const Group &g, uint32_t owner, int src_reg, uint32_t prime)
-    {
-        const uint64_t tag = next_tag_++;
-        std::vector<int> dsts(cfg_.chips, -1);
-        for (uint32_t c = g.lo; c < g.hi; ++c) {
-            Instruction ins;
-            ins.op = Opcode::Bcast;
-            ins.dst = newReg(c);
-            if (c == owner)
-                ins.srcs = {src_reg};
-            ins.prime = prime;
-            ins.imm = owner;
-            ins.tag = tag;
-            ins.part_lo = g.lo;
-            ins.part_hi = g.hi;
-            dsts[c] = ins.dst;
-            emit(c, std::move(ins));
-        }
-        ++comm_.broadcast_limbs;
-        return dsts;
-    }
-
-    /** Aggregate per-chip partials; result lands on `owner` only. */
-    int
-    emitAgg(const Group &g, uint32_t owner,
-            const std::vector<int> &srcs_per_chip, uint32_t prime)
-    {
-        const uint64_t tag = next_tag_++;
-        int result = -1;
-        for (uint32_t c = g.lo; c < g.hi; ++c) {
-            Instruction ins;
-            ins.op = Opcode::Agg;
-            ins.srcs = {srcs_per_chip[c]};
-            if (c == owner) {
-                ins.dst = newReg(c);
-                result = ins.dst;
-            }
-            ins.prime = prime;
-            ins.tag = tag;
-            ins.part_lo = g.lo;
-            ins.part_hi = g.hi;
-            emit(c, std::move(ins));
-        }
-        ++comm_.aggregation_limbs;
-        return result;
-    }
-
-    // ---- small emission helpers -----------------------------------
-    int
-    emitUnary(uint32_t chip, Opcode op, int src, uint32_t prime,
-              uint64_t imm = 0)
-    {
-        Instruction ins;
-        ins.op = op;
-        ins.dst = newReg(chip);
-        ins.srcs = {src};
-        ins.prime = prime;
-        ins.imm = imm;
-        const int dst = ins.dst;
-        emit(chip, std::move(ins));
-        return dst;
-    }
-
-    int
-    emitBinary(uint32_t chip, Opcode op, int a, int b, uint32_t prime)
-    {
-        Instruction ins;
-        ins.op = op;
-        ins.dst = newReg(chip);
-        ins.srcs = {a, b};
-        ins.prime = prime;
-        const int dst = ins.dst;
-        emit(chip, std::move(ins));
-        return dst;
-    }
-
-    int
-    emitLoad(uint32_t chip, const DataDescriptor &desc)
-    {
-        // Load CSE: repeated uses of the same read-only limb (inputs,
-        // plaintexts, evaluation keys) share one virtual register.
-        // Belady then decides whether the value stays resident; if it
-        // is evicted, the allocator rematerializes it from this
-        // address instead of spilling. This is what makes on-chip
-        // capacity matter for workloads that reuse metadata
-        // (Figure 6: parallel bootstraps sharing plaintext matrices
-        // and evaluation keys).
-        const uint64_t addr = addrFor(desc);
-        auto key = std::make_pair(chip, addr);
-        auto it = load_cache_.find(key);
-        if (it != load_cache_.end())
-            return it->second;
-        Instruction ins;
-        ins.op = Opcode::Load;
-        ins.dst = newReg(chip);
-        ins.prime = desc.prime;
-        ins.imm = addr;
-        const int dst = ins.dst;
-        emit(chip, std::move(ins));
-        load_cache_.emplace(key, dst);
-        return dst;
-    }
-
-    /**
-     * Fetch an operand's lowered value, migrating it to `stream`'s
-     * chip group first if it was produced by a different stream
-     * (a point-to-point limb transfer per limb).
-     */
-    const CtVal &valFor(int arg_id, int stream);
-
-    /** Move one limb from chip `from` to chip `to` (no-op if equal). */
-    int emitTransfer(uint32_t from, uint32_t to, int src_reg,
-                     uint32_t prime);
-
-    // ---- op lowering ----------------------------------------------
-    void lowerInput(const CtOp &op);
-    void lowerOutput(const CtOp &op);
-    void lowerElementwise(const CtOp &op);
-    void lowerPlain(const CtOp &op);
-    void lowerRescale(const CtOp &op);
-    void lowerMul(const CtOp &op);
-    void lowerRotation(const CtOp &op);
-    void lowerOaBatchAtRoot(const CtOp &root, const OaBatch &batch);
-
-    /**
-     * Broadcast all limbs of one polynomial (Eval domain, distributed)
-     * so every chip in the group holds coefficient-domain copies.
-     * @return bc[chip][limb] vregs (valid for chips in the group).
-     */
-    std::vector<std::vector<int>>
-    broadcastPolyCoeff(const Group &g, const std::vector<int> &limb_regs,
-                       std::size_t level);
-
-    /**
-     * The per-chip keyswitch compute shared by input-broadcast and
-     * CiFHER lowering: digits, mod-up, evalkey MACs, mod-down.
-     *
-     * @param bc broadcast coefficient-domain copies (all limbs).
-     * @param galois automorphism applied on-chip before the digit
-     *        decomposition (1 = none).
-     * @param cifher if true, extension limbs are partitioned and the
-     *        mod-down requires two extra broadcast rounds.
-     * @return distributed result regs (Eval domain) per poly.
-     */
-    std::array<std::vector<int>, 2>
-    lowerKsCompute(const Group &g,
-                   const std::vector<std::vector<int>> &bc,
-                   std::size_t level, const std::string &key,
-                   uint64_t galois, bool cifher);
-
-    const fhe::CkksContext *ctx_;
-    const Program *prog_;
-    CompilerConfig cfg_;
-    KsPassResult pass_;
-
-    std::vector<std::vector<Instruction>> code_;
-    std::vector<int> nreg_;
-    uint64_t next_tag_ = 1;
-    uint64_t next_addr_ = 1;
-    std::map<std::string, uint64_t> addr_by_key_;
-    std::map<uint64_t, DataDescriptor> data_;
-    std::map<std::string, OutputInfo> outputs_;
-    std::map<int, CtVal> vals_;
-    /** (chip, address) → vreg holding that read-only limb. */
-    std::map<std::pair<uint32_t, uint64_t>, int> load_cache_;
-    /** (op, stream) → cross-group migrated copies. */
-    std::map<std::pair<int, int>, CtVal> migrated_;
-    /** IB batch id → cached broadcast copies of the shared input. */
-    std::map<int, std::vector<std::vector<int>>> ib_cache_;
-    /** OA batches indexed by their root op. */
-    std::map<int, const OaBatch *> oa_by_root_;
-    std::set<int> oa_members_; ///< ops folded into an OA batch
-    CommSummary comm_;
-};
-
-int
-LowerImpl::emitTransfer(uint32_t from, uint32_t to, int src_reg,
-                        uint32_t prime)
-{
-    if (from == to)
-        return src_reg;
-    const uint64_t tag = next_tag_++;
-    const uint32_t lo = std::min(from, to);
-    const uint32_t hi = std::max(from, to) + 1;
-    int result = -1;
-    for (uint32_t c = lo; c < hi; ++c) {
-        Instruction ins;
-        ins.op = Opcode::Bcast;
-        if (c == to) {
-            ins.dst = newReg(c);
-            result = ins.dst;
-        }
-        if (c == from)
-            ins.srcs = {src_reg};
-        ins.prime = prime;
-        ins.imm = from;
-        ins.tag = tag;
-        ins.part_lo = lo;
-        ins.part_hi = hi;
-        emit(c, std::move(ins));
-    }
-    ++comm_.broadcast_limbs;
-    return result;
-}
-
-const CtVal &
-LowerImpl::valFor(int arg_id, int stream)
-{
-    const CtVal &v = vals_.at(arg_id);
-    if (v.stream == stream)
-        return v;
-    // Cross-stream join: move every limb to the consuming group.
-    const auto key = std::make_pair(arg_id, stream);
-    auto it = migrated_.find(key);
-    if (it != migrated_.end())
-        return it->second;
-    const Group gf = groupOf(v.stream);
-    const Group gt = groupOf(stream);
-    CtVal out;
-    out.level = v.level;
-    out.scale = v.scale;
-    out.stream = stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        out.regs[poly].resize(v.level + 1);
-        for (std::size_t i = 0; i <= v.level; ++i) {
-            out.regs[poly][i] =
-                emitTransfer(chipOfLimb(gf, i), chipOfLimb(gt, i),
-                             v.regs[poly][i], static_cast<uint32_t>(i));
-        }
-    }
-    return migrated_.emplace(key, std::move(out)).first->second;
-}
-
+/**
+ * Pass "lower-isa": walk the limb units in stream order and emit one
+ * ISA instruction stream per chip. This stage is serial and owns
+ * everything global: memory-address assignment (descriptor keys dedup
+ * across units), collective rendezvous tags, and per-chip virtual
+ * register numbering — which is why serial and parallel limb lowering
+ * produce byte-identical machine programs.
+ */
 void
-LowerImpl::lowerInput(const CtOp &op)
+lowerIsaPass(PassContext &pcx)
 {
-    const Group g = groupOf(op.stream);
-    CtVal val;
-    val.level = op.level;
-    val.scale = op.scale;
-    val.stream = op.stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        val.regs[poly].resize(op.level + 1);
-        for (std::size_t i = 0; i <= op.level; ++i) {
-            DataDescriptor desc;
-            desc.kind = DataDescriptor::Kind::InputCt;
-            desc.name = op.name;
-            desc.poly = poly;
-            desc.prime = static_cast<uint32_t>(i);
-            val.regs[poly][i] = emitLoad(chipOfLimb(g, i), desc);
-        }
-    }
-    vals_[op.id] = std::move(val);
-}
-
-void
-LowerImpl::lowerOutput(const CtOp &op)
-{
-    // Outputs are stored wherever their value lives; no migration.
-    const CtVal &a = vals_.at(op.args[0]);
-    const Group g = groupOf(a.stream);
-    OutputInfo info;
-    info.level = a.level;
-    info.scale = a.scale;
-    for (int poly = 0; poly < 2; ++poly) {
-        info.addrs[poly].resize(a.level + 1);
-        for (std::size_t i = 0; i <= a.level; ++i) {
-            DataDescriptor desc;
-            desc.kind = DataDescriptor::Kind::Output;
-            desc.name = op.name;
-            desc.poly = poly;
-            desc.prime = static_cast<uint32_t>(i);
-            const uint64_t addr = addrFor(desc);
-            const uint32_t chip = chipOfLimb(g, i);
-            Instruction ins;
-            ins.op = Opcode::Store;
-            ins.srcs = {a.regs[poly][i]};
-            ins.prime = static_cast<uint32_t>(i);
-            ins.imm = addr;
-            emit(chip, std::move(ins));
-            info.addrs[poly][i] = addr;
-            if (poly == 0)
-                info.owners.push_back(chip);
-        }
-    }
-    outputs_[op.name] = std::move(info);
-}
-
-void
-LowerImpl::lowerElementwise(const CtOp &op)
-{
-    const Group g = groupOf(op.stream);
-    const CtVal &a = valFor(op.args[0], op.stream);
-    const CtVal &b = valFor(op.args[1], op.stream);
-    const Opcode opc = op.kind == CtOpKind::Add ? Opcode::Add
-                                                : Opcode::Sub;
-    CtVal out;
-    out.level = op.level;
-    out.scale = op.scale;
-    out.stream = op.stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        out.regs[poly].resize(op.level + 1);
-        for (std::size_t i = 0; i <= op.level; ++i) {
-            out.regs[poly][i] =
-                emitBinary(chipOfLimb(g, i), opc, a.regs[poly][i],
-                           b.regs[poly][i], static_cast<uint32_t>(i));
-        }
-    }
-    vals_[op.id] = std::move(out);
-}
-
-void
-LowerImpl::lowerPlain(const CtOp &op)
-{
-    const Group g = groupOf(op.stream);
-    const CtVal &a = valFor(op.args[0], op.stream);
-    const bool is_mul = op.kind == CtOpKind::MulPlain;
-    CtVal out;
-    out.level = op.level;
-    out.scale = op.scale;
-    out.stream = op.stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        out.regs[poly].resize(op.level + 1);
-        for (std::size_t i = 0; i <= op.level; ++i) {
-            const uint32_t chip = chipOfLimb(g, i);
-            if (!is_mul && poly == 1) {
-                // addPlain only touches c0.
-                out.regs[poly][i] = a.regs[poly][i];
-                continue;
-            }
-            DataDescriptor desc;
-            desc.kind = DataDescriptor::Kind::Plain;
-            desc.name = op.name;
-            desc.prime = static_cast<uint32_t>(i);
-            desc.level = op.level;
-            desc.scale = ctx_->params().scale;
-            const int p = emitLoad(chip, desc);
-            out.regs[poly][i] = emitBinary(
-                chip, is_mul ? Opcode::Mul : Opcode::Add,
-                a.regs[poly][i], p, static_cast<uint32_t>(i));
-        }
-    }
-    vals_[op.id] = std::move(out);
-}
-
-void
-LowerImpl::lowerRescale(const CtOp &op)
-{
-    const Group g = groupOf(op.stream);
-    const CtVal &a = valFor(op.args[0], op.stream);
-    const std::size_t last = a.level;
-    const uint32_t last_owner = chipOfLimb(g, last);
-    const uint64_t q_last = ctx_->q(last);
-
-    CtVal out;
-    out.level = op.level;
-    out.scale = op.scale;
-    out.stream = op.stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        // INTT the dropped limb and broadcast it to the group.
-        const int last_coeff =
-            emitUnary(last_owner, Opcode::Intt, a.regs[poly][last],
-                      static_cast<uint32_t>(last));
-        auto copies = emitBcast(g, last_owner, last_coeff,
-                                static_cast<uint32_t>(last));
-
-        out.regs[poly].resize(op.level + 1);
-        for (std::size_t i = 0; i <= op.level; ++i) {
-            const uint32_t chip = chipOfLimb(g, i);
-            const uint32_t prime = static_cast<uint32_t>(i);
-            const rns::Modulus &qi = ctx_->rns().modulus(prime);
-            const int xi = emitUnary(chip, Opcode::Intt,
-                                     a.regs[poly][i], prime);
-            // Reduce the dropped limb's residues into q_i.
-            Instruction red;
-            red.op = Opcode::Mod;
-            red.dst = newReg(chip);
-            red.srcs = {copies[chip]};
-            red.prime = prime;
-            red.aux = {static_cast<uint32_t>(last)};
-            const int xl = red.dst;
-            emit(chip, std::move(red));
-            const int diff = emitBinary(chip, Opcode::Sub, xi, xl, prime);
-            const int scaled =
-                emitUnary(chip, Opcode::MulScalar, diff, prime,
-                          qi.inv(q_last % qi.value()));
-            out.regs[poly][i] =
-                emitUnary(chip, Opcode::Ntt, scaled, prime);
-        }
-    }
-    vals_[op.id] = std::move(out);
-}
-
-std::vector<std::vector<int>>
-LowerImpl::broadcastPolyCoeff(const Group &g,
-                              const std::vector<int> &limb_regs,
-                              std::size_t level)
-{
-    std::vector<std::vector<int>> bc(cfg_.chips);
-    for (auto &v : bc)
-        v.assign(level + 1, -1);
-    for (std::size_t i = 0; i <= level; ++i) {
-        const uint32_t owner = chipOfLimb(g, i);
-        const uint32_t prime = static_cast<uint32_t>(i);
-        const int coeff =
-            emitUnary(owner, Opcode::Intt, limb_regs[i], prime);
-        auto copies = emitBcast(g, owner, coeff, prime);
-        for (uint32_t c = g.lo; c < g.hi; ++c)
-            bc[c][i] = copies[c];
-    }
-    return bc;
-}
-
-std::array<std::vector<int>, 2>
-LowerImpl::lowerKsCompute(const Group &g,
-                          const std::vector<std::vector<int>> &bc,
-                          std::size_t level, const std::string &key,
-                          uint64_t galois, bool cifher)
-{
-    const auto digits = ctx_->digits(level);
-    const rns::Basis special = ctx_->specialBasis();
-
-    std::array<std::vector<int>, 2> result;
-    result[0].assign(level + 1, -1);
-    result[1].assign(level + 1, -1);
-
-    // Per-chip accumulators over the chip's mod-up output basis,
-    // indexed by prime. acc[poly][prime] = vreg or -1.
-    std::vector<std::array<std::map<uint32_t, int>, 2>> acc(cfg_.chips);
-
-    for (uint32_t c = g.lo; c < g.hi; ++c) {
-        // Apply the automorphism on-chip to the broadcast copies.
-        std::vector<int> limbs = bc[c];
-        if (galois != 1) {
-            for (std::size_t i = 0; i <= level; ++i) {
-                limbs[i] = emitUnary(c, Opcode::Automorph, limbs[i],
-                                     static_cast<uint32_t>(i), galois);
-            }
-        }
-
-        // Output primes handled on this chip.
-        std::vector<uint32_t> out_primes;
-        for (std::size_t i = 0; i <= level; ++i) {
-            if (chipOfLimb(g, i) == c)
-                out_primes.push_back(static_cast<uint32_t>(i));
-        }
-        for (std::size_t k = 0; k < special.size(); ++k) {
-            if (!cifher || chipOfLimb(g, special[k]) == c)
-                out_primes.push_back(special[k]);
-        }
-
-        for (std::size_t j = 0; j < digits.size(); ++j) {
-            const rns::Basis &digit = digits[j];
-            // Stage 1 of the BCU: pre-scale the digit limbs.
-            std::vector<int> scaled(digit.size());
-            for (std::size_t d = 0; d < digit.size(); ++d) {
-                scaled[d] = emitUnary(c, Opcode::MulScalar,
-                                      limbs[digit[d]], digit[d],
-                                      digitShatInv(digit, d));
-            }
-            for (uint32_t t : out_primes) {
-                int up;
-                const bool in_digit =
-                    std::find(digit.begin(), digit.end(), t) !=
-                    digit.end();
-                if (in_digit) {
-                    up = limbs[t];
-                } else {
-                    Instruction ins;
-                    ins.op = Opcode::BConv;
-                    ins.dst = newReg(c);
-                    ins.srcs = scaled;
-                    ins.aux = digit;
-                    ins.prime = t;
-                    up = ins.dst;
-                    emit(c, std::move(ins));
-                }
-                const int up_eval = emitUnary(c, Opcode::Ntt, up, t);
-                for (int poly = 0; poly < 2; ++poly) {
-                    DataDescriptor desc;
-                    desc.kind = DataDescriptor::Kind::EvalKey;
-                    desc.name = key;
-                    desc.poly = poly;
-                    desc.prime = t;
-                    desc.digit = j;
-                    desc.galois = galois;
-                    const int k = emitLoad(c, desc);
-                    const int prod =
-                        emitBinary(c, Opcode::Mul, up_eval, k, t);
-                    auto it = acc[c][poly].find(t);
-                    if (it == acc[c][poly].end()) {
-                        acc[c][poly][t] = prod;
-                    } else {
-                        it->second = emitBinary(c, Opcode::Add,
-                                                it->second, prod, t);
-                    }
-                }
-            }
-        }
-    }
-
-    // Mod-down. Under CiFHER both the ciphertext and extension limbs
-    // of each accumulator are partitioned, so the mod-down needs the
-    // whole polynomial broadcast (the paper's "2 broadcasts in (6)");
-    // these are the rounds the keyswitch pass cannot hoist.
-    for (int poly = 0; poly < 2; ++poly) {
-        if (cifher) {
-            // Broadcast every ciphertext limb of the accumulator too
-            // (CiFHER resolves the mod-down's cross-limb dependencies
-            // by broadcasting; the copies land unused on non-owner
-            // chips, which is exactly the wasted traffic Cinnamon's
-            // algorithms eliminate).
-            for (std::size_t i = 0; i <= level; ++i) {
-                const uint32_t owner = chipOfLimb(g, i);
-                const uint32_t prime = static_cast<uint32_t>(i);
-                (void)emitBcast(g, owner, acc[owner][poly].at(prime),
-                                prime);
-            }
-        }
-        // INTT the extension accumulators on their owners.
-        std::vector<std::vector<int>> ext(cfg_.chips);
-        for (auto &v : ext)
-            v.assign(special.size(), -1);
-        for (std::size_t k = 0; k < special.size(); ++k) {
-            const uint32_t s = special[k];
-            if (cifher) {
-                const uint32_t owner = chipOfLimb(g, s);
-                const int coeff = emitUnary(
-                    owner, Opcode::Intt, acc[owner][poly].at(s), s);
-                auto copies = emitBcast(g, owner, coeff, s);
-                for (uint32_t c = g.lo; c < g.hi; ++c)
-                    ext[c][k] = copies[c];
-            } else {
-                for (uint32_t c = g.lo; c < g.hi; ++c) {
-                    ext[c][k] = emitUnary(c, Opcode::Intt,
-                                          acc[c][poly].at(s), s);
-                }
-            }
-        }
-
-        for (uint32_t c = g.lo; c < g.hi; ++c) {
-            // Pre-scale the extension limbs for the mod-down BConv.
-            std::vector<int> scaled(special.size());
-            for (std::size_t k = 0; k < special.size(); ++k) {
-                // Basis positions: special is itself the digit here.
-                std::vector<uint32_t> sp(special.begin(), special.end());
-                scaled[k] = emitUnary(c, Opcode::MulScalar, ext[c][k],
-                                      special[k],
-                                      digitShatInv(special, k));
-            }
-            for (std::size_t i = 0; i <= level; ++i) {
-                if (chipOfLimb(g, i) != c)
-                    continue;
-                const uint32_t prime = static_cast<uint32_t>(i);
-                const int xi = emitUnary(c, Opcode::Intt,
-                                         acc[c][poly].at(prime), prime);
-                Instruction ins;
-                ins.op = Opcode::BConv;
-                ins.dst = newReg(c);
-                ins.srcs = scaled;
-                ins.aux = special;
-                ins.prime = prime;
-                const int conv = ins.dst;
-                emit(c, std::move(ins));
-                const int diff =
-                    emitBinary(c, Opcode::Sub, xi, conv, prime);
-                const int down =
-                    emitUnary(c, Opcode::MulScalar, diff, prime,
-                              specialProdInv(prime));
-                result[poly][i] =
-                    emitUnary(c, Opcode::Ntt, down, prime);
-            }
-        }
-    }
-    return result;
-}
-
-void
-LowerImpl::lowerMul(const CtOp &op)
-{
-    const Group g = groupOf(op.stream);
-    const CtVal &a = valFor(op.args[0], op.stream);
-    const CtVal &b = valFor(op.args[1], op.stream);
-    const std::size_t level = op.level;
-
-    std::vector<int> d0(level + 1), d1(level + 1), d2(level + 1);
-    for (std::size_t i = 0; i <= level; ++i) {
-        const uint32_t chip = chipOfLimb(g, i);
-        const uint32_t prime = static_cast<uint32_t>(i);
-        d0[i] = emitBinary(chip, Opcode::Mul, a.regs[0][i], b.regs[0][i],
-                           prime);
-        const int t0 = emitBinary(chip, Opcode::Mul, a.regs[0][i],
-                                  b.regs[1][i], prime);
-        const int t1 = emitBinary(chip, Opcode::Mul, a.regs[1][i],
-                                  b.regs[0][i], prime);
-        d1[i] = emitBinary(chip, Opcode::Add, t0, t1, prime);
-        d2[i] = emitBinary(chip, Opcode::Mul, a.regs[1][i], b.regs[1][i],
-                           prime);
-    }
-
-    const bool cifher = pass_.of(op.id).algo == KsAlgo::Cifher;
-    auto bc = broadcastPolyCoeff(g, d2, level);
-    auto ks = lowerKsCompute(g, bc, level, "relin", 1, cifher);
-
-    CtVal out;
-    out.level = level;
-    out.scale = op.scale;
-    out.stream = op.stream;
-    for (int poly = 0; poly < 2; ++poly)
-        out.regs[poly].resize(level + 1);
-    for (std::size_t i = 0; i <= level; ++i) {
-        const uint32_t chip = chipOfLimb(g, i);
-        const uint32_t prime = static_cast<uint32_t>(i);
-        out.regs[0][i] =
-            emitBinary(chip, Opcode::Add, d0[i], ks[0][i], prime);
-        out.regs[1][i] =
-            emitBinary(chip, Opcode::Add, d1[i], ks[1][i], prime);
-    }
-    vals_[op.id] = std::move(out);
-}
-
-void
-LowerImpl::lowerRotation(const CtOp &op)
-{
-    const Group g = groupOf(op.stream);
-    const CtVal &a = valFor(op.args[0], op.stream);
-    const std::size_t level = op.level;
-    const uint64_t galois =
-        op.kind == CtOpKind::Conjugate
-            ? ctx_->galoisForConjugation()
-            : ctx_->galoisForRotation(op.rotation);
-    if (galois == 1) {
-        vals_[op.id] = a; // rotation by zero
-        return;
-    }
-
-    const KsAnnotation &ann = pass_.of(op.id);
-    const bool cifher = ann.algo == KsAlgo::Cifher;
-
-    // Hoisted broadcast: reuse the batch's coefficient copies.
-    std::vector<std::vector<int>> bc;
-    if (ann.batch >= 0 && !cifher) {
-        auto it = ib_cache_.find(ann.batch);
-        if (it != ib_cache_.end()) {
-            bc = it->second;
-        } else {
-            bc = broadcastPolyCoeff(g, a.regs[1], level);
-            ib_cache_.emplace(ann.batch, bc);
-        }
-    } else {
-        bc = broadcastPolyCoeff(g, a.regs[1], level);
-    }
-
-    std::ostringstream key;
-    key << "galois:" << galois;
-    auto ks = lowerKsCompute(g, bc, level, key.str(), galois, cifher);
-
-    CtVal out;
-    out.level = level;
-    out.scale = op.scale;
-    out.stream = op.stream;
-    out.regs[1] = ks[1];
-    out.regs[0].resize(level + 1);
-    for (std::size_t i = 0; i <= level; ++i) {
-        const uint32_t chip = chipOfLimb(g, i);
-        const uint32_t prime = static_cast<uint32_t>(i);
-        const int c0 = emitUnary(chip, Opcode::Intt, a.regs[0][i], prime);
-        const int rot =
-            emitUnary(chip, Opcode::Automorph, c0, prime, galois);
-        const int ev = emitUnary(chip, Opcode::Ntt, rot, prime);
-        out.regs[0][i] =
-            emitBinary(chip, Opcode::Add, ev, ks[0][i], prime);
-    }
-    vals_[op.id] = std::move(out);
-}
-
-void
-LowerImpl::lowerOaBatchAtRoot(const CtOp &root, const OaBatch &batch)
-{
-    const Group g = groupOf(root.stream);
-    const std::size_t level = root.level;
-    const rns::Basis special = ctx_->specialBasis();
-    const auto digits = chipDigitBases(level, g.size());
-    CINN_FATAL_UNLESS(digits.size() == g.size(),
-                      "output aggregation requires level+1 >= group "
-                      "size so every chip owns a digit");
-
-    // Full output basis: all ciphertext limbs + all specials.
-    std::vector<uint32_t> full;
-    for (std::size_t i = 0; i <= level; ++i)
-        full.push_back(static_cast<uint32_t>(i));
-    for (uint32_t s : special)
-        full.push_back(s);
-
-    // Per chip: accumulators over the full basis; per-limb c0 sums.
-    std::vector<std::array<std::map<uint32_t, int>, 2>> acc(cfg_.chips);
-    std::vector<int> c0sum(level + 1, -1);
-
-    for (uint32_t c = g.lo; c < g.hi; ++c) {
-        const std::size_t p = c - g.lo;
-        const rns::Basis &digit = digits[p];
-
-        for (std::size_t m = 0; m < batch.rotations.size(); ++m) {
-            const CtOp &rot = prog_->op(batch.rotations[m]);
-            const CtVal &a = valFor(rot.args[0], root.stream);
-            const uint64_t galois = ctx_->galoisForRotation(rot.rotation);
-            std::ostringstream key;
-            key << "galois:" << galois;
-
-            // Digit limbs: this chip's resident limbs of c1, rotated.
-            std::vector<int> scaled(digit.size());
-            std::vector<int> rotated(digit.size());
-            for (std::size_t d = 0; d < digit.size(); ++d) {
-                const uint32_t prime = digit[d];
-                const int coeff = emitUnary(c, Opcode::Intt,
-                                            a.regs[1][prime], prime);
-                rotated[d] = emitUnary(c, Opcode::Automorph, coeff,
-                                       prime, galois);
-                scaled[d] = emitUnary(c, Opcode::MulScalar, rotated[d],
-                                      prime, digitShatInv(digit, d));
-            }
-
-            for (uint32_t t : full) {
-                int up;
-                auto pos = std::find(digit.begin(), digit.end(), t);
-                if (pos != digit.end()) {
-                    up = rotated[pos - digit.begin()];
-                } else {
-                    Instruction ins;
-                    ins.op = Opcode::BConv;
-                    ins.dst = newReg(c);
-                    ins.srcs = scaled;
-                    ins.aux = digit;
-                    ins.prime = t;
-                    up = ins.dst;
-                    emit(c, std::move(ins));
-                }
-                const int up_eval = emitUnary(c, Opcode::Ntt, up, t);
-                for (int poly = 0; poly < 2; ++poly) {
-                    DataDescriptor desc;
-                    desc.kind = DataDescriptor::Kind::EvalKey;
-                    desc.name = key.str();
-                    desc.poly = poly;
-                    desc.prime = t;
-                    desc.digit = p;
-                    desc.galois = galois;
-                    desc.chip_digits = true;
-                    desc.group_size = static_cast<uint32_t>(g.size());
-                    const int k = emitLoad(c, desc);
-                    const int prod =
-                        emitBinary(c, Opcode::Mul, up_eval, k, t);
-                    auto it = acc[c][poly].find(t);
-                    if (it == acc[c][poly].end()) {
-                        acc[c][poly][t] = prod;
-                    } else {
-                        it->second = emitBinary(c, Opcode::Add,
-                                                it->second, prod, t);
-                    }
-                }
-            }
-
-            // c0 part: owners accumulate Σ_r auto(c0_r) locally.
-            for (std::size_t d = 0; d < digit.size(); ++d) {
-                const uint32_t prime = digit[d];
-                const int c0 = emitUnary(c, Opcode::Intt,
-                                         a.regs[0][prime], prime);
-                const int rc0 = emitUnary(c, Opcode::Automorph, c0,
-                                          prime, galois);
-                const int ev = emitUnary(c, Opcode::Ntt, rc0, prime);
-                if (c0sum[prime] < 0) {
-                    c0sum[prime] = ev;
-                } else {
-                    c0sum[prime] = emitBinary(c, Opcode::Add,
-                                              c0sum[prime], ev, prime);
-                }
-            }
-        }
-    }
-
-    // Local mod-down on every chip, then ONE batched aggregate+scatter
-    // per output polynomial (limb-by-limb Agg collectives).
-    CtVal out;
-    out.level = level;
-    out.scale = root.scale;
-    out.stream = root.stream;
-    for (int poly = 0; poly < 2; ++poly) {
-        // Pre-scale extension limbs and mod-down the full basis.
-        std::vector<std::vector<int>> partial(cfg_.chips);
-        for (auto &v : partial)
-            v.assign(level + 1, -1);
-        for (uint32_t c = g.lo; c < g.hi; ++c) {
-            std::vector<int> scaled(special.size());
-            for (std::size_t k = 0; k < special.size(); ++k) {
-                const int coeff =
-                    emitUnary(c, Opcode::Intt,
-                              acc[c][poly].at(special[k]), special[k]);
-                scaled[k] = emitUnary(c, Opcode::MulScalar, coeff,
-                                      special[k],
-                                      digitShatInv(special, k));
-            }
-            for (std::size_t i = 0; i <= level; ++i) {
-                const uint32_t prime = static_cast<uint32_t>(i);
-                const int xi = emitUnary(c, Opcode::Intt,
-                                         acc[c][poly].at(prime), prime);
-                Instruction ins;
-                ins.op = Opcode::BConv;
-                ins.dst = newReg(c);
-                ins.srcs = scaled;
-                ins.aux = special;
-                ins.prime = prime;
-                const int conv = ins.dst;
-                emit(c, std::move(ins));
-                const int diff =
-                    emitBinary(c, Opcode::Sub, xi, conv, prime);
-                partial[c][i] =
-                    emitUnary(c, Opcode::MulScalar, diff, prime,
-                              specialProdInv(prime));
-            }
-        }
-
-        out.regs[poly].resize(level + 1);
-        for (std::size_t i = 0; i <= level; ++i) {
-            const uint32_t owner = chipOfLimb(g, i);
-            const uint32_t prime = static_cast<uint32_t>(i);
-            std::vector<int> srcs(cfg_.chips, -1);
-            for (uint32_t c = g.lo; c < g.hi; ++c)
-                srcs[c] = partial[c][i];
-            const int agg = emitAgg(g, owner, srcs, prime);
-            int ev = emitUnary(owner, Opcode::Ntt, agg, prime);
-            if (poly == 0)
-                ev = emitBinary(owner, Opcode::Add, ev, c0sum[i], prime);
-            // Non-rotation leaves of the add tree join here.
-            for (int extra : batch.extras) {
-                const CtVal &e = valFor(extra, root.stream);
-                ev = emitBinary(owner, Opcode::Add, ev,
-                                e.regs[poly][i], prime);
-            }
-            out.regs[poly][i] = ev;
-        }
-    }
-    vals_[root.id] = std::move(out);
-}
-
-CompiledProgram
-LowerImpl::run()
-{
-    pass_ = runKeyswitchPass(*prog_, cfg_.ks);
-    for (const auto &batch : pass_.oa_batches) {
-        // Output aggregation uses the per-chip limb partition as its
-        // digit partition, so hybrid-keyswitch noise stays bounded
-        // only while every digit's product is below the extension
-        // modulus P (Section 2). Small chip groups make the digits
-        // too large; those batches fall back to per-rotation
-        // input-broadcast lowering.
-        const CtOp &root = prog_->op(batch.root);
-        const Group g = groupOf(root.stream);
-        const std::size_t digit_size =
-            (root.level + g.size()) / g.size();
-        if (digit_size > ctx_->specialBasis().size() ||
-            root.level + 1 < g.size())
-            continue;
-        oa_by_root_.emplace(batch.root, &batch);
-        for (int r : batch.rotations)
-            oa_members_.insert(r);
-        for (int a : batch.tree_adds) {
-            if (a != batch.root)
-                oa_members_.insert(a);
-        }
-    }
-
-    for (const auto &op : prog_->ops()) {
-        if (oa_members_.count(op.id))
-            continue; // folded into a batch, materialized at the root
-        auto root_it = oa_by_root_.find(op.id);
-        if (root_it != oa_by_root_.end()) {
-            lowerOaBatchAtRoot(op, *root_it->second);
-            continue;
-        }
-        switch (op.kind) {
-          case CtOpKind::Input:
-            lowerInput(op);
-            break;
-          case CtOpKind::Output:
-            lowerOutput(op);
-            break;
-          case CtOpKind::Add:
-          case CtOpKind::Sub:
-            lowerElementwise(op);
-            break;
-          case CtOpKind::MulPlain:
-          case CtOpKind::AddPlain:
-            lowerPlain(op);
-            break;
-          case CtOpKind::Rescale:
-            lowerRescale(op);
-            break;
-          case CtOpKind::Mul:
-            lowerMul(op);
-            break;
-          case CtOpKind::Rotate:
-          case CtOpKind::Conjugate:
-            lowerRotation(op);
-            break;
-        }
-    }
+    const LimbProgram &limb = pcx.limb;
+    const CompilerConfig &cfg = pcx.cfg;
 
     CompiledProgram out;
-    out.machine.chips.resize(cfg_.chips);
+    out.machine.chips.resize(cfg.chips);
+    std::vector<int> nreg(cfg.chips, 0);
+    uint64_t next_tag = 1;
+    uint64_t next_addr = 1;
+    std::map<std::string, uint64_t> addr_by_key;
+
+    auto newReg = [&](uint32_t chip) { return nreg[chip]++; };
+    auto emit = [&](uint32_t chip, Instruction ins) {
+        out.machine.chips[chip].instrs.push_back(std::move(ins));
+    };
+
+    for (const LimbUnit &unit : limb.units) {
+        // Global addresses for this unit's descriptors.
+        std::vector<uint64_t> addr(unit.descs.size());
+        for (std::size_t d = 0; d < unit.descs.size(); ++d) {
+            auto it = addr_by_key.find(unit.desc_keys[d]);
+            if (it != addr_by_key.end()) {
+                addr[d] = it->second;
+                continue;
+            }
+            addr[d] = next_addr++;
+            addr_by_key.emplace(unit.desc_keys[d], addr[d]);
+            out.data.emplace(addr[d], unit.descs[d]);
+        }
+
+        std::vector<int> vreg(unit.values.size(), -1);
+        auto regOf = [&](int value) {
+            CINN_ASSERT(value >= 0 && vreg[value] >= 0,
+                        "limb value %" << value
+                                       << " used before definition");
+            return vreg[value];
+        };
+
+        for (const LimbOp &op : unit.ops) {
+            if (op.collective()) {
+                const uint64_t tag = next_tag++;
+                const uint32_t owner = static_cast<uint32_t>(op.imm);
+                for (uint32_t c = op.part_lo; c < op.part_hi; ++c) {
+                    Instruction ins;
+                    ins.op = op.op;
+                    ins.prime = op.prime;
+                    ins.tag = tag;
+                    ins.part_lo = op.part_lo;
+                    ins.part_hi = op.part_hi;
+                    if (op.op == Opcode::Bcast) {
+                        ins.imm = owner;
+                        if (c == owner)
+                            ins.srcs = {regOf(op.args[0])};
+                        const int dv = op.coll_dsts[c - op.part_lo];
+                        if (dv >= 0) {
+                            ins.dst = newReg(c);
+                            vreg[dv] = ins.dst;
+                        }
+                    } else { // Agg
+                        ins.srcs = {
+                            regOf(op.coll_srcs[c - op.part_lo])};
+                        if (c == owner) {
+                            ins.dst = newReg(c);
+                            vreg[op.result] = ins.dst;
+                        }
+                    }
+                    emit(c, std::move(ins));
+                }
+                continue;
+            }
+
+            Instruction ins;
+            ins.op = op.op;
+            ins.prime = op.prime;
+            ins.aux = op.aux;
+            if (op.desc >= 0)
+                ins.imm = addr[op.desc];
+            else
+                ins.imm = op.imm;
+            for (int a : op.args)
+                ins.srcs.push_back(regOf(a));
+            if (op.result >= 0) {
+                ins.dst = newReg(op.chip);
+                vreg[op.result] = ins.dst;
+            }
+            emit(op.chip, std::move(ins));
+        }
+
+        for (const OutputSpec &spec : unit.outputs) {
+            OutputInfo info;
+            info.level = spec.level;
+            info.scale = spec.scale;
+            for (int poly = 0; poly < 2; ++poly) {
+                info.addrs[poly].resize(spec.level + 1);
+                for (std::size_t i = 0; i <= spec.level; ++i)
+                    info.addrs[poly][i] = addr[spec.desc_idx[poly][i]];
+            }
+            info.owners = spec.owners;
+            out.outputs[spec.name] = std::move(info);
+        }
+
+        out.comm.broadcast_limbs += unit.comm.broadcast_limbs;
+        out.comm.aggregation_limbs += unit.comm.aggregation_limbs;
+    }
+
     std::size_t max_vregs = 0;
-    for (std::size_t c = 0; c < cfg_.chips; ++c) {
-        out.machine.chips[c].instrs = std::move(code_[c]);
+    for (std::size_t c = 0; c < cfg.chips; ++c) {
         max_vregs = std::max(max_vregs,
-                             static_cast<std::size_t>(nreg_[c]));
+                             static_cast<std::size_t>(nreg[c]));
     }
     out.machine.num_virtual_regs = max_vregs;
-    out.data = std::move(data_);
-    out.outputs = std::move(outputs_);
-    out.comm = comm_;
-    out.config = cfg_;
-    out.ks_pass = std::move(pass_);
+    out.config = cfg;
+    out.ks_pass = pcx.ks;
 
-    if (cfg_.allocate) {
-        out.regalloc = allocateRegisters(out.machine, cfg_.phys_regs,
-                                         next_addr_,
-                                         cfg_.regalloc_policy);
-    }
-    return out;
+    pcx.next_addr = next_addr;
+    pcx.out = std::move(out);
 }
 
 } // namespace
@@ -1074,11 +162,121 @@ chipDigitBases(std::size_t level, std::size_t group_size)
     return out;
 }
 
+std::string
+cacheKeyOf(const CompilerConfig &config)
+{
+    std::ostringstream key;
+    key << "chips=" << config.chips
+        << ":streams=" << config.num_streams
+        << ":ks=" << cacheKeyOf(config.ks)
+        << ":regs=" << config.phys_regs
+        << ":alloc=" << config.allocate
+        << ":policy=" << static_cast<int>(config.regalloc_policy);
+    return key.str();
+}
+
+std::string
+printIsaProgram(const CompiledProgram &program)
+{
+    std::ostringstream os;
+    os << "isa: " << program.machine.totalInstructions()
+       << " instructions, " << program.machine.numChips()
+       << " chip(s), " << program.data.size()
+       << " data addresses, bcast=" << program.comm.broadcast_limbs
+       << " agg=" << program.comm.aggregation_limbs << "\n";
+    for (std::size_t c = 0; c < program.machine.chips.size(); ++c) {
+        const auto &instrs = program.machine.chips[c].instrs;
+        os << " chip " << c << " (" << instrs.size() << " instrs)\n";
+        for (const auto &ins : instrs)
+            os << "  " << ins.toString() << "\n";
+    }
+    return os.str();
+}
+
+void
+buildCompilerPipeline(PassManager &pm)
+{
+    pm.add(Pass{
+        "expand-poly",
+        "",
+        [](PassContext &p) {
+            p.poly = buildPolyProgram(*p.prog, p.cfg.num_streams);
+        },
+        [](const PassContext &p) { verifyPolyProgram(p.poly); },
+        nullptr,
+        [](const PassContext &p) { return p.poly.liveOps(); },
+    });
+    pm.add(Pass{
+        "keyswitch",
+        "poly",
+        [](PassContext &p) {
+            p.ks = runKeyswitchPass(*p.prog, p.cfg.ks);
+            applyKeyswitchResult(
+                p.poly, *p.prog, p.ks,
+                p.cfg.chips /
+                    static_cast<std::size_t>(p.cfg.num_streams),
+                p.ctx->specialBasis().size());
+        },
+        [](const PassContext &p) { verifyPolyProgram(p.poly); },
+        [](const PassContext &p) { return printPolyProgram(p.poly); },
+        [](const PassContext &p) { return p.poly.liveOps(); },
+    });
+    pm.add(Pass{
+        "lower-limb",
+        "limb",
+        [](PassContext &p) {
+            p.limb = buildLimbProgram(p.poly, *p.ctx, p.cfg);
+        },
+        [](const PassContext &p) { verifyLimbProgram(p.limb); },
+        [](const PassContext &p) { return printLimbProgram(p.limb); },
+        [](const PassContext &p) { return p.limb.totalOps(); },
+    });
+    pm.add(Pass{
+        "lower-isa",
+        "isa",
+        lowerIsaPass,
+        nullptr,
+        [](const PassContext &p) { return printIsaProgram(p.out); },
+        [](const PassContext &p) {
+            return p.out.machine.totalInstructions();
+        },
+    });
+    pm.add(Pass{
+        "regalloc",
+        "",
+        [](PassContext &p) {
+            if (p.cfg.allocate) {
+                p.out.regalloc = allocateRegisters(
+                    p.out.machine, p.cfg.phys_regs, p.next_addr,
+                    p.cfg.regalloc_policy, p.cfg.compile_workers);
+            }
+        },
+        nullptr,
+        nullptr,
+        [](const PassContext &p) {
+            return p.out.machine.totalInstructions();
+        },
+    });
+}
+
 CompiledProgram
 Compiler::compile(const Program &program)
 {
-    LowerImpl impl(*ctx_, program, config_);
-    return impl.run();
+    CINN_FATAL_UNLESS(config_.chips >= 1, "need at least one chip");
+    CINN_FATAL_UNLESS(config_.num_streams >= 1 &&
+                          config_.chips % config_.num_streams == 0,
+                      "chips must divide evenly among streams");
+
+    PassContext pcx;
+    pcx.ctx = ctx_;
+    pcx.prog = &program;
+    pcx.cfg = config_;
+    pcx.trace = trace_;
+
+    PassManager pm;
+    buildCompilerPipeline(pm);
+    pm.run(pcx, dump_);
+    return std::move(pcx.out);
 }
 
 } // namespace cinnamon::compiler

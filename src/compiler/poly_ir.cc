@@ -1,0 +1,506 @@
+#include "compiler/poly_ir.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "compiler/pass.h"
+
+namespace cinnamon::compiler {
+
+namespace {
+
+/** Expansion state: tracks the (c0, c1) pair of every ciphertext op. */
+class PolyBuilder
+{
+  public:
+    PolyBuilder(const Program &program, int num_streams)
+        : prog_(&program), ctx_(&program.context())
+    {
+        out_.num_streams = num_streams;
+    }
+
+    PolyProgram
+    build()
+    {
+        for (const auto &op : prog_->ops())
+            expand(op);
+        return std::move(out_);
+    }
+
+  private:
+    PolyOp &
+    emit(PolyOpKind kind, const CtOp &origin)
+    {
+        PolyOp op;
+        op.id = static_cast<int>(out_.ops.size());
+        op.kind = kind;
+        op.stream = origin.stream;
+        op.level = origin.level;
+        op.scale = origin.scale;
+        op.ct_origin = origin.id;
+        out_.ops.push_back(std::move(op));
+        return out_.ops.back();
+    }
+
+    int
+    value(const CtOp &origin)
+    {
+        return out_.newValue(origin.level, origin.stream, origin.scale);
+    }
+
+    const std::array<int, 2> &
+    ct(int ct_op_id) const
+    {
+        return out_.ct_values.at(ct_op_id);
+    }
+
+    void
+    expand(const CtOp &op)
+    {
+        switch (op.kind) {
+        case CtOpKind::Input: {
+            std::array<int, 2> v{};
+            for (int poly = 0; poly < 2; ++poly) {
+                PolyOp &in = emit(PolyOpKind::Input, op);
+                in.name = op.name;
+                in.poly = poly;
+                v[poly] = value(op);
+                in.results = {v[poly]};
+            }
+            out_.ct_values[op.id] = v;
+            break;
+        }
+        case CtOpKind::Add:
+        case CtOpKind::Sub: {
+            const auto &a = ct(op.args[0]);
+            const auto &b = ct(op.args[1]);
+            std::array<int, 2> v{};
+            for (int poly = 0; poly < 2; ++poly) {
+                PolyOp &o = emit(op.kind == CtOpKind::Add
+                                     ? PolyOpKind::Add
+                                     : PolyOpKind::Sub,
+                                 op);
+                o.args = {a[poly], b[poly]};
+                v[poly] = value(op);
+                o.results = {v[poly]};
+            }
+            out_.ct_values[op.id] = v;
+            break;
+        }
+        case CtOpKind::MulPlain: {
+            const auto &a = ct(op.args[0]);
+            std::array<int, 2> v{};
+            for (int poly = 0; poly < 2; ++poly) {
+                PolyOp &o = emit(PolyOpKind::PlainMul, op);
+                o.name = op.name;
+                o.args = {a[poly]};
+                v[poly] = value(op);
+                o.results = {v[poly]};
+            }
+            out_.ct_values[op.id] = v;
+            break;
+        }
+        case CtOpKind::AddPlain: {
+            // Only c0 changes; c1 is aliased (the limb lowering
+            // migrates the alias if a later consumer lives elsewhere).
+            const auto &a = ct(op.args[0]);
+            PolyOp &o = emit(PolyOpKind::PlainAdd, op);
+            o.name = op.name;
+            o.args = {a[0]};
+            const int r0 = value(op);
+            o.results = {r0};
+            out_.ct_values[op.id] = {r0, a[1]};
+            break;
+        }
+        case CtOpKind::Rescale: {
+            const auto &a = ct(op.args[0]);
+            std::array<int, 2> v{};
+            for (int poly = 0; poly < 2; ++poly) {
+                PolyOp &o = emit(PolyOpKind::Rescale, op);
+                o.args = {a[poly]};
+                v[poly] = value(op);
+                o.results = {v[poly]};
+            }
+            out_.ct_values[op.id] = v;
+            break;
+        }
+        case CtOpKind::Mul: {
+            const auto &a = ct(op.args[0]);
+            const auto &b = ct(op.args[1]);
+            auto product = [&](int x, int y) {
+                PolyOp &o = emit(PolyOpKind::Mul, op);
+                o.args = {x, y};
+                const int r = value(op);
+                o.results = {r};
+                return r;
+            };
+            const int d0 = product(a[0], b[0]);
+            const int t0 = product(a[0], b[1]);
+            const int t1 = product(a[1], b[0]);
+            PolyOp &sum = emit(PolyOpKind::Add, op);
+            sum.args = {t0, t1};
+            const int d1 = value(op);
+            sum.results = {d1};
+            const int d2 = product(a[1], b[1]);
+
+            PolyOp &ks = emit(PolyOpKind::KeySwitch, op);
+            ks.name = "relin";
+            ks.args = {d2};
+            const int k0 = value(op);
+            const int k1 = value(op);
+            ks.results = {k0, k1};
+
+            std::array<int, 2> v{};
+            for (int poly = 0; poly < 2; ++poly) {
+                PolyOp &o = emit(PolyOpKind::Add, op);
+                o.args = {poly == 0 ? d0 : d1, poly == 0 ? k0 : k1};
+                v[poly] = value(op);
+                o.results = {v[poly]};
+            }
+            out_.ct_values[op.id] = v;
+            break;
+        }
+        case CtOpKind::Rotate:
+        case CtOpKind::Conjugate: {
+            const auto &a = ct(op.args[0]);
+            const uint64_t galois =
+                op.kind == CtOpKind::Conjugate
+                    ? ctx_->galoisForConjugation()
+                    : ctx_->galoisForRotation(op.rotation);
+            if (galois == 1) {
+                out_.ct_values[op.id] = a; // rotation by zero
+                break;
+            }
+            PolyOp &ks = emit(PolyOpKind::KeySwitch, op);
+            {
+                std::ostringstream key;
+                key << "galois:" << galois;
+                ks.name = key.str();
+            }
+            ks.galois = galois;
+            ks.args = {a[1]};
+            const int k0 = value(op);
+            const int k1 = value(op);
+            ks.results = {k0, k1};
+
+            PolyOp &am = emit(PolyOpKind::Automorph, op);
+            am.galois = galois;
+            am.args = {a[0]};
+            const int r0 = value(op);
+            am.results = {r0};
+
+            PolyOp &join = emit(PolyOpKind::Add, op);
+            join.args = {r0, k0};
+            const int c0 = value(op);
+            join.results = {c0};
+            out_.ct_values[op.id] = {c0, k1};
+            break;
+        }
+        case CtOpKind::Output: {
+            const auto &a = ct(op.args[0]);
+            PolyOp &o = emit(PolyOpKind::Output, op);
+            o.name = op.name;
+            o.args = {a[0], a[1]};
+            break;
+        }
+        }
+    }
+
+    const Program *prog_;
+    const fhe::CkksContext *ctx_;
+    PolyProgram out_;
+};
+
+const char *
+kindName(PolyOpKind kind)
+{
+    switch (kind) {
+    case PolyOpKind::Input: return "input";
+    case PolyOpKind::Add: return "add";
+    case PolyOpKind::Sub: return "sub";
+    case PolyOpKind::Mul: return "mul";
+    case PolyOpKind::PlainMul: return "plain_mul";
+    case PolyOpKind::PlainAdd: return "plain_add";
+    case PolyOpKind::Rescale: return "rescale";
+    case PolyOpKind::Automorph: return "automorph";
+    case PolyOpKind::KeySwitch: return "keyswitch";
+    case PolyOpKind::OaBatch: return "oa_batch";
+    case PolyOpKind::Output: return "output";
+    }
+    return "?";
+}
+
+const char *
+algoName(KsAlgo algo)
+{
+    switch (algo) {
+    case KsAlgo::InputBroadcast: return "ib";
+    case KsAlgo::OutputAggregation: return "oa";
+    case KsAlgo::Cifher: return "cifher";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw VerifyError("poly IR: " + what);
+}
+
+} // namespace
+
+PolyProgram
+buildPolyProgram(const Program &program, int num_streams)
+{
+    PolyBuilder builder(program, num_streams);
+    return builder.build();
+}
+
+void
+applyKeyswitchResult(PolyProgram &poly, const Program &program,
+                     const KsPassResult &ks, std::size_t group_size,
+                     std::size_t max_digit_size)
+{
+    const fhe::CkksContext &ctx = program.context();
+
+    // Annotate every keyswitch with the algorithm/batch the analysis
+    // chose for its originating ciphertext op.
+    for (auto &op : poly.ops) {
+        if (op.kind != PolyOpKind::KeySwitch || op.ct_origin < 0)
+            continue;
+        const KsAnnotation &ann = ks.of(op.ct_origin);
+        op.algo = ann.algo;
+        op.batch = ann.batch;
+    }
+
+    // Fold each eligible output-aggregation batch into one macro op
+    // sitting at the root's position. Output aggregation uses the
+    // per-chip limb partition as its digit partition, so hybrid-
+    // keyswitch noise stays bounded only while every digit's product
+    // is below the extension modulus (Section 2). Small chip groups
+    // make the digits too large; those batches fall back to
+    // per-rotation input-broadcast lowering.
+    std::map<int, PolyOp> insert_at; // poly op index → OaBatch op
+    for (const auto &batch : ks.oa_batches) {
+        const CtOp &root = program.op(batch.root);
+        const std::size_t digit_size =
+            (root.level + group_size) / group_size;
+        if (digit_size > max_digit_size ||
+            root.level + 1 < group_size)
+            continue;
+
+        std::set<int> members(batch.rotations.begin(),
+                              batch.rotations.end());
+        members.insert(batch.tree_adds.begin(), batch.tree_adds.end());
+        members.insert(batch.root);
+
+        PolyOp oa;
+        oa.kind = PolyOpKind::OaBatch;
+        oa.stream = root.stream;
+        oa.level = root.level;
+        oa.scale = root.scale;
+        oa.ct_origin = root.id;
+        oa.algo = KsAlgo::OutputAggregation;
+        for (int r : batch.rotations) {
+            const CtOp &rot = program.op(r);
+            const auto &av = poly.ct_values.at(rot.args[0]);
+            oa.args.push_back(av[1]);
+            oa.args.push_back(av[0]);
+            oa.rotation_galois.push_back(
+                ctx.galoisForRotation(rot.rotation));
+        }
+        for (int e : batch.extras) {
+            const auto &ev = poly.ct_values.at(e);
+            oa.args.push_back(ev[0]);
+            oa.args.push_back(ev[1]);
+        }
+        oa.num_extras = batch.extras.size();
+        // Reuse the root's value ids so downstream consumers are
+        // untouched; the dead member defs are compacted away below.
+        const auto &rv = poly.ct_values.at(batch.root);
+        oa.results = {rv[0], rv[1]};
+
+        int first_root_op = -1;
+        for (auto &op : poly.ops) {
+            if (op.dead || members.count(op.ct_origin) == 0)
+                continue;
+            op.dead = true;
+            if (op.ct_origin == root.id && first_root_op < 0)
+                first_root_op = op.id;
+        }
+        CINN_ASSERT(first_root_op >= 0,
+                    "OA batch root has no poly ops to replace");
+        insert_at.emplace(first_root_op, std::move(oa));
+    }
+    if (insert_at.empty())
+        return;
+
+    // Compact: drop dead ops, splice the macro ops in, renumber.
+    std::vector<PolyOp> next;
+    next.reserve(poly.ops.size());
+    for (auto &op : poly.ops) {
+        auto it = insert_at.find(op.id);
+        if (it != insert_at.end())
+            next.push_back(std::move(it->second));
+        if (!op.dead)
+            next.push_back(std::move(op));
+    }
+    for (std::size_t i = 0; i < next.size(); ++i)
+        next[i].id = static_cast<int>(i);
+    poly.ops = std::move(next);
+}
+
+std::string
+printPolyProgram(const PolyProgram &poly)
+{
+    std::ostringstream os;
+    os << "poly IR: " << poly.liveOps() << " ops, "
+       << poly.values.size() << " values, " << poly.num_streams
+       << " stream(s)\n";
+    for (const auto &op : poly.ops) {
+        if (op.dead)
+            continue;
+        os << "  #" << op.id << " s" << op.stream << " "
+           << kindName(op.kind);
+        if (!op.name.empty())
+            os << " '" << op.name << "'";
+        if (op.kind == PolyOpKind::Input)
+            os << " poly=" << op.poly;
+        if (op.galois != 1)
+            os << " galois=" << op.galois;
+        if (op.kind == PolyOpKind::KeySwitch) {
+            os << " algo=" << algoName(op.algo);
+            if (op.batch >= 0)
+                os << " batch=" << op.batch;
+        }
+        if (op.kind == PolyOpKind::OaBatch)
+            os << " rotations=" << op.rotation_galois.size()
+               << " extras=" << op.num_extras;
+        os << " L" << op.level;
+        if (!op.args.empty()) {
+            os << " (";
+            for (std::size_t i = 0; i < op.args.size(); ++i)
+                os << (i ? " " : "") << "%" << op.args[i];
+            os << ")";
+        }
+        if (!op.results.empty()) {
+            os << " -> ";
+            for (std::size_t i = 0; i < op.results.size(); ++i)
+                os << (i ? " " : "") << "%" << op.results[i];
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+verifyPolyProgram(const PolyProgram &poly)
+{
+    std::vector<char> defined(poly.values.size(), 0);
+    auto str = [](auto v) { return std::to_string(v); };
+    auto checkValue = [&](int v, const PolyOp &op) -> const PolyValue & {
+        if (v < 0 || v >= static_cast<int>(poly.values.size()))
+            fail("op #" + str(op.id) + " references value %" + str(v) +
+                 " out of range");
+        if (!defined[v])
+            fail("op #" + str(op.id) + " uses %" + str(v) +
+                 " before its definition");
+        return poly.values[v];
+    };
+
+    for (const auto &op : poly.ops) {
+        if (op.dead)
+            continue;
+        if (op.stream < 0 || op.stream >= poly.num_streams)
+            fail("op #" + str(op.id) + " stream " + str(op.stream) +
+                 " outside [0, " + str(poly.num_streams) + ")");
+        std::vector<const PolyValue *> args;
+        for (int a : op.args)
+            args.push_back(&checkValue(a, op));
+
+        switch (op.kind) {
+        case PolyOpKind::Input:
+            if (op.args.size() != 0 || op.results.size() != 1)
+                fail("input op #" + str(op.id) + " malformed");
+            break;
+        case PolyOpKind::Add:
+        case PolyOpKind::Sub:
+        case PolyOpKind::Mul: {
+            if (args.size() != 2 || op.results.size() != 1)
+                fail("binary op #" + str(op.id) + " malformed");
+            if (args[0]->level != args[1]->level)
+                fail("op #" + str(op.id) + " operand levels differ (" +
+                     str(args[0]->level) + " vs " +
+                     str(args[1]->level) + ")");
+            if (op.kind != PolyOpKind::Mul) {
+                const double sa = args[0]->scale, sb = args[1]->scale;
+                if (std::abs(sa - sb) >
+                    1e-6 * std::max(std::abs(sa), std::abs(sb)))
+                    fail("op #" + str(op.id) +
+                         " operand scales differ");
+            }
+            break;
+        }
+        case PolyOpKind::PlainMul:
+        case PolyOpKind::PlainAdd:
+        case PolyOpKind::Automorph:
+            if (args.size() != 1 || op.results.size() != 1)
+                fail("unary op #" + str(op.id) + " malformed");
+            if (args[0]->level != op.level)
+                fail("op #" + str(op.id) + " level mismatch");
+            break;
+        case PolyOpKind::Rescale:
+            if (args.size() != 1 || op.results.size() != 1)
+                fail("rescale op #" + str(op.id) + " malformed");
+            if (args[0]->level < 1)
+                fail("rescale op #" + str(op.id) + " at level 0");
+            if (op.level != args[0]->level - 1)
+                fail("rescale op #" + str(op.id) +
+                     " must drop exactly one level");
+            break;
+        case PolyOpKind::KeySwitch:
+            if (args.size() != 1 || op.results.size() != 2)
+                fail("keyswitch op #" + str(op.id) + " malformed");
+            if (args[0]->level != op.level)
+                fail("keyswitch op #" + str(op.id) + " level mismatch");
+            break;
+        case PolyOpKind::OaBatch: {
+            const std::size_t expect =
+                2 * op.rotation_galois.size() + 2 * op.num_extras;
+            if (args.size() != expect || op.results.size() != 2)
+                fail("oa_batch op #" + str(op.id) + " malformed");
+            if (op.rotation_galois.empty())
+                fail("oa_batch op #" + str(op.id) + " has no rotations");
+            for (const auto *a : args) {
+                if (a->level != op.level)
+                    fail("oa_batch op #" + str(op.id) +
+                         " member level mismatch");
+            }
+            break;
+        }
+        case PolyOpKind::Output:
+            if (args.size() != 2 || !op.results.empty())
+                fail("output op #" + str(op.id) + " malformed");
+            if (args[0]->level != args[1]->level)
+                fail("output op #" + str(op.id) +
+                     " polynomial levels differ");
+            break;
+        }
+
+        for (int r : op.results) {
+            if (r < 0 || r >= static_cast<int>(poly.values.size()))
+                fail("op #" + str(op.id) + " defines value %" + str(r) +
+                     " out of range");
+            if (defined[r])
+                fail("value %" + str(r) + " defined more than once");
+            if (poly.values[r].level != op.level)
+                fail("op #" + str(op.id) + " result %" + str(r) +
+                     " level disagrees with the op");
+            defined[r] = 1;
+        }
+    }
+}
+
+} // namespace cinnamon::compiler

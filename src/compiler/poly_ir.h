@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The polynomial IR (Section 4.2, step 2) — the first materialized
+ * stage of the pass pipeline.
+ *
+ * Ciphertext ops are expanded into SSA operations over whole RNS
+ * polynomials: a ciphertext is a pair of PolyValues (c0, c1), a
+ * multiplication becomes the four cross products plus a relinearizing
+ * KeySwitch, a rotation becomes a KeySwitch of c1 plus an on-chip
+ * Automorph of c0. The IR is still *placement-free*: values carry a
+ * level and the program stream they belong to, but no chip or limb
+ * assignment — that is the limb IR's job (limb_ir.h).
+ *
+ * The keyswitch pass (ks_pass.h) runs over this IR: it annotates
+ * KeySwitch ops with the algorithm/batch choice and folds eligible
+ * rotation-and-aggregate trees into a single OaBatch macro op whose
+ * limb lowering emits the paper's two batched aggregations.
+ *
+ * Multi-result ops (KeySwitch, OaBatch produce both output
+ * polynomials) are expressed with a `results` list; SSA means every
+ * value id is defined by exactly one live op.
+ */
+
+#ifndef CINNAMON_COMPILER_POLY_IR_H_
+#define CINNAMON_COMPILER_POLY_IR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/dsl.h"
+#include "compiler/ks_pass.h"
+
+namespace cinnamon::compiler {
+
+/** One RNS polynomial value (limbs 0..level), placement-free. */
+struct PolyValue
+{
+    int id = -1;
+    std::size_t level = 0;
+    int stream = 0;
+    double scale = 0.0; ///< scale of the ciphertext it belongs to
+};
+
+enum class PolyOpKind {
+    Input,     ///< named external polynomial (name, poly index)
+    Add,       ///< elementwise sum (Eval domain)
+    Sub,       ///< elementwise difference
+    Mul,       ///< elementwise product
+    PlainMul,  ///< multiply by a named encoded plaintext
+    PlainAdd,  ///< add a named encoded plaintext
+    Rescale,   ///< drop the top limb, divide by its prime
+    Automorph, ///< Galois automorphism (INTT → map → NTT)
+    KeySwitch, ///< hybrid keyswitch of one polynomial → (p0, p1)
+    OaBatch,   ///< folded rotate-and-aggregate batch → (c0, c1)
+    Output,    ///< named external result (c0, c1)
+};
+
+/** One polynomial-level operation. */
+struct PolyOp
+{
+    int id = -1;
+    PolyOpKind kind = PolyOpKind::Input;
+    std::vector<int> args;    ///< operand value ids
+    std::vector<int> results; ///< defined value ids
+    std::string name;    ///< input/output/plain name; key name for
+                         ///  KeySwitch ("relin" / "galois:<g>")
+    int poly = 0;        ///< Input: which ciphertext polynomial
+    uint64_t galois = 1; ///< Automorph/KeySwitch Galois element
+    int stream = 0;
+    std::size_t level = 0;
+    double scale = 0.0;
+
+    // KeySwitch annotations (filled by the keyswitch pass).
+    KsAlgo algo = KsAlgo::InputBroadcast;
+    int batch = -1;     ///< input-broadcast batch id (-1: unbatched)
+    int ct_origin = -1; ///< originating ciphertext op id
+
+    // OaBatch payload: args = [rot0_c1, rot0_c0, rot1_c1, rot1_c0,
+    // ..., extra0_c0, extra0_c1, ...]; one Galois element per folded
+    // rotation; `num_extras` trailing (c0, c1) pairs join the sum
+    // after the batched aggregation.
+    std::vector<uint64_t> rotation_galois;
+    std::size_t num_extras = 0;
+
+    bool dead = false; ///< marked by folding, removed by compaction
+};
+
+/** The polynomial IR of one program. */
+struct PolyProgram
+{
+    std::vector<PolyOp> ops;
+    std::vector<PolyValue> values;
+    int num_streams = 1;
+    /** Ciphertext op id → its (c0, c1) value ids. */
+    std::map<int, std::array<int, 2>> ct_values;
+
+    int
+    newValue(std::size_t level, int stream, double scale)
+    {
+        PolyValue v;
+        v.id = static_cast<int>(values.size());
+        v.level = level;
+        v.stream = stream;
+        v.scale = scale;
+        values.push_back(v);
+        return v.id;
+    }
+
+    std::size_t
+    liveOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &op : ops)
+            n += op.dead ? 0 : 1;
+        return n;
+    }
+};
+
+/** Expand a ciphertext program (pass "expand-poly"). */
+PolyProgram buildPolyProgram(const Program &program, int num_streams);
+
+/**
+ * Apply a keyswitch analysis to the poly IR (pass "keyswitch"):
+ * annotate every KeySwitch with its algorithm and input-broadcast
+ * batch, and fold each *eligible* output-aggregation batch into one
+ * OaBatch macro op. Eligibility is the noise-growth bound of
+ * Section 2: with per-chip digits of size ceil((level+1)/group) the
+ * digit product must stay below the extension modulus, so batches
+ * whose digits would exceed `max_digit_size` — or whose group has
+ * more chips than the ciphertext has limbs — fall back to
+ * per-rotation lowering.
+ */
+void applyKeyswitchResult(PolyProgram &poly, const Program &program,
+                          const KsPassResult &ks, std::size_t group_size,
+                          std::size_t max_digit_size);
+
+/** Human-readable listing (--dump-ir=poly). */
+std::string printPolyProgram(const PolyProgram &poly);
+
+/**
+ * Inter-pass verifier: SSA well-formedness (unique defs, no
+ * use-before-def), level/scale consistency per op kind, and stream
+ * scoping. Throws VerifyError (pass.h) on the first violation.
+ */
+void verifyPolyProgram(const PolyProgram &poly);
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_POLY_IR_H_

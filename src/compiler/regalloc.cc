@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace cinnamon::compiler {
 
@@ -226,15 +227,25 @@ ChipAllocator::run()
 
 RegAllocStats
 allocateRegisters(isa::MachineProgram &program, std::size_t phys_regs,
-                  uint64_t spill_addr_base, EvictionPolicy policy)
+                  uint64_t spill_addr_base, EvictionPolicy policy,
+                  std::size_t workers)
 {
     CINN_FATAL_UNLESS(phys_regs >= 8,
                       "cannot allocate with fewer than 8 registers");
+    // Chips allocate independently (per-chip register files and spill
+    // memories), so run them in a worker pool and merge the
+    // deterministic per-chip stats afterwards.
+    std::vector<RegAllocStats> per_chip(program.chips.size());
+    parallelFor(program.chips.size(), workers, [&](std::size_t c) {
+        ChipAllocator alloc(program.chips[c].instrs, phys_regs,
+                            spill_addr_base, per_chip[c], policy);
+        program.chips[c].instrs = alloc.run();
+    });
     RegAllocStats stats;
-    for (auto &chip : program.chips) {
-        ChipAllocator alloc(chip.instrs, phys_regs, spill_addr_base,
-                            stats, policy);
-        chip.instrs = alloc.run();
+    for (const auto &s : per_chip) {
+        stats.spill_stores += s.spill_stores;
+        stats.spill_loads += s.spill_loads;
+        stats.max_live = std::max(stats.max_live, s.max_live);
     }
     program.allocated = true;
     return stats;

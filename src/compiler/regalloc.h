@@ -40,17 +40,24 @@ enum class EvictionPolicy { Belady, Lru };
 /**
  * Allocate registers in-place for every chip of `program`.
  *
+ * Chips are fully independent (separate streams, register files, and
+ * spill memories), so they allocate concurrently on `workers`
+ * threads; the result is identical for any worker count.
+ *
  * @param phys_regs physical registers per chip.
  * @param spill_addr_base first memory address usable for spill slots
  *        (addresses below it belong to program data).
  * @param policy eviction policy (Belady unless ablating).
- * @return spill statistics summed over all chips.
+ * @param workers worker threads (0 = one per hardware core).
+ * @return spill statistics: stores/loads summed over all chips,
+ *         max_live the maximum over chips.
  */
 RegAllocStats allocateRegisters(isa::MachineProgram &program,
                                 std::size_t phys_regs,
                                 uint64_t spill_addr_base,
                                 EvictionPolicy policy =
-                                    EvictionPolicy::Belady);
+                                    EvictionPolicy::Belady,
+                                std::size_t workers = 1);
 
 } // namespace cinnamon::compiler
 

@@ -29,21 +29,26 @@ ProgramRuntime::evalKeyFor(const DataDescriptor &desc)
     if (it != key_cache_.end())
         return it->second;
 
+    // Draw the key from a generator derived from (master seed, key
+    // identity): the key bits are then independent of the order the
+    // compiled program first loads its keys in, so reordering passes
+    // in the compiler cannot perturb emulator outputs.
+    fhe::KeyGenerator kg = keygen_->derived(key.str());
     fhe::EvalKey evk;
     if (desc.chip_digits) {
         const auto digits =
             chipDigitBases(ctx_->maxLevel(), desc.group_size);
         if (desc.name == "relin") {
             auto s2 = sk_->s.mul(sk_->s);
-            evk = keygen_->makeKeySwitchKeyForDigits(*sk_, s2, digits);
+            evk = kg.makeKeySwitchKeyForDigits(*sk_, s2, digits);
         } else {
-            evk = keygen_->galoisKeyForDigits(*sk_, desc.galois, digits);
+            evk = kg.galoisKeyForDigits(*sk_, desc.galois, digits);
         }
     } else {
         if (desc.name == "relin") {
-            evk = keygen_->relinKey(*sk_);
+            evk = kg.relinKey(*sk_);
         } else {
-            evk = keygen_->galoisKey(*sk_, desc.galois);
+            evk = kg.galoisKey(*sk_, desc.galois);
         }
     }
     return key_cache_.emplace(key.str(), std::move(evk)).first->second;

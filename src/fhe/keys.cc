@@ -5,8 +5,20 @@
 namespace cinnamon::fhe {
 
 KeyGenerator::KeyGenerator(const CkksContext &ctx, uint64_t seed)
-    : ctx_(&ctx), rng_(seed)
+    : ctx_(&ctx), seed_(seed), rng_(seed)
 {
+}
+
+KeyGenerator
+KeyGenerator::derived(const std::string &identity) const
+{
+    // FNV-1a over the identity, mixed with the master seed.
+    uint64_t h = 14695981039346656037ull ^ seed_;
+    for (char c : identity) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return KeyGenerator(*ctx_, h);
 }
 
 rns::RnsPoly

@@ -72,6 +72,15 @@ class KeyGenerator
   public:
     KeyGenerator(const CkksContext &ctx, uint64_t seed);
 
+    /**
+     * A generator whose stream is a pure function of (this generator's
+     * seed, identity). Evaluation keys drawn from a derived generator
+     * are independent of the order they are requested in, so compiled
+     * programs that load the same keys always see the same key bits no
+     * matter how the compiler scheduled the loads.
+     */
+    KeyGenerator derived(const std::string &identity) const;
+
     /** Sample a fresh ternary secret key. */
     SecretKey secretKey();
 
@@ -113,6 +122,8 @@ class KeyGenerator
 
     Rng &rng() { return rng_; }
 
+    uint64_t seed() const { return seed_; }
+
   private:
     /** Sample a uniform polynomial over `basis` in the Eval domain. */
     rns::RnsPoly sampleUniform(const rns::Basis &basis);
@@ -121,6 +132,7 @@ class KeyGenerator
     rns::RnsPoly sampleError(const rns::Basis &basis);
 
     const CkksContext *ctx_;
+    uint64_t seed_;
     Rng rng_;
 };
 

@@ -68,6 +68,8 @@ struct Response
     double service_ms = 0.0; ///< dequeue → completion (incl. group wait)
     double total_ms = 0.0;   ///< admission → completion
     double sim_seconds = 0.0; ///< simulated on-accelerator time
+    /** Host wall-clock ms compiling for this request (0 = all hits). */
+    double compile_ms = 0.0;
 
     /** FNV-1a over the output ciphertext limbs (0 if not emulated). */
     uint64_t output_hash = 0;

@@ -236,13 +236,15 @@ Server::process(const Request &request, std::size_t worker)
                 runner_->run(bench, options_.group_size, options_.hw,
                              options_.group_size);
             resp.sim_seconds = timing.seconds;
+            resp.compile_ms = timing.compile_ms;
         }
 
         // End-to-end functional execution at small parameter sets.
         if (options_.emulate && ctx_->n() <= options_.emulate_max_n) {
             auto s = span("probe");
             resp.output_hash =
-                runProbe(request, options_.group_size);
+                runProbe(request, options_.group_size,
+                         &resp.compile_ms);
         }
 
         // Model the accelerator group's real occupancy: the host
@@ -267,15 +269,21 @@ Server::process(const Request &request, std::size_t worker)
         metrics.histogram("serve.queue_ms").observe(resp.queue_ms);
         metrics.histogram("serve.service_ms").observe(resp.service_ms);
         metrics.histogram("serve.total_ms").observe(resp.total_ms);
+        metrics.histogram("serve.compile_ms").observe(resp.compile_ms);
     }
     return resp;
 }
 
 uint64_t
-Server::runProbe(const Request &request, std::size_t group_chips)
+Server::runProbe(const Request &request, std::size_t group_chips,
+                 double *compile_ms)
 {
+    double probe_compile_ms = 0.0;
     const auto &compiled = runner_->compiled(
-        catalog_->probe(), group_chips, options_.hw.phys_regs, {});
+        catalog_->probe(), group_chips, options_.hw.phys_regs, {},
+        &probe_compile_ms);
+    if (compile_ms != nullptr)
+        *compile_ms += probe_compile_ms;
 
     // All randomness is derived from the request seed, so the output
     // hash is a pure function of (seed, catalog, parameters) — never

@@ -117,8 +117,12 @@ class Server
     void workerLoop(std::size_t worker);
     Response process(const Request &request, std::size_t worker);
 
-    /** The end-to-end emulator probe; returns the output hash. */
-    uint64_t runProbe(const Request &request, std::size_t group_chips);
+    /**
+     * The end-to-end emulator probe; returns the output hash. Any
+     * wall-clock ms spent compiling the probe is added to *compile_ms.
+     */
+    uint64_t runProbe(const Request &request, std::size_t group_chips,
+                      double *compile_ms = nullptr);
 
     const fhe::CkksContext *ctx_;
     ServeOptions options_;

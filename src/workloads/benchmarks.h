@@ -76,6 +76,8 @@ struct BenchTiming
     double memory_util = 0.0;
     double network_util = 0.0;
     std::size_t kernels_simulated = 0;
+    /** Host wall-clock ms spent compiling (0 when every kernel hit). */
+    double compile_ms = 0.0;
 };
 
 /** Published comparison numbers (Table 2), seconds. NaN if absent. */
@@ -121,10 +123,16 @@ class BenchmarkRunner
                                 const sim::HardwareConfig &hw,
                                 const compiler::KsPassOptions &ks);
 
-    /** Compile a kernel for a group (cached). */
+    /**
+     * Compile a kernel for a group (cached).
+     *
+     * @param compile_ms if non-null, receives the wall-clock ms this
+     *        call spent in the compiler (0 on a cache hit).
+     */
     const compiler::CompiledProgram &
     compiled(const compiler::Program &kernel, std::size_t group,
-             std::size_t phys_regs, const compiler::KsPassOptions &ks);
+             std::size_t phys_regs, const compiler::KsPassOptions &ks,
+             double *compile_ms = nullptr);
 
     /** Combined hit/miss counters over both caches. */
     CacheStats

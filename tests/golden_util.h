@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared machinery for the compiler golden-equivalence suite.
+ *
+ * The staged pass pipeline must produce programs whose *emulated
+ * outputs* are bit-identical to the pre-refactor single-pass
+ * compiler's. This header pins everything that feeds those bits:
+ * deterministic per-name input/plaintext vectors, per-name encryption
+ * randomness, a canonical kernel set (bootstrap / ResNet / HELR /
+ * BERT shapes at test scale), and an order-independent FNV-1a hash
+ * over the output ciphertext limbs. The recorded golden hashes in
+ * test_pipeline.cc were produced by running exactly this code against
+ * the pre-refactor compiler (commit bc3eb2b).
+ */
+
+#ifndef CINNAMON_TESTS_GOLDEN_UTIL_H_
+#define CINNAMON_TESTS_GOLDEN_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/dsl.h"
+#include "compiler/lowering.h"
+#include "compiler/runtime.h"
+#include "fhe/ciphertext.h"
+#include "workloads/kernels.h"
+
+#include "fhe_test_util.h"
+
+namespace cinnamon::testutil {
+
+inline uint64_t
+fnv1aBytes(const void *data, std::size_t len, uint64_t h)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+inline uint64_t
+fnv1aString(const std::string &s,
+            uint64_t h = 14695981039346656037ull)
+{
+    return fnv1aBytes(s.data(), s.size(), h);
+}
+
+/** Deterministic slot vector derived from a name (inputs & plains). */
+inline std::vector<fhe::Cplx>
+goldenSlots(const fhe::CkksContext &ctx, const std::string &name,
+            uint64_t tweak)
+{
+    Rng rng(fnv1aString(name) ^ tweak);
+    std::vector<fhe::Cplx> v(ctx.slots());
+    for (auto &x : v)
+        x = fhe::Cplx(rng.uniformReal(-1.0, 1.0),
+                      rng.uniformReal(-1.0, 1.0));
+    return v;
+}
+
+/** The golden kernel set: paper workloads at test scale. */
+struct GoldenCase
+{
+    std::string id;
+    compiler::Program prog;
+};
+
+/** Requires a context with maxLevel >= 15 (e.g. makeTest(1<<10, 16, 4)). */
+inline std::vector<GoldenCase>
+goldenKernels(const fhe::CkksContext &ctx)
+{
+    namespace wl = cinnamon::workloads;
+    wl::BootstrapShape shape;
+    shape.start_level = ctx.maxLevel();
+    shape.c2s_stages = 2;
+    shape.s2c_stages = 2;
+    shape.bsgs_baby = 3;
+    shape.bsgs_giant = 3;
+    shape.evalmod_depth = 6;
+
+    std::vector<GoldenCase> cases;
+    cases.push_back({"bootstrap", wl::bootstrapKernel(ctx, shape)});
+    cases.push_back(
+        {"resnet_conv", wl::bsgsMatVecKernel(ctx, 10, 4, 4, "resnet_conv")});
+    cases.push_back(
+        {"helr_mv", wl::bsgsMatVecKernel(ctx, 7, 3, 2, "helr_mv")});
+    cases.push_back({"bert_gelu", wl::polyEvalKernel(ctx, 8, 3)});
+    return cases;
+}
+
+/**
+ * Compile `prog` under `cfg`, bind deterministic inputs/plaintexts,
+ * run the emulator, and hash the output ciphertexts bit-for-bit.
+ */
+inline uint64_t
+compileRunHash(CkksHarness &h, const compiler::Program &prog,
+               const compiler::CompilerConfig &cfg)
+{
+    compiler::Compiler comp(*h.ctx, cfg);
+    auto compiled = comp.compile(prog);
+
+    compiler::ProgramRuntime runtime(*h.ctx, *h.encoder, *h.keygen,
+                                     h.sk);
+    std::set<std::string> bound_plains;
+    for (const auto &op : prog.ops()) {
+        if (op.kind == compiler::CtOpKind::Input) {
+            auto slots = goldenSlots(*h.ctx, op.name, 0x5eed);
+            auto plain = h.encoder->encode(slots, op.level);
+            Rng enc_rng(fnv1aString(op.name) ^ 0x9e3779b97f4a7c15ull);
+            runtime.bindInput(op.name,
+                              h.eval->encrypt(plain, h.params.scale,
+                                              h.sk, enc_rng));
+        } else if ((op.kind == compiler::CtOpKind::MulPlain ||
+                    op.kind == compiler::CtOpKind::AddPlain) &&
+                   bound_plains.insert(op.name).second) {
+            runtime.bindPlain(op.name,
+                              goldenSlots(*h.ctx, op.name, 0x9111a));
+        }
+    }
+
+    auto outputs = runtime.run(compiled);
+    uint64_t hash = 14695981039346656037ull;
+    for (const auto &[name, ct] : outputs) {
+        hash = fnv1aString(name, hash);
+        uint64_t level = ct.level;
+        hash = fnv1aBytes(&level, sizeof(level), hash);
+        uint64_t scale_bits;
+        std::memcpy(&scale_bits, &ct.scale, sizeof(scale_bits));
+        hash = fnv1aBytes(&scale_bits, sizeof(scale_bits), hash);
+        for (const rns::RnsPoly *p : {&ct.c0, &ct.c1}) {
+            for (std::size_t i = 0; i < p->numLimbs(); ++i) {
+                const auto &limb = p->limb(i);
+                hash = fnv1aBytes(limb.data(),
+                                  limb.size() * sizeof(limb[0]), hash);
+            }
+        }
+    }
+    return hash;
+}
+
+} // namespace cinnamon::testutil
+
+#endif // CINNAMON_TESTS_GOLDEN_UTIL_H_
