@@ -12,6 +12,8 @@
 #include "common/random.h"
 #include "fhe/evaluator.h"
 #include "rns/base_conv.h"
+#include "rns/kernels.h"
+#include "rns/modarith.h"
 #include "rns/ntt.h"
 #include "rns/prime_gen.h"
 
@@ -47,6 +49,78 @@ BM_MulMod(benchmark::State &state)
 BENCHMARK(BM_MulMod);
 
 static void
+BM_MulModShoup(benchmark::State &state)
+{
+    Rng rng(1);
+    const rns::Modulus &mod = context().modulus(0);
+    const uint64_t q = mod.value();
+    auto xs = rng.uniformVector(4096, q);
+    const uint64_t s = rng.uniformMod(q);
+    const uint64_t s_shoup = rns::shoupPrecompute(s, q);
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (uint64_t x : xs)
+            acc ^= rns::mulModShoup(x, s, s_shoup, q);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_MulModShoup);
+
+/** The span kernels the flat data plane dispatches through. */
+static void
+BM_SpanKernelAdd(benchmark::State &state)
+{
+    Rng rng(6);
+    const uint64_t q = context().modulus(0).value();
+    auto a = rng.uniformVector(kN, q);
+    auto b = rng.uniformVector(kN, q);
+    std::vector<uint64_t> dst(kN);
+    const auto &kt = rns::kernels();
+    for (auto _ : state) {
+        kt.add(dst.data(), a.data(), b.data(), kN, q);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SpanKernelAdd);
+
+static void
+BM_SpanKernelMul(benchmark::State &state)
+{
+    Rng rng(7);
+    const rns::Modulus &mod = context().modulus(0);
+    auto a = rng.uniformVector(kN, mod.value());
+    auto b = rng.uniformVector(kN, mod.value());
+    std::vector<uint64_t> dst(kN);
+    const auto &kt = rns::kernels();
+    for (auto _ : state) {
+        kt.mul(dst.data(), a.data(), b.data(), kN, mod);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SpanKernelMul);
+
+static void
+BM_SpanKernelMulScalarShoup(benchmark::State &state)
+{
+    Rng rng(8);
+    const uint64_t q = context().modulus(0).value();
+    auto a = rng.uniformVector(kN, q);
+    std::vector<uint64_t> dst(kN);
+    const uint64_t s = rng.uniformMod(q);
+    const uint64_t s_shoup = rns::shoupPrecompute(s, q);
+    const auto &kt = rns::kernels();
+    for (auto _ : state) {
+        kt.mulScalarShoup(dst.data(), a.data(), kN, s, s_shoup, q);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SpanKernelMulScalarShoup);
+
+static void
 BM_NttForward(benchmark::State &state)
 {
     const std::size_t n = state.range(0);
@@ -71,7 +145,7 @@ BM_BaseConversion(benchmark::State &state)
     Rng rng(3);
     rns::RnsPoly x(ctx, rns::rangeBasis(0, 4), rns::Domain::Coeff);
     for (std::size_t i = 0; i < 4; ++i)
-        x.limb(i) = rng.uniformVector(kN, ctx.modulus(i).value());
+        x.setLimb(i, rng.uniformVector(kN, ctx.modulus(i).value()));
     for (auto _ : state) {
         auto y = conv.convert(x);
         benchmark::DoNotOptimize(y);

@@ -29,6 +29,7 @@
 #include "common/trace.h"
 #include "compiler/lowering.h"
 #include "compiler/runtime.h"
+#include "exec/backend.h"
 #include "fhe/evaluator.h"
 #include "sim/simulator.h"
 
@@ -120,7 +121,12 @@ main(int argc, char **argv)
                                         params.scale, sk, rng));
     runtime.bindInput("y", eval.encrypt(encoder.encode(vy, 4),
                                         params.scale, sk, rng));
-    auto outputs = runtime.run(compiled);
+    exec::EmulateBackend emulate(runtime);
+    auto report = emulate.execute(compiled);
+    auto &outputs = report.outputs;
+    std::printf("emulated %zu limb ops, output digest %016llx\n",
+                report.emu_stats.total(),
+                static_cast<unsigned long long>(report.digest));
 
     auto ws = encoder.decode(eval.decrypt(outputs.at("window_sum"), sk),
                              outputs.at("window_sum").scale);
@@ -146,8 +152,8 @@ main(int argc, char **argv)
         // Trace the largest machine only: one file, one timeline.
         TraceRecorder trace;
         const bool tracing = chips == 4 && !trace_path.empty();
-        auto res = sim::simulate(prog2.machine, hw,
-                                 tracing ? &trace : nullptr);
+        exec::SimulateBackend simulate(hw, tracing ? &trace : nullptr);
+        auto res = simulate.execute(prog2).sim;
         std::printf("%zu chips x 2 strms %12.0f %9.0f%% %9.0f%% "
                     "%9.0f%%\n",
                     chips, res.cycles,

@@ -1,6 +1,7 @@
 #include "compiler/runtime.h"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -54,7 +55,7 @@ ProgramRuntime::evalKeyFor(const DataDescriptor &desc)
     return key_cache_.emplace(key.str(), std::move(evk)).first->second;
 }
 
-isa::Limb
+isa::LimbRef
 ProgramRuntime::materialize(const DataDescriptor &desc)
 {
     switch (desc.kind) {
@@ -68,7 +69,7 @@ ProgramRuntime::materialize(const DataDescriptor &desc)
         CINN_FATAL_UNLESS(pos >= 0, "input '" << desc.name
                                               << "' lacks limb "
                                               << desc.prime);
-        return isa::Limb{desc.prime, p.limb(pos)};
+        return isa::LimbRef{desc.prime, p.limb(pos)};
       }
       case DataDescriptor::Kind::Plain: {
         std::ostringstream key;
@@ -86,7 +87,7 @@ ProgramRuntime::materialize(const DataDescriptor &desc)
         }
         int pos = cached->second.findPrime(desc.prime);
         CINN_ASSERT(pos >= 0, "plaintext limb missing");
-        return isa::Limb{desc.prime, cached->second.limb(pos)};
+        return isa::LimbRef{desc.prime, cached->second.limb(pos)};
       }
       case DataDescriptor::Kind::EvalKey: {
         const fhe::EvalKey &evk = evalKeyFor(desc);
@@ -97,7 +98,7 @@ ProgramRuntime::materialize(const DataDescriptor &desc)
                                     : evk.parts[desc.digit].second;
         int pos = p.findPrime(desc.prime);
         CINN_ASSERT(pos >= 0, "evaluation key limb missing");
-        return isa::Limb{desc.prime, p.limb(pos)};
+        return isa::LimbRef{desc.prime, p.limb(pos)};
       }
       case DataDescriptor::Kind::Output:
         panic("outputs are not materialized as inputs");
@@ -109,24 +110,34 @@ std::map<std::string, fhe::Ciphertext>
 ProgramRuntime::run(const CompiledProgram &program)
 {
     const std::size_t chips = program.machine.numChips();
-    isa::Emulator emu(*ctx_, chips);
+    if (!emu_ || emu_chips_ != chips) {
+        emu_ = std::make_unique<isa::Emulator>(*ctx_, chips);
+        emu_chips_ = chips;
+    }
+    isa::Emulator &emu = *emu_;
+    emu.setWorkers(emu_workers_);
 
-    // Materialize exactly the addresses each chip loads.
+    // Materialize exactly the addresses each chip loads. Every
+    // address is (re-)stored each run — stores to mapped addresses
+    // overwrite in place — so reusing the emulator never leaks data
+    // from a prior run or a prior input binding into this one.
     for (std::size_t c = 0; c < chips; ++c) {
+        std::unordered_set<uint64_t> stored;
         for (const auto &ins : program.machine.chips[c].instrs) {
             if (ins.op != isa::Opcode::Load)
                 continue;
             auto it = program.data.find(ins.imm);
             if (it == program.data.end())
                 continue; // spill slot, produced by a Store at run time
-            if (emu.memory(c).count(ins.imm))
+            if (!stored.insert(ins.imm).second)
                 continue;
-            emu.memory(c).emplace(ins.imm, materialize(it->second));
+            const isa::LimbRef limb = materialize(it->second);
+            emu.memory(c).store(ins.imm, limb.prime, limb.data);
         }
     }
 
     emu.run(program.machine);
-    last_stats_ = emu.stats();
+    last_stats_ = emu.lastRunStats();
 
     // Collect outputs from the owner chips' memories.
     std::map<std::string, fhe::Ciphertext> outputs;
@@ -139,10 +150,11 @@ ProgramRuntime::run(const CompiledProgram &program)
             rns::RnsPoly p(ctx_->rns(), basis, rns::Domain::Eval);
             for (std::size_t i = 0; i <= info.level; ++i) {
                 const uint32_t chip = info.owners[i];
-                auto it = emu.memory(chip).find(info.addrs[poly][i]);
-                CINN_ASSERT(it != emu.memory(chip).end(),
-                            "output limb was never stored");
-                p.limb(i) = it->second.data;
+                CINN_ASSERT(
+                    emu.memory(chip).contains(info.addrs[poly][i]),
+                    "output limb was never stored");
+                p.setLimb(i,
+                          emu.memory(chip).at(info.addrs[poly][i]).data);
             }
             (poly == 0 ? ct.c0 : ct.c1) = std::move(p);
         }

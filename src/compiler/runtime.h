@@ -17,6 +17,7 @@
 #define CINNAMON_COMPILER_RUNTIME_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,19 @@ class ProgramRuntime
     /** Emulator statistics from the last run. */
     const isa::EmulatorStats &lastStats() const { return last_stats_; }
 
+    /**
+     * Worker threads for the emulator's inter-collective chip advance
+     * (default 1; results are bit-identical at any count).
+     */
+    void setEmulatorWorkers(std::size_t w) { emu_workers_ = w; }
+
   private:
-    /** Produce the limb a descriptor names. */
-    isa::Limb materialize(const DataDescriptor &desc);
+    /**
+     * Produce the limb a descriptor names, as a view into runtime-
+     * owned storage (inputs / plaintext cache / key cache), valid for
+     * the lifetime of this runtime.
+     */
+    isa::LimbRef materialize(const DataDescriptor &desc);
 
     /** Fetch or create the evaluation key a descriptor names. */
     const fhe::EvalKey &evalKeyFor(const DataDescriptor &desc);
@@ -73,7 +84,17 @@ class ProgramRuntime
     std::map<std::string, std::vector<fhe::Cplx>> plains_;
     std::map<std::string, fhe::EvalKey> key_cache_;
     std::map<std::string, rns::RnsPoly> plain_cache_;
+    /**
+     * The emulator is kept across run() calls (rebuilt only when the
+     * chip count changes) so its arena, register files, and address
+     * tables are allocated once; every Load address is re-stored at
+     * the start of each run, so repeated runs — including with
+     * re-bound inputs — stay bit-identical to a fresh emulator.
+     */
+    std::unique_ptr<isa::Emulator> emu_;
+    std::size_t emu_chips_ = 0;
     isa::EmulatorStats last_stats_;
+    std::size_t emu_workers_ = 1;
 };
 
 } // namespace cinnamon::compiler

@@ -1,0 +1,97 @@
+#include "exec/backend.h"
+
+#include "common/random.h"
+
+namespace cinnamon::exec {
+namespace {
+
+uint64_t
+fnv1a(uint64_t h, const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+hashPoly(uint64_t h, const rns::RnsPoly &poly)
+{
+    for (std::size_t i = 0; i < poly.numLimbs(); ++i) {
+        const auto limb = poly.limb(i);
+        h = fnv1a(h, limb.data(), limb.size() * sizeof(uint64_t));
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+hashOutputs(const std::map<std::string, fhe::Ciphertext> &outputs)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto &[name, ct] : outputs) {
+        h = fnv1a(h, name.data(), name.size());
+        const uint64_t level = ct.level;
+        h = fnv1a(h, &level, sizeof(level));
+        h = hashPoly(h, ct.c0);
+        h = hashPoly(h, ct.c1);
+    }
+    return h;
+}
+
+ExecutionReport
+SimulateBackend::execute(const compiler::CompiledProgram &program)
+{
+    ExecutionReport report;
+    report.has_sim = true;
+    report.sim = sim::simulate(program.machine, hw_, trace_);
+    return report;
+}
+
+ExecutionReport
+EmulateBackend::execute(const compiler::CompiledProgram &program)
+{
+    runtime_->setEmulatorWorkers(workers_);
+    ExecutionReport report;
+    report.has_outputs = true;
+    report.outputs = runtime_->run(program);
+    report.emu_stats = runtime_->lastStats();
+    report.digest = hashOutputs(report.outputs);
+    return report;
+}
+
+ExecutionReport
+EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
+                              const fhe::Encoder &encoder,
+                              const compiler::Program &source,
+                              const compiler::CompiledProgram &program,
+                              uint64_t seed, std::size_t workers)
+{
+    // All randomness is derived from the request seed, so the output
+    // digest is a pure function of (seed, program, parameters) —
+    // never of worker count or scheduling order.
+    fhe::KeyGenerator keygen(ctx, seed);
+    auto sk = keygen.secretKey();
+    fhe::Evaluator eval(ctx);
+    Rng data_rng(seed ^ 0x9e3779b97f4a7c15ull);
+
+    compiler::ProgramRuntime runtime(ctx, encoder, keygen, sk);
+    for (const compiler::CtOp &op : source.ops()) {
+        if (op.kind != compiler::CtOpKind::Input)
+            continue;
+        std::vector<fhe::Cplx> values(ctx.slots());
+        for (auto &v : values)
+            v = fhe::Cplx(data_rng.uniformReal(-1.0, 1.0), 0.0);
+        auto plain = encoder.encode(values, op.level);
+        auto ct = eval.encrypt(plain, ctx.params().scale, sk, data_rng);
+        runtime.bindInput(op.name, ct);
+    }
+
+    EmulateBackend backend(runtime, workers);
+    return backend.execute(program);
+}
+
+} // namespace cinnamon::exec

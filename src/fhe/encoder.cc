@@ -119,7 +119,7 @@ Encoder::encode(const std::vector<Cplx> &values, std::size_t level,
     rns::RnsPoly out(ctx_->rns(), basis, rns::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i) {
         const rns::Modulus &mod = ctx_->rns().modulus(basis[i]);
-        auto &limb = out.limb(i);
+        auto limb = out.limb(i);
         for (std::size_t j = 0; j < slots_; ++j) {
             const double re = u[j].real() * scale;
             const double im = u[j].imag() * scale;

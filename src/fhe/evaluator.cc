@@ -28,8 +28,9 @@ Evaluator::encrypt(const rns::RnsPoly &plain, double scale,
 
     rns::RnsPoly c1(ctx_->rns(), basis, rns::Domain::Eval);
     for (std::size_t i = 0; i < basis.size(); ++i) {
-        c1.limb(i) = rng.uniformVector(
-            ctx_->n(), ctx_->rns().modulus(basis[i]).value());
+        c1.setLimb(i, rng.uniformVector(
+                          ctx_->n(),
+                          ctx_->rns().modulus(basis[i]).value()));
     }
 
     auto e = rng.gaussianVector(ctx_->n());

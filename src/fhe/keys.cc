@@ -27,7 +27,7 @@ KeyGenerator::sampleUniform(const rns::Basis &basis)
     rns::RnsPoly p(ctx_->rns(), basis, rns::Domain::Eval);
     for (std::size_t i = 0; i < basis.size(); ++i) {
         const uint64_t q = ctx_->rns().modulus(basis[i]).value();
-        p.limb(i) = rng_.uniformVector(ctx_->n(), q);
+        p.setLimb(i, rng_.uniformVector(ctx_->n(), q));
     }
     return p;
 }

@@ -1,56 +1,139 @@
 #include "isa/emulator.h"
 
-#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "rns/kernels.h"
 
 namespace cinnamon::isa {
+
+void
+ChipMemory::store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data)
+{
+    CINN_ASSERT(data.size() == n_, "store: limb length mismatch");
+    auto it = slots_.find(addr);
+    uint32_t slot;
+    if (it == slots_.end()) {
+        slot = static_cast<uint32_t>(primes_.size());
+        primes_.push_back(prime);
+        arena_.resize(arena_.size() + n_);
+        slots_.emplace(addr, slot);
+    } else {
+        slot = it->second;
+        primes_[slot] = prime;
+    }
+    std::memcpy(arena_.data() + static_cast<std::size_t>(slot) * n_,
+                data.data(), n_ * sizeof(uint64_t));
+}
+
+LimbRef
+ChipMemory::at(uint64_t addr) const
+{
+    auto it = slots_.find(addr);
+    CINN_ASSERT(it != slots_.end(), "no limb mapped at address " << addr);
+    const std::size_t slot = it->second;
+    return {primes_[slot],
+            rns::ConstLimbSpan(arena_.data() + slot * n_, n_)};
+}
+
+uint64_t *
+Emulator::RegFile::ensure(int index)
+{
+    const auto want = static_cast<std::size_t>(index);
+    if (want >= size()) {
+        primes.resize(want + 1, 0);
+        defined.resize(want + 1, 0);
+        data.resize((want + 1) * n, 0);
+    }
+    return plane(index);
+}
 
 Emulator::Emulator(const fhe::CkksContext &ctx, std::size_t chips)
     : ctx_(&ctx), chips_(chips)
 {
     regs_.resize(chips);
-    mem_.resize(chips);
+    for (auto &rf : regs_)
+        rf.n = ctx.n();
+    mem_.assign(chips, ChipMemory(ctx.n()));
+    scratch_.resize(chips);
+    chip_stats_.resize(chips);
 }
 
-MemoryImage &
+ChipMemory &
 Emulator::memory(std::size_t chip)
 {
     CINN_ASSERT(chip < chips_, "chip index out of range");
     return mem_[chip];
 }
 
-const Limb &
+LimbRef
 Emulator::reg(std::size_t chip, int index) const
 {
     CINN_ASSERT(chip < chips_ && index >= 0 &&
                     static_cast<std::size_t>(index) < regs_[chip].size(),
                 "register access out of range");
-    return regs_[chip][index];
+    const RegFile &rf = regs_[chip];
+    return {rf.primes[index],
+            rns::ConstLimbSpan(rf.plane(index), rf.n)};
+}
+
+std::size_t
+Emulator::arenaBytes() const
+{
+    std::size_t bytes = 0;
+    for (const ChipMemory &m : mem_)
+        bytes += m.arenaBytes();
+    for (const RegFile &rf : regs_)
+        bytes += rf.data.capacity() * sizeof(uint64_t);
+    return bytes;
+}
+
+const uint64_t *
+Emulator::srcPlane(std::size_t chip, const Instruction &ins,
+                   std::size_t pc, std::size_t operand) const
+{
+    CINN_ASSERT(operand < ins.srcs.size() && ins.srcs[operand] >= 0,
+                "missing source operand: " << ins.toString());
+    const RegFile &rf = regs_[chip];
+    const int r = ins.srcs[operand];
+    if (static_cast<std::size_t>(r) >= rf.size() || !rf.defined[r]) {
+        std::ostringstream msg;
+        msg << opcodeName(ins.op) << " reads undefined register r" << r
+            << " on chip " << chip << " at pc " << pc << " ("
+            << ins.toString() << ")";
+        throw EmulatorError(msg.str(), ins.op, chip, pc);
+    }
+    return rf.plane(r);
 }
 
 void
-Emulator::execute(std::size_t chip, const Instruction &ins)
+Emulator::execute(std::size_t chip, const Instruction &ins,
+                  std::size_t pc)
 {
-    auto &regs = regs_[chip];
+    RegFile &rf = regs_[chip];
     const rns::Modulus &mod = ctx_->rns().modulus(ins.prime);
     const uint64_t q = mod.value();
     const std::size_t n = ctx_->n();
-    ++stats_.executed[ins.op];
+    const rns::KernelTable &kt = rns::kernels();
+    ++chip_stats_[chip].executed[ins.op];
 
-    auto src = [&](std::size_t i) -> const Limb & {
-        CINN_ASSERT(i < ins.srcs.size() && ins.srcs[i] >= 0 &&
-                        static_cast<std::size_t>(ins.srcs[i]) <
-                            regs.size(),
-                    "missing source operand: " << ins.toString());
-        return regs[ins.srcs[i]];
+    // ensure() may reallocate the register file, so the destination
+    // plane is always claimed before source planes are resolved.
+    auto dstPlane = [&]() -> uint64_t * {
+        CINN_ASSERT(ins.dst >= 0,
+                    "missing destination: " << ins.toString());
+        return rf.ensure(ins.dst);
     };
-    auto dst = [&]() -> Limb & {
-        CINN_ASSERT(ins.dst >= 0, "missing destination: "
-                                      << ins.toString());
-        if (static_cast<std::size_t>(ins.dst) >= regs.size())
-            regs.resize(ins.dst + 1);
-        return regs[ins.dst];
+    auto commitDst = [&](uint32_t prime) {
+        rf.primes[ins.dst] = prime;
+        rf.defined[ins.dst] = 1;
+    };
+    auto srcPrime = [&](std::size_t i) {
+        return rf.primes[ins.srcs[i]];
     };
 
     switch (ins.op) {
@@ -59,81 +142,93 @@ Emulator::execute(std::size_t chip, const Instruction &ins)
       case Opcode::Halt:
         break;
       case Opcode::Load: {
-        auto it = mem_[chip].find(ins.imm);
-        CINN_ASSERT(it != mem_[chip].end(),
-                    "load from unmapped address " << ins.imm << " on chip "
-                                                  << chip);
-        dst() = it->second;
+        if (!mem_[chip].contains(ins.imm)) {
+            std::ostringstream msg;
+            msg << "Load from unmapped address " << ins.imm
+                << " on chip " << chip << " at pc " << pc << " ("
+                << ins.toString() << ")";
+            throw EmulatorError(msg.str(), ins.op, chip, pc);
+        }
+        uint64_t *d = dstPlane();
+        const LimbRef m = mem_[chip].at(ins.imm);
+        std::memcpy(d, m.data.data(), n * sizeof(uint64_t));
+        commitDst(m.prime);
         break;
       }
-      case Opcode::Store:
-        mem_[chip][ins.imm] = src(0);
-        break;
-      case Opcode::Ntt: {
-        Limb out = src(0);
-        CINN_ASSERT(out.prime == ins.prime, "ntt prime mismatch");
-        ctx_->rns().ntt(ins.prime).forward(out.data);
-        dst() = std::move(out);
+      case Opcode::Store: {
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        mem_[chip].store(ins.imm, srcPrime(0),
+                         rns::ConstLimbSpan(a, n));
         break;
       }
+      case Opcode::Ntt:
       case Opcode::Intt: {
-        Limb out = src(0);
-        CINN_ASSERT(out.prime == ins.prime, "intt prime mismatch");
-        ctx_->rns().ntt(ins.prime).inverse(out.data);
-        dst() = std::move(out);
+        uint64_t *d = dstPlane();
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        CINN_ASSERT(srcPrime(0) == ins.prime,
+                    (ins.op == Opcode::Ntt ? "ntt" : "intt")
+                        << " prime mismatch");
+        if (d != a)
+            std::memcpy(d, a, n * sizeof(uint64_t));
+        if (ins.op == Opcode::Ntt)
+            ctx_->rns().ntt(ins.prime).forward(d);
+        else
+            ctx_->rns().ntt(ins.prime).inverse(d);
+        commitDst(ins.prime);
         break;
       }
       case Opcode::Add:
       case Opcode::Sub:
       case Opcode::Mul: {
-        const Limb &a = src(0);
-        const Limb &b = src(1);
-        CINN_ASSERT(a.prime == ins.prime && b.prime == ins.prime,
+        uint64_t *d = dstPlane();
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        const uint64_t *b = srcPlane(chip, ins, pc, 1);
+        CINN_ASSERT(srcPrime(0) == ins.prime &&
+                        srcPrime(1) == ins.prime,
                     "binary op prime mismatch: " << ins.toString());
-        Limb out{ins.prime, std::vector<uint64_t>(n)};
-        for (std::size_t j = 0; j < n; ++j) {
-            if (ins.op == Opcode::Add)
-                out.data[j] = rns::addMod(a.data[j], b.data[j], q);
-            else if (ins.op == Opcode::Sub)
-                out.data[j] = rns::subMod(a.data[j], b.data[j], q);
-            else
-                out.data[j] = mod.mul(a.data[j], b.data[j]);
-        }
-        dst() = std::move(out);
+        if (ins.op == Opcode::Add)
+            kt.add(d, a, b, n, q);
+        else if (ins.op == Opcode::Sub)
+            kt.sub(d, a, b, n, q);
+        else
+            kt.mul(d, a, b, n, mod);
+        commitDst(ins.prime);
         break;
       }
       case Opcode::AddScalar:
       case Opcode::SubScalar:
       case Opcode::MulScalar: {
-        const Limb &a = src(0);
-        CINN_ASSERT(a.prime == ins.prime, "scalar op prime mismatch");
+        uint64_t *d = dstPlane();
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        CINN_ASSERT(srcPrime(0) == ins.prime,
+                    "scalar op prime mismatch");
         const uint64_t s = ins.imm % q;
-        Limb out{ins.prime, std::vector<uint64_t>(n)};
-        for (std::size_t j = 0; j < n; ++j) {
-            if (ins.op == Opcode::AddScalar)
-                out.data[j] = rns::addMod(a.data[j], s, q);
-            else if (ins.op == Opcode::SubScalar)
-                out.data[j] = rns::subMod(a.data[j], s, q);
-            else
-                out.data[j] = mod.mul(a.data[j], s);
+        if (ins.op == Opcode::MulScalar) {
+            kt.mulScalarShoup(d, a, n, s, rns::shoupPrecompute(s, q),
+                              q);
+        } else {
+            for (std::size_t j = 0; j < n; ++j) {
+                d[j] = ins.op == Opcode::AddScalar
+                    ? rns::addMod(a[j], s, q)
+                    : rns::subMod(a[j], s, q);
+            }
         }
-        dst() = std::move(out);
+        commitDst(ins.prime);
         break;
       }
       case Opcode::Automorph: {
-        const Limb &a = src(0);
-        CINN_ASSERT(a.prime == ins.prime, "automorph prime mismatch");
-        const uint64_t g = ins.imm;
-        Limb out{ins.prime, std::vector<uint64_t>(n)};
-        for (std::size_t j = 0; j < n; ++j) {
-            const uint64_t idx = (j * g) % (2 * n);
-            if (idx < n)
-                out.data[idx] = a.data[j];
-            else
-                out.data[idx - n] =
-                    a.data[j] == 0 ? 0 : q - a.data[j];
+        uint64_t *d = dstPlane();
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        CINN_ASSERT(srcPrime(0) == ins.prime,
+                    "automorph prime mismatch");
+        if (d == a) {
+            auto &tmp = scratch_[chip];
+            tmp.assign(a, a + n);
+            kt.automorph(d, tmp.data(), n, ins.imm, q);
+        } else {
+            kt.automorph(d, a, n, ins.imm, q);
         }
-        dst() = std::move(out);
+        commitDst(ins.prime);
         break;
       }
       case Opcode::BConv: {
@@ -142,33 +237,51 @@ Emulator::execute(std::size_t chip, const Instruction &ins)
         // MulScalar first — this mirrors the two-stage BCU).
         CINN_ASSERT(ins.aux.size() == ins.srcs.size(),
                     "bconv needs one source prime per operand");
-        Limb out{ins.prime, std::vector<uint64_t>(n, 0)};
-        for (std::size_t i = 0; i < ins.srcs.size(); ++i) {
-            const Limb &a = src(i);
-            CINN_ASSERT(a.prime == ins.aux[i],
+        const std::size_t fan = ins.srcs.size();
+        CINN_ASSERT(fan <= 64, "bconv fan-in too large");
+        bool aliases = false;
+        for (int s : ins.srcs)
+            aliases = aliases || s == ins.dst;
+        uint64_t *d = dstPlane();
+        const uint64_t *sp[64];
+        uint64_t fs[64];
+        uint64_t src_bound = 0;
+        for (std::size_t i = 0; i < fan; ++i) {
+            sp[i] = srcPlane(chip, ins, pc, i);
+            CINN_ASSERT(srcPrime(i) == ins.aux[i],
                         "bconv source prime mismatch");
+            const uint64_t sv = ctx_->rns().modulus(ins.aux[i]).value();
+            src_bound = sv > src_bound ? sv : src_bound;
             uint64_t f = 1;
             for (std::size_t k = 0; k < ins.aux.size(); ++k) {
                 if (k == i)
                     continue;
-                f = mod.mul(f, ctx_->rns().modulus(ins.aux[k]).value() % q);
+                f = mod.mul(f,
+                            ctx_->rns().modulus(ins.aux[k]).value() % q);
             }
-            for (std::size_t j = 0; j < n; ++j) {
-                out.data[j] =
-                    mod.add(out.data[j], mod.mul(a.data[j], f));
-            }
+            fs[i] = f;
         }
-        dst() = std::move(out);
+        uint64_t *acc = d;
+        if (aliases) {
+            scratch_[chip].assign(n, 0);
+            acc = scratch_[chip].data();
+        } else {
+            std::memset(d, 0, n * sizeof(uint64_t));
+        }
+        kt.macMulti(acc, sp, fs, fan, n, mod, src_bound);
+        if (aliases)
+            std::memcpy(d, acc, n * sizeof(uint64_t));
+        commitDst(ins.prime);
         break;
       }
       case Opcode::Mod: {
         CINN_ASSERT(ins.aux.size() == 1, "mod needs the source prime");
-        const Limb &a = src(0);
-        CINN_ASSERT(a.prime == ins.aux[0], "mod source prime mismatch");
-        Limb out{ins.prime, std::vector<uint64_t>(n)};
-        for (std::size_t j = 0; j < n; ++j)
-            out.data[j] = a.data[j] % q;
-        dst() = std::move(out);
+        uint64_t *d = dstPlane();
+        const uint64_t *a = srcPlane(chip, ins, pc, 0);
+        CINN_ASSERT(srcPrime(0) == ins.aux[0],
+                    "mod source prime mismatch");
+        kt.modReduce(d, a, n, q);
+        commitDst(ins.prime);
         break;
       }
       case Opcode::Bcast:
@@ -190,45 +303,41 @@ Emulator::executeCollective(const MachineProgram &program,
                     "collective mismatch across chips: "
                         << first.toString() << " vs " << ins.toString());
     }
-    ++stats_.executed[first.op];
+    ++chip_stats_[lo].executed[first.op];
 
+    // Collectives resolve serially between the parallel chip phases,
+    // staged through a scratch limb so destination claims can't
+    // invalidate the still-needed source planes.
+    auto &value = scratch_[lo];
+    uint32_t value_prime = first.prime;
     if (first.op == Opcode::Bcast) {
         // imm = owner chip; owner's src0 is copied to every dst.
         const std::size_t owner = first.imm;
         CINN_ASSERT(owner >= lo && owner < hi,
                     "broadcast owner outside participant group");
         const Instruction &oins = program.chips[owner].instrs[pcs[owner]];
-        CINN_ASSERT(!oins.srcs.empty() && oins.srcs[0] >= 0,
-                    "broadcast owner missing source");
-        Limb value = regs_[owner].at(oins.srcs[0]);
-        for (std::size_t c = lo; c < hi; ++c) {
-            const Instruction &ins = program.chips[c].instrs[pcs[c]];
-            if (ins.dst >= 0) {
-                if (static_cast<std::size_t>(ins.dst) >= regs_[c].size())
-                    regs_[c].resize(ins.dst + 1);
-                regs_[c][ins.dst] = value;
-            }
-        }
+        const uint64_t *a = srcPlane(owner, oins, pcs[owner], 0);
+        value.assign(a, a + n);
+        value_prime = regs_[owner].primes[oins.srcs[0]];
     } else { // Agg
         const rns::Modulus &mod = ctx_->rns().modulus(first.prime);
-        Limb sum{first.prime, std::vector<uint64_t>(n, 0)};
+        const rns::KernelTable &kt = rns::kernels();
+        value.assign(n, 0);
         for (std::size_t c = lo; c < hi; ++c) {
             const Instruction &ins = program.chips[c].instrs[pcs[c]];
-            CINN_ASSERT(!ins.srcs.empty() && ins.srcs[0] >= 0,
-                        "aggregation missing source");
-            const Limb &a = regs_[c].at(ins.srcs[0]);
-            CINN_ASSERT(a.prime == first.prime,
+            const uint64_t *a = srcPlane(c, ins, pcs[c], 0);
+            CINN_ASSERT(regs_[c].primes[ins.srcs[0]] == first.prime,
                         "aggregation prime mismatch");
-            for (std::size_t j = 0; j < n; ++j)
-                sum.data[j] = mod.add(sum.data[j], a.data[j]);
+            kt.add(value.data(), value.data(), a, n, mod.value());
         }
-        for (std::size_t c = lo; c < hi; ++c) {
-            const Instruction &ins = program.chips[c].instrs[pcs[c]];
-            if (ins.dst >= 0) {
-                if (static_cast<std::size_t>(ins.dst) >= regs_[c].size())
-                    regs_[c].resize(ins.dst + 1);
-                regs_[c][ins.dst] = sum;
-            }
+    }
+    for (std::size_t c = lo; c < hi; ++c) {
+        const Instruction &ins = program.chips[c].instrs[pcs[c]];
+        if (ins.dst >= 0) {
+            uint64_t *d = regs_[c].ensure(ins.dst);
+            std::memcpy(d, value.data(), n * sizeof(uint64_t));
+            regs_[c].primes[ins.dst] = value_prime;
+            regs_[c].defined[ins.dst] = 1;
         }
     }
 }
@@ -238,19 +347,24 @@ Emulator::run(const MachineProgram &program)
 {
     CINN_ASSERT(program.numChips() == chips_,
                 "program chip count mismatch");
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::size_t> pcs(chips_, 0);
 
     while (true) {
-        bool all_done = true;
-        // Advance every chip to its next collective (or the end).
-        for (std::size_t c = 0; c < chips_; ++c) {
+        // Advance every chip to its next collective (or the end);
+        // chips share no mutable state here, so the advance runs on
+        // the worker pool when workers_ > 1 with identical results.
+        parallelFor(chips_, workers_, [&](std::size_t c) {
             const auto &instrs = program.chips[c].instrs;
             while (pcs[c] < instrs.size() &&
                    !isCollective(instrs[pcs[c]].op)) {
-                execute(c, instrs[pcs[c]]);
+                execute(c, instrs[pcs[c]], pcs[c]);
                 ++pcs[c];
             }
-            if (pcs[c] < instrs.size())
+        });
+        bool all_done = true;
+        for (std::size_t c = 0; c < chips_; ++c) {
+            if (pcs[c] < program.chips[c].instrs.size())
                 all_done = false;
         }
         if (all_done)
@@ -288,6 +402,30 @@ Emulator::run(const MachineProgram &program)
                     "collective deadlock: no participant group is "
                     "fully assembled");
     }
+
+    std::size_t run_total = 0;
+    last_run_.executed.clear();
+    for (EmulatorStats &cs : chip_stats_) {
+        for (const auto &[op, cnt] : cs.executed) {
+            stats_.executed[op] += cnt;
+            last_run_.executed[op] += cnt;
+            run_total += cnt;
+        }
+        cs.executed.clear();
+    }
+
+    const double run_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    auto &reg = MetricsRegistry::global();
+    reg.counter("emulator.runs").add(1);
+    reg.counter("emulator.limbs_executed").add(
+        static_cast<double>(run_total));
+    reg.gauge("emulator.arena_bytes").set(
+        static_cast<double>(arenaBytes()));
+    reg.gauge("emulator.workers").set(static_cast<double>(workers_));
+    reg.histogram("emulator.run_ms").observe(run_ms);
 }
 
 } // namespace cinnamon::isa

@@ -8,6 +8,18 @@
  * ring dimension, so compiled instruction streams can be validated
  * bit-exactly against the fhe/ and parallel/ reference
  * implementations. It has no timing model; src/sim provides that.
+ *
+ * Data plane: each chip's HBM is a flat limb arena (one contiguous
+ * buffer, address → slot table) and its register file is a flat
+ * limb-major buffer — no per-limb heap allocation on the execution
+ * path. Between collective rendezvous points chips share no state, so
+ * run() advances them on the common/parallel.h worker pool; serial
+ * and parallel execution are bit-identical by construction.
+ *
+ * Data-dependent faults (unmapped loads, reads of never-written
+ * registers) throw EmulatorError carrying the opcode, chip, and
+ * stream position; structural misuse (malformed programs) still hits
+ * CINN_ASSERT.
  */
 
 #ifndef CINNAMON_ISA_EMULATOR_H_
@@ -15,10 +27,14 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fhe/params.h"
 #include "isa/isa.h"
+#include "rns/limb_span.h"
 
 namespace cinnamon::isa {
 
@@ -29,8 +45,74 @@ struct Limb
     std::vector<uint64_t> data;
 };
 
-/** Per-chip HBM contents, addressed by 64-bit limb addresses. */
-using MemoryImage = std::map<uint64_t, Limb>;
+/** A non-owning view of a limb resident in an arena or register file. */
+struct LimbRef
+{
+    uint32_t prime = 0;
+    rns::ConstLimbSpan data;
+};
+
+/**
+ * A data-dependent execution fault: the failing opcode, chip, and
+ * stream position (pc) are carried alongside the message.
+ */
+class EmulatorError : public std::runtime_error
+{
+  public:
+    EmulatorError(const std::string &what, Opcode op, std::size_t chip,
+                  std::size_t pc)
+        : std::runtime_error(what), op_(op), chip_(chip), pc_(pc)
+    {
+    }
+
+    Opcode opcode() const { return op_; }
+    std::size_t chip() const { return chip_; }
+    std::size_t pc() const { return pc_; }
+
+  private:
+    Opcode op_;
+    std::size_t chip_;
+    std::size_t pc_;
+};
+
+/**
+ * One chip's HBM: a flat limb arena plus an address table. Limbs are
+ * appended to the arena on first store to an address and overwritten
+ * in place afterwards.
+ */
+class ChipMemory
+{
+  public:
+    ChipMemory() : n_(0) {}
+    explicit ChipMemory(std::size_t n) : n_(n) {}
+
+    bool contains(uint64_t addr) const { return slots_.count(addr) > 0; }
+    std::size_t size() const { return primes_.size(); }
+
+    /** Map (or overwrite) `addr` with a limb reduced under `prime`. */
+    void store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data);
+    void
+    store(uint64_t addr, const Limb &limb)
+    {
+        store(addr, limb.prime, limb.data);
+    }
+
+    /** View of the limb at `addr`; asserts the address is mapped. */
+    LimbRef at(uint64_t addr) const;
+
+    /** Bytes held by the arena (capacity actually allocated). */
+    std::size_t
+    arenaBytes() const
+    {
+        return arena_.capacity() * sizeof(uint64_t);
+    }
+
+  private:
+    std::size_t n_;
+    std::vector<uint64_t> arena_;
+    std::vector<uint32_t> primes_;
+    std::unordered_map<uint64_t, uint32_t> slots_;
+};
 
 /** Execution counters, per opcode. */
 struct EmulatorStats
@@ -52,7 +134,9 @@ struct EmulatorStats
  *
  * All chips' streams must contain every collective (Bcast/Agg) in the
  * same order with matching tags; the emulator advances each chip to
- * its next collective, resolves it, and repeats.
+ * its next collective, resolves it, and repeats. Chips advance on up
+ * to workers() threads; results are bit-identical at any worker count
+ * because chips share no mutable state between rendezvous points.
  */
 class Emulator
 {
@@ -60,30 +144,75 @@ class Emulator
     Emulator(const fhe::CkksContext &ctx, std::size_t chips);
 
     /** Mutable pre-load access to chip memory (inputs, keys, plaintexts). */
-    MemoryImage &memory(std::size_t chip);
+    ChipMemory &memory(std::size_t chip);
+
+    /**
+     * Worker threads for the inter-collective chip advance (default 1:
+     * callers like the serve workers already own a thread each).
+     */
+    void setWorkers(std::size_t workers) { workers_ = workers; }
+    std::size_t workers() const { return workers_; }
 
     /** Run a program to completion. */
     void run(const MachineProgram &program);
 
     /** Read a register after execution. */
-    const Limb &reg(std::size_t chip, int index) const;
+    LimbRef reg(std::size_t chip, int index) const;
 
+    /** Cumulative counters across every run() on this emulator. */
     const EmulatorStats &stats() const { return stats_; }
 
+    /** Counters for the most recent run() only. */
+    const EmulatorStats &lastRunStats() const { return last_run_; }
+
+    /** Arena + register-file bytes across all chips. */
+    std::size_t arenaBytes() const;
+
   private:
+    /** One chip's register file: flat limb-major, grown on demand. */
+    struct RegFile
+    {
+        std::size_t n = 0;
+        std::vector<uint64_t> data;
+        std::vector<uint32_t> primes;
+        std::vector<uint8_t> defined;
+
+        std::size_t size() const { return primes.size(); }
+
+        /** Grow to cover `index`; returns its mutable plane. */
+        uint64_t *ensure(int index);
+        uint64_t *plane(int index) { return data.data() + index * n; }
+        const uint64_t *
+        plane(int index) const
+        {
+            return data.data() + index * n;
+        }
+    };
+
     /** Execute one non-collective instruction on one chip. */
-    void execute(std::size_t chip, const Instruction &ins);
+    void execute(std::size_t chip, const Instruction &ins,
+                 std::size_t pc);
 
     /** Execute one collective across chips [lo, hi). */
     void executeCollective(const MachineProgram &program,
                            const std::vector<std::size_t> &pcs,
                            uint32_t lo, uint32_t hi);
 
+    /** Read a defined source register or throw EmulatorError. */
+    const uint64_t *srcPlane(std::size_t chip, const Instruction &ins,
+                             std::size_t pc, std::size_t operand) const;
+
     const fhe::CkksContext *ctx_;
     std::size_t chips_;
-    std::vector<std::vector<Limb>> regs_;
-    std::vector<MemoryImage> mem_;
+    std::size_t workers_ = 1;
+    std::vector<RegFile> regs_;
+    std::vector<ChipMemory> mem_;
+    /** Per-chip scratch plane (automorph/bconv aliasing). */
+    std::vector<std::vector<uint64_t>> scratch_;
+    /** Per-chip counters, merged into stats_ after each run(). */
+    std::vector<EmulatorStats> chip_stats_;
     EmulatorStats stats_;
+    EmulatorStats last_run_;
 };
 
 } // namespace cinnamon::isa

@@ -53,11 +53,11 @@ ParallelKeySwitcher::localModUp(const rns::RnsPoly &digit_poly,
     for (std::size_t i = 0; i < local_out.size(); ++i) {
         int pos = digit_poly.findPrime(local_out[i]);
         if (pos >= 0) {
-            out.limb(i) = digit_poly.limb(pos);
+            out.setLimb(i, digit_poly.limb(pos));
         } else {
             int cpos = conv.findPrime(local_out[i]);
             CINN_ASSERT(cpos >= 0, "partial mod-up missing a limb");
-            out.limb(i) = conv.limb(cpos);
+            out.setLimb(i, conv.limb(cpos));
         }
     }
     return out;
@@ -214,7 +214,7 @@ ParallelKeySwitcher::cifher(const DistPoly &target, std::size_t level,
             const std::size_t c = machine_->chipOf(special[i]);
             int pos = acc[c].findPrime(special[i]);
             CINN_ASSERT(pos >= 0, "cifher: extension limb missing");
-            ext.limb(i) = acc[c].limb(pos);
+            ext.setLimb(i, acc[c].limb(pos));
         }
         machine_->countBroadcast(ct_basis.size() + special.size());
         return ext;

@@ -34,7 +34,7 @@ LimbMachine::gather(const DistPoly &p, const rns::Basis &order) const
         CINN_ASSERT(pos >= 0, "gather: limb missing from owning chip");
         CINN_ASSERT(p.shard[c].domain() == p.shard[0].domain(),
                     "gather: mixed domains");
-        out.limb(i) = p.shard[c].limb(pos);
+        out.setLimb(i, p.shard[c].limb(pos));
     }
     return out;
 }

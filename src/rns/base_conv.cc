@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rns/kernels.h"
+
 namespace cinnamon::rns {
 
 BaseConverter::BaseConverter(const RnsContext &ctx, Basis src, Basis dst)
@@ -15,7 +17,10 @@ BaseConverter::BaseConverter(const RnsContext &ctx, Basis src, Basis dst)
 
     const std::size_t ell = src_.size();
     shat_inv_.resize(ell);
+    shat_inv_shoup_.resize(ell);
     shat_mod_dst_.assign(ell, std::vector<uint64_t>(dst_.size()));
+    shat_mod_dst_shoup_.assign(ell,
+                               std::vector<uint64_t>(dst_.size()));
 
     for (std::size_t j = 0; j < ell; ++j) {
         const Modulus &sj = ctx.modulus(src_[j]);
@@ -27,6 +32,7 @@ BaseConverter::BaseConverter(const RnsContext &ctx, Basis src, Basis dst)
             prod = sj.mul(prod, ctx.modulus(src_[k]).value() % sj.value());
         }
         shat_inv_[j] = sj.inv(prod);
+        shat_inv_shoup_[j] = shoupPrecompute(shat_inv_[j], sj.value());
 
         for (std::size_t t = 0; t < dst_.size(); ++t) {
             const Modulus &tk = ctx.modulus(dst_[t]);
@@ -37,6 +43,7 @@ BaseConverter::BaseConverter(const RnsContext &ctx, Basis src, Basis dst)
                 p = tk.mul(p, ctx.modulus(src_[k]).value() % tk.value());
             }
             shat_mod_dst_[j][t] = p;
+            shat_mod_dst_shoup_[j][t] = shoupPrecompute(p, tk.value());
         }
     }
 }
@@ -59,14 +66,15 @@ BaseConverter::convertPartial(const RnsPoly &x,
                 "base conversion requires the coefficient domain");
     const std::size_t n = ctx_->n();
     const std::size_t ell = src_.size();
+    const KernelTable &kt = kernels();
 
-    // y_j = x_j * (S/s_j)^{-1} mod s_j, shared by all output limbs.
-    std::vector<std::vector<uint64_t>> y(ell);
+    // y_j = x_j * (S/s_j)^{-1} mod s_j, shared by all output limbs;
+    // one flat limb-major staging buffer for all ell planes.
+    std::vector<uint64_t> y(ell * n);
     for (std::size_t j = 0; j < ell; ++j) {
         const Modulus &sj = ctx_->modulus(src_[j]);
-        y[j] = x.limb(j);
-        for (auto &c : y[j])
-            c = sj.mul(c, shat_inv_[j]);
+        kt.mulScalarShoup(y.data() + j * n, x.limbData(j), n,
+                          shat_inv_[j], shat_inv_shoup_[j], sj.value());
     }
 
     Basis out_basis;
@@ -76,16 +84,21 @@ BaseConverter::convertPartial(const RnsPoly &x,
         out_basis.push_back(dst_[t]);
     }
     RnsPoly out(*ctx_, out_basis, Domain::Coeff);
+    CINN_ASSERT(ell <= 64, "base-conversion fan-in too large");
+    const uint64_t *sp[64];
+    uint64_t fs[64];
+    uint64_t src_bound = 0;
+    for (std::size_t j = 0; j < ell; ++j) {
+        sp[j] = y.data() + j * n;
+        const uint64_t sv = ctx_->modulus(src_[j]).value();
+        src_bound = sv > src_bound ? sv : src_bound;
+    }
     for (std::size_t oi = 0; oi < dst_limbs.size(); ++oi) {
         const std::size_t t = dst_limbs[oi];
-        const Modulus &tk = ctx_->modulus(dst_[t]);
-        auto &dst = out.limb(oi);
-        for (std::size_t j = 0; j < ell; ++j) {
-            const uint64_t f = shat_mod_dst_[j][t];
-            const auto &src = y[j];
-            for (std::size_t c = 0; c < n; ++c)
-                dst[c] = tk.add(dst[c], tk.mul(src[c], f));
-        }
+        for (std::size_t j = 0; j < ell; ++j)
+            fs[j] = shat_mod_dst_[j][t];
+        kt.macMulti(out.limbData(oi), sp, fs, ell, n,
+                    ctx_->modulus(dst_[t]), src_bound);
     }
     return out;
 }
@@ -118,11 +131,11 @@ RnsTool::modUp(const RnsPoly &x, const Basis &target)
     for (std::size_t i = 0; i < target.size(); ++i) {
         int pos = x.findPrime(target[i]);
         if (pos >= 0) {
-            out.limb(i) = x.limb(pos);
+            out.setLimb(i, x.limb(pos));
         } else {
             int cpos = conv.findPrime(target[i]);
             CINN_ASSERT(cpos >= 0, "modUp: missing converted limb");
-            out.limb(i) = conv.limb(cpos);
+            out.setLimb(i, conv.limb(cpos));
         }
     }
     return out;

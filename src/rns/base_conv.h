@@ -63,10 +63,12 @@ class BaseConverter
     const RnsContext *ctx_;
     Basis src_;
     Basis dst_;
-    /** (S/s_j)^{-1} mod s_j. */
+    /** (S/s_j)^{-1} mod s_j, with Shoup companions. */
     std::vector<uint64_t> shat_inv_;
-    /** (S/s_j) mod t_k, indexed [j][k]. */
+    std::vector<uint64_t> shat_inv_shoup_;
+    /** (S/s_j) mod t_k, indexed [j][k], with Shoup companions. */
     std::vector<std::vector<uint64_t>> shat_mod_dst_;
+    std::vector<std::vector<uint64_t>> shat_mod_dst_shoup_;
 };
 
 /**

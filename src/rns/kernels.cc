@@ -1,0 +1,181 @@
+#include "rns/kernels.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace cinnamon::rns {
+namespace {
+
+void
+scalarAdd(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+          std::size_t n, uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = addMod(a[i], b[i], q);
+}
+
+void
+scalarSub(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+          std::size_t n, uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = subMod(a[i], b[i], q);
+}
+
+void
+scalarMul(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+          std::size_t n, const Modulus &mod)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = mod.mul(a[i], b[i]);
+}
+
+void
+scalarNegate(uint64_t *dst, const uint64_t *a, std::size_t n, uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] == 0 ? 0 : q - a[i];
+}
+
+void
+scalarMulScalarShoup(uint64_t *dst, const uint64_t *a, std::size_t n,
+                     uint64_t s, uint64_t s_shoup, uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = mulModShoup(a[i], s, s_shoup, q);
+}
+
+void
+scalarMacScalarShoup(uint64_t *acc, const uint64_t *a, std::size_t n,
+                     uint64_t s, uint64_t s_shoup, uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        acc[i] = addMod(acc[i], mulModShoup(a[i], s, s_shoup, q), q);
+}
+
+void
+scalarMacMulti(uint64_t *dst, const uint64_t *const *srcs,
+               const uint64_t *fs, std::size_t k, std::size_t n,
+               const Modulus &mod, uint64_t /*src_bound*/)
+{
+    // Eight products of 62-bit values fit a 128-bit accumulator
+    // (8 * 2^124 < 2^128); reduce() corrects any quotient estimate
+    // error with its trailing subtract loop, so each chunk lands
+    // canonical before the next begins.
+    for (std::size_t i = 0; i < n; ++i) {
+        uint64_t r = dst[i];
+        std::size_t j = 0;
+        while (j < k) {
+            const std::size_t e = j + 8 < k ? j + 8 : k;
+            uint128_t acc = r;
+            for (; j < e; ++j)
+                acc += (uint128_t)srcs[j][i] * fs[j];
+            r = mod.reduce(acc);
+        }
+        dst[i] = r;
+    }
+}
+
+void
+scalarModReduce(uint64_t *dst, const uint64_t *a, std::size_t n,
+                uint64_t q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = a[i] % q;
+}
+
+void
+scalarAutomorph(uint64_t *dst, const uint64_t *src, std::size_t n,
+                uint64_t galois, uint64_t q)
+{
+    // X^j maps to X^(j*g mod 2n); X^n = -1 folds the sign. The index
+    // walks by g with conditional wraps instead of a per-element
+    // multiply-and-divide (the divide alone dominates otherwise).
+    const uint64_t two_n = 2 * n;
+    const uint64_t step = galois % two_n;
+    uint64_t idx = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        if (idx < n) {
+            dst[idx] = src[j];
+        } else {
+            dst[idx - n] = src[j] == 0 ? 0 : q - src[j];
+        }
+        idx += step;
+        if (idx >= two_n)
+            idx -= two_n;
+    }
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",        scalarAdd,       scalarSub,
+    scalarMul,       scalarNegate,    scalarMulScalarShoup,
+    scalarMacScalarShoup, scalarMacMulti, scalarModReduce,
+    scalarAutomorph,
+};
+
+// Registered backends: "scalar" is always slot 0; the AVX-512 table
+// joins when the build target and CPU support it. Function-local
+// statics keep initialization order well-defined.
+struct BackendList
+{
+    const KernelTable *tables[2];
+    int count;
+};
+
+const BackendList &
+backendList()
+{
+    static const BackendList list = [] {
+        BackendList l{{&kScalarTable, nullptr}, 1};
+        if (const KernelTable *t = avx512KernelTable())
+            l.tables[l.count++] = t;
+        return l;
+    }();
+    return list;
+}
+
+std::atomic<const KernelTable *> &
+activeSlot()
+{
+    // Default to the last (fastest) registered backend; every backend
+    // is bit-identical to scalar, so this never changes results.
+    static std::atomic<const KernelTable *> g{
+        backendList().tables[backendList().count - 1]};
+    return g;
+}
+
+} // namespace
+
+const KernelTable &
+kernels()
+{
+    return *activeSlot().load(std::memory_order_relaxed);
+}
+
+const KernelTable &
+scalarKernels()
+{
+    return kScalarTable;
+}
+
+bool
+selectKernelBackend(const std::string &name)
+{
+    const BackendList &list = backendList();
+    for (int i = 0; i < list.count; ++i) {
+        if (name == list.tables[i]->name) {
+            activeSlot().store(list.tables[i],
+                               std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+kernelBackendName()
+{
+    return activeSlot().load(std::memory_order_relaxed)->name;
+}
+
+} // namespace cinnamon::rns

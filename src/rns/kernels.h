@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Limb-plane kernel dispatch: the innermost loops of the data plane.
+ *
+ * Every hot elementwise operation over a limb (add/sub/pointwise mul,
+ * scalar multiply-accumulate, negation, modulus fold, Galois
+ * automorphism) funnels through one table of raw-pointer kernels so a
+ * vectorized backend (AVX-512 / SVE / accelerator offload) can be
+ * swapped in without touching RnsPoly, the base converter, or the
+ * emulator. The "scalar" backend is the portable baseline and the
+ * bit-exactness reference: every backend must produce canonical
+ * residues in [0, q) identical to it.
+ *
+ * Scalar-multiply kernels take the Shoup companion constant
+ * (shoupPrecompute(s, q)) so per-element work is two multiplies and a
+ * subtract instead of a 128-bit Barrett reduction; callers that reuse
+ * a scalar across a limb amortize the one divide the precompute costs.
+ */
+
+#ifndef CINNAMON_RNS_KERNELS_H_
+#define CINNAMON_RNS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "rns/modarith.h"
+
+namespace cinnamon::rns {
+
+/**
+ * One backend's limb kernels. All pointers are non-null; dst may
+ * alias a (and b for the binary ops) — kernels are elementwise.
+ * Scalars `s` must be reduced (< q) before the call.
+ */
+struct KernelTable
+{
+    const char *name;
+
+    /** dst[i] = (a[i] + b[i]) mod q; inputs canonical. */
+    void (*add)(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                std::size_t n, uint64_t q);
+    /** dst[i] = (a[i] - b[i]) mod q; inputs canonical. */
+    void (*sub)(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                std::size_t n, uint64_t q);
+    /** dst[i] = a[i] * b[i] mod q (Barrett). */
+    void (*mul)(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+                std::size_t n, const Modulus &mod);
+    /** dst[i] = (q - a[i]) mod q. */
+    void (*negate)(uint64_t *dst, const uint64_t *a, std::size_t n,
+                   uint64_t q);
+    /** dst[i] = a[i] * s mod q via Shoup. */
+    void (*mulScalarShoup)(uint64_t *dst, const uint64_t *a,
+                           std::size_t n, uint64_t s, uint64_t s_shoup,
+                           uint64_t q);
+    /** acc[i] = (acc[i] + a[i] * s) mod q via Shoup. */
+    void (*macScalarShoup)(uint64_t *acc, const uint64_t *a,
+                           std::size_t n, uint64_t s, uint64_t s_shoup,
+                           uint64_t q);
+    /**
+     * dst[i] = (dst[i] + Σ_j srcs[j][i] * fs[j]) mod q — the base-
+     * conversion inner loop. Products accumulate in 128 bits (eight
+     * sources per Barrett reduction), one dst read/write per element;
+     * the result is the same canonical residue a per-source MAC chain
+     * produces. srcs[j][i] and fs[j] may be any canonical residues of
+     * 62-bit moduli; src_bound is an upper bound on every srcs[j][i]
+     * (typically the largest source modulus), which lets a vectorized
+     * backend prove its narrower multiplier domain applies. dst must
+     * not alias any source.
+     */
+    void (*macMulti)(uint64_t *dst, const uint64_t *const *srcs,
+                     const uint64_t *fs, std::size_t k, std::size_t n,
+                     const Modulus &mod, uint64_t src_bound);
+    /** dst[i] = a[i] mod q (fold residues of a wider prime). */
+    void (*modReduce)(uint64_t *dst, const uint64_t *a, std::size_t n,
+                      uint64_t q);
+    /**
+     * Negacyclic Galois map X -> X^galois: dst[(i*g) mod 2n folded
+     * into [0, n) with sign] = ±src[i]. dst must NOT alias src.
+     */
+    void (*automorph)(uint64_t *dst, const uint64_t *src, std::size_t n,
+                      uint64_t galois, uint64_t q);
+};
+
+/**
+ * The active backend (process-wide). Defaults to the fastest
+ * registered backend — "avx512" on CPUs with AVX-512 IFMA, "scalar"
+ * otherwise. Safe because every backend is bit-identical.
+ */
+const KernelTable &kernels();
+
+/** The portable baseline table; the bit-exactness reference. */
+const KernelTable &scalarKernels();
+
+/**
+ * The AVX-512 IFMA table, or nullptr when the build target or CPU
+ * does not support it. Kernels whose operands fall outside the 52-bit
+ * multiplier domain (q >= 2^51) delegate to the scalar table
+ * per call, so the table is safe for any modulus.
+ */
+const KernelTable *avx512KernelTable();
+
+/**
+ * Select the active backend by name. Returns false (and leaves the
+ * current backend in place) when no backend of that name is
+ * registered. "scalar" always exists; a vectorized variant registers
+ * under its own name when compiled in.
+ */
+bool selectKernelBackend(const std::string &name);
+
+/** Name of the active backend. */
+const char *kernelBackendName();
+
+} // namespace cinnamon::rns
+
+#endif // CINNAMON_RNS_KERNELS_H_

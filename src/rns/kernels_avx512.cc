@@ -1,0 +1,288 @@
+/**
+ * @file
+ * AVX-512 IFMA limb kernels ("avx512" backend).
+ *
+ * Same 52-bit Shoup domain as ntt_avx512.cc: vpmadd52{lo,hi}uq
+ * multiply the low 52 bits of each lane, so the Shoup-product kernels
+ * apply when q < 2^51 (lazy values in [0, 2q) stay below 2^52) and
+ * the 52-bit companion of a Shoup constant is the 64-bit one shifted
+ * right by 12. Pointwise Barrett splits a*b into hi52/lo52 halves and
+ * reduces each by a per-call Shoup constant (2^52 mod q and 1). Calls
+ * whose operands fall outside the 52-bit domain delegate to the
+ * scalar table, so the backend is valid for any modulus.
+ *
+ * Every kernel returns the canonical residue in [0, q) — bit-identical
+ * to the scalar backend; the golden-hash tests pin this.
+ */
+
+#include "rns/kernels.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+// The unmasked _mm512_min_epu64 passes an undefined passthrough vector
+// to its masked form; GCC 12 flags that spuriously.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace cinnamon::rns {
+namespace {
+
+constexpr uint64_t kQ51 = 1ULL << 51;
+constexpr uint64_t kBound52 = 1ULL << 52;
+
+/** floor(s * 2^52 / q) for a freshly derived constant s < q. */
+inline uint64_t
+shoup52(uint64_t s, uint64_t q)
+{
+    return static_cast<uint64_t>((static_cast<uint128_t>(s) << 52) / q);
+}
+
+#define CINN_K_TARGET __attribute__((target("avx512f,avx512ifma")))
+
+CINN_K_TARGET inline __m512i
+condSub(__m512i x, __m512i m)
+{
+    return _mm512_min_epu64(x, _mm512_sub_epi64(x, m));
+}
+
+/**
+ * Lazy Shoup product x * s mod q in [0, 2q), lane-wise.
+ * Requires x < 2^52 and s < q < 2^51; s52 = floor(s * 2^52 / q).
+ */
+CINN_K_TARGET inline __m512i
+mulLazy52(__m512i x, __m512i s, __m512i s52, __m512i q, __m512i mask52)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i t = _mm512_madd52hi_epu64(zero, x, s52);
+    const __m512i lo = _mm512_madd52lo_epu64(zero, x, s);
+    const __m512i tq = _mm512_madd52lo_epu64(zero, t, q);
+    return _mm512_and_si512(_mm512_sub_epi64(lo, tq), mask52);
+}
+
+CINN_K_TARGET void
+vAdd(uint64_t *dst, const uint64_t *a, const uint64_t *b, std::size_t n,
+     uint64_t qv)
+{
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x =
+            _mm512_add_epi64(_mm512_loadu_si512((const void *)(a + i)),
+                             _mm512_loadu_si512((const void *)(b + i)));
+        _mm512_storeu_si512((void *)(dst + i), condSub(x, q));
+    }
+    for (; i < n; ++i)
+        dst[i] = addMod(a[i], b[i], qv);
+}
+
+CINN_K_TARGET void
+vSub(uint64_t *dst, const uint64_t *a, const uint64_t *b, std::size_t n,
+     uint64_t qv)
+{
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_add_epi64(
+            _mm512_sub_epi64(_mm512_loadu_si512((const void *)(a + i)),
+                             _mm512_loadu_si512((const void *)(b + i))),
+            q);
+        _mm512_storeu_si512((void *)(dst + i), condSub(x, q));
+    }
+    for (; i < n; ++i)
+        dst[i] = subMod(a[i], b[i], qv);
+}
+
+CINN_K_TARGET void
+vNegate(uint64_t *dst, const uint64_t *a, std::size_t n, uint64_t qv)
+{
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // a == 0 maps q -> 0 through the conditional subtract.
+        const __m512i x = _mm512_sub_epi64(
+            q, _mm512_loadu_si512((const void *)(a + i)));
+        _mm512_storeu_si512((void *)(dst + i), condSub(x, q));
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] == 0 ? 0 : qv - a[i];
+}
+
+CINN_K_TARGET void
+vMul(uint64_t *dst, const uint64_t *a, const uint64_t *b, std::size_t n,
+     const Modulus &mod)
+{
+    const uint64_t qv = mod.value();
+    if (qv >= kQ51 || n < 8) {
+        scalarKernels().mul(dst, a, b, n, mod);
+        return;
+    }
+    // a*b = hi52 * 2^52 + lo52; reduce the high half by the constant
+    // c = 2^52 mod q and the low half by 1 (plain Barrett-by-2^52),
+    // both as lazy Shoup products.
+    const uint64_t c = kBound52 % qv;
+    const __m512i vc = _mm512_set1_epi64((long long)c);
+    const __m512i vc52 = _mm512_set1_epi64((long long)shoup52(c, qv));
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i one52 =
+        _mm512_set1_epi64((long long)(((uint128_t)1 << 52) / qv));
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i two_q = _mm512_set1_epi64((long long)(2 * qv));
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    const __m512i zero = _mm512_setzero_si512();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_loadu_si512((const void *)(a + i));
+        const __m512i y = _mm512_loadu_si512((const void *)(b + i));
+        const __m512i phi = _mm512_madd52hi_epu64(zero, x, y);
+        const __m512i plo = _mm512_madd52lo_epu64(zero, x, y);
+        const __m512i r1 = mulLazy52(phi, vc, vc52, q, mask52);
+        const __m512i r2 = mulLazy52(plo, one, one52, q, mask52);
+        __m512i r = _mm512_add_epi64(r1, r2);
+        r = condSub(r, two_q);
+        r = condSub(r, q);
+        _mm512_storeu_si512((void *)(dst + i), r);
+    }
+    for (; i < n; ++i)
+        dst[i] = mod.mul(a[i], b[i]);
+}
+
+CINN_K_TARGET void
+vMulScalarShoup(uint64_t *dst, const uint64_t *a, std::size_t n,
+                uint64_t s, uint64_t s_shoup, uint64_t qv)
+{
+    if (qv >= kQ51 || n < 8) {
+        scalarKernels().mulScalarShoup(dst, a, n, s, s_shoup, qv);
+        return;
+    }
+    const __m512i vs = _mm512_set1_epi64((long long)s);
+    const __m512i vs52 = _mm512_set1_epi64((long long)(s_shoup >> 12));
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_loadu_si512((const void *)(a + i));
+        const __m512i r =
+            condSub(mulLazy52(x, vs, vs52, q, mask52), q);
+        _mm512_storeu_si512((void *)(dst + i), r);
+    }
+    for (; i < n; ++i)
+        dst[i] = mulModShoup(a[i], s, s_shoup, qv);
+}
+
+CINN_K_TARGET void
+vMacScalarShoup(uint64_t *acc, const uint64_t *a, std::size_t n,
+                uint64_t s, uint64_t s_shoup, uint64_t qv)
+{
+    if (qv >= kQ51 || n < 8) {
+        scalarKernels().macScalarShoup(acc, a, n, s, s_shoup, qv);
+        return;
+    }
+    const __m512i vs = _mm512_set1_epi64((long long)s);
+    const __m512i vs52 = _mm512_set1_epi64((long long)(s_shoup >> 12));
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_loadu_si512((const void *)(a + i));
+        const __m512i m =
+            condSub(mulLazy52(x, vs, vs52, q, mask52), q);
+        const __m512i r = condSub(
+            _mm512_add_epi64(
+                _mm512_loadu_si512((const void *)(acc + i)), m),
+            q);
+        _mm512_storeu_si512((void *)(acc + i), r);
+    }
+    for (; i < n; ++i)
+        acc[i] = addMod(acc[i], mulModShoup(a[i], s, s_shoup, qv), qv);
+}
+
+CINN_K_TARGET void
+vMacMulti(uint64_t *dst, const uint64_t *const *srcs, const uint64_t *fs,
+          std::size_t k, std::size_t n, const Modulus &mod,
+          uint64_t src_bound)
+{
+    const uint64_t qv = mod.value();
+    if (qv >= kQ51 || src_bound >= kBound52 || n < 8 || k > 64) {
+        scalarKernels().macMulti(dst, srcs, fs, k, n, mod, src_bound);
+        return;
+    }
+    uint64_t f52[64];
+    for (std::size_t j = 0; j < k; ++j)
+        f52[j] = shoup52(fs[j], qv);
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m512i acc = _mm512_loadu_si512((const void *)(dst + i));
+        for (std::size_t j = 0; j < k; ++j) {
+            const __m512i x =
+                _mm512_loadu_si512((const void *)(srcs[j] + i));
+            const __m512i vf = _mm512_set1_epi64((long long)fs[j]);
+            const __m512i vf52 = _mm512_set1_epi64((long long)f52[j]);
+            const __m512i m =
+                condSub(mulLazy52(x, vf, vf52, q, mask52), q);
+            acc = condSub(_mm512_add_epi64(acc, m), q);
+        }
+        _mm512_storeu_si512((void *)(dst + i), acc);
+    }
+    for (; i < n; ++i) {
+        uint64_t r = dst[i];
+        for (std::size_t j = 0; j < k; ++j)
+            r = addMod(r, mod.mul(srcs[j][i], fs[j]), qv);
+        dst[i] = r;
+    }
+}
+
+#undef CINN_K_TARGET
+
+// Element-skipping kernels gain nothing from IFMA; keep the scalar
+// implementations (through the public scalar table).
+void
+fModReduce(uint64_t *dst, const uint64_t *a, std::size_t n, uint64_t q)
+{
+    scalarKernels().modReduce(dst, a, n, q);
+}
+
+void
+fAutomorph(uint64_t *dst, const uint64_t *src, std::size_t n,
+           uint64_t galois, uint64_t q)
+{
+    scalarKernels().automorph(dst, src, n, galois, q);
+}
+
+const KernelTable kAvx512Table = {
+    "avx512",        vAdd,           vSub,
+    vMul,            vNegate,        vMulScalarShoup,
+    vMacScalarShoup, vMacMulti,      fModReduce,
+    fAutomorph,
+};
+
+} // namespace
+
+const KernelTable *
+avx512KernelTable()
+{
+    static const bool ok = [] {
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512ifma");
+    }();
+    return ok ? &kAvx512Table : nullptr;
+}
+
+} // namespace cinnamon::rns
+
+#else // !(__x86_64__ && __GNUC__)
+
+namespace cinnamon::rns {
+
+const KernelTable *
+avx512KernelTable()
+{
+    return nullptr;
+}
+
+} // namespace cinnamon::rns
+
+#endif

@@ -46,6 +46,41 @@ mulMod(uint64_t a, uint64_t b, uint64_t q)
     return static_cast<uint64_t>((uint128_t)a * b % q);
 }
 
+/**
+ * Shoup precomputation for a fixed multiplicand s < q:
+ * floor(s * 2^64 / q). One divide here buys divide-free exact
+ * multiplication by s forever after (Shoup / Harvey, the standard
+ * trick behind fast NTT twiddle multiplication).
+ */
+inline uint64_t
+shoupPrecompute(uint64_t s, uint64_t q)
+{
+    return static_cast<uint64_t>(((uint128_t)s << 64) / q);
+}
+
+/**
+ * Lazy Shoup product: returns a*s mod q in [0, 2q).
+ *
+ * Valid for ANY 64-bit a when s < q and q < 2^63: with
+ * w = floor(s*2^64/q) the error term a*(s*2^64 - w*q)/2^64 < q, so
+ * a*s - floor(a*w/2^64)*q lands in [0, 2q) and fits in 64 bits.
+ */
+inline uint64_t
+mulModShoupLazy(uint64_t a, uint64_t s, uint64_t s_shoup, uint64_t q)
+{
+    const uint64_t hi =
+        static_cast<uint64_t>(((uint128_t)a * s_shoup) >> 64);
+    return a * s - hi * q;
+}
+
+/** Exact Shoup product: a*s mod q in [0, q). Same validity domain. */
+inline uint64_t
+mulModShoup(uint64_t a, uint64_t s, uint64_t s_shoup, uint64_t q)
+{
+    const uint64_t r = mulModShoupLazy(a, s, s_shoup, q);
+    return r >= q ? r - q : r;
+}
+
 /** a^e mod q by square-and-multiply. */
 uint64_t powMod(uint64_t a, uint64_t e, uint64_t q);
 

@@ -31,50 +31,130 @@ NttTable::NttTable(std::size_t n, uint64_t q) : n_(n), mod_(q)
         psi_inv_br_[i] = inv[bitReverse(static_cast<uint32_t>(i), log_n_)];
     }
     n_inv_ = invMod(static_cast<uint64_t>(n), q);
+
+    psi_br_shoup_.resize(n);
+    psi_inv_br_shoup_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        psi_br_shoup_[i] = shoupPrecompute(psi_br_[i], q);
+        psi_inv_br_shoup_[i] = shoupPrecompute(psi_inv_br_[i], q);
+    }
+    n_inv_shoup_ = shoupPrecompute(n_inv_, q);
+    inv_last_scaled_ = mod_.mul(psi_inv_br_[1], n_inv_);
+    inv_last_scaled_shoup_ = shoupPrecompute(inv_last_scaled_, q);
+
+    // The IFMA path needs 2q-lazy values below 2^52 and at least one
+    // full vector per butterfly group; outputs are bit-identical.
+    avx512_ok_ = detail::nttAvx512Available() && q < (1ULL << 51) &&
+                 n >= 16;
 }
 
 void
 NttTable::forward(uint64_t *a) const
 {
+    // Harvey lazy CT butterflies: values ride in [0, 4q). The top
+    // wing sheds 2q when needed, the twiddle product is a lazy Shoup
+    // multiply (< 2q), so u+v < 4q and u-v+2q < 4q hold inductively.
+    if (avx512_ok_) {
+        forwardAvx512(a);
+        return;
+    }
     const uint64_t q = mod_.value();
+    const uint64_t two_q = 2 * q;
+    const uint64_t *psi = psi_br_.data();
+    const uint64_t *psi_sh = psi_br_shoup_.data();
     std::size_t t = n_;
-    for (std::size_t m = 1; m < n_; m <<= 1) {
+    for (std::size_t m = 1; m < (n_ >> 1); m <<= 1) {
         t >>= 1;
         for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t j1 = 2 * i * t;
-            const uint64_t s = psi_br_[m + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                const uint64_t u = a[j];
-                const uint64_t v = mod_.mul(a[j + t], s);
-                a[j] = addMod(u, v, q);
-                a[j + t] = subMod(u, v, q);
+            const uint64_t s = psi[m + i];
+            const uint64_t s_sh = psi_sh[m + i];
+            uint64_t *p0 = a + 2 * i * t;
+            uint64_t *p1 = p0 + t;
+            for (std::size_t j = 0; j < t; ++j) {
+                uint64_t u = p0[j];
+                if (u >= two_q)
+                    u -= two_q;
+                const uint64_t v = mulModShoupLazy(p1[j], s, s_sh, q);
+                p0[j] = u + v;
+                p1[j] = u - v + two_q;
             }
         }
+    }
+    // Final stage (t = 1), fused with the [0, 4q) -> [0, q)
+    // canonicalization so the data takes no extra pass. The results
+    // are the unique canonical representatives — bit-identical to
+    // canonicalizing separately.
+    const std::size_t h = n_ >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+        const uint64_t s = psi[h + i];
+        const uint64_t s_sh = psi_sh[h + i];
+        uint64_t u = a[2 * i];
+        if (u >= two_q)
+            u -= two_q;
+        const uint64_t v = mulModShoupLazy(a[2 * i + 1], s, s_sh, q);
+        uint64_t x = u + v;
+        uint64_t y = u - v + two_q;
+        if (x >= two_q)
+            x -= two_q;
+        if (x >= q)
+            x -= q;
+        if (y >= two_q)
+            y -= two_q;
+        if (y >= q)
+            y -= q;
+        a[2 * i] = x;
+        a[2 * i + 1] = y;
     }
 }
 
 void
 NttTable::inverse(uint64_t *a) const
 {
+    // Harvey lazy GS butterflies: values ride in [0, 2q); the final
+    // stage folds the n^-1 scaling into its twiddle and multiplies
+    // exactly (Shoup with correction), landing in [0, q) with no
+    // separate scaling pass — bit-identical to scaling afterwards.
+    if (avx512_ok_) {
+        inverseAvx512(a);
+        return;
+    }
     const uint64_t q = mod_.value();
+    const uint64_t two_q = 2 * q;
+    const uint64_t *psi = psi_inv_br_.data();
+    const uint64_t *psi_sh = psi_inv_br_shoup_.data();
     std::size_t t = 1;
-    for (std::size_t m = n_; m > 1; m >>= 1) {
+    for (std::size_t m = n_; m > 2; m >>= 1) {
         const std::size_t h = m >> 1;
         std::size_t j1 = 0;
         for (std::size_t i = 0; i < h; ++i) {
-            const uint64_t s = psi_inv_br_[h + i];
-            for (std::size_t j = j1; j < j1 + t; ++j) {
-                const uint64_t u = a[j];
-                const uint64_t v = a[j + t];
-                a[j] = addMod(u, v, q);
-                a[j + t] = mod_.mul(subMod(u, v, q), s);
+            const uint64_t s = psi[h + i];
+            const uint64_t s_sh = psi_sh[h + i];
+            uint64_t *p0 = a + j1;
+            uint64_t *p1 = p0 + t;
+            for (std::size_t j = 0; j < t; ++j) {
+                const uint64_t u = p0[j];
+                const uint64_t v = p1[j];
+                uint64_t w = u + v;
+                if (w >= two_q)
+                    w -= two_q;
+                p0[j] = w;
+                p1[j] = mulModShoupLazy(u - v + two_q, s, s_sh, q);
             }
             j1 += 2 * t;
         }
         t <<= 1;
     }
-    for (std::size_t j = 0; j < n_; ++j)
-        a[j] = mod_.mul(a[j], n_inv_);
+    const std::size_t half = n_ >> 1;
+    for (std::size_t j = 0; j < half; ++j) {
+        const uint64_t u = a[j];
+        const uint64_t v = a[j + half];
+        uint64_t w = u + v;
+        if (w >= two_q)
+            w -= two_q;
+        a[j] = mulModShoup(w, n_inv_, n_inv_shoup_, q);
+        a[j + half] = mulModShoup(u - v + two_q, inv_last_scaled_,
+                                  inv_last_scaled_shoup_, q);
+    }
 }
 
 } // namespace cinnamon::rns

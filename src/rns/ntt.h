@@ -9,6 +9,15 @@
  * forward Cooley-Tukey butterflies with powers of the 2n-th root psi in
  * bit-reversed order, inverse Gentleman-Sande butterflies, both fully
  * in-place and in natural coefficient order.
+ *
+ * Butterflies use Harvey's lazy-reduction form: twiddle products go
+ * through precomputed Shoup constants (two multiplies, no Barrett
+ * reduction) and intermediate values ride in [0, 4q) forward /
+ * [0, 2q) inverse, with a single canonicalizing pass at the end. The
+ * final outputs are bit-identical to the fully-reduced formulation —
+ * each coefficient is the unique representative in [0, q) — which the
+ * golden-hash tests pin. Requires q < 2^62 so 4q fits in 64 bits
+ * (Modulus already asserts this).
  */
 
 #ifndef CINNAMON_RNS_NTT_H_
@@ -49,16 +58,43 @@ class NttTable
     const Modulus &modulus() const { return mod_; }
 
   private:
+    /**
+     * AVX-512 IFMA transform bodies (ntt_avx512.cc). Only called when
+     * avx512_ok_: the CPU has AVX512F+IFMA, q < 2^51 (so 2q-lazy
+     * values fit the 52-bit multiplier domain), and n >= 16. The
+     * 52-bit Shoup companions are the 64-bit tables shifted right by
+     * 12 (floor(floor(s*2^64/q) / 2^12) == floor(s*2^52/q)), so no
+     * extra tables are kept. Outputs are canonical and bit-identical
+     * to the scalar path.
+     */
+    void forwardAvx512(uint64_t *a) const;
+    void inverseAvx512(uint64_t *a) const;
     std::size_t n_;
     int log_n_;
     Modulus mod_;
-    /** psi^bitrev(i) for forward butterflies. */
+    /** psi^bitrev(i) for forward butterflies (+ Shoup companions). */
     std::vector<uint64_t> psi_br_;
-    /** psi^-bitrev(i) for inverse butterflies. */
+    std::vector<uint64_t> psi_br_shoup_;
+    /** psi^-bitrev(i) for inverse butterflies (+ Shoup companions). */
     std::vector<uint64_t> psi_inv_br_;
+    std::vector<uint64_t> psi_inv_br_shoup_;
     /** n^-1 mod q for the final inverse scaling. */
     uint64_t n_inv_;
+    uint64_t n_inv_shoup_;
+    /**
+     * psi^-bitrev(1) * n^-1 mod q (+ Shoup companion): the inverse
+     * transform's last butterfly stage folds the n^-1 scaling into
+     * its twiddle so no separate scaling pass is needed.
+     */
+    uint64_t inv_last_scaled_;
+    uint64_t inv_last_scaled_shoup_;
+    bool avx512_ok_ = false;
 };
+
+namespace detail {
+/** True when this CPU supports the AVX-512 IFMA transform path. */
+bool nttAvx512Available();
+} // namespace detail
 
 /** Reverse the low `bits` bits of x. */
 inline uint32_t

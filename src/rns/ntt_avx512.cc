@@ -1,0 +1,321 @@
+/**
+ * @file
+ * AVX-512 IFMA bodies for the negacyclic NTT.
+ *
+ * vpmadd52{lo,hi}uq multiply the low 52 bits of each lane, so the
+ * whole transform is restated in a 52-bit Shoup domain: for q < 2^51
+ * the lazy values in [0, 2q) stay below 2^52 and one hi52/lo52 pair
+ * replaces the 64x64 widening multiply. The 52-bit Shoup companion of
+ * a twiddle is its 64-bit companion shifted right by 12, because
+ * floor(floor(s * 2^64 / q) / 2^12) == floor(s * 2^52 / q) — so the
+ * scalar tables are reused as-is.
+ *
+ * Lazy product bound (the same argument as mulModShoupLazy, one bit
+ * narrower): for x < 2^52, s < q < 2^51 and W = floor(s * 2^52 / q),
+ * t = floor(x * W / 2^52) is floor(x * s / q) or one less, hence
+ * r = x*s - t*q lies in [0, 2q) and fits 52 bits, so computing it
+ * from the low-52 halves alone is exact.
+ *
+ * Stages with fewer than 8 butterflies per twiddle run the scalar
+ * loops; the final stages (one twiddle per butterfly) are vectorized
+ * by de-interleaving even/odd lanes. Every output is the canonical
+ * representative in [0, q) — bit-identical to the scalar path, which
+ * the golden-hash tests pin.
+ */
+
+#include "rns/ntt.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+#include <immintrin.h>
+
+// The unmasked _mm512_min_epu64 passes an undefined passthrough vector
+// to its masked form; GCC 12 flags that spuriously.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace cinnamon::rns {
+namespace {
+
+#define CINN_NTT_TARGET __attribute__((target("avx512f,avx512ifma")))
+
+/** min(x, x - m) unsigned: conditional subtract without a branch. */
+CINN_NTT_TARGET inline __m512i
+condSub(__m512i x, __m512i m)
+{
+    return _mm512_min_epu64(x, _mm512_sub_epi64(x, m));
+}
+
+/**
+ * Lazy Shoup product x * s mod q in [0, 2q), lane-wise.
+ * Requires x < 2^52 and s < q < 2^51; s52 = floor(s * 2^52 / q).
+ */
+CINN_NTT_TARGET inline __m512i
+mulLazy52(__m512i x, __m512i s, __m512i s52, __m512i q, __m512i mask52)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i t = _mm512_madd52hi_epu64(zero, x, s52);
+    const __m512i lo = _mm512_madd52lo_epu64(zero, x, s);
+    const __m512i tq = _mm512_madd52lo_epu64(zero, t, q);
+    return _mm512_and_si512(_mm512_sub_epi64(lo, tq), mask52);
+}
+
+/**
+ * Shuffle patterns for stages whose butterfly groups [u·t | v·t] are
+ * narrower than a vector (t ∈ {4, 2, 1}). Each iteration covers 16
+ * contiguous elements (8/t groups): gather the u/v wings with one
+ * permutex2var each, expand the 8/t consecutive twiddles to lanes,
+ * and scatter the results back with the inverse pattern.
+ */
+struct SmallStageIdx
+{
+    __m512i u, v, lo, hi, tw;
+};
+
+CINN_NTT_TARGET inline SmallStageIdx
+smallIdx(std::size_t t)
+{
+    SmallStageIdx s;
+    if (t == 4) {
+        s.u = _mm512_set_epi64(11, 10, 9, 8, 3, 2, 1, 0);
+        s.v = _mm512_set_epi64(15, 14, 13, 12, 7, 6, 5, 4);
+        s.lo = s.u;
+        s.hi = s.v;
+        s.tw = _mm512_set_epi64(1, 1, 1, 1, 0, 0, 0, 0);
+    } else if (t == 2) {
+        s.u = _mm512_set_epi64(13, 12, 9, 8, 5, 4, 1, 0);
+        s.v = _mm512_set_epi64(15, 14, 11, 10, 7, 6, 3, 2);
+        s.lo = _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0);
+        s.hi = _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4);
+        s.tw = _mm512_set_epi64(3, 3, 2, 2, 1, 1, 0, 0);
+    } else { // t == 1
+        s.u = _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+        s.v = _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+        s.lo = _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);
+        s.hi = _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);
+        s.tw = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+    }
+    return s;
+}
+
+CINN_NTT_TARGET void
+fwdBody(uint64_t *a, std::size_t n, uint64_t qv, const uint64_t *psi,
+        const uint64_t *psi_sh)
+{
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i two_q = _mm512_set1_epi64((long long)(2 * qv));
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+
+    // Wide stages (t >= 8 lanes per twiddle). Unlike the scalar
+    // path's [0, 4q) laziness, both wings re-reduce to [0, 2q) so the
+    // next stage's multiplier operand stays below 2^52.
+    std::size_t t = n >> 1;
+    std::size_t m = 1;
+    for (; t >= 8; m <<= 1, t >>= 1) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const __m512i s = _mm512_set1_epi64((long long)psi[m + i]);
+            const __m512i s52 =
+                _mm512_set1_epi64((long long)(psi_sh[m + i] >> 12));
+            uint64_t *p0 = a + 2 * i * t;
+            uint64_t *p1 = p0 + t;
+            for (std::size_t j = 0; j < t; j += 8) {
+                const __m512i u =
+                    _mm512_loadu_si512((const void *)(p0 + j));
+                const __m512i v =
+                    _mm512_loadu_si512((const void *)(p1 + j));
+                const __m512i w = mulLazy52(v, s, s52, q, mask52);
+                const __m512i x = condSub(_mm512_add_epi64(u, w), two_q);
+                const __m512i y = condSub(
+                    _mm512_add_epi64(_mm512_sub_epi64(u, w), two_q),
+                    two_q);
+                _mm512_storeu_si512((void *)(p0 + j), x);
+                _mm512_storeu_si512((void *)(p1 + j), y);
+            }
+        }
+    }
+
+    // Narrow stages t = 4, 2, 1 via in-register shuffles; the final
+    // stage fuses the [0, 2q) -> [0, q) canonicalization.
+    for (; t >= 1; m <<= 1, t >>= 1) {
+        const SmallStageIdx ix = smallIdx(t);
+        const bool last = t == 1;
+        const std::size_t step = 8 / t;
+        for (std::size_t i = 0; i < m; i += step) {
+            uint64_t *base = a + 2 * t * i;
+            const __m512i z0 = _mm512_loadu_si512((const void *)base);
+            const __m512i z1 =
+                _mm512_loadu_si512((const void *)(base + 8));
+            const __m512i u = _mm512_permutex2var_epi64(z0, ix.u, z1);
+            const __m512i v = _mm512_permutex2var_epi64(z0, ix.v, z1);
+            const __m512i s = _mm512_permutexvar_epi64(
+                ix.tw, _mm512_loadu_si512((const void *)(psi + m + i)));
+            const __m512i s52 = _mm512_permutexvar_epi64(
+                ix.tw,
+                _mm512_srli_epi64(
+                    _mm512_loadu_si512((const void *)(psi_sh + m + i)),
+                    12));
+            const __m512i w = mulLazy52(v, s, s52, q, mask52);
+            __m512i x = condSub(_mm512_add_epi64(u, w), two_q);
+            __m512i y = condSub(
+                _mm512_add_epi64(_mm512_sub_epi64(u, w), two_q), two_q);
+            if (last) {
+                x = condSub(x, q);
+                y = condSub(y, q);
+            }
+            _mm512_storeu_si512((void *)base,
+                                _mm512_permutex2var_epi64(x, ix.lo, y));
+            _mm512_storeu_si512((void *)(base + 8),
+                                _mm512_permutex2var_epi64(x, ix.hi, y));
+        }
+    }
+}
+
+CINN_NTT_TARGET void
+invBody(uint64_t *a, std::size_t n, uint64_t qv, const uint64_t *psi,
+        const uint64_t *psi_sh, uint64_t n_inv, uint64_t n_inv_sh,
+        uint64_t last, uint64_t last_sh)
+{
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i two_q = _mm512_set1_epi64((long long)(2 * qv));
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+
+    // Narrow GS stages t = 1, 2, 4 via in-register shuffles. The
+    // difference wing reduces to [0, 2q) before the twiddle product so
+    // the multiplier operand fits 52 bits; same residue, so the
+    // canonical result is unchanged.
+    std::size_t t = 1;
+    std::size_t m = n;
+    for (; m > 2 && t < 8; m >>= 1, t <<= 1) {
+        const SmallStageIdx ix = smallIdx(t);
+        const std::size_t h = m >> 1;
+        const std::size_t step = 8 / t;
+        for (std::size_t i = 0; i < h; i += step) {
+            uint64_t *base = a + 2 * t * i;
+            const __m512i z0 = _mm512_loadu_si512((const void *)base);
+            const __m512i z1 =
+                _mm512_loadu_si512((const void *)(base + 8));
+            const __m512i u = _mm512_permutex2var_epi64(z0, ix.u, z1);
+            const __m512i v = _mm512_permutex2var_epi64(z0, ix.v, z1);
+            const __m512i s = _mm512_permutexvar_epi64(
+                ix.tw, _mm512_loadu_si512((const void *)(psi + h + i)));
+            const __m512i s52 = _mm512_permutexvar_epi64(
+                ix.tw,
+                _mm512_srli_epi64(
+                    _mm512_loadu_si512((const void *)(psi_sh + h + i)),
+                    12));
+            const __m512i w = condSub(_mm512_add_epi64(u, v), two_q);
+            const __m512i d = condSub(
+                _mm512_add_epi64(_mm512_sub_epi64(u, v), two_q), two_q);
+            const __m512i y = mulLazy52(d, s, s52, q, mask52);
+            _mm512_storeu_si512((void *)base,
+                                _mm512_permutex2var_epi64(w, ix.lo, y));
+            _mm512_storeu_si512((void *)(base + 8),
+                                _mm512_permutex2var_epi64(w, ix.hi, y));
+        }
+    }
+
+    // Vector stages (t >= 8). The difference wing reduces to [0, 2q)
+    // before the twiddle product so the multiplier operand fits 52
+    // bits; same residue, so the canonical result is unchanged.
+    for (; m > 2; m >>= 1, t <<= 1) {
+        const std::size_t h = m >> 1;
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            const __m512i s = _mm512_set1_epi64((long long)psi[h + i]);
+            const __m512i s52 =
+                _mm512_set1_epi64((long long)(psi_sh[h + i] >> 12));
+            uint64_t *p0 = a + j1;
+            uint64_t *p1 = p0 + t;
+            for (std::size_t j = 0; j < t; j += 8) {
+                const __m512i u =
+                    _mm512_loadu_si512((const void *)(p0 + j));
+                const __m512i v =
+                    _mm512_loadu_si512((const void *)(p1 + j));
+                const __m512i w = condSub(_mm512_add_epi64(u, v), two_q);
+                const __m512i d = condSub(
+                    _mm512_add_epi64(_mm512_sub_epi64(u, v), two_q),
+                    two_q);
+                _mm512_storeu_si512((void *)(p0 + j), w);
+                _mm512_storeu_si512((void *)(p1 + j),
+                                    mulLazy52(d, s, s52, q, mask52));
+            }
+            j1 += 2 * t;
+        }
+    }
+
+    // Final stage (m == 2): exact products, n^-1 folded into the
+    // difference wing's twiddle exactly as in the scalar path.
+    const std::size_t half = n >> 1;
+    const __m512i ni = _mm512_set1_epi64((long long)n_inv);
+    const __m512i ni52 = _mm512_set1_epi64((long long)(n_inv_sh >> 12));
+    const __m512i la = _mm512_set1_epi64((long long)last);
+    const __m512i la52 = _mm512_set1_epi64((long long)(last_sh >> 12));
+    for (std::size_t j = 0; j < half; j += 8) {
+        const __m512i u = _mm512_loadu_si512((const void *)(a + j));
+        const __m512i v =
+            _mm512_loadu_si512((const void *)(a + j + half));
+        const __m512i w = condSub(_mm512_add_epi64(u, v), two_q);
+        const __m512i r0 =
+            condSub(mulLazy52(w, ni, ni52, q, mask52), q);
+        const __m512i d = condSub(
+            _mm512_add_epi64(_mm512_sub_epi64(u, v), two_q), two_q);
+        const __m512i r1 =
+            condSub(mulLazy52(d, la, la52, q, mask52), q);
+        _mm512_storeu_si512((void *)(a + j), r0);
+        _mm512_storeu_si512((void *)(a + j + half), r1);
+    }
+}
+
+#undef CINN_NTT_TARGET
+
+} // namespace
+
+bool
+detail::nttAvx512Available()
+{
+    static const bool ok = [] {
+        __builtin_cpu_init();
+        return __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512ifma");
+    }();
+    return ok;
+}
+
+void
+NttTable::forwardAvx512(uint64_t *a) const
+{
+    fwdBody(a, n_, mod_.value(), psi_br_.data(), psi_br_shoup_.data());
+}
+
+void
+NttTable::inverseAvx512(uint64_t *a) const
+{
+    invBody(a, n_, mod_.value(), psi_inv_br_.data(),
+            psi_inv_br_shoup_.data(), n_inv_, n_inv_shoup_,
+            inv_last_scaled_, inv_last_scaled_shoup_);
+}
+
+} // namespace cinnamon::rns
+
+#else // !(__x86_64__ && __GNUC__)
+
+namespace cinnamon::rns {
+
+bool
+detail::nttAvx512Available()
+{
+    return false;
+}
+
+void
+NttTable::forwardAvx512(uint64_t *) const
+{
+}
+
+void
+NttTable::inverseAvx512(uint64_t *) const
+{
+}
+
+} // namespace cinnamon::rns
+
+#endif

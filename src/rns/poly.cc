@@ -1,15 +1,23 @@
 #include "rns/poly.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "rns/kernels.h"
 
 namespace cinnamon::rns {
 
 RnsPoly::RnsPoly(const RnsContext &ctx, Basis basis, Domain domain)
-    : ctx_(&ctx), basis_(std::move(basis)), domain_(domain)
+    : ctx_(&ctx), basis_(std::move(basis)), domain_(domain), n_(ctx.n())
 {
-    limbs_.resize(basis_.size());
-    for (auto &l : limbs_)
-        l.assign(ctx.n(), 0);
+    data_.assign(basis_.size() * n_, 0);
+}
+
+void
+RnsPoly::setLimb(std::size_t i, ConstLimbSpan src)
+{
+    CINN_ASSERT(src.size() == n_, "setLimb: length mismatch");
+    std::memcpy(limbData(i), src.data(), n_ * sizeof(uint64_t));
 }
 
 int
@@ -26,8 +34,8 @@ RnsPoly::toEval()
 {
     if (domain_ == Domain::Eval)
         return;
-    for (std::size_t i = 0; i < limbs_.size(); ++i)
-        ctx_->ntt(basis_[i]).forward(limbs_[i]);
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        ctx_->ntt(basis_[i]).forward(limbData(i));
     domain_ = Domain::Eval;
 }
 
@@ -36,8 +44,8 @@ RnsPoly::toCoeff()
 {
     if (domain_ == Domain::Coeff)
         return;
-    for (std::size_t i = 0; i < limbs_.size(); ++i)
-        ctx_->ntt(basis_[i]).inverse(limbs_[i]);
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        ctx_->ntt(basis_[i]).inverse(limbData(i));
     domain_ = Domain::Coeff;
 }
 
@@ -46,13 +54,10 @@ RnsPoly::addInPlace(const RnsPoly &other)
 {
     CINN_ASSERT(basis_ == other.basis_ && domain_ == other.domain_,
                 "add: mismatched basis or domain");
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const uint64_t q = limbModulus(i).value();
-        const auto &ol = other.limbs_[i];
-        auto &l = limbs_[i];
-        for (std::size_t j = 0; j < l.size(); ++j)
-            l[j] = addMod(l[j], ol[j], q);
-    }
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        k.add(limbData(i), limbData(i), other.limbData(i), n_,
+              limbModulus(i).value());
 }
 
 void
@@ -60,13 +65,10 @@ RnsPoly::subInPlace(const RnsPoly &other)
 {
     CINN_ASSERT(basis_ == other.basis_ && domain_ == other.domain_,
                 "sub: mismatched basis or domain");
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const uint64_t q = limbModulus(i).value();
-        const auto &ol = other.limbs_[i];
-        auto &l = limbs_[i];
-        for (std::size_t j = 0; j < l.size(); ++j)
-            l[j] = subMod(l[j], ol[j], q);
-    }
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        k.sub(limbData(i), limbData(i), other.limbData(i), n_,
+              limbModulus(i).value());
 }
 
 void
@@ -75,46 +77,43 @@ RnsPoly::mulInPlace(const RnsPoly &other)
     CINN_ASSERT(basis_ == other.basis_, "mul: mismatched basis");
     CINN_ASSERT(domain_ == Domain::Eval && other.domain_ == Domain::Eval,
                 "pointwise mul requires the evaluation domain");
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &mod = limbModulus(i);
-        const auto &ol = other.limbs_[i];
-        auto &l = limbs_[i];
-        for (std::size_t j = 0; j < l.size(); ++j)
-            l[j] = mod.mul(l[j], ol[j]);
-    }
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        k.mul(limbData(i), limbData(i), other.limbData(i), n_,
+              limbModulus(i));
 }
 
 void
 RnsPoly::negateInPlace()
 {
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const uint64_t q = limbModulus(i).value();
-        for (auto &c : limbs_[i])
-            c = c == 0 ? 0 : q - c;
-    }
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        k.negate(limbData(i), limbData(i), n_, limbModulus(i).value());
 }
 
 void
 RnsPoly::mulScalarPerLimb(const std::vector<uint64_t> &scalars)
 {
-    CINN_ASSERT(scalars.size() == limbs_.size(),
+    CINN_ASSERT(scalars.size() == basis_.size(),
                 "per-limb scalar count mismatch");
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &mod = limbModulus(i);
-        const uint64_t s = scalars[i];
-        for (auto &c : limbs_[i])
-            c = mod.mul(c, s);
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        const uint64_t s = scalars[i] % q;
+        k.mulScalarShoup(limbData(i), limbData(i), n_, s,
+                         shoupPrecompute(s, q), q);
     }
 }
 
 void
 RnsPoly::mulScalarInt(uint64_t scalar)
 {
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const Modulus &mod = limbModulus(i);
-        const uint64_t s = scalar % mod.value();
-        for (auto &c : limbs_[i])
-            c = mod.mul(c, s);
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i) {
+        const uint64_t q = limbModulus(i).value();
+        const uint64_t s = scalar % q;
+        k.mulScalarShoup(limbData(i), limbData(i), n_, s,
+                         shoupPrecompute(s, q), q);
     }
 }
 
@@ -147,24 +146,13 @@ RnsPoly::automorphism(uint64_t galois) const
 {
     CINN_ASSERT(domain_ == Domain::Coeff,
                 "automorphism implemented in the coefficient domain");
-    const std::size_t n = ctx_->n();
-    CINN_ASSERT((galois & 1) == 1 && galois < 2 * n,
+    CINN_ASSERT((galois & 1) == 1 && galois < 2 * n_,
                 "galois element must be odd and < 2n");
     RnsPoly out(*ctx_, basis_, Domain::Coeff);
-    for (std::size_t i = 0; i < limbs_.size(); ++i) {
-        const uint64_t q = limbModulus(i).value();
-        const auto &src = limbs_[i];
-        auto &dst = out.limbs_[i];
-        for (std::size_t j = 0; j < n; ++j) {
-            // X^j maps to X^(j*g mod 2n); X^n = -1 folds the sign.
-            const uint64_t idx = (j * galois) % (2 * n);
-            if (idx < n) {
-                dst[idx] = src[j];
-            } else {
-                dst[idx - n] = src[j] == 0 ? 0 : q - src[j];
-            }
-        }
-    }
+    const KernelTable &k = kernels();
+    for (std::size_t i = 0; i < basis_.size(); ++i)
+        k.automorph(out.limbData(i), limbData(i), n_, galois,
+                    limbModulus(i).value());
     return out;
 }
 
@@ -175,7 +163,7 @@ RnsPoly::restrictTo(const Basis &sub) const
     for (std::size_t i = 0; i < sub.size(); ++i) {
         int pos = findPrime(sub[i]);
         CINN_ASSERT(pos >= 0, "restrictTo: prime not present in basis");
-        out.limbs_[i] = limbs_[pos];
+        out.setLimb(i, limb(pos));
     }
     return out;
 }
@@ -183,11 +171,9 @@ RnsPoly::restrictTo(const Basis &sub) const
 bool
 RnsPoly::isZero() const
 {
-    for (const auto &l : limbs_) {
-        for (uint64_t c : l) {
-            if (c != 0)
-                return false;
-        }
+    for (uint64_t c : data_) {
+        if (c != 0)
+            return false;
     }
     return true;
 }
@@ -196,7 +182,7 @@ bool
 RnsPoly::operator==(const RnsPoly &other) const
 {
     return ctx_ == other.ctx_ && basis_ == other.basis_ &&
-           domain_ == other.domain_ && limbs_ == other.limbs_;
+           domain_ == other.domain_ && data_ == other.data_;
 }
 
 } // namespace cinnamon::rns

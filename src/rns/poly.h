@@ -3,13 +3,19 @@
  * RNS polynomials: a tuple of limbs over a basis of primes.
  *
  * An RnsPoly represents an element of Z_Q[X]/(X^n + 1) where Q is the
- * product of the primes in its basis, stored as one limb (length-n
- * coefficient vector) per prime (Section 2, "Limbs"). Each polynomial
- * tracks whether it is in the coefficient or evaluation (NTT) domain;
- * pointwise multiplication requires the evaluation domain, base
- * conversion and automorphism require the coefficient domain, and the
- * domain-changing helpers are explicit so callers account for every
- * (I)NTT — the dominant cost in real hardware.
+ * product of the primes in its basis, stored limb-major in ONE flat
+ * contiguous buffer — limb i occupies [i*n, (i+1)*n) — matching the
+ * limb-partitioned layout the paper's data plane assumes (Section 4:
+ * a limb is the unit of placement and transfer). Callers view limbs
+ * through LimbSpan / ConstLimbSpan; the elementwise work is delegated
+ * to the kernel-dispatch table in rns/kernels.h.
+ *
+ * Each polynomial tracks whether it is in the coefficient or
+ * evaluation (NTT) domain; pointwise multiplication requires the
+ * evaluation domain, base conversion and automorphism require the
+ * coefficient domain, and the domain-changing helpers are explicit so
+ * callers account for every (I)NTT — the dominant cost in real
+ * hardware.
  */
 
 #ifndef CINNAMON_RNS_POLY_H_
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "rns/context.h"
+#include "rns/limb_span.h"
 
 namespace cinnamon::rns {
 
@@ -28,12 +35,12 @@ enum class Domain { Coeff, Eval };
 /**
  * A polynomial in RNS form over a subset of the context primes.
  *
- * Value semantics; copying copies all limbs.
+ * Value semantics; copying copies the flat buffer.
  */
 class RnsPoly
 {
   public:
-    RnsPoly() : ctx_(nullptr), domain_(Domain::Coeff) {}
+    RnsPoly() : ctx_(nullptr), domain_(Domain::Coeff), n_(0) {}
 
     /** All-zero polynomial over the given basis. */
     RnsPoly(const RnsContext &ctx, Basis basis, Domain domain);
@@ -42,14 +49,30 @@ class RnsPoly
     const RnsContext &context() const { return *ctx_; }
     const Basis &basis() const { return basis_; }
     Domain domain() const { return domain_; }
-    std::size_t numLimbs() const { return limbs_.size(); }
-    std::size_t n() const { return ctx_->n(); }
+    std::size_t numLimbs() const { return basis_.size(); }
+    std::size_t n() const { return n_; }
 
-    std::vector<uint64_t> &limb(std::size_t i) { return limbs_[i]; }
-    const std::vector<uint64_t> &limb(std::size_t i) const
+    /** Mutable view of limb i (plane [i*n, (i+1)*n) of the buffer). */
+    LimbSpan limb(std::size_t i) { return {data_.data() + i * n_, n_}; }
+    ConstLimbSpan
+    limb(std::size_t i) const
     {
-        return limbs_[i];
+        return {data_.data() + i * n_, n_};
     }
+
+    /** Raw pointer to limb i — the kernel-facing accessor. */
+    uint64_t *limbData(std::size_t i) { return data_.data() + i * n_; }
+    const uint64_t *
+    limbData(std::size_t i) const
+    {
+        return data_.data() + i * n_;
+    }
+
+    /** Copy `src` (length n) into limb i. */
+    void setLimb(std::size_t i, ConstLimbSpan src);
+
+    /** The whole limb-major buffer (numLimbs() * n() residues). */
+    const std::vector<uint64_t> &flat() const { return data_; }
 
     /** Prime index backing limb i. */
     uint32_t primeIndex(std::size_t i) const { return basis_[i]; }
@@ -115,7 +138,9 @@ class RnsPoly
     const RnsContext *ctx_;
     Basis basis_;
     Domain domain_;
-    std::vector<std::vector<uint64_t>> limbs_;
+    std::size_t n_;
+    /** Limb-major flat buffer: basis_.size() planes of n_ residues. */
+    std::vector<uint64_t> data_;
 };
 
 } // namespace cinnamon::rns

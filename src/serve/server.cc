@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include "exec/backend.h"
+
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -20,42 +22,6 @@ msSince(Clock::time_point t)
 {
     return std::chrono::duration<double, std::milli>(Clock::now() - t)
         .count();
-}
-
-/** FNV-1a, the order-independent-of-scheduling output fingerprint. */
-uint64_t
-fnv1a(uint64_t h, const void *data, std::size_t bytes)
-{
-    const auto *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-uint64_t
-hashPoly(uint64_t h, const rns::RnsPoly &poly)
-{
-    for (std::size_t i = 0; i < poly.numLimbs(); ++i) {
-        const auto &limb = poly.limb(i);
-        h = fnv1a(h, limb.data(), limb.size() * sizeof(uint64_t));
-    }
-    return h;
-}
-
-uint64_t
-hashOutputs(const std::map<std::string, fhe::Ciphertext> &outputs)
-{
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (const auto &[name, ct] : outputs) { // map: name-ordered
-        h = fnv1a(h, name.data(), name.size());
-        const uint64_t level = ct.level;
-        h = fnv1a(h, &level, sizeof(level));
-        h = hashPoly(h, ct.c0);
-        h = hashPoly(h, ct.c1);
-    }
-    return h;
 }
 
 } // namespace
@@ -287,24 +253,11 @@ Server::runProbe(const Request &request, std::size_t group_chips,
 
     // All randomness is derived from the request seed, so the output
     // hash is a pure function of (seed, catalog, parameters) — never
-    // of worker count or scheduling order.
-    fhe::KeyGenerator keygen(*ctx_, request.seed);
-    auto sk = keygen.secretKey();
-    fhe::Evaluator eval(*ctx_);
-    Rng data_rng(request.seed ^ 0x9e3779b97f4a7c15ull);
-
-    std::vector<fhe::Cplx> values(ctx_->slots());
-    for (auto &v : values)
-        v = fhe::Cplx(data_rng.uniformReal(-1.0, 1.0), 0.0);
-
-    auto plain =
-        encoder_->encode(values, catalog_->probeLevel());
-    auto ct = eval.encrypt(plain, ctx_->params().scale, sk, data_rng);
-
-    compiler::ProgramRuntime runtime(*ctx_, *encoder_, keygen, sk);
-    runtime.bindInput("x", ct);
-    auto outputs = runtime.run(compiled);
-    return hashOutputs(outputs);
+    // of worker count or scheduling order. The seeded emulate backend
+    // owns that discipline now; the digest semantics are unchanged.
+    auto report = exec::EmulateBackend::executeSeeded(
+        *ctx_, *encoder_, catalog_->probe(), compiled, request.seed);
+    return report.digest;
 }
 
 std::vector<Response>

@@ -106,8 +106,9 @@ ServeStats::report() const
 
     // The process-wide registry: request outcome counters and latency
     // histograms booked by every server in this process.
-    const std::string metrics =
+    std::string metrics =
         MetricsRegistry::global().textSnapshot("serve.");
+    metrics += MetricsRegistry::global().textSnapshot("emulator.");
     if (!metrics.empty()) {
         out += "metrics (process-wide):\n";
         std::istringstream lines(metrics);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "exec/backend.h"
 
 namespace cinnamon::workloads {
 
@@ -158,7 +159,10 @@ BenchmarkRunner::kernelResult(const compiler::Program &kernel,
         << compiler::cacheKeyOf(ks);
     return sim_cache_.getOrCompute(key.str(), [&] {
         const auto &prog = compiled(kernel, group, hw.phys_regs, ks);
-        return simulate(prog.machine, hw);
+        exec::SimulateBackend backend(hw);
+        auto report = backend.execute(prog);
+        CINN_ASSERT(report.has_sim, "simulate backend missing result");
+        return std::move(report.sim);
     });
 }
 

@@ -80,7 +80,7 @@ TEST(Emulator, LoadStoreRoundTrip)
     Emulator emu(*h.ctx, 1);
     Rng rng(1);
     auto limb = randomLimb(rng, *h.ctx, 0);
-    emu.memory(0)[100] = limb;
+    emu.memory(0).store(100, limb);
     emu.run(oneChip({make(Opcode::Load, 0, {}, 0, 100),
                      make(Opcode::Store, -1, {0}, 0, 200)}));
     EXPECT_EQ(emu.memory(0).at(200).data, limb.data);
@@ -95,8 +95,8 @@ TEST(Emulator, ArithmeticMatchesReference)
     Rng rng(2);
     auto a = randomLimb(rng, *h.ctx, 1);
     auto b = randomLimb(rng, *h.ctx, 1);
-    emu.memory(0)[1] = a;
-    emu.memory(0)[2] = b;
+    emu.memory(0).store(1, a);
+    emu.memory(0).store(2, b);
     emu.run(oneChip({
         make(Opcode::Load, 0, {}, 1, 1),
         make(Opcode::Load, 1, {}, 1, 2),
@@ -125,7 +125,7 @@ TEST(Emulator, NttInttInverse)
     Emulator emu(*h.ctx, 1);
     Rng rng(3);
     auto a = randomLimb(rng, *h.ctx, 0);
-    emu.memory(0)[1] = a;
+    emu.memory(0).store(1, a);
     emu.run(oneChip({
         make(Opcode::Load, 0, {}, 0, 1),
         make(Opcode::Ntt, 1, {0}, 0),
@@ -142,12 +142,12 @@ TEST(Emulator, AutomorphMatchesPolyAutomorphism)
     Rng rng(4);
     auto a = randomLimb(rng, *h.ctx, 0);
     const uint64_t g = 5;
-    emu.memory(0)[1] = a;
+    emu.memory(0).store(1, a);
     emu.run(oneChip({make(Opcode::Load, 0, {}, 0, 1),
                      make(Opcode::Automorph, 1, {0}, 0, g)}));
 
     rns::RnsPoly ref(h.ctx->rns(), {0}, rns::Domain::Coeff);
-    ref.limb(0) = a.data;
+    ref.setLimb(0, a.data);
     auto expected = ref.automorphism(g);
     EXPECT_EQ(emu.reg(0, 1).data, expected.limb(0));
 }
@@ -160,8 +160,8 @@ TEST(Emulator, BConvMatchesBaseConverter)
     // Source digit {q0, q1}; convert to prime index 2.
     auto a0 = randomLimb(rng, *h.ctx, 0);
     auto a1 = randomLimb(rng, *h.ctx, 1);
-    emu.memory(0)[1] = a0;
-    emu.memory(0)[2] = a1;
+    emu.memory(0).store(1, a0);
+    emu.memory(0).store(2, a1);
 
     // Pre-scale by (S/s_i)^{-1} mod s_i, as the compiler does.
     rns::Basis digit{0, 1};
@@ -180,8 +180,8 @@ TEST(Emulator, BConvMatchesBaseConverter)
     }));
 
     rns::RnsPoly src(h.ctx->rns(), digit, rns::Domain::Coeff);
-    src.limb(0) = a0.data;
-    src.limb(1) = a1.data;
+    src.setLimb(0, a0.data);
+    src.setLimb(1, a1.data);
     rns::BaseConverter conv(h.ctx->rns(), digit, {2});
     auto expected = conv.convert(src);
     EXPECT_EQ(emu.reg(0, 4).data, expected.limb(0));
@@ -193,7 +193,7 @@ TEST(Emulator, ModReducesAcrossPrimes)
     Emulator emu(*h.ctx, 1);
     Rng rng(6);
     auto a = randomLimb(rng, *h.ctx, 0);
-    emu.memory(0)[1] = a;
+    emu.memory(0).store(1, a);
     emu.run(oneChip({make(Opcode::Load, 0, {}, 0, 1),
                      make(Opcode::Mod, 1, {0}, 1, 0, {0})}));
     const uint64_t q1 = h.ctx->rns().modulus(1).value();
@@ -207,7 +207,7 @@ TEST(Emulator, BroadcastDeliversOwnerValue)
     Emulator emu(*h.ctx, 3);
     Rng rng(7);
     auto limb = randomLimb(rng, *h.ctx, 0);
-    emu.memory(1)[1] = limb; // owner is chip 1
+    emu.memory(1).store(1, limb); // owner is chip 1
 
     MachineProgram p;
     p.chips.resize(3);
@@ -236,7 +236,7 @@ TEST(Emulator, AggregationSumsAndScopesToGroup)
     std::vector<Limb> limbs;
     for (uint32_t c = 0; c < 4; ++c) {
         limbs.push_back(randomLimb(rng, *h.ctx, 0));
-        emu.memory(c)[1] = limbs.back();
+        emu.memory(c).store(1, limbs.back());
     }
 
     // Two disjoint groups {0,1} and {2,3}, each aggregating.
@@ -272,7 +272,7 @@ TEST(Emulator, IndependentGroupsProgressIndependently)
     Rng rng(9);
     auto limb = randomLimb(rng, *h.ctx, 0);
     for (uint32_t c = 0; c < 3; ++c)
-        emu.memory(c)[1] = limb;
+        emu.memory(c).store(1, limb);
 
     MachineProgram p;
     p.chips.resize(3);
@@ -299,7 +299,7 @@ TEST(Emulator, FenceAndNopAreNeutral)
     Emulator emu(*h.ctx, 1);
     Rng rng(10);
     auto a = randomLimb(rng, *h.ctx, 0);
-    emu.memory(0)[1] = a;
+    emu.memory(0).store(1, a);
     emu.run(oneChip({make(Opcode::Load, 0, {}, 0, 1),
                      make(Opcode::Fence, -1, {}, 0),
                      make(Opcode::Nop, -1, {}, 0),

@@ -95,7 +95,7 @@ TEST(RnsPoly, NegateIsAdditiveInverse)
     cinnamon::Rng rng(5);
     cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i)
-        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+        a.setLimb(i, rng.uniformVector(kN, ctx.modulus(basis[i]).value()));
     cr::RnsPoly neg = a;
     neg.negateInPlace();
     auto sum = a.add(neg);
@@ -109,7 +109,7 @@ TEST(RnsPoly, DomainRoundTrip)
     cinnamon::Rng rng(21);
     cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i)
-        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+        a.setLimb(i, rng.uniformVector(kN, ctx.modulus(basis[i]).value()));
     cr::RnsPoly b = a;
     b.toEval();
     EXPECT_EQ(b.domain(), cr::Domain::Eval);
@@ -124,7 +124,7 @@ TEST(RnsPoly, AutomorphismConjugationIsInvolution)
     cinnamon::Rng rng(17);
     cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i)
-        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+        a.setLimb(i, rng.uniformVector(kN, ctx.modulus(basis[i]).value()));
     const uint64_t conj = 2 * kN - 1;
     EXPECT_EQ(a.automorphism(conj).automorphism(conj), a);
 }
@@ -136,7 +136,7 @@ TEST(RnsPoly, AutomorphismComposition)
     cinnamon::Rng rng(23);
     cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i)
-        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+        a.setLimb(i, rng.uniformVector(kN, ctx.modulus(basis[i]).value()));
     const uint64_t g1 = 5, g2 = 25;
     auto lhs = a.automorphism(g1).automorphism(g2);
     auto rhs = a.automorphism((g1 * g2) % (2 * kN));
@@ -150,7 +150,7 @@ TEST(RnsPoly, RestrictToSelectsLimbs)
     cinnamon::Rng rng(31);
     cr::RnsPoly a(ctx, basis, cr::Domain::Coeff);
     for (std::size_t i = 0; i < basis.size(); ++i)
-        a.limb(i) = rng.uniformVector(kN, ctx.modulus(basis[i]).value());
+        a.setLimb(i, rng.uniformVector(kN, ctx.modulus(basis[i]).value()));
     auto r = a.restrictTo({2, 0});
     EXPECT_EQ(r.basis(), (cr::Basis{2, 0}));
     EXPECT_EQ(r.limb(0), a.limb(2));
@@ -208,7 +208,7 @@ TEST(BaseConversion, PartialMatchesFull)
     cinnamon::Rng rng(41);
     cr::RnsPoly x(ctx, src, cr::Domain::Coeff);
     for (std::size_t i = 0; i < src.size(); ++i)
-        x.limb(i) = rng.uniformVector(kN, ctx.modulus(src[i]).value());
+        x.setLimb(i, rng.uniformVector(kN, ctx.modulus(src[i]).value()));
 
     auto full = conv.convert(x);
     auto part = conv.convertPartial(x, {1, 2});
@@ -226,7 +226,7 @@ TEST(RnsTool, ModUpKeepsDigitLimbsExactly)
     cinnamon::Rng rng(51);
     cr::RnsPoly x(ctx, digit, cr::Domain::Coeff);
     for (std::size_t i = 0; i < digit.size(); ++i)
-        x.limb(i) = rng.uniformVector(kN, ctx.modulus(digit[i]).value());
+        x.setLimb(i, rng.uniformVector(kN, ctx.modulus(digit[i]).value()));
 
     auto up = tool.modUp(x, target);
     EXPECT_EQ(up.basis(), target);
