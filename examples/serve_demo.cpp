@@ -14,10 +14,24 @@
  *   build/examples/serve_demo [--requests N] [--workers W]
  *       [--chips C] [--group G] [--queue Q] [--dilation D]
  *       [--trace FILE.trace.json]
+ *       [--fault-seed S] [--chip-mtbf M] [--transient-p P]
+ *       [--link-p P] [--link-dilation X] [--repair-ms MS]
+ *       [--min-completion R]
  *
  * With --trace, the pooled run's per-request spans (queue → acquire →
- * simulate → probe → dwell) are written as Chrome trace-event JSON —
- * open the file in Perfetto or about://tracing.
+ * simulate → probe → dwell, plus backoff/quarantine/readmit fault
+ * spans) are written as Chrome trace-event JSON — open the file in
+ * Perfetto or about://tracing.
+ *
+ * The fault flags drive the deterministic fault-injection subsystem
+ * (DESIGN.md §5c): --chip-mtbf M kills a chip of the serving group
+ * every ~M attempts (quarantine + requeue onto healthy groups),
+ * --transient-p injects spurious execution errors (retried with
+ * backoff), --link-p/--link-dilation degrade the network PHY in the
+ * timing model. The same --fault-seed reproduces the same failure
+ * schedule bit for bit. --min-completion R exits non-zero if fewer
+ * than R of the admitted requests complete — the CI fault matrix
+ * gates on it.
  */
 
 #include <cstdio>
@@ -43,6 +57,16 @@ struct DemoConfig
     std::size_t queue = 64;
     double dilation = 300.0; ///< wall s per simulated s (device dwell)
     std::string trace_path;  ///< empty = no trace dump
+
+    // Fault injection (all layers disabled by default).
+    uint64_t fault_seed = 0;
+    double chip_mtbf = 0.0;    ///< requests between chip deaths
+    double transient_p = 0.0;  ///< spurious-error probability
+    double link_p = 0.0;       ///< degraded-PHY probability
+    double link_dilation = 4.0;
+    double repair_ms = 50.0;   ///< quarantine → readmission time
+    /** Minimum completed/admitted ratio; 0 disables the gate. */
+    double min_completion = 0.0;
 };
 
 DemoConfig
@@ -68,6 +92,20 @@ parseArgs(int argc, char **argv)
             cfg.queue = static_cast<std::size_t>(v);
         else if ((v = num("--dilation")) >= 0)
             cfg.dilation = v;
+        else if ((v = num("--fault-seed")) >= 0)
+            cfg.fault_seed = static_cast<uint64_t>(v);
+        else if ((v = num("--chip-mtbf")) >= 0)
+            cfg.chip_mtbf = v;
+        else if ((v = num("--transient-p")) >= 0)
+            cfg.transient_p = v;
+        else if ((v = num("--link-p")) >= 0)
+            cfg.link_p = v;
+        else if ((v = num("--link-dilation")) >= 0)
+            cfg.link_dilation = v;
+        else if ((v = num("--repair-ms")) >= 0)
+            cfg.repair_ms = v;
+        else if ((v = num("--min-completion")) >= 0)
+            cfg.min_completion = v;
         else if (std::strcmp(argv[i], "--trace") == 0 &&
                  i + 1 < argc)
             cfg.trace_path = argv[++i];
@@ -109,6 +147,12 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
     opt.queue_capacity = cfg.queue;
     opt.time_dilation = cfg.dilation;
     opt.trace = !trace_path.empty();
+    opt.faults.seed = cfg.fault_seed;
+    opt.faults.chip_mtbf_requests = cfg.chip_mtbf;
+    opt.faults.transient_p = cfg.transient_p;
+    opt.faults.link_degrade_p = cfg.link_p;
+    opt.faults.link_dilation = cfg.link_dilation;
+    opt.faults.chip_repair_ms = cfg.repair_ms;
 
     Server server(ctx, opt);
     server.start();
@@ -186,7 +230,37 @@ main(int argc, char **argv)
                 common, identical ? "yes" : "NO");
     std::printf("wall-clock speedup over --workers 1: %.2fx\n",
                 speedup);
-    if (!identical)
+
+    // No request is ever lost: the final fates partition the
+    // submitted set exactly (Retried rows are intermediate).
+    const std::size_t accounted =
+        pool_stats.completed + pool_stats.rejected +
+        pool_stats.expired + pool_stats.failed;
+    const bool conserved = accounted == pool_stats.submitted;
+    std::printf("request conservation: %zu completed + %zu rejected "
+                "+ %zu expired + %zu failed == %zu submitted: %s\n",
+                pool_stats.completed, pool_stats.rejected,
+                pool_stats.expired, pool_stats.failed,
+                pool_stats.submitted, conserved ? "yes" : "NO");
+
+    const std::size_t admitted =
+        pool_stats.submitted - pool_stats.rejected;
+    const double completion_rate =
+        admitted > 0 ? static_cast<double>(pool_stats.completed) /
+                           static_cast<double>(admitted)
+                     : 1.0;
+    if (cfg.min_completion > 0.0) {
+        std::printf("completion rate: %.1f%% of %zu admitted "
+                    "(gate: %.1f%%)\n",
+                    100.0 * completion_rate, admitted,
+                    100.0 * cfg.min_completion);
+        if (completion_rate < cfg.min_completion) {
+            std::fprintf(stderr,
+                         "completion rate below --min-completion\n");
+            return 1;
+        }
+    }
+    if (!identical || !conserved)
         return 1;
     return 0;
 }

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares fresh benchmark output against the committed baselines in
+bench/baselines/ and fails (exit 1) when a metric regressed by more
+than the threshold (default 25% — generous enough for shared-runner
+noise, tight enough to catch a real slowdown).
+
+  emulator_throughput.json  JSON array; entries matched on (variant,
+                            n, chips); higher-is-better metric
+                            `limb_ops_per_s`.
+  compile_time.json         single JSON object; lower-is-better
+                            metrics `serial_ms` and `parallel_ms`.
+
+Usage:
+  scripts/check_bench.py --emulator-throughput emulator_throughput.json \
+                         --compile-time compile_time.json \
+                         [--baseline-dir bench/baselines] \
+                         [--threshold 0.25] [--refresh]
+
+--refresh rewrites the baselines from the given current files instead
+of checking (use when a PR legitimately shifts performance; commit the
+refreshed baselines in the same PR).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def throughput_key(entry):
+    return (entry.get("variant", "?"), entry["n"], entry["chips"])
+
+
+def fmt_key(key):
+    variant, n, chips = key
+    return f"{variant} n={n} chips={chips}"
+
+
+def check_throughput(current, baseline, threshold, failures):
+    """Higher-is-better: fail when baseline/current - 1 > threshold."""
+    base_by_key = {throughput_key(e): e for e in baseline}
+    for entry in current:
+        key = throughput_key(entry)
+        base = base_by_key.get(key)
+        if base is None:
+            print(f"  [new] emulator_throughput {fmt_key(key)} "
+                  f"(no baseline; skipped)")
+            continue
+        cur_rate = entry["limb_ops_per_s"]
+        base_rate = base["limb_ops_per_s"]
+        if cur_rate <= 0:
+            failures.append(
+                f"emulator_throughput {fmt_key(key)}: "
+                f"non-positive rate {cur_rate}")
+            continue
+        slowdown = base_rate / cur_rate - 1.0
+        status = "FAIL" if slowdown > threshold else "ok"
+        print(f"  [{status}] emulator_throughput {fmt_key(key)}: "
+              f"{cur_rate:.0f} limb_ops/s vs baseline "
+              f"{base_rate:.0f} ({slowdown:+.1%} slowdown)")
+        if slowdown > threshold:
+            failures.append(
+                f"emulator_throughput {fmt_key(key)} regressed "
+                f"{slowdown:.1%} (> {threshold:.0%})")
+    for key in base_by_key:
+        if key not in {throughput_key(e) for e in current}:
+            failures.append(
+                f"emulator_throughput {fmt_key(key)}: present in "
+                f"baseline but missing from current run")
+
+
+def check_compile_time(current, baseline, threshold, failures):
+    """Lower-is-better: fail when current/baseline - 1 > threshold."""
+    for metric in ("serial_ms", "parallel_ms"):
+        cur = current[metric]
+        base = baseline[metric]
+        if base <= 0:
+            continue
+        slowdown = cur / base - 1.0
+        status = "FAIL" if slowdown > threshold else "ok"
+        print(f"  [{status}] compile_time {metric}: {cur:.3f} ms vs "
+              f"baseline {base:.3f} ms ({slowdown:+.1%})")
+        if slowdown > threshold:
+            failures.append(
+                f"compile_time {metric} regressed {slowdown:.1%} "
+                f"(> {threshold:.0%})")
+
+
+def refresh(args):
+    os.makedirs(args.baseline_dir, exist_ok=True)
+    for name, path in (
+        ("emulator_throughput.json", args.emulator_throughput),
+        ("compile_time.json", args.compile_time),
+    ):
+        if path is None:
+            continue
+        out = os.path.join(args.baseline_dir, name)
+        with open(out, "w") as f:
+            json.dump(load_json(path), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"refreshed {out} from {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="benchmark regression gate")
+    parser.add_argument("--emulator-throughput",
+                        help="current emulator_throughput.json")
+    parser.add_argument("--compile-time",
+                        help="current compile_time.json")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated slowdown fraction")
+    parser.add_argument("--refresh", action="store_true",
+                        help="rewrite baselines instead of checking")
+    args = parser.parse_args()
+
+    if args.emulator_throughput is None and args.compile_time is None:
+        parser.error("nothing to do: pass --emulator-throughput "
+                     "and/or --compile-time")
+    if args.refresh:
+        refresh(args)
+        return 0
+
+    failures = []
+    checks = (
+        ("emulator_throughput.json", args.emulator_throughput,
+         check_throughput),
+        ("compile_time.json", args.compile_time, check_compile_time),
+    )
+    for name, path, check in checks:
+        if path is None:
+            continue
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            print(f"missing baseline {base_path}; generate it with "
+                  f"--refresh and commit it", file=sys.stderr)
+            return 1
+        print(f"{name}:")
+        check(load_json(path), load_json(base_path), args.threshold,
+              failures)
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("(if this slowdown is intended, refresh the baselines "
+              "with scripts/check_bench.py --refresh and commit them "
+              "in the same PR)", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

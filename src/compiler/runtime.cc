@@ -117,6 +117,21 @@ ProgramRuntime::run(const CompiledProgram &program)
     isa::Emulator &emu = *emu_;
     emu.setWorkers(emu_workers_);
 
+    // Apply (and consume) an armed fault: translate the stream
+    // fraction into a concrete pc on the victim chip so the failure
+    // point is a pure function of (program, fraction), never timing.
+    if (fault_armed_) {
+        fault_armed_ = false;
+        const std::size_t victim = fault_chip_ % chips;
+        const auto &instrs = program.machine.chips[victim].instrs;
+        const auto pc = static_cast<std::size_t>(
+            fault_at_ * static_cast<double>(instrs.size()));
+        emu.injectChipFailure(victim,
+                              std::min(pc, instrs.size() - 1));
+    } else {
+        emu.clearFault();
+    }
+
     // Materialize exactly the addresses each chip loads. Every
     // address is (re-)stored each run — stores to mapped addresses
     // overwrite in place — so reusing the emulator never leaks data

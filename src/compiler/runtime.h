@@ -64,6 +64,20 @@ class ProgramRuntime
      */
     void setEmulatorWorkers(std::size_t w) { emu_workers_ = w; }
 
+    /**
+     * Arm a one-shot injected chip failure for the next run(): chip
+     * `chip` dies after executing `at_fraction` of its instruction
+     * stream (the run throws isa::EmulatorError). Consumed by the
+     * next run(); subsequent runs execute cleanly again.
+     */
+    void
+    armFault(std::size_t chip, double at_fraction)
+    {
+        fault_armed_ = true;
+        fault_chip_ = chip;
+        fault_at_ = at_fraction;
+    }
+
   private:
     /**
      * Produce the limb a descriptor names, as a view into runtime-
@@ -95,6 +109,10 @@ class ProgramRuntime
     std::size_t emu_chips_ = 0;
     isa::EmulatorStats last_stats_;
     std::size_t emu_workers_ = 1;
+    /** One-shot injected fault for the next run(). */
+    bool fault_armed_ = false;
+    std::size_t fault_chip_ = 0;
+    double fault_at_ = 0.5;
 };
 
 } // namespace cinnamon::compiler

@@ -68,7 +68,8 @@ EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
                               const fhe::Encoder &encoder,
                               const compiler::Program &source,
                               const compiler::CompiledProgram &program,
-                              uint64_t seed, std::size_t workers)
+                              uint64_t seed, std::size_t workers,
+                              const faults::FaultDecision *fault)
 {
     // All randomness is derived from the request seed, so the output
     // digest is a pure function of (seed, program, parameters) —
@@ -90,8 +91,14 @@ EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
         runtime.bindInput(op.name, ct);
     }
 
+    if (fault != nullptr && fault->chip_fails)
+        runtime.armFault(fault->chip_offset, fault->at_fraction);
     EmulateBackend backend(runtime, workers);
-    return backend.execute(program);
+    auto report = backend.execute(program);
+    if (fault != nullptr && fault->transient)
+        throw faults::TransientFaultError(
+            "injected transient execution fault");
+    return report;
 }
 
 } // namespace cinnamon::exec

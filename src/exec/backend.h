@@ -21,6 +21,7 @@
 
 #include "compiler/dsl.h"
 #include "compiler/runtime.h"
+#include "faults/fault_plan.h"
 #include "fhe/evaluator.h"
 #include "sim/simulator.h"
 
@@ -111,13 +112,23 @@ class EmulateBackend final : public ExecutionBackend
      * in the source program's input order), runs, and digests. The
      * report's digest is a pure function of (seed, program,
      * parameters) — never of worker count or scheduling.
+     *
+     * When `fault` is non-null its layers are injected into this one
+     * attempt: a chip failure arms the runtime so the victim chip
+     * throws isa::EmulatorError mid-program, and a transient fault
+     * throws faults::TransientFaultError after the program ran (the
+     * work happened; the result is spuriously lost). A null or
+     * all-clear decision executes identically to the unfaulted path,
+     * so a retried attempt reproduces the unfaulted digest bit for
+     * bit.
      */
     static ExecutionReport
     executeSeeded(const fhe::CkksContext &ctx,
                   const fhe::Encoder &encoder,
                   const compiler::Program &source,
                   const compiler::CompiledProgram &program, uint64_t seed,
-                  std::size_t workers = 1);
+                  std::size_t workers = 1,
+                  const faults::FaultDecision *fault = nullptr);
 
   private:
     compiler::ProgramRuntime *runtime_;

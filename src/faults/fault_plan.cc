@@ -1,0 +1,143 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cinnamon::faults {
+
+namespace {
+
+/** splitmix64: the finalizer that turns keys into decision streams. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Per-layer decision stream: hashing a distinct layer tag into the
+ * key decorrelates the layers, so e.g. raising transient_p never
+ * changes which requests draw chip failures.
+ */
+uint64_t
+draw(uint64_t plan_seed, uint64_t request_seed, std::size_t attempt,
+     uint64_t layer)
+{
+    uint64_t h = mix64(plan_seed ^ mix64(layer));
+    h = mix64(h ^ request_seed);
+    return mix64(h ^ static_cast<uint64_t>(attempt));
+}
+
+/** Uniform double in [0, 1) from the top 53 bits. */
+double
+unit(uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kChipLayer = 0x43484950ull;      // "CHIP"
+constexpr uint64_t kTransientLayer = 0x54524e53ull; // "TRNS"
+constexpr uint64_t kLinkLayer = 0x4c494e4bull;      // "LINK"
+constexpr uint64_t kBackoffLayer = 0x424b4f46ull;   // "BKOF"
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::ChipFailure: return "chip";
+    case FaultKind::Transient: return "transient";
+    case FaultKind::LinkDegrade: return "link";
+    }
+    return "?";
+}
+
+FaultKind
+FaultDecision::primary() const
+{
+    if (chip_fails)
+        return FaultKind::ChipFailure;
+    if (transient)
+        return FaultKind::Transient;
+    if (link_dilation > 1.0)
+        return FaultKind::LinkDegrade;
+    return FaultKind::None;
+}
+
+FaultDecision
+FaultPlan::decide(uint64_t request_seed, std::size_t attempt) const
+{
+    FaultDecision d;
+    if (config_.chip_mtbf_requests > 0.0) {
+        const uint64_t h =
+            draw(config_.seed, request_seed, attempt, kChipLayer);
+        if (unit(h) < 1.0 / config_.chip_mtbf_requests) {
+            d.chip_fails = true;
+            // Independent sub-draws pick the victim and the point in
+            // the stream where it dies; keep the fraction inside
+            // (0.1, 0.9) so the failure is genuinely mid-program.
+            d.chip_offset = static_cast<std::size_t>(mix64(h) >> 32);
+            d.at_fraction = 0.1 + 0.8 * unit(mix64(h ^ 0x5144ull));
+        }
+    }
+    if (config_.transient_p > 0.0) {
+        const uint64_t h =
+            draw(config_.seed, request_seed, attempt, kTransientLayer);
+        d.transient = unit(h) < config_.transient_p;
+    }
+    if (config_.link_degrade_p > 0.0) {
+        const uint64_t h =
+            draw(config_.seed, request_seed, attempt, kLinkLayer);
+        if (unit(h) < config_.link_degrade_p)
+            d.link_dilation = std::max(1.0, config_.link_dilation);
+    }
+    return d;
+}
+
+std::string
+FaultPlan::traceLine(uint64_t request_seed, std::size_t attempt,
+                     const FaultDecision &d)
+{
+    std::ostringstream oss;
+    oss << "seed=" << request_seed << " attempt=" << attempt
+        << " kind=" << faultKindName(d.primary());
+    if (d.chip_fails)
+        oss << " chip_offset=" << d.chip_offset % 1024
+            << " at=" << static_cast<int>(d.at_fraction * 1000);
+    if (d.transient)
+        oss << " transient=1";
+    if (d.link_dilation > 1.0)
+        oss << " dilation=" << d.link_dilation;
+    return oss.str();
+}
+
+std::vector<std::string>
+FaultPlan::schedule(const std::vector<uint64_t> &request_seeds,
+                    std::size_t attempts) const
+{
+    std::vector<std::string> lines;
+    lines.reserve(request_seeds.size() * attempts);
+    for (uint64_t seed : request_seeds)
+        for (std::size_t a = 0; a < attempts; ++a)
+            lines.push_back(traceLine(seed, a, decide(seed, a)));
+    return lines;
+}
+
+double
+backoffMs(uint64_t seed, std::size_t attempt, double base_ms,
+          double mult, double max_ms, double jitter)
+{
+    double delay = base_ms;
+    for (std::size_t k = 0; k < attempt; ++k)
+        delay *= mult;
+    delay = std::min(delay, max_ms);
+    const double u = unit(draw(seed, seed, attempt, kBackoffLayer));
+    return delay * (1.0 - jitter / 2.0 + jitter * u);
+}
+
+} // namespace cinnamon::faults

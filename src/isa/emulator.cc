@@ -114,6 +114,15 @@ void
 Emulator::execute(std::size_t chip, const Instruction &ins,
                   std::size_t pc)
 {
+    // The armed fault point fires at-or-after its pc so a fraction
+    // that lands on a collective still kills the chip at its next
+    // owned instruction.
+    if (fault_armed_ && chip == fault_chip_ && pc >= fault_pc_) {
+        std::ostringstream msg;
+        msg << "injected chip failure: chip " << chip
+            << " died mid-program at pc " << pc;
+        throw EmulatorError(msg.str(), ins.op, chip, pc);
+    }
     RegFile &rf = regs_[chip];
     const rns::Modulus &mod = ctx_->rns().modulus(ins.prime);
     const uint64_t q = mod.value();

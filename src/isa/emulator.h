@@ -153,6 +153,23 @@ class Emulator
     void setWorkers(std::size_t workers) { workers_ = workers; }
     std::size_t workers() const { return workers_; }
 
+    /**
+     * Arm an injected chip failure: chip `chip` throws EmulatorError
+     * the moment it is about to execute instruction index `pc` of its
+     * stream — the chip "dies mid-program", exactly as a hardware
+     * loss would surface to the host. Stays armed until clearFault().
+     */
+    void
+    injectChipFailure(std::size_t chip, std::size_t pc)
+    {
+        fault_armed_ = true;
+        fault_chip_ = chip;
+        fault_pc_ = pc;
+    }
+
+    /** Disarm any injected failure. */
+    void clearFault() { fault_armed_ = false; }
+
     /** Run a program to completion. */
     void run(const MachineProgram &program);
 
@@ -209,6 +226,11 @@ class Emulator
     std::vector<ChipMemory> mem_;
     /** Per-chip scratch plane (automorph/bconv aliasing). */
     std::vector<std::vector<uint64_t>> scratch_;
+    /** Injected chip-failure point (set before run, read during). */
+    bool fault_armed_ = false;
+    std::size_t fault_chip_ = 0;
+    std::size_t fault_pc_ = 0;
+
     /** Per-chip counters, merged into stats_ after each run(). */
     std::vector<EmulatorStats> chip_stats_;
     EmulatorStats stats_;

@@ -137,6 +137,7 @@ statusName(RequestStatus s)
     case RequestStatus::Rejected: return "rejected";
     case RequestStatus::Expired: return "expired";
     case RequestStatus::Failed: return "failed";
+    case RequestStatus::Retried: return "retried";
     }
     return "?";
 }

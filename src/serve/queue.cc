@@ -29,11 +29,27 @@ RequestQueue::pop()
 }
 
 void
+RequestQueue::requeue(Request request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    request.admitted = Clock::now();
+    items_.push_back(std::move(request));
+    ready_.notify_one();
+}
+
+void
 RequestQueue::close()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
     ready_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
 }
 
 std::size_t

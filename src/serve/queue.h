@@ -45,8 +45,24 @@ class RequestQueue
      */
     std::optional<Request> pop();
 
+    /**
+     * Re-admit a faulted request for another attempt. Bypasses both
+     * the capacity check (the request already holds an admission slot;
+     * bouncing it here would turn a transient fault into a loss) and
+     * the closed check (drainAndStop() closes the queue before workers
+     * finish, and an in-flight retry must still drain). Safe against
+     * worker shutdown: the requeuing worker itself returns to pop()
+     * and the queue only reports drained when empty, so a requeued
+     * request is always picked up. Restamps `admitted` — per-attempt
+     * queue wait — while `born` keeps the cross-attempt budget.
+     */
+    void requeue(Request request);
+
     /** Reject new work; pending requests still drain. */
     void close();
+
+    /** True once close() was called (submit failures are permanent). */
+    bool closed() const;
 
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }

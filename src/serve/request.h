@@ -41,10 +41,17 @@ struct Request
     Workload workload = Workload::Keyswitch;
     /** Determines the request's keys and input ciphertexts. */
     uint64_t seed = 0;
-    /** Wall-clock deadline measured from admission; 0 = none. */
+    /** Wall-clock deadline measured from first admission; 0 = none. */
     std::chrono::milliseconds deadline{0};
-    /** Stamped by the queue at admission. */
+    /** Stamped by the queue at (re-)admission. */
     Clock::time_point admitted{};
+    /**
+     * First admission; the deadline budget spans every attempt, so
+     * retries never reset it. Stamped once by Server::submit().
+     */
+    Clock::time_point born{};
+    /** Execution attempt, 0-based; bumped on each requeue. */
+    std::size_t attempt = 0;
 };
 
 /** How a request left the system. */
@@ -53,6 +60,7 @@ enum class RequestStatus {
     Rejected,  ///< bounced at admission (queue full — backpressure)
     Expired,   ///< deadline passed while queued
     Failed,    ///< execution raised an error
+    Retried,   ///< attempt faulted; requeued for another attempt
 };
 
 const char *statusName(RequestStatus s);
@@ -75,7 +83,22 @@ struct Response
     uint64_t output_hash = 0;
     /** Chip group that served the request (size_t(-1) if none). */
     std::size_t group = static_cast<std::size_t>(-1);
-    std::string error; ///< for Failed
+    std::string error; ///< for Failed / Retried
+    /** Execution attempt this response describes (0-based). */
+    std::size_t attempt = 0;
+    /**
+     * True when the condition behind a non-Completed status is
+     * transient: a Rejected submit may be retried once the queue
+     * drains, and a Failed/Retried attempt hit an injected or
+     * infrastructure fault rather than a permanent program error.
+     */
+    bool retryable = false;
+    /**
+     * For Retried: the attempt was requeued onto different hardware
+     * because its group lost a chip (or the machine was fully
+     * quarantined), not merely because of a transient error.
+     */
+    bool requeued = false;
 };
 
 } // namespace cinnamon::serve

@@ -11,6 +11,14 @@
  * in strict FIFO ticket order so a burst of workers cannot starve an
  * early one. Per-group busy time is accounted on release, which is
  * what the ServeStats utilization report is built from.
+ *
+ * Degraded mode: when a chip dies mid-program (markChipFailed) its
+ * whole group is quarantined — release() parks it instead of freeing
+ * it, so the dead hardware serves no further request — and the
+ * machine keeps serving on the remaining groups. A health probe
+ * re-admits quarantined groups once their repair time has elapsed
+ * (readmitRecovered). If every group is quarantined, acquire() throws
+ * NoHealthyGroupsError instead of deadlocking.
  */
 
 #ifndef CINNAMON_SERVE_SCHEDULER_H_
@@ -19,6 +27,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "serve/request.h"
@@ -26,6 +35,21 @@
 namespace cinnamon::serve {
 
 class ChipGroupScheduler;
+
+/**
+ * Thrown by acquire() when every group is quarantined: there is no
+ * healthy hardware to wait for, so blocking would deadlock the worker.
+ * Retryable — the health probe re-admits repaired groups.
+ */
+class NoHealthyGroupsError : public std::runtime_error
+{
+  public:
+    NoHealthyGroupsError()
+        : std::runtime_error("no healthy chip groups: every group is "
+                             "quarantined pending repair")
+    {
+    }
+};
 
 /** RAII ownership of one chip group; releases on destruction. */
 class GroupLease
@@ -71,7 +95,12 @@ class ChipGroupScheduler
      */
     ChipGroupScheduler(std::size_t chips, std::size_t group_size);
 
-    /** Block until a group is free (FIFO among waiters) and lease it. */
+    /**
+     * Block until a group is free (FIFO among waiters) and lease it.
+     *
+     * @throws NoHealthyGroupsError if every group is quarantined —
+     *         there is nothing to wait for until a repair.
+     */
     GroupLease acquire();
 
     /** Lease a group only if one is free right now. */
@@ -96,9 +125,49 @@ class ChipGroupScheduler
      */
     std::vector<double> busySeconds() const;
 
+    /**
+     * Degraded mode: record that `chip` died and quarantine its group.
+     * Called at fault-injection time, while the victim's lease is
+     * still held — release() then parks the group instead of
+     * returning it to the free list, so no later request can lease
+     * dead hardware. Idempotent per group.
+     */
+    void markChipFailed(std::size_t chip);
+
+    /**
+     * Health probe: re-admit every quarantined, unleased group whose
+     * quarantine is at least `repair_ms` old (the repair / hot-spare
+     * swap time has elapsed). Clears the group's failed-chip marks.
+     *
+     * @return the groups re-admitted, for tracing.
+     */
+    std::vector<std::size_t> readmitRecovered(double repair_ms);
+
+    /** Immediately re-admit one quarantined group (test hook). */
+    void readmit(std::size_t group);
+
+    bool isQuarantined(std::size_t group) const;
+    /** Groups currently quarantined. */
+    std::size_t quarantinedGroups() const;
+    /** Groups neither quarantined nor permanently lost. */
+    std::size_t
+    healthyGroups() const
+    {
+        return numGroups() - quarantinedGroups();
+    }
+    /** Chips currently marked failed. */
+    std::vector<std::size_t> failedChips() const;
+    /** Quarantine events so far (monotone; readmission never decrements). */
+    std::size_t quarantinesTotal() const;
+    /** Readmission events so far. */
+    std::size_t readmissionsTotal() const;
+
   private:
     friend class GroupLease;
     void release(std::size_t group);
+
+    /** Readmit one group; caller holds mutex_. */
+    void readmitLocked(std::size_t group);
 
     const std::size_t group_size_;
     mutable std::mutex mutex_;
@@ -106,6 +175,12 @@ class ChipGroupScheduler
     std::vector<std::size_t> free_;         ///< free-group LIFO
     std::vector<Clock::time_point> busy_since_; ///< epoch = free
     std::vector<double> busy_seconds_;
+    std::vector<uint8_t> quarantined_;      ///< per group
+    std::vector<Clock::time_point> quarantined_since_;
+    std::vector<uint8_t> chip_failed_;      ///< per chip
+    std::size_t quarantined_count_ = 0;
+    std::size_t quarantines_total_ = 0;
+    std::size_t readmissions_total_ = 0;
     uint64_t next_ticket_ = 0;  ///< next ticket to hand out
     uint64_t serving_ticket_ = 0; ///< lowest ticket allowed to lease
 };

@@ -38,11 +38,18 @@ Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
     scheduler_ = std::make_unique<ChipGroupScheduler>(
         options_.chips, options_.group_size);
     encoder_ = std::make_unique<fhe::Encoder>(ctx);
+    if (options_.faults.enabled())
+        fault_plan_ =
+            std::make_unique<faults::FaultPlan>(options_.faults);
     if (options_.trace) {
         trace_.setProcessName(kServerPid, "cinnamon-serve");
         for (std::size_t w = 0; w < options_.workers; ++w)
             trace_.setThreadName(kServerPid, static_cast<uint32_t>(w),
                                  "worker " + std::to_string(w));
+        if (fault_plan_)
+            trace_.setThreadName(
+                kServerPid, static_cast<uint32_t>(options_.workers),
+                "health-probe");
     }
 }
 
@@ -69,6 +76,13 @@ Server::start()
     workers_.reserve(options_.workers);
     for (std::size_t w = 0; w < options_.workers; ++w)
         workers_.emplace_back([this, w] { workerLoop(w); });
+    if (fault_plan_) {
+        {
+            std::lock_guard<std::mutex> lock(probe_mutex_);
+            probe_stop_ = false;
+        }
+        health_probe_ = std::thread([this] { healthProbeLoop(); });
+    }
 }
 
 bool
@@ -79,6 +93,7 @@ Server::submit(Workload workload, uint64_t seed,
     r.workload = workload;
     r.seed = seed;
     r.deadline = deadline;
+    r.born = Clock::now();
     {
         std::lock_guard<std::mutex> lock(responses_mutex_);
         r.id = next_id_++;
@@ -86,9 +101,27 @@ Server::submit(Workload workload, uint64_t seed,
     }
     auto &metrics = MetricsRegistry::global();
     metrics.counter("serve.requests.submitted").add();
+    const uint64_t id = r.id;
     const bool admitted = queue_->submit(std::move(r));
-    if (!admitted)
+    if (!admitted) {
         metrics.counter("serve.requests.rejected").add();
+        // Tell the caller whether this rejection is worth retrying:
+        // a queue-full bounce clears as the queue drains; a submit
+        // after shutdown began never will.
+        Response resp;
+        resp.id = id;
+        resp.workload = workload;
+        resp.status = RequestStatus::Rejected;
+        resp.retryable = !queue_->closed();
+        resp.error = resp.retryable
+                         ? "queue full (backpressure): retry later"
+                         : "server draining: submit elsewhere";
+        if (resp.retryable)
+            metrics.counter("serve.requests.rejected_retryable")
+                .add();
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        responses_.push_back(std::move(resp));
+    }
     return admitted;
 }
 
@@ -103,6 +136,17 @@ Server::drainAndStop()
     for (auto &t : workers_)
         t.join();
     workers_.clear();
+    // Stop the health probe only after the workers are gone: a drain
+    // stuck on an all-quarantined machine needs the probe to re-admit
+    // repaired groups for the final retries to complete.
+    if (health_probe_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(probe_mutex_);
+            probe_stop_ = true;
+        }
+        probe_cv_.notify_all();
+        health_probe_.join();
+    }
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
         wall_seconds_ =
@@ -122,6 +166,39 @@ Server::workerLoop(std::size_t worker)
     }
 }
 
+void
+Server::healthProbeLoop()
+{
+    auto &metrics = MetricsRegistry::global();
+    const auto interval = std::chrono::duration<double, std::milli>(
+        options_.health_probe_interval_ms);
+    std::unique_lock<std::mutex> lock(probe_mutex_);
+    while (!probe_stop_) {
+        probe_cv_.wait_for(lock, interval,
+                           [&] { return probe_stop_; });
+        if (probe_stop_)
+            return;
+        lock.unlock();
+        const auto readmitted = scheduler_->readmitRecovered(
+            options_.faults.chip_repair_ms);
+        for (const std::size_t group : readmitted) {
+            metrics.counter("serve.readmissions").add();
+            if (options_.trace) {
+                TraceEvent e;
+                e.name = "readmit";
+                e.category = "faults";
+                e.pid = kServerPid;
+                e.tid = static_cast<uint32_t>(options_.workers);
+                e.ts_us = trace_.nowUs();
+                e.num_args.emplace_back(
+                    "group", static_cast<double>(group));
+                trace_.complete(std::move(e));
+            }
+        }
+        lock.lock();
+    }
+}
+
 Response
 Server::process(const Request &request, std::size_t worker)
 {
@@ -138,6 +215,7 @@ Server::process(const Request &request, std::size_t worker)
     Response resp;
     resp.id = request.id;
     resp.workload = request.workload;
+    resp.attempt = request.attempt;
     resp.queue_ms = msSince(request.admitted);
     if (trace != nullptr) {
         TraceEvent e;
@@ -160,15 +238,28 @@ Server::process(const Request &request, std::size_t worker)
         metrics.counter("serve.requests.expired").add();
     };
 
+    // The deadline budget is measured from first admission (`born`),
+    // so a retried attempt inherits whatever its earlier attempts
+    // already spent — retries never reset the clock.
+    const auto budget_ms = [&] { return msSince(request.born); };
+    const auto deadline_ms =
+        static_cast<double>(request.deadline.count());
+
     // A request whose latency budget was spent in the queue is shed
     // here: running it would only push the requests behind it past
     // their own deadlines.
-    if (request.deadline.count() > 0 &&
-        resp.queue_ms >
-            static_cast<double>(request.deadline.count())) {
+    if (request.deadline.count() > 0 && budget_ms() > deadline_ms) {
         expire();
         return resp;
     }
+
+    // The faults this attempt suffers — a pure function of
+    // (fault seed, request seed, attempt), fixed before execution so
+    // the catch block below can classify what it sees.
+    const faults::FaultDecision fault =
+        fault_plan_ != nullptr
+            ? fault_plan_->decide(request.seed, request.attempt)
+            : faults::FaultDecision{};
 
     const auto service_start = Clock::now();
     try {
@@ -184,8 +275,7 @@ Server::process(const Request &request, std::size_t worker)
         // machine must be shed, not run — otherwise it occupies the
         // group for work nobody can use and delays everyone behind it.
         if (request.deadline.count() > 0 &&
-            msSince(request.admitted) >
-                static_cast<double>(request.deadline.count())) {
+            budget_ms() > deadline_ms) {
             resp.service_ms = msSince(service_start);
             expire();
             metrics.counter("serve.requests.expired_after_lease")
@@ -193,24 +283,76 @@ Server::process(const Request &request, std::size_t worker)
             return resp;
         }
 
+        // Quarantine the victim's group *before* executing: the
+        // injected EmulatorError unwinds through the lease destructor,
+        // and release() must already know the group is poisoned so it
+        // parks it instead of freeing it.
+        std::size_t victim = 0;
+        if (fault.chip_fails) {
+            const auto [lo, hi] = scheduler_->chipsOf(lease.group());
+            victim = lo + fault.chip_offset % options_.group_size;
+            (void)hi;
+            metrics.counter("faults.injected.chip").add();
+            metrics.counter("serve.quarantines").add();
+            scheduler_->markChipFailed(victim);
+            if (trace != nullptr) {
+                TraceEvent e;
+                e.name = "quarantine";
+                e.category = "faults";
+                e.pid = kServerPid;
+                e.tid = tid;
+                e.ts_us = trace->nowUs();
+                e.num_args.emplace_back(
+                    "chip", static_cast<double>(victim));
+                e.num_args.emplace_back(
+                    "group", static_cast<double>(lease.group()));
+                e.num_args.emplace_back(
+                    "rid", static_cast<double>(request.id));
+                trace->complete(std::move(e));
+            }
+        }
+        if (fault.transient)
+            metrics.counter("faults.injected.transient").add();
+        if (fault.link_dilation > 1.0)
+            metrics.counter("faults.injected.link").add();
+
         // Time the workload's kernels on this group (shared cache:
-        // the first request of a kind compiles, the rest hit).
+        // the first request of a kind compiles, the rest hit). A
+        // degraded link stretches every collective in the timing
+        // model; the dilated config has its own cache key.
         {
             auto s = span("simulate");
+            sim::HardwareConfig hw = options_.hw;
+            if (fault.link_dilation > 1.0) {
+                hw.link_dilation = fault.link_dilation;
+                s.arg("link_dilation", fault.link_dilation);
+            }
             const auto &bench = catalog_->benchmark(request.workload);
             const auto timing =
-                runner_->run(bench, options_.group_size, options_.hw,
+                runner_->run(bench, options_.group_size, hw,
                              options_.group_size);
             resp.sim_seconds = timing.seconds;
             resp.compile_ms = timing.compile_ms;
         }
 
-        // End-to-end functional execution at small parameter sets.
+        // End-to-end functional execution at small parameter sets;
+        // chip and transient faults are injected into the emulated
+        // attempt. When the probe is skipped (large n) the same
+        // faults surface directly as a sim-side abort.
         if (options_.emulate && ctx_->n() <= options_.emulate_max_n) {
             auto s = span("probe");
             resp.output_hash =
                 runProbe(request, options_.group_size,
-                         &resp.compile_ms);
+                         &resp.compile_ms,
+                         fault.any() ? &fault : nullptr);
+        } else if (fault.chip_fails) {
+            throw faults::ChipFailedError(
+                victim, "injected chip failure: chip " +
+                            std::to_string(victim) +
+                            " lost mid-run (sim abort)");
+        } else if (fault.transient) {
+            throw faults::TransientFaultError(
+                "injected transient execution fault");
         }
 
         // Model the accelerator group's real occupancy: the host
@@ -224,9 +366,67 @@ Server::process(const Request &request, std::size_t worker)
         }
         resp.status = RequestStatus::Completed;
     } catch (const std::exception &e) {
-        resp.status = RequestStatus::Failed;
+        resp.service_ms = msSince(service_start);
+        // Injected faults and a fully-quarantined machine are
+        // transient infrastructure conditions: the attempt is
+        // retryable. Anything else is a permanent program error.
+        const bool no_healthy =
+            dynamic_cast<const NoHealthyGroupsError *>(&e) != nullptr;
+        const bool retryable = fault.any() || no_healthy;
+        resp.retryable = retryable;
         resp.error = e.what();
+
+        const bool attempts_left =
+            request.attempt + 1 < options_.retry.max_attempts;
+        double delay_ms = faults::backoffMs(
+            request.seed, request.attempt,
+            options_.retry.backoff_base_ms, options_.retry.backoff_mult,
+            options_.retry.backoff_max_ms,
+            options_.retry.backoff_jitter);
+        // A full outage clears no sooner than the repair time, so
+        // retrying faster would only burn the attempt budget; wait
+        // at least one repair + probe window.
+        if (no_healthy)
+            delay_ms = std::max(
+                delay_ms, options_.faults.chip_repair_ms +
+                              options_.health_probe_interval_ms);
+        // Deadline-aware: a retry is scheduled only if its backoff
+        // still fits inside the budget. Never retry past the deadline.
+        const bool deadline_allows =
+            request.deadline.count() == 0 ||
+            budget_ms() + delay_ms <= deadline_ms;
+
+        if (retryable && attempts_left && deadline_allows) {
+            resp.status = RequestStatus::Retried;
+            resp.total_ms = resp.queue_ms + resp.service_ms;
+            metrics.counter("serve.retries").add();
+            resp.requeued = fault.chip_fails || no_healthy;
+            if (resp.requeued)
+                metrics.counter("serve.requeued").add();
+            {
+                auto s = span("backoff");
+                s.arg("attempt",
+                      static_cast<double>(request.attempt));
+                s.arg("delay_ms", delay_ms);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        delay_ms));
+            }
+            Request next = request;
+            ++next.attempt;
+            queue_->requeue(std::move(next));
+            return resp;
+        }
+        if (retryable && !deadline_allows) {
+            // The fault burned the rest of the budget: the request
+            // expires rather than fails — it was shed, not lost.
+            expire();
+            return resp;
+        }
+        resp.status = RequestStatus::Failed;
         metrics.counter("serve.requests.failed").add();
+        resp.total_ms = resp.queue_ms + resp.service_ms;
+        return resp;
     }
     resp.service_ms = msSince(service_start);
     resp.total_ms = resp.queue_ms + resp.service_ms;
@@ -242,7 +442,7 @@ Server::process(const Request &request, std::size_t worker)
 
 uint64_t
 Server::runProbe(const Request &request, std::size_t group_chips,
-                 double *compile_ms)
+                 double *compile_ms, const faults::FaultDecision *fault)
 {
     double probe_compile_ms = 0.0;
     const auto &compiled = runner_->compiled(
@@ -254,9 +454,11 @@ Server::runProbe(const Request &request, std::size_t group_chips,
     // All randomness is derived from the request seed, so the output
     // hash is a pure function of (seed, catalog, parameters) — never
     // of worker count or scheduling order. The seeded emulate backend
-    // owns that discipline now; the digest semantics are unchanged.
+    // owns that discipline now; the digest semantics are unchanged,
+    // and an all-clear fault decision executes identically to none.
     auto report = exec::EmulateBackend::executeSeeded(
-        *ctx_, *encoder_, catalog_->probe(), compiled, request.seed);
+        *ctx_, *encoder_, catalog_->probe(), compiled, request.seed,
+        1, fault);
     return report.digest;
 }
 

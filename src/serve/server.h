@@ -28,16 +28,29 @@
  * (request seed, workload catalog, parameter set) — never on worker
  * count, scheduling order, or cache state. Concurrent and serial runs
  * of the same trace are bit-identical.
+ *
+ * Resilience (DESIGN.md §5c): when ServeOptions::faults enables a
+ * fault schedule, attempts can suffer injected chip death, transient
+ * execution errors, or link degradation. Faulted attempts are retried
+ * under RetryPolicy (bounded attempts, seeded exponential backoff,
+ * never past the deadline); a chip death quarantines its group and
+ * the request is requeued onto healthy hardware; a health probe
+ * re-admits repaired groups. Fault decisions are pure functions of
+ * (fault seed, request seed, attempt), so the determinism contract
+ * survives: a retried request's output hash equals the unfaulted
+ * run's.
  */
 
 #ifndef CINNAMON_SERVE_SERVER_H_
 #define CINNAMON_SERVE_SERVER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/trace.h"
+#include "faults/fault_plan.h"
 #include "fhe/encoder.h"
 #include "serve/catalog.h"
 #include "serve/queue.h"
@@ -46,6 +59,24 @@
 #include "workloads/benchmarks.h"
 
 namespace cinnamon::serve {
+
+/**
+ * Bounded, deadline-aware retry for faulted attempts. Backoff is
+ * exponential with jitter drawn from the request seed (a pure
+ * function of (seed, attempt) — reproducible run to run), and a
+ * retry is scheduled only if its backoff still fits inside the
+ * request's deadline: the runtime never retries past the deadline.
+ */
+struct RetryPolicy
+{
+    /** Total execution attempts per request (1 = no retries). */
+    std::size_t max_attempts = 3;
+    double backoff_base_ms = 1.0; ///< delay before the first retry
+    double backoff_mult = 2.0;    ///< growth per attempt
+    double backoff_max_ms = 50.0; ///< cap on the pre-jitter delay
+    /** Jitter width: the delay is scaled by [1 - j/2, 1 + j/2). */
+    double backoff_jitter = 0.5;
+};
 
 /** Deployment shape of one serving replica. */
 struct ServeOptions
@@ -75,6 +106,19 @@ struct ServeOptions
      */
     bool trace = false;
     sim::HardwareConfig hw; ///< per-chip model (hw.n set from ctx)
+    /**
+     * Deterministic fault schedule (chip death, transient errors,
+     * link degradation). Disabled by default; see faults/fault_plan.h.
+     */
+    faults::FaultConfig faults;
+    /** Retry policy for faulted attempts. */
+    RetryPolicy retry;
+    /**
+     * Poll interval of the health probe that re-admits quarantined
+     * groups once their repair time elapsed (runs only when faults
+     * are enabled).
+     */
+    double health_probe_interval_ms = 10.0;
 };
 
 class Server
@@ -92,8 +136,11 @@ class Server
     /**
      * Admit a request.
      *
-     * @return false under backpressure (queue full) — the caller
-     *         should retry later or shed the request.
+     * @return false when the request was not admitted. The recorded
+     *         Response distinguishes why: a queue-full bounce is
+     *         backpressure and marked `retryable` — the caller should
+     *         retry once the queue drains — while a submit after
+     *         shutdown began is permanent (`retryable` false).
      */
     bool submit(Workload workload, uint64_t seed,
                 std::chrono::milliseconds deadline =
@@ -123,11 +170,19 @@ class Server
     Response process(const Request &request, std::size_t worker);
 
     /**
+     * Health-probe loop: periodically re-admits quarantined groups
+     * whose repair time elapsed. Runs only when faults are enabled.
+     */
+    void healthProbeLoop();
+
+    /**
      * The end-to-end emulator probe; returns the output hash. Any
      * wall-clock ms spent compiling the probe is added to *compile_ms.
+     * `fault` (may be null) is injected into this attempt.
      */
     uint64_t runProbe(const Request &request, std::size_t group_chips,
-                      double *compile_ms = nullptr);
+                      double *compile_ms = nullptr,
+                      const faults::FaultDecision *fault = nullptr);
 
     const fhe::CkksContext *ctx_;
     ServeOptions options_;
@@ -136,9 +191,17 @@ class Server
     std::unique_ptr<RequestQueue> queue_;
     std::unique_ptr<ChipGroupScheduler> scheduler_;
     std::unique_ptr<fhe::Encoder> encoder_;
+    /** Non-null iff options_.faults.enabled(); shared, stateless. */
+    std::unique_ptr<faults::FaultPlan> fault_plan_;
 
     std::vector<std::thread> workers_;
     TraceRecorder trace_;
+
+    /** Health-probe lifecycle (thread runs start → drainAndStop). */
+    std::thread health_probe_;
+    std::mutex probe_mutex_;
+    std::condition_variable probe_cv_;
+    bool probe_stop_ = false;
 
     /**
      * Guards the run lifecycle fields below: stats() reads them from

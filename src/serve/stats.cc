@@ -49,8 +49,21 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
             s.sim_seconds_total += r.sim_seconds;
             break;
         case RequestStatus::Expired: ++s.expired; break;
-        case RequestStatus::Failed: ++s.failed; break;
-        case RequestStatus::Rejected: break; // counted via `rejected`
+        case RequestStatus::Failed:
+            ++s.failed;
+            if (r.retryable)
+                ++s.failed_retryable;
+            break;
+        case RequestStatus::Rejected:
+            // Counted via `rejected`; the row only adds the signal.
+            if (r.retryable)
+                ++s.rejected_retryable;
+            break;
+        case RequestStatus::Retried:
+            ++s.retried;
+            if (r.requeued)
+                ++s.requeued;
+            break;
         }
     }
     if (wall_seconds > 0)
@@ -86,6 +99,10 @@ ServeStats::report() const
     line("requests: %zu submitted, %zu completed, %zu rejected "
          "(backpressure), %zu expired, %zu failed",
          submitted, completed, rejected, expired, failed);
+    if (retried > 0 || rejected_retryable > 0 || failed_retryable > 0)
+        line("resilience: %zu retried (%zu requeued after chip loss), "
+             "%zu retryable rejections, %zu retryable failures",
+             retried, requeued, rejected_retryable, failed_retryable);
     line("wall time: %.3f s   throughput: %.2f req/s", wall_seconds,
          throughput_rps);
     line("latency (wall ms): p50 %.2f  p95 %.2f  p99 %.2f   "
@@ -108,6 +125,7 @@ ServeStats::report() const
     // histograms booked by every server in this process.
     std::string metrics =
         MetricsRegistry::global().textSnapshot("serve.");
+    metrics += MetricsRegistry::global().textSnapshot("faults.");
     metrics += MetricsRegistry::global().textSnapshot("emulator.");
     if (!metrics.empty()) {
         out += "metrics (process-wide):\n";

@@ -27,12 +27,23 @@ double percentile(std::vector<double> values, double p);
 /** Aggregated over one serving run. */
 struct ServeStats
 {
-    // Request accounting.
+    // Request accounting. Final fates partition the admitted set:
+    // completed + expired + failed + rejected == submitted (Retried
+    // responses are intermediate rows, counted separately below).
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t rejected = 0; ///< backpressured at admission
     std::size_t expired = 0;  ///< deadline passed in queue
     std::size_t failed = 0;
+
+    // Resilience accounting.
+    std::size_t retried = 0;  ///< faulted attempts that were requeued
+    /** Retries caused by a chip loss / quarantined machine. */
+    std::size_t requeued = 0;
+    /** Rejections the caller may retry (backpressure, not shutdown). */
+    std::size_t rejected_retryable = 0;
+    /** Failed requests whose last error was a transient fault. */
+    std::size_t failed_retryable = 0;
 
     double wall_seconds = 0.0; ///< first submit → drain complete
     double throughput_rps = 0.0; ///< completed / wall_seconds

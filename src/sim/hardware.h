@@ -59,6 +59,12 @@ struct HardwareConfig
     std::size_t net_links = 2;      ///< network PHYs per chip
     double hop_latency_cycles = 100.0;
     Topology topology = Topology::Ring;
+    /**
+     * Degraded-PHY dilation (fault injection): multiplies collective
+     * transfer time and hop latency. 1.0 = healthy links; the serving
+     * runtime sets >1 for requests whose fault plan degraded a link.
+     */
+    double link_dilation = 1.0;
 
     /** Bytes in one limb register. */
     std::size_t limbBytes() const { return n * word_bytes; }

@@ -276,7 +276,14 @@ simulate(const isa::MachineProgram &program, const HardwareConfig &hw,
     const double bconv_occ =
         static_cast<double>(hw.n) / static_cast<double>(hw.bconv_lanes);
     const double hbm_xfer = limb_bytes / hw.hbmBytesPerCycle();
-    const double link_xfer = limb_bytes / hw.linkBytesPerCycle();
+    // Degraded PHYs (fault injection) stretch every collective: the
+    // link occupies more cycles for the same bytes, and hop latency
+    // dilates with it. Conservation still holds — capacity checks are
+    // in cycles, and the byte books are occupancy-independent.
+    const double link_dil = std::max(1.0, hw.link_dilation);
+    const double link_xfer =
+        limb_bytes / hw.linkBytesPerCycle() * link_dil;
+    const double hop_cycles = hw.hop_latency_cycles * link_dil;
 
     // Simulated cycles -> trace-event microseconds.
     const double us_per_cycle = 1.0 / (hw.clock_ghz * 1e3);
@@ -416,7 +423,7 @@ simulate(const isa::MachineProgram &program, const HardwareConfig &hw,
                     ins.op == Opcode::Agg
                         ? static_cast<double>(transfers) * link_xfer
                         : link_xfer;
-                duration = serialized + hops * hw.hop_latency_cycles;
+                duration = serialized + hops * hop_cycles;
                 link_free[lo] = arrival + serialized;
                 result.net_busy +=
                     static_cast<double>(transfers) * link_xfer;

@@ -154,7 +154,7 @@ BenchmarkRunner::kernelResult(const compiler::Program &kernel,
     std::ostringstream key;
     key << kernel.name() << ':' << kernel.ops().size() << ':' << group
         << ':' << hw.lanes << ':' << hw.phys_regs << ':' << hw.hbm_gbs
-        << ':' << hw.link_gbs << ':'
+        << ':' << hw.link_gbs << ':' << hw.link_dilation << ':'
         << static_cast<int>(hw.topology) << ':' << hw.n << ':'
         << compiler::cacheKeyOf(ks);
     return sim_cache_.getOrCompute(key.str(), [&] {
