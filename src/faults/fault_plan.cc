@@ -40,6 +40,7 @@ unit(uint64_t h)
 
 constexpr uint64_t kChipLayer = 0x43484950ull;      // "CHIP"
 constexpr uint64_t kTransientLayer = 0x54524e53ull; // "TRNS"
+constexpr uint64_t kConnLayer = 0x434f4e4eull;      // "CONN"
 constexpr uint64_t kLinkLayer = 0x4c494e4bull;      // "LINK"
 constexpr uint64_t kBackoffLayer = 0x424b4f46ull;   // "BKOF"
 
@@ -51,6 +52,7 @@ faultKindName(FaultKind k)
     switch (k) {
     case FaultKind::None: return "none";
     case FaultKind::ChipFailure: return "chip";
+    case FaultKind::ConnDrop: return "conn";
     case FaultKind::Transient: return "transient";
     case FaultKind::LinkDegrade: return "link";
     }
@@ -62,6 +64,8 @@ FaultDecision::primary() const
 {
     if (chip_fails)
         return FaultKind::ChipFailure;
+    if (conn_drops)
+        return FaultKind::ConnDrop;
     if (transient)
         return FaultKind::Transient;
     if (link_dilation > 1.0)
@@ -90,6 +94,11 @@ FaultPlan::decide(uint64_t request_seed, std::size_t attempt) const
             draw(config_.seed, request_seed, attempt, kTransientLayer);
         d.transient = unit(h) < config_.transient_p;
     }
+    if (config_.conn_drop_p > 0.0) {
+        const uint64_t h =
+            draw(config_.seed, request_seed, attempt, kConnLayer);
+        d.conn_drops = unit(h) < config_.conn_drop_p;
+    }
     if (config_.link_degrade_p > 0.0) {
         const uint64_t h =
             draw(config_.seed, request_seed, attempt, kLinkLayer);
@@ -111,6 +120,8 @@ FaultPlan::traceLine(uint64_t request_seed, std::size_t attempt,
             << " at=" << static_cast<int>(d.at_fraction * 1000);
     if (d.transient)
         oss << " transient=1";
+    if (d.conn_drops)
+        oss << " conn=1";
     if (d.link_dilation > 1.0)
         oss << " dilation=" << d.link_dilation;
     return oss.str();

@@ -28,8 +28,14 @@
 
 namespace cinnamon::faults {
 
-/** The three layers the plan can break (DESIGN.md §5c taxonomy). */
-enum class FaultKind { None, ChipFailure, Transient, LinkDegrade };
+/** The layers the plan can break (DESIGN.md §5c taxonomy). */
+enum class FaultKind {
+    None,
+    ChipFailure,
+    ConnDrop, ///< worker's connection lost mid-request (§5d)
+    Transient,
+    LinkDegrade,
+};
 
 const char *faultKindName(FaultKind k);
 
@@ -47,6 +53,15 @@ struct FaultConfig
     double chip_mtbf_requests = 0.0;
     /** Per-attempt probability of a spurious execution error. */
     double transient_p = 0.0;
+    /**
+     * Per-attempt probability the serving worker's TCP connection
+     * drops mid-request (distributed serving, DESIGN.md §5d). A
+     * remote worker that draws this fault dies without replying; the
+     * front-end maps the loss onto the §5c quarantine path and
+     * requeues the in-flight request. Meaningless (ignored) for the
+     * in-process server, which has no connections to lose.
+     */
+    double conn_drop_p = 0.0;
     /** Per-attempt probability the group's network PHY is degraded. */
     double link_degrade_p = 0.0;
     /** Collective latency multiplier while a link is degraded. */
@@ -61,7 +76,7 @@ struct FaultConfig
     bool enabled() const
     {
         return chip_mtbf_requests > 0.0 || transient_p > 0.0 ||
-               link_degrade_p > 0.0;
+               conn_drop_p > 0.0 || link_degrade_p > 0.0;
     }
 };
 
@@ -80,12 +95,15 @@ struct FaultDecision
     double at_fraction = 0.5;
     /** Spurious execution error after the program ran. */
     bool transient = false;
+    /** Worker connection lost mid-request (remote serving only). */
+    bool conn_drops = false;
     /** Collective latency multiplier for this attempt (1 = healthy). */
     double link_dilation = 1.0;
 
     bool any() const
     {
-        return chip_fails || transient || link_dilation > 1.0;
+        return chip_fails || conn_drops || transient ||
+               link_dilation > 1.0;
     }
 
     /** The most severe layer that fired (for logging and metrics). */

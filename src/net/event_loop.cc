@@ -1,0 +1,139 @@
+#include "net/event_loop.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace cinnamon::net {
+
+EventLoop::EventLoop()
+{
+    if (::pipe(wake_pipe_) == 0) {
+        ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+        ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+    }
+}
+
+EventLoop::~EventLoop()
+{
+    for (int fd : wake_pipe_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+EventLoop::add(int fd, short events, FdCallback cb)
+{
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_add_.push_back({fd, events, std::move(cb)});
+    }
+    wake();
+}
+
+void
+EventLoop::remove(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_remove_.push_back(fd);
+    }
+    wake();
+}
+
+void
+EventLoop::stop()
+{
+    stop_.store(true);
+    wake();
+}
+
+void
+EventLoop::wake()
+{
+    if (wake_pipe_[1] >= 0) {
+        const uint8_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wake_pipe_[1], &one, 1);
+    }
+}
+
+void
+EventLoop::applyPending()
+{
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto &w : pending_add_)
+        watches_.push_back(std::move(w));
+    for (int fd : pending_remove_)
+        watches_.erase(
+            std::remove_if(
+                watches_.begin(), watches_.end(),
+                [fd](const Watch &w) { return w.fd == fd; }),
+            watches_.end());
+    pending_add_.clear();
+    pending_remove_.clear();
+}
+
+void
+EventLoop::runOnce(double timeout_ms)
+{
+    applyPending();
+
+    std::vector<pollfd> fds;
+    fds.reserve(watches_.size() + 1);
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const auto &w : watches_)
+        fds.push_back({w.fd, w.events, 0});
+
+    const int timeout =
+        timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+    const int n = ::poll(fds.data(),
+                         static_cast<nfds_t>(fds.size()), timeout);
+    if (n <= 0)
+        return;
+
+    if (fds[0].revents != 0) {
+        // Drain every queued wakeup byte in one go.
+        uint8_t buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+    }
+
+    // Dispatch against a snapshot of (fd, cb): a callback may remove
+    // fds (its own included) — those removals are queued and applied
+    // on the next round, so this loop stays valid. Skip any fd whose
+    // removal is already pending to avoid dispatching to a dead
+    // connection object.
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+        if (fds[i].revents == 0)
+            continue;
+        bool removed;
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            removed = std::find(pending_remove_.begin(),
+                                pending_remove_.end(),
+                                fds[i].fd) != pending_remove_.end();
+        }
+        if (removed)
+            continue;
+        // watches_ aligns with fds offset by the wake pipe entry.
+        const Watch &w = watches_[i - 1];
+        if (w.cb)
+            w.cb(fds[i].fd, fds[i].revents);
+    }
+}
+
+void
+EventLoop::run(double tick_ms, const std::function<void()> &tick)
+{
+    while (!stop_.load()) {
+        runOnce(tick_ms);
+        if (stop_.load())
+            break;
+        if (tick)
+            tick();
+    }
+}
+
+} // namespace cinnamon::net

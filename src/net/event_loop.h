@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small poll(2)-based event loop for the serving front-end.
+ *
+ * One thread calls run(); it multiplexes the listening socket, every
+ * worker connection, and a periodic tick (heartbeat timeouts, repair
+ * readmissions) over a single poll set. Other threads may add or
+ * remove fds and request a stop at any time: mutations are queued
+ * under a mutex and applied on the loop thread, and a self-pipe wakes
+ * poll() so a cross-thread mutation or stop takes effect immediately
+ * instead of after the current poll timeout.
+ *
+ * Callbacks run on the loop thread. A callback may remove its own fd
+ * (the common "connection died" path); removals are deferred until
+ * the current dispatch round finishes, so the poll set never mutates
+ * under the iterator.
+ */
+
+#ifndef CINNAMON_NET_EVENT_LOOP_H_
+#define CINNAMON_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <poll.h>
+#include <vector>
+
+namespace cinnamon::net {
+
+class EventLoop
+{
+  public:
+    /** revents is the poll(2) bitmask that fired. */
+    using FdCallback = std::function<void(int fd, short revents)>;
+
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Watch `fd` for `events` (POLLIN etc). Thread-safe. */
+    void add(int fd, short events, FdCallback cb);
+
+    /** Stop watching `fd`. Thread-safe; idempotent. */
+    void remove(int fd);
+
+    /** Make run() return after the current dispatch. Thread-safe. */
+    void stop();
+
+    /**
+     * Poll/dispatch until stop(). `tick` (may be empty) runs on the
+     * loop thread at least every `tick_ms`.
+     */
+    void run(double tick_ms, const std::function<void()> &tick);
+
+    /** One poll/dispatch round with the given timeout (for tests). */
+    void runOnce(double timeout_ms);
+
+  private:
+    struct Watch
+    {
+        int fd;
+        short events;
+        FdCallback cb;
+    };
+
+    void applyPending();
+    void wake();
+
+    std::vector<Watch> watches_; ///< loop thread only
+    std::mutex pending_mutex_;
+    std::vector<Watch> pending_add_;
+    std::vector<int> pending_remove_;
+    std::atomic<bool> stop_{false};
+    int wake_pipe_[2] = {-1, -1}; ///< [0] read end in the poll set
+};
+
+} // namespace cinnamon::net
+
+#endif // CINNAMON_NET_EVENT_LOOP_H_

@@ -1,0 +1,167 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace cinnamon::net {
+
+namespace {
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t
+getU16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (uint16_t(p[1]) << 8));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+    case MsgType::Hello: return "hello";
+    case MsgType::HelloAck: return "hello_ack";
+    case MsgType::Submit: return "submit";
+    case MsgType::Result: return "result";
+    case MsgType::Heartbeat: return "heartbeat";
+    case MsgType::Drain: return "drain";
+    case MsgType::DrainAck: return "drain_ack";
+    }
+    return "?";
+}
+
+const char *
+decodeStatusName(DecodeStatus s)
+{
+    switch (s) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::NeedMore: return "need_more";
+    case DecodeStatus::BadMagic: return "bad_magic";
+    case DecodeStatus::Oversized: return "oversized";
+    case DecodeStatus::BadChecksum: return "bad_checksum";
+    }
+    return "?";
+}
+
+uint64_t
+fnv1a(const uint8_t *data, std::size_t len)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::vector<uint8_t>
+encodeFrame(MsgType type, const std::vector<uint8_t> &payload,
+            uint16_t version)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    putU32(out, kFrameMagic);
+    putU16(out, version);
+    putU16(out, static_cast<uint16_t>(type));
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    putU64(out, fnv1a(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, std::size_t len)
+{
+    if (poisoned_)
+        return;
+    // Reclaim the already-consumed prefix before growing the buffer,
+    // so a long-lived connection never accumulates dead bytes.
+    if (consumed_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() +
+                       static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+DecodeStatus
+FrameDecoder::next(Frame *out)
+{
+    if (poisoned_)
+        return poison_;
+    auto poison = [&](DecodeStatus s) {
+        poisoned_ = true;
+        poison_ = s;
+        return s;
+    };
+
+    const std::size_t avail = buf_.size() - consumed_;
+    if (avail < kFrameHeaderBytes)
+        return DecodeStatus::NeedMore;
+    const uint8_t *h = buf_.data() + consumed_;
+
+    if (getU32(h) != kFrameMagic)
+        return poison(DecodeStatus::BadMagic);
+    // The header layout is version-invariant: parse any version and
+    // let the application decide what to do with a mismatched peer
+    // (the front-end answers a reasoned HelloAck rejection).
+    const uint16_t version = getU16(h + 4);
+    const uint16_t type = getU16(h + 6);
+    const uint32_t len = getU32(h + 8);
+    if (len > kMaxPayloadBytes)
+        return poison(DecodeStatus::Oversized);
+    const uint64_t checksum = getU64(h + 12);
+
+    if (avail < kFrameHeaderBytes + len)
+        return DecodeStatus::NeedMore;
+    const uint8_t *payload = h + kFrameHeaderBytes;
+    if (fnv1a(payload, len) != checksum)
+        return poison(DecodeStatus::BadChecksum);
+
+    out->version = version;
+    out->type = static_cast<MsgType>(type);
+    out->payload.assign(payload, payload + len);
+    consumed_ += kFrameHeaderBytes + len;
+    return DecodeStatus::Ok;
+}
+
+} // namespace cinnamon::net

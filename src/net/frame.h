@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The wire frame: the unit every byte on a Cinnamon serving socket
+ * belongs to.
+ *
+ * TCP is a byte stream; the serving tier needs messages. A frame is a
+ * fixed 20-byte header followed by an opaque payload:
+ *
+ *   offset  size  field
+ *        0     4  magic    0x434E4D4E ("CNMN") — stream resync guard
+ *        4     2  version  wire-protocol version (kWireVersion)
+ *        6     2  type     MsgType of the payload
+ *        8     4  length   payload bytes (<= kMaxPayloadBytes)
+ *       12     8  checksum FNV-1a over the payload bytes
+ *
+ * All integers are little-endian, encoded byte by byte — the
+ * format is identical across hosts regardless of native
+ * endianness. The checksum catches corruption and, together with
+ * the magic, truncated
+ * or desynchronized streams: a decoder that sees a bad magic, an
+ * oversized length, or a checksum mismatch reports a hard error and
+ * the connection must be dropped (there is no way to resynchronize a
+ * framed TCP stream reliably).
+ *
+ * The header layout is version-invariant by contract: every protocol
+ * version frames exactly this way, so a decoder can always parse the
+ * header and surface the peer's version to the application. Version
+ * *policy* lives one layer up — the front-end answers a mismatched
+ * Hello with a reasoned rejection (HelloAck) instead of silently
+ * dropping the stream, which is only possible because framing still
+ * works across versions.
+ *
+ * FrameDecoder is an incremental parser: feed() it whatever recv()
+ * returned — any chunking, including byte-at-a-time — and next()
+ * hands back complete frames as they materialize.
+ */
+
+#ifndef CINNAMON_NET_FRAME_H_
+#define CINNAMON_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cinnamon::net {
+
+/** Stream resync guard; "CNMN". */
+constexpr uint32_t kFrameMagic = 0x434E4D4Eu;
+
+/** Wire-protocol version; bumped on any incompatible change. */
+constexpr uint16_t kWireVersion = 1;
+
+/** Header bytes before the payload. */
+constexpr std::size_t kFrameHeaderBytes = 20;
+
+/** Hard payload ceiling: a length above this is a corrupt stream. */
+constexpr std::size_t kMaxPayloadBytes = 1u << 20;
+
+/** The typed RPCs of the serving wire protocol. */
+enum class MsgType : uint16_t {
+    Hello = 1,     ///< worker → front-end: join the serving tier
+    HelloAck = 2,  ///< front-end → worker: accept/reject + group
+    Submit = 3,    ///< front-end → worker: execute one request
+    Result = 4,    ///< worker → front-end: one request's outcome
+    Heartbeat = 5, ///< worker → front-end: liveness beacon
+    Drain = 6,     ///< front-end → worker: finish and exit
+    DrainAck = 7,  ///< worker → front-end: drained, closing
+};
+
+const char *msgTypeName(MsgType t);
+
+/** FNV-1a over a byte range (the frame checksum). */
+uint64_t fnv1a(const uint8_t *data, std::size_t len);
+
+/** One decoded frame. */
+struct Frame
+{
+    uint16_t version = kWireVersion;
+    MsgType type = MsgType::Hello;
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Encode one frame (header + payload). `version` is overridable so
+ * tests can forge mismatched frames.
+ */
+std::vector<uint8_t> encodeFrame(MsgType type,
+                                 const std::vector<uint8_t> &payload,
+                                 uint16_t version = kWireVersion);
+
+/** What FrameDecoder::next() found. */
+enum class DecodeStatus {
+    Ok,          ///< *out holds one complete frame
+    NeedMore,    ///< the buffered bytes are a frame prefix; feed more
+    BadMagic,    ///< stream desynchronized or not ours — drop it
+    Oversized,   ///< length field above kMaxPayloadBytes — corrupt
+    /** Payload corrupted in flight — drop the connection. */
+    BadChecksum,
+};
+
+const char *decodeStatusName(DecodeStatus s);
+
+/**
+ * Incremental frame parser over an arbitrary re-chunking of the
+ * stream. Once any hard error is returned the decoder is poisoned:
+ * every later next() repeats the error (a framed stream cannot be
+ * resynchronized, the connection must be dropped).
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw received bytes. */
+    void feed(const uint8_t *data, std::size_t len);
+
+    /**
+     * Try to extract the next complete frame into *out.
+     * Consumes the frame's bytes on Ok; buffers on NeedMore.
+     */
+    DecodeStatus next(Frame *out);
+
+    /** Bytes buffered (not yet part of a returned frame). */
+    std::size_t buffered() const { return buf_.size() - consumed_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    std::size_t consumed_ = 0; ///< prefix already handed out
+    bool poisoned_ = false;
+    DecodeStatus poison_ = DecodeStatus::Ok;
+};
+
+} // namespace cinnamon::net
+
+#endif // CINNAMON_NET_FRAME_H_

@@ -1,0 +1,268 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace cinnamon::net {
+
+void
+WireWriter::u16(uint16_t v)
+{
+    out_.push_back(static_cast<uint8_t>(v));
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::f64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+}
+
+bool
+WireReader::take(std::size_t n, const uint8_t **p)
+{
+    if (!ok_ || len_ - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    *p = data_ + pos_;
+    pos_ += n;
+    return true;
+}
+
+bool
+WireReader::u8(uint8_t *v)
+{
+    const uint8_t *p;
+    if (!take(1, &p))
+        return false;
+    *v = p[0];
+    return true;
+}
+
+bool
+WireReader::u16(uint16_t *v)
+{
+    const uint8_t *p;
+    if (!take(2, &p))
+        return false;
+    *v = static_cast<uint16_t>(p[0] | (uint16_t(p[1]) << 8));
+    return true;
+}
+
+bool
+WireReader::u32(uint32_t *v)
+{
+    const uint8_t *p;
+    if (!take(4, &p))
+        return false;
+    uint32_t x = 0;
+    for (int i = 3; i >= 0; --i)
+        x = (x << 8) | p[i];
+    *v = x;
+    return true;
+}
+
+bool
+WireReader::u64(uint64_t *v)
+{
+    const uint8_t *p;
+    if (!take(8, &p))
+        return false;
+    uint64_t x = 0;
+    for (int i = 7; i >= 0; --i)
+        x = (x << 8) | p[i];
+    *v = x;
+    return true;
+}
+
+bool
+WireReader::f64(double *v)
+{
+    uint64_t bits;
+    if (!u64(&bits))
+        return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+}
+
+bool
+WireReader::str(std::string *s)
+{
+    uint32_t n;
+    if (!u32(&n))
+        return false;
+    const uint8_t *p;
+    if (!take(n, &p))
+        return false;
+    s->assign(reinterpret_cast<const char *>(p), n);
+    return true;
+}
+
+std::vector<uint8_t>
+HelloMsg::encode() const
+{
+    WireWriter w;
+    w.u16(version);
+    w.u64(worker_id);
+    w.u64(chips);
+    w.u64(group_size);
+    w.u64(pid);
+    return w.take();
+}
+
+bool
+HelloMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    // Version first: a mismatched peer's remaining fields may not
+    // follow this layout, so the caller must check `version` before
+    // trusting them — but the read itself is still bounds-safe.
+    return r.u16(&version) && r.u64(&worker_id) && r.u64(&chips) &&
+           r.u64(&group_size) && r.u64(&pid) && r.exhausted();
+}
+
+std::vector<uint8_t>
+HelloAckMsg::encode() const
+{
+    WireWriter w;
+    w.u8(accepted);
+    w.u64(assigned_group);
+    w.str(reason);
+    return w.take();
+}
+
+bool
+HelloAckMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    return r.u8(&accepted) && r.u64(&assigned_group) &&
+           r.str(&reason) && r.exhausted();
+}
+
+std::vector<uint8_t>
+SubmitMsg::encode() const
+{
+    WireWriter w;
+    w.u64(request_id);
+    w.u16(workload);
+    w.u64(seed);
+    w.u64(attempt);
+    w.u64(deadline_budget_ms);
+    return w.take();
+}
+
+bool
+SubmitMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    return r.u64(&request_id) && r.u16(&workload) && r.u64(&seed) &&
+           r.u64(&attempt) && r.u64(&deadline_budget_ms) &&
+           r.exhausted();
+}
+
+std::vector<uint8_t>
+ResultMsg::encode() const
+{
+    WireWriter w;
+    w.u64(request_id);
+    w.u16(status);
+    w.u64(attempt);
+    w.u64(digest);
+    w.f64(sim_seconds);
+    w.f64(compile_ms);
+    w.f64(service_ms);
+    w.u8(retryable);
+    w.u8(chip_failed);
+    w.str(error);
+    return w.take();
+}
+
+bool
+ResultMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    return r.u64(&request_id) && r.u16(&status) && r.u64(&attempt) &&
+           r.u64(&digest) && r.f64(&sim_seconds) &&
+           r.f64(&compile_ms) && r.f64(&service_ms) &&
+           r.u8(&retryable) && r.u8(&chip_failed) && r.str(&error) &&
+           r.exhausted();
+}
+
+std::vector<uint8_t>
+HeartbeatMsg::encode() const
+{
+    WireWriter w;
+    w.u64(worker_id);
+    w.u64(seq);
+    w.u64(inflight);
+    return w.take();
+}
+
+bool
+HeartbeatMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    return r.u64(&worker_id) && r.u64(&seq) && r.u64(&inflight) &&
+           r.exhausted();
+}
+
+std::vector<uint8_t>
+DrainAckMsg::encode() const
+{
+    WireWriter w;
+    w.u64(worker_id);
+    w.u64(completed);
+    return w.take();
+}
+
+bool
+DrainAckMsg::decode(const std::vector<uint8_t> &payload)
+{
+    WireReader r(payload);
+    return r.u64(&worker_id) && r.u64(&completed) && r.exhausted();
+}
+
+std::string
+checkHello(const HelloMsg &hello, std::size_t expected_group_size)
+{
+    if (hello.version != kWireVersion)
+        return "wire version mismatch: worker speaks v" +
+               std::to_string(hello.version) + ", front-end v" +
+               std::to_string(kWireVersion);
+    if (hello.group_size != expected_group_size)
+        return "group size mismatch: worker owns " +
+               std::to_string(hello.group_size) +
+               " chips/stream, front-end expects " +
+               std::to_string(expected_group_size);
+    if (hello.chips != hello.group_size)
+        return "a worker must own exactly one chip group (" +
+               std::to_string(hello.chips) + " chips claimed for a " +
+               std::to_string(hello.group_size) + "-chip group)";
+    return "";
+}
+
+} // namespace cinnamon::net

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The typed RPCs of the serving wire protocol, and the tiny
+ * little-endian serializer they share.
+ *
+ * Each message is a plain struct with an encode() into a frame
+ * payload and a decode() back; decode() is total — it returns false
+ * on any truncation or trailing garbage instead of reading out of
+ * bounds, so a corrupted-but-checksum-valid payload can never crash
+ * the peer. Strings are length-prefixed (u32 + bytes); doubles travel
+ * as their IEEE-754 bit pattern in a u64.
+ *
+ * Protocol roles:
+ *   worker → front-end: Hello, Result, Heartbeat, DrainAck
+ *   front-end → worker: HelloAck, Submit, Drain
+ *
+ * The version handshake: Hello leads with the worker's wire version.
+ * A front-end that sees a mismatch answers HelloAck{accepted=false,
+ * reason} — the one message guaranteed decodable across versions
+ * because Hello/HelloAck layouts are frozen — and closes.
+ */
+
+#ifndef CINNAMON_NET_MESSAGE_H_
+#define CINNAMON_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace cinnamon::net {
+
+/** Append-only little-endian payload writer. */
+class WireWriter
+{
+  public:
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v); ///< IEEE-754 bits in a u64
+    void str(const std::string &s); ///< u32 length + bytes
+
+    std::vector<uint8_t> take() { return std::move(out_); }
+
+  private:
+    std::vector<uint8_t> out_;
+};
+
+/**
+ * Bounds-checked little-endian payload reader. Every read returns
+ * false once the payload is exhausted; ok() goes false sticky.
+ */
+class WireReader
+{
+  public:
+    WireReader(const uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {
+    }
+    explicit WireReader(const std::vector<uint8_t> &payload)
+        : WireReader(payload.data(), payload.size())
+    {
+    }
+
+    bool u8(uint8_t *v);
+    bool u16(uint16_t *v);
+    bool u32(uint32_t *v);
+    bool u64(uint64_t *v);
+    bool f64(double *v);
+    bool str(std::string *s);
+
+    bool ok() const { return ok_; }
+    /** True when every payload byte was consumed. */
+    bool exhausted() const { return ok_ && pos_ == len_; }
+
+  private:
+    bool take(std::size_t n, const uint8_t **p);
+
+    const uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** worker → front-end: join the serving tier. */
+struct HelloMsg
+{
+    uint16_t version = kWireVersion; ///< first field, frozen layout
+    uint64_t worker_id = 0;
+    uint64_t chips = 0;      ///< chips this worker's group owns
+    uint64_t group_size = 0; ///< chips per ciphertext stream
+    uint64_t pid = 0;        ///< worker's OS pid (diagnostics)
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/** front-end → worker: admission decision. */
+struct HelloAckMsg
+{
+    uint8_t accepted = 0;
+    uint64_t assigned_group = 0; ///< chip group this worker owns
+    std::string reason;          ///< set when rejected
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/** front-end → worker: execute one request. */
+struct SubmitMsg
+{
+    uint64_t request_id = 0;
+    uint16_t workload = 0; ///< serve::Workload numeric value
+    uint64_t seed = 0;     ///< determinism anchor
+    uint64_t attempt = 0;  ///< 0-based execution attempt
+    /** Remaining deadline budget in ms at dispatch (0 = none). */
+    uint64_t deadline_budget_ms = 0;
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/** Outcome codes a worker can report (subset of RequestStatus). */
+enum class WireStatus : uint16_t {
+    Completed = 0,
+    Failed = 1,
+};
+
+/** worker → front-end: one request's outcome. */
+struct ResultMsg
+{
+    uint64_t request_id = 0;
+    uint16_t status = 0; ///< WireStatus
+    uint64_t attempt = 0;
+    uint64_t digest = 0; ///< probe output hash (0 if not emulated)
+    double sim_seconds = 0.0;
+    double compile_ms = 0.0;
+    double service_ms = 0.0; ///< worker-side execution wall ms
+    uint8_t retryable = 0;   ///< failure was transient infrastructure
+    /** A chip of the worker's group died: quarantine + requeue. */
+    uint8_t chip_failed = 0;
+    std::string error;
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/** worker → front-end: liveness beacon. */
+struct HeartbeatMsg
+{
+    uint64_t worker_id = 0;
+    uint64_t seq = 0;      ///< monotone per worker
+    uint64_t inflight = 0; ///< requests currently executing (0/1)
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/** front-end → worker: finish in-flight work and exit. */
+struct DrainMsg
+{
+    std::vector<uint8_t> encode() const { return {}; }
+    bool decode(const std::vector<uint8_t> &payload)
+    {
+        return payload.empty();
+    }
+};
+
+/** worker → front-end: drained, closing the connection. */
+struct DrainAckMsg
+{
+    uint64_t worker_id = 0;
+    uint64_t completed = 0; ///< requests served over the lifetime
+
+    std::vector<uint8_t> encode() const;
+    bool decode(const std::vector<uint8_t> &payload);
+};
+
+/**
+ * The front-end's Hello admission check: empty string = accept,
+ * otherwise the rejection reason for HelloAck. Pure, so the policy is
+ * unit-testable without sockets.
+ */
+std::string checkHello(const HelloMsg &hello,
+                       std::size_t expected_group_size);
+
+} // namespace cinnamon::net
+
+#endif // CINNAMON_NET_MESSAGE_H_

@@ -1,0 +1,171 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace cinnamon::net {
+
+namespace {
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in
+loopbackAddr(uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return addr;
+}
+
+} // namespace
+
+Socket &
+Socket::operator=(Socket &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+Socket::release()
+{
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+Socket
+Socket::listenLoopback(uint16_t port, uint16_t *bound_port)
+{
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid())
+        return Socket();
+    int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(port);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return Socket();
+    if (::listen(s.fd(), 16) != 0)
+        return Socket();
+    if (bound_port != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        auto *addr = reinterpret_cast<sockaddr *>(&bound);
+        if (::getsockname(s.fd(), addr, &len) != 0)
+            return Socket();
+        *bound_port = ntohs(bound.sin_port);
+    }
+    return s;
+}
+
+Socket
+Socket::connectLoopback(uint16_t port, double timeout_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double, std::milli>(
+                           timeout_ms);
+    for (;;) {
+        Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!s.valid())
+            return Socket();
+        sockaddr_in addr = loopbackAddr(port);
+        if (::connect(s.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            setNoDelay(s.fd());
+            return s;
+        }
+        if (Clock::now() >= deadline)
+            return Socket();
+        // The listener may not be up yet (worker raced the
+        // front-end); back off briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+Socket
+Socket::accept()
+{
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            setNoDelay(fd);
+            return Socket(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return Socket();
+    }
+}
+
+bool
+Socket::sendAll(const uint8_t *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ssize_t
+Socket::recvSome(uint8_t *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n >= 0)
+            return n;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+bool
+Socket::setNonBlocking(bool on)
+{
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want =
+        on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd_, F_SETFL, want) == 0;
+}
+
+} // namespace cinnamon::net

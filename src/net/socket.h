@@ -1,0 +1,85 @@
+/**
+ * @file
+ * RAII POSIX TCP sockets for the serving tier.
+ *
+ * Deliberately minimal: the serving processes talk over loopback (or
+ * a trusted cluster network), so this wraps exactly what the wire
+ * protocol needs — a listener bound to 127.0.0.1 with an
+ * OS-assigned or fixed port, blocking connect with retry (the worker
+ * may start before the front-end's listener is up), full-buffer
+ * sendAll, and recvSome for the frame decoder. TCP_NODELAY is set on
+ * every connection: the protocol is small request/response frames,
+ * where Nagle batching only adds latency.
+ */
+
+#ifndef CINNAMON_NET_SOCKET_H_
+#define CINNAMON_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace cinnamon::net {
+
+/** Move-only owner of one socket fd. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Socket &operator=(Socket &&o) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** Release ownership of the fd without closing it. */
+    int release();
+
+    /**
+     * Bind a listener to 127.0.0.1:`port` (0 = OS-assigned) and
+     * listen. The actually bound port is written to *bound_port.
+     * Returns an invalid socket on error.
+     */
+    static Socket listenLoopback(uint16_t port, uint16_t *bound_port);
+
+    /**
+     * Connect to 127.0.0.1:`port`, retrying for up to `timeout_ms`
+     * (the peer's listener may not be up yet). Returns an invalid
+     * socket on timeout.
+     */
+    static Socket connectLoopback(uint16_t port,
+                                  double timeout_ms = 2000.0);
+
+    /** Accept one connection (blocking). Invalid socket on error. */
+    Socket accept();
+
+    /**
+     * Send the whole buffer, looping over partial writes and EINTR.
+     * @return false once the peer is gone (EPIPE/ECONNRESET/...).
+     */
+    bool sendAll(const uint8_t *data, std::size_t len);
+
+    /**
+     * Receive up to `len` bytes (blocking).
+     * @return bytes read; 0 on orderly EOF; -1 on error.
+     */
+    ssize_t recvSome(uint8_t *buf, std::size_t len);
+
+    /** O_NONBLOCK on/off (event-loop registration needs on). */
+    bool setNonBlocking(bool on);
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace cinnamon::net
+
+#endif // CINNAMON_NET_SOCKET_H_

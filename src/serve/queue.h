@@ -46,6 +46,16 @@ class RequestQueue
     std::optional<Request> pop();
 
     /**
+     * Pop the oldest request, waiting at most `timeout_ms` while the
+     * queue is empty. Unlike pop(), returns nullopt on timeout even
+     * while the queue is open — the remote front-end's dispatcher
+     * uses this to interleave queue draining with liveness checks
+     * (a closed-and-empty queue may still grow again via requeue()
+     * when a worker connection dies mid-request).
+     */
+    std::optional<Request> popFor(double timeout_ms);
+
+    /**
      * Re-admit a faulted request for another attempt. Bypasses both
      * the capacity check (the request already holds an admission slot;
      * bouncing it here would turn a transient fault into a loss) and

@@ -1,0 +1,121 @@
+#include "serve/remote/supervisor.h"
+
+#include <climits>
+#include <csignal>
+#include <cstdio>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace cinnamon::serve::remote {
+
+ProcessSupervisor::~ProcessSupervisor()
+{
+    for (auto &child : children_) {
+        poll(child);
+        if (child.exited)
+            continue;
+        ::kill(child.pid, SIGKILL);
+        ::waitpid(child.pid, &child.status, 0);
+        child.exited = true;
+    }
+}
+
+pid_t
+ProcessSupervisor::spawn(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        return -1;
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // Only reached when exec failed; _exit so the child never
+        // runs the parent's atexit handlers or flushes its buffers.
+        std::perror("execv");
+        ::_exit(127);
+    }
+    children_.push_back({pid, false, 0});
+    return pid;
+}
+
+ProcessSupervisor::Child *
+ProcessSupervisor::find(pid_t pid)
+{
+    for (auto &child : children_)
+        if (child.pid == pid)
+            return &child;
+    return nullptr;
+}
+
+void
+ProcessSupervisor::poll(Child &child)
+{
+    if (child.exited)
+        return;
+    int status = 0;
+    const pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+    if (r == child.pid) {
+        child.exited = true;
+        child.status = status;
+    }
+}
+
+bool
+ProcessSupervisor::alive(pid_t pid)
+{
+    Child *child = find(pid);
+    if (child == nullptr)
+        return false;
+    poll(*child);
+    return !child->exited;
+}
+
+bool
+ProcessSupervisor::kill(pid_t pid, int sig)
+{
+    Child *child = find(pid);
+    if (child == nullptr)
+        return false;
+    poll(*child);
+    if (child->exited)
+        return false;
+    return ::kill(pid, sig) == 0;
+}
+
+int
+ProcessSupervisor::wait(pid_t pid)
+{
+    Child *child = find(pid);
+    if (child == nullptr)
+        return INT_MIN;
+    if (!child->exited) {
+        if (::waitpid(pid, &child->status, 0) != pid)
+            return INT_MIN;
+        child->exited = true;
+    }
+    if (WIFEXITED(child->status))
+        return WEXITSTATUS(child->status);
+    if (WIFSIGNALED(child->status))
+        return -WTERMSIG(child->status);
+    return INT_MIN;
+}
+
+std::vector<pid_t>
+ProcessSupervisor::pids() const
+{
+    std::vector<pid_t> out;
+    out.reserve(children_.size());
+    for (const auto &child : children_)
+        if (!child.exited)
+            out.push_back(child.pid);
+    return out;
+}
+
+} // namespace cinnamon::serve::remote

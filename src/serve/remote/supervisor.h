@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Process supervisor for the distributed serving tier.
+ *
+ * Launches worker processes (fork + execv), tracks their pids, reaps
+ * exits, and can deliver signals — including the SIGKILL the
+ * worker-kill resilience drill and CI job use to prove that a dead
+ * worker's in-flight requests are requeued losslessly. The supervisor
+ * is deliberately policy-free: *whether* to restart a dead worker is
+ * the caller's decision (the serve_distributed demo restarts on
+ * --respawn, the kill drill does not).
+ *
+ * Destruction is fail-safe: any child still alive is SIGKILLed and
+ * reaped, so a crashing front-end never leaks worker processes.
+ */
+
+#ifndef CINNAMON_SERVE_REMOTE_SUPERVISOR_H_
+#define CINNAMON_SERVE_REMOTE_SUPERVISOR_H_
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace cinnamon::serve::remote {
+
+class ProcessSupervisor
+{
+  public:
+    ProcessSupervisor() = default;
+    ~ProcessSupervisor();
+
+    ProcessSupervisor(const ProcessSupervisor &) = delete;
+    ProcessSupervisor &operator=(const ProcessSupervisor &) = delete;
+
+    /**
+     * Fork + execv `argv` (argv[0] is the binary path).
+     *
+     * @return the child pid, or -1 on failure.
+     */
+    pid_t spawn(const std::vector<std::string> &argv);
+
+    /** Still running (reaps zombies as a side effect)? */
+    bool alive(pid_t pid);
+
+    /** Deliver `sig` (e.g. SIGKILL) to a live child. */
+    bool kill(pid_t pid, int sig);
+
+    /**
+     * Block until the child exits.
+     *
+     * @return its exit code, or -signal when signal-terminated, or
+     *         INT_MIN if the pid is not ours.
+     */
+    int wait(pid_t pid);
+
+    /** Children spawned and not yet reaped by wait(). */
+    std::vector<pid_t> pids() const;
+
+  private:
+    struct Child
+    {
+        pid_t pid;
+        bool exited = false;
+        int status = 0; ///< raw waitpid status once exited
+    };
+
+    Child *find(pid_t pid);
+    /** Non-blocking reap of one child; updates bookkeeping. */
+    void poll(Child &child);
+
+    std::vector<Child> children_;
+};
+
+} // namespace cinnamon::serve::remote
+
+#endif // CINNAMON_SERVE_REMOTE_SUPERVISOR_H_

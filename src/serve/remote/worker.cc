@@ -1,0 +1,304 @@
+#include "serve/remote/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "exec/backend.h"
+#include "fhe/encoder.h"
+#include "net/message.h"
+#include "net/socket.h"
+#include "serve/catalog.h"
+#include "serve/request.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::serve::remote {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t)
+        .count();
+}
+
+/**
+ * Everything one worker needs to execute requests; shares the
+ * single-process server's building blocks so results are
+ * bit-identical to in-process serving.
+ */
+struct WorkerState
+{
+    const fhe::CkksContext *ctx;
+    WorkerOptions opt;
+    WorkloadCatalog catalog;
+    workloads::BenchmarkRunner runner;
+    fhe::Encoder encoder;
+    std::unique_ptr<faults::FaultPlan> fault_plan;
+
+    net::Socket sock;
+    /** Serializes frame writes: heartbeat thread vs request loop. */
+    std::mutex send_mutex;
+    std::atomic<uint64_t> inflight{0};
+    uint64_t completed = 0;
+
+    WorkerState(const fhe::CkksContext &c, const WorkerOptions &o)
+        : ctx(&c), opt(o), catalog(c), runner(c), encoder(c)
+    {
+        opt.hw.n = c.n();
+        if (opt.faults.enabled())
+            fault_plan =
+                std::make_unique<faults::FaultPlan>(opt.faults);
+    }
+
+    bool
+    sendFrame(net::MsgType type, const std::vector<uint8_t> &payload)
+    {
+        const auto bytes = net::encodeFrame(type, payload);
+        std::lock_guard<std::mutex> lock(send_mutex);
+        return sock.sendAll(bytes.data(), bytes.size());
+    }
+};
+
+/**
+ * Execute one request exactly the way Server::process does, minus
+ * scheduling (this process IS the chip group). Returns the Result to
+ * ship back; sets *drop_conn when a conn-drop fault fired and the
+ * worker must sever the connection instead of replying.
+ */
+net::ResultMsg
+executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
+              bool *drop_conn)
+{
+    const auto start = Clock::now();
+    net::ResultMsg result;
+    result.request_id = submit.request_id;
+    result.attempt = submit.attempt;
+
+    const faults::FaultDecision fault =
+        state.fault_plan != nullptr
+            ? state.fault_plan->decide(
+                  submit.seed,
+                  static_cast<std::size_t>(submit.attempt))
+            : faults::FaultDecision{};
+    // An injected connection drop severs the link mid-request: the
+    // front-end sees EOF with this request in flight, quarantines the
+    // group, and requeues — the same observable as a real crash.
+    if (fault.conn_drops) {
+        *drop_conn = true;
+        MetricsRegistry::global()
+            .counter("faults.injected.conn")
+            .add();
+        return result;
+    }
+
+    const auto workload = static_cast<Workload>(submit.workload);
+    try {
+        {
+            sim::HardwareConfig hw = state.opt.hw;
+            if (fault.link_dilation > 1.0) {
+                hw.link_dilation = fault.link_dilation;
+                MetricsRegistry::global()
+                    .counter("faults.injected.link")
+                    .add();
+            }
+            const auto &bench = state.catalog.benchmark(workload);
+            const auto timing = state.runner.run(
+                bench, state.opt.group_size, hw,
+                state.opt.group_size);
+            result.sim_seconds = timing.seconds;
+            result.compile_ms = timing.compile_ms;
+        }
+
+        if (fault.chip_fails)
+            MetricsRegistry::global()
+                .counter("faults.injected.chip")
+                .add();
+        if (fault.transient)
+            MetricsRegistry::global()
+                .counter("faults.injected.transient")
+                .add();
+
+        if (state.opt.emulate &&
+            state.ctx->n() <= state.opt.emulate_max_n) {
+            double probe_compile_ms = 0.0;
+            const auto &compiled = state.runner.compiled(
+                state.catalog.probe(), state.opt.group_size,
+                state.opt.hw.phys_regs, {}, &probe_compile_ms);
+            result.compile_ms += probe_compile_ms;
+            const auto report = exec::EmulateBackend::executeSeeded(
+                *state.ctx, state.encoder, state.catalog.probe(),
+                compiled, submit.seed, 1,
+                fault.any() ? &fault : nullptr);
+            result.digest = report.digest;
+        } else if (fault.chip_fails) {
+            throw faults::ChipFailedError(
+                fault.chip_offset % state.opt.group_size,
+                "injected chip failure (sim abort)");
+        } else if (fault.transient) {
+            throw faults::TransientFaultError(
+                "injected transient execution fault");
+        }
+
+        if (state.opt.time_dilation > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                result.sim_seconds * state.opt.time_dilation));
+
+        result.status =
+            static_cast<uint16_t>(net::WireStatus::Completed);
+    } catch (const std::exception &e) {
+        result.status = static_cast<uint16_t>(net::WireStatus::Failed);
+        result.error = e.what();
+        result.retryable = fault.any() ? 1 : 0;
+        result.chip_failed = fault.chip_fails ? 1 : 0;
+        result.digest = 0;
+    }
+    result.service_ms = msSince(start);
+    return result;
+}
+
+} // namespace
+
+int
+runWorker(const fhe::CkksContext &ctx, const WorkerOptions &options)
+{
+    WorkerState state(ctx, options);
+
+    state.sock = net::Socket::connectLoopback(
+        options.port, options.connect_timeout_ms);
+    if (!state.sock.valid()) {
+        std::fprintf(stderr,
+                     "worker %llu: cannot reach front-end on port %u\n",
+                     static_cast<unsigned long long>(options.worker_id),
+                     options.port);
+        return 1;
+    }
+
+    net::HelloMsg hello;
+    hello.worker_id = options.worker_id;
+    hello.chips = options.group_size;
+    hello.group_size = options.group_size;
+    hello.pid = static_cast<uint64_t>(::getpid());
+    if (!state.sendFrame(net::MsgType::Hello, hello.encode()))
+        return 1;
+
+    // Frame reader over the blocking socket.
+    net::FrameDecoder decoder;
+    auto readFrame = [&](net::Frame *frame) -> bool {
+        for (;;) {
+            const auto status = decoder.next(frame);
+            if (status == net::DecodeStatus::Ok)
+                return true;
+            if (status != net::DecodeStatus::NeedMore)
+                return false; // poisoned stream: hang up
+            uint8_t buf[64 * 1024];
+            const ssize_t n =
+                state.sock.recvSome(buf, sizeof(buf));
+            if (n <= 0)
+                return false;
+            decoder.feed(buf, static_cast<std::size_t>(n));
+        }
+    };
+
+    net::Frame frame;
+    if (!readFrame(&frame) || frame.type != net::MsgType::HelloAck)
+        return 1;
+    net::HelloAckMsg ack;
+    if (!ack.decode(frame.payload) || ack.accepted == 0) {
+        std::fprintf(stderr, "worker %llu: rejected by front-end: %s\n",
+                     static_cast<unsigned long long>(options.worker_id),
+                     ack.reason.c_str());
+        return 1;
+    }
+
+    // Liveness beacon, decoupled from request execution: beats even
+    // while a long request runs, so slow ≠ dead.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::thread heartbeat([&] {
+        uint64_t seq = 0;
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        while (!hb_stop) {
+            hb_cv.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    options.heartbeat_interval_ms),
+                [&] { return hb_stop; });
+            if (hb_stop)
+                return;
+            lock.unlock();
+            net::HeartbeatMsg beat;
+            beat.worker_id = options.worker_id;
+            beat.seq = seq++;
+            beat.inflight = state.inflight.load();
+            state.sendFrame(net::MsgType::Heartbeat, beat.encode());
+            lock.lock();
+        }
+    });
+    auto stopHeartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
+    int exit_code = 0;
+    for (;;) {
+        if (!readFrame(&frame)) {
+            exit_code = 1; // front-end gone
+            break;
+        }
+        if (frame.type == net::MsgType::Submit) {
+            net::SubmitMsg submit;
+            if (!submit.decode(frame.payload)) {
+                exit_code = 1;
+                break;
+            }
+            state.inflight.store(1);
+            bool drop_conn = false;
+            const auto result =
+                executeSubmit(state, submit, &drop_conn);
+            state.inflight.store(0);
+            if (drop_conn) {
+                // Injected crash: sever without replying.
+                stopHeartbeat();
+                state.sock.close();
+                return kConnDropExit;
+            }
+            if (result.status ==
+                static_cast<uint16_t>(net::WireStatus::Completed))
+                ++state.completed;
+            if (!state.sendFrame(net::MsgType::Result,
+                                 result.encode())) {
+                exit_code = 1;
+                break;
+            }
+        } else if (frame.type == net::MsgType::Drain) {
+            net::DrainAckMsg drained;
+            drained.worker_id = options.worker_id;
+            drained.completed = state.completed;
+            state.sendFrame(net::MsgType::DrainAck, drained.encode());
+            break;
+        }
+        // Unknown types are ignored: forward compatibility within a
+        // wire version.
+    }
+
+    stopHeartbeat();
+    return exit_code;
+}
+
+} // namespace cinnamon::serve::remote

@@ -1,5 +1,7 @@
 #include "serve/scheduler.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace cinnamon::serve {
@@ -80,6 +82,23 @@ ChipGroupScheduler::tryAcquire()
         return GroupLease();
     const std::size_t group = free_.back();
     free_.pop_back();
+    busy_since_[group] = Clock::now();
+    return GroupLease(this, group);
+}
+
+GroupLease
+ChipGroupScheduler::tryAcquireGroup(std::size_t group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CINN_ASSERT(group < busy_since_.size(),
+                "tryAcquireGroup of unknown group " << group);
+    // Respect FIFO: if someone holds an earlier ticket, don't overtake.
+    if (next_ticket_ != serving_ticket_)
+        return GroupLease();
+    const auto it = std::find(free_.begin(), free_.end(), group);
+    if (it == free_.end())
+        return GroupLease(); // busy or quarantined
+    free_.erase(it);
     busy_since_[group] = Clock::now();
     return GroupLease(this, group);
 }
@@ -180,6 +199,13 @@ ChipGroupScheduler::isQuarantined(std::size_t group) const
     CINN_ASSERT(group < quarantined_.size(),
                 "query of unknown group " << group);
     return quarantined_[group] != 0;
+}
+
+std::vector<uint8_t>
+ChipGroupScheduler::quarantinedMask() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_;
 }
 
 std::size_t

@@ -106,6 +106,14 @@ class ChipGroupScheduler
     /** Lease a group only if one is free right now. */
     GroupLease tryAcquire();
 
+    /**
+     * Lease one *specific* group if it is free and healthy right now
+     * (seed-keyed placement in the distributed front-end: requests
+     * prefer the group their seed hashes to, falling back to
+     * acquire() when it is busy). Does not overtake FIFO waiters.
+     */
+    GroupLease tryAcquireGroup(std::size_t group);
+
     std::size_t numGroups() const { return busy_since_.size(); }
     std::size_t groupSize() const { return group_size_; }
 
@@ -147,6 +155,8 @@ class ChipGroupScheduler
     void readmit(std::size_t group);
 
     bool isQuarantined(std::size_t group) const;
+    /** Per-group quarantine flags (one consistent snapshot). */
+    std::vector<uint8_t> quarantinedMask() const;
     /** Groups currently quarantined. */
     std::size_t quarantinedGroups() const;
     /** Groups neither quarantined nor permanently lost. */

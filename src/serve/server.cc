@@ -491,7 +491,8 @@ Server::stats() const
     return ServeStats::fromResponses(resp, submitted,
                                      queue_->rejected(), wall,
                                      runner_->cacheStats(),
-                                     scheduler_->busySeconds());
+                                     scheduler_->busySeconds(),
+                                     scheduler_->quarantinedMask());
 }
 
 } // namespace cinnamon::serve

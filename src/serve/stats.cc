@@ -30,15 +30,25 @@ ServeStats
 ServeStats::fromResponses(const std::vector<Response> &responses,
                           std::size_t submitted, std::size_t rejected,
                           double wall_seconds, const CacheStats &cache,
-                          const std::vector<double> &group_busy_seconds)
+                          const std::vector<double> &group_busy_seconds,
+                          const std::vector<uint8_t> &group_quarantined)
 {
     ServeStats s;
     s.submitted = submitted;
     s.rejected = rejected;
     s.wall_seconds = wall_seconds;
     s.cache = cache;
+    s.group_quarantined = group_quarantined;
+    s.group_completed.assign(group_busy_seconds.size(), 0);
+    s.group_retried.assign(group_busy_seconds.size(), 0);
+    auto bump = [](std::vector<std::size_t> &v, std::size_t g) {
+        if (g >= v.size())
+            v.resize(g + 1, 0); // responses may know more groups
+        ++v[g];
+    };
 
     std::vector<double> lat_ms, sim_s, queue_ms;
+    const auto no_group = static_cast<std::size_t>(-1);
     for (const auto &r : responses) {
         switch (r.status) {
         case RequestStatus::Completed:
@@ -47,6 +57,8 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
             queue_ms.push_back(r.queue_ms);
             sim_s.push_back(r.sim_seconds);
             s.sim_seconds_total += r.sim_seconds;
+            if (r.group != no_group)
+                bump(s.group_completed, r.group);
             break;
         case RequestStatus::Expired: ++s.expired; break;
         case RequestStatus::Failed:
@@ -63,6 +75,8 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
             ++s.retried;
             if (r.requeued)
                 ++s.requeued;
+            if (r.group != no_group)
+                bump(s.group_retried, r.group);
             break;
         }
     }
@@ -113,13 +127,23 @@ ServeStats::report() const
          sim_seconds_p50, sim_seconds_p99, sim_seconds_total);
     line("cache: %zu hits / %zu lookups (%.1f%% hit rate)",
          cache.hits, cache.lookups(), 100.0 * cache.hitRate());
-    out += "group utilization:";
+    // Per-group placement: utilization, request counts, and live
+    // quarantine state on one line per group, so placement skew and
+    // parked hardware are visible at a glance.
+    out += "groups (busy% / completed / retried-on):\n";
     for (std::size_t g = 0; g < group_utilization.size(); ++g) {
-        std::snprintf(buf, sizeof(buf), "  g%zu %.1f%%", g,
-                      100.0 * group_utilization[g]);
+        const std::size_t done =
+            g < group_completed.size() ? group_completed[g] : 0;
+        const std::size_t retr =
+            g < group_retried.size() ? group_retried[g] : 0;
+        const bool quarantined =
+            g < group_quarantined.size() && group_quarantined[g] != 0;
+        std::snprintf(buf, sizeof(buf),
+                      "  g%zu: %5.1f%%  %4zu req  %3zu retried%s\n",
+                      g, 100.0 * group_utilization[g], done, retr,
+                      quarantined ? "  [QUARANTINED]" : "");
         out += buf;
     }
-    out += '\n';
 
     // The process-wide registry: request outcome counters and latency
     // histograms booked by every server in this process.

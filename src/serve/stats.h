@@ -64,12 +64,30 @@ struct ServeStats
     /** Busy fraction of each chip group over wall_seconds. */
     std::vector<double> group_utilization;
 
-    /** Compute the derived fields from a set of responses. */
+    // Per-group placement accounting (indexed by chip group). The
+    // aggregates above say *how much* was served; these say *where*
+    // — the signal needed to debug placement skew and to see which
+    // groups are sitting in quarantine right now.
+    /** Requests completed by each group. */
+    std::vector<std::size_t> group_completed;
+    /** Attempts each group served that ended in a retry/requeue. */
+    std::vector<std::size_t> group_retried;
+    /** Whether each group is quarantined at report time. */
+    std::vector<uint8_t> group_quarantined;
+
+    /**
+     * Compute the derived fields from a set of responses.
+     *
+     * @param group_quarantined current per-group quarantine state
+     *        (scheduler snapshot); may be empty when the caller has
+     *        no scheduler.
+     */
     static ServeStats fromResponses(
         const std::vector<Response> &responses, std::size_t submitted,
         std::size_t rejected, double wall_seconds,
         const CacheStats &cache,
-        const std::vector<double> &group_busy_seconds);
+        const std::vector<double> &group_busy_seconds,
+        const std::vector<uint8_t> &group_quarantined = {});
 
     /** Multi-line human-readable report. */
     std::string report() const;

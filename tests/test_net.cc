@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the serving wire protocol (src/net): frame round-trips
+ * under arbitrary stream chunking (payload sizes from 0 to the
+ * ceiling), rejection of truncated, corrupted, desynchronized, and
+ * oversized frames, decoder poisoning, typed-message round-trips with
+ * total decode() (no truncation or trailing-garbage acceptance), the
+ * version-mismatch Hello handshake, a real loopback socket exchange,
+ * and the poll event loop's cross-thread add/stop behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/socket.h"
+
+using namespace cinnamon;
+using namespace cinnamon::net;
+
+namespace {
+
+/** Deterministic fuzz source (splitmix64). */
+uint64_t
+nextRand(uint64_t *state)
+{
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<uint8_t>
+randomPayload(std::size_t len, uint64_t *state)
+{
+    std::vector<uint8_t> out(len);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(nextRand(state));
+    return out;
+}
+
+/** Feed `bytes` to the decoder in random-sized chunks. */
+void
+feedChunked(FrameDecoder *dec, const std::vector<uint8_t> &bytes,
+            uint64_t *state)
+{
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        const std::size_t n = std::min(
+            bytes.size() - pos,
+            static_cast<std::size_t>(nextRand(state) % 37 + 1));
+        dec->feed(bytes.data() + pos, n);
+        pos += n;
+    }
+}
+
+} // namespace
+
+TEST(Frame, RoundTripAcrossSizesAndChunkings)
+{
+    uint64_t rng = 42;
+    // Size 0, 1, a few odd mid sizes, and the hard ceiling.
+    const std::size_t sizes[] = {0,   1,    2,     19,          1024,
+                                 4097, 65536, kMaxPayloadBytes};
+    for (const std::size_t size : sizes) {
+        const auto payload = randomPayload(size, &rng);
+        const auto bytes = encodeFrame(MsgType::Submit, payload);
+        ASSERT_EQ(bytes.size(), kFrameHeaderBytes + size);
+
+        FrameDecoder dec;
+        feedChunked(&dec, bytes, &rng);
+        Frame frame;
+        ASSERT_EQ(dec.next(&frame), DecodeStatus::Ok)
+            << "payload size " << size;
+        EXPECT_EQ(frame.type, MsgType::Submit);
+        EXPECT_EQ(frame.version, kWireVersion);
+        EXPECT_EQ(frame.payload, payload);
+        EXPECT_EQ(dec.next(&frame), DecodeStatus::NeedMore);
+        EXPECT_EQ(dec.buffered(), 0u);
+    }
+}
+
+TEST(Frame, BackToBackFramesSurviveByteAtATimeDelivery)
+{
+    uint64_t rng = 7;
+    std::vector<uint8_t> stream;
+    std::vector<std::vector<uint8_t>> payloads;
+    for (std::size_t i = 0; i < 8; ++i) {
+        payloads.push_back(randomPayload(i * 13, &rng));
+        const auto bytes =
+            encodeFrame(MsgType::Heartbeat, payloads.back());
+        stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    FrameDecoder dec;
+    std::size_t decoded = 0;
+    for (const uint8_t byte : stream) {
+        dec.feed(&byte, 1);
+        Frame frame;
+        while (dec.next(&frame) == DecodeStatus::Ok) {
+            ASSERT_LT(decoded, payloads.size());
+            EXPECT_EQ(frame.payload, payloads[decoded]);
+            ++decoded;
+        }
+    }
+    EXPECT_EQ(decoded, payloads.size());
+}
+
+TEST(Frame, TruncationIsNeedMoreNotError)
+{
+    uint64_t rng = 3;
+    const auto payload = randomPayload(256, &rng);
+    const auto bytes = encodeFrame(MsgType::Result, payload);
+    // Every strict prefix must report NeedMore — truncation is a
+    // "wait for more bytes" condition, never a hard error.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{1}, kFrameHeaderBytes - 1,
+          kFrameHeaderBytes, bytes.size() - 1}) {
+        FrameDecoder dec;
+        dec.feed(bytes.data(), cut);
+        Frame frame;
+        EXPECT_EQ(dec.next(&frame), DecodeStatus::NeedMore)
+            << "prefix length " << cut;
+    }
+}
+
+TEST(Frame, CorruptedPayloadIsRejectedAndPoisons)
+{
+    uint64_t rng = 11;
+    const auto payload = randomPayload(64, &rng);
+    auto bytes = encodeFrame(MsgType::Result, payload);
+    bytes[kFrameHeaderBytes + 10] ^= 0x01; // flip one payload bit
+
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(dec.next(&frame), DecodeStatus::BadChecksum);
+    // Poisoned: a framed stream cannot resynchronize, so even a
+    // subsequent pristine frame must not decode.
+    const auto good = encodeFrame(MsgType::Heartbeat, {});
+    dec.feed(good.data(), good.size());
+    EXPECT_EQ(dec.next(&frame), DecodeStatus::BadChecksum);
+}
+
+TEST(Frame, BadMagicAndOversizedLengthAreHardErrors)
+{
+    auto bytes = encodeFrame(MsgType::Hello, {1, 2, 3});
+    bytes[0] ^= 0xFF;
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(dec.next(&frame), DecodeStatus::BadMagic);
+
+    // Forge a length field above the ceiling.
+    auto big = encodeFrame(MsgType::Hello, {});
+    const uint32_t huge = static_cast<uint32_t>(kMaxPayloadBytes) + 1;
+    big[8] = static_cast<uint8_t>(huge);
+    big[9] = static_cast<uint8_t>(huge >> 8);
+    big[10] = static_cast<uint8_t>(huge >> 16);
+    big[11] = static_cast<uint8_t>(huge >> 24);
+    FrameDecoder dec2;
+    dec2.feed(big.data(), big.size());
+    EXPECT_EQ(dec2.next(&frame), DecodeStatus::Oversized);
+}
+
+TEST(Frame, ForeignVersionStillFramesCorrectly)
+{
+    // The header layout is version-invariant by contract: a frame
+    // from a future protocol version must decode (so the application
+    // can answer a mismatched Hello with a reasoned HelloAck).
+    const auto payload = HelloMsg{}.encode();
+    const auto bytes =
+        encodeFrame(MsgType::Hello, payload, kWireVersion + 7);
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_EQ(dec.next(&frame), DecodeStatus::Ok);
+    EXPECT_EQ(frame.version, kWireVersion + 7);
+    EXPECT_EQ(frame.type, MsgType::Hello);
+}
+
+TEST(Message, AllTypesRoundTrip)
+{
+    HelloMsg hello;
+    hello.worker_id = 3;
+    hello.chips = 4;
+    hello.group_size = 4;
+    hello.pid = 12345;
+    HelloMsg hello2;
+    ASSERT_TRUE(hello2.decode(hello.encode()));
+    EXPECT_EQ(hello2.version, kWireVersion);
+    EXPECT_EQ(hello2.worker_id, 3u);
+    EXPECT_EQ(hello2.pid, 12345u);
+
+    HelloAckMsg ack;
+    ack.accepted = 1;
+    ack.assigned_group = 2;
+    ack.reason = "";
+    HelloAckMsg ack2;
+    ASSERT_TRUE(ack2.decode(ack.encode()));
+    EXPECT_EQ(ack2.accepted, 1);
+    EXPECT_EQ(ack2.assigned_group, 2u);
+
+    SubmitMsg submit;
+    submit.request_id = 99;
+    submit.workload = 2;
+    submit.seed = 1042;
+    submit.attempt = 1;
+    submit.deadline_budget_ms = 250;
+    SubmitMsg submit2;
+    ASSERT_TRUE(submit2.decode(submit.encode()));
+    EXPECT_EQ(submit2.request_id, 99u);
+    EXPECT_EQ(submit2.seed, 1042u);
+    EXPECT_EQ(submit2.deadline_budget_ms, 250u);
+
+    ResultMsg result;
+    result.request_id = 99;
+    result.status = static_cast<uint16_t>(WireStatus::Failed);
+    result.attempt = 1;
+    result.digest = 0xdeadbeefcafef00dull;
+    result.sim_seconds = 0.25;
+    result.compile_ms = 12.5;
+    result.retryable = 1;
+    result.chip_failed = 1;
+    result.error = "injected chip failure";
+    ResultMsg result2;
+    ASSERT_TRUE(result2.decode(result.encode()));
+    EXPECT_EQ(result2.digest, 0xdeadbeefcafef00dull);
+    EXPECT_DOUBLE_EQ(result2.sim_seconds, 0.25);
+    EXPECT_EQ(result2.error, "injected chip failure");
+    EXPECT_EQ(result2.chip_failed, 1);
+
+    HeartbeatMsg beat;
+    beat.worker_id = 1;
+    beat.seq = 7;
+    beat.inflight = 1;
+    HeartbeatMsg beat2;
+    ASSERT_TRUE(beat2.decode(beat.encode()));
+    EXPECT_EQ(beat2.seq, 7u);
+
+    DrainMsg drain;
+    EXPECT_TRUE(DrainMsg{}.decode(drain.encode()));
+
+    DrainAckMsg drained;
+    drained.worker_id = 1;
+    drained.completed = 42;
+    DrainAckMsg drained2;
+    ASSERT_TRUE(drained2.decode(drained.encode()));
+    EXPECT_EQ(drained2.completed, 42u);
+}
+
+TEST(Message, DecodeRejectsTruncationAndTrailingGarbage)
+{
+    SubmitMsg submit;
+    submit.request_id = 5;
+    auto payload = submit.encode();
+
+    SubmitMsg out;
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        std::vector<uint8_t> trunc(payload.begin(),
+                                   payload.begin() + cut);
+        EXPECT_FALSE(out.decode(trunc)) << "prefix " << cut;
+    }
+    auto padded = payload;
+    padded.push_back(0);
+    EXPECT_FALSE(out.decode(padded));
+    EXPECT_TRUE(out.decode(payload));
+}
+
+TEST(Message, CheckHelloEnforcesVersionAndShape)
+{
+    HelloMsg good;
+    good.chips = 4;
+    good.group_size = 4;
+    EXPECT_EQ(checkHello(good, 4), "");
+
+    HelloMsg wrong_version = good;
+    wrong_version.version = kWireVersion + 1;
+    const auto reason = checkHello(wrong_version, 4);
+    EXPECT_NE(reason, "");
+    EXPECT_NE(reason.find("version"), std::string::npos);
+
+    HelloMsg wrong_group = good;
+    wrong_group.group_size = 8;
+    EXPECT_NE(checkHello(wrong_group, 4), "");
+
+    HelloMsg short_chips = good;
+    short_chips.chips = 2;
+    EXPECT_NE(checkHello(short_chips, 4), "");
+}
+
+TEST(Socket, LoopbackHelloHandshake)
+{
+    uint16_t port = 0;
+    Socket listener = Socket::listenLoopback(0, &port);
+    ASSERT_TRUE(listener.valid());
+    ASSERT_NE(port, 0);
+
+    std::thread server([&] {
+        Socket conn = listener.accept();
+        ASSERT_TRUE(conn.valid());
+        FrameDecoder dec;
+        Frame frame;
+        uint8_t buf[4096];
+        for (;;) {
+            const auto status = dec.next(&frame);
+            if (status == DecodeStatus::Ok)
+                break;
+            ASSERT_EQ(status, DecodeStatus::NeedMore);
+            const ssize_t n = conn.recvSome(buf, sizeof(buf));
+            ASSERT_GT(n, 0);
+            dec.feed(buf, static_cast<std::size_t>(n));
+        }
+        ASSERT_EQ(frame.type, MsgType::Hello);
+        HelloMsg hello;
+        ASSERT_TRUE(hello.decode(frame.payload));
+        HelloAckMsg ack;
+        ack.accepted = checkHello(hello, 4).empty() ? 1 : 0;
+        ack.assigned_group = 1;
+        const auto bytes = encodeFrame(MsgType::HelloAck, ack.encode());
+        ASSERT_TRUE(conn.sendAll(bytes.data(), bytes.size()));
+    });
+
+    Socket client = Socket::connectLoopback(port);
+    ASSERT_TRUE(client.valid());
+    HelloMsg hello;
+    hello.worker_id = 9;
+    hello.chips = 4;
+    hello.group_size = 4;
+    const auto bytes = encodeFrame(MsgType::Hello, hello.encode());
+    ASSERT_TRUE(client.sendAll(bytes.data(), bytes.size()));
+
+    FrameDecoder dec;
+    Frame frame;
+    uint8_t buf[4096];
+    for (;;) {
+        const auto status = dec.next(&frame);
+        if (status == DecodeStatus::Ok)
+            break;
+        ASSERT_EQ(status, DecodeStatus::NeedMore);
+        const ssize_t n = client.recvSome(buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        dec.feed(buf, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(frame.type, MsgType::HelloAck);
+    HelloAckMsg ack;
+    ASSERT_TRUE(ack.decode(frame.payload));
+    EXPECT_EQ(ack.accepted, 1);
+    EXPECT_EQ(ack.assigned_group, 1u);
+    server.join();
+}
+
+TEST(EventLoop, DispatchesReadsAndStopsFromAnotherThread)
+{
+    uint16_t port = 0;
+    Socket listener = Socket::listenLoopback(0, &port);
+    ASSERT_TRUE(listener.valid());
+
+    EventLoop loop;
+    std::atomic<int> accepted{0};
+    std::atomic<uint64_t> received{0};
+    std::vector<Socket> conns;
+    conns.reserve(4); // stored pointers below must stay stable
+
+    loop.add(listener.fd(), POLLIN, [&](int, short) {
+        Socket conn = listener.accept();
+        if (!conn.valid())
+            return;
+        const int fd = conn.fd();
+        conns.push_back(std::move(conn));
+        Socket *stored = &conns.back();
+        ++accepted;
+        loop.add(fd, POLLIN, [&, stored](int, short) {
+            uint8_t buf[256];
+            const ssize_t n = stored->recvSome(buf, sizeof(buf));
+            for (ssize_t i = 0; i < n; ++i)
+                received += buf[i];
+        });
+    });
+
+    std::thread io([&] { loop.run(5.0, {}); });
+
+    Socket client = Socket::connectLoopback(port);
+    ASSERT_TRUE(client.valid());
+    const uint8_t payload[] = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(client.sendAll(payload, sizeof(payload)));
+
+    for (int spin = 0; spin < 500 && received.load() < 15; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(accepted.load(), 1);
+    EXPECT_EQ(received.load(), 15u); // 1+2+3+4+5
+
+    loop.stop();
+    io.join();
+}

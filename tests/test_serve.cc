@@ -15,6 +15,11 @@
 #include <set>
 #include <thread>
 
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/socket.h"
+#include "serve/remote/frontend.h"
+#include "serve/remote/worker.h"
 #include "serve/server.h"
 
 using namespace cinnamon;
@@ -465,4 +470,180 @@ TEST(Server, StatsReportMentionsEveryGroup)
     EXPECT_NE(report.find("hit rate"), std::string::npos);
     EXPECT_NE(report.find("g0"), std::string::npos);
     EXPECT_NE(report.find("g1"), std::string::npos);
+}
+
+TEST(Queue, RequeuePreservesTheDeadlineAnchor)
+{
+    // The deadline budget is measured from first admission (`born`).
+    // A requeued attempt must inherit that anchor unchanged: a fault
+    // must never extend a request's deadline. Regression test for the
+    // queue restamping `born` on requeue.
+    RequestQueue queue(4);
+    Request r;
+    r.id = 1;
+    r.seed = 7;
+    r.deadline = std::chrono::milliseconds(500);
+    ASSERT_TRUE(queue.submit(r));
+
+    auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+    const auto born = popped->born;
+    ASSERT_NE(born, Clock::time_point{}) << "submit must stamp born";
+    const auto first_admitted = popped->admitted;
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Request retry = *popped;
+    ++retry.attempt;
+    queue.requeue(std::move(retry));
+
+    auto again = queue.pop();
+    ASSERT_TRUE(again.has_value());
+    // `born` is the cross-attempt anchor: bit-identical after requeue.
+    EXPECT_EQ(again->born, born);
+    // `admitted` is per-attempt: restamped at requeue time.
+    EXPECT_GT(again->admitted, first_admitted);
+    // The budget already spent was not refunded.
+    const double consumed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  again->born)
+            .count();
+    EXPECT_GE(consumed_ms, 20.0);
+}
+
+TEST(Queue, PopForTimesOutWhileOpenAndDrainsAfterClose)
+{
+    RequestQueue queue(4);
+    // Open + empty: popFor returns nullopt after the timeout instead
+    // of blocking forever (the remote dispatcher's liveness tick).
+    EXPECT_FALSE(queue.popFor(5.0).has_value());
+
+    Request r;
+    r.id = 1;
+    ASSERT_TRUE(queue.submit(r));
+    auto popped = queue.popFor(5.0);
+    ASSERT_TRUE(popped.has_value());
+
+    // Closed + empty still accepts a requeue and drains it.
+    queue.close();
+    Request retry = *popped;
+    ++retry.attempt;
+    queue.requeue(std::move(retry));
+    auto drained = queue.popFor(5.0);
+    ASSERT_TRUE(drained.has_value());
+    EXPECT_EQ(drained->attempt, 1u);
+}
+
+TEST(Server, StatsCountPerGroupPlacementAndQuarantine)
+{
+    ServeOptions opt = smallOptions();
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(server.submit(traceWorkload(i), 4000 + i));
+    server.drainAndStop();
+
+    auto stats = server.stats();
+    ASSERT_EQ(stats.group_completed.size(), 2u);
+    ASSERT_EQ(stats.group_quarantined.size(), 2u);
+    // Every completion is attributed to exactly one group.
+    EXPECT_EQ(stats.group_completed[0] + stats.group_completed[1],
+              stats.completed);
+    EXPECT_EQ(stats.group_quarantined[0], 0);
+    EXPECT_EQ(stats.group_quarantined[1], 0);
+    auto report = stats.report();
+    EXPECT_NE(report.find("req"), std::string::npos);
+    EXPECT_EQ(report.find("[QUARANTINED]"), std::string::npos);
+}
+
+TEST(RemoteServing, LoopbackDistributedBitIdenticalToInProcess)
+{
+    // The full distributed loop inside one process: a RemoteFrontEnd
+    // and two runWorker() instances on threads, talking real TCP over
+    // loopback. Digests must match the in-process server exactly.
+    const std::size_t kRequests = 6;
+
+    ServeOptions base = smallOptions();
+    Server local(serveContext(), base);
+    local.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(local.submit(traceWorkload(i), 3000 + i));
+    local.drainAndStop();
+    const auto expected = completedHashes(local);
+    ASSERT_EQ(expected.size(), kRequests);
+
+    remote::FrontEndOptions fe_opt;
+    fe_opt.workers = 2;
+    fe_opt.group_size = 4;
+    remote::RemoteFrontEnd frontend(fe_opt);
+    ASSERT_TRUE(frontend.start());
+
+    std::vector<std::thread> workers;
+    for (uint64_t w = 0; w < 2; ++w)
+        workers.emplace_back([&frontend, w] {
+            remote::WorkerOptions opt;
+            opt.port = frontend.port();
+            opt.worker_id = w;
+            opt.group_size = 4;
+            remote::runWorker(serveContext(), opt);
+        });
+    ASSERT_TRUE(frontend.waitForWorkers(2));
+
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(frontend.submit(traceWorkload(i), 3000 + i));
+    frontend.drainAndStop();
+    for (auto &t : workers)
+        t.join();
+
+    std::map<uint64_t, uint64_t> got;
+    for (const auto &r : frontend.responses())
+        if (r.status == RequestStatus::Completed)
+            got[r.id] = r.output_hash;
+    EXPECT_EQ(got, expected);
+
+    const auto stats = frontend.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_EQ(stats.completed + stats.rejected + stats.expired +
+                  stats.failed,
+              stats.submitted);
+}
+
+TEST(RemoteServing, VersionMismatchedWorkerIsRejectedWithReason)
+{
+    remote::FrontEndOptions fe_opt;
+    fe_opt.workers = 1;
+    fe_opt.group_size = 4;
+    remote::RemoteFrontEnd frontend(fe_opt);
+    ASSERT_TRUE(frontend.start());
+
+    // Hand-roll a Hello from a "future" wire version.
+    net::Socket sock = net::Socket::connectLoopback(frontend.port());
+    ASSERT_TRUE(sock.valid());
+    net::HelloMsg hello;
+    hello.version = net::kWireVersion + 1;
+    hello.chips = 4;
+    hello.group_size = 4;
+    const auto bytes =
+        net::encodeFrame(net::MsgType::Hello, hello.encode(),
+                         net::kWireVersion + 1);
+    ASSERT_TRUE(sock.sendAll(bytes.data(), bytes.size()));
+
+    net::FrameDecoder dec;
+    net::Frame frame;
+    uint8_t buf[4096];
+    for (;;) {
+        const auto status = dec.next(&frame);
+        if (status == net::DecodeStatus::Ok)
+            break;
+        ASSERT_EQ(status, net::DecodeStatus::NeedMore);
+        const ssize_t n = sock.recvSome(buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        dec.feed(buf, static_cast<std::size_t>(n));
+    }
+    ASSERT_EQ(frame.type, net::MsgType::HelloAck);
+    net::HelloAckMsg ack;
+    ASSERT_TRUE(ack.decode(frame.payload));
+    EXPECT_EQ(ack.accepted, 0);
+    EXPECT_NE(ack.reason.find("version"), std::string::npos);
+    EXPECT_EQ(frontend.connectedWorkers(), 0u);
+    frontend.drainAndStop();
 }
