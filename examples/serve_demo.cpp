@@ -13,10 +13,21 @@
  *
  *   build/examples/serve_demo [--requests N] [--workers W]
  *       [--chips C] [--group G] [--queue Q] [--dilation D]
- *       [--trace FILE.trace.json]
+ *       [--batch-max-streams K] [--batch-linger-ms MS]
+ *       [--trace FILE.trace.json] [--bench-json FILE]
  *       [--fault-seed S] [--chip-mtbf M] [--transient-p P]
  *       [--link-p P] [--link-dilation X] [--repair-ms MS]
  *       [--min-completion R]
+ *
+ * --batch-max-streams K > 1 turns on continuous cross-request
+ * batching for the pooled run: compatible queued requests coalesce
+ * into one multi-stream program spread across the chip groups, with
+ * --batch-linger-ms bounding how long a short batch waits for late
+ * compatible arrivals. The serial baseline stays unbatched, so the
+ * output-equivalence check doubles as the batched-vs-unbatched
+ * bit-identity gate. --bench-json writes the pooled run's
+ * steady-state p50 compile_ms and plan-cache hit rate as JSON for
+ * scripts/check_bench.py.
  *
  * With --trace, the pooled run's per-request spans (queue → acquire →
  * simulate → probe → dwell, plus backoff/quarantine/readmit fault
@@ -34,6 +45,7 @@
  * gates on it.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,7 +68,10 @@ struct DemoConfig
     std::size_t group = 4;
     std::size_t queue = 64;
     double dilation = 300.0; ///< wall s per simulated s (device dwell)
+    std::size_t batch_max_streams = 1; ///< 1 = unbatched serving
+    double batch_linger_ms = 2.0;
     std::string trace_path;  ///< empty = no trace dump
+    std::string bench_json_path; ///< empty = no bench dump
 
     // Fault injection (all layers disabled by default).
     uint64_t fault_seed = 0;
@@ -106,9 +121,16 @@ parseArgs(int argc, char **argv)
             cfg.repair_ms = v;
         else if ((v = num("--min-completion")) >= 0)
             cfg.min_completion = v;
+        else if ((v = num("--batch-max-streams")) >= 0)
+            cfg.batch_max_streams = static_cast<std::size_t>(v);
+        else if ((v = num("--batch-linger-ms")) >= 0)
+            cfg.batch_linger_ms = v;
         else if (std::strcmp(argv[i], "--trace") == 0 &&
                  i + 1 < argc)
             cfg.trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--bench-json") == 0 &&
+                 i + 1 < argc)
+            cfg.bench_json_path = argv[++i];
         else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             std::exit(2);
@@ -138,7 +160,8 @@ traceWorkload(std::size_t i)
 std::map<uint64_t, uint64_t>
 runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
          std::size_t workers, ServeStats *stats_out,
-         const std::string &trace_path = "")
+         const std::string &trace_path = "", bool batched = false,
+         std::vector<Response> *responses_out = nullptr)
 {
     ServeOptions opt;
     opt.chips = cfg.chips;
@@ -146,6 +169,10 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
     opt.workers = workers;
     opt.queue_capacity = cfg.queue;
     opt.time_dilation = cfg.dilation;
+    if (batched) {
+        opt.batch_max_streams = cfg.batch_max_streams;
+        opt.batch_linger_ms = cfg.batch_linger_ms;
+    }
     opt.trace = !trace_path.empty();
     opt.faults.seed = cfg.fault_seed;
     opt.faults.chip_mtbf_requests = cfg.chip_mtbf;
@@ -181,7 +208,54 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
     for (const auto &r : server.responses())
         if (r.status == RequestStatus::Completed)
             hashes[r.id] = r.output_hash;
+    if (responses_out)
+        *responses_out = server.responses();
     return hashes;
+}
+
+/**
+ * Serving-tier bench dump for scripts/check_bench.py: the pooled
+ * run's steady-state p50 compile_ms over completed requests (the
+ * plan cache should make most compiles free) and the plan-cache hit
+ * rate.
+ */
+bool
+writeBenchJson(const std::string &path, const ServeStats &stats,
+               const std::vector<Response> &responses)
+{
+    std::vector<double> compile_ms;
+    for (const auto &r : responses)
+        if (r.status == RequestStatus::Completed)
+            compile_ms.push_back(r.compile_ms);
+    double p50 = 0.0;
+    if (!compile_ms.empty()) {
+        std::sort(compile_ms.begin(), compile_ms.end());
+        p50 = compile_ms[compile_ms.size() / 2];
+    }
+    const std::size_t lookups = stats.plan_cache.lookups();
+    const double hit_rate =
+        lookups > 0 ? static_cast<double>(stats.plan_cache.hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"serve_plan_cache\": {\n"
+                 "    \"steady_compile_ms_p50\": %.6f,\n"
+                 "    \"plan_cache_hit_rate\": %.6f,\n"
+                 "    \"plan_cache_hits\": %zu,\n"
+                 "    \"plan_cache_lookups\": %zu,\n"
+                 "    \"completed\": %zu\n"
+                 "  }\n"
+                 "}\n",
+                 p50, hit_rate, stats.plan_cache.hits, lookups,
+                 stats.completed);
+    std::fclose(f);
+    std::printf("  (wrote serving bench numbers to %s)\n",
+                path.c_str());
+    return true;
 }
 
 } // namespace
@@ -199,14 +273,31 @@ main(int argc, char **argv)
     fhe::CkksContext ctx(params);
 
     ServeStats serial_stats, pool_stats;
-    std::printf("--- serial baseline (--workers 1) ---\n");
+    std::printf("--- serial baseline (--workers 1, unbatched) ---\n");
     auto serial = runTrace(ctx, cfg, 1, &serial_stats);
     std::printf("%s\n", serial_stats.report().c_str());
 
-    std::printf("--- worker pool (--workers %zu) ---\n", cfg.workers);
+    if (cfg.batch_max_streams > 1)
+        std::printf("--- worker pool (--workers %zu, batching up to "
+                    "%zu streams, linger %.1f ms) ---\n",
+                    cfg.workers, cfg.batch_max_streams,
+                    cfg.batch_linger_ms);
+    else
+        std::printf("--- worker pool (--workers %zu) ---\n",
+                    cfg.workers);
+    std::vector<Response> pooled_responses;
     auto pooled =
-        runTrace(ctx, cfg, cfg.workers, &pool_stats, cfg.trace_path);
+        runTrace(ctx, cfg, cfg.workers, &pool_stats, cfg.trace_path,
+                 /*batched=*/true, &pooled_responses);
     std::printf("%s\n", pool_stats.report().c_str());
+
+    if (!cfg.bench_json_path.empty() &&
+        !writeBenchJson(cfg.bench_json_path, pool_stats,
+                        pooled_responses)) {
+        std::fprintf(stderr, "failed to write bench json to %s\n",
+                     cfg.bench_json_path.c_str());
+        return 1;
+    }
 
     // Bit-identity is a per-request contract: under saturation the two
     // runs may admit different subsets (admission timing, not

@@ -8,9 +8,17 @@
  *
  *   build/examples/serve_distributed [--requests N] [--workers W]
  *       [--group G] [--queue Q] [--dilation D] [--port P]
+ *       [--batch-max-streams K] [--batch-linger-ms MS]
  *       [--kill-worker-after K] [--respawn]
  *       [--fault-seed S] [--chip-mtbf M] [--transient-p P]
  *       [--conn-drop-p P] [--min-completion R]
+ *
+ * --batch-max-streams K > 1 turns on continuous cross-request
+ * batching at the front-end: compatible queued requests ride one
+ * wire-v2 Submit and execute as a single multi-stream program on one
+ * worker. Digest gate 1 below is unchanged — batched distributed
+ * digests must still match the unbatched in-process baseline bit for
+ * bit.
  *
  * The demo first serves the whole trace in-process (the single-process
  * Server) to establish baseline output digests, then serves the same
@@ -65,6 +73,8 @@ struct DemoConfig
     std::size_t queue = 64;
     double dilation = 40.0; ///< wall s per simulated s (device dwell)
     uint16_t port = 0;      ///< 0 = OS-assigned
+    std::size_t batch_max_streams = 1; ///< 1 = unbatched dispatch
+    double batch_linger_ms = 2.0;
 
     /** SIGKILL one worker after this many completions; 0 = never. */
     std::size_t kill_after = 0;
@@ -107,6 +117,10 @@ parseArgs(int argc, char **argv)
             cfg.dilation = v;
         else if ((v = num("--port")) >= 0)
             cfg.port = static_cast<uint16_t>(v);
+        else if ((v = num("--batch-max-streams")) >= 0)
+            cfg.batch_max_streams = static_cast<std::size_t>(v);
+        else if ((v = num("--batch-linger-ms")) >= 0)
+            cfg.batch_linger_ms = v;
         else if ((v = num("--kill-worker-after")) >= 0)
             cfg.kill_after = static_cast<std::size_t>(v);
         else if ((v = num("--fault-seed")) >= 0)
@@ -255,6 +269,12 @@ main(int argc, char **argv)
     fe_opt.group_size = cfg.group;
     fe_opt.queue_capacity = cfg.queue;
     fe_opt.port = cfg.port;
+    fe_opt.batch_max_streams = cfg.batch_max_streams;
+    fe_opt.batch_linger_ms = cfg.batch_linger_ms;
+    if (cfg.batch_max_streams > 1)
+        std::printf("  continuous batching: up to %zu streams per "
+                    "Submit, linger %.1f ms\n",
+                    cfg.batch_max_streams, cfg.batch_linger_ms);
     remote::RemoteFrontEnd frontend(fe_opt);
     if (!frontend.start()) {
         std::fprintf(stderr, "cannot bind loopback port %u\n",

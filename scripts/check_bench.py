@@ -11,10 +11,17 @@ noise, tight enough to catch a real slowdown).
                             `limb_ops_per_s`.
   compile_time.json         single JSON object; lower-is-better
                             metrics `serial_ms` and `parallel_ms`.
+  serve_plan_cache          written by `serve_demo --bench-json`;
+                            gated on *absolute* bounds from the
+                            baseline (`steady_compile_ms_p50_max`,
+                            `plan_cache_hit_rate_min`) — in steady
+                            state the plan cache must make the median
+                            compile free and serve most lookups.
 
 Usage:
   scripts/check_bench.py --emulator-throughput emulator_throughput.json \
                          --compile-time compile_time.json \
+                         --serve-plan-cache serve_bench.json \
                          [--baseline-dir bench/baselines] \
                          [--threshold 0.25] [--refresh]
 
@@ -93,6 +100,36 @@ def check_compile_time(current, baseline, threshold, failures):
                 f"(> {threshold:.0%})")
 
 
+def check_serve_plan_cache(current, baseline, threshold, failures):
+    """Absolute bounds: the serving-tier plan cache must keep the
+    steady-state median compile free and serve most lookups from
+    cache, regardless of machine speed (threshold is unused)."""
+    del threshold
+    cur = current["serve_plan_cache"]
+    p50 = cur["steady_compile_ms_p50"]
+    hit_rate = cur["plan_cache_hit_rate"]
+    p50_max = baseline["steady_compile_ms_p50_max"]
+    hit_min = baseline["plan_cache_hit_rate_min"]
+
+    status = "FAIL" if p50 > p50_max else "ok"
+    print(f"  [{status}] serve_plan_cache steady_compile_ms_p50: "
+          f"{p50:.3f} ms (max {p50_max:.3f} ms)")
+    if p50 > p50_max:
+        failures.append(
+            f"serve_plan_cache steady_compile_ms_p50 {p50:.3f} ms "
+            f"above bound {p50_max:.3f} ms (cache not serving the "
+            f"steady state)")
+
+    status = "FAIL" if hit_rate < hit_min else "ok"
+    print(f"  [{status}] serve_plan_cache hit rate: {hit_rate:.1%} "
+          f"(min {hit_min:.1%}; {cur['plan_cache_hits']}/"
+          f"{cur['plan_cache_lookups']} lookups)")
+    if hit_rate < hit_min:
+        failures.append(
+            f"serve_plan_cache hit rate {hit_rate:.1%} below bound "
+            f"{hit_min:.1%}")
+
+
 def refresh(args):
     os.makedirs(args.baseline_dir, exist_ok=True)
     for name, path in (
@@ -106,6 +143,10 @@ def refresh(args):
             json.dump(load_json(path), f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"refreshed {out} from {path}")
+    if args.serve_plan_cache is not None:
+        print("note: bench/baselines/serve_plan_cache.json holds "
+              "hand-set absolute bounds, not measurements — edit it "
+              "directly instead of refreshing")
 
 
 def main():
@@ -115,6 +156,8 @@ def main():
                         help="current emulator_throughput.json")
     parser.add_argument("--compile-time",
                         help="current compile_time.json")
+    parser.add_argument("--serve-plan-cache",
+                        help="current serve_demo --bench-json output")
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated slowdown fraction")
@@ -122,9 +165,10 @@ def main():
                         help="rewrite baselines instead of checking")
     args = parser.parse_args()
 
-    if args.emulator_throughput is None and args.compile_time is None:
-        parser.error("nothing to do: pass --emulator-throughput "
-                     "and/or --compile-time")
+    if (args.emulator_throughput is None and args.compile_time is None
+            and args.serve_plan_cache is None):
+        parser.error("nothing to do: pass --emulator-throughput, "
+                     "--compile-time, and/or --serve-plan-cache")
     if args.refresh:
         refresh(args)
         return 0
@@ -134,6 +178,8 @@ def main():
         ("emulator_throughput.json", args.emulator_throughput,
          check_throughput),
         ("compile_time.json", args.compile_time, check_compile_time),
+        ("serve_plan_cache.json", args.serve_plan_cache,
+         check_serve_plan_cache),
     )
     for name, path, check in checks:
         if path is None:

@@ -279,4 +279,47 @@ replicateStreams(const Program &prog, int copies)
     return out;
 }
 
+namespace {
+
+inline void
+fnv1a(uint64_t *h, const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        *h ^= bytes[i];
+        *h *= 0x100000001b3ull;
+    }
+}
+
+template <typename T>
+inline void
+fnv1aPod(uint64_t *h, const T &v)
+{
+    fnv1a(h, &v, sizeof(v));
+}
+
+} // namespace
+
+uint64_t
+fingerprintOf(const Program &prog)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    fnv1a(&h, prog.name().data(), prog.name().size());
+    for (const CtOp &op : prog.ops()) {
+        fnv1aPod(&h, static_cast<uint32_t>(op.kind));
+        for (const int arg : op.args)
+            fnv1aPod(&h, static_cast<int64_t>(arg));
+        // Separate the variable-length arg list from the fixed tail so
+        // shifting a value between fields cannot collide.
+        fnv1aPod(&h, static_cast<uint64_t>(op.args.size()));
+        fnv1aPod(&h, static_cast<int64_t>(op.rotation));
+        fnv1a(&h, op.name.data(), op.name.size());
+        fnv1aPod(&h, static_cast<uint64_t>(op.name.size()));
+        fnv1aPod(&h, static_cast<int64_t>(op.stream));
+        fnv1aPod(&h, static_cast<uint64_t>(op.level));
+        fnv1aPod(&h, op.scale);
+    }
+    return h;
+}
+
 } // namespace cinnamon::compiler

@@ -155,6 +155,14 @@ class Program
  */
 Program replicateStreams(const Program &prog, int copies);
 
+/**
+ * Content fingerprint of a program: FNV-1a over the name and every
+ * op's kind/args/rotation/name/stream/level/scale. Two programs that
+ * share a name and op count but differ anywhere in the graph hash
+ * differently, so caches keyed on the fingerprint never alias.
+ */
+uint64_t fingerprintOf(const Program &prog);
+
 } // namespace cinnamon::compiler
 
 #endif // CINNAMON_COMPILER_DSL_H_

@@ -22,41 +22,59 @@ ProgramRuntime::bindPlain(const std::string &name,
 }
 
 const fhe::EvalKey &
-ProgramRuntime::evalKeyFor(const DataDescriptor &desc)
+ProgramRuntime::evalKeyFor(const DataDescriptor &desc, std::size_t copy)
 {
-    std::ostringstream key;
-    key << desc.name << ':' << desc.chip_digits << ':' << desc.group_size;
-    auto it = key_cache_.find(key.str());
+    // The *identity* string is deliberately copy-free: it seeds the
+    // derived generator, and a batched member's keys must be drawn
+    // from exactly the identities an unbatched run would use so the
+    // member's outputs stay bit-identical. Only the cache key carries
+    // the copy index, to keep different members' keys apart.
+    std::ostringstream identity;
+    identity << desc.name << ':' << desc.chip_digits << ':'
+             << desc.group_size;
+    std::ostringstream cache_key;
+    cache_key << copy << '#' << identity.str();
+    auto it = key_cache_.find(cache_key.str());
     if (it != key_cache_.end())
         return it->second;
+
+    fhe::KeyGenerator *keygen = keygen_;
+    const fhe::SecretKey *sk = sk_;
+    if (!copy_keys_.empty()) {
+        CINN_ASSERT(copy < copy_keys_.size(),
+                    "no key material for batch copy " << copy);
+        keygen = copy_keys_[copy].keygen;
+        sk = copy_keys_[copy].sk;
+    }
 
     // Draw the key from a generator derived from (master seed, key
     // identity): the key bits are then independent of the order the
     // compiled program first loads its keys in, so reordering passes
     // in the compiler cannot perturb emulator outputs.
-    fhe::KeyGenerator kg = keygen_->derived(key.str());
+    fhe::KeyGenerator kg = keygen->derived(identity.str());
     fhe::EvalKey evk;
     if (desc.chip_digits) {
         const auto digits =
             chipDigitBases(ctx_->maxLevel(), desc.group_size);
         if (desc.name == "relin") {
-            auto s2 = sk_->s.mul(sk_->s);
-            evk = kg.makeKeySwitchKeyForDigits(*sk_, s2, digits);
+            auto s2 = sk->s.mul(sk->s);
+            evk = kg.makeKeySwitchKeyForDigits(*sk, s2, digits);
         } else {
-            evk = kg.galoisKeyForDigits(*sk_, desc.galois, digits);
+            evk = kg.galoisKeyForDigits(*sk, desc.galois, digits);
         }
     } else {
         if (desc.name == "relin") {
-            evk = kg.relinKey(*sk_);
+            evk = kg.relinKey(*sk);
         } else {
-            evk = kg.galoisKey(*sk_, desc.galois);
+            evk = kg.galoisKey(*sk, desc.galois);
         }
     }
-    return key_cache_.emplace(key.str(), std::move(evk)).first->second;
+    return key_cache_.emplace(cache_key.str(), std::move(evk))
+        .first->second;
 }
 
 isa::LimbRef
-ProgramRuntime::materialize(const DataDescriptor &desc)
+ProgramRuntime::materialize(const DataDescriptor &desc, std::size_t copy)
 {
     switch (desc.kind) {
       case DataDescriptor::Kind::InputCt: {
@@ -90,7 +108,7 @@ ProgramRuntime::materialize(const DataDescriptor &desc)
         return isa::LimbRef{desc.prime, cached->second.limb(pos)};
       }
       case DataDescriptor::Kind::EvalKey: {
-        const fhe::EvalKey &evk = evalKeyFor(desc);
+        const fhe::EvalKey &evk = evalKeyFor(desc, copy);
         CINN_ASSERT(desc.digit < evk.parts.size(),
                     "evaluation key digit out of range");
         const rns::RnsPoly &p = desc.poly == 0
@@ -136,7 +154,18 @@ ProgramRuntime::run(const CompiledProgram &program)
     // address is (re-)stored each run — stores to mapped addresses
     // overwrite in place — so reusing the emulator never leaks data
     // from a prior run or a prior input binding into this one.
+    // With batched key material (setCopyKeys) the chips partition
+    // evenly into copies, and each chip's evaluation keys come from
+    // its copy's generator.
+    const std::size_t copies =
+        copy_keys_.empty() ? 1 : copy_keys_.size();
+    CINN_FATAL_UNLESS(chips % copies == 0,
+                      "batched program chips (" << chips
+                          << ") must split evenly over " << copies
+                          << " copies");
+    const std::size_t chips_per_copy = chips / copies;
     for (std::size_t c = 0; c < chips; ++c) {
+        const std::size_t copy = c / chips_per_copy;
         std::unordered_set<uint64_t> stored;
         for (const auto &ins : program.machine.chips[c].instrs) {
             if (ins.op != isa::Opcode::Load)
@@ -146,7 +175,7 @@ ProgramRuntime::run(const CompiledProgram &program)
                 continue; // spill slot, produced by a Store at run time
             if (!stored.insert(ins.imm).second)
                 continue;
-            const isa::LimbRef limb = materialize(it->second);
+            const isa::LimbRef limb = materialize(it->second, copy);
             emu.memory(c).store(ins.imm, limb.prime, limb.data);
         }
     }

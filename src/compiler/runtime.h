@@ -43,6 +43,26 @@ class ProgramRuntime
     /** Bind an encrypted input by name. */
     void bindInput(const std::string &name, const fhe::Ciphertext &ct);
 
+    /**
+     * Per-copy key material for batched (replicated-stream) programs:
+     * copy k of a replicateStreams() program occupies chips
+     * [k*g, (k+1)*g) and must draw its evaluation keys from its *own*
+     * request's key generator so every member's outputs stay
+     * bit-identical to an unbatched run under the same seed. The
+     * pointers are non-owning and must outlive the next run(). An
+     * empty vector (the default) restores single-tenant behaviour:
+     * every chip uses the constructor's keygen/sk.
+     */
+    struct CopyKeys
+    {
+        fhe::KeyGenerator *keygen = nullptr;
+        const fhe::SecretKey *sk = nullptr;
+    };
+    void setCopyKeys(std::vector<CopyKeys> copies)
+    {
+        copy_keys_ = std::move(copies);
+    }
+
     /** Bind a plaintext slot vector by name (encoded on demand). */
     void bindPlain(const std::string &name,
                    std::vector<fhe::Cplx> values);
@@ -84,10 +104,12 @@ class ProgramRuntime
      * owned storage (inputs / plaintext cache / key cache), valid for
      * the lifetime of this runtime.
      */
-    isa::LimbRef materialize(const DataDescriptor &desc);
+    isa::LimbRef materialize(const DataDescriptor &desc,
+                             std::size_t copy);
 
     /** Fetch or create the evaluation key a descriptor names. */
-    const fhe::EvalKey &evalKeyFor(const DataDescriptor &desc);
+    const fhe::EvalKey &evalKeyFor(const DataDescriptor &desc,
+                                   std::size_t copy);
 
     const fhe::CkksContext *ctx_;
     const fhe::Encoder *encoder_;
@@ -97,6 +119,7 @@ class ProgramRuntime
     std::map<std::string, fhe::Ciphertext> inputs_;
     std::map<std::string, std::vector<fhe::Cplx>> plains_;
     std::map<std::string, fhe::EvalKey> key_cache_;
+    std::vector<CopyKeys> copy_keys_; ///< empty = single tenant
     std::map<std::string, rns::RnsPoly> plain_cache_;
     /**
      * The emulator is kept across run() calls (rebuilt only when the

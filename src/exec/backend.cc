@@ -1,5 +1,7 @@
 #include "exec/backend.h"
 
+#include <memory>
+
 #include "common/random.h"
 
 namespace cinnamon::exec {
@@ -99,6 +101,98 @@ EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
         throw faults::TransientFaultError(
             "injected transient execution fault");
     return report;
+}
+
+std::vector<ExecutionReport>
+EmulateBackend::executeSeededBatch(
+    const fhe::CkksContext &ctx, const fhe::Encoder &encoder,
+    const compiler::Program &source,
+    const compiler::CompiledProgram &program,
+    const std::vector<uint64_t> &seeds, std::size_t workers,
+    const faults::FaultDecision *fault, std::size_t fault_member)
+{
+    const std::size_t members = seeds.size();
+    CINN_FATAL_UNLESS(members >= 1, "batch needs at least one member");
+    const std::size_t chips = program.machine.numChips();
+    CINN_FATAL_UNLESS(chips % members == 0,
+                      "batched program chips must split over members");
+    const std::size_t chips_per_member = chips / members;
+
+    // One generator/key per member: every member's randomness is its
+    // own request's, exactly as executeSeeded would derive it.
+    std::vector<std::unique_ptr<fhe::KeyGenerator>> keygens;
+    std::vector<std::unique_ptr<fhe::SecretKey>> sks;
+    keygens.reserve(members);
+    sks.reserve(members);
+    for (const uint64_t seed : seeds) {
+        keygens.push_back(
+            std::make_unique<fhe::KeyGenerator>(ctx, seed));
+        sks.push_back(std::make_unique<fhe::SecretKey>(
+            keygens.back()->secretKey()));
+    }
+
+    fhe::Evaluator eval(ctx);
+    compiler::ProgramRuntime runtime(ctx, encoder, *keygens[0],
+                                     *sks[0]);
+    std::vector<compiler::ProgramRuntime::CopyKeys> copies(members);
+    for (std::size_t k = 0; k < members; ++k)
+        copies[k] = {keygens[k].get(), sks[k].get()};
+    runtime.setCopyKeys(std::move(copies));
+
+    for (std::size_t k = 0; k < members; ++k) {
+        const std::string suffix =
+            k == 0 ? std::string() : "@" + std::to_string(k);
+        Rng data_rng(seeds[k] ^ 0x9e3779b97f4a7c15ull);
+        // Inputs are drawn in the *source* program's input order from
+        // the member's own rng — the same draws, encodes, and
+        // encryption randomness an unbatched run would make.
+        for (const compiler::CtOp &op : source.ops()) {
+            if (op.kind != compiler::CtOpKind::Input)
+                continue;
+            std::vector<fhe::Cplx> values(ctx.slots());
+            for (auto &v : values)
+                v = fhe::Cplx(data_rng.uniformReal(-1.0, 1.0), 0.0);
+            auto plain = encoder.encode(values, op.level);
+            auto ct = eval.encrypt(plain, ctx.params().scale,
+                                   *sks[k], data_rng);
+            runtime.bindInput(op.name + suffix, ct);
+        }
+    }
+
+    if (fault != nullptr && fault->chip_fails) {
+        CINN_ASSERT(fault_member < members,
+                    "fault member outside the batch");
+        const std::size_t victim =
+            fault_member * chips_per_member +
+            fault->chip_offset % chips_per_member;
+        runtime.armFault(victim, fault->at_fraction);
+    }
+
+    EmulateBackend backend(runtime, workers);
+    auto batched = backend.execute(program);
+
+    // Fan the shared output map back out per member, stripping the
+    // replica suffix so each member's names — and therefore its
+    // digest — match an unbatched run exactly.
+    std::vector<ExecutionReport> reports(members);
+    for (std::size_t k = 0; k < members; ++k) {
+        const std::string suffix =
+            k == 0 ? std::string() : "@" + std::to_string(k);
+        ExecutionReport &r = reports[k];
+        r.has_outputs = true;
+        r.emu_stats = batched.emu_stats;
+        for (const compiler::CtOp &op : source.ops()) {
+            if (op.kind != compiler::CtOpKind::Output)
+                continue;
+            auto it = batched.outputs.find(op.name + suffix);
+            CINN_ASSERT(it != batched.outputs.end(),
+                        "batched output '" << op.name << suffix
+                                           << "' missing");
+            r.outputs.emplace(op.name, std::move(it->second));
+        }
+        r.digest = hashOutputs(r.outputs);
+    }
+    return reports;
 }
 
 } // namespace cinnamon::exec

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "compiler/dsl.h"
 #include "compiler/runtime.h"
@@ -129,6 +130,33 @@ class EmulateBackend final : public ExecutionBackend
                   const compiler::CompiledProgram &program, uint64_t seed,
                   std::size_t workers = 1,
                   const faults::FaultDecision *fault = nullptr);
+
+    /**
+     * Batched request-seeded emulation: `program` is the compilation
+     * of replicateStreams(source, seeds.size()), one batch member per
+     * copy on its own span of chips. Each member draws its keys and
+     * inputs from its *own* seed exactly like executeSeeded — member
+     * k's outputs (names stripped of the "@k" replica suffix) hash to
+     * the same digest an unbatched run of `source` under seeds[k]
+     * would produce, bit for bit. Returns one report per member, in
+     * seed order.
+     *
+     * When `fault` carries a chip failure it is mapped into member
+     * `fault_member`'s chip span; the victim chip then throws
+     * isa::EmulatorError mid-program, failing the whole batch attempt
+     * (the server requeues every member). Transient faults are NOT
+     * applied here — they are per-member and the caller decides which
+     * members lose their result after execution.
+     */
+    static std::vector<ExecutionReport>
+    executeSeededBatch(const fhe::CkksContext &ctx,
+                       const fhe::Encoder &encoder,
+                       const compiler::Program &source,
+                       const compiler::CompiledProgram &program,
+                       const std::vector<uint64_t> &seeds,
+                       std::size_t workers = 1,
+                       const faults::FaultDecision *fault = nullptr,
+                       std::size_t fault_member = 0);
 
   private:
     compiler::ProgramRuntime *runtime_;

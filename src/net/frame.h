@@ -47,8 +47,12 @@ namespace cinnamon::net {
 /** Stream resync guard; "CNMN". */
 constexpr uint32_t kFrameMagic = 0x434E4D4Eu;
 
-/** Wire-protocol version; bumped on any incompatible change. */
-constexpr uint16_t kWireVersion = 1;
+/**
+ * Wire-protocol version; bumped on any incompatible change.
+ * v2: SubmitMsg carries batch co-members (continuous cross-request
+ * batching — one multi-stream program per dispatch).
+ */
+constexpr uint16_t kWireVersion = 2;
 
 /** Header bytes before the payload. */
 constexpr std::size_t kFrameHeaderBytes = 20;

@@ -172,6 +172,13 @@ SubmitMsg::encode() const
     w.u64(seed);
     w.u64(attempt);
     w.u64(deadline_budget_ms);
+    // Wire v2: batch co-members, count-prefixed.
+    w.u32(static_cast<uint32_t>(extras.size()));
+    for (const auto &m : extras) {
+        w.u64(m.request_id);
+        w.u64(m.seed);
+        w.u64(m.attempt);
+    }
     return w.take();
 }
 
@@ -179,9 +186,25 @@ bool
 SubmitMsg::decode(const std::vector<uint8_t> &payload)
 {
     WireReader r(payload);
-    return r.u64(&request_id) && r.u16(&workload) && r.u64(&seed) &&
-           r.u64(&attempt) && r.u64(&deadline_budget_ms) &&
-           r.exhausted();
+    uint32_t count = 0;
+    if (!(r.u64(&request_id) && r.u16(&workload) && r.u64(&seed) &&
+          r.u64(&attempt) && r.u64(&deadline_budget_ms) &&
+          r.u32(&count)))
+        return false;
+    // Bound the count by what the payload could possibly hold, so a
+    // corrupted-but-checksum-valid count cannot force a huge alloc.
+    if (count > payload.size() / (3 * sizeof(uint64_t)))
+        return false;
+    extras.clear();
+    extras.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        Member m;
+        if (!(r.u64(&m.request_id) && r.u64(&m.seed) &&
+              r.u64(&m.attempt)))
+            return false;
+        extras.push_back(m);
+    }
+    return r.exhausted();
 }
 
 std::vector<uint8_t>

@@ -108,7 +108,13 @@ struct HelloAckMsg
     bool decode(const std::vector<uint8_t> &payload);
 };
 
-/** front-end → worker: execute one request. */
+/**
+ * front-end → worker: execute one request — or, since wire v2, one
+ * *batch* of compatible requests as a single multi-stream program.
+ * The lead request travels in the flat fields; co-members (same
+ * workload, batched continuous-batching style) ride in `extras`.
+ * Each member's digest is bit-identical to a solo run of its seed.
+ */
 struct SubmitMsg
 {
     uint64_t request_id = 0;
@@ -117,6 +123,16 @@ struct SubmitMsg
     uint64_t attempt = 0;  ///< 0-based execution attempt
     /** Remaining deadline budget in ms at dispatch (0 = none). */
     uint64_t deadline_budget_ms = 0;
+
+    /** A co-member of a batched dispatch (wire v2). */
+    struct Member
+    {
+        uint64_t request_id = 0;
+        uint64_t seed = 0;
+        uint64_t attempt = 0;
+    };
+    /** Batch co-members beyond the lead request (empty = solo). */
+    std::vector<Member> extras;
 
     std::vector<uint8_t> encode() const;
     bool decode(const std::vector<uint8_t> &payload);

@@ -1,0 +1,23 @@
+#include "serve/batcher.h"
+
+#include "common/metrics.h"
+
+namespace cinnamon::serve {
+
+std::vector<Request>
+BatchFormer::next(std::size_t max)
+{
+    double lingered_ms = 0.0;
+    auto batch = queue_->popBatch(max, linger_ms_, &compatible,
+                                  &lingered_ms);
+    if (!batch.empty()) {
+        auto &reg = MetricsRegistry::global();
+        reg.counter("serve.batch.formed").add();
+        reg.histogram("serve.batch_occupancy")
+            .observe(static_cast<double>(batch.size()));
+        reg.histogram("serve.batch.linger_wait_ms").observe(lingered_ms);
+    }
+    return batch;
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Batch former for continuous cross-request batching.
+ *
+ * Sits between the admission queue and the workers: drains up to
+ * `num_streams` *compatible* requests (same workload shape — the
+ * compiler/keyswitch configuration is server-global, so shape is the
+ * whole compatibility key) into one batch, lingering a small bounded
+ * window for late compatible arrivals when the batch is short —
+ * LLM-serving-style continuous batching mapped onto Cinnamon's
+ * program-level parallelism: each member becomes one stream of a
+ * replicated multi-stream program spanning its own chip group.
+ *
+ * Every formed batch is booked in the process metrics registry:
+ * serve.batch_occupancy (members per batch), serve.batch.formed, and
+ * serve.batch.linger_wait_ms (time spent in the linger window).
+ */
+
+#ifndef CINNAMON_SERVE_BATCHER_H_
+#define CINNAMON_SERVE_BATCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/queue.h"
+
+namespace cinnamon::serve {
+
+/** Drains compatible request batches from a RequestQueue. */
+class BatchFormer
+{
+  public:
+    /**
+     * @param queue the admission queue to drain (not owned).
+     * @param linger_ms how long a short batch waits for compatible
+     *        arrivals before dispatching anyway.
+     */
+    BatchFormer(RequestQueue &queue, double linger_ms)
+        : queue_(&queue), linger_ms_(linger_ms)
+    {
+    }
+
+    /**
+     * Two requests that may share one batched program: same workload
+     * shape. Seeds, deadlines, and attempt counts may differ — each
+     * member keeps its own.
+     */
+    static bool compatible(const Request &a, const Request &b)
+    {
+        return a.workload == b.workload;
+    }
+
+    /**
+     * Pop the next batch of at most `max` compatible requests,
+     * blocking while the queue is empty and open.
+     *
+     * @return empty once the queue is closed and drained.
+     */
+    std::vector<Request> next(std::size_t max);
+
+  private:
+    RequestQueue *queue_;
+    double linger_ms_;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_BATCHER_H_

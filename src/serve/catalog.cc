@@ -162,6 +162,22 @@ WorkloadCatalog::WorkloadCatalog(const fhe::CkksContext &ctx)
                    probe_->rescale(probe_->mul(x, x)));
 }
 
+const compiler::Program &
+WorkloadCatalog::batchedProbe(std::size_t streams) const
+{
+    CINN_ASSERT(streams >= 1, "batched probe needs >= 1 stream");
+    if (streams == 1)
+        return *probe_;
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+    auto &slot = batched_probes_[streams];
+    if (!slot) {
+        slot = std::make_unique<compiler::Program>(
+            compiler::replicateStreams(*probe_,
+                                       static_cast<int>(streams)));
+    }
+    return *slot;
+}
+
 const workloads::Benchmark &
 WorkloadCatalog::benchmark(Workload w) const
 {

@@ -22,6 +22,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "serve/request.h"
 #include "workloads/benchmarks.h"
@@ -40,6 +41,14 @@ class WorkloadCatalog
     /** The shared end-to-end probe program. */
     const compiler::Program &probe() const { return *probe_; }
 
+    /**
+     * The probe replicated into `streams` data-parallel copies
+     * (replicateStreams): the batched execution unit for a lease of
+     * `streams` chip groups. streams == 1 is probe() itself; replicas
+     * are built once and cached (thread-safe).
+     */
+    const compiler::Program &batchedProbe(std::size_t streams) const;
+
     /** Level the probe's input ciphertext is encrypted at. */
     std::size_t probeLevel() const { return probe_level_; }
 
@@ -47,6 +56,9 @@ class WorkloadCatalog
     std::map<Workload, workloads::Benchmark> benchmarks_;
     std::unique_ptr<compiler::Program> probe_;
     std::size_t probe_level_ = 0;
+    mutable std::mutex probe_mutex_;
+    mutable std::map<std::size_t, std::unique_ptr<compiler::Program>>
+        batched_probes_;
 };
 
 } // namespace cinnamon::serve

@@ -1,0 +1,52 @@
+#include "serve/plan_cache.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/metrics.h"
+
+namespace cinnamon::serve {
+
+std::string
+PlanCache::keyOf(const compiler::Program &program,
+                 const compiler::CompilerConfig &cfg)
+{
+    std::ostringstream key;
+    key << program.name() << ':' << compiler::fingerprintOf(program)
+        << ':' << compiler::cacheKeyOf(cfg);
+    return key.str();
+}
+
+const compiler::CompiledProgram &
+PlanCache::get(const compiler::Program &program,
+               const compiler::CompilerConfig &cfg, double *compile_ms)
+{
+    if (compile_ms != nullptr)
+        *compile_ms = 0.0;
+    bool missed = false;
+    const auto &plan =
+        cache_.getOrCompute(keyOf(program, cfg), [&] {
+            missed = true;
+            const auto start = std::chrono::steady_clock::now();
+            compiler::Compiler comp(*ctx_, cfg);
+            auto out = comp.compile(program);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (compile_ms != nullptr)
+                *compile_ms = ms;
+            MetricsRegistry::global()
+                .histogram("serve.plan_cache.compile_ms")
+                .observe(ms);
+            return out;
+        });
+    auto &reg = MetricsRegistry::global();
+    if (missed)
+        reg.counter("serve.plan_cache.miss").add();
+    else
+        reg.counter("serve.plan_cache.hit").add();
+    return plan;
+}
+
+} // namespace cinnamon::serve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Serving-tier compiled-plan cache.
+ *
+ * Steady-state traffic must never recompile: every (program content,
+ * CompilerConfig) pair is compiled exactly once per process and the
+ * compiled plan is shared by all workers. The key is a *content
+ * fingerprint* of the program (FNV-1a over op kinds/args — name and
+ * op count alone would alias distinct graphs) plus the full
+ * CompilerConfig serialization, including `num_streams`, so batched
+ * variants of a workload never collide with the single-stream plan
+ * and keyswitch-strategy variants never alias (the CiFlow lesson).
+ *
+ * Built on common/sharded_cache.h: insert-only, compute-once per key,
+ * references stable for the cache's lifetime. Hits and misses are
+ * booked both in local CacheStats (ServeStats::report) and in the
+ * process-wide metrics registry (serve.plan_cache.{hit,miss},
+ * serve.plan_cache.compile_ms).
+ */
+
+#ifndef CINNAMON_SERVE_PLAN_CACHE_H_
+#define CINNAMON_SERVE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/sharded_cache.h"
+#include "compiler/lowering.h"
+
+namespace cinnamon::serve {
+
+/** Process-wide cache of compiled programs for the serving tier. */
+class PlanCache
+{
+  public:
+    explicit PlanCache(const fhe::CkksContext &ctx) : ctx_(&ctx) {}
+
+    /**
+     * Fetch the compiled plan for `program` under `cfg`, compiling on
+     * a miss (at most once per key across all threads).
+     *
+     * @param compile_ms if non-null, receives the wall-clock ms this
+     *        call spent compiling (0 on a cache hit).
+     */
+    const compiler::CompiledProgram &
+    get(const compiler::Program &program,
+        const compiler::CompilerConfig &cfg,
+        double *compile_ms = nullptr);
+
+    /** The cache key `get` uses (exposed for tests). */
+    static std::string keyOf(const compiler::Program &program,
+                             const compiler::CompilerConfig &cfg);
+
+    CacheStats stats() const { return cache_.stats(); }
+    std::size_t size() const { return cache_.size(); }
+
+  private:
+    const fhe::CkksContext *ctx_;
+    ShardedCache<compiler::CompiledProgram> cache_;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_PLAN_CACHE_H_

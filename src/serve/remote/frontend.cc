@@ -33,7 +33,11 @@ RemoteFrontEnd::RemoteFrontEnd(FrontEndOptions options)
 {
     CINN_FATAL_UNLESS(options_.workers >= 1,
                       "the distributed tier needs at least one worker");
+    options_.batch_max_streams =
+        std::max<std::size_t>(1, options_.batch_max_streams);
     queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
+    batcher_ = std::make_unique<BatchFormer>(*queue_,
+                                             options_.batch_linger_ms);
     // Each worker process owns one chip group: the scheduler that
     // expressed intra-process placement now expresses inter-process
     // placement, and its quarantine machinery maps worker death.
@@ -141,21 +145,39 @@ RemoteFrontEnd::submit(Workload workload, uint64_t seed,
 void
 RemoteFrontEnd::dispatchLoop()
 {
+    const bool batched = options_.batch_max_streams > 1;
     while (!stop_dispatch_.load()) {
+        if (batched) {
+            auto batch = batcher_->next(options_.batch_max_streams);
+            if (batch.empty()) {
+                // Closed and drained — but requeues may still arrive
+                // until stop_dispatch_ flips, so idle one tick instead
+                // of spinning on the empty queue.
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        options_.tick_ms));
+                continue;
+            }
+            dispatch(std::move(batch));
+            continue;
+        }
         auto request = queue_->popFor(options_.tick_ms);
         if (!request)
             continue;
-        dispatch(std::move(*request));
+        std::vector<Request> solo;
+        solo.push_back(std::move(*request));
+        dispatch(std::move(solo));
     }
 }
 
 void
-RemoteFrontEnd::dispatch(Request request)
+RemoteFrontEnd::dispatch(std::vector<Request> batch)
 {
     auto &metrics = MetricsRegistry::global();
+    constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
 
     // Startup grace: while no worker has connected yet and admission
-    // is still open, park the request back in the queue instead of
+    // is still open, park the batch back in the queue instead of
     // burning its retry budget against empty group slots. Once the
     // drain begins (queue closed) attempts do burn, so a drain with
     // zero workers still terminates.
@@ -169,105 +191,158 @@ RemoteFrontEnd::dispatch(Request request)
             });
     }
     if (!any_ready && !queue_->closed()) {
-        queue_->requeue(std::move(request));
+        for (auto &request : batch) {
+            const uint64_t id = request.id;
+            const Workload workload = request.workload;
+            if (!queue_->requeue(std::move(request))) {
+                // Sealed mid-flight: finalize loudly, never drop.
+                Response resp;
+                resp.id = id;
+                resp.workload = workload;
+                resp.status = RequestStatus::Failed;
+                resp.error = "retry refused: queue sealed";
+                metrics.counter("serve.requests.failed").add();
+                metrics.counter("serve.requeue_refused").add();
+                finalize(std::move(resp));
+            }
+        }
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(
                 options_.tick_ms));
         return;
     }
 
-    const double queue_ms = msSince(request.admitted);
-    const auto deadline_ms =
-        static_cast<double>(request.deadline.count());
-    const auto budget_ms = [&] { return msSince(request.born); };
-
-    // Shed a request whose budget was spent waiting — same policy,
-    // and the same `born` anchor, as the in-process server.
-    if (request.deadline.count() > 0 && budget_ms() > deadline_ms) {
-        Response resp;
-        resp.id = request.id;
-        resp.workload = request.workload;
-        resp.attempt = request.attempt;
-        resp.status = RequestStatus::Expired;
-        resp.queue_ms = queue_ms;
-        resp.total_ms = queue_ms;
-        metrics.counter("serve.requests.expired").add();
-        finalize(std::move(resp));
-        return;
+    // Shed members whose budget was spent waiting — same policy,
+    // and the same `born` anchor, as the in-process server. The rest
+    // stay batched.
+    std::vector<Request> live;
+    std::vector<double> live_queue_ms;
+    live.reserve(batch.size());
+    for (auto &request : batch) {
+        const double queue_ms = msSince(request.admitted);
+        if (request.deadline.count() > 0 &&
+            msSince(request.born) >
+                static_cast<double>(request.deadline.count())) {
+            Response resp;
+            resp.id = request.id;
+            resp.workload = request.workload;
+            resp.attempt = request.attempt;
+            resp.status = RequestStatus::Expired;
+            resp.queue_ms = queue_ms;
+            resp.total_ms = queue_ms;
+            metrics.counter("serve.requests.expired").add();
+            finalize(std::move(resp));
+            continue;
+        }
+        live.push_back(std::move(request));
+        live_queue_ms.push_back(queue_ms);
     }
+    if (live.empty())
+        return;
 
-    // Placement: prefer the group the seed hashes to (reproducible
-    // run to run), fall back to whichever group frees up first.
+    // Placement: one group for the whole batch — the worker behind it
+    // executes the members as one multi-stream program. Prefer the
+    // group the lead seed hashes to (reproducible run to run), fall
+    // back to whichever group frees up first.
     GroupLease lease;
     try {
         if (options_.seed_routing)
             lease = scheduler_->tryAcquireGroup(
-                request.seed % scheduler_->numGroups());
+                live.front().seed % scheduler_->numGroups());
         if (!lease.held())
             lease = scheduler_->acquire();
     } catch (const NoHealthyGroupsError &e) {
         // Every group is quarantined. Mirror the in-process policy:
-        // wait out one repair window, then burn an attempt.
+        // wait out one repair window, then burn an attempt per member.
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(
                 options_.repair_ms + options_.tick_ms));
-        InFlight in_flight;
-        in_flight.request = std::move(request);
-        in_flight.dispatched = Clock::now();
-        retryOrFail(std::move(in_flight), e.what(),
-                    /*chip_failed=*/true);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            InFlight in_flight;
+            in_flight.request = std::move(live[i]);
+            in_flight.dispatched = Clock::now();
+            in_flight.queue_ms = live_queue_ms[i];
+            in_flight.batch_streams = live.size();
+            retryOrFail(std::move(in_flight), kNoGroup, e.what(),
+                        /*chip_failed=*/true);
+        }
         return;
     }
 
     std::shared_ptr<Conn> conn;
+    const std::size_t group = lease.group();
     {
         std::lock_guard<std::mutex> lock(net_mutex_);
-        const std::size_t group = lease.group();
         if (group_conns_[group] && group_conns_[group]->ready &&
             inflight_.count(group) == 0) {
             conn = group_conns_[group];
-            InFlight in_flight;
-            in_flight.request = request;
-            in_flight.lease = std::move(lease);
-            in_flight.dispatched = Clock::now();
-            in_flight.queue_ms = queue_ms;
+            GroupWork work;
+            work.lease = std::move(lease);
+            const auto now = Clock::now();
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                InFlight in_flight;
+                in_flight.request = live[i];
+                in_flight.dispatched = now;
+                in_flight.queue_ms = live_queue_ms[i];
+                in_flight.batch_streams = live.size();
+                work.members.emplace(live[i].id, std::move(in_flight));
+            }
             // Register before sending: if the worker dies the instant
-            // the Submit lands, the EOF handler must already see the
-            // request in flight to requeue it.
-            inflight_.emplace(group, std::move(in_flight));
+            // the Submit lands, the EOF handler must already see every
+            // member in flight to requeue it.
+            inflight_.emplace(group, std::move(work));
         }
     }
     if (!conn) {
         // The leased group has no live worker (its connection died
         // between quarantine bookkeeping and this dispatch, or no
-        // worker ever claimed the slot). Treat it like a lost attempt.
+        // worker ever claimed the slot). Treat it like a lost attempt
+        // for every member.
         if (lease.held())
             scheduler_->markChipFailed(
                 scheduler_->chipsOf(lease.group()).first);
-        InFlight in_flight;
-        in_flight.request = std::move(request);
-        in_flight.lease = std::move(lease);
-        in_flight.dispatched = Clock::now();
-        in_flight.queue_ms = queue_ms;
-        retryOrFail(std::move(in_flight), "no live worker for group",
-                    /*chip_failed=*/true);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            InFlight in_flight;
+            in_flight.request = std::move(live[i]);
+            in_flight.dispatched = Clock::now();
+            in_flight.queue_ms = live_queue_ms[i];
+            in_flight.batch_streams = live.size();
+            retryOrFail(std::move(in_flight), group,
+                        "no live worker for group",
+                        /*chip_failed=*/true);
+        }
+        lease.release(); // after markChipFailed: parks, not frees
         return;
     }
 
+    // One Submit carries the whole batch: the lead request in the
+    // flat fields, co-members in `extras` (wire v2). The worker
+    // answers one Result per member.
+    const Request &lead = live.front();
     net::SubmitMsg submit;
-    submit.request_id = request.id;
-    submit.workload = static_cast<uint16_t>(request.workload);
-    submit.seed = request.seed;
-    submit.attempt = request.attempt;
+    submit.request_id = lead.id;
+    submit.workload = static_cast<uint16_t>(lead.workload);
+    submit.seed = lead.seed;
+    submit.attempt = lead.attempt;
     submit.deadline_budget_ms =
-        request.deadline.count() > 0
+        lead.deadline.count() > 0
             ? static_cast<uint64_t>(std::max(
-                  0.0, deadline_ms - budget_ms()))
+                  0.0, static_cast<double>(lead.deadline.count()) -
+                           msSince(lead.born)))
             : 0;
+    for (std::size_t i = 1; i < live.size(); ++i) {
+        net::SubmitMsg::Member member;
+        member.request_id = live[i].id;
+        member.seed = live[i].seed;
+        member.attempt = live[i].attempt;
+        submit.extras.push_back(member);
+    }
     metrics.counter("serve.remote.dispatched").add();
+    if (live.size() > 1)
+        metrics.counter("serve.remote.batched_dispatches").add();
     if (!conn->send(net::MsgType::Submit, submit.encode()))
         // The connection is dead; the I/O thread's EOF handling (or
-        // this call) tears it down and requeues the in-flight entry.
+        // this call) tears it down and requeues the in-flight batch.
         dropConn(conn, "send failed");
 }
 
@@ -432,27 +507,41 @@ RemoteFrontEnd::handleResult(const std::shared_ptr<Conn> &conn,
     auto &metrics = MetricsRegistry::global();
     InFlight in_flight;
     bool chip_failed = false;
+    std::size_t group = static_cast<std::size_t>(-1);
     {
         std::lock_guard<std::mutex> lock(net_mutex_);
         if (conn->group == static_cast<std::size_t>(-1))
             return; // result before Hello: protocol violation, ignore
-        auto it = inflight_.find(conn->group);
-        if (it == inflight_.end() ||
-            it->second.request.id != result.request_id)
+        group = conn->group;
+        auto it = inflight_.find(group);
+        if (it == inflight_.end())
             return; // stale result for a superseded attempt
+        auto member = it->second.members.find(result.request_id);
+        if (member == it->second.members.end() ||
+            member->second.request.attempt != result.attempt)
+            return; // not a member of the batch this group is running
         chip_failed = result.chip_failed != 0;
         if (chip_failed) {
             // Park the group before the lease releases (below), so
             // release() quarantines instead of freeing — the same
             // ordering contract as the in-process server. The repair
             // timer may heal it: the worker process is still alive.
+            // A batched chip fault reports once per member;
+            // markChipFailed is idempotent, but only the first report
+            // books the quarantine.
             scheduler_->markChipFailed(
-                scheduler_->chipsOf(conn->group).first);
-            repairable_since_[conn->group] = Clock::now();
-            metrics.counter("serve.quarantines").add();
+                scheduler_->chipsOf(group).first);
+            if (repairable_since_.count(group) == 0) {
+                repairable_since_[group] = Clock::now();
+                metrics.counter("serve.quarantines").add();
+            }
         }
-        in_flight = std::move(it->second);
-        inflight_.erase(it);
+        in_flight = std::move(member->second);
+        it->second.members.erase(member);
+        // The last member to resolve releases the lease — after any
+        // markChipFailed above, so a faulted group parks.
+        if (it->second.members.empty())
+            inflight_.erase(it);
     }
 
     if (result.status ==
@@ -468,7 +557,8 @@ RemoteFrontEnd::handleResult(const std::shared_ptr<Conn> &conn,
         resp.sim_seconds = result.sim_seconds;
         resp.compile_ms = result.compile_ms;
         resp.output_hash = result.digest;
-        resp.group = in_flight.lease.group();
+        resp.group = group;
+        resp.batch_streams = in_flight.batch_streams;
         metrics.counter("serve.requests.completed").add();
         metrics.histogram("serve.queue_ms").observe(resp.queue_ms);
         metrics.histogram("serve.service_ms").observe(resp.service_ms);
@@ -486,17 +576,19 @@ RemoteFrontEnd::handleResult(const std::shared_ptr<Conn> &conn,
         resp.queue_ms = in_flight.queue_ms;
         resp.service_ms = msSince(in_flight.dispatched);
         resp.total_ms = resp.queue_ms + resp.service_ms;
-        resp.group = in_flight.lease.group();
+        resp.group = group;
+        resp.batch_streams = in_flight.batch_streams;
         resp.error = result.error;
         metrics.counter("serve.requests.failed").add();
         finalize(std::move(resp));
         return;
     }
-    retryOrFail(std::move(in_flight), result.error, chip_failed);
+    retryOrFail(std::move(in_flight), group, result.error,
+                chip_failed);
 }
 
 void
-RemoteFrontEnd::retryOrFail(InFlight in_flight,
+RemoteFrontEnd::retryOrFail(InFlight in_flight, std::size_t group,
                             const std::string &error, bool chip_failed)
 {
     auto &metrics = MetricsRegistry::global();
@@ -508,8 +600,9 @@ RemoteFrontEnd::retryOrFail(InFlight in_flight,
     resp.queue_ms = in_flight.queue_ms;
     resp.service_ms = msSince(in_flight.dispatched);
     resp.total_ms = resp.queue_ms + resp.service_ms;
-    if (in_flight.lease.held())
-        resp.group = in_flight.lease.group();
+    if (group != static_cast<std::size_t>(-1))
+        resp.group = group;
+    resp.batch_streams = in_flight.batch_streams;
     resp.error = error;
     resp.retryable = true;
 
@@ -531,18 +624,27 @@ RemoteFrontEnd::retryOrFail(InFlight in_flight,
             static_cast<double>(request.deadline.count());
 
     if (attempts_left && deadline_allows) {
-        resp.status = RequestStatus::Retried;
-        resp.requeued = chip_failed;
-        metrics.counter("serve.retries").add();
-        if (resp.requeued)
-            metrics.counter("serve.requeued").add();
-        record(std::move(resp));
         Request next = request;
         ++next.attempt;
         // requeue() restamps `admitted` (per-attempt queue wait) but
         // never `born`: the deadline budget is not extended by the
-        // failure that caused this retry.
-        queue_->requeue(std::move(next));
+        // failure that caused this retry. Requeue BEFORE recording the
+        // Retried row: a sealed queue refuses the requeue, and then
+        // the request must finalize as Failed instead of vanishing.
+        if (queue_->requeue(std::move(next))) {
+            resp.status = RequestStatus::Retried;
+            resp.requeued = chip_failed;
+            metrics.counter("serve.retries").add();
+            if (resp.requeued)
+                metrics.counter("serve.requeued").add();
+            record(std::move(resp));
+            return;
+        }
+        resp.status = RequestStatus::Failed;
+        resp.error += " (retry refused: queue sealed)";
+        metrics.counter("serve.requests.failed").add();
+        metrics.counter("serve.requeue_refused").add();
+        finalize(std::move(resp));
         return;
     }
     if (!deadline_allows) {
@@ -559,7 +661,7 @@ void
 RemoteFrontEnd::dropConn(const std::shared_ptr<Conn> &conn,
                          const char *why)
 {
-    InFlight in_flight;
+    GroupWork work;
     bool had_inflight = false;
     bool quarantine = false;
     std::size_t group = static_cast<std::size_t>(-1);
@@ -583,7 +685,10 @@ RemoteFrontEnd::dropConn(const std::shared_ptr<Conn> &conn,
                 repairable_since_.erase(group);
                 auto it = inflight_.find(group);
                 if (it != inflight_.end()) {
-                    in_flight = std::move(it->second);
+                    // Pull the whole batch out, lease included, so it
+                    // releases *after* markChipFailed below (parks,
+                    // not frees).
+                    work = std::move(it->second);
                     inflight_.erase(it);
                     had_inflight = true;
                 }
@@ -603,11 +708,14 @@ RemoteFrontEnd::dropConn(const std::shared_ptr<Conn> &conn,
              " lost (" + why + "); group quarantined");
     }
     if (had_inflight)
-        // Lossless: the dead worker's request reroutes to surviving
-        // hardware with its deadline budget intact.
-        retryOrFail(std::move(in_flight),
-                    std::string("worker connection lost: ") + why,
-                    /*chip_failed=*/true);
+        // Lossless: every member of the dead worker's batch reroutes
+        // to surviving hardware with its deadline budget intact.
+        for (auto &[id, member] : work.members) {
+            (void)id;
+            retryOrFail(std::move(member), group,
+                        std::string("worker connection lost: ") + why,
+                        /*chip_failed=*/true);
+        }
 }
 
 void
@@ -686,6 +794,10 @@ RemoteFrontEnd::drainAndStop()
     }
     stop_dispatch_.store(true);
     dispatch_thread_.join();
+    // Everything admitted is finalized and the dispatcher is gone:
+    // a straggling requeue now would vanish silently, so seal the
+    // queue — any late requeue fails loudly and finalizes as Failed.
+    queue_->seal();
 
     // Orderly worker shutdown: Drain → DrainAck → worker exits. The
     // EOFs that follow must not read as failures.
@@ -751,11 +863,14 @@ RemoteFrontEnd::stats() const
     }
     // The compile/sim caches live in the worker processes; the
     // front-end has none, so cache stats are empty here.
-    return ServeStats::fromResponses(resp, submitted,
-                                     queue_->rejected(), wall,
-                                     CacheStats{},
-                                     scheduler_->busySeconds(),
-                                     scheduler_->quarantinedMask());
+    auto s = ServeStats::fromResponses(resp, submitted,
+                                       queue_->rejected(), wall,
+                                       CacheStats{},
+                                       scheduler_->busySeconds(),
+                                       scheduler_->quarantinedMask());
+    s.rejected_full = queue_->rejectedFull();
+    s.rejected_closed = queue_->rejectedClosed();
+    return s;
 }
 
 } // namespace cinnamon::serve::remote

@@ -45,6 +45,7 @@
 #include "net/frame.h"
 #include "net/message.h"
 #include "net/socket.h"
+#include "serve/batcher.h"
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
@@ -78,6 +79,19 @@ struct FrontEndOptions
      * keeps placement reproducible run to run.
      */
     bool seed_routing = true;
+    /**
+     * Continuous cross-request batching (wire v2): coalesce up to
+     * this many compatible queued requests into one Submit — the
+     * worker executes them as a single multi-stream program. 1 (the
+     * default) dispatches every request alone; digests are
+     * bit-identical either way.
+     */
+    std::size_t batch_max_streams = 1;
+    /**
+     * How long a short batch lingers for compatible arrivals before
+     * dispatching anyway (only with batch_max_streams > 1).
+     */
+    double batch_linger_ms = 2.0;
 };
 
 /**
@@ -146,13 +160,26 @@ class RemoteFrontEnd
                   const std::vector<uint8_t> &payload);
     };
 
-    /** A request currently executing on a worker. */
+    /** One request currently executing on a worker. */
     struct InFlight
     {
         Request request;
-        GroupLease lease;
         Clock::time_point dispatched{};
         double queue_ms = 0.0; ///< admission → dispatch, precomputed
+        /** Members of the batch this attempt rode (1 = solo). */
+        std::size_t batch_streams = 1;
+    };
+
+    /**
+     * Everything one leased group is executing: the lease plus the
+     * batch members (by request id). The lease releases when the last
+     * member resolves — after any markChipFailed, so a faulted group
+     * parks instead of freeing.
+     */
+    struct GroupWork
+    {
+        GroupLease lease;
+        std::map<uint64_t, InFlight> members;
     };
 
     // I/O thread.
@@ -172,7 +199,11 @@ class RemoteFrontEnd
 
     // Dispatcher thread.
     void dispatchLoop();
-    void dispatch(Request request);
+    /**
+     * Place a batch of compatible requests (size 1 = the unbatched
+     * path) on one worker as a single multi-stream Submit.
+     */
+    void dispatch(std::vector<Request> batch);
 
     /**
      * Record a final response and wake drainAndStop when everything
@@ -184,13 +215,15 @@ class RemoteFrontEnd
     /**
      * Requeue-or-finalize a faulted attempt: mirrors the in-process
      * retry policy (bounded attempts, deadline never extended).
-     * `in_flight` is consumed.
+     * `in_flight` is consumed; `group` is the placement for the
+     * response row (size_t(-1) when no group was ever leased).
      */
-    void retryOrFail(InFlight in_flight, const std::string &error,
-                     bool chip_failed);
+    void retryOrFail(InFlight in_flight, std::size_t group,
+                     const std::string &error, bool chip_failed);
 
     FrontEndOptions options_;
     std::unique_ptr<RequestQueue> queue_;
+    std::unique_ptr<BatchFormer> batcher_;
     std::unique_ptr<ChipGroupScheduler> scheduler_;
     net::EventLoop loop_;
     net::Socket listener_;
@@ -203,7 +236,7 @@ class RemoteFrontEnd
     mutable std::mutex net_mutex_;
     std::map<int, std::shared_ptr<Conn>> conns_; ///< by fd
     std::vector<std::shared_ptr<Conn>> group_conns_; ///< by group
-    std::map<std::size_t, InFlight> inflight_;       ///< by group
+    std::map<std::size_t, GroupWork> inflight_;      ///< by group
     /** Groups quarantined by a *reported chip fault* (repairable
         in place); connection-loss quarantines are absent here — they
         recover only via a replacement Hello. */

@@ -1,5 +1,6 @@
 #include "serve/remote/worker.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -16,6 +17,7 @@
 #include "net/message.h"
 #include "net/socket.h"
 #include "serve/catalog.h"
+#include "serve/plan_cache.h"
 #include "serve/request.h"
 #include "workloads/benchmarks.h"
 
@@ -43,6 +45,7 @@ struct WorkerState
     WorkerOptions opt;
     WorkloadCatalog catalog;
     workloads::BenchmarkRunner runner;
+    PlanCache plans; ///< serving-tier compiled-plan cache
     fhe::Encoder encoder;
     std::unique_ptr<faults::FaultPlan> fault_plan;
 
@@ -53,7 +56,7 @@ struct WorkerState
     uint64_t completed = 0;
 
     WorkerState(const fhe::CkksContext &c, const WorkerOptions &o)
-        : ctx(&c), opt(o), catalog(c), runner(c), encoder(c)
+        : ctx(&c), opt(o), catalog(c), runner(c), plans(c), encoder(c)
     {
         opt.hw.n = c.n();
         if (opt.faults.enabled())
@@ -132,9 +135,12 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
         if (state.opt.emulate &&
             state.ctx->n() <= state.opt.emulate_max_n) {
             double probe_compile_ms = 0.0;
-            const auto &compiled = state.runner.compiled(
-                state.catalog.probe(), state.opt.group_size,
-                state.opt.hw.phys_regs, {}, &probe_compile_ms);
+            compiler::CompilerConfig cfg;
+            cfg.chips = state.opt.group_size;
+            cfg.num_streams = 1;
+            cfg.phys_regs = state.opt.hw.phys_regs;
+            const auto &compiled = state.plans.get(
+                state.catalog.probe(), cfg, &probe_compile_ms);
             result.compile_ms += probe_compile_ms;
             const auto report = exec::EmulateBackend::executeSeeded(
                 *state.ctx, state.encoder, state.catalog.probe(),
@@ -165,6 +171,157 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
     }
     result.service_ms = msSince(start);
     return result;
+}
+
+/**
+ * Execute a wire-v2 batched Submit: the worker's group hosts every
+ * member's stream of one replicateStreams() program (the physical
+ * machine behind one worker emulates the multi-group layout), so one
+ * execution serves the whole batch and each member's digest is
+ * bit-identical to a solo run. Returns one Result per member, lead
+ * request first. Sets *drop_conn when any member drew a conn-drop
+ * fault (the whole batch is lost with the connection, exactly like a
+ * real crash).
+ */
+std::vector<net::ResultMsg>
+executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
+                   bool *drop_conn)
+{
+    const auto start = Clock::now();
+
+    struct Mem
+    {
+        uint64_t request_id;
+        uint64_t seed;
+        uint64_t attempt;
+    };
+    std::vector<Mem> mems;
+    mems.push_back({submit.request_id, submit.seed, submit.attempt});
+    for (const auto &e : submit.extras)
+        mems.push_back({e.request_id, e.seed, e.attempt});
+    const std::size_t k = mems.size();
+
+    std::vector<net::ResultMsg> results(k);
+    std::vector<faults::FaultDecision> faults_of(k);
+    auto &metrics = MetricsRegistry::global();
+    for (std::size_t i = 0; i < k; ++i) {
+        results[i].request_id = mems[i].request_id;
+        results[i].attempt = mems[i].attempt;
+        faults_of[i] =
+            state.fault_plan != nullptr
+                ? state.fault_plan->decide(
+                      mems[i].seed,
+                      static_cast<std::size_t>(mems[i].attempt))
+                : faults::FaultDecision{};
+        if (faults_of[i].conn_drops) {
+            *drop_conn = true;
+            metrics.counter("faults.injected.conn").add();
+            return results;
+        }
+    }
+
+    const auto workload = static_cast<Workload>(submit.workload);
+    std::size_t fault_member = k; // k = no chip fault in the batch
+    try {
+        // Per-member sim timing (first member compiles, rest hit the
+        // shared cache; the members run concurrently on the batched
+        // program, so each reports its own stream's seconds).
+        for (std::size_t i = 0; i < k; ++i) {
+            sim::HardwareConfig hw = state.opt.hw;
+            if (faults_of[i].link_dilation > 1.0) {
+                hw.link_dilation = faults_of[i].link_dilation;
+                metrics.counter("faults.injected.link").add();
+            }
+            const auto &bench = state.catalog.benchmark(workload);
+            const auto timing =
+                state.runner.run(bench, state.opt.group_size, hw,
+                                 state.opt.group_size);
+            results[i].sim_seconds = timing.seconds;
+            results[i].compile_ms = timing.compile_ms;
+        }
+
+        for (std::size_t i = 0; i < k; ++i) {
+            if (faults_of[i].chip_fails) {
+                metrics.counter("faults.injected.chip").add();
+                if (fault_member == k)
+                    fault_member = i;
+            }
+            if (faults_of[i].transient)
+                metrics.counter("faults.injected.transient").add();
+        }
+
+        if (state.opt.emulate &&
+            state.ctx->n() <= state.opt.emulate_max_n) {
+            double probe_compile_ms = 0.0;
+            compiler::CompilerConfig cfg;
+            cfg.chips = k * state.opt.group_size;
+            cfg.num_streams = static_cast<int>(k);
+            cfg.phys_regs = state.opt.hw.phys_regs;
+            const auto &plan = state.plans.get(
+                state.catalog.batchedProbe(k), cfg, &probe_compile_ms);
+            std::vector<uint64_t> seeds;
+            seeds.reserve(k);
+            for (const auto &m : mems)
+                seeds.push_back(m.seed);
+            const auto reports =
+                exec::EmulateBackend::executeSeededBatch(
+                    *state.ctx, state.encoder, state.catalog.probe(),
+                    plan, seeds, 1,
+                    fault_member < k ? &faults_of[fault_member]
+                                     : nullptr,
+                    fault_member);
+            for (std::size_t i = 0; i < k; ++i) {
+                results[i].digest = reports[i].digest;
+                results[i].compile_ms += probe_compile_ms;
+            }
+        } else if (fault_member < k) {
+            throw faults::ChipFailedError(
+                faults_of[fault_member].chip_offset %
+                    state.opt.group_size,
+                "injected chip failure (sim abort)");
+        }
+
+        if (state.opt.time_dilation > 0.0) {
+            double max_sim = 0.0;
+            for (const auto &r : results)
+                max_sim = std::max(max_sim, r.sim_seconds);
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                max_sim * state.opt.time_dilation));
+        }
+
+        for (std::size_t i = 0; i < k; ++i) {
+            if (faults_of[i].transient) {
+                // Per-member loss: the batch ran, this member's
+                // result is spuriously gone. It retries alone.
+                results[i].status =
+                    static_cast<uint16_t>(net::WireStatus::Failed);
+                results[i].error =
+                    "injected transient execution fault";
+                results[i].retryable = 1;
+                results[i].digest = 0;
+            } else {
+                results[i].status = static_cast<uint16_t>(
+                    net::WireStatus::Completed);
+            }
+        }
+    } catch (const std::exception &e) {
+        // Whole-batch abort (chip death mid-program): every member's
+        // attempt is lost together. chip_failed routes the group
+        // quarantine on the front-end (idempotent per group).
+        for (std::size_t i = 0; i < k; ++i) {
+            results[i].status =
+                static_cast<uint16_t>(net::WireStatus::Failed);
+            results[i].error = e.what();
+            results[i].retryable =
+                (fault_member < k || faults_of[i].any()) ? 1 : 0;
+            results[i].chip_failed = fault_member < k ? 1 : 0;
+            results[i].digest = 0;
+        }
+    }
+    const double service_ms = msSince(start);
+    for (auto &r : results)
+        r.service_ms = service_ms;
+    return results;
 }
 
 } // namespace
@@ -267,10 +424,18 @@ runWorker(const fhe::CkksContext &ctx, const WorkerOptions &options)
                 exit_code = 1;
                 break;
             }
-            state.inflight.store(1);
+            state.inflight.store(1 + submit.extras.size());
             bool drop_conn = false;
-            const auto result =
-                executeSubmit(state, submit, &drop_conn);
+            // Solo dispatches keep the classic path; a batched one
+            // runs every member as one multi-stream program and
+            // answers with one Result per member.
+            std::vector<net::ResultMsg> results;
+            if (submit.extras.empty())
+                results.push_back(
+                    executeSubmit(state, submit, &drop_conn));
+            else
+                results =
+                    executeSubmitBatch(state, submit, &drop_conn);
             state.inflight.store(0);
             if (drop_conn) {
                 // Injected crash: sever without replying.
@@ -278,11 +443,18 @@ runWorker(const fhe::CkksContext &ctx, const WorkerOptions &options)
                 state.sock.close();
                 return kConnDropExit;
             }
-            if (result.status ==
-                static_cast<uint16_t>(net::WireStatus::Completed))
-                ++state.completed;
-            if (!state.sendFrame(net::MsgType::Result,
-                                 result.encode())) {
+            bool send_failed = false;
+            for (const auto &result : results) {
+                if (result.status ==
+                    static_cast<uint16_t>(net::WireStatus::Completed))
+                    ++state.completed;
+                if (!state.sendFrame(net::MsgType::Result,
+                                     result.encode())) {
+                    send_failed = true;
+                    break;
+                }
+            }
+            if (send_failed) {
                 exit_code = 1;
                 break;
             }

@@ -99,6 +99,11 @@ struct Response
      * quarantined), not merely because of a transient error.
      */
     bool requeued = false;
+    /**
+     * How many requests shared the multi-stream program this attempt
+     * executed in (1 = served alone; >1 = continuous batching).
+     */
+    std::size_t batch_streams = 1;
 };
 
 } // namespace cinnamon::serve

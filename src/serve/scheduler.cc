@@ -25,6 +25,28 @@ GroupLease::release()
     }
 }
 
+void
+BatchLease::shrinkTo(std::size_t n)
+{
+    if (sched_ == nullptr)
+        return;
+    while (groups_.size() > n && groups_.size() > 1) {
+        sched_->release(groups_.back());
+        groups_.pop_back();
+    }
+}
+
+void
+BatchLease::release()
+{
+    if (sched_ != nullptr) {
+        for (const std::size_t g : groups_)
+            sched_->release(g);
+        sched_ = nullptr;
+        groups_.clear();
+    }
+}
+
 ChipGroupScheduler::ChipGroupScheduler(std::size_t chips,
                                        std::size_t group_size)
     : group_size_(group_size)
@@ -71,6 +93,38 @@ ChipGroupScheduler::acquire()
     // Wake the next ticket holder (they wait on the same cv).
     freed_.notify_all();
     return GroupLease(this, group);
+}
+
+BatchLease
+ChipGroupScheduler::acquireUpTo(std::size_t max_groups)
+{
+    CINN_ASSERT(max_groups >= 1, "acquireUpTo needs at least one group");
+    std::unique_lock<std::mutex> lock(mutex_);
+    const uint64_t ticket = next_ticket_++;
+    freed_.wait(lock, [&] {
+        return ticket == serving_ticket_ &&
+               (!free_.empty() ||
+                quarantined_count_ == busy_since_.size());
+    });
+    if (free_.empty()) {
+        ++serving_ticket_;
+        freed_.notify_all();
+        throw NoHealthyGroupsError();
+    }
+    ++serving_ticket_;
+    // One group is guaranteed; take any further *currently free*
+    // groups opportunistically — waiting for more would trade the
+    // lease we already hold for latency.
+    std::vector<std::size_t> groups;
+    const auto now = Clock::now();
+    while (!free_.empty() && groups.size() < max_groups) {
+        const std::size_t group = free_.back();
+        free_.pop_back();
+        busy_since_[group] = now;
+        groups.push_back(group);
+    }
+    freed_.notify_all();
+    return BatchLease(this, std::move(groups));
 }
 
 GroupLease

@@ -64,6 +64,11 @@ class GroupLease
     GroupLease &
     operator=(GroupLease &&o) noexcept
     {
+        // Self-move guard: without it, release() frees the held group
+        // and the assignment then reads the just-nulled fields,
+        // silently dropping the lease.
+        if (this == &o)
+            return *this;
         release();
         sched_ = o.sched_;
         group_ = o.group_;
@@ -82,6 +87,54 @@ class GroupLease
   private:
     ChipGroupScheduler *sched_ = nullptr;
     std::size_t group_ = 0;
+};
+
+/**
+ * RAII ownership of one or more chip groups at once — the
+ * batch-granularity lease behind continuous cross-request batching:
+ * one multi-stream program spans every group in the lease, one stream
+ * per group. Releases all held groups on destruction; shrinkTo()
+ * returns surplus groups early when the batch former could not fill
+ * the lease.
+ */
+class BatchLease
+{
+  public:
+    BatchLease() = default;
+    BatchLease(ChipGroupScheduler *sched, std::vector<std::size_t> groups)
+        : sched_(sched), groups_(std::move(groups))
+    {
+    }
+    BatchLease(BatchLease &&o) noexcept { *this = std::move(o); }
+    BatchLease &
+    operator=(BatchLease &&o) noexcept
+    {
+        if (this == &o)
+            return *this;
+        release();
+        sched_ = o.sched_;
+        groups_ = std::move(o.groups_);
+        o.sched_ = nullptr;
+        o.groups_.clear();
+        return *this;
+    }
+    BatchLease(const BatchLease &) = delete;
+    BatchLease &operator=(const BatchLease &) = delete;
+    ~BatchLease() { release(); }
+
+    bool held() const { return sched_ != nullptr && !groups_.empty(); }
+    std::size_t size() const { return groups_.size(); }
+    const std::vector<std::size_t> &groups() const { return groups_; }
+    std::size_t group(std::size_t i) const { return groups_.at(i); }
+
+    /** Release groups beyond the first `n` (batch smaller than lease). */
+    void shrinkTo(std::size_t n);
+
+    void release();
+
+  private:
+    ChipGroupScheduler *sched_ = nullptr;
+    std::vector<std::size_t> groups_;
 };
 
 /** Partitions `chips` into `chips / group_size` exclusive groups. */
@@ -105,6 +158,17 @@ class ChipGroupScheduler
 
     /** Lease a group only if one is free right now. */
     GroupLease tryAcquire();
+
+    /**
+     * Batch-granularity lease: block (FIFO, same ticket line as
+     * acquire) until at least one group is free, then additionally
+     * grab every other free group up to `max_groups` total without
+     * waiting further. The batch former fills the lease with
+     * compatible requests and shrinkTo()s the surplus.
+     *
+     * @throws NoHealthyGroupsError if every group is quarantined.
+     */
+    BatchLease acquireUpTo(std::size_t max_groups);
 
     /**
      * Lease one *specific* group if it is free and healthy right now
@@ -174,6 +238,7 @@ class ChipGroupScheduler
 
   private:
     friend class GroupLease;
+    friend class BatchLease;
     void release(std::size_t group);
 
     /** Readmit one group; caller holds mutex_. */

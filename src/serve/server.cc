@@ -2,6 +2,7 @@
 
 #include "exec/backend.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -34,9 +35,16 @@ Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
                       "the worker pool needs at least one thread");
     catalog_ = std::make_unique<WorkloadCatalog>(ctx);
     runner_ = std::make_unique<workloads::BenchmarkRunner>(ctx);
+    plans_ = std::make_unique<PlanCache>(ctx);
     queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
     scheduler_ = std::make_unique<ChipGroupScheduler>(
         options_.chips, options_.group_size);
+    // A batch cannot span more chip groups than the machine has.
+    options_.batch_max_streams =
+        std::max<std::size_t>(1, std::min(options_.batch_max_streams,
+                                          scheduler_->numGroups()));
+    batcher_ = std::make_unique<BatchFormer>(*queue_,
+                                             options_.batch_linger_ms);
     encoder_ = std::make_unique<fhe::Encoder>(ctx);
     if (options_.faults.enabled())
         fault_plan_ =
@@ -74,8 +82,11 @@ Server::start()
         start_time_ = Clock::now();
     }
     workers_.reserve(options_.workers);
+    const bool batched = options_.batch_max_streams > 1;
     for (std::size_t w = 0; w < options_.workers; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+        workers_.emplace_back([this, w, batched] {
+            batched ? batchedWorkerLoop(w) : workerLoop(w);
+        });
     if (fault_plan_) {
         {
             std::lock_guard<std::mutex> lock(probe_mutex_);
@@ -136,6 +147,10 @@ Server::drainAndStop()
     for (auto &t : workers_)
         t.join();
     workers_.clear();
+    // The consumers are gone: seal the queue so any straggling
+    // requeue attempt (e.g. from a caller holding a stale handle)
+    // fails loudly instead of stranding a request nobody will drain.
+    queue_->seal();
     // Stop the health probe only after the workers are gone: a drain
     // stuck on an all-quarantined machine needs the probe to re-admit
     // repaired groups for the final retries to complete.
@@ -163,6 +178,392 @@ Server::workerLoop(std::size_t worker)
         Response resp = process(*request, worker);
         std::lock_guard<std::mutex> lock(responses_mutex_);
         responses_.push_back(std::move(resp));
+    }
+}
+
+void
+Server::batchedWorkerLoop(std::size_t worker)
+{
+    while (true) {
+        auto batch = batcher_->next(options_.batch_max_streams);
+        if (batch.empty())
+            return; // closed and drained
+        processBatch(std::move(batch), worker);
+    }
+}
+
+void
+Server::processBatch(std::vector<Request> batch, std::size_t worker)
+{
+    auto &metrics = MetricsRegistry::global();
+    TraceRecorder *trace = options_.trace ? &trace_ : nullptr;
+    const auto tid = static_cast<uint32_t>(worker);
+
+    auto push = [&](Response resp) {
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        responses_.push_back(std::move(resp));
+    };
+
+    // Per-member state: the request, its response under construction,
+    // and its fault decision (pure in (fault seed, request seed,
+    // attempt) — identical to what the unbatched path would draw, so
+    // batching never changes a request's fate schedule).
+    struct Member
+    {
+        Request req;
+        Response resp;
+        faults::FaultDecision fault;
+    };
+    std::vector<Member> members;
+    members.reserve(batch.size());
+    for (auto &req : batch) {
+        Member m;
+        m.resp.id = req.id;
+        m.resp.workload = req.workload;
+        m.resp.attempt = req.attempt;
+        m.resp.queue_ms = msSince(req.admitted);
+        m.fault = fault_plan_ != nullptr
+                      ? fault_plan_->decide(req.seed, req.attempt)
+                      : faults::FaultDecision{};
+        m.req = std::move(req);
+        members.push_back(std::move(m));
+    }
+
+    const auto deadline_ms = [](const Request &r) {
+        return static_cast<double>(r.deadline.count());
+    };
+    const auto over_deadline = [&](const Request &r) {
+        return r.deadline.count() > 0 &&
+               msSince(r.born) > deadline_ms(r);
+    };
+    auto expire = [&](Member &m, bool after_lease) {
+        m.resp.status = RequestStatus::Expired;
+        m.resp.total_ms = m.resp.queue_ms + m.resp.service_ms;
+        metrics.counter("serve.requests.expired").add();
+        if (after_lease)
+            metrics.counter("serve.requests.expired_after_lease")
+                .add();
+        push(std::move(m.resp));
+    };
+    auto fail = [&](Member &m) {
+        m.resp.status = RequestStatus::Failed;
+        m.resp.total_ms = m.resp.queue_ms + m.resp.service_ms;
+        metrics.counter("serve.requests.failed").add();
+        push(std::move(m.resp));
+    };
+
+    // Shed members whose latency budget was spent in the queue —
+    // same rule as the single-request path.
+    {
+        std::vector<Member> live;
+        live.reserve(members.size());
+        for (auto &m : members) {
+            if (over_deadline(m.req))
+                expire(m, /*after_lease=*/false);
+            else
+                live.push_back(std::move(m));
+        }
+        members = std::move(live);
+    }
+    if (members.empty())
+        return;
+
+    const auto service_start = Clock::now();
+
+    // Retry-or-finalize for members whose attempt aborted; mirrors
+    // the single-request catch block member by member (per-member
+    // backoff and deadline math), but sleeps once for the whole set
+    // — the members shared one attempt, they share one backoff.
+    auto settle_aborted = [&](std::vector<Member> aborted,
+                              const std::string &error, bool retryable,
+                              bool requeued_flag,
+                              double delay_floor_ms) {
+        double max_delay_ms = 0.0;
+        std::vector<Member> retries;
+        for (auto &m : aborted) {
+            m.resp.service_ms = msSince(service_start);
+            m.resp.retryable = retryable;
+            m.resp.error = error;
+            if (!retryable) {
+                fail(m);
+                continue;
+            }
+            const bool attempts_left =
+                m.req.attempt + 1 < options_.retry.max_attempts;
+            double delay_ms = faults::backoffMs(
+                m.req.seed, m.req.attempt,
+                options_.retry.backoff_base_ms,
+                options_.retry.backoff_mult,
+                options_.retry.backoff_max_ms,
+                options_.retry.backoff_jitter);
+            delay_ms = std::max(delay_ms, delay_floor_ms);
+            const bool deadline_allows =
+                m.req.deadline.count() == 0 ||
+                msSince(m.req.born) + delay_ms <= deadline_ms(m.req);
+            if (attempts_left && deadline_allows) {
+                max_delay_ms = std::max(max_delay_ms, delay_ms);
+                retries.push_back(std::move(m));
+            } else if (!deadline_allows) {
+                // The fault burned the rest of the budget: shed, not
+                // lost.
+                expire(m, /*after_lease=*/false);
+            } else {
+                fail(m);
+            }
+        }
+        if (retries.empty())
+            return;
+        {
+            ScopedSpan s(trace, "backoff", "serve", kServerPid, tid);
+            s.arg("members", static_cast<double>(retries.size()));
+            s.arg("delay_ms", max_delay_ms);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    max_delay_ms));
+        }
+        for (auto &m : retries) {
+            Request next = m.req;
+            ++next.attempt;
+            if (!queue_->requeue(std::move(next))) {
+                m.resp.error += " (retry refused: queue sealed)";
+                metrics.counter("serve.requeue_refused").add();
+                fail(m);
+                continue;
+            }
+            m.resp.status = RequestStatus::Retried;
+            m.resp.requeued = requeued_flag;
+            metrics.counter("serve.retries").add();
+            if (requeued_flag)
+                metrics.counter("serve.requeued").add();
+            push(std::move(m.resp));
+        }
+    };
+
+    try {
+        BatchLease lease;
+        {
+            ScopedSpan s(trace, "acquire", "serve", kServerPid, tid);
+            s.arg("members", static_cast<double>(members.size()));
+            lease = scheduler_->acquireUpTo(members.size());
+        }
+
+        // Surplus members beyond the lease go back to the queue —
+        // not a retry, so the attempt counter is untouched and no
+        // response row is emitted; they will be served by a later
+        // batch.
+        while (members.size() > lease.size()) {
+            Member m = std::move(members.back());
+            members.pop_back();
+            if (!queue_->requeue(std::move(m.req))) {
+                m.resp.service_ms = msSince(service_start);
+                m.resp.error = "batch overflow: queue sealed";
+                metrics.counter("serve.requeue_refused").add();
+                fail(m);
+            }
+        }
+
+        // Re-check deadlines after the (possibly long) wait for
+        // hardware, then return any groups the shed members held.
+        {
+            std::vector<Member> live;
+            live.reserve(members.size());
+            for (auto &m : members) {
+                if (over_deadline(m.req)) {
+                    m.resp.service_ms = msSince(service_start);
+                    expire(m, /*after_lease=*/true);
+                } else {
+                    live.push_back(std::move(m));
+                }
+            }
+            members = std::move(live);
+            if (members.empty())
+                return; // lease destructor releases everything
+            lease.shrinkTo(members.size());
+        }
+
+        const std::size_t k = members.size();
+        for (std::size_t i = 0; i < k; ++i) {
+            members[i].resp.group = lease.group(i);
+            members[i].resp.batch_streams = k;
+        }
+
+        // Quarantine every chip-fault victim's group *before*
+        // executing, exactly like the single-request path: the
+        // injected EmulatorError unwinds through the lease destructor
+        // and release() must already know those groups are poisoned.
+        // The emulator can only arm one victim chip per run; the
+        // first chip-fault member supplies it (the whole batch aborts
+        // either way).
+        std::size_t fault_member = k; // k = no chip fault in batch
+        faults::FaultDecision batch_fault{};
+        for (std::size_t i = 0; i < k; ++i) {
+            const auto &f = members[i].fault;
+            if (f.chip_fails) {
+                const auto [lo, hi] =
+                    scheduler_->chipsOf(lease.group(i));
+                const std::size_t victim =
+                    lo + f.chip_offset % options_.group_size;
+                (void)hi;
+                metrics.counter("faults.injected.chip").add();
+                metrics.counter("serve.quarantines").add();
+                scheduler_->markChipFailed(victim);
+                if (trace != nullptr) {
+                    TraceEvent e;
+                    e.name = "quarantine";
+                    e.category = "faults";
+                    e.pid = kServerPid;
+                    e.tid = tid;
+                    e.ts_us = trace->nowUs();
+                    e.num_args.emplace_back(
+                        "chip", static_cast<double>(victim));
+                    e.num_args.emplace_back(
+                        "group",
+                        static_cast<double>(lease.group(i)));
+                    e.num_args.emplace_back(
+                        "rid",
+                        static_cast<double>(members[i].req.id));
+                    trace->complete(std::move(e));
+                }
+                if (fault_member == k) {
+                    fault_member = i;
+                    batch_fault = f;
+                }
+            }
+            if (f.transient)
+                metrics.counter("faults.injected.transient").add();
+            if (f.link_dilation > 1.0)
+                metrics.counter("faults.injected.link").add();
+        }
+
+        // Per-member sim timing on its own group (shared cache: the
+        // first member of a kind compiles, the rest hit). A member
+        // with a degraded link times under the dilated config.
+        {
+            ScopedSpan s(trace, "simulate", "serve", kServerPid, tid);
+            s.arg("members", static_cast<double>(k));
+            for (auto &m : members) {
+                sim::HardwareConfig hw = options_.hw;
+                if (m.fault.link_dilation > 1.0)
+                    hw.link_dilation = m.fault.link_dilation;
+                const auto &bench =
+                    catalog_->benchmark(m.req.workload);
+                const auto timing =
+                    runner_->run(bench, options_.group_size, hw,
+                                 options_.group_size);
+                m.resp.sim_seconds = timing.seconds;
+                m.resp.compile_ms = timing.compile_ms;
+            }
+        }
+
+        // One multi-stream program for the whole batch: member i's
+        // stream lands on the chips of lease.group(i). Digests are
+        // bit-identical to each member's unbatched run (per-member
+        // seeded keys; the compiled layout keeps every stream's chip
+        // digits identical to the single-stream plan).
+        if (options_.emulate && ctx_->n() <= options_.emulate_max_n) {
+            ScopedSpan s(trace, "probe", "serve", kServerPid, tid);
+            s.arg("members", static_cast<double>(k));
+            double probe_compile_ms = 0.0;
+            compiler::CompilerConfig cfg;
+            cfg.chips = k * options_.group_size;
+            cfg.num_streams = static_cast<int>(k);
+            cfg.phys_regs = options_.hw.phys_regs;
+            const auto &plan = plans_->get(catalog_->batchedProbe(k),
+                                           cfg, &probe_compile_ms);
+            std::vector<uint64_t> seeds;
+            seeds.reserve(k);
+            for (const auto &m : members)
+                seeds.push_back(m.req.seed);
+            auto reports = exec::EmulateBackend::executeSeededBatch(
+                *ctx_, *encoder_, catalog_->probe(), plan, seeds, 1,
+                fault_member < k ? &batch_fault : nullptr,
+                fault_member);
+            for (std::size_t i = 0; i < k; ++i) {
+                members[i].resp.output_hash = reports[i].digest;
+                members[i].resp.compile_ms += probe_compile_ms;
+            }
+        } else if (fault_member < k) {
+            const std::size_t victim =
+                lease.group(fault_member) * options_.group_size +
+                batch_fault.chip_offset % options_.group_size;
+            throw faults::ChipFailedError(
+                victim, "injected chip failure: chip " +
+                            std::to_string(victim) +
+                            " lost mid-run (sim abort)");
+        }
+
+        // Model device occupancy once for the whole batch: every
+        // leased group runs concurrently, so the host thread dwells
+        // for the slowest member only.
+        if (options_.time_dilation > 0.0) {
+            ScopedSpan s(trace, "dwell", "serve", kServerPid, tid);
+            double max_sim = 0.0;
+            for (const auto &m : members)
+                max_sim = std::max(max_sim, m.resp.sim_seconds);
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                max_sim * options_.time_dilation));
+        }
+
+        // Transient faults are per-member: the batch ran, but a
+        // transient member's result is spuriously lost and the member
+        // retries alone. Split them out before completing the rest.
+        std::vector<Member> transients, completed;
+        for (auto &m : members) {
+            if (m.fault.transient) {
+                m.resp.output_hash = 0; // the result was lost
+                transients.push_back(std::move(m));
+            } else {
+                completed.push_back(std::move(m));
+            }
+        }
+        members = std::move(completed);
+
+        for (auto &m : members) {
+            m.resp.status = RequestStatus::Completed;
+            m.resp.service_ms = msSince(service_start);
+            m.resp.total_ms = m.resp.queue_ms + m.resp.service_ms;
+            metrics.counter("serve.requests.completed").add();
+            metrics.histogram("serve.queue_ms")
+                .observe(m.resp.queue_ms);
+            metrics.histogram("serve.service_ms")
+                .observe(m.resp.service_ms);
+            metrics.histogram("serve.total_ms")
+                .observe(m.resp.total_ms);
+            metrics.histogram("serve.compile_ms")
+                .observe(m.resp.compile_ms);
+            push(std::move(m.resp));
+        }
+
+        if (!transients.empty()) {
+            lease.release(); // don't hold hardware through backoff
+            settle_aborted(std::move(transients),
+                           "injected transient execution fault",
+                           /*retryable=*/true, /*requeued_flag=*/false,
+                           /*delay_floor_ms=*/0.0);
+        }
+    } catch (const std::exception &e) {
+        // The whole attempt aborted — injected chip death unwinding
+        // out of the emulator, or a fully-quarantined machine. Every
+        // member shares the abort; each retries (or finalizes) under
+        // its own backoff/deadline math.
+        const bool no_healthy =
+            dynamic_cast<const NoHealthyGroupsError *>(&e) != nullptr;
+        bool any_fault = false;
+        bool any_chip = false;
+        for (const auto &m : members) {
+            any_fault = any_fault || m.fault.any();
+            any_chip = any_chip || m.fault.chip_fails;
+        }
+        const bool retryable = no_healthy || any_fault;
+        // A full outage clears no sooner than the repair time; wait
+        // at least one repair + probe window before retrying.
+        const double delay_floor_ms =
+            no_healthy ? options_.faults.chip_repair_ms +
+                             options_.health_probe_interval_ms
+                       : 0.0;
+        settle_aborted(std::move(members), e.what(), retryable,
+                       /*requeued_flag=*/any_chip || no_healthy,
+                       delay_floor_ms);
     }
 }
 
@@ -414,7 +815,16 @@ Server::process(const Request &request, std::size_t worker)
             }
             Request next = request;
             ++next.attempt;
-            queue_->requeue(std::move(next));
+            if (!queue_->requeue(std::move(next))) {
+                // The queue was sealed while we backed off: nothing
+                // will ever drain the retry, so accepting it would
+                // strand the request. Finalize as Failed instead —
+                // request conservation over a silent loss.
+                resp.status = RequestStatus::Failed;
+                resp.error += " (retry refused: queue sealed)";
+                metrics.counter("serve.requests.failed").add();
+                metrics.counter("serve.requeue_refused").add();
+            }
             return resp;
         }
         if (retryable && !deadline_allows) {
@@ -445,9 +855,12 @@ Server::runProbe(const Request &request, std::size_t group_chips,
                  double *compile_ms, const faults::FaultDecision *fault)
 {
     double probe_compile_ms = 0.0;
-    const auto &compiled = runner_->compiled(
-        catalog_->probe(), group_chips, options_.hw.phys_regs, {},
-        &probe_compile_ms);
+    compiler::CompilerConfig cfg;
+    cfg.chips = group_chips;
+    cfg.num_streams = 1;
+    cfg.phys_regs = options_.hw.phys_regs;
+    const auto &compiled =
+        plans_->get(catalog_->probe(), cfg, &probe_compile_ms);
     if (compile_ms != nullptr)
         *compile_ms += probe_compile_ms;
 
@@ -488,11 +901,15 @@ Server::stats() const
                          .count()
                    : wall_seconds_;
     }
-    return ServeStats::fromResponses(resp, submitted,
-                                     queue_->rejected(), wall,
-                                     runner_->cacheStats(),
-                                     scheduler_->busySeconds(),
-                                     scheduler_->quarantinedMask());
+    auto s = ServeStats::fromResponses(resp, submitted,
+                                       queue_->rejected(), wall,
+                                       runner_->cacheStats(),
+                                       scheduler_->busySeconds(),
+                                       scheduler_->quarantinedMask());
+    s.plan_cache = plans_->stats();
+    s.rejected_full = queue_->rejectedFull();
+    s.rejected_closed = queue_->rejectedClosed();
+    return s;
 }
 
 } // namespace cinnamon::serve

@@ -52,7 +52,9 @@
 #include "common/trace.h"
 #include "faults/fault_plan.h"
 #include "fhe/encoder.h"
+#include "serve/batcher.h"
 #include "serve/catalog.h"
+#include "serve/plan_cache.h"
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/stats.h"
@@ -119,6 +121,19 @@ struct ServeOptions
      * are enabled).
      */
     double health_probe_interval_ms = 10.0;
+    /**
+     * Continuous cross-request batching: coalesce up to this many
+     * compatible queued requests (same workload shape) into one
+     * multi-stream program spanning that many chip groups, one
+     * member per group. 1 (the default) serves every request alone
+     * on the classic path; digests are bit-identical either way.
+     */
+    std::size_t batch_max_streams = 1;
+    /**
+     * How long a short batch lingers for compatible arrivals before
+     * dispatching anyway (only with batch_max_streams > 1).
+     */
+    double batch_linger_ms = 2.0;
 };
 
 class Server
@@ -161,6 +176,7 @@ class Server
     const WorkloadCatalog &catalog() const { return *catalog_; }
     const ChipGroupScheduler &scheduler() const { return *scheduler_; }
     workloads::BenchmarkRunner &runner() { return *runner_; }
+    const PlanCache &planCache() const { return *plans_; }
 
     /** Per-request span recorder (populated when options.trace). */
     const TraceRecorder &trace() const { return trace_; }
@@ -168,6 +184,14 @@ class Server
   private:
     void workerLoop(std::size_t worker);
     Response process(const Request &request, std::size_t worker);
+
+    /**
+     * Batched worker loop (batch_max_streams > 1): forms compatible
+     * batches through the BatchFormer, leases one chip group per
+     * member, and executes them as one multi-stream program.
+     */
+    void batchedWorkerLoop(std::size_t worker);
+    void processBatch(std::vector<Request> batch, std::size_t worker);
 
     /**
      * Health-probe loop: periodically re-admits quarantined groups
@@ -188,7 +212,9 @@ class Server
     ServeOptions options_;
     std::unique_ptr<WorkloadCatalog> catalog_;
     std::unique_ptr<workloads::BenchmarkRunner> runner_;
+    std::unique_ptr<PlanCache> plans_;
     std::unique_ptr<RequestQueue> queue_;
+    std::unique_ptr<BatchFormer> batcher_;
     std::unique_ptr<ChipGroupScheduler> scheduler_;
     std::unique_ptr<fhe::Encoder> encoder_;
     /** Non-null iff options_.faults.enabled(); shared, stateless. */

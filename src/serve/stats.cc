@@ -48,6 +48,7 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
     };
 
     std::vector<double> lat_ms, sim_s, queue_ms;
+    double occupancy_sum = 0.0;
     const auto no_group = static_cast<std::size_t>(-1);
     for (const auto &r : responses) {
         switch (r.status) {
@@ -57,6 +58,11 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
             queue_ms.push_back(r.queue_ms);
             sim_s.push_back(r.sim_seconds);
             s.sim_seconds_total += r.sim_seconds;
+            occupancy_sum += static_cast<double>(r.batch_streams);
+            if (r.batch_streams > 1)
+                ++s.batched_completed;
+            s.batch_occupancy_max =
+                std::max(s.batch_occupancy_max, r.batch_streams);
             if (r.group != no_group)
                 bump(s.group_completed, r.group);
             break;
@@ -87,6 +93,9 @@ ServeStats::fromResponses(const std::vector<Response> &responses,
         s.queue_ms_mean =
             std::accumulate(queue_ms.begin(), queue_ms.end(), 0.0) /
             static_cast<double>(queue_ms.size());
+    if (s.completed > 0)
+        s.batch_occupancy_mean =
+            occupancy_sum / static_cast<double>(s.completed);
     s.latency_ms_p50 = percentile(lat_ms, 50);
     s.latency_ms_p95 = percentile(lat_ms, 95);
     s.latency_ms_p99 = percentile(lat_ms, 99);
@@ -113,6 +122,10 @@ ServeStats::report() const
     line("requests: %zu submitted, %zu completed, %zu rejected "
          "(backpressure), %zu expired, %zu failed",
          submitted, completed, rejected, expired, failed);
+    if (rejected_full > 0 || rejected_closed > 0)
+        line("rejections: %zu queue-full (retryable), "
+             "%zu after shutdown",
+             rejected_full, rejected_closed);
     if (retried > 0 || rejected_retryable > 0 || failed_retryable > 0)
         line("resilience: %zu retried (%zu requeued after chip loss), "
              "%zu retryable rejections, %zu retryable failures",
@@ -127,6 +140,15 @@ ServeStats::report() const
          sim_seconds_p50, sim_seconds_p99, sim_seconds_total);
     line("cache: %zu hits / %zu lookups (%.1f%% hit rate)",
          cache.hits, cache.lookups(), 100.0 * cache.hitRate());
+    if (plan_cache.lookups() > 0)
+        line("plan cache: %zu hits / %zu lookups (%.1f%% hit rate)",
+             plan_cache.hits, plan_cache.lookups(),
+             100.0 * plan_cache.hitRate());
+    if (batched_completed > 0)
+        line("batching: %zu of %zu completed rode a shared batch  "
+             "occupancy mean %.2f / max %zu streams",
+             batched_completed, completed, batch_occupancy_mean,
+             batch_occupancy_max);
     // Per-group placement: utilization, request counts, and live
     // quarantine state on one line per group, so placement skew and
     // parked hardware are visible at a glance.

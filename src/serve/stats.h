@@ -32,9 +32,16 @@ struct ServeStats
     // responses are intermediate rows, counted separately below).
     std::size_t submitted = 0;
     std::size_t completed = 0;
-    std::size_t rejected = 0; ///< backpressured at admission
+    std::size_t rejected = 0; ///< bounced at admission (full + closed)
     std::size_t expired = 0;  ///< deadline passed in queue
     std::size_t failed = 0;
+
+    // Admission rejections split by cause: capacity backpressure is
+    // the load balancer's signal; shutdown-time rejections are
+    // expected during drain and must not pollute it. Assigned by the
+    // owner of the queue (fromResponses only knows the sum).
+    std::size_t rejected_full = 0;   ///< queue at capacity
+    std::size_t rejected_closed = 0; ///< submitted after close()
 
     // Resilience accounting.
     std::size_t retried = 0;  ///< faulted attempts that were requeued
@@ -60,6 +67,22 @@ struct ServeStats
     double sim_seconds_total = 0.0;
 
     CacheStats cache; ///< compile + sim cache hits/misses
+    /**
+     * Serving-tier plan cache (content-fingerprint + compiler-config
+     * keyed CompiledPrograms). Steady state should show ~100% hits:
+     * every compile after the first for a given (program, config) is
+     * amortized away. Assigned by the owner of the PlanCache.
+     */
+    CacheStats plan_cache;
+
+    // Continuous batching (fromResponses derives these from the
+    // per-response batch_streams field).
+    /** Completed requests that shared a multi-stream batch (>1). */
+    std::size_t batched_completed = 0;
+    /** Mean members per executed batch over completed requests. */
+    double batch_occupancy_mean = 0.0;
+    /** Largest batch any completed request rode in. */
+    std::size_t batch_occupancy_max = 0;
 
     /** Busy fraction of each chip group over wall_seconds. */
     std::vector<double> group_utilization;

@@ -125,11 +125,12 @@ BenchmarkRunner::compiled(const compiler::Program &kernel,
     cfg.ks = ks;
     cfg.phys_regs = phys_regs;
     // The key must cover every field that changes compiled output
-    // (cacheKeyOf serializes them all); keying on a subset would
-    // alias programs across configurations.
+    // (cacheKeyOf serializes them all) plus the program content
+    // itself: two same-name kernels with equal op counts but
+    // different graphs must not share a compiled artifact.
     std::ostringstream key;
-    key << kernel.name() << ':' << kernel.ops().size() << ':'
-        << compiler::cacheKeyOf(cfg);
+    key << kernel.name() << ':' << compiler::fingerprintOf(kernel)
+        << ':' << compiler::cacheKeyOf(cfg);
     if (compile_ms != nullptr)
         *compile_ms = 0.0;
     return compile_cache_.getOrCompute(key.str(), [&] {
@@ -152,7 +153,8 @@ BenchmarkRunner::kernelResult(const compiler::Program &kernel,
                               const compiler::KsPassOptions &ks)
 {
     std::ostringstream key;
-    key << kernel.name() << ':' << kernel.ops().size() << ':' << group
+    key << kernel.name() << ':' << compiler::fingerprintOf(kernel)
+        << ':' << group
         << ':' << hw.lanes << ':' << hw.phys_regs << ':' << hw.hbm_gbs
         << ':' << hw.link_gbs << ':' << hw.link_dilation << ':'
         << static_cast<int>(hw.topology) << ':' << hw.n << ':'

@@ -15,9 +15,13 @@
 #include <set>
 #include <thread>
 
+#include "exec/backend.h"
+#include "fhe/encoder.h"
 #include "net/frame.h"
 #include "net/message.h"
 #include "net/socket.h"
+#include "serve/batcher.h"
+#include "serve/plan_cache.h"
 #include "serve/remote/frontend.h"
 #include "serve/remote/worker.h"
 #include "serve/server.h"
@@ -523,14 +527,324 @@ TEST(Queue, PopForTimesOutWhileOpenAndDrainsAfterClose)
     auto popped = queue.popFor(5.0);
     ASSERT_TRUE(popped.has_value());
 
-    // Closed + empty still accepts a requeue and drains it.
+    // Closed + empty still accepts a requeue and drains it: close()
+    // only stops *new* work; in-flight retries must not be stranded.
     queue.close();
     Request retry = *popped;
     ++retry.attempt;
-    queue.requeue(std::move(retry));
+    EXPECT_TRUE(queue.requeue(std::move(retry)));
     auto drained = queue.popFor(5.0);
     ASSERT_TRUE(drained.has_value());
     EXPECT_EQ(drained->attempt, 1u);
+}
+
+TEST(Queue, SealRefusesRequeueSoCallersFinalizeAsFailed)
+{
+    // Regression: requeue() used to ignore shutdown entirely, so a
+    // retry requeued after the consumers were gone sat in the queue
+    // forever — the request simply vanished from the accounting.
+    // seal() is the point of no return: requeue() must *fail* so the
+    // caller finalizes the request as Failed and conservation holds.
+    RequestQueue queue(4);
+    Request r;
+    r.id = 1;
+    ASSERT_TRUE(queue.submit(r));
+    auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+
+    queue.seal();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_TRUE(queue.sealed());
+    Request retry = *popped;
+    ++retry.attempt;
+    const std::size_t closed_before = queue.rejectedClosed();
+    EXPECT_FALSE(queue.requeue(std::move(retry)))
+        << "a sealed queue must refuse requeues";
+    EXPECT_EQ(queue.rejectedClosed(), closed_before + 1);
+    EXPECT_EQ(queue.size(), 0u) << "the refused request must not land";
+    EXPECT_FALSE(queue.submit(Request{})) << "seal implies close";
+}
+
+TEST(Queue, RejectionCountersSplitFullFromClosed)
+{
+    RequestQueue q(2);
+    ASSERT_TRUE(q.submit(Request{}));
+    ASSERT_TRUE(q.submit(Request{}));
+    EXPECT_FALSE(q.submit(Request{})); // full
+    EXPECT_FALSE(q.submit(Request{})); // full
+    q.close();
+    EXPECT_FALSE(q.submit(Request{})); // closed
+    EXPECT_EQ(q.rejectedFull(), 2u);
+    EXPECT_EQ(q.rejectedClosed(), 1u);
+    EXPECT_EQ(q.rejected(), 3u) << "the sum is the legacy counter";
+}
+
+TEST(Queue, PopBatchCoalescesCompatibleAndKeepsFifoForTheRest)
+{
+    const auto same_workload = [](const Request &a, const Request &b) {
+        return a.workload == b.workload;
+    };
+    RequestQueue q(8);
+    auto make = [](uint64_t id, Workload w) {
+        Request r;
+        r.id = id;
+        r.workload = w;
+        return r;
+    };
+    ASSERT_TRUE(q.submit(make(1, Workload::Keyswitch)));
+    ASSERT_TRUE(q.submit(make(2, Workload::Bootstrap)));
+    ASSERT_TRUE(q.submit(make(3, Workload::Keyswitch)));
+    ASSERT_TRUE(q.submit(make(4, Workload::Keyswitch)));
+
+    // The head anchors the batch; compatible followers are swept out
+    // of the middle of the queue, incompatible ones keep their slot.
+    auto batch = q.popBatch(3, 0.0, same_workload);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 1u);
+    EXPECT_EQ(batch[1].id, 3u);
+    EXPECT_EQ(batch[2].id, 4u);
+
+    auto rest = q.popBatch(3, 0.0, same_workload);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].id, 2u) << "incompatible head kept FIFO order";
+
+    // `max` is a hard cap even when more compatible work is queued.
+    ASSERT_TRUE(q.submit(make(5, Workload::Helr)));
+    ASSERT_TRUE(q.submit(make(6, Workload::Helr)));
+    ASSERT_TRUE(q.submit(make(7, Workload::Helr)));
+    auto capped = q.popBatch(2, 0.0, same_workload);
+    EXPECT_EQ(capped.size(), 2u);
+    EXPECT_EQ(q.size(), 1u);
+    (void)q.popBatch(2, 0.0, same_workload);
+}
+
+TEST(Queue, PopBatchLingersForLateCompatibleArrivals)
+{
+    const auto same_workload = [](const Request &a, const Request &b) {
+        return a.workload == b.workload;
+    };
+    RequestQueue q(8);
+    Request head;
+    head.id = 1;
+    head.workload = Workload::Bert;
+    ASSERT_TRUE(q.submit(head));
+
+    std::thread late([&q] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        Request r;
+        r.id = 2;
+        r.workload = Workload::Bert;
+        ASSERT_TRUE(q.submit(r));
+    });
+    double lingered_ms = -1.0;
+    auto batch = q.popBatch(2, 500.0, same_workload, &lingered_ms);
+    late.join();
+    ASSERT_EQ(batch.size(), 2u)
+        << "the linger window must pick up the late arrival";
+    EXPECT_EQ(batch[1].id, 2u);
+    EXPECT_GT(lingered_ms, 0.0);
+    EXPECT_LT(lingered_ms, 500.0)
+        << "a filled batch must cut the linger short";
+
+    // close() cuts the linger short too: drain must not stall.
+    Request tail;
+    tail.id = 3;
+    ASSERT_TRUE(q.submit(tail));
+    std::thread closer([&q] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.close();
+    });
+    const auto t0 = Clock::now();
+    auto last = q.popBatch(4, 10000.0, same_workload);
+    closer.join();
+    EXPECT_EQ(last.size(), 1u);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    EXPECT_LT(waited_ms, 5000.0);
+}
+
+TEST(Scheduler, GroupLeaseSelfMoveAssignmentKeepsTheLease)
+{
+    // Regression: operator=(GroupLease&&) without a self-move guard
+    // released the held group and then read the just-nulled fields —
+    // the lease was silently dropped and the group double-freed.
+    ChipGroupScheduler sched(8, 4);
+    GroupLease lease = sched.acquire();
+    const std::size_t group = lease.group();
+    ASSERT_TRUE(lease.held());
+    ASSERT_EQ(sched.busyGroups(), 1u);
+
+    GroupLease &alias = lease;
+    lease = std::move(alias); // self-move
+    EXPECT_TRUE(lease.held()) << "self-move must not drop the lease";
+    EXPECT_EQ(lease.group(), group);
+    EXPECT_EQ(sched.busyGroups(), 1u)
+        << "self-move must not release the group";
+
+    lease.release();
+    EXPECT_EQ(sched.busyGroups(), 0u);
+}
+
+TEST(Scheduler, BatchLeaseGrabsFreeGroupsAndShrinksSurplus)
+{
+    ChipGroupScheduler sched(16, 4); // 4 groups
+    BatchLease batch = sched.acquireUpTo(3);
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(sched.busyGroups(), 3u);
+    {
+        // Distinct groups, each actually leased.
+        std::set<std::size_t> groups(batch.groups().begin(),
+                                     batch.groups().end());
+        EXPECT_EQ(groups.size(), 3u);
+    }
+
+    // Only one group left: a second batch lease gets exactly it.
+    BatchLease rest = sched.acquireUpTo(3);
+    EXPECT_EQ(rest.size(), 1u);
+    EXPECT_EQ(sched.busyGroups(), 4u);
+    rest.release();
+
+    // Shrinking returns the surplus to the free list immediately.
+    batch.shrinkTo(1);
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(sched.busyGroups(), 1u);
+
+    // Self-move safety, same contract as GroupLease.
+    BatchLease &alias = batch;
+    batch = std::move(alias);
+    EXPECT_TRUE(batch.held());
+    EXPECT_EQ(sched.busyGroups(), 1u);
+
+    batch.release();
+    EXPECT_EQ(sched.busyGroups(), 0u);
+
+    // All-quarantined: acquireUpTo must throw, not deadlock.
+    for (std::size_t chip = 0; chip < 16; chip += 4)
+        sched.markChipFailed(chip);
+    EXPECT_THROW((void)sched.acquireUpTo(2), NoHealthyGroupsError);
+}
+
+TEST(Server, BatchedServingBitIdenticalToUnbatched)
+{
+    // The tentpole end-to-end: the same trace served unbatched and
+    // with continuous batching must produce identical per-request
+    // digests, and the batched run must actually form multi-stream
+    // batches (occupancy > 1) with steady-state plan-cache hits.
+    const std::size_t kRequests = 10;
+
+    ServeOptions solo = smallOptions();
+    solo.workers = 1;
+    Server unbatched(serveContext(), solo);
+    unbatched.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(unbatched.submit(Workload::Keyswitch, 9100 + i));
+    unbatched.drainAndStop();
+    const auto expected = completedHashes(unbatched);
+    ASSERT_EQ(expected.size(), kRequests);
+
+    ServeOptions opt = smallOptions();
+    opt.workers = 1; // one batch former: deterministic batch shapes
+    opt.batch_max_streams = 2;
+    opt.batch_linger_ms = 50.0;
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(server.submit(Workload::Keyswitch, 9100 + i));
+    server.drainAndStop();
+
+    EXPECT_EQ(completedHashes(server), expected)
+        << "batched digests must be bit-identical to unbatched";
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_GT(stats.batched_completed, 0u)
+        << "the trace must have exercised real multi-stream batches";
+    EXPECT_EQ(stats.batch_occupancy_max, 2u);
+    EXPECT_GT(stats.plan_cache.lookups(), 0u);
+    EXPECT_GT(stats.plan_cache.hits, 0u)
+        << "steady state must hit the plan cache";
+    const auto report = stats.report();
+    EXPECT_NE(report.find("plan cache:"), std::string::npos);
+    EXPECT_NE(report.find("batching:"), std::string::npos);
+    EXPECT_NE(report.find("serve.batch_occupancy"), std::string::npos);
+    EXPECT_NE(report.find("serve.plan_cache"), std::string::npos);
+}
+
+TEST(Server, BatchedServingHandlesMixedWorkloadsAndDeadlines)
+{
+    // Incompatible workloads must never share a batch, and deadline
+    // shedding still works on the batched path.
+    const std::size_t kRequests = 12;
+    ServeOptions opt = smallOptions();
+    opt.batch_max_streams = 2;
+    opt.batch_linger_ms = 5.0;
+    Server server(serveContext(), opt);
+
+    ServeOptions solo = smallOptions();
+    Server unbatched(serveContext(), solo);
+    unbatched.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(unbatched.submit(traceWorkload(i), 9500 + i));
+    unbatched.drainAndStop();
+    const auto expected = completedHashes(unbatched);
+
+    server.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(server.submit(traceWorkload(i), 9500 + i));
+    // One request that is already dead on arrival: must be shed, not
+    // batched into execution.
+    ASSERT_TRUE(server.submit(Workload::Keyswitch, 42,
+                              std::chrono::milliseconds(1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.drainAndStop();
+
+    const auto responses = server.responses();
+    std::map<uint64_t, uint64_t> got;
+    std::size_t expired = 0;
+    for (const auto &r : responses) {
+        if (r.status == RequestStatus::Completed)
+            got[r.id] = r.output_hash;
+        if (r.status == RequestStatus::Expired)
+            ++expired;
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_GE(expired, 1u) << "the dead-on-arrival request was shed";
+    // Conservation: every submitted request reached a final fate.
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed + stats.expired + stats.failed +
+                  stats.rejected,
+              stats.submitted);
+}
+
+TEST(PlanCache, HitAccountingUnderConcurrentLookups)
+{
+    // Many workers racing for the same plan must compile it exactly
+    // once and agree on the cached instance (stable references).
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+    PlanCache plans(ctx);
+    compiler::CompilerConfig cfg;
+    cfg.chips = 4;
+    cfg.num_streams = 1;
+
+    constexpr std::size_t kThreads = 8;
+    std::vector<const compiler::CompiledProgram *> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            seen[t] = &plans.get(catalog.probe(), cfg);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    for (std::size_t t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t], seen[0])
+            << "all threads must share one compiled instance";
+    const auto stats = plans.stats();
+    EXPECT_EQ(stats.misses, 1u) << "compiled exactly once";
+    EXPECT_EQ(stats.hits, kThreads - 1);
+    EXPECT_EQ(plans.size(), 1u);
 }
 
 TEST(Server, StatsCountPerGroupPlacementAndQuarantine)
@@ -607,6 +921,67 @@ TEST(RemoteServing, LoopbackDistributedBitIdenticalToInProcess)
               stats.submitted);
 }
 
+TEST(RemoteServing, BatchedLoopbackBitIdenticalToInProcessUnbatched)
+{
+    // Continuous batching across the wire: the front-end coalesces
+    // compatible requests into one multi-stream Submit (wire v2), a
+    // single worker executes the whole batch as one program, and every
+    // member's digest still matches an unbatched in-process run.
+    const std::size_t kRequests = 9;
+
+    ServeOptions solo = smallOptions();
+    solo.workers = 1;
+    Server local(serveContext(), solo);
+    local.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(local.submit(Workload::Keyswitch, 9300 + i));
+    local.drainAndStop();
+    const auto expected = completedHashes(local);
+    ASSERT_EQ(expected.size(), kRequests);
+
+    remote::FrontEndOptions fe_opt;
+    fe_opt.workers = 2;
+    fe_opt.group_size = 4;
+    fe_opt.batch_max_streams = 3;
+    fe_opt.batch_linger_ms = 50.0;
+    remote::RemoteFrontEnd frontend(fe_opt);
+    ASSERT_TRUE(frontend.start());
+
+    std::vector<std::thread> workers;
+    for (uint64_t w = 0; w < 2; ++w)
+        workers.emplace_back([&frontend, w] {
+            remote::WorkerOptions opt;
+            opt.port = frontend.port();
+            opt.worker_id = w;
+            opt.group_size = 4;
+            remote::runWorker(serveContext(), opt);
+        });
+    ASSERT_TRUE(frontend.waitForWorkers(2));
+
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(frontend.submit(Workload::Keyswitch, 9300 + i));
+    frontend.drainAndStop();
+    for (auto &t : workers)
+        t.join();
+
+    std::map<uint64_t, uint64_t> got;
+    for (const auto &r : frontend.responses())
+        if (r.status == RequestStatus::Completed)
+            got[r.id] = r.output_hash;
+    EXPECT_EQ(got, expected)
+        << "batched wire digests must match unbatched in-process";
+
+    const auto stats = frontend.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_GT(stats.batched_completed, 0u)
+        << "the trace must have ridden real multi-stream Submits";
+    EXPECT_GT(stats.batch_occupancy_max, 1u);
+    EXPECT_LE(stats.batch_occupancy_max, 3u);
+    EXPECT_EQ(stats.completed + stats.rejected + stats.expired +
+                  stats.failed,
+              stats.submitted);
+}
+
 TEST(RemoteServing, VersionMismatchedWorkerIsRejectedWithReason)
 {
     remote::FrontEndOptions fe_opt;
@@ -646,4 +1021,72 @@ TEST(RemoteServing, VersionMismatchedWorkerIsRejectedWithReason)
     EXPECT_NE(ack.reason.find("version"), std::string::npos);
     EXPECT_EQ(frontend.connectedWorkers(), 0u);
     frontend.drainAndStop();
+}
+
+TEST(BatchedExecution, DigestsBitIdenticalToUnbatchedAcrossSeeds)
+{
+    // The tentpole correctness contract: a request served as member k
+    // of a batched multi-stream program must produce *exactly* the
+    // digest it would have produced served alone. Keys, inputs, and
+    // encryption randomness are all derived per member.
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+    fhe::Encoder encoder(ctx);
+    PlanCache plans(ctx);
+
+    compiler::CompilerConfig single;
+    single.chips = 4;
+    single.num_streams = 1;
+    const auto &plan1 = plans.get(catalog.probe(), single);
+
+    for (const std::size_t members : {2ul, 3ul}) {
+        compiler::CompilerConfig cfg = single;
+        cfg.chips = 4 * members;
+        cfg.num_streams = static_cast<int>(members);
+        const auto &planN =
+            plans.get(catalog.batchedProbe(members), cfg);
+
+        std::vector<uint64_t> seeds;
+        for (std::size_t k = 0; k < members; ++k)
+            seeds.push_back(7000 + 13 * k);
+
+        const auto reports = exec::EmulateBackend::executeSeededBatch(
+            ctx, encoder, catalog.probe(), planN, seeds);
+        ASSERT_EQ(reports.size(), members);
+        for (std::size_t k = 0; k < members; ++k) {
+            const auto solo = exec::EmulateBackend::executeSeeded(
+                ctx, encoder, catalog.probe(), plan1, seeds[k]);
+            EXPECT_EQ(reports[k].digest, solo.digest)
+                << "member " << k << " of a " << members
+                << "-stream batch diverged from its unbatched run";
+        }
+    }
+}
+
+TEST(PlanCache, KeysOnContentAndConfigIncludingStreams)
+{
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+    PlanCache plans(ctx);
+
+    compiler::CompilerConfig cfg;
+    cfg.chips = 4;
+    cfg.num_streams = 1;
+
+    double ms = -1.0;
+    plans.get(catalog.probe(), cfg, &ms);
+    EXPECT_GT(ms, 0.0) << "first compile must miss";
+    plans.get(catalog.probe(), cfg, &ms);
+    EXPECT_EQ(ms, 0.0) << "second fetch must hit";
+
+    // num_streams is part of the key: the batched plan is distinct.
+    compiler::CompilerConfig batched = cfg;
+    batched.chips = 8;
+    batched.num_streams = 2;
+    plans.get(catalog.batchedProbe(2), batched, &ms);
+    EXPECT_GT(ms, 0.0) << "batched variant must compile separately";
+
+    const auto stats = plans.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 1u);
 }

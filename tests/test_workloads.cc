@@ -117,6 +117,61 @@ TEST(Runner, KernelCachingAvoidsRecompiles)
     EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
 }
 
+TEST(Runner, CompileCacheKeysOnProgramContentNotNameAndSize)
+{
+    // Regression: the compile-cache key used to be the kernel's name
+    // plus ops().size(). Two same-named programs with equal op counts
+    // but different graphs aliased to one cache slot — the second
+    // program silently executed the first one's compiled plan. The
+    // key now includes a content fingerprint.
+    auto &h = harness();
+
+    compiler::Program twin_a("twin", *h.ctx);
+    {
+        auto x = twin_a.input("x", 4);
+        auto y = twin_a.input("y", 4);
+        twin_a.output("out", twin_a.add(x, y));
+    }
+    compiler::Program twin_b("twin", *h.ctx);
+    {
+        auto x = twin_b.input("x", 4);
+        auto y = twin_b.input("y", 4);
+        twin_b.output("out", twin_b.sub(x, y)); // add vs sub
+    }
+    ASSERT_EQ(twin_a.name(), twin_b.name());
+    ASSERT_EQ(twin_a.ops().size(), twin_b.ops().size());
+    EXPECT_NE(compiler::fingerprintOf(twin_a),
+              compiler::fingerprintOf(twin_b));
+
+    BenchmarkRunner runner(*h.ctx);
+    const auto &plan_a = runner.compiled(twin_a, 4, 224, {});
+    const auto &plan_b = runner.compiled(twin_b, 4, 224, {});
+    EXPECT_NE(&plan_a, &plan_b)
+        << "distinct graphs must not share a compiled artifact";
+    EXPECT_EQ(runner.cacheStats().misses, 2u);
+
+    // Same content twice is still one compile.
+    const auto &plan_a2 = runner.compiled(twin_a, 4, 224, {});
+    EXPECT_EQ(&plan_a2, &plan_a);
+    EXPECT_EQ(runner.cacheStats().misses, 2u);
+    EXPECT_EQ(runner.cacheStats().hits, 1u);
+
+    // The fingerprint also separates rotation amounts — a pure
+    // argument change with identical op kinds.
+    compiler::Program rot_a("rot", *h.ctx);
+    {
+        auto x = rot_a.input("x", 4);
+        rot_a.output("out", rot_a.rotate(x, 1));
+    }
+    compiler::Program rot_b("rot", *h.ctx);
+    {
+        auto x = rot_b.input("x", 4);
+        rot_b.output("out", rot_b.rotate(x, 2));
+    }
+    EXPECT_NE(compiler::fingerprintOf(rot_a),
+              compiler::fingerprintOf(rot_b));
+}
+
 TEST(Runner, ParallelStreamsReduceWidePhaseTime)
 {
     auto &h = harness();
