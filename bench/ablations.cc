@@ -16,7 +16,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "compiler/lowering.h"
 #include "sim/simulator.h"
 #include "workloads/cpu_model.h"
 #include "workloads/kernels.h"
@@ -27,6 +26,7 @@ using namespace cinnamon::workloads;
 int
 main()
 {
+    const auto &registry = compiler::StrategyRegistry::global();
     // ---- D1: digit count ------------------------------------------
     cinnamon::bench::printHeader(
         "D1: keyswitch digit count (single keyswitch, 4 chips)");
@@ -38,10 +38,10 @@ main()
         params.special = (params.levels + dnum - 1) / dnum;
         fhe::CkksContext ctx(params);
         auto kernel = keyswitchKernel(ctx, ctx.maxLevel());
-        compiler::CompilerConfig cfg;
-        cfg.chips = 4;
-        compiler::Compiler comp(ctx, cfg);
-        auto compiled = comp.compile(kernel);
+        auto compiled = cinnamon::bench::compileWith(
+            ctx, kernel,
+            cinnamon::bench::strategyConfig(
+                registry.at("cinnamon-ks"), 4));
         auto res = sim::simulate(compiled.machine,
                                  cinnamon::bench::cinnamonHw(4));
         std::printf("%-8zu %10zu %14zu %14zu %12.1f\n", dnum,
@@ -63,11 +63,11 @@ main()
                 "switch (us)", "ratio");
     for (std::size_t chips : {4u, 8u, 12u}) {
         auto kernel = hoistedRotationsKernel(*ctx, ctx->maxLevel(), 8);
-        compiler::CompilerConfig cfg;
-        cfg.chips = chips;
-        cfg.ks.enable_batching = false; // every rotation broadcasts
-        compiler::Compiler comp(*ctx, cfg);
-        auto compiled = comp.compile(kernel);
+        // every rotation broadcasts: the unbatched IB rung
+        auto compiled = cinnamon::bench::compileWith(
+            *ctx, kernel,
+            cinnamon::bench::strategyConfig(
+                registry.at("input-broadcast"), chips));
         sim::HardwareConfig ring = sim::HardwareConfig::cinnamonChip();
         ring.link_gbs = 64.0;
         ring.topology = sim::Topology::Ring;
@@ -98,11 +98,10 @@ main()
                 "time (ms)");
     for (auto policy : {compiler::EvictionPolicy::Belady,
                         compiler::EvictionPolicy::Lru}) {
-        compiler::CompilerConfig cfg;
-        cfg.chips = 4;
+        auto cfg = cinnamon::bench::strategyConfig(
+            registry.at("cinnamon-ks"), 4);
         cfg.regalloc_policy = policy;
-        compiler::Compiler comp(*ctx, cfg);
-        auto compiled = comp.compile(boot);
+        auto compiled = cinnamon::bench::compileWith(*ctx, boot, cfg);
         auto res = sim::simulate(compiled.machine,
                                  cinnamon::bench::cinnamonHw(4));
         std::printf("%-10s %14zu %14zu %14.0f %12.2f\n",

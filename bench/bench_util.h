@@ -17,8 +17,11 @@
 #include <memory>
 #include <string>
 
+#include "compiler/lowering.h"
+#include "compiler/strategy.h"
 #include "fhe/params.h"
 #include "sim/hardware.h"
+#include "sim/simulator.h"
 
 namespace cinnamon::bench {
 
@@ -46,6 +49,47 @@ inline void
 printHeader(const std::string &title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * The CompilerConfig a named strategy denotes on a `chips`-chip
+ * machine: the registry entry's ks options and stream hint, with the
+ * strategy name recorded so plan-cache keys stay distinct. Sequential
+ * strategies compile for one chip regardless of the machine.
+ * `streams` overrides the entry's hint when >= 1 (the fig13 PP rung
+ * composes two single-stream compiles instead of one 2-stream one).
+ */
+inline compiler::CompilerConfig
+strategyConfig(const compiler::CompileStrategy &strategy,
+               std::size_t chips, int streams = 0)
+{
+    compiler::CompilerConfig cfg;
+    cfg.chips = strategy.sequential ? 1 : chips;
+    cfg.num_streams = streams >= 1 ? streams : strategy.streams;
+    cfg.ks = strategy.ks;
+    cfg.strategy = strategy.name;
+    return cfg;
+}
+
+/** Compile `prog` under `cfg` (the one-shot helper every bench used
+ *  to re-implement privately). */
+inline compiler::CompiledProgram
+compileWith(const fhe::CkksContext &ctx,
+            const compiler::Program &prog,
+            const compiler::CompilerConfig &cfg)
+{
+    compiler::Compiler comp(ctx, cfg);
+    return comp.compile(prog);
+}
+
+/** Simulated seconds of `prog` compiled under `cfg`, run on `hw`. */
+inline double
+timeOf(const fhe::CkksContext &ctx, const compiler::Program &prog,
+       const compiler::CompilerConfig &cfg,
+       const sim::HardwareConfig &hw)
+{
+    return sim::simulate(compileWith(ctx, prog, cfg).machine, hw)
+        .seconds;
 }
 
 } // namespace cinnamon::bench

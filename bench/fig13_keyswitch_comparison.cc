@@ -4,42 +4,35 @@
  * bootstrapping on Cinnamon-4 over a single-chip sequential run, at
  * link bandwidths of 256/512/1024 GB/s.
  *
- * Rungs (Section 7.3):
- *   Sequential              — 1 chip, no parallel keyswitching.
- *   CiFHER                  — broadcast keyswitching, no batching.
- *   Input Broadcast         — Cinnamon algo #1, no batching.
- *   Input Broadcast + Pass  — plus compiler hoisting/batching.
- *   Cinnamon KS + Pass      — pass picks IB or OA per pattern.
- *   + Program Parallelism   — two EvalMod streams on 2 chips each.
+ * The rungs (Section 7.3) are not listed here — they are the
+ * StrategyRegistry's fig13 ladder (strategy.h), so this bench, the
+ * serving-tier PlanTuner, and --strategy flags all agree on what each
+ * named strategy means:
+ *   sequential      — 1 chip, no parallel keyswitching.
+ *   cifher          — broadcast keyswitching, no batching.
+ *   input-broadcast — Cinnamon algo #1, no batching.
+ *   ib-pass         — plus compiler hoisting/batching.
+ *   cinnamon-ks     — pass picks IB or OA per pattern.
+ *   cinnamon-ks-pp  — two EvalMod streams on 2 chips each.
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "compiler/lowering.h"
 #include "sim/simulator.h"
 #include "workloads/kernels.h"
 
 using namespace cinnamon;
 using namespace cinnamon::workloads;
-using compiler::KsAlgo;
 
 namespace {
 
-double
-timeOf(const fhe::CkksContext &ctx, const compiler::Program &prog,
-       std::size_t chips, int streams,
-       const compiler::KsPassOptions &ks, double link_gbs)
+sim::HardwareConfig
+linkedHw(double link_gbs)
 {
-    compiler::CompilerConfig cfg;
-    cfg.chips = chips;
-    cfg.num_streams = streams;
-    cfg.ks = ks;
-    compiler::Compiler comp(ctx, cfg);
-    auto compiled = comp.compile(prog);
     sim::HardwareConfig hw = sim::HardwareConfig::cinnamonChip();
     hw.link_gbs = link_gbs;
-    return sim::simulate(compiled.machine, hw).seconds;
+    return hw;
 }
 
 } // namespace
@@ -60,49 +53,46 @@ main()
     auto kernel_chain = polyEvalKernel(
         *ctx, shape.start_level - shape.c2s_stages, shape.evalmod_depth);
 
-    compiler::KsPassOptions none;
-    none.enable_batching = false;
-    compiler::KsPassOptions cifher = none;
-    cifher.default_algo = KsAlgo::Cifher;
-    compiler::KsPassOptions ib_pass;
-    ib_pass.enable_output_aggregation = false;
-    compiler::KsPassOptions full; // IB + OA + batching
-
-    const double seq = timeOf(*ctx, kernel, 1, 1, none, 256);
+    const auto ladder =
+        compiler::StrategyRegistry::global().fig13Ladder();
+    double seq = 0.0;
+    for (const auto &rung : ladder)
+        if (rung.sequential)
+            seq = bench::timeOf(*ctx, kernel,
+                                bench::strategyConfig(rung, 4),
+                                linkedHw(256));
 
     bench::printHeader("Figure 13: bootstrap keyswitching comparison "
                        "on Cinnamon-4 (speedup over 1-chip sequential)");
     std::printf("%-32s %10s %10s %10s\n", "configuration", "256GB/s",
                 "512GB/s", "1024GB/s");
-    struct Row
-    {
-        const char *name;
-        const compiler::Program *prog;
-        int streams;
-        compiler::KsPassOptions ks;
-    };
-    const Row rows[] = {
-        {"CiFHER", &kernel, 1, cifher},
-        {"Input Broadcast", &kernel, 1, none},
-        {"Input Broadcast + Pass", &kernel, 1, ib_pass},
-        {"Cinnamon Keyswitch + Pass", &kernel, 1, full},
-    };
-    for (const auto &row : rows) {
-        std::printf("%-32s", row.name);
+    for (const auto &rung : ladder) {
+        if (rung.sequential)
+            continue; // the denominator, not a row
+        std::printf("%-32s", rung.display.c_str());
         for (double bw : {256.0, 512.0, 1024.0}) {
-            const double t =
-                timeOf(*ctx, *row.prog, 4, row.streams, row.ks, bw);
+            double t;
+            if (rung.streams > 1) {
+                // The PP rung is a composition, not one compile: the
+                // transforms on all chips, then one EvalMod chain on
+                // chips/streams chips (both under the rung's ks).
+                t = bench::timeOf(
+                        *ctx, kernel_lt,
+                        bench::strategyConfig(rung, 4, 1),
+                        linkedHw(bw)) +
+                    bench::timeOf(
+                        *ctx, kernel_chain,
+                        bench::strategyConfig(rung, 2, 1),
+                        linkedHw(bw));
+            } else {
+                t = bench::timeOf(*ctx, kernel,
+                                  bench::strategyConfig(rung, 4),
+                                  linkedHw(bw));
+            }
             std::printf(" %10.2f", seq / t);
         }
         std::printf("\n");
     }
-    std::printf("%-32s", "+ Program Parallelism");
-    for (double bw : {256.0, 512.0, 1024.0}) {
-        const double t = timeOf(*ctx, kernel_lt, 4, 1, full, bw) +
-                         timeOf(*ctx, kernel_chain, 2, 1, full, bw);
-        std::printf(" %10.2f", seq / t);
-    }
-    std::printf("\n");
     std::printf("(sequential 1-chip baseline: %.3f ms)\n", seq * 1e3);
     return 0;
 }

@@ -10,7 +10,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "compiler/lowering.h"
 #include "parallel/keyswitch.h"
 #include "sim/simulator.h"
 #include "workloads/kernels.h"
@@ -25,17 +24,16 @@ main()
     const auto shape = BootstrapShape::bootstrap13();
     auto kernel = bootstrapKernel(*ctx, shape);
 
-    auto build = [&](compiler::KsAlgo algo, bool batching) {
-        compiler::CompilerConfig cfg;
-        cfg.chips = 4;
-        cfg.ks.default_algo = algo;
-        cfg.ks.enable_batching = batching;
-        compiler::Compiler comp(*ctx, cfg);
-        return comp.compile(kernel);
-    };
-
-    auto cinnamon_prog = build(compiler::KsAlgo::InputBroadcast, true);
-    auto cifher_prog = build(compiler::KsAlgo::Cifher, true);
+    // Both sides of the comparison are registry strategies: the full
+    // Cinnamon pass vs the CiFHER decomposition with the same
+    // batching pass enabled.
+    const auto &registry = compiler::StrategyRegistry::global();
+    auto cinnamon_prog = bench::compileWith(
+        *ctx, kernel,
+        bench::strategyConfig(registry.at("cinnamon-ks"), 4));
+    auto cifher_prog = bench::compileWith(
+        *ctx, kernel,
+        bench::strategyConfig(registry.at("cifher-pass"), 4));
 
     sim::HardwareConfig hw = bench::cinnamonHw(4);
     auto cinn = sim::simulate(cinnamon_prog.machine, hw);

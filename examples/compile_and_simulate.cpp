@@ -9,6 +9,7 @@
  *
  *   build/examples/compile_and_simulate [--trace FILE.trace.json]
  *                                       [--dump-ir STAGE]
+ *                                       [--strategy NAME]
  *
  * With --trace, the 4-chip simulation additionally dumps a per-chip,
  * per-functional-unit instruction timeline as Chrome trace-event
@@ -20,6 +21,10 @@
  * annotated polynomial IR, limb = the placed limb IR, isa = the
  * emitted machine program) to stdout — the quickest way to see what
  * each pipeline pass actually did to the program.
+ *
+ * With --strategy, the compiler uses the named registry strategy's
+ * keyswitch configuration instead of the defaults — run with an
+ * unknown name to list the registry.
  */
 
 #include <cstdio>
@@ -28,6 +33,7 @@
 
 #include "common/trace.h"
 #include "compiler/lowering.h"
+#include "compiler/strategy.h"
 #include "compiler/runtime.h"
 #include "exec/backend.h"
 #include "fhe/evaluator.h"
@@ -41,6 +47,7 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     std::string dump_stage;
+    std::string strategy;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
@@ -49,6 +56,19 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--dump-ir") == 0 &&
                    i + 1 < argc) {
             dump_stage = argv[++i];
+        } else if (std::strcmp(argv[i], "--strategy") == 0 &&
+                   i + 1 < argc) {
+            strategy = argv[++i];
+            const auto &registry =
+                compiler::StrategyRegistry::global();
+            if (registry.find(strategy) == nullptr) {
+                std::fprintf(stderr, "unknown strategy '%s'; valid:",
+                             strategy.c_str());
+                for (const auto &name : registry.names())
+                    std::fprintf(stderr, " %s", name.c_str());
+                std::fprintf(stderr, "\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return 2;
@@ -87,6 +107,13 @@ main(int argc, char **argv)
     cfg.chips = 4;
     cfg.num_streams = 2;
     cfg.phys_regs = 64;
+    cfg.strategy = strategy;
+    if (!strategy.empty())
+        std::printf("compiling with strategy '%s' (%s)\n",
+                    strategy.c_str(),
+                    compiler::StrategyRegistry::global()
+                        .at(strategy)
+                        .display.c_str());
     compiler::Compiler comp(ctx, cfg);
     if (!dump_stage.empty()) {
         comp.setDumpHandler([&](const std::string &stage,

@@ -14,10 +14,19 @@
  *   build/examples/serve_demo [--requests N] [--workers W]
  *       [--chips C] [--group G] [--queue Q] [--dilation D]
  *       [--batch-max-streams K] [--batch-linger-ms MS]
+ *       [--autotune] [--strategy NAME] [--tuner-json FILE]
  *       [--trace FILE.trace.json] [--bench-json FILE]
  *       [--fault-seed S] [--chip-mtbf M] [--transient-p P]
  *       [--link-p P] [--link-dilation X] [--repair-ms MS]
  *       [--min-completion R]
+ *
+ * --autotune lets the PlanTuner pick the compile strategy and stream
+ * split per workload (both runs tune identically, so the
+ * bit-identity gate also checks the tuner's determinism);
+ * --strategy forces one named StrategyRegistry entry instead
+ * (unknown names are rejected with the registry's list).
+ * --tuner-json writes every catalog workload's tuned-vs-default
+ * simulated seconds for scripts/check_bench.py --tuner.
  *
  * --batch-max-streams K > 1 turns on continuous cross-request
  * batching for the pooled run: compatible queued requests coalesce
@@ -53,7 +62,9 @@
 #include <string>
 #include <vector>
 
+#include "compiler/strategy.h"
 #include "serve/server.h"
+#include "serve/tuner.h"
 
 using namespace cinnamon;
 using namespace cinnamon::serve;
@@ -72,6 +83,9 @@ struct DemoConfig
     double batch_linger_ms = 2.0;
     std::string trace_path;  ///< empty = no trace dump
     std::string bench_json_path; ///< empty = no bench dump
+    bool autotune = false;       ///< PlanTuner picks the plan
+    std::string strategy;        ///< forced strategy ("" = default)
+    std::string tuner_json_path; ///< empty = no tuner dump
 
     // Fault injection (all layers disabled by default).
     uint64_t fault_seed = 0;
@@ -131,6 +145,25 @@ parseArgs(int argc, char **argv)
         else if (std::strcmp(argv[i], "--bench-json") == 0 &&
                  i + 1 < argc)
             cfg.bench_json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--autotune") == 0)
+            cfg.autotune = true;
+        else if (std::strcmp(argv[i], "--strategy") == 0 &&
+                 i + 1 < argc) {
+            cfg.strategy = argv[++i];
+            const auto &registry =
+                compiler::StrategyRegistry::global();
+            if (registry.find(cfg.strategy) == nullptr) {
+                std::fprintf(stderr,
+                             "unknown strategy '%s'; valid:",
+                             cfg.strategy.c_str());
+                for (const auto &name : registry.names())
+                    std::fprintf(stderr, " %s", name.c_str());
+                std::fprintf(stderr, "\n");
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--tuner-json") == 0 &&
+                   i + 1 < argc)
+            cfg.tuner_json_path = argv[++i];
         else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             std::exit(2);
@@ -173,6 +206,12 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
         opt.batch_max_streams = cfg.batch_max_streams;
         opt.batch_linger_ms = cfg.batch_linger_ms;
     }
+    // Both the serial baseline and the pooled run share the plan
+    // settings: a strategy changes output ciphertext bits (different
+    // digit decompositions), so the bit-identity gate is only
+    // meaningful when both sides compile the same plans.
+    opt.autotune = cfg.autotune;
+    opt.strategy = cfg.strategy;
     opt.trace = !trace_path.empty();
     opt.faults.seed = cfg.fault_seed;
     opt.faults.chip_mtbf_requests = cfg.chip_mtbf;
@@ -258,6 +297,53 @@ writeBenchJson(const std::string &path, const ServeStats &stats,
     return true;
 }
 
+/**
+ * Tuner dump for scripts/check_bench.py --tuner: every catalog
+ * workload's tuned decision vs the default plan, computed through a
+ * fresh PlanTuner on the exact (group chips, hardware) point the
+ * server tunes on. Simulated seconds are deterministic, so the gate
+ * can pin exact strategies, and tuned <= default holds by
+ * construction (the default plan is itself a candidate).
+ */
+bool
+writeTunerJson(const std::string &path, const fhe::CkksContext &ctx,
+               const DemoConfig &cfg)
+{
+    WorkloadCatalog catalog(ctx);
+    workloads::BenchmarkRunner runner(ctx);
+    PlanTuner tuner(runner);
+    sim::HardwareConfig hw = ServeOptions().hw;
+    hw.n = ctx.n();
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n  \"tuner\": [\n");
+    const Workload workloads[] = {
+        Workload::Bootstrap, Workload::ResNet, Workload::Helr,
+        Workload::Bert, Workload::Keyswitch};
+    bool first = true;
+    for (Workload w : workloads) {
+        const TunedPlan &plan =
+            tuner.plan(catalog.benchmark(w), cfg.group, hw);
+        std::fprintf(f,
+                     "%s    {\"workload\": \"%s\", "
+                     "\"strategy\": \"%s\", \"group\": %zu, "
+                     "\"streams\": %zu, \"tuned_seconds\": %.9f, "
+                     "\"default_seconds\": %.9f, "
+                     "\"candidates\": %zu}",
+                     first ? "" : ",\n", workloadName(w),
+                     plan.strategy.c_str(), plan.group, plan.streams,
+                     plan.tuned_seconds, plan.default_seconds,
+                     plan.candidates);
+        first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("  (wrote tuner decisions to %s)\n", path.c_str());
+    return true;
+}
+
 } // namespace
 
 int
@@ -296,6 +382,12 @@ main(int argc, char **argv)
                         pooled_responses)) {
         std::fprintf(stderr, "failed to write bench json to %s\n",
                      cfg.bench_json_path.c_str());
+        return 1;
+    }
+    if (!cfg.tuner_json_path.empty() &&
+        !writeTunerJson(cfg.tuner_json_path, ctx, cfg)) {
+        std::fprintf(stderr, "failed to write tuner json to %s\n",
+                     cfg.tuner_json_path.c_str());
         return 1;
     }
 

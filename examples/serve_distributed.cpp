@@ -9,9 +9,17 @@
  *   build/examples/serve_distributed [--requests N] [--workers W]
  *       [--group G] [--queue Q] [--dilation D] [--port P]
  *       [--batch-max-streams K] [--batch-linger-ms MS]
+ *       [--autotune] [--strategy NAME]
  *       [--kill-worker-after K] [--respawn]
  *       [--fault-seed S] [--chip-mtbf M] [--transient-p P]
  *       [--conn-drop-p P] [--min-completion R]
+ *
+ * --autotune turns on the PlanTuner in the in-process baseline AND
+ * in every worker process: the decision is a pure function of
+ * (workload, hardware), both sides log the same `[tuner]` lines, and
+ * digest gate 1 below verifies the tuned plans produce bit-identical
+ * outputs across process boundaries. --strategy forces one named
+ * registry strategy on both sides instead.
  *
  * --batch-max-streams K > 1 turns on continuous cross-request
  * batching at the front-end: compatible queued requests ride one
@@ -55,6 +63,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "compiler/strategy.h"
 #include "serve/remote/frontend.h"
 #include "serve/remote/supervisor.h"
 #include "serve/remote/worker.h"
@@ -75,6 +84,8 @@ struct DemoConfig
     uint16_t port = 0;      ///< 0 = OS-assigned
     std::size_t batch_max_streams = 1; ///< 1 = unbatched dispatch
     double batch_linger_ms = 2.0;
+    bool autotune = false; ///< PlanTuner on both sides
+    std::string strategy;  ///< forced strategy ("" = default)
 
     /** SIGKILL one worker after this many completions; 0 = never. */
     std::size_t kill_after = 0;
@@ -137,7 +148,23 @@ parseArgs(int argc, char **argv)
             cfg.worker_id = static_cast<uint64_t>(v);
         else if (std::strcmp(argv[i], "--respawn") == 0)
             cfg.respawn = true;
-        else if (std::strcmp(argv[i], "--role") == 0 &&
+        else if (std::strcmp(argv[i], "--autotune") == 0)
+            cfg.autotune = true;
+        else if (std::strcmp(argv[i], "--strategy") == 0 &&
+                 i + 1 < argc) {
+            cfg.strategy = argv[++i];
+            const auto &registry =
+                compiler::StrategyRegistry::global();
+            if (registry.find(cfg.strategy) == nullptr) {
+                std::fprintf(stderr,
+                             "unknown strategy '%s'; valid:",
+                             cfg.strategy.c_str());
+                for (const auto &name : registry.names())
+                    std::fprintf(stderr, " %s", name.c_str());
+                std::fprintf(stderr, "\n");
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--role") == 0 &&
                  i + 1 < argc) {
             cfg.worker_role = std::strcmp(argv[++i], "worker") == 0;
         } else {
@@ -194,6 +221,8 @@ runWorkerRole(const DemoConfig &cfg)
     opt.group_size = cfg.group;
     opt.time_dilation = cfg.dilation;
     opt.faults = faultConfig(cfg);
+    opt.autotune = cfg.autotune;
+    opt.strategy = cfg.strategy;
     return remote::runWorker(ctx, opt);
 }
 
@@ -207,6 +236,8 @@ runBaseline(const fhe::CkksContext &ctx, const DemoConfig &cfg)
     opt.workers = cfg.workers;
     opt.queue_capacity = cfg.queue;
     opt.time_dilation = cfg.dilation;
+    opt.autotune = cfg.autotune;
+    opt.strategy = cfg.strategy;
     Server server(ctx, opt);
     server.start();
     for (std::size_t i = 0; i < cfg.requests; ++i)
@@ -227,7 +258,7 @@ workerArgv(const DemoConfig &cfg, uint16_t port, uint64_t worker_id)
         std::snprintf(buf, sizeof(buf), "%.9g", v);
         return std::string(buf);
     };
-    return {
+    std::vector<std::string> args = {
         "/proc/self/exe",
         "--role", "worker",
         "--port", std::to_string(port),
@@ -239,6 +270,13 @@ workerArgv(const DemoConfig &cfg, uint16_t port, uint64_t worker_id)
         "--transient-p", s(cfg.transient_p),
         "--conn-drop-p", s(cfg.conn_drop_p),
     };
+    if (cfg.autotune)
+        args.push_back("--autotune");
+    if (!cfg.strategy.empty()) {
+        args.push_back("--strategy");
+        args.push_back(cfg.strategy);
+    }
+    return args;
 }
 
 } // namespace

@@ -17,11 +17,18 @@ noise, tight enough to catch a real slowdown).
                             `plan_cache_hit_rate_min`) — in steady
                             state the plan cache must make the median
                             compile free and serve most lookups.
+  tuner.json                written by `serve_demo --tuner-json`;
+                            simulated seconds are deterministic, so
+                            the autotuner's decisions (strategy,
+                            group, streams) must match the baseline
+                            exactly and the tuned plan must never be
+                            slower than the default plan.
 
 Usage:
   scripts/check_bench.py --emulator-throughput emulator_throughput.json \
                          --compile-time compile_time.json \
                          --serve-plan-cache serve_bench.json \
+                         --tuner tuner.json \
                          [--baseline-dir bench/baselines] \
                          [--threshold 0.25] [--refresh]
 
@@ -130,11 +137,58 @@ def check_serve_plan_cache(current, baseline, threshold, failures):
             f"{hit_min:.1%}")
 
 
+def check_tuner(current, baseline, threshold, failures):
+    """The autotuner runs on the deterministic simulator, so its
+    decisions are exactly reproducible: every workload's winning
+    (strategy, group, streams) must equal the committed baseline, the
+    tuned time must never exceed the default time (the default plan is
+    always a candidate), and the simulated seconds must agree with the
+    baseline to float-printing precision (threshold is unused)."""
+    del threshold
+    base_by_wl = {e["workload"]: e for e in baseline["tuner"]}
+    seen = set()
+    for entry in current["tuner"]:
+        wl = entry["workload"]
+        seen.add(wl)
+        base = base_by_wl.get(wl)
+        if base is None:
+            failures.append(f"tuner {wl}: not in baseline (refresh "
+                            f"and commit bench/baselines/tuner.json)")
+            continue
+        problems = []
+        for field in ("strategy", "group", "streams"):
+            if entry[field] != base[field]:
+                problems.append(
+                    f"{field} {entry[field]!r} != baseline "
+                    f"{base[field]!r}")
+        if entry["tuned_seconds"] > entry["default_seconds"] + 1e-12:
+            problems.append(
+                f"tuned {entry['tuned_seconds']:.9f}s slower than "
+                f"default {entry['default_seconds']:.9f}s")
+        for field in ("tuned_seconds", "default_seconds"):
+            if abs(entry[field] - base[field]) > 1e-9:
+                problems.append(
+                    f"{field} {entry[field]:.9f} drifted from "
+                    f"baseline {base[field]:.9f}")
+        status = "FAIL" if problems else "ok"
+        print(f"  [{status}] tuner {wl}: {entry['strategy']} "
+              f"group={entry['group']} streams={entry['streams']} "
+              f"tuned={entry['tuned_seconds']:.9f}s "
+              f"default={entry['default_seconds']:.9f}s")
+        for p in problems:
+            failures.append(f"tuner {wl}: {p}")
+    for wl in base_by_wl:
+        if wl not in seen:
+            failures.append(f"tuner {wl}: present in baseline but "
+                            f"missing from current run")
+
+
 def refresh(args):
     os.makedirs(args.baseline_dir, exist_ok=True)
     for name, path in (
         ("emulator_throughput.json", args.emulator_throughput),
         ("compile_time.json", args.compile_time),
+        ("tuner.json", args.tuner),
     ):
         if path is None:
             continue
@@ -158,6 +212,8 @@ def main():
                         help="current compile_time.json")
     parser.add_argument("--serve-plan-cache",
                         help="current serve_demo --bench-json output")
+    parser.add_argument("--tuner",
+                        help="current serve_demo --tuner-json output")
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated slowdown fraction")
@@ -166,9 +222,10 @@ def main():
     args = parser.parse_args()
 
     if (args.emulator_throughput is None and args.compile_time is None
-            and args.serve_plan_cache is None):
+            and args.serve_plan_cache is None and args.tuner is None):
         parser.error("nothing to do: pass --emulator-throughput, "
-                     "--compile-time, and/or --serve-plan-cache")
+                     "--compile-time, --serve-plan-cache, and/or "
+                     "--tuner")
     if args.refresh:
         refresh(args)
         return 0
@@ -180,6 +237,7 @@ def main():
         ("compile_time.json", args.compile_time, check_compile_time),
         ("serve_plan_cache.json", args.serve_plan_cache,
          check_serve_plan_cache),
+        ("tuner.json", args.tuner, check_tuner),
     )
     for name, path, check in checks:
         if path is None:

@@ -73,6 +73,11 @@ struct CompilerConfig
     std::size_t chips = 4;        ///< total chips in the machine
     int num_streams = 1;          ///< chip groups (program parallelism)
     KsPassOptions ks;             ///< keyswitch pass options
+    /** Named strategy from the StrategyRegistry. When non-empty the
+     *  compiler resolves it and overrides `ks` with the registry
+     *  entry's options (unknown names throw); empty keeps the
+     *  explicit `ks` above. Part of the cache key either way. */
+    std::string strategy;
     std::size_t phys_regs = 224;  ///< register file limbs per chip
     bool allocate = true;         ///< run register allocation
     EvictionPolicy regalloc_policy = EvictionPolicy::Belady;

@@ -10,6 +10,7 @@
 #include "compiler/pass.h"
 #include "compiler/poly_ir.h"
 #include "compiler/regalloc.h"
+#include "compiler/strategy.h"
 
 namespace cinnamon::compiler {
 
@@ -169,6 +170,7 @@ cacheKeyOf(const CompilerConfig &config)
     key << "chips=" << config.chips
         << ":streams=" << config.num_streams
         << ":ks=" << cacheKeyOf(config.ks)
+        << ":strat=" << config.strategy
         << ":regs=" << config.phys_regs
         << ":alloc=" << config.allocate
         << ":policy=" << static_cast<int>(config.regalloc_policy);
@@ -266,6 +268,12 @@ Compiler::compile(const Program &program)
     CINN_FATAL_UNLESS(config_.num_streams >= 1 &&
                           config_.chips % config_.num_streams == 0,
                       "chips must divide evenly among streams");
+    // A named strategy is resolved here, once, so every consumer —
+    // benches, serving tier, distributed workers — compiles with the
+    // registry entry's exact ks option bytes. Unknown names throw
+    // with the registry's list.
+    if (!config_.strategy.empty())
+        config_.ks = StrategyRegistry::global().at(config_.strategy).ks;
 
     PassContext pcx;
     pcx.ctx = ctx_;

@@ -1,0 +1,125 @@
+#include "compiler/strategy.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cinnamon::compiler {
+
+namespace {
+
+KsPassOptions
+ksOptions(bool batching, bool output_aggregation, KsAlgo algo)
+{
+    KsPassOptions ks;
+    ks.enable_batching = batching;
+    ks.enable_output_aggregation = output_aggregation;
+    ks.default_algo = algo;
+    return ks;
+}
+
+} // namespace
+
+StrategyRegistry::StrategyRegistry()
+{
+    // The Figure 13 ladder, bottom rung first. The ks option bytes of
+    // each rung are exactly what the benches used to hand-build, so
+    // rung outputs are byte-identical across the refactor.
+    add({"sequential", "Sequential",
+         "single-chip baseline: no parallel keyswitching at all",
+         ksOptions(false, true, KsAlgo::InputBroadcast),
+         /*streams=*/1, /*sequential=*/true, /*fig13_rung=*/0});
+    add({"cifher", "CiFHER",
+         "CiFHER-style limb-parallel decomposition, no batching pass",
+         ksOptions(false, true, KsAlgo::Cifher),
+         /*streams=*/1, /*sequential=*/false, /*fig13_rung=*/1});
+    add({"input-broadcast", "Input Broadcast",
+         "input-broadcast keyswitching, no batching pass",
+         ksOptions(false, true, KsAlgo::InputBroadcast),
+         /*streams=*/1, /*sequential=*/false, /*fig13_rung=*/2});
+    add({"ib-pass", "Input Broadcast + Pass",
+         "input-broadcast keyswitching with hoisted-broadcast "
+         "batching",
+         ksOptions(true, false, KsAlgo::InputBroadcast),
+         /*streams=*/1, /*sequential=*/false, /*fig13_rung=*/3});
+    add({"cinnamon-ks", "Cinnamon Keyswitch + Pass",
+         "full Cinnamon pass: IB hoisting + output-aggregation trees",
+         ksOptions(true, true, KsAlgo::InputBroadcast),
+         /*streams=*/1, /*sequential=*/false, /*fig13_rung=*/4});
+    add({"cinnamon-ks-pp", "+ Program Parallelism",
+         "Cinnamon keyswitch pass plus two program-level streams",
+         ksOptions(true, true, KsAlgo::InputBroadcast),
+         /*streams=*/2, /*sequential=*/false, /*fig13_rung=*/5});
+    // Off-ladder: Section 7.4's empirical point — the CiFHER
+    // decomposition *with* the batching pass enabled.
+    add({"cifher-pass", "CiFHER + Pass",
+         "CiFHER decomposition with the Cinnamon batching pass",
+         ksOptions(true, true, KsAlgo::Cifher),
+         /*streams=*/1, /*sequential=*/false, /*fig13_rung=*/-1});
+}
+
+StrategyRegistry &
+StrategyRegistry::global()
+{
+    static StrategyRegistry registry;
+    return registry;
+}
+
+const CompileStrategy *
+StrategyRegistry::find(const std::string &name) const
+{
+    for (const auto &s : entries_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+const CompileStrategy &
+StrategyRegistry::at(const std::string &name) const
+{
+    if (const CompileStrategy *s = find(name))
+        return *s;
+    std::ostringstream os;
+    os << "unknown compile strategy '" << name << "'; valid:";
+    for (const auto &s : entries_)
+        os << " " << s.name;
+    throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string>
+StrategyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &s : entries_)
+        out.push_back(s.name);
+    return out;
+}
+
+std::vector<CompileStrategy>
+StrategyRegistry::fig13Ladder() const
+{
+    std::vector<CompileStrategy> ladder;
+    for (const auto &s : entries_)
+        if (s.fig13_rung >= 0)
+            ladder.push_back(s);
+    std::sort(ladder.begin(), ladder.end(),
+              [](const CompileStrategy &a, const CompileStrategy &b) {
+                  return a.fig13_rung < b.fig13_rung;
+              });
+    return ladder;
+}
+
+void
+StrategyRegistry::add(CompileStrategy strategy)
+{
+    if (strategy.name.empty())
+        throw std::invalid_argument(
+            "strategy name must be non-empty");
+    if (find(strategy.name) != nullptr)
+        throw std::invalid_argument("duplicate compile strategy '" +
+                                    strategy.name + "'");
+    entries_.push_back(std::move(strategy));
+}
+
+} // namespace cinnamon::compiler

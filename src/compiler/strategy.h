@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Named compile strategies (DESIGN.md §6).
+ *
+ * A CompileStrategy bundles the knobs that used to be hand-assembled
+ * at every call site — keyswitch pass options plus the program-level
+ * parallelism hint — under a stable name. The built-in entries are
+ * exactly the Figure 13 ladder rungs (sequential, CiFHER,
+ * input-broadcast, IB + pass, Cinnamon KS, + program parallelism)
+ * plus the Section 7.4 CiFHER-with-pass point, so benchmarks
+ * enumerate the registry instead of duplicating config-building
+ * code, and the serving tier's PlanTuner can evaluate every rung as
+ * a candidate plan.
+ *
+ * Strategies are identity, not behavior: resolving a name yields the
+ * same KsPassOptions bytes everywhere (compiler, benches, server,
+ * distributed workers), which is what keeps autotuned distributed
+ * digests bit-identical to in-process runs.
+ */
+
+#ifndef CINNAMON_COMPILER_STRATEGY_H_
+#define CINNAMON_COMPILER_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "compiler/ks_pass.h"
+
+namespace cinnamon::compiler {
+
+/** One named point in the keyswitch/parallelism strategy space. */
+struct CompileStrategy
+{
+    std::string name;        ///< stable registry key ("cinnamon-ks")
+    /** Human label ("Cinnamon Keyswitch + Pass"). */
+    std::string display;
+    std::string description; ///< one-line summary for --help output
+    KsPassOptions ks;        ///< the keyswitch pass configuration
+    /** Program-parallelism hint: preferred stream count (chip
+     *  groups).
+     *  Benchmarks honor it; the tuner explores streams on its own. */
+    int streams = 1;
+    /** Single-chip rung: compile for 1 chip regardless of machine. */
+    bool sequential = false;
+    /** Position in the Figure 13 ladder; -1 = not a fig13 rung. */
+    int fig13_rung = -1;
+};
+
+/**
+ * The process-wide strategy table. Iteration follows registration
+ * order; the built-ins are registered on first access, fig13 rungs
+ * first (in ladder order).
+ */
+class StrategyRegistry
+{
+  public:
+    /** The singleton instance (built-ins already registered). */
+    static StrategyRegistry &global();
+
+    /** All strategies, in registration order. */
+    const std::vector<CompileStrategy> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Look up by name; nullptr when unknown. */
+    const CompileStrategy *find(const std::string &name) const;
+
+    /**
+     * Look up by name; throws std::invalid_argument listing every
+     * valid name when unknown — callers surface it verbatim so users
+     * see the registry's contents.
+     */
+    const CompileStrategy &at(const std::string &name) const;
+
+    /** Every registered name, registration order, for diagnostics. */
+    std::vector<std::string> names() const;
+
+    /** The fig13 ladder: entries with fig13_rung >= 0, rung order. */
+    std::vector<CompileStrategy> fig13Ladder() const;
+
+    /**
+     * Register a strategy (tests / future heterogeneous-machine
+     * scenarios). Throws std::invalid_argument on duplicate names.
+     */
+    void add(CompileStrategy strategy);
+
+  private:
+    StrategyRegistry();
+
+    std::vector<CompileStrategy> entries_;
+};
+
+} // namespace cinnamon::compiler
+
+#endif // CINNAMON_COMPILER_STRATEGY_H_

@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "compiler/strategy.h"
 #include "exec/backend.h"
 #include "fhe/encoder.h"
 #include "net/message.h"
@@ -19,6 +20,7 @@
 #include "serve/catalog.h"
 #include "serve/plan_cache.h"
 #include "serve/request.h"
+#include "serve/tuner.h"
 #include "workloads/benchmarks.h"
 
 namespace cinnamon::serve::remote {
@@ -46,6 +48,7 @@ struct WorkerState
     WorkloadCatalog catalog;
     workloads::BenchmarkRunner runner;
     PlanCache plans; ///< serving-tier compiled-plan cache
+    PlanTuner tuner; ///< autotuned plan decisions (pure function)
     fhe::Encoder encoder;
     std::unique_ptr<faults::FaultPlan> fault_plan;
 
@@ -56,7 +59,8 @@ struct WorkerState
     uint64_t completed = 0;
 
     WorkerState(const fhe::CkksContext &c, const WorkerOptions &o)
-        : ctx(&c), opt(o), catalog(c), runner(c), plans(c), encoder(c)
+        : ctx(&c), opt(o), catalog(c), runner(c), plans(c),
+          tuner(runner), encoder(c)
     {
         opt.hw.n = c.n();
         if (opt.faults.enabled())
@@ -72,6 +76,42 @@ struct WorkerState
         return sock.sendAll(bytes.data(), bytes.size());
     }
 };
+
+/**
+ * The execution plan a workload runs under — byte-for-byte the
+ * in-process Server::planFor: forced strategy, autotuned winner, or
+ * the default config. Decided on the undilated hardware model so
+ * injected link degradation can never change what gets compiled.
+ */
+struct PlanChoice
+{
+    std::string strategy;       ///< "" = default compile config
+    compiler::KsPassOptions ks; ///< keyswitch options of the plan
+    std::size_t sim_group = 0;  ///< chips per stream, sim timing
+};
+
+PlanChoice
+planChoiceFor(WorkerState &state, Workload workload)
+{
+    PlanChoice choice;
+    choice.sim_group = state.opt.group_size;
+    if (!state.opt.strategy.empty()) {
+        const auto &strat = compiler::StrategyRegistry::global().at(
+            state.opt.strategy);
+        choice.strategy = strat.name;
+        choice.ks = strat.ks;
+    } else if (state.opt.autotune) {
+        const auto &bench = state.catalog.benchmark(workload);
+        const TunedPlan &plan = state.tuner.plan(
+            bench, state.opt.group_size, state.opt.hw);
+        const auto &strat =
+            compiler::StrategyRegistry::global().at(plan.strategy);
+        choice.strategy = strat.name;
+        choice.ks = strat.ks;
+        choice.sim_group = plan.group;
+    }
+    return choice;
+}
 
 /**
  * Execute one request exactly the way Server::process does, minus
@@ -107,6 +147,7 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
 
     const auto workload = static_cast<Workload>(submit.workload);
     try {
+        const PlanChoice choice = planChoiceFor(state, workload);
         {
             sim::HardwareConfig hw = state.opt.hw;
             if (fault.link_dilation > 1.0) {
@@ -117,8 +158,8 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
             }
             const auto &bench = state.catalog.benchmark(workload);
             const auto timing = state.runner.run(
-                bench, state.opt.group_size, hw,
-                state.opt.group_size);
+                bench, state.opt.group_size, hw, choice.sim_group,
+                choice.ks);
             result.sim_seconds = timing.seconds;
             result.compile_ms = timing.compile_ms;
         }
@@ -139,6 +180,7 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
             cfg.chips = state.opt.group_size;
             cfg.num_streams = 1;
             cfg.phys_regs = state.opt.hw.phys_regs;
+            cfg.strategy = choice.strategy;
             const auto &compiled = state.plans.get(
                 state.catalog.probe(), cfg, &probe_compile_ms);
             result.compile_ms += probe_compile_ms;
@@ -223,6 +265,8 @@ executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
     const auto workload = static_cast<Workload>(submit.workload);
     std::size_t fault_member = k; // k = no chip fault in the batch
     try {
+        // One plan for the whole batch (members share a workload).
+        const PlanChoice choice = planChoiceFor(state, workload);
         // Per-member sim timing (first member compiles, rest hit the
         // shared cache; the members run concurrently on the batched
         // program, so each reports its own stream's seconds).
@@ -235,7 +279,7 @@ executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
             const auto &bench = state.catalog.benchmark(workload);
             const auto timing =
                 state.runner.run(bench, state.opt.group_size, hw,
-                                 state.opt.group_size);
+                                 choice.sim_group, choice.ks);
             results[i].sim_seconds = timing.seconds;
             results[i].compile_ms = timing.compile_ms;
         }
@@ -257,6 +301,7 @@ executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
             cfg.chips = k * state.opt.group_size;
             cfg.num_streams = static_cast<int>(k);
             cfg.phys_regs = state.opt.hw.phys_regs;
+            cfg.strategy = choice.strategy;
             const auto &plan = state.plans.get(
                 state.catalog.batchedProbe(k), cfg, &probe_compile_ms);
             std::vector<uint64_t> seeds;

@@ -35,6 +35,7 @@
 #define CINNAMON_SERVE_REMOTE_WORKER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "faults/fault_plan.h"
 #include "fhe/params.h"
@@ -65,6 +66,15 @@ struct WorkerOptions
     sim::HardwareConfig hw; ///< per-chip model (hw.n set from ctx)
     /** Deterministic fault schedule (same semantics as ServeOptions). */
     faults::FaultConfig faults;
+    /**
+     * Autotune the execution plan per workload (same semantics as
+     * ServeOptions::autotune). The worker's PlanTuner sees the same
+     * (workload, hardware) inputs as the in-process server's, so both
+     * sides compute identical decisions — and identical digests.
+     */
+    bool autotune = false;
+    /** Force one named registry strategy ("" = default config). */
+    std::string strategy;
 };
 
 /**

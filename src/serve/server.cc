@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "compiler/runtime.h"
+#include "compiler/strategy.h"
 #include "fhe/evaluator.h"
 
 namespace cinnamon::serve {
@@ -36,6 +37,7 @@ Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
     catalog_ = std::make_unique<WorkloadCatalog>(ctx);
     runner_ = std::make_unique<workloads::BenchmarkRunner>(ctx);
     plans_ = std::make_unique<PlanCache>(ctx);
+    tuner_ = std::make_unique<PlanTuner>(*runner_);
     queue_ = std::make_unique<RequestQueue>(options_.queue_capacity);
     scheduler_ = std::make_unique<ChipGroupScheduler>(
         options_.chips, options_.group_size);
@@ -438,6 +440,9 @@ Server::processBatch(std::vector<Request> batch, std::size_t worker)
         // Per-member sim timing on its own group (shared cache: the
         // first member of a kind compiles, the rest hit). A member
         // with a degraded link times under the dilated config.
+        // One plan for the whole batch: batch compatibility requires
+        // a shared workload, so every member gets the same choice.
+        const PlanChoice choice = planFor(members[0].req.workload);
         {
             ScopedSpan s(trace, "simulate", "serve", kServerPid, tid);
             s.arg("members", static_cast<double>(k));
@@ -449,7 +454,7 @@ Server::processBatch(std::vector<Request> batch, std::size_t worker)
                     catalog_->benchmark(m.req.workload);
                 const auto timing =
                     runner_->run(bench, options_.group_size, hw,
-                                 options_.group_size);
+                                 choice.sim_group, choice.ks);
                 m.resp.sim_seconds = timing.seconds;
                 m.resp.compile_ms = timing.compile_ms;
             }
@@ -468,6 +473,7 @@ Server::processBatch(std::vector<Request> batch, std::size_t worker)
             cfg.chips = k * options_.group_size;
             cfg.num_streams = static_cast<int>(k);
             cfg.phys_regs = options_.hw.phys_regs;
+            cfg.strategy = choice.strategy;
             const auto &plan = plans_->get(catalog_->batchedProbe(k),
                                            cfg, &probe_compile_ms);
             std::vector<uint64_t> seeds;
@@ -721,6 +727,7 @@ Server::process(const Request &request, std::size_t worker)
         // the first request of a kind compiles, the rest hit). A
         // degraded link stretches every collective in the timing
         // model; the dilated config has its own cache key.
+        const PlanChoice choice = planFor(request.workload);
         {
             auto s = span("simulate");
             sim::HardwareConfig hw = options_.hw;
@@ -731,7 +738,7 @@ Server::process(const Request &request, std::size_t worker)
             const auto &bench = catalog_->benchmark(request.workload);
             const auto timing =
                 runner_->run(bench, options_.group_size, hw,
-                             options_.group_size);
+                             choice.sim_group, choice.ks);
             resp.sim_seconds = timing.seconds;
             resp.compile_ms = timing.compile_ms;
         }
@@ -745,7 +752,8 @@ Server::process(const Request &request, std::size_t worker)
             resp.output_hash =
                 runProbe(request, options_.group_size,
                          &resp.compile_ms,
-                         fault.any() ? &fault : nullptr);
+                         fault.any() ? &fault : nullptr,
+                         choice.strategy);
         } else if (fault.chip_fails) {
             throw faults::ChipFailedError(
                 victim, "injected chip failure: chip " +
@@ -850,15 +858,44 @@ Server::process(const Request &request, std::size_t worker)
     return resp;
 }
 
+Server::PlanChoice
+Server::planFor(Workload workload)
+{
+    PlanChoice choice;
+    choice.sim_group = options_.group_size;
+    if (!options_.strategy.empty()) {
+        const auto &strat =
+            compiler::StrategyRegistry::global().at(options_.strategy);
+        choice.strategy = strat.name;
+        choice.ks = strat.ks;
+    } else if (options_.autotune) {
+        // Decide on the *undilated* hardware model: the decision must
+        // be a pure function of (workload, machine) so an injected
+        // link degradation can never change what gets compiled — and
+        // thereby a retried request's digest.
+        const auto &bench = catalog_->benchmark(workload);
+        const TunedPlan &plan =
+            tuner_->plan(bench, options_.group_size, options_.hw);
+        const auto &strat =
+            compiler::StrategyRegistry::global().at(plan.strategy);
+        choice.strategy = strat.name;
+        choice.ks = strat.ks;
+        choice.sim_group = plan.group;
+    }
+    return choice;
+}
+
 uint64_t
 Server::runProbe(const Request &request, std::size_t group_chips,
-                 double *compile_ms, const faults::FaultDecision *fault)
+                 double *compile_ms, const faults::FaultDecision *fault,
+                 const std::string &strategy)
 {
     double probe_compile_ms = 0.0;
     compiler::CompilerConfig cfg;
     cfg.chips = group_chips;
     cfg.num_streams = 1;
     cfg.phys_regs = options_.hw.phys_regs;
+    cfg.strategy = strategy;
     const auto &compiled =
         plans_->get(catalog_->probe(), cfg, &probe_compile_ms);
     if (compile_ms != nullptr)
@@ -907,6 +944,7 @@ Server::stats() const
                                        scheduler_->busySeconds(),
                                        scheduler_->quarantinedMask());
     s.plan_cache = plans_->stats();
+    s.tuner_cache = tuner_->stats();
     s.rejected_full = queue_->rejectedFull();
     s.rejected_closed = queue_->rejectedClosed();
     return s;

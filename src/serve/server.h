@@ -58,6 +58,7 @@
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/stats.h"
+#include "serve/tuner.h"
 #include "workloads/benchmarks.h"
 
 namespace cinnamon::serve {
@@ -134,6 +135,22 @@ struct ServeOptions
      * dispatching anyway (only with batch_max_streams > 1).
      */
     double batch_linger_ms = 2.0;
+    /**
+     * Autotune the execution plan per workload: the PlanTuner
+     * evaluates every registry strategy × stream split on this
+     * machine's hardware model and the winner drives both the sim
+     * timing and the probe's compile config. The decision is a pure
+     * function of (workload, hardware), so distributed digests stay
+     * bit-identical to in-process runs. Ignored when `strategy` is
+     * set.
+     */
+    bool autotune = false;
+    /**
+     * Force one named StrategyRegistry strategy for every request
+     * ("" = the default compile config). Unknown names throw at
+     * request time with the registry's list.
+     */
+    std::string strategy;
 };
 
 class Server
@@ -177,11 +194,26 @@ class Server
     const ChipGroupScheduler &scheduler() const { return *scheduler_; }
     workloads::BenchmarkRunner &runner() { return *runner_; }
     const PlanCache &planCache() const { return *plans_; }
+    const PlanTuner &tuner() const { return *tuner_; }
 
     /** Per-request span recorder (populated when options.trace). */
     const TraceRecorder &trace() const { return trace_; }
 
   private:
+    /**
+     * The execution plan a workload runs under: the forced strategy,
+     * the autotuned winner, or the default config. `strategy` feeds
+     * the probe's CompilerConfig (distinct plan-cache keys per
+     * strategy); `ks`/`sim_group` feed the sim-timing run.
+     */
+    struct PlanChoice
+    {
+        std::string strategy;       ///< "" = default compile config
+        compiler::KsPassOptions ks; ///< keyswitch options of the plan
+        std::size_t sim_group = 0;  ///< chips per stream, sim timing
+    };
+    PlanChoice planFor(Workload workload);
+
     void workerLoop(std::size_t worker);
     Response process(const Request &request, std::size_t worker);
 
@@ -206,13 +238,15 @@ class Server
      */
     uint64_t runProbe(const Request &request, std::size_t group_chips,
                       double *compile_ms = nullptr,
-                      const faults::FaultDecision *fault = nullptr);
+                      const faults::FaultDecision *fault = nullptr,
+                      const std::string &strategy = std::string());
 
     const fhe::CkksContext *ctx_;
     ServeOptions options_;
     std::unique_ptr<WorkloadCatalog> catalog_;
     std::unique_ptr<workloads::BenchmarkRunner> runner_;
     std::unique_ptr<PlanCache> plans_;
+    std::unique_ptr<PlanTuner> tuner_;
     std::unique_ptr<RequestQueue> queue_;
     std::unique_ptr<BatchFormer> batcher_;
     std::unique_ptr<ChipGroupScheduler> scheduler_;

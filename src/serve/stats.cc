@@ -144,6 +144,11 @@ ServeStats::report() const
         line("plan cache: %zu hits / %zu lookups (%.1f%% hit rate)",
              plan_cache.hits, plan_cache.lookups(),
              100.0 * plan_cache.hitRate());
+    if (tuner_cache.lookups() > 0)
+        line("plan tuner: %zu decisions memoized, %zu hits / "
+             "%zu lookups (%.1f%% hit rate)",
+             tuner_cache.misses, tuner_cache.hits,
+             tuner_cache.lookups(), 100.0 * tuner_cache.hitRate());
     if (batched_completed > 0)
         line("batching: %zu of %zu completed rode a shared batch  "
              "occupancy mean %.2f / max %zu streams",

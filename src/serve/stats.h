@@ -74,6 +74,13 @@ struct ServeStats
      * amortized away. Assigned by the owner of the PlanCache.
      */
     CacheStats plan_cache;
+    /**
+     * Plan-tuner decision cache (autotune only). One miss per
+     * distinct (workload, chips, hardware) point ever tuned; every
+     * later request of that kind hits. Assigned by the PlanTuner's
+     * owner.
+     */
+    CacheStats tuner_cache;
 
     // Continuous batching (fromResponses derives these from the
     // per-response batch_streams field).

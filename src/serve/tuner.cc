@@ -1,0 +1,140 @@
+#include "serve/tuner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "compiler/strategy.h"
+#include "cost/cost_model.h"
+
+namespace cinnamon::serve {
+
+namespace {
+
+/** The strategy the untuned serving path compiles with. */
+constexpr const char *kDefaultStrategy = "cinnamon-ks";
+
+/**
+ * Content fingerprint of a benchmark: name plus every phase's kernel
+ * fingerprint and composition numbers. Two benchmarks with equal keys
+ * time identically under every candidate, so they may share a
+ * decision.
+ */
+std::string
+benchKeyOf(const workloads::Benchmark &bench)
+{
+    std::ostringstream key;
+    key << bench.name;
+    for (const auto &phase : bench.phases)
+        key << '|' << phase.name << ':'
+            << compiler::fingerprintOf(*phase.kernel) << ':'
+            << phase.invocations << ':' << phase.parallelism;
+    return key.str();
+}
+
+/** The hardware fields that affect simulated time (the sim cache's
+ *  own key fields, kept in lockstep). */
+std::string
+hwKeyOf(const sim::HardwareConfig &hw)
+{
+    std::ostringstream key;
+    key << hw.lanes << ':' << hw.phys_regs << ':' << hw.hbm_gbs << ':'
+        << hw.link_gbs << ':' << hw.link_dilation << ':'
+        << static_cast<int>(hw.topology) << ':' << hw.n;
+    return key.str();
+}
+
+} // namespace
+
+std::string
+TunedPlan::summary() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "strategy=%s group=%zu streams=%zu "
+                  "sim=%.6fs default=%.6fs energy=%.1fJ "
+                  "(%zu candidates)",
+                  strategy.c_str(), group, streams, tuned_seconds,
+                  default_seconds, energy_j, candidates);
+    return buf;
+}
+
+const TunedPlan &
+PlanTuner::plan(const workloads::Benchmark &bench, std::size_t chips,
+                const sim::HardwareConfig &hw)
+{
+    std::ostringstream key;
+    key << benchKeyOf(bench) << '@' << chips << '@' << hwKeyOf(hw);
+
+    auto &metrics = MetricsRegistry::global();
+    bool computed = false;
+    const TunedPlan &plan = cache_.getOrCompute(key.str(), [&] {
+        computed = true;
+        const auto start = std::chrono::steady_clock::now();
+        const double watts =
+            cost::chipPowerWatts(cost::ChipSpec::cinnamon());
+
+        TunedPlan best;
+        double best_energy = 0.0;
+        // Candidates: every non-sequential single-stream registry
+        // strategy (multi-stream entries are hints for benches; the
+        // tuner explores stream counts itself) × every even split of
+        // the lease into streams. Registry order × ascending stream
+        // count makes first-wins ties deterministic.
+        for (const auto &strat :
+             compiler::StrategyRegistry::global().entries()) {
+            if (strat.sequential || strat.streams != 1)
+                continue;
+            for (std::size_t streams = 1; streams <= chips;
+                 ++streams) {
+                if (chips % streams != 0)
+                    continue;
+                const std::size_t group = chips / streams;
+                const auto timing =
+                    runner_->run(bench, chips, hw, group, strat.ks);
+                // Modeled machine energy: every chip of the lease is
+                // powered for the whole run, busy or idle.
+                const double energy = watts *
+                                      static_cast<double>(chips) *
+                                      timing.seconds;
+                ++best.candidates;
+                if (strat.name == kDefaultStrategy && group == chips)
+                    best.default_seconds = timing.seconds;
+                const bool wins =
+                    best.strategy.empty() ||
+                    timing.seconds < best.tuned_seconds ||
+                    (timing.seconds == best.tuned_seconds &&
+                     energy < best_energy);
+                if (wins) {
+                    best.strategy = strat.name;
+                    best.group = group;
+                    best.streams = streams;
+                    best.tuned_seconds = timing.seconds;
+                    best_energy = energy;
+                }
+            }
+        }
+        best.energy_j = best_energy;
+
+        const double tune_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        metrics.histogram("serve.tuner.tune_ms").observe(tune_ms);
+        metrics.counter("serve.tuner.candidates")
+            .add(static_cast<double>(best.candidates));
+        // The decision line both sides of a digest comparison must
+        // print identically (modulo tune_ms, which is host time).
+        std::printf(
+            "[tuner] %s on %zu chips: %s (tuned in %.1f ms)\n",
+            bench.name.c_str(), chips, best.summary().c_str(),
+            tune_ms);
+        return best;
+    });
+    metrics.counter(computed ? "serve.tuner.miss" : "serve.tuner.hit")
+        .add();
+    return plan;
+}
+
+} // namespace cinnamon::serve

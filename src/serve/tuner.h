@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The serving-tier plan autotuner (DESIGN.md §6).
+ *
+ * A PlanTuner turns the Figure 13 strategy ladder into a serving-time
+ * optimization: for one (benchmark, chips, HardwareConfig) point it
+ * evaluates every candidate CompileStrategy × stream split through
+ * the simulator (via the shared BenchmarkRunner, so every evaluated
+ * candidate lands in — and later serves from — the compile/sim
+ * caches), scores candidates on simulated seconds with the src/cost
+ * power model as the deterministic tiebreak, and memoizes the winner.
+ *
+ * Determinism contract: the decision is a pure function of the
+ * benchmark's content fingerprint, the chip count, and the hardware
+ * model — never of wall-clock, thread timing, or cache state. The
+ * in-process Server and every distributed worker therefore compute
+ * the *same* TunedPlan independently, which is what keeps autotuned
+ * distributed digests bit-identical to in-process runs.
+ *
+ * The default candidate (the `cinnamon-ks` strategy on one
+ * whole-lease stream) is exactly the untuned serving path, so a tuned
+ * plan's simulated time can never exceed the default's — the CI
+ * autotune smoke gate (`scripts/check_bench.py --tuner`) checks that
+ * invariant for every catalog workload.
+ */
+
+#ifndef CINNAMON_SERVE_TUNER_H_
+#define CINNAMON_SERVE_TUNER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/sharded_cache.h"
+#include "sim/hardware.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::serve {
+
+/** The memoized outcome of tuning one (bench, chips, hw) point. */
+struct TunedPlan
+{
+    std::string strategy;        ///< winning registry strategy name
+    std::size_t group = 0;       ///< chips per stream in the plan
+    std::size_t streams = 1;     ///< concurrent streams (chips/group)
+    double tuned_seconds = 0.0;  ///< winner's simulated seconds
+    double default_seconds = 0.0; ///< untuned path's seconds
+    double energy_j = 0.0;       ///< winner's modeled energy (joules)
+    std::size_t candidates = 0; ///< plans evaluated for the pick
+
+    /** One-line human rendering for decision logs. */
+    std::string summary() const;
+};
+
+/**
+ * Evaluates and memoizes tuned plans. Thread-safe: decisions live in
+ * a sharded compute-once cache, so concurrent workers asking for the
+ * same (benchmark, chips, hw) point block only each other and the
+ * evaluation runs exactly once per process.
+ *
+ * Books serve.tuner.{hit,miss,tune_ms,candidates} metrics and prints
+ * one `[tuner]` decision line per memoized entry — the line every
+ * side of a digest comparison must agree on.
+ */
+class PlanTuner
+{
+  public:
+    explicit PlanTuner(workloads::BenchmarkRunner &runner)
+        : runner_(&runner)
+    {
+    }
+
+    /**
+     * The tuned plan for running `bench` on `chips` chips of `hw`.
+     * Evaluated once per distinct point, then served from cache; the
+     * returned reference stays valid for the tuner's lifetime.
+     */
+    const TunedPlan &plan(const workloads::Benchmark &bench,
+                          std::size_t chips,
+                          const sim::HardwareConfig &hw);
+
+    /** Hit/miss counters of the decision cache. */
+    CacheStats stats() const { return cache_.stats(); }
+
+  private:
+    workloads::BenchmarkRunner *runner_;
+    ShardedCache<TunedPlan> cache_;
+};
+
+} // namespace cinnamon::serve
+
+#endif // CINNAMON_SERVE_TUNER_H_

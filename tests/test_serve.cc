@@ -15,6 +15,7 @@
 #include <set>
 #include <thread>
 
+#include "compiler/strategy.h"
 #include "exec/backend.h"
 #include "fhe/encoder.h"
 #include "net/frame.h"
@@ -25,6 +26,8 @@
 #include "serve/remote/frontend.h"
 #include "serve/remote/worker.h"
 #include "serve/server.h"
+#include "serve/tuner.h"
+#include "workloads/benchmarks.h"
 
 using namespace cinnamon;
 using namespace cinnamon::serve;
@@ -1089,4 +1092,151 @@ TEST(PlanCache, KeysOnContentAndConfigIncludingStreams)
     const auto stats = plans.stats();
     EXPECT_EQ(stats.misses, 2u);
     EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(PlanTuner, TunedNeverWorseThanDefaultAndFullyDeterministic)
+{
+    // The tuner's candidate set includes the untuned serving path
+    // (cinnamon-ks, group = chips, one stream), so the winner can
+    // never be slower than the default. And the decision must be a
+    // pure function of (workload, chips, hardware): a fresh tuner
+    // over a fresh runner reproduces it bit-for-bit — the invariant
+    // that keeps autotuned distributed digests in lockstep with
+    // in-process serving.
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+    sim::HardwareConfig hw = ServeOptions().hw;
+    hw.n = ctx.n();
+
+    workloads::BenchmarkRunner runner_a(ctx);
+    workloads::BenchmarkRunner runner_b(ctx);
+    PlanTuner tuner_a(runner_a);
+    PlanTuner tuner_b(runner_b);
+
+    for (Workload w : {Workload::Bootstrap, Workload::ResNet,
+                       Workload::Helr, Workload::Bert,
+                       Workload::Keyswitch}) {
+        const auto &bench = catalog.benchmark(w);
+        const TunedPlan &a = tuner_a.plan(bench, 4, hw);
+        EXPECT_LE(a.tuned_seconds, a.default_seconds + 1e-12)
+            << workloadName(w);
+        EXPECT_GT(a.candidates, 0u);
+        EXPECT_NE(compiler::StrategyRegistry::global().find(
+                      a.strategy),
+                  nullptr)
+            << "winner must be a registry strategy";
+        EXPECT_EQ(a.group * a.streams, 4u)
+            << "plan must cover the whole lease";
+
+        const TunedPlan &b = tuner_b.plan(bench, 4, hw);
+        EXPECT_EQ(a.strategy, b.strategy) << workloadName(w);
+        EXPECT_EQ(a.group, b.group);
+        EXPECT_EQ(a.streams, b.streams);
+        EXPECT_EQ(a.tuned_seconds, b.tuned_seconds);
+        EXPECT_EQ(a.default_seconds, b.default_seconds);
+    }
+
+    // Decisions memoize: re-asking is a cache hit, not a re-tune.
+    const auto before = tuner_a.stats();
+    tuner_a.plan(catalog.benchmark(Workload::Keyswitch), 4, hw);
+    const auto after = tuner_a.stats();
+    EXPECT_EQ(after.misses, before.misses);
+    EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+TEST(Server, AutotunedServingStaysDeterministicAndCountsDecisions)
+{
+    // Two independent autotuned servers over the same trace must
+    // produce identical digests (the tuner is deterministic), and the
+    // server stats must surface the tuner cache.
+    ServeOptions opt = smallOptions();
+    opt.autotune = true;
+
+    auto runTrace = [&] {
+        Server server(serveContext(), opt);
+        server.start();
+        for (std::size_t i = 0; i < 6; ++i)
+            EXPECT_TRUE(server.submit(traceWorkload(i), 7100 + i));
+        server.drainAndStop();
+        auto hashes = completedHashes(server);
+        EXPECT_GT(server.stats().tuner_cache.lookups(), 0u);
+        return hashes;
+    };
+    const auto first = runTrace();
+    const auto second = runTrace();
+    ASSERT_EQ(first.size(), 6u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(Server, ForcedStrategyChangesPlansDeterministically)
+{
+    // Forcing a named strategy must serve successfully and stay
+    // bit-reproducible run over run; an unknown name must surface as
+    // a failed request, not a crash.
+    ServeOptions opt = smallOptions();
+    opt.strategy = "cifher";
+
+    auto runTrace = [&] {
+        Server server(serveContext(), opt);
+        server.start();
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_TRUE(
+                server.submit(Workload::Keyswitch, 7200 + i));
+        server.drainAndStop();
+        return completedHashes(server);
+    };
+    const auto first = runTrace();
+    const auto second = runTrace();
+    ASSERT_EQ(first.size(), 4u);
+    EXPECT_EQ(first, second);
+}
+
+TEST(RemoteServing, AutotunedLoopbackBitIdenticalToInProcess)
+{
+    // The acceptance gate for the autotuner's determinism contract:
+    // with --autotune on both sides, worker processes must reach the
+    // exact plan decisions the in-process server reaches, so digests
+    // stay bit-identical across the process boundary.
+    const std::size_t kRequests = 5;
+
+    ServeOptions base = smallOptions();
+    base.autotune = true;
+    Server local(serveContext(), base);
+    local.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(local.submit(traceWorkload(i), 7300 + i));
+    local.drainAndStop();
+    const auto expected = completedHashes(local);
+    ASSERT_EQ(expected.size(), kRequests);
+
+    remote::FrontEndOptions fe_opt;
+    fe_opt.workers = 2;
+    fe_opt.group_size = 4;
+    remote::RemoteFrontEnd frontend(fe_opt);
+    ASSERT_TRUE(frontend.start());
+
+    std::vector<std::thread> workers;
+    for (uint64_t w = 0; w < 2; ++w)
+        workers.emplace_back([&frontend, w] {
+            remote::WorkerOptions opt;
+            opt.port = frontend.port();
+            opt.worker_id = w;
+            opt.group_size = 4;
+            opt.autotune = true;
+            remote::runWorker(serveContext(), opt);
+        });
+    ASSERT_TRUE(frontend.waitForWorkers(2));
+
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(frontend.submit(traceWorkload(i), 7300 + i));
+    frontend.drainAndStop();
+    for (auto &t : workers)
+        t.join();
+
+    std::map<uint64_t, uint64_t> got;
+    for (const auto &r : frontend.responses())
+        if (r.status == RequestStatus::Completed)
+            got[r.id] = r.output_hash;
+    EXPECT_EQ(got, expected)
+        << "autotuned distributed digests must match in-process";
 }

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the named compile-strategy registry (DESIGN.md §6) and
+ * the program-cache-key contract it feeds: every built-in rung is
+ * present and resolvable, the compiler honors a named strategy
+ * exactly like the equivalent hand-built KsPassOptions, and every
+ * output-affecting field of CompilerConfig / KsPassOptions perturbs
+ * cacheKeyOf — the invariant that keeps compile and simulation
+ * caches from aliasing across distinct configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "compiler/compiled.h"
+#include "compiler/lowering.h"
+#include "compiler/strategy.h"
+#include "fhe_test_util.h"
+
+using namespace cinnamon;
+using namespace cinnamon::compiler;
+using testutil::CkksHarness;
+
+namespace {
+
+CkksHarness &
+harness()
+{
+    static CkksHarness h(1 << 10, 6, 3);
+    return h;
+}
+
+/** A small program exercising both keyswitch patterns. */
+Program
+rotationProgram(const fhe::CkksContext &ctx)
+{
+    Program p("strategy_test", ctx);
+    auto x = p.input("x", 4);
+    auto sum = p.add(p.rotate(x, 1), p.rotate(x, 2));
+    p.output("sum", sum);
+    return p;
+}
+
+} // namespace
+
+// -------------------------------------------------------------------
+// Registry contents
+// -------------------------------------------------------------------
+
+TEST(StrategyRegistry, Fig13LadderIsCompleteAndRungOrdered)
+{
+    const auto ladder = StrategyRegistry::global().fig13Ladder();
+    ASSERT_EQ(ladder.size(), 6u);
+    const char *expected[] = {"sequential",  "cifher",
+                              "input-broadcast", "ib-pass",
+                              "cinnamon-ks", "cinnamon-ks-pp"};
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        EXPECT_EQ(ladder[i].name, expected[i]);
+        EXPECT_EQ(ladder[i].fig13_rung, static_cast<int>(i));
+    }
+    EXPECT_TRUE(ladder.front().sequential);
+    EXPECT_EQ(ladder.back().streams, 2);
+}
+
+TEST(StrategyRegistry, BuiltinsEncodeTheExpectedKsOptions)
+{
+    const auto &reg = StrategyRegistry::global();
+    const auto &cinn = reg.at("cinnamon-ks");
+    EXPECT_TRUE(cinn.ks.enable_batching);
+    EXPECT_TRUE(cinn.ks.enable_output_aggregation);
+    EXPECT_EQ(cinn.ks.default_algo, KsAlgo::InputBroadcast);
+
+    const auto &cifher = reg.at("cifher");
+    EXPECT_FALSE(cifher.ks.enable_batching);
+    EXPECT_EQ(cifher.ks.default_algo, KsAlgo::Cifher);
+
+    const auto &ib_pass = reg.at("ib-pass");
+    EXPECT_TRUE(ib_pass.ks.enable_batching);
+    EXPECT_FALSE(ib_pass.ks.enable_output_aggregation);
+
+    // The Section 7.4 comparison point is registered but off-ladder.
+    const auto &cifher_pass = reg.at("cifher-pass");
+    EXPECT_EQ(cifher_pass.fig13_rung, -1);
+    EXPECT_EQ(cifher_pass.ks.default_algo, KsAlgo::Cifher);
+}
+
+TEST(StrategyRegistry, FindAndAtAgreeAndUnknownNamesThrowWithList)
+{
+    const auto &reg = StrategyRegistry::global();
+    const CompileStrategy *found = reg.find("cinnamon-ks");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, reg.at("cinnamon-ks").name);
+
+    EXPECT_EQ(reg.find("no-such-strategy"), nullptr);
+    try {
+        reg.at("no-such-strategy");
+        FAIL() << "at() must throw on unknown names";
+    } catch (const std::invalid_argument &e) {
+        // The message doubles as the user-facing registry listing.
+        EXPECT_NE(std::string(e.what()).find("cinnamon-ks"),
+                  std::string::npos);
+    }
+}
+
+TEST(StrategyRegistry, NamesCoverEveryEntry)
+{
+    const auto &reg = StrategyRegistry::global();
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), reg.entries().size());
+    for (const auto &name : names)
+        EXPECT_NE(reg.find(name), nullptr) << name;
+}
+
+TEST(StrategyRegistry, AddRejectsDuplicateAndEmptyNames)
+{
+    auto &reg = StrategyRegistry::global();
+    CompileStrategy dup;
+    dup.name = "cinnamon-ks";
+    EXPECT_THROW(reg.add(dup), std::invalid_argument);
+    CompileStrategy anon;
+    EXPECT_THROW(reg.add(anon), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------
+// Compiler resolution
+// -------------------------------------------------------------------
+
+TEST(StrategyResolution, NamedStrategyCompilesLikeExplicitOptions)
+{
+    auto &h = harness();
+    const auto prog = rotationProgram(*h.ctx);
+
+    CompilerConfig named;
+    named.chips = 4;
+    named.strategy = "cifher";
+
+    CompilerConfig explicit_cfg;
+    explicit_cfg.chips = 4;
+    explicit_cfg.ks = StrategyRegistry::global().at("cifher").ks;
+
+    auto a = Compiler(*h.ctx, named).compile(prog);
+    auto b = Compiler(*h.ctx, explicit_cfg).compile(prog);
+    EXPECT_EQ(a.config.ks.default_algo, KsAlgo::Cifher);
+    EXPECT_EQ(printIsaProgram(a), printIsaProgram(b));
+}
+
+TEST(StrategyResolution, UnknownStrategyNameFailsCompilation)
+{
+    auto &h = harness();
+    const auto prog = rotationProgram(*h.ctx);
+    CompilerConfig cfg;
+    cfg.strategy = "bogus";
+    Compiler compiler(*h.ctx, cfg);
+    EXPECT_THROW(compiler.compile(prog), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------
+// Cache-key field coverage: every output-affecting field must perturb
+// the key, and the explicitly-excluded fields must not.
+// -------------------------------------------------------------------
+
+namespace {
+
+/** Expect `mutate` to change (or keep) the config cache key. */
+void
+expectKeyChanges(void (*mutate)(CompilerConfig &), bool changes,
+                 const char *field)
+{
+    CompilerConfig base;
+    CompilerConfig mutated = base;
+    mutate(mutated);
+    if (changes)
+        EXPECT_NE(cacheKeyOf(base), cacheKeyOf(mutated)) << field;
+    else
+        EXPECT_EQ(cacheKeyOf(base), cacheKeyOf(mutated)) << field;
+}
+
+} // namespace
+
+TEST(CacheKey, EveryOutputAffectingConfigFieldPerturbsTheKey)
+{
+    expectKeyChanges([](CompilerConfig &c) { c.chips = 8; }, true,
+                     "chips");
+    expectKeyChanges([](CompilerConfig &c) { c.num_streams = 2; },
+                     true, "num_streams");
+    expectKeyChanges(
+        [](CompilerConfig &c) { c.ks.enable_batching = false; }, true,
+        "ks.enable_batching");
+    expectKeyChanges(
+        [](CompilerConfig &c) {
+            c.ks.enable_output_aggregation = false;
+        },
+        true, "ks.enable_output_aggregation");
+    expectKeyChanges(
+        [](CompilerConfig &c) { c.ks.default_algo = KsAlgo::Cifher; },
+        true, "ks.default_algo");
+    expectKeyChanges(
+        [](CompilerConfig &c) { c.strategy = "cinnamon-ks"; }, true,
+        "strategy");
+    expectKeyChanges([](CompilerConfig &c) { c.phys_regs = 96; },
+                     true, "phys_regs");
+    expectKeyChanges([](CompilerConfig &c) { c.allocate = false; },
+                     true, "allocate");
+    expectKeyChanges(
+        [](CompilerConfig &c) {
+            c.regalloc_policy = EvictionPolicy::Lru;
+        },
+        true, "regalloc_policy");
+}
+
+TEST(CacheKey, SpeedOnlyFieldsAreExcludedFromTheKey)
+{
+    expectKeyChanges([](CompilerConfig &c) { c.compile_workers = 7; },
+                     false, "compile_workers");
+    expectKeyChanges([](CompilerConfig &c) { c.verify_ir = false; },
+                     false, "verify_ir");
+}
+
+TEST(CacheKey, EveryKsPassOptionsFieldPerturbsItsKey)
+{
+    const KsPassOptions base;
+    {
+        KsPassOptions m = base;
+        m.enable_batching = !m.enable_batching;
+        EXPECT_NE(cacheKeyOf(base), cacheKeyOf(m));
+    }
+    {
+        KsPassOptions m = base;
+        m.enable_output_aggregation = !m.enable_output_aggregation;
+        EXPECT_NE(cacheKeyOf(base), cacheKeyOf(m));
+    }
+    for (KsAlgo algo :
+         {KsAlgo::OutputAggregation, KsAlgo::Cifher}) {
+        KsPassOptions m = base;
+        m.default_algo = algo;
+        EXPECT_NE(cacheKeyOf(base), cacheKeyOf(m));
+    }
+    // The three algos must key distinctly from each other too.
+    KsPassOptions oa = base, ci = base;
+    oa.default_algo = KsAlgo::OutputAggregation;
+    ci.default_algo = KsAlgo::Cifher;
+    EXPECT_NE(cacheKeyOf(oa), cacheKeyOf(ci));
+}
+
+TEST(CacheKey, DistinctRegistryStrategiesKeyDistinctly)
+{
+    // Naming any strategy in the config must give each registry entry
+    // its own compile-cache partition.
+    std::set<std::string> keys;
+    for (const auto &strat : StrategyRegistry::global().entries()) {
+        CompilerConfig cfg;
+        cfg.strategy = strat.name;
+        keys.insert(cacheKeyOf(cfg));
+    }
+    EXPECT_EQ(keys.size(),
+              StrategyRegistry::global().entries().size());
+}
