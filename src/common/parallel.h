@@ -1,28 +1,31 @@
 /**
  * @file
- * Minimal fork-join helper for CPU-bound compiler work.
+ * Fork-join helper for CPU-bound work, now a thin veneer over the
+ * persistent process-wide TaskPool (common/task_pool.h).
  *
- * parallelFor runs `fn(i)` for i in [0, n) on up to `workers` threads
- * pulling indices from a shared atomic counter. It is deliberately
- * tiny: no pool reuse, no work stealing — compiler passes call it a
- * handful of times per compile with coarse-grained items (one compile
- * unit, one chip), where thread spawn cost is noise. `workers <= 1`
- * (or n <= 1) degenerates to a plain serial loop, which keeps
- * single-threaded builds and tests byte-for-byte reproducible paths.
+ * parallelFor runs `fn(i)` for i in [0, n) on the shared pool,
+ * statically partitioned over at most `workers` participants. It used
+ * to spawn fresh threads per call and dropped all but one arbitrary
+ * worker exception; both are gone: threads persist in the pool, and
+ * the exception at the LOWEST failing index is rethrown — the same
+ * one a serial run surfaces — with later ones discarded
+ * deterministically.
  *
- * The first exception thrown by any item is rethrown on the calling
- * thread after all workers join; later exceptions are dropped.
+ * `workers <= 1` (or n <= 1) degenerates to a plain serial loop on
+ * the calling thread, which keeps single-threaded builds and tests on
+ * byte-for-byte reproducible paths. The pool's own size (set by
+ * `CINNAMON_WORKERS`, hardware concurrency, or the serving tier's
+ * resize) is a second cap: `workers` can restrict a call below the
+ * pool's parallelism but never raises it above.
  */
 
 #ifndef CINNAMON_COMMON_PARALLEL_H_
 #define CINNAMON_COMMON_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "common/task_pool.h"
 
 namespace cinnamon {
 
@@ -38,43 +41,12 @@ template <typename Fn>
 void
 parallelFor(std::size_t n, std::size_t workers, Fn &&fn)
 {
-    if (workers == 0)
-        workers = defaultWorkers();
-    if (workers > n)
-        workers = n;
-    if (workers <= 1) {
+    if (workers == 1 || n <= 1) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-    auto body = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-            }
-        }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w)
-        threads.emplace_back(body);
-    body();
-    for (auto &t : threads)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
+    TaskPool::global().forEach(n, workers, std::forward<Fn>(fn));
 }
 
 } // namespace cinnamon

@@ -12,6 +12,7 @@ ProgramRuntime::bindInput(const std::string &name,
                           const fhe::Ciphertext &ct)
 {
     inputs_[name] = ct;
+    ++bindings_version_;
 }
 
 void
@@ -19,6 +20,7 @@ ProgramRuntime::bindPlain(const std::string &name,
                           std::vector<fhe::Cplx> values)
 {
     plains_[name] = std::move(values);
+    ++bindings_version_;
 }
 
 const fhe::EvalKey &
@@ -128,10 +130,28 @@ std::map<std::string, fhe::Ciphertext>
 ProgramRuntime::run(const CompiledProgram &program)
 {
     const std::size_t chips = program.machine.numChips();
-    if (!emu_ || emu_chips_ != chips) {
-        emu_ = std::make_unique<isa::Emulator>(*ctx_, chips);
-        emu_chips_ = chips;
+    if (emu_ && emu_chips_ != chips) {
+        if (emu_cache_)
+            emu_cache_->release(std::move(emu_));
+        emu_.reset();
     }
+    if (!emu_) {
+        // acquire() hands back a resetMemory()'d instance with warm
+        // capacity; a fresh build needs no reset.
+        emu_ = emu_cache_
+            ? emu_cache_->acquire(chips)
+            : std::make_unique<isa::Emulator>(*ctx_, chips);
+        emu_chips_ = chips;
+        last_program_ = nullptr;
+        prestored_program_ = nullptr;
+    } else if (last_program_ != &program) {
+        // Same chips, different program: drop the old program's
+        // mappings and register definitions (capacity stays) so they
+        // cannot mask this program's data-dependent faults.
+        emu_->resetMemory();
+        prestored_program_ = nullptr;
+    }
+    last_program_ = &program;
     isa::Emulator &emu = *emu_;
     emu.setWorkers(emu_workers_);
 
@@ -164,8 +184,32 @@ ProgramRuntime::run(const CompiledProgram &program)
                           << ") must split evenly over " << copies
                           << " copies");
     const std::size_t chips_per_copy = chips / copies;
+    // Re-running the identical program on the same emulator with no
+    // binding changed in between: any pre-loaded address the program
+    // never Stores to still holds exactly the limb the previous run
+    // stored there (only Store instructions and this loop ever write
+    // chip memory), so its materialize+memcpy is skipped. A partial
+    // previous run (injected fault) is covered too — the clean set is
+    // computed from the program text, not from what executed.
+    const bool reuse_clean = prestored_program_ == &program &&
+                             prestored_version_ == bindings_version_;
+    std::unordered_set<uint64_t> footprint;
+    std::unordered_set<uint64_t> dirtied;
     for (std::size_t c = 0; c < chips; ++c) {
         const std::size_t copy = c / chips_per_copy;
+        // Pre-size the chip's arena/tables to the stream's declared
+        // footprint (distinct Load/Store addresses) so the store hot
+        // path never reallocates or rehashes mid-run.
+        footprint.clear();
+        dirtied.clear();
+        for (const auto &ins : program.machine.chips[c].instrs) {
+            if (ins.op == isa::Opcode::Load ||
+                ins.op == isa::Opcode::Store)
+                footprint.insert(ins.imm);
+            if (ins.op == isa::Opcode::Store)
+                dirtied.insert(ins.imm);
+        }
+        emu.memory(c).reserve(footprint.size());
         std::unordered_set<uint64_t> stored;
         for (const auto &ins : program.machine.chips[c].instrs) {
             if (ins.op != isa::Opcode::Load)
@@ -175,10 +219,14 @@ ProgramRuntime::run(const CompiledProgram &program)
                 continue; // spill slot, produced by a Store at run time
             if (!stored.insert(ins.imm).second)
                 continue;
+            if (reuse_clean && dirtied.find(ins.imm) == dirtied.end())
+                continue; // still holds last run's identical limb
             const isa::LimbRef limb = materialize(it->second, copy);
             emu.memory(c).store(ins.imm, limb.prime, limb.data);
         }
     }
+    prestored_program_ = &program;
+    prestored_version_ = bindings_version_;
 
     emu.run(program.machine);
     last_stats_ = emu.lastRunStats();

@@ -40,7 +40,32 @@ class ProgramRuntime
     {
     }
 
-    /** Bind an encrypted input by name. */
+    ~ProgramRuntime()
+    {
+        if (emu_cache_ && emu_)
+            emu_cache_->release(std::move(emu_));
+    }
+
+    ProgramRuntime(const ProgramRuntime &) = delete;
+    ProgramRuntime &operator=(const ProgramRuntime &) = delete;
+
+    /**
+     * Borrow emulators from (and return them to) `cache` instead of
+     * building one per runtime: a short-lived per-request runtime then
+     * starts with a warm arena instead of growing one from zero. The
+     * cache must be built on the same CkksContext and must outlive
+     * this runtime. Call before the first run().
+     */
+    void setEmulatorCache(isa::EmulatorCache *cache)
+    {
+        emu_cache_ = cache;
+    }
+
+    /**
+     * Bind an encrypted input by name. Rebinding (any name) marks the
+     * pre-loaded chip memories stale, so the next run() re-stores
+     * every Load address.
+     */
     void bindInput(const std::string &name, const fhe::Ciphertext &ct);
 
     /**
@@ -61,6 +86,7 @@ class ProgramRuntime
     void setCopyKeys(std::vector<CopyKeys> copies)
     {
         copy_keys_ = std::move(copies);
+        ++bindings_version_;
     }
 
     /** Bind a plaintext slot vector by name (encoded on demand). */
@@ -129,6 +155,26 @@ class ProgramRuntime
      * re-bound inputs — stay bit-identical to a fresh emulator.
      */
     std::unique_ptr<isa::Emulator> emu_;
+    isa::EmulatorCache *emu_cache_ = nullptr; ///< optional, non-owning
+    /**
+     * Identity of the last program run: a recycled or kept emulator is
+     * resetMemory()'d when the program changes, so one program's
+     * mappings and register definitions can never mask another's
+     * unmapped-load / undefined-read faults.
+     */
+    const void *last_program_ = nullptr;
+    /**
+     * Pre-store validity: when the same program re-runs on the same
+     * emulator instance and no binding changed since
+     * (`bindings_version_` matches), every pre-loaded address the
+     * program never Stores to still holds exactly the limb the last
+     * run stored there, so run() skips its materialize+memcpy.
+     * Invalidated whenever the emulator is replaced or reset and by
+     * every bind/setCopyKeys call.
+     */
+    uint64_t bindings_version_ = 0;
+    uint64_t prestored_version_ = 0;
+    const void *prestored_program_ = nullptr;
     std::size_t emu_chips_ = 0;
     isa::EmulatorStats last_stats_;
     std::size_t emu_workers_ = 1;

@@ -18,12 +18,31 @@ fnv1a(uint64_t h, const void *data, std::size_t bytes)
     return h;
 }
 
+/**
+ * FNV-1a folding one 64-bit word per step. Limb planes are megabytes
+ * per output; the byte-wise loop's serial multiply chain made the
+ * digest a measurable slice of every execute, so bulk data hashes
+ * word-at-a-time. The digest is only ever compared against digests
+ * from the same code (serial vs pooled, local vs remote), never
+ * persisted across versions, so the constant's interpretation is free
+ * to differ from byte-wise FNV.
+ */
+uint64_t
+fnv1aWords(uint64_t h, const uint64_t *words, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        h ^= words[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 uint64_t
 hashPoly(uint64_t h, const rns::RnsPoly &poly)
 {
     for (std::size_t i = 0; i < poly.numLimbs(); ++i) {
         const auto limb = poly.limb(i);
-        h = fnv1a(h, limb.data(), limb.size() * sizeof(uint64_t));
+        h = fnv1aWords(h, limb.data(), limb.size());
     }
     return h;
 }
@@ -71,7 +90,8 @@ EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
                               const compiler::Program &source,
                               const compiler::CompiledProgram &program,
                               uint64_t seed, std::size_t workers,
-                              const faults::FaultDecision *fault)
+                              const faults::FaultDecision *fault,
+                              isa::EmulatorCache *cache)
 {
     // All randomness is derived from the request seed, so the output
     // digest is a pure function of (seed, program, parameters) —
@@ -82,6 +102,8 @@ EmulateBackend::executeSeeded(const fhe::CkksContext &ctx,
     Rng data_rng(seed ^ 0x9e3779b97f4a7c15ull);
 
     compiler::ProgramRuntime runtime(ctx, encoder, keygen, sk);
+    if (cache != nullptr)
+        runtime.setEmulatorCache(cache);
     for (const compiler::CtOp &op : source.ops()) {
         if (op.kind != compiler::CtOpKind::Input)
             continue;
@@ -109,7 +131,8 @@ EmulateBackend::executeSeededBatch(
     const compiler::Program &source,
     const compiler::CompiledProgram &program,
     const std::vector<uint64_t> &seeds, std::size_t workers,
-    const faults::FaultDecision *fault, std::size_t fault_member)
+    const faults::FaultDecision *fault, std::size_t fault_member,
+    isa::EmulatorCache *cache)
 {
     const std::size_t members = seeds.size();
     CINN_FATAL_UNLESS(members >= 1, "batch needs at least one member");
@@ -134,6 +157,8 @@ EmulateBackend::executeSeededBatch(
     fhe::Evaluator eval(ctx);
     compiler::ProgramRuntime runtime(ctx, encoder, *keygens[0],
                                      *sks[0]);
+    if (cache != nullptr)
+        runtime.setEmulatorCache(cache);
     std::vector<compiler::ProgramRuntime::CopyKeys> copies(members);
     for (std::size_t k = 0; k < members; ++k)
         copies[k] = {keygens[k].get(), sks[k].get()};

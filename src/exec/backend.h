@@ -122,6 +122,11 @@ class EmulateBackend final : public ExecutionBackend
      * all-clear decision executes identically to the unfaulted path,
      * so a retried attempt reproduces the unfaulted digest bit for
      * bit.
+     *
+     * When `cache` is non-null the per-request runtime borrows its
+     * emulator from it (and returns it on exit), so back-to-back
+     * requests reuse warm arenas instead of growing fresh ones. The
+     * cache never affects results — only allocation traffic.
      */
     static ExecutionReport
     executeSeeded(const fhe::CkksContext &ctx,
@@ -129,7 +134,8 @@ class EmulateBackend final : public ExecutionBackend
                   const compiler::Program &source,
                   const compiler::CompiledProgram &program, uint64_t seed,
                   std::size_t workers = 1,
-                  const faults::FaultDecision *fault = nullptr);
+                  const faults::FaultDecision *fault = nullptr,
+                  isa::EmulatorCache *cache = nullptr);
 
     /**
      * Batched request-seeded emulation: `program` is the compilation
@@ -156,7 +162,8 @@ class EmulateBackend final : public ExecutionBackend
                        const std::vector<uint64_t> &seeds,
                        std::size_t workers = 1,
                        const faults::FaultDecision *fault = nullptr,
-                       std::size_t fault_member = 0);
+                       std::size_t fault_member = 0,
+                       isa::EmulatorCache *cache = nullptr);
 
   private:
     compiler::ProgramRuntime *runtime_;

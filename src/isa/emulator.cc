@@ -1,5 +1,6 @@
 #include "isa/emulator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <sstream>
@@ -7,14 +8,44 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/task_pool.h"
 #include "rns/kernels.h"
 
 namespace cinnamon::isa {
+namespace {
+
+/**
+ * Minimum elements per limb slice: below this the nested-job overhead
+ * beats the win, so small rings stay unsliced.
+ */
+constexpr std::size_t kSliceGrain = 4096;
+
+} // namespace
 
 void
-ChipMemory::store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data)
+ChipMemory::reserve(std::size_t limbs)
 {
-    CINN_ASSERT(data.size() == n_, "store: limb length mismatch");
+    if (limbs <= primes_.size())
+        return;
+    arena_.reserve(limbs * n_);
+    primes_.reserve(limbs);
+    slots_.reserve(limbs);
+}
+
+void
+ChipMemory::clear()
+{
+    // clear() keeps capacity on vectors (and on libstdc++'s
+    // unordered_map buckets), which is the point: the next program
+    // reuses the allocation.
+    arena_.clear();
+    primes_.clear();
+    slots_.clear();
+}
+
+uint64_t *
+ChipMemory::slotFor(uint64_t addr, uint32_t prime)
+{
     auto it = slots_.find(addr);
     uint32_t slot;
     if (it == slots_.end()) {
@@ -26,8 +57,15 @@ ChipMemory::store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data)
         slot = it->second;
         primes_[slot] = prime;
     }
-    std::memcpy(arena_.data() + static_cast<std::size_t>(slot) * n_,
-                data.data(), n_ * sizeof(uint64_t));
+    return arena_.data() + static_cast<std::size_t>(slot) * n_;
+}
+
+void
+ChipMemory::store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data)
+{
+    CINN_ASSERT(data.size() == n_, "store: limb length mismatch");
+    std::memcpy(slotFor(addr, prime), data.data(),
+                n_ * sizeof(uint64_t));
 }
 
 LimbRef
@@ -52,6 +90,12 @@ Emulator::RegFile::ensure(int index)
     return plane(index);
 }
 
+void
+Emulator::RegFile::clearDefined()
+{
+    std::fill(defined.begin(), defined.end(), 0);
+}
+
 Emulator::Emulator(const fhe::CkksContext &ctx, std::size_t chips)
     : ctx_(&ctx), chips_(chips)
 {
@@ -68,6 +112,39 @@ Emulator::memory(std::size_t chip)
 {
     CINN_ASSERT(chip < chips_, "chip index out of range");
     return mem_[chip];
+}
+
+void
+Emulator::resetMemory()
+{
+    for (ChipMemory &m : mem_)
+        m.clear();
+    for (RegFile &rf : regs_)
+        rf.clearDefined();
+    clearFault();
+}
+
+/**
+ * Partition [0, n) into slices_ contiguous ranges and run them as a
+ * nested pool job. Boundaries are the pool's static-partition formula,
+ * so they depend only on (n, slices_) — never on timing.
+ */
+template <typename Fn>
+void
+Emulator::sliceFor(std::size_t n, Fn &&fn)
+{
+    if (slices_ <= 1 || n < 2 * kSliceGrain) {
+        fn(0, n);
+        return;
+    }
+    sliced_ops_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t slices = slices_;
+    TaskPool::global().forEach(slices, [&](std::size_t s) {
+        const std::size_t lo = s * n / slices;
+        const std::size_t hi = (s + 1) * n / slices;
+        if (lo < hi)
+            fn(lo, hi);
+    });
 }
 
 LimbRef
@@ -160,14 +237,19 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         }
         uint64_t *d = dstPlane();
         const LimbRef m = mem_[chip].at(ins.imm);
-        std::memcpy(d, m.data.data(), n * sizeof(uint64_t));
+        const uint64_t *a = m.data.data();
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            std::memcpy(d + lo, a + lo, (hi - lo) * sizeof(uint64_t));
+        });
         commitDst(m.prime);
         break;
       }
       case Opcode::Store: {
         const uint64_t *a = srcPlane(chip, ins, pc, 0);
-        mem_[chip].store(ins.imm, srcPrime(0),
-                         rns::ConstLimbSpan(a, n));
+        uint64_t *d = mem_[chip].slotFor(ins.imm, srcPrime(0));
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            std::memcpy(d + lo, a + lo, (hi - lo) * sizeof(uint64_t));
+        });
         break;
       }
       case Opcode::Ntt:
@@ -177,8 +259,12 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         CINN_ASSERT(srcPrime(0) == ins.prime,
                     (ins.op == Opcode::Ntt ? "ntt" : "intt")
                         << " prime mismatch");
-        if (d != a)
-            std::memcpy(d, a, n * sizeof(uint64_t));
+        if (d != a) {
+            sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+                std::memcpy(d + lo, a + lo,
+                            (hi - lo) * sizeof(uint64_t));
+            });
+        }
         if (ins.op == Opcode::Ntt)
             ctx_->rns().ntt(ins.prime).forward(d);
         else
@@ -195,12 +281,14 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         CINN_ASSERT(srcPrime(0) == ins.prime &&
                         srcPrime(1) == ins.prime,
                     "binary op prime mismatch: " << ins.toString());
-        if (ins.op == Opcode::Add)
-            kt.add(d, a, b, n, q);
-        else if (ins.op == Opcode::Sub)
-            kt.sub(d, a, b, n, q);
-        else
-            kt.mul(d, a, b, n, mod);
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            if (ins.op == Opcode::Add)
+                kt.add(d + lo, a + lo, b + lo, hi - lo, q);
+            else if (ins.op == Opcode::Sub)
+                kt.sub(d + lo, a + lo, b + lo, hi - lo, q);
+            else
+                kt.mul(d + lo, a + lo, b + lo, hi - lo, mod);
+        });
         commitDst(ins.prime);
         break;
       }
@@ -212,16 +300,21 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         CINN_ASSERT(srcPrime(0) == ins.prime,
                     "scalar op prime mismatch");
         const uint64_t s = ins.imm % q;
-        if (ins.op == Opcode::MulScalar) {
-            kt.mulScalarShoup(d, a, n, s, rns::shoupPrecompute(s, q),
-                              q);
-        } else {
-            for (std::size_t j = 0; j < n; ++j) {
-                d[j] = ins.op == Opcode::AddScalar
-                    ? rns::addMod(a[j], s, q)
-                    : rns::subMod(a[j], s, q);
+        const uint64_t s_shoup = ins.op == Opcode::MulScalar
+            ? rns::shoupPrecompute(s, q)
+            : 0;
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            if (ins.op == Opcode::MulScalar) {
+                kt.mulScalarShoup(d + lo, a + lo, hi - lo, s, s_shoup,
+                                  q);
+            } else {
+                for (std::size_t j = lo; j < hi; ++j) {
+                    d[j] = ins.op == Opcode::AddScalar
+                        ? rns::addMod(a[j], s, q)
+                        : rns::subMod(a[j], s, q);
+                }
             }
-        }
+        });
         commitDst(ins.prime);
         break;
       }
@@ -272,14 +365,23 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         }
         uint64_t *acc = d;
         if (aliases) {
-            scratch_[chip].assign(n, 0);
+            scratch_[chip].resize(n);
             acc = scratch_[chip].data();
-        } else {
-            std::memset(d, 0, n * sizeof(uint64_t));
         }
-        kt.macMulti(acc, sp, fs, fan, n, mod, src_bound);
-        if (aliases)
-            std::memcpy(d, acc, n * sizeof(uint64_t));
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            std::memset(acc + lo, 0, (hi - lo) * sizeof(uint64_t));
+            const uint64_t *sp_lo[64];
+            for (std::size_t i = 0; i < fan; ++i)
+                sp_lo[i] = sp[i] + lo;
+            kt.macMulti(acc + lo, sp_lo, fs, fan, hi - lo, mod,
+                        src_bound);
+        });
+        if (aliases) {
+            sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+                std::memcpy(d + lo, acc + lo,
+                            (hi - lo) * sizeof(uint64_t));
+            });
+        }
         commitDst(ins.prime);
         break;
       }
@@ -289,7 +391,9 @@ Emulator::execute(std::size_t chip, const Instruction &ins,
         const uint64_t *a = srcPlane(chip, ins, pc, 0);
         CINN_ASSERT(srcPrime(0) == ins.aux[0],
                     "mod source prime mismatch");
-        kt.modReduce(d, a, n, q);
+        sliceFor(n, [&](std::size_t lo, std::size_t hi) {
+            kt.modReduce(d + lo, a + lo, hi - lo, q);
+        });
         commitDst(ins.prime);
         break;
       }
@@ -331,20 +435,36 @@ Emulator::executeCollective(const MachineProgram &program,
     } else { // Agg
         const rns::Modulus &mod = ctx_->rns().modulus(first.prime);
         const rns::KernelTable &kt = rns::kernels();
-        value.assign(n, 0);
+        value.resize(n);
+        // Resolve (and fault-check) every participant's source before
+        // slicing; the accumulation itself is elementwise, so each
+        // slice runs the full chip chain over its own range — the
+        // per-index arithmetic order matches the serial path exactly.
+        std::vector<const uint64_t *> srcs;
+        srcs.reserve(hi - lo);
         for (std::size_t c = lo; c < hi; ++c) {
             const Instruction &ins = program.chips[c].instrs[pcs[c]];
-            const uint64_t *a = srcPlane(c, ins, pcs[c], 0);
+            srcs.push_back(srcPlane(c, ins, pcs[c], 0));
             CINN_ASSERT(regs_[c].primes[ins.srcs[0]] == first.prime,
                         "aggregation prime mismatch");
-            kt.add(value.data(), value.data(), a, n, mod.value());
         }
+        uint64_t *v = value.data();
+        sliceFor(n, [&](std::size_t slo, std::size_t shi) {
+            std::memset(v + slo, 0, (shi - slo) * sizeof(uint64_t));
+            for (const uint64_t *a : srcs)
+                kt.add(v + slo, v + slo, a + slo, shi - slo,
+                       mod.value());
+        });
     }
     for (std::size_t c = lo; c < hi; ++c) {
         const Instruction &ins = program.chips[c].instrs[pcs[c]];
         if (ins.dst >= 0) {
             uint64_t *d = regs_[c].ensure(ins.dst);
-            std::memcpy(d, value.data(), n * sizeof(uint64_t));
+            const uint64_t *v = value.data();
+            sliceFor(n, [&](std::size_t slo, std::size_t shi) {
+                std::memcpy(d + slo, v + slo,
+                            (shi - slo) * sizeof(uint64_t));
+            });
             regs_[c].primes[ins.dst] = value_prime;
             regs_[c].defined[ins.dst] = 1;
         }
@@ -358,6 +478,36 @@ Emulator::run(const MachineProgram &program)
                 "program chip count mismatch");
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::size_t> pcs(chips_, 0);
+
+    // Effective parallelism budget: workers_ capped by the shared
+    // pool (0 = take the pool's size). Chips consume the budget
+    // first; what is left over slices limb planes. slices_ is a pure
+    // function of (workers_, pool size, chips_, n) — never of timing
+    // — and slicing never changes results, only wall clock.
+    const std::size_t pool_par = TaskPool::global().parallelism();
+    std::size_t budget =
+        workers_ == 0 ? pool_par : std::min(workers_, pool_par);
+    if (budget == 0)
+        budget = 1;
+    slices_ = 1;
+    if (budget > chips_ && ctx_->n() >= 2 * kSliceGrain) {
+        slices_ = (budget + chips_ - 1) / chips_;
+        const std::size_t max_slices =
+            std::max<std::size_t>(1, ctx_->n() / kSliceGrain);
+        slices_ = std::min(slices_, max_slices);
+    }
+    sliced_ops_.store(0, std::memory_order_relaxed);
+
+    // Pre-size each chip's register file to the stream's highest
+    // destination register: one allocation up front instead of many
+    // exact-fit regrowths on the execution path.
+    for (std::size_t c = 0; c < chips_; ++c) {
+        int max_dst = -1;
+        for (const Instruction &ins : program.chips[c].instrs)
+            max_dst = std::max(max_dst, ins.dst);
+        if (max_dst >= 0)
+            regs_[c].ensure(max_dst);
+    }
 
     while (true) {
         // Advance every chip to its next collective (or the end);
@@ -435,6 +585,55 @@ Emulator::run(const MachineProgram &program)
         static_cast<double>(arenaBytes()));
     reg.gauge("emulator.workers").set(static_cast<double>(workers_));
     reg.histogram("emulator.run_ms").observe(run_ms);
+    const std::size_t sliced =
+        sliced_ops_.load(std::memory_order_relaxed);
+    reg.gauge("emulator.slice.slices").set(
+        static_cast<double>(slices_));
+    reg.counter("emulator.slice.sliced_ops").add(
+        static_cast<double>(sliced));
+    // Occupancy: fraction of this run's instructions that fanned out.
+    if (run_total > 0) {
+        reg.gauge("emulator.slice.occupancy")
+            .set(static_cast<double>(sliced) /
+                 static_cast<double>(run_total));
+    }
+}
+
+std::unique_ptr<Emulator>
+EmulatorCache::acquire(std::size_t chips)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+            if ((*it)->chips() == chips) {
+                std::unique_ptr<Emulator> emu = std::move(*it);
+                idle_.erase(it);
+                MetricsRegistry::global()
+                    .counter("emulator.cache.reuse")
+                    .add(1);
+                emu->resetMemory();
+                return emu;
+            }
+        }
+    }
+    MetricsRegistry::global().counter("emulator.cache.create").add(1);
+    return std::make_unique<Emulator>(*ctx_, chips);
+}
+
+void
+EmulatorCache::release(std::unique_ptr<Emulator> emu)
+{
+    if (!emu)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(emu));
+}
+
+std::size_t
+EmulatorCache::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
 }
 
 } // namespace cinnamon::isa

@@ -13,8 +13,18 @@
  * buffer, address → slot table) and its register file is a flat
  * limb-major buffer — no per-limb heap allocation on the execution
  * path. Between collective rendezvous points chips share no state, so
- * run() advances them on the common/parallel.h worker pool; serial
- * and parallel execution are bit-identical by construction.
+ * run() advances them on the shared TaskPool; serial and parallel
+ * execution are bit-identical by construction.
+ *
+ * Intra-op limb slicing (second parallelism axis): when the pool has
+ * more workers than the program has chips, each elementwise
+ * instruction's limb plane is split into contiguous slices executed
+ * as a nested pool job — chip workers assist on their own slices and
+ * idle workers steal the rest. Every output element is produced by
+ * exactly one slice with the same arithmetic as the serial path, so
+ * sliced execution is bit-identical to serial by construction (NTT
+ * butterflies and the automorphism permutation span the whole plane
+ * and stay unsliced).
  *
  * Data-dependent faults (unmapped loads, reads of never-written
  * registers) throw EmulatorError carrying the opcode, chip, and
@@ -25,8 +35,11 @@
 #ifndef CINNAMON_ISA_EMULATOR_H_
 #define CINNAMON_ISA_EMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -89,6 +102,20 @@ class ChipMemory
     bool contains(uint64_t addr) const { return slots_.count(addr) > 0; }
     std::size_t size() const { return primes_.size(); }
 
+    /**
+     * Pre-size the arena, prime table, and slot map for `limbs`
+     * distinct addresses, so the store hot path never reallocates or
+     * rehashes mid-run. Called by ProgramRuntime with the program's
+     * declared footprint (distinct Load/Store addresses).
+     */
+    void reserve(std::size_t limbs);
+
+    /**
+     * Unmap everything but keep the arena/table capacity — the cheap
+     * reset between unrelated programs on a recycled emulator.
+     */
+    void clear();
+
     /** Map (or overwrite) `addr` with a limb reduced under `prime`. */
     void store(uint64_t addr, uint32_t prime, rns::ConstLimbSpan data);
     void
@@ -96,6 +123,13 @@ class ChipMemory
     {
         store(addr, limb.prime, limb.data);
     }
+
+    /**
+     * Slot bookkeeping for store() without the copy: maps `addr` (or
+     * re-tags an existing mapping) and returns the destination plane.
+     * The emulator uses this to slice the copy across pool workers.
+     */
+    uint64_t *slotFor(uint64_t addr, uint32_t prime);
 
     /** View of the limb at `addr`; asserts the address is mapped. */
     LimbRef at(uint64_t addr) const;
@@ -143,12 +177,27 @@ class Emulator
   public:
     Emulator(const fhe::CkksContext &ctx, std::size_t chips);
 
+    std::size_t chips() const { return chips_; }
+    const fhe::CkksContext &context() const { return *ctx_; }
+
     /** Mutable pre-load access to chip memory (inputs, keys, plaintexts). */
     ChipMemory &memory(std::size_t chip);
 
     /**
-     * Worker threads for the inter-collective chip advance (default 1:
-     * callers like the serve workers already own a thread each).
+     * Unmap every chip's memory and clear register definitions while
+     * keeping all arena/table capacity. Recycled emulators call this
+     * between unrelated programs so stale mappings cannot mask
+     * unmapped-load faults; correct programs see identical results
+     * either way.
+     */
+    void resetMemory();
+
+    /**
+     * Parallelism budget for this run: chips advance concurrently and
+     * any leftover budget slices each instruction's limb plane across
+     * idle pool workers. Default 1 (fully serial on the caller's
+     * thread); 0 means "whatever the shared TaskPool has". The budget
+     * never changes results — see the limb-slicing note above.
      */
     void setWorkers(std::size_t workers) { workers_ = workers; }
     std::size_t workers() const { return workers_; }
@@ -198,6 +247,9 @@ class Emulator
 
         /** Grow to cover `index`; returns its mutable plane. */
         uint64_t *ensure(int index);
+
+        /** Drop definitions (planes stay allocated and zeroed lazily). */
+        void clearDefined();
         uint64_t *plane(int index) { return data.data() + index * n; }
         const uint64_t *
         plane(int index) const
@@ -209,6 +261,14 @@ class Emulator
     /** Execute one non-collective instruction on one chip. */
     void execute(std::size_t chip, const Instruction &ins,
                  std::size_t pc);
+
+    /**
+     * Run fn(lo, hi) over a partition of [0, n): inline when slicing
+     * is off for this run, else as a nested pool job of `slices_`
+     * contiguous ranges. Bit-identity: each element is produced by
+     * exactly one slice with the serial path's arithmetic.
+     */
+    template <typename Fn> void sliceFor(std::size_t n, Fn &&fn);
 
     /** Execute one collective across chips [lo, hi). */
     void executeCollective(const MachineProgram &program,
@@ -222,6 +282,10 @@ class Emulator
     const fhe::CkksContext *ctx_;
     std::size_t chips_;
     std::size_t workers_ = 1;
+    /** Limb slices per elementwise op this run (1 = no slicing). */
+    std::size_t slices_ = 1;
+    /** Instructions that ran sliced this run (across chips). */
+    std::atomic<std::size_t> sliced_ops_{0};
     std::vector<RegFile> regs_;
     std::vector<ChipMemory> mem_;
     /** Per-chip scratch plane (automorph/bconv aliasing). */
@@ -235,6 +299,41 @@ class Emulator
     std::vector<EmulatorStats> chip_stats_;
     EmulatorStats stats_;
     EmulatorStats last_run_;
+};
+
+/**
+ * Recycles Emulator instances — really their flat arenas and register
+ * files — across requests. Creating an emulator per request re-grows
+ * every arena from zero; a recycled one has warm capacity and only
+ * pays resetMemory(). Thread-safe: concurrent requests each acquire
+ * their own instance. All instances share one CkksContext, so a cache
+ * belongs to a serving tier (Server / remote worker), not a request.
+ *
+ * Metrics: emulator.cache.reuse / emulator.cache.create.
+ */
+class EmulatorCache
+{
+  public:
+    explicit EmulatorCache(const fhe::CkksContext &ctx) : ctx_(&ctx) {}
+
+    const fhe::CkksContext &context() const { return *ctx_; }
+
+    /**
+     * A reset emulator with `chips` chips: recycled when one is idle,
+     * freshly built otherwise.
+     */
+    std::unique_ptr<Emulator> acquire(std::size_t chips);
+
+    /** Return an emulator to the idle set for later acquire(). */
+    void release(std::unique_ptr<Emulator> emu);
+
+    /** Idle instances currently held. */
+    std::size_t idleCount() const;
+
+  private:
+    const fhe::CkksContext *ctx_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Emulator>> idle_;
 };
 
 } // namespace cinnamon::isa

@@ -7,9 +7,12 @@
  * apply when q < 2^51 (lazy values in [0, 2q) stay below 2^52) and
  * the 52-bit companion of a Shoup constant is the 64-bit one shifted
  * right by 12. Pointwise Barrett splits a*b into hi52/lo52 halves and
- * reduces each by a per-call Shoup constant (2^52 mod q and 1). Calls
- * whose operands fall outside the 52-bit domain delegate to the
- * scalar table, so the backend is valid for any modulus.
+ * reduces each by a per-call Shoup constant (2^52 mod q and 1); the
+ * base-conversion multi-MAC defers all reduction to one 104-bit
+ * column fold per vector; the automorphism runs as an inverse-walk
+ * gather. Calls whose operands fall outside the 52-bit domain (or,
+ * for the gather, off power-of-two n) delegate to the scalar table,
+ * so the backend is valid for any modulus.
  *
  * Every kernel returns the canonical residue in [0, q) — bit-identical
  * to the scalar backend; the golden-hash tests pin this.
@@ -197,6 +200,16 @@ vMacScalarShoup(uint64_t *acc, const uint64_t *a, std::size_t n,
         acc[i] = addMod(acc[i], mulModShoup(a[i], s, s_shoup, qv), qv);
 }
 
+/**
+ * Base-conversion multi-MAC with deferred accumulation: IFMA's lo/hi
+ * halves are summed raw across all k sources (2 madds per source, no
+ * per-source reduction) and the 104-bit column sum is reduced once
+ * per vector. k <= 64 and src < 2^52 keep both accumulators below
+ * 2^59, so the lanes never overflow. The result is the canonical
+ * residue of the exact integer sum — the same unique value the scalar
+ * kernel's 128-bit chunked accumulation produces, so the backends
+ * stay bit-identical.
+ */
 CINN_K_TARGET void
 vMacMulti(uint64_t *dst, const uint64_t *const *srcs, const uint64_t *fs,
           std::size_t k, std::size_t n, const Modulus &mod,
@@ -207,24 +220,53 @@ vMacMulti(uint64_t *dst, const uint64_t *const *srcs, const uint64_t *fs,
         scalarKernels().macMulti(dst, srcs, fs, k, n, mod, src_bound);
         return;
     }
-    uint64_t f52[64];
-    for (std::size_t j = 0; j < k; ++j)
-        f52[j] = shoup52(fs[j], qv);
+    // total = acc_lo + acc_hi * 2^52 is folded with the constants
+    // c52 = 2^52 mod q and c104 = 2^104 mod q, three lazy Shoup
+    // products whose sum < 6q collapses through the condSub chain.
+    const uint64_t c52v = kBound52 % qv;
+    const uint64_t c104v = static_cast<uint64_t>(
+        static_cast<uint128_t>(c52v) * c52v % qv);
+    const __m512i vc52 = _mm512_set1_epi64((long long)c52v);
+    const __m512i vc52s =
+        _mm512_set1_epi64((long long)shoup52(c52v, qv));
+    const __m512i vc104 = _mm512_set1_epi64((long long)c104v);
+    const __m512i vc104s =
+        _mm512_set1_epi64((long long)shoup52(c104v, qv));
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i one52 =
+        _mm512_set1_epi64((long long)(((uint128_t)1 << 52) / qv));
     const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i two_q = _mm512_set1_epi64((long long)(2 * qv));
+    const __m512i four_q = _mm512_set1_epi64((long long)(4 * qv));
     const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    const __m512i zero = _mm512_setzero_si512();
     std::size_t i = 0;
     for (; i + 8 <= n; i += 8) {
-        __m512i acc = _mm512_loadu_si512((const void *)(dst + i));
+        // acc_lo seeds from dst (< q), so the final residue includes
+        // the accumulator exactly as the scalar kernel's does.
+        __m512i acc_lo = _mm512_loadu_si512((const void *)(dst + i));
+        __m512i acc_hi = zero;
         for (std::size_t j = 0; j < k; ++j) {
             const __m512i x =
                 _mm512_loadu_si512((const void *)(srcs[j] + i));
             const __m512i vf = _mm512_set1_epi64((long long)fs[j]);
-            const __m512i vf52 = _mm512_set1_epi64((long long)f52[j]);
-            const __m512i m =
-                condSub(mulLazy52(x, vf, vf52, q, mask52), q);
-            acc = condSub(_mm512_add_epi64(acc, m), q);
+            acc_lo = _mm512_madd52lo_epu64(acc_lo, x, vf);
+            acc_hi = _mm512_madd52hi_epu64(acc_hi, x, vf);
         }
-        _mm512_storeu_si512((void *)(dst + i), acc);
+        const __m512i l0 = _mm512_and_si512(acc_lo, mask52);
+        const __m512i s = _mm512_add_epi64(
+            _mm512_srli_epi64(acc_lo, 52), acc_hi); // < 2^58
+        const __m512i s0 = _mm512_and_si512(s, mask52);
+        const __m512i s1 = _mm512_srli_epi64(s, 52); // < 2^6
+        __m512i r = _mm512_add_epi64(
+            mulLazy52(l0, one, one52, q, mask52),
+            _mm512_add_epi64(
+                mulLazy52(s0, vc52, vc52s, q, mask52),
+                mulLazy52(s1, vc104, vc104s, q, mask52)));
+        r = condSub(r, four_q);
+        r = condSub(r, two_q);
+        r = condSub(r, q);
+        _mm512_storeu_si512((void *)(dst + i), r);
     }
     for (; i < n; ++i) {
         uint64_t r = dst[i];
@@ -234,28 +276,110 @@ vMacMulti(uint64_t *dst, const uint64_t *const *srcs, const uint64_t *fs,
     }
 }
 
-#undef CINN_K_TARGET
-
-// Element-skipping kernels gain nothing from IFMA; keep the scalar
-// implementations (through the public scalar table).
-void
-fModReduce(uint64_t *dst, const uint64_t *a, std::size_t n, uint64_t q)
+/**
+ * dst[i] = a[i] % q for arbitrary 64-bit inputs: split a into hi/lo
+ * 52-bit halves and fold with c = 2^52 mod q — the vMul endgame
+ * without the product. q >= 2^51 delegates to the scalar kernel.
+ */
+CINN_K_TARGET void
+vModReduce(uint64_t *dst, const uint64_t *a, std::size_t n, uint64_t qv)
 {
-    scalarKernels().modReduce(dst, a, n, q);
+    if (qv >= kQ51 || n < 8) {
+        scalarKernels().modReduce(dst, a, n, qv);
+        return;
+    }
+    const uint64_t c = kBound52 % qv;
+    const __m512i vc = _mm512_set1_epi64((long long)c);
+    const __m512i vc52 = _mm512_set1_epi64((long long)shoup52(c, qv));
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i one52 =
+        _mm512_set1_epi64((long long)(((uint128_t)1 << 52) / qv));
+    const __m512i q = _mm512_set1_epi64((long long)qv);
+    const __m512i two_q = _mm512_set1_epi64((long long)(2 * qv));
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_loadu_si512((const void *)(a + i));
+        const __m512i hi = _mm512_srli_epi64(x, 52);
+        const __m512i lo = _mm512_and_si512(x, mask52);
+        __m512i r = _mm512_add_epi64(
+            mulLazy52(hi, vc, vc52, q, mask52),
+            mulLazy52(lo, one, one52, q, mask52));
+        r = condSub(r, two_q);
+        r = condSub(r, q);
+        _mm512_storeu_si512((void *)(dst + i), r);
+    }
+    for (; i < n; ++i)
+        dst[i] = a[i] % qv;
 }
 
-void
-fAutomorph(uint64_t *dst, const uint64_t *src, std::size_t n,
+/** Inverse of an odd g modulo 2^64 (Newton; 5 doublings from 3 bits). */
+inline uint64_t
+oddInverse(uint64_t g)
+{
+    uint64_t inv = g; // g*g == 1 (mod 8): correct to 3 bits
+    for (int it = 0; it < 5; ++it)
+        inv *= 2 - g * inv;
+    return inv;
+}
+
+/**
+ * Automorphism X -> X^g as a vector gather. The scalar kernel
+ * *scatters* (dst[j*g mod 2n] = ±src[j]); here each output p gathers
+ * its source instead: j0 = p * g^{-1} mod 2n, negated when j0 lands
+ * in [n, 2n) (X^n = -1, and n*g ≡ n mod 2n for odd g). The inverse
+ * exists because valid Galois elements are odd and 2n is a power of
+ * two; non-power-of-two n (kernel unit tests) or even g delegate to
+ * the scalar path. Each dst element is written once with the exact
+ * value the scalar scatter writes, so the backends are bit-identical.
+ */
+CINN_K_TARGET void
+vAutomorph(uint64_t *dst, const uint64_t *src, std::size_t n,
            uint64_t galois, uint64_t q)
 {
-    scalarKernels().automorph(dst, src, n, galois, q);
+    const uint64_t two_n = 2 * n;
+    const uint64_t g = galois % two_n;
+    if (n < 8 || (n & (n - 1)) != 0 || (g & 1) == 0) {
+        scalarKernels().automorph(dst, src, n, galois, q);
+        return;
+    }
+    const uint64_t ginv = oddInverse(g) & (two_n - 1);
+    const __m512i vq = _mm512_set1_epi64((long long)q);
+    const __m512i vn = _mm512_set1_epi64((long long)n);
+    const __m512i vtwo_n = _mm512_set1_epi64((long long)two_n);
+    const __m512i nmask = _mm512_set1_epi64((long long)(n - 1));
+    // Lane l of the index vector walks p = l, l+8, l+16, ... so the
+    // per-iteration advance is the constant 8*ginv mod 2n; wraps are
+    // the same min-trick as condSub.
+    alignas(64) uint64_t init[8];
+    for (uint64_t l = 0; l < 8; ++l)
+        init[l] = (l * ginv) & (two_n - 1);
+    __m512i j0 = _mm512_load_si512((const void *)init);
+    const __m512i step =
+        _mm512_set1_epi64((long long)((8 * ginv) & (two_n - 1)));
+    for (std::size_t p = 0; p + 8 <= n; p += 8) {
+        const __mmask8 neg = _mm512_cmpge_epu64_mask(j0, vn);
+        const __m512i idx = _mm512_and_si512(j0, nmask);
+        const __m512i x =
+            _mm512_i64gather_epi64(idx, (const void *)src, 8);
+        // Negation maps 0 -> 0, x -> q - x: the zero-masked subtract
+        // leaves zero lanes at 0 directly.
+        const __mmask8 nz = _mm512_test_epi64_mask(x, x);
+        const __m512i negx = _mm512_maskz_sub_epi64(nz, vq, x);
+        const __m512i r = _mm512_mask_mov_epi64(x, neg, negx);
+        _mm512_storeu_si512((void *)(dst + p), r);
+        j0 = condSub(_mm512_add_epi64(j0, step), vtwo_n);
+    }
+    // n is a power of two >= 8 here, so there is no tail.
 }
+
+#undef CINN_K_TARGET
 
 const KernelTable kAvx512Table = {
     "avx512",        vAdd,           vSub,
     vMul,            vNegate,        vMulScalarShoup,
-    vMacScalarShoup, vMacMulti,      fModReduce,
-    fAutomorph,
+    vMacScalarShoup, vMacMulti,      vModReduce,
+    vAutomorph,
 };
 
 } // namespace

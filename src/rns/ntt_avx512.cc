@@ -108,8 +108,77 @@ fwdBody(uint64_t *a, std::size_t n, uint64_t qv, const uint64_t *psi,
     // Wide stages (t >= 8 lanes per twiddle). Unlike the scalar
     // path's [0, 4q) laziness, both wings re-reduce to [0, 2q) so the
     // next stage's multiplier operand stays below 2^52.
+    //
+    // Consecutive stage pairs fuse into one radix-4 pass while the
+    // second stage is still wide (t/2 >= 8): the four quarter-wing
+    // vectors stay in registers between the two butterflies, halving
+    // the pass count over the array — these stages are L2-bandwidth
+    // bound, not compute bound. Each butterfly performs exactly the
+    // unfused sequence (mulLazy52 + condSub to [0, 2q)), so every
+    // intermediate and final value is bit-identical to the unfused
+    // path.
     std::size_t t = n >> 1;
     std::size_t m = 1;
+    for (; t >= 16; m <<= 2, t >>= 2) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const __m512i s1 = _mm512_set1_epi64((long long)psi[m + i]);
+            const __m512i s1_52 =
+                _mm512_set1_epi64((long long)(psi_sh[m + i] >> 12));
+            const __m512i s2a =
+                _mm512_set1_epi64((long long)psi[2 * m + 2 * i]);
+            const __m512i s2a_52 = _mm512_set1_epi64(
+                (long long)(psi_sh[2 * m + 2 * i] >> 12));
+            const __m512i s2b =
+                _mm512_set1_epi64((long long)psi[2 * m + 2 * i + 1]);
+            const __m512i s2b_52 = _mm512_set1_epi64(
+                (long long)(psi_sh[2 * m + 2 * i + 1] >> 12));
+            uint64_t *p = a + 2 * i * t;
+            const std::size_t h = t >> 1;
+            for (std::size_t j = 0; j < h; j += 8) {
+                const __m512i e0 =
+                    _mm512_loadu_si512((const void *)(p + j));
+                const __m512i e1 =
+                    _mm512_loadu_si512((const void *)(p + j + h));
+                const __m512i e2 =
+                    _mm512_loadu_si512((const void *)(p + j + t));
+                const __m512i e3 =
+                    _mm512_loadu_si512((const void *)(p + j + t + h));
+                // Stage 1 (width t): pairs (e0,e2) and (e1,e3).
+                const __m512i w0 = mulLazy52(e2, s1, s1_52, q, mask52);
+                const __m512i w1 = mulLazy52(e3, s1, s1_52, q, mask52);
+                const __m512i x0 =
+                    condSub(_mm512_add_epi64(e0, w0), two_q);
+                const __m512i x1 =
+                    condSub(_mm512_add_epi64(e1, w1), two_q);
+                const __m512i y0 = condSub(
+                    _mm512_add_epi64(_mm512_sub_epi64(e0, w0), two_q),
+                    two_q);
+                const __m512i y1 = condSub(
+                    _mm512_add_epi64(_mm512_sub_epi64(e1, w1), two_q),
+                    two_q);
+                // Stage 2 (width t/2): (x0,x1) under s2a, (y0,y1)
+                // under s2b.
+                const __m512i wx = mulLazy52(x1, s2a, s2a_52, q, mask52);
+                const __m512i wy = mulLazy52(y1, s2b, s2b_52, q, mask52);
+                _mm512_storeu_si512(
+                    (void *)(p + j),
+                    condSub(_mm512_add_epi64(x0, wx), two_q));
+                _mm512_storeu_si512(
+                    (void *)(p + j + h),
+                    condSub(_mm512_add_epi64(
+                                _mm512_sub_epi64(x0, wx), two_q),
+                            two_q));
+                _mm512_storeu_si512(
+                    (void *)(p + j + t),
+                    condSub(_mm512_add_epi64(y0, wy), two_q));
+                _mm512_storeu_si512(
+                    (void *)(p + j + t + h),
+                    condSub(_mm512_add_epi64(
+                                _mm512_sub_epi64(y0, wy), two_q),
+                            two_q));
+            }
+        }
+    }
     for (; t >= 8; m <<= 1, t >>= 1) {
         for (std::size_t i = 0; i < m; ++i) {
             const __m512i s = _mm512_set1_epi64((long long)psi[m + i]);
@@ -216,6 +285,78 @@ invBody(uint64_t *a, std::size_t n, uint64_t qv, const uint64_t *psi,
     // Vector stages (t >= 8). The difference wing reduces to [0, 2q)
     // before the twiddle product so the multiplier operand fits 52
     // bits; same residue, so the canonical result is unchanged.
+    //
+    // As in the forward transform, consecutive wide stage pairs fuse
+    // into one radix-4 pass (requires the second stage to still be a
+    // vector stage, m > 4): the sum/difference wings of two adjacent
+    // width-t groups feed the width-2t butterflies directly from
+    // registers, halving passes over the array with butterfly
+    // arithmetic — and therefore every value — unchanged.
+    for (; m > 4; m >>= 2, t <<= 2) {
+        const std::size_t h = m >> 1;  // stage-1 group count
+        const std::size_t h2 = m >> 2; // stage-2 group count
+        for (std::size_t i = 0; i < h2; ++i) {
+            const __m512i sa =
+                _mm512_set1_epi64((long long)psi[h + 2 * i]);
+            const __m512i sa52 = _mm512_set1_epi64(
+                (long long)(psi_sh[h + 2 * i] >> 12));
+            const __m512i sb =
+                _mm512_set1_epi64((long long)psi[h + 2 * i + 1]);
+            const __m512i sb52 = _mm512_set1_epi64(
+                (long long)(psi_sh[h + 2 * i + 1] >> 12));
+            const __m512i s2 = _mm512_set1_epi64((long long)psi[h2 + i]);
+            const __m512i s2_52 =
+                _mm512_set1_epi64((long long)(psi_sh[h2 + i] >> 12));
+            uint64_t *p = a + 4 * t * i;
+            for (std::size_t j = 0; j < t; j += 8) {
+                const __m512i e0 =
+                    _mm512_loadu_si512((const void *)(p + j));
+                const __m512i e1 =
+                    _mm512_loadu_si512((const void *)(p + j + t));
+                const __m512i e2 =
+                    _mm512_loadu_si512((const void *)(p + j + 2 * t));
+                const __m512i e3 =
+                    _mm512_loadu_si512((const void *)(p + j + 3 * t));
+                // Stage 1 (width t): group 2i on (e0,e1) under sa,
+                // group 2i+1 on (e2,e3) under sb.
+                const __m512i w0 =
+                    condSub(_mm512_add_epi64(e0, e1), two_q);
+                const __m512i y0 = mulLazy52(
+                    condSub(_mm512_add_epi64(
+                                _mm512_sub_epi64(e0, e1), two_q),
+                            two_q),
+                    sa, sa52, q, mask52);
+                const __m512i w1 =
+                    condSub(_mm512_add_epi64(e2, e3), two_q);
+                const __m512i y1 = mulLazy52(
+                    condSub(_mm512_add_epi64(
+                                _mm512_sub_epi64(e2, e3), two_q),
+                            two_q),
+                    sb, sb52, q, mask52);
+                // Stage 2 (width 2t): pairs (w0,w1) and (y0,y1).
+                _mm512_storeu_si512(
+                    (void *)(p + j),
+                    condSub(_mm512_add_epi64(w0, w1), two_q));
+                _mm512_storeu_si512(
+                    (void *)(p + j + 2 * t),
+                    mulLazy52(condSub(_mm512_add_epi64(
+                                          _mm512_sub_epi64(w0, w1),
+                                          two_q),
+                                      two_q),
+                              s2, s2_52, q, mask52));
+                _mm512_storeu_si512(
+                    (void *)(p + j + t),
+                    condSub(_mm512_add_epi64(y0, y1), two_q));
+                _mm512_storeu_si512(
+                    (void *)(p + j + 3 * t),
+                    mulLazy52(condSub(_mm512_add_epi64(
+                                          _mm512_sub_epi64(y0, y1),
+                                          two_q),
+                                      two_q),
+                              s2, s2_52, q, mask52));
+            }
+        }
+    }
     for (; m > 2; m >>= 1, t <<= 1) {
         const std::size_t h = m >> 1;
         std::size_t j1 = 0;

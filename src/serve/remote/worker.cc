@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/task_pool.h"
 #include "compiler/strategy.h"
 #include "exec/backend.h"
 #include "fhe/encoder.h"
@@ -50,6 +51,7 @@ struct WorkerState
     PlanCache plans; ///< serving-tier compiled-plan cache
     PlanTuner tuner; ///< autotuned plan decisions (pure function)
     fhe::Encoder encoder;
+    isa::EmulatorCache emu_cache; ///< recycled probe arenas
     std::unique_ptr<faults::FaultPlan> fault_plan;
 
     net::Socket sock;
@@ -60,7 +62,7 @@ struct WorkerState
 
     WorkerState(const fhe::CkksContext &c, const WorkerOptions &o)
         : ctx(&c), opt(o), catalog(c), runner(c), plans(c),
-          tuner(runner), encoder(c)
+          tuner(runner), encoder(c), emu_cache(c)
     {
         opt.hw.n = c.n();
         if (opt.faults.enabled())
@@ -186,8 +188,8 @@ executeSubmit(WorkerState &state, const net::SubmitMsg &submit,
             result.compile_ms += probe_compile_ms;
             const auto report = exec::EmulateBackend::executeSeeded(
                 *state.ctx, state.encoder, state.catalog.probe(),
-                compiled, submit.seed, 1,
-                fault.any() ? &fault : nullptr);
+                compiled, submit.seed, 0,
+                fault.any() ? &fault : nullptr, &state.emu_cache);
             result.digest = report.digest;
         } else if (fault.chip_fails) {
             throw faults::ChipFailedError(
@@ -311,10 +313,10 @@ executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
             const auto reports =
                 exec::EmulateBackend::executeSeededBatch(
                     *state.ctx, state.encoder, state.catalog.probe(),
-                    plan, seeds, 1,
+                    plan, seeds, 0,
                     fault_member < k ? &faults_of[fault_member]
                                      : nullptr,
-                    fault_member);
+                    fault_member, &state.emu_cache);
             for (std::size_t i = 0; i < k; ++i) {
                 results[i].digest = reports[i].digest;
                 results[i].compile_ms += probe_compile_ms;
@@ -374,6 +376,10 @@ executeSubmitBatch(WorkerState &state, const net::SubmitMsg &submit,
 int
 runWorker(const fhe::CkksContext &ctx, const WorkerOptions &options)
 {
+    // Size this process's shared execution pool before any request
+    // is in flight (0 keeps the CINNAMON_WORKERS/hardware default).
+    if (options.exec_workers != 0)
+        TaskPool::global().resize(options.exec_workers);
     WorkerState state(ctx, options);
 
     state.sock = net::Socket::connectLoopback(

@@ -75,6 +75,13 @@ struct WorkerOptions
     bool autotune = false;
     /** Force one named registry strategy ("" = default config). */
     std::string strategy;
+    /**
+     * Size of this process's shared execution TaskPool (same
+     * semantics as ServeOptions::exec_workers: 0 keeps the
+     * CINNAMON_WORKERS / hardware default). Results are bit-identical
+     * at any size.
+     */
+    std::size_t exec_workers = 0;
 };
 
 /**

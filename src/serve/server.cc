@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/task_pool.h"
 #include "compiler/runtime.h"
 #include "compiler/strategy.h"
 #include "fhe/evaluator.h"
@@ -48,6 +49,7 @@ Server::Server(const fhe::CkksContext &ctx, ServeOptions options)
     batcher_ = std::make_unique<BatchFormer>(*queue_,
                                              options_.batch_linger_ms);
     encoder_ = std::make_unique<fhe::Encoder>(ctx);
+    emu_cache_ = std::make_unique<isa::EmulatorCache>(ctx);
     if (options_.faults.enabled())
         fault_plan_ =
             std::make_unique<faults::FaultPlan>(options_.faults);
@@ -83,6 +85,11 @@ Server::start()
         started_ = true;
         start_time_ = Clock::now();
     }
+    // The serving tier owns the deployment shape, so it sizes the
+    // shared execution pool once, before any request is in flight.
+    // 0 leaves the pool at its CINNAMON_WORKERS / hardware default.
+    if (options_.exec_workers != 0)
+        TaskPool::global().resize(options_.exec_workers);
     workers_.reserve(options_.workers);
     const bool batched = options_.batch_max_streams > 1;
     for (std::size_t w = 0; w < options_.workers; ++w)
@@ -480,10 +487,12 @@ Server::processBatch(std::vector<Request> batch, std::size_t worker)
             seeds.reserve(k);
             for (const auto &m : members)
                 seeds.push_back(m.req.seed);
+            // workers=0: take the shared pool's full parallelism —
+            // idle capacity slices limb planes, results unchanged.
             auto reports = exec::EmulateBackend::executeSeededBatch(
-                *ctx_, *encoder_, catalog_->probe(), plan, seeds, 1,
+                *ctx_, *encoder_, catalog_->probe(), plan, seeds, 0,
                 fault_member < k ? &batch_fault : nullptr,
-                fault_member);
+                fault_member, emu_cache_.get());
             for (std::size_t i = 0; i < k; ++i) {
                 members[i].resp.output_hash = reports[i].digest;
                 members[i].resp.compile_ms += probe_compile_ms;
@@ -908,7 +917,7 @@ Server::runProbe(const Request &request, std::size_t group_chips,
     // and an all-clear fault decision executes identically to none.
     auto report = exec::EmulateBackend::executeSeeded(
         *ctx_, *encoder_, catalog_->probe(), compiled, request.seed,
-        1, fault);
+        0, fault, emu_cache_.get());
     return report.digest;
 }
 

@@ -52,6 +52,7 @@
 #include "common/trace.h"
 #include "faults/fault_plan.h"
 #include "fhe/encoder.h"
+#include "isa/emulator.h"
 #include "serve/batcher.h"
 #include "serve/catalog.h"
 #include "serve/plan_cache.h"
@@ -151,6 +152,14 @@ struct ServeOptions
      * request time with the registry's list.
      */
     std::string strategy;
+    /**
+     * Size of the shared execution TaskPool (chip advance + limb
+     * slicing in the emulator probe). 0 keeps the pool's current size
+     * (CINNAMON_WORKERS or hardware concurrency); a non-zero value
+     * resizes the process-wide pool once in start(). Never affects
+     * results — digests are bit-identical at any size.
+     */
+    std::size_t exec_workers = 0;
 };
 
 class Server
@@ -251,6 +260,11 @@ class Server
     std::unique_ptr<BatchFormer> batcher_;
     std::unique_ptr<ChipGroupScheduler> scheduler_;
     std::unique_ptr<fhe::Encoder> encoder_;
+    /**
+     * Recycles emulator arenas across probe requests (all workers
+     * share it; acquire/release are thread-safe).
+     */
+    std::unique_ptr<isa::EmulatorCache> emu_cache_;
     /** Non-null iff options_.faults.enabled(); shared, stateless. */
     std::unique_ptr<faults::FaultPlan> fault_plan_;
 
