@@ -88,6 +88,9 @@ struct DemoConfig
     bool autotune = false;       ///< PlanTuner picks the plan
     std::string strategy;        ///< forced strategy ("" = default)
     std::string tuner_json_path; ///< empty = no tuner dump
+    /** Restrict the trace to one workload ("" = mixed trace). */
+    std::string workload;
+    Workload only_workload = Workload::Keyswitch;
 
     // Fault injection (all layers disabled by default).
     uint64_t fault_seed = 0;
@@ -168,7 +171,24 @@ parseArgs(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--tuner-json") == 0 &&
                    i + 1 < argc)
             cfg.tuner_json_path = argv[++i];
-        else {
+        else if (std::strcmp(argv[i], "--workload") == 0 &&
+                 i + 1 < argc) {
+            cfg.workload = argv[++i];
+            if (!workloadFromName(cfg.workload,
+                                  &cfg.only_workload)) {
+                std::fprintf(stderr,
+                             "unknown workload '%s'; valid:",
+                             cfg.workload.c_str());
+                for (Workload w :
+                     {Workload::Bootstrap, Workload::ResNet,
+                      Workload::Helr, Workload::Bert,
+                      Workload::Keyswitch,
+                      Workload::ObliviousJoin})
+                    std::fprintf(stderr, " %s", workloadName(w));
+                std::fprintf(stderr, "\n");
+                std::exit(2);
+            }
+        } else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             std::exit(2);
         }
@@ -182,13 +202,16 @@ parseArgs(int argc, char **argv)
 
 /** The mixed tenant trace: request i's workload and seed. */
 Workload
-traceWorkload(std::size_t i)
+traceWorkload(const DemoConfig &cfg, std::size_t i)
 {
-    switch (i % 5) {
+    if (!cfg.workload.empty())
+        return cfg.only_workload;
+    switch (i % 6) {
     case 0: return Workload::Bootstrap;
     case 1: return Workload::ResNet;
     case 2: return Workload::Helr;
     case 3: return Workload::Bert;
+    case 4: return Workload::ObliviousJoin;
     default: return Workload::Keyswitch;
     }
 }
@@ -231,7 +254,7 @@ runTrace(const fhe::CkksContext &ctx, const DemoConfig &cfg,
     for (std::size_t i = 0; i < cfg.requests; ++i) {
         // Seed identifies the tenant's data; derive it from i so the
         // serial and concurrent runs see identical requests.
-        if (!server.submit(traceWorkload(i), 1000 + i))
+        if (!server.submit(traceWorkload(cfg, i), 1000 + i))
             ++shed;
     }
     server.drainAndStop();
@@ -325,8 +348,9 @@ writeTunerJson(const std::string &path, const fhe::CkksContext &ctx,
         return false;
     std::fprintf(f, "{\n  \"tuner\": [\n");
     const Workload workloads[] = {
-        Workload::Bootstrap, Workload::ResNet, Workload::Helr,
-        Workload::Bert, Workload::Keyswitch};
+        Workload::Bootstrap,     Workload::ResNet,
+        Workload::Helr,          Workload::Bert,
+        Workload::Keyswitch,     Workload::ObliviousJoin};
     bool first = true;
     for (Workload w : workloads) {
         const TunedPlan &plan =

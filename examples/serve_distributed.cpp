@@ -194,11 +194,12 @@ parseArgs(int argc, char **argv)
 Workload
 traceWorkload(std::size_t i)
 {
-    switch (i % 5) {
+    switch (i % 6) {
     case 0: return Workload::Bootstrap;
     case 1: return Workload::ResNet;
     case 2: return Workload::Helr;
     case 3: return Workload::Bert;
+    case 4: return Workload::ObliviousJoin;
     default: return Workload::Keyswitch;
     }
 }

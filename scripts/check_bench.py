@@ -23,6 +23,13 @@ noise, tight enough to catch a real slowdown).
                             group, streams) must match the baseline
                             exactly and the tuned plan must never be
                             slower than the default plan.
+  oblivious_join.json       written by `bench/oblivious_join`; the
+                            simulator is cycle-exact, so every rung's
+                            latency, instruction count, and keyswitch
+                            traffic — and the kernel's rotation
+                            profile — must match the baseline exactly
+                            (a drift means the compiled program
+                            changed; refresh deliberately).
 
 Usage:
   scripts/check_bench.py --emulator-throughput emulator_throughput.json \
@@ -183,12 +190,62 @@ def check_tuner(current, baseline, threshold, failures):
                             f"missing from current run")
 
 
+def check_oblivious_join(current, baseline, threshold, failures):
+    """Deterministic strategy sweep: the compiled join kernel and the
+    cycle-exact simulator make every metric exactly reproducible, so
+    any drift from the baseline is a program change, not noise
+    (threshold is unused)."""
+    del threshold
+    for field in ("rows", "key_bits", "chips", "ops", "rotations",
+                  "rotation_chain_depth"):
+        if current[field] != baseline[field]:
+            failures.append(
+                f"oblivious_join {field} {current[field]} != "
+                f"baseline {baseline[field]}")
+    base_by_strategy = {e["strategy"]: e
+                        for e in baseline["strategies"]}
+    seen = set()
+    for entry in current["strategies"]:
+        name = entry["strategy"]
+        seen.add(name)
+        base = base_by_strategy.get(name)
+        if base is None:
+            failures.append(
+                f"oblivious_join {name}: not in baseline (refresh "
+                f"and commit bench/baselines/oblivious_join.json)")
+            continue
+        problems = []
+        if abs(entry["seconds"] - base["seconds"]) > 1e-9:
+            problems.append(
+                f"seconds {entry['seconds']:.9f} drifted from "
+                f"baseline {base['seconds']:.9f}")
+        for field in ("chips", "instructions", "ks_hbm_bytes",
+                      "ks_net_bytes"):
+            if entry[field] != base[field]:
+                problems.append(
+                    f"{field} {entry[field]} != baseline "
+                    f"{base[field]}")
+        status = "FAIL" if problems else "ok"
+        print(f"  [{status}] oblivious_join {name}: "
+              f"{entry['seconds'] * 1e3:.3f} ms "
+              f"hbm={entry['ks_hbm_bytes']} "
+              f"net={entry['ks_net_bytes']}")
+        for p in problems:
+            failures.append(f"oblivious_join {name}: {p}")
+    for name in base_by_strategy:
+        if name not in seen:
+            failures.append(
+                f"oblivious_join {name}: present in baseline but "
+                f"missing from current run")
+
+
 def refresh(args):
     os.makedirs(args.baseline_dir, exist_ok=True)
     for name, path in (
         ("emulator_throughput.json", args.emulator_throughput),
         ("compile_time.json", args.compile_time),
         ("tuner.json", args.tuner),
+        ("oblivious_join.json", args.oblivious_join),
     ):
         if path is None:
             continue
@@ -214,6 +271,8 @@ def main():
                         help="current serve_demo --bench-json output")
     parser.add_argument("--tuner",
                         help="current serve_demo --tuner-json output")
+    parser.add_argument("--oblivious-join",
+                        help="current bench/oblivious_join output")
     parser.add_argument("--baseline-dir", default="bench/baselines")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated slowdown fraction")
@@ -222,10 +281,11 @@ def main():
     args = parser.parse_args()
 
     if (args.emulator_throughput is None and args.compile_time is None
-            and args.serve_plan_cache is None and args.tuner is None):
+            and args.serve_plan_cache is None and args.tuner is None
+            and args.oblivious_join is None):
         parser.error("nothing to do: pass --emulator-throughput, "
-                     "--compile-time, --serve-plan-cache, and/or "
-                     "--tuner")
+                     "--compile-time, --serve-plan-cache, --tuner, "
+                     "and/or --oblivious-join")
     if args.refresh:
         refresh(args)
         return 0
@@ -238,6 +298,8 @@ def main():
         ("serve_plan_cache.json", args.serve_plan_cache,
          check_serve_plan_cache),
         ("tuner.json", args.tuner, check_tuner),
+        ("oblivious_join.json", args.oblivious_join,
+         check_oblivious_join),
     )
     for name, path, check in checks:
         if path is None:

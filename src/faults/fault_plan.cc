@@ -7,7 +7,7 @@ namespace cinnamon::faults {
 
 namespace {
 
-/** splitmix64: the finalizer that turns keys into decision streams. */
+/** splitmix64: the finalizer turning keys into decision streams. */
 uint64_t
 mix64(uint64_t x)
 {
@@ -90,8 +90,8 @@ FaultPlan::decide(uint64_t request_seed, std::size_t attempt) const
         }
     }
     if (config_.transient_p > 0.0) {
-        const uint64_t h =
-            draw(config_.seed, request_seed, attempt, kTransientLayer);
+        const uint64_t h = draw(config_.seed, request_seed, attempt,
+                                kTransientLayer);
         d.transient = unit(h) < config_.transient_p;
     }
     if (config_.conn_drop_p > 0.0) {

@@ -62,7 +62,7 @@ struct FaultConfig
      * in-process server, which has no connections to lose.
      */
     double conn_drop_p = 0.0;
-    /** Per-attempt probability the group's network PHY is degraded. */
+    /** Per-attempt probability a group's network PHY is degraded. */
     double link_degrade_p = 0.0;
     /** Collective latency multiplier while a link is degraded. */
     double link_dilation = 4.0;
@@ -97,7 +97,7 @@ struct FaultDecision
     bool transient = false;
     /** Worker connection lost mid-request (remote serving only). */
     bool conn_drops = false;
-    /** Collective latency multiplier for this attempt (1 = healthy). */
+    /** Collective latency multiplier this attempt (1 = healthy). */
     double link_dilation = 1.0;
 
     bool any() const

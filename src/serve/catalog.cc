@@ -1,6 +1,7 @@
 #include "serve/catalog.h"
 
 #include "common/logging.h"
+#include "workloads/oblivious_join.h"
 
 namespace cinnamon::serve {
 
@@ -94,6 +95,13 @@ miniSuite(const fhe::CkksContext &ctx)
     bt.phases.push_back(Phase{"bootstrap", boot, 3, 1});
     suite[Workload::Bert] = std::move(bt);
 
+    // Encrypted-analytics miniature: the two bitonic table sorts
+    // expose 2-wide program parallelism, then the aligned merge —
+    // the same phase structure obliviousJoinBenchmark() builds at
+    // paper scale (rotate-heavy, no bootstrap).
+    suite[Workload::ObliviousJoin] =
+        workloads::obliviousJoinBenchmark(ctx);
+
     return suite;
 }
 
@@ -111,6 +119,8 @@ paperSuite(const fhe::CkksContext &ctx)
     ks.phases.push_back(Phase{
         "keyswitch", share(workloads::keyswitchKernel(ctx, 13)), 1, 1});
     suite[Workload::Keyswitch] = std::move(ks);
+    suite[Workload::ObliviousJoin] =
+        workloads::obliviousJoinBenchmark(ctx);
     return suite;
 }
 
@@ -125,8 +135,24 @@ workloadName(Workload w)
     case Workload::Helr: return "helr";
     case Workload::Bert: return "bert";
     case Workload::Keyswitch: return "keyswitch";
+    case Workload::ObliviousJoin: return "oblivious_join";
     }
     return "?";
+}
+
+bool
+workloadFromName(const std::string &name, Workload *out)
+{
+    for (Workload w :
+         {Workload::Bootstrap, Workload::ResNet, Workload::Helr,
+          Workload::Bert, Workload::Keyswitch,
+          Workload::ObliviousJoin}) {
+        if (name == workloadName(w)) {
+            *out = w;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *

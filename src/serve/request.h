@@ -23,16 +23,26 @@ namespace cinnamon::serve {
 
 using Clock = std::chrono::steady_clock;
 
-/** The workload a request asks the runtime to execute. */
+/**
+ * The workload a request asks the runtime to execute.
+ *
+ * Serialized as a uint16 on the wire (src/net/message.h), so new
+ * workloads are appended at the end — reordering would silently remap
+ * requests between mixed-version peers.
+ */
 enum class Workload {
-    Bootstrap, ///< one full CKKS bootstrap
-    ResNet,    ///< ResNet-20 CIFAR-10 inference
-    Helr,      ///< HELR logistic-regression training
-    Bert,      ///< BERT-base 128-token inference (S16, DESIGN §3)
-    Keyswitch, ///< a single rotation (smallest kernel)
+    Bootstrap,     ///< one full CKKS bootstrap
+    ResNet,        ///< ResNet-20 CIFAR-10 inference
+    Helr,          ///< HELR logistic-regression training
+    Bert,          ///< BERT-base 128-token inference (S16, DESIGN §3)
+    Keyswitch,     ///< a single rotation (smallest kernel)
+    ObliviousJoin, ///< oblivious equi-join (bitonic sort + merge)
 };
 
 const char *workloadName(Workload w);
+
+/** Parse a workloadName() string; false if unknown. */
+bool workloadFromName(const std::string &name, Workload *out);
 
 /** One encrypted-inference request. */
 struct Request

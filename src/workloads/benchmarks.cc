@@ -44,10 +44,9 @@ resnetBenchmark(const fhe::CkksContext &ctx)
         76, 1});
     b.phases.push_back(
         Phase{"relu", share(polyEvalKernel(ctx, 13, 4)), 19, 1});
-    b.phases.push_back(
-        Phase{"bootstrap",
-              share(bootstrapKernel(ctx, BootstrapShape::bootstrap13())),
-              50, 1});
+    auto boot =
+        share(bootstrapKernel(ctx, BootstrapShape::bootstrap13()));
+    b.phases.push_back(Phase{"bootstrap", boot, 50, 1});
     return b;
 }
 
@@ -60,15 +59,13 @@ helrBenchmark(const fhe::CkksContext &ctx)
     // iteration. The minibatch rows give modest 2-wide parallelism.
     Benchmark b;
     b.name = "helr";
-    b.phases.push_back(Phase{
-        "matvec", share(bsgsMatVecKernel(ctx, 13, 8, 8, "helr_mv")), 60,
-        2});
+    auto mv = share(bsgsMatVecKernel(ctx, 13, 8, 8, "helr_mv"));
+    b.phases.push_back(Phase{"matvec", mv, 60, 2});
     b.phases.push_back(
         Phase{"sigmoid", share(polyEvalKernel(ctx, 13, 3)), 30, 2});
-    b.phases.push_back(
-        Phase{"bootstrap",
-              share(bootstrapKernel(ctx, BootstrapShape::bootstrap13())),
-              16, 2});
+    auto boot =
+        share(bootstrapKernel(ctx, BootstrapShape::bootstrap13()));
+    b.phases.push_back(Phase{"bootstrap", boot, 16, 2});
     return b;
 }
 
@@ -84,12 +81,14 @@ bertBenchmark(const fhe::CkksContext &ctx)
     b.name = "bert";
     auto boot =
         share(bootstrapKernel(ctx, BootstrapShape::bootstrap13()));
-    auto attn_mv = share(bsgsMatVecKernel(ctx, 13, 8, 8, "bert_attn"));
+    auto attn_mv =
+        share(bsgsMatVecKernel(ctx, 13, 8, 8, "bert_attn"));
     auto gelu = share(polyEvalKernel(ctx, 13, 8));
     auto norm = share(polyEvalKernel(ctx, 13, 4));
 
     // 12 layers x (QKV + output + 2 FFN matvecs) x 6-wide streams.
-    b.phases.push_back(Phase{"attention_matvec", attn_mv, 12 * 48, 6});
+    b.phases.push_back(
+        Phase{"attention_matvec", attn_mv, 12 * 48, 6});
     b.phases.push_back(Phase{"attention_bootstrap", boot, 700, 6});
     b.phases.push_back(Phase{"gelu", gelu, 12 * 12, 12});
     b.phases.push_back(Phase{"gelu_bootstrap", boot, 520, 12});
@@ -138,9 +137,9 @@ BenchmarkRunner::compiled(const compiler::Program &kernel,
         compiler::Compiler comp(*ctx_, cfg);
         auto out = comp.compile(kernel);
         if (compile_ms != nullptr) {
-            *compile_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - start)
-                              .count();
+            using Ms = std::chrono::duration<double, std::milli>;
+            *compile_ms =
+                Ms(std::chrono::steady_clock::now() - start).count();
         }
         return out;
     });
@@ -163,7 +162,8 @@ BenchmarkRunner::kernelResult(const compiler::Program &kernel,
         const auto &prog = compiled(kernel, group, hw.phys_regs, ks);
         exec::SimulateBackend backend(hw);
         auto report = backend.execute(prog);
-        CINN_ASSERT(report.has_sim, "simulate backend missing result");
+        CINN_ASSERT(report.has_sim,
+                    "simulate backend missing result");
         return std::move(report.sim);
     });
 }

@@ -56,7 +56,7 @@ Benchmark bootstrapBenchmark(const fhe::CkksContext &ctx,
                              const BootstrapShape &shape =
                                  BootstrapShape::bootstrap13());
 
-/** ResNet-20 CIFAR-10 inference [43]: 1 ciphertext, ~50 bootstraps. */
+/** ResNet-20 CIFAR-10 inference [43]: 1 ct, ~50 bootstraps. */
 Benchmark resnetBenchmark(const fhe::CkksContext &ctx);
 
 /** HELR logistic-regression training [42], 30 iterations. */
@@ -76,7 +76,7 @@ struct BenchTiming
     double memory_util = 0.0;
     double network_util = 0.0;
     std::size_t kernels_simulated = 0;
-    /** Host wall-clock ms spent compiling (0 when every kernel hit). */
+    /** Host wall-clock ms compiling (0 when every kernel hit). */
     double compile_ms = 0.0;
 };
 
@@ -103,7 +103,10 @@ PublishedBaselines publishedFor(const std::string &benchmark);
 class BenchmarkRunner
 {
   public:
-    explicit BenchmarkRunner(const fhe::CkksContext &ctx) : ctx_(&ctx) {}
+    explicit BenchmarkRunner(const fhe::CkksContext &ctx)
+        : ctx_(&ctx)
+    {
+    }
 
     /**
      * Time a benchmark.

@@ -8,11 +8,11 @@
  * proportional to its limb count times n·log2(n) (the NTT bound),
  * with keyswitch-bearing ops paying the hybrid-keyswitch multiplier
  * (dnum mod-ups + evalkey inner products + mod-down). The single
- * calibration constant — effective coefficient-operations per second
- * across all cores — is chosen so a Bootstrap-13 at N = 64K costs the
- * paper's measured 33 s; every other benchmark is then predicted, not
- * fitted, and lands within ~2-3x of the paper's measurements (good
- * enough for a 10^4x speedup denominator).
+ * calibration constant — effective coefficient-operations per
+ * second across all cores — is chosen so a Bootstrap-13 at N = 64K
+ * costs the paper's measured 33 s; every other benchmark is then
+ * predicted, not fitted, and lands within ~2-3x of the paper's
+ * measurements (good enough for a 10^4x speedup denominator).
  */
 
 #ifndef CINNAMON_WORKLOADS_CPU_MODEL_H_

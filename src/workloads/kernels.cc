@@ -87,7 +87,8 @@ bsgsMatVecKernel(const fhe::CkksContext &ctx, std::size_t level,
 }
 
 Program
-polyEvalKernel(const fhe::CkksContext &ctx, std::size_t level, int depth)
+polyEvalKernel(const fhe::CkksContext &ctx, std::size_t level,
+               int depth)
 {
     CINN_ASSERT(level >= static_cast<std::size_t>(depth),
                 "polynomial depth exceeds the level budget");
@@ -132,7 +133,8 @@ BootstrapShape::bootstrap21()
 }
 
 Program
-bootstrapKernel(const fhe::CkksContext &ctx, const BootstrapShape &shape)
+bootstrapKernel(const fhe::CkksContext &ctx,
+                const BootstrapShape &shape)
 {
     CINN_ASSERT(shape.start_level <= ctx.maxLevel(),
                 "bootstrap shape exceeds the parameter chain");
@@ -154,12 +156,13 @@ bootstrapKernel(const fhe::CkksContext &ctx, const BootstrapShape &shape)
             CtHandle inner;
             for (int j = 0; j < shape.bsgs_baby; ++j) {
                 auto term = p.mulPlain(
-                    babies[j], stage + ":d" + std::to_string(i) + "_" +
-                                   std::to_string(j));
+                    babies[j], stage + ":d" + std::to_string(i) +
+                                   "_" + std::to_string(j));
                 inner = inner.valid() ? p.add(inner, term) : term;
             }
             blocks.push_back(
-                i == 0 ? inner : p.rotate(inner, i * shape.bsgs_baby));
+                i == 0 ? inner
+                       : p.rotate(inner, i * shape.bsgs_baby));
         }
         CtHandle acc;
         for (auto &b : blocks)
@@ -189,12 +192,13 @@ bootstrapKernel(const fhe::CkksContext &ctx, const BootstrapShape &shape)
             CtHandle inner;
             for (int j = 0; j < shape.bsgs_baby; ++j) {
                 auto term = p.mulPlain(
-                    babies[j], stage + ":d" + std::to_string(i) + "_" +
-                                   std::to_string(j));
+                    babies[j], stage + ":d" + std::to_string(i) +
+                                   "_" + std::to_string(j));
                 inner = inner.valid() ? p.add(inner, term) : term;
             }
             blocks.push_back(
-                i == 0 ? inner : p.rotate(inner, i * shape.bsgs_baby));
+                i == 0 ? inner
+                       : p.rotate(inner, i * shape.bsgs_baby));
         }
         CtHandle acc;
         for (auto &b : blocks)
@@ -210,8 +214,8 @@ namespace {
 
 /** One BSGS stage used by the parallel bootstrap builder. */
 compiler::CtHandle
-bsgsStage(Program &p, compiler::CtHandle ct, const BootstrapShape &shape,
-          const std::string &stage)
+bsgsStage(Program &p, compiler::CtHandle ct,
+          const BootstrapShape &shape, const std::string &stage)
 {
     std::vector<CtHandle> babies{ct};
     for (int j = 1; j < shape.bsgs_baby; ++j)
@@ -225,8 +229,9 @@ bsgsStage(Program &p, compiler::CtHandle ct, const BootstrapShape &shape,
                                        "_" + std::to_string(j));
             inner = inner.valid() ? p.add(inner, term) : term;
         }
-        blocks.push_back(i == 0 ? inner
-                                : p.rotate(inner, i * shape.bsgs_baby));
+        blocks.push_back(
+            i == 0 ? inner
+                   : p.rotate(inner, i * shape.bsgs_baby));
     }
     CtHandle acc;
     for (auto &b : blocks)

@@ -34,7 +34,7 @@ compiler::Program keyswitchKernel(const fhe::CkksContext &ctx,
 compiler::Program hoistedRotationsKernel(const fhe::CkksContext &ctx,
                                          std::size_t level, int r);
 
-/** r rotations of r ciphertexts summed (pattern 2: batched aggregation). */
+/** r rotations of r cts summed (pattern 2: batched aggregation). */
 compiler::Program rotateAggregateKernel(const fhe::CkksContext &ctx,
                                         std::size_t level, int r);
 
@@ -43,10 +43,9 @@ compiler::Program rotateAggregateKernel(const fhe::CkksContext &ctx,
  * diagonal-block partial products each rotated and aggregated, one
  * rescale. Consumes one level.
  */
-compiler::Program bsgsMatVecKernel(const fhe::CkksContext &ctx,
-                                   std::size_t level, int baby,
-                                   int giant,
-                                   const std::string &name = "matvec");
+compiler::Program bsgsMatVecKernel(
+    const fhe::CkksContext &ctx, std::size_t level, int baby,
+    int giant, const std::string &name = "matvec");
 
 /**
  * A polynomial-evaluation chain: `depth` sequential ciphertext
@@ -63,7 +62,7 @@ struct BootstrapShape
     int c2s_stages = 4;           ///< CoeffToSlot BSGS stages
     int s2c_stages = 3;           ///< SlotToCoeff BSGS stages
     int bsgs_baby = 8;            ///< rotations per stage (pattern 1)
-    int bsgs_giant = 8;           ///< aggregations per stage (pattern 2)
+    int bsgs_giant = 8;           ///< aggregations/stage (pattern 2)
     int evalmod_depth = 29;       ///< sine-evaluation multiply chain
 
     /** Levels a bootstrap with this shape consumes. */
@@ -76,7 +75,7 @@ struct BootstrapShape
     /** The paper's Bootstrap-13 (refreshes down to l_eff = 13). */
     static BootstrapShape bootstrap13();
 
-    /** Bootstrap-21 (Section 7.5: ~2x the compute of Bootstrap-13). */
+    /** Bootstrap-21 (Section 7.5: ~2x Bootstrap-13's compute). */
     static BootstrapShape bootstrap21();
 };
 
@@ -94,8 +93,8 @@ compiler::Program bootstrapKernel(const fhe::CkksContext &ctx,
  * real and imaginary EvalMod chains) run as two concurrent streams,
  * each with its own CoeffToSlot, joined before SlotToCoeff.
  */
-compiler::Program bootstrapParallelKernel(const fhe::CkksContext &ctx,
-                                          const BootstrapShape &shape);
+compiler::Program bootstrapParallelKernel(
+    const fhe::CkksContext &ctx, const BootstrapShape &shape);
 
 } // namespace cinnamon::workloads
 

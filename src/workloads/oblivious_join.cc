@@ -1,0 +1,724 @@
+#include "workloads/oblivious_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "fhe/encoder.h"
+#include "fhe/evaluator.h"
+#include "fhe/keys.h"
+
+namespace cinnamon::workloads {
+
+using compiler::CtHandle;
+using compiler::Program;
+
+// ---------------------------------------------------------------
+// Shape + schedule
+// ---------------------------------------------------------------
+
+std::size_t
+ObliviousJoinShape::sortLayers() const
+{
+    std::size_t lg = 0;
+    while ((std::size_t{1} << lg) < rows)
+        ++lg;
+    return lg * (lg + 1) / 2;
+}
+
+ObliviousJoinShape
+ObliviousJoinShape::mini()
+{
+    // 3 compare-exchange layers * 3 levels + 2 merge levels = 11,
+    // inside the ~13-level budget the serving test chains hand out.
+    ObliviousJoinShape s;
+    s.rows = 4;
+    s.key_bits = 3;
+    s.cmp_depth = 1;
+    return s;
+}
+
+ObliviousJoinShape
+ObliviousJoinShape::paper()
+{
+    // 10 layers * 4 levels + 3 merge levels = 43, inside the paper
+    // chain's level-50 serving budget.
+    ObliviousJoinShape s;
+    s.rows = 16;
+    s.key_bits = 4;
+    s.cmp_depth = 2;
+    return s;
+}
+
+std::vector<CompareExchangeLayer>
+bitonicSchedule(std::size_t rows)
+{
+    CINN_ASSERT(rows >= 2 && (rows & (rows - 1)) == 0,
+                "bitonic networks need a power-of-two row count");
+    std::vector<CompareExchangeLayer> layers;
+    for (std::size_t block = 2; block <= rows; block <<= 1) {
+        for (std::size_t dist = block >> 1; dist >= 1; dist >>= 1) {
+            CompareExchangeLayer layer;
+            layer.distance = static_cast<int>(dist);
+            layer.low_mask.assign(rows, 0);
+            layer.descending.assign(rows, 0);
+            for (std::size_t i = 0; i < rows; ++i) {
+                if ((i & dist) != 0 || i + dist >= rows)
+                    continue;
+                layer.low_mask[i] = 1;
+                layer.descending[i] = (i & block) != 0 ? 1 : 0;
+            }
+            layers.push_back(std::move(layer));
+        }
+    }
+    return layers;
+}
+
+namespace {
+
+/**
+ * The comparator the encrypted path implements: swap when
+ * (a > b) XOR descending. In descending blocks equal elements swap
+ * (1 - gt with gt = 0); harmless for sorting, and mirroring it here
+ * keeps the oracle bit-exact.
+ */
+template <typename T>
+void
+plainCompareExchange(const CompareExchangeLayer &layer,
+                     std::vector<T> &keys, std::vector<T> *payloads)
+{
+    const std::size_t d = static_cast<std::size_t>(layer.distance);
+    for (std::size_t i = 0; i < layer.low_mask.size(); ++i) {
+        if (!layer.low_mask[i])
+            continue;
+        const bool gt = keys[i] > keys[i + d];
+        const bool swap = layer.descending[i] ? !gt : gt;
+        if (swap) {
+            std::swap(keys[i], keys[i + d]);
+            if (payloads)
+                std::swap((*payloads)[i], (*payloads)[i + d]);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<int64_t>
+applyBitonicNetwork(std::vector<int64_t> v)
+{
+    for (const auto &layer : bitonicSchedule(v.size()))
+        plainCompareExchange<int64_t>(layer, v, nullptr);
+    return v;
+}
+
+std::size_t
+rotationChainDepth(const compiler::Program &prog)
+{
+    std::vector<std::size_t> depth(prog.ops().size(), 0);
+    std::size_t deepest = 0;
+    for (const auto &op : prog.ops()) {
+        std::size_t d = 0;
+        for (int arg : op.args)
+            d = std::max(d, depth[arg]);
+        if (op.kind == compiler::CtOpKind::Rotate)
+            ++d;
+        depth[op.id] = d;
+        deepest = std::max(deepest, d);
+    }
+    return deepest;
+}
+
+// ---------------------------------------------------------------
+// DSL kernels
+// ---------------------------------------------------------------
+
+namespace {
+
+/** mulPlain + rescale: re-align a ciphertext with the round below. */
+CtHandle
+dslBump(Program &p, CtHandle x, const std::string &prefix)
+{
+    return p.rescale(p.mulPlain(x, prefix + ":one"));
+}
+
+/**
+ * The sort dataflow on (keys, payload) handles. Every layer rotates
+ * by +/- distance, runs a cmp_depth comparator chain, folds the
+ * plaintext direction/pair masks, and blends the swap — consuming
+ * shape.layerLevels() levels.
+ */
+std::pair<CtHandle, CtHandle>
+sortBody(Program &p, CtHandle keys, CtHandle pay,
+         const ObliviousJoinShape &shape, const std::string &prefix)
+{
+    const auto schedule = bitonicSchedule(shape.rows);
+    std::size_t li = 0;
+    for (const auto &layer : schedule) {
+        const int d = layer.distance;
+        const std::string lname =
+            prefix + ":l" + std::to_string(li++);
+
+        // Comparator chain (pattern: rotate + multiply, repeated).
+        auto cmp = p.rescale(p.mul(keys, p.rotate(keys, d)));
+        keys = dslBump(p, keys, lname);
+        pay = dslBump(p, pay, lname);
+        for (int j = 1; j < shape.cmp_depth; ++j) {
+            cmp = p.rescale(p.mul(cmp, p.rotate(cmp, d)));
+            keys = dslBump(p, keys, lname);
+            pay = dslBump(p, pay, lname);
+        }
+
+        // Direction/low-pair fold: one plaintext mask per layer.
+        auto sel = p.rescale(p.mulPlain(cmp, lname + ":dirmask"));
+        keys = dslBump(p, keys, lname);
+        pay = dslBump(p, pay, lname);
+
+        // Masked select: x + s*(rot(x,d) - x) + s_up*(rot(x,-d) - x).
+        auto sel_up = p.rotate(sel, -d);
+        for (CtHandle *x : {&keys, &pay}) {
+            auto lo = p.rescale(
+                p.mul(sel, p.sub(p.rotate(*x, d), *x)));
+            auto hi = p.rescale(
+                p.mul(sel_up, p.sub(p.rotate(*x, -d), *x)));
+            *x = p.add(p.add(dslBump(p, *x, lname), lo), hi);
+        }
+    }
+    return {keys, pay};
+}
+
+/**
+ * The aligned merge dataflow: one equality probe + payload blend per
+ * window offset, a log-depth contribution tree, and the rotate-
+ * accumulate total — consuming shape.mergeLevels() levels.
+ */
+void
+mergeBody(Program &p, CtHandle kr, CtHandle pr, CtHandle ks,
+          CtHandle ps, const ObliviousJoinShape &shape,
+          const std::string &prefix)
+{
+    // Payloads ride below the equality chain.
+    for (int j = 0; j < shape.cmp_depth; ++j) {
+        pr = dslBump(p, pr, prefix);
+        ps = dslBump(p, ps, prefix);
+    }
+
+    const int w = static_cast<int>(shape.rows) - 1;
+    std::vector<CtHandle> contribs;
+    for (int o = -w; o <= w; ++o) {
+        auto kso = o == 0 ? ks : p.rotate(ks, o);
+        auto eq = p.rescale(p.mul(kr, kso));
+        for (int j = 1; j < shape.cmp_depth; ++j)
+            eq = p.rescale(p.mul(eq, eq));
+        auto pso = o == 0 ? ps : p.rotate(ps, o);
+        contribs.push_back(
+            p.rescale(p.mul(eq, p.add(pr, pso))));
+    }
+
+    // Log-depth aggregation tree over the window contributions.
+    while (contribs.size() > 1) {
+        std::vector<CtHandle> next;
+        for (std::size_t i = 0; i + 1 < contribs.size(); i += 2)
+            next.push_back(p.add(contribs[i], contribs[i + 1]));
+        if (contribs.size() % 2 == 1)
+            next.push_back(contribs.back());
+        contribs = std::move(next);
+    }
+    p.output(prefix + ":join", contribs[0]);
+
+    // Aggregate total: rotate-accumulate tree over the table slots.
+    auto total = contribs[0];
+    for (int d = 1; d < static_cast<int>(shape.rows); d <<= 1)
+        total = p.add(total, p.rotate(total, d));
+    p.output(prefix + ":total", total);
+}
+
+} // namespace
+
+Program
+bitonicSortKernel(const fhe::CkksContext &ctx, std::size_t level,
+                  const ObliviousJoinShape &shape,
+                  const std::string &name)
+{
+    CINN_ASSERT(level >= shape.sortLevels(),
+                "bitonic sort exceeds the level budget");
+    Program p(name, ctx);
+    auto keys = p.input(name + ":keys", level);
+    auto pay = p.input(name + ":pay", level);
+    auto [ks, ps] = sortBody(p, keys, pay, shape, name);
+    p.output(name + ":keys_sorted", ks);
+    p.output(name + ":pay_sorted", ps);
+    return p;
+}
+
+Program
+alignedMergeJoinKernel(const fhe::CkksContext &ctx, std::size_t level,
+                       const ObliviousJoinShape &shape,
+                       const std::string &name)
+{
+    CINN_ASSERT(level >= shape.mergeLevels(),
+                "aligned merge exceeds the level budget");
+    Program p(name, ctx);
+    auto kr = p.input(name + ":keys_r", level);
+    auto pr = p.input(name + ":pay_r", level);
+    auto ks = p.input(name + ":keys_s", level);
+    auto ps = p.input(name + ":pay_s", level);
+    mergeBody(p, kr, pr, ks, ps, shape, name);
+    return p;
+}
+
+Program
+obliviousJoinKernel(const fhe::CkksContext &ctx, std::size_t level,
+                    const ObliviousJoinShape &shape)
+{
+    CINN_ASSERT(level >= shape.consumed(),
+                "oblivious join exceeds the level budget");
+    Program p("oblivious_join", ctx);
+
+    // The two table sorts are independent — expressed as two
+    // concurrent streams, exactly like the parallel bootstrap's
+    // EvalMod paths (the compiler spreads them across chip groups).
+    auto kr = p.input("oj:keys_r", level);
+    auto pr = p.input("oj:pay_r", level);
+    auto [krs, prs] = sortBody(p, kr, pr, shape, "oj:r");
+    p.beginStream(1);
+    auto ks = p.input("oj:keys_s", level);
+    auto ps = p.input("oj:pay_s", level);
+    auto [kss, pss] = sortBody(p, ks, ps, shape, "oj:s");
+    p.endStream();
+
+    mergeBody(p, krs, prs, kss, pss, shape, "oj");
+    return p;
+}
+
+Benchmark
+obliviousJoinBenchmark(const fhe::CkksContext &ctx)
+{
+    const bool paper_scale = ctx.maxLevel() >= 51;
+    const ObliviousJoinShape shape = paper_scale
+                                         ? ObliviousJoinShape::paper()
+                                         : ObliviousJoinShape::mini();
+    const std::size_t lvl =
+        paper_scale ? 50 : ctx.maxLevel() - 2;
+
+    auto share = [](Program prog) {
+        return std::make_shared<Program>(std::move(prog));
+    };
+    Benchmark b;
+    b.name = "oblivious_join";
+    b.phases.push_back(Phase{
+        "sort",
+        share(bitonicSortKernel(ctx, lvl, shape, "oj_sort")), 2, 2});
+    b.phases.push_back(Phase{
+        "merge",
+        share(alignedMergeJoinKernel(ctx, lvl, shape, "oj_merge")),
+        1, 1});
+    return b;
+}
+
+// ---------------------------------------------------------------
+// Plaintext reference
+// ---------------------------------------------------------------
+
+JoinTable
+randomJoinTable(const ObliviousJoinShape &shape, uint64_t seed)
+{
+    const uint64_t key_space =
+        (uint64_t{1} << shape.key_bits) - 1; // key 0 = slot padding
+    CINN_ASSERT(shape.rows <= key_space,
+                "key space too small for distinct keys");
+    std::vector<uint64_t> candidates;
+    for (uint64_t k = 1; k <= key_space; ++k)
+        candidates.push_back(k);
+    Rng rng(seed);
+    for (std::size_t i = candidates.size() - 1; i > 0; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniformMod(i + 1));
+        std::swap(candidates[i], candidates[j]);
+    }
+    JoinTable t;
+    for (std::size_t i = 0; i < shape.rows; ++i) {
+        t.keys.push_back(candidates[i]);
+        t.payloads.push_back(
+            1 + static_cast<int64_t>(rng.uniformMod(9)));
+    }
+    return t;
+}
+
+JoinResult
+plainSortMergeJoin(const ObliviousJoinShape &shape,
+                   const JoinTable &r, const JoinTable &s)
+{
+    CINN_ASSERT(r.keys.size() == shape.rows &&
+                    s.keys.size() == shape.rows,
+                "table size must match the shape");
+    auto sortTable = [&](const JoinTable &t) {
+        std::vector<int64_t> keys(t.keys.begin(), t.keys.end());
+        std::vector<int64_t> pays = t.payloads;
+        for (const auto &layer : bitonicSchedule(shape.rows))
+            plainCompareExchange<int64_t>(layer, keys, &pays);
+        return std::make_pair(std::move(keys), std::move(pays));
+    };
+    auto [rk, rp] = sortTable(r);
+    auto [sk, sp] = sortTable(s);
+
+    JoinResult out;
+    out.r_keys_sorted = rk;
+    out.join.assign(shape.rows, 0);
+    for (std::size_t i = 0; i < shape.rows; ++i) {
+        for (std::size_t j = 0; j < shape.rows; ++j) {
+            if (sk[j] == rk[i]) {
+                out.join[i] = rp[i] + sp[j];
+                break;
+            }
+        }
+        out.total += out.join[i];
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Real-FHE pipeline
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Level/scale lockstep for the encrypted network: every tracked
+ * ciphertext is multiplied exactly once per round (by a partner or
+ * by an all-ones plaintext encoded at its exact scale) and rescaled,
+ * so scales stay bit-identical across branches and additions never
+ * see drift. This is the ciphertext-side discipline the DSL's
+ * waterline inference models.
+ */
+struct FheRound
+{
+    const fhe::CkksContext *ctx;
+    fhe::Encoder *enc;
+    fhe::Evaluator *ev;
+    const fhe::EvalKey *relin;
+    const fhe::GaloisKeys *gks;
+
+    using Ct = fhe::Ciphertext;
+
+    rns::RnsPoly
+    encodeAt(const std::vector<double> &vals, const Ct &like) const
+    {
+        std::vector<fhe::Cplx> slots(vals.size());
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            slots[i] = fhe::Cplx(vals[i], 0.0);
+        return enc->encode(slots, like.level, like.scale);
+    }
+
+    Ct
+    mulc(const Ct &a, const Ct &b) const
+    {
+        return ev->rescale(ev->mul(a, b, *relin));
+    }
+
+    Ct
+    mulp(const Ct &a, const std::vector<double> &vals) const
+    {
+        return ev->rescale(
+            ev->mulPlain(a, encodeAt(vals, a), a.scale));
+    }
+
+    Ct
+    bump(const Ct &a) const
+    {
+        return mulp(a, std::vector<double>(ctx->slots(), 1.0));
+    }
+
+    /** 1 - a, exact at a's level and scale. */
+    Ct
+    oneMinus(const Ct &a) const
+    {
+        return ev->addPlain(
+            ev->negate(a),
+            enc->encodeConstant(1.0, a.level, a.scale), a.scale);
+    }
+
+    Ct
+    addp(const Ct &a, const std::vector<double> &vals) const
+    {
+        return ev->addPlain(a, encodeAt(vals, a), a.scale);
+    }
+
+    /**
+     * Scale re-anchor: multiply by ones encoded at Δ·q/s so the
+     * rescaled result lands on Δ exactly. The exact-scale ladder
+     * squares its per-prime drift every round (the double-
+     * exponential compounding the DSL's waterline comment warns
+     * about), so deep networks re-anchor once per layer.
+     */
+    Ct
+    anchor(const Ct &a) const
+    {
+        const double target = ctx->params().scale *
+                              static_cast<double>(ctx->q(a.level)) /
+                              a.scale;
+        return ev->rescale(ev->mulPlain(
+            a,
+            enc->encodeConstant(1.0, a.level, target), target));
+    }
+
+    Ct
+    rot(const Ct &a, int steps) const
+    {
+        return ev->rotate(a, steps, *gks);
+    }
+};
+
+struct EncTable
+{
+    std::vector<fhe::Ciphertext> planes; ///< key bits, LSB first
+    fhe::Ciphertext pay;
+};
+
+/**
+ * One compare-exchange layer on every table in lockstep. Key
+ * comparison is the exact bitwise circuit: per bit, gt_t = a_t(1-b_t)
+ * and eq_t = 1-(a_t-b_t)^2, folded MSB-down as
+ * gt = gt_{b-1} + eq_{b-1}(gt_{b-2} + eq_{b-2}(...)). All values stay
+ * in {0,1}, so the swap select is exact arithmetic.
+ */
+void
+encryptedCompareExchange(const FheRound &f,
+                         const CompareExchangeLayer &layer,
+                         std::vector<EncTable *> tables,
+                         std::size_t slots)
+{
+    const int d = layer.distance;
+    const std::size_t bits = tables[0]->planes.size();
+
+    // Round 1: per-bit gt and squared-difference terms.
+    struct Scratch
+    {
+        std::vector<fhe::Ciphertext> g, sq;
+        fhe::Ciphertext inner;
+    };
+    std::vector<Scratch> scratch(tables.size());
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+        EncTable &t = *tables[ti];
+        Scratch &sc = scratch[ti];
+        for (std::size_t b = 0; b < bits; ++b) {
+            auto rotated = f.rot(t.planes[b], d);
+            sc.g.push_back(
+                f.mulc(t.planes[b], f.oneMinus(rotated)));
+            auto diff = f.ev->sub(t.planes[b], rotated);
+            sc.sq.push_back(f.mulc(diff, diff));
+        }
+        for (auto &pl : t.planes)
+            pl = f.bump(pl);
+        t.pay = f.bump(t.pay);
+        sc.inner = sc.g[0];
+    }
+
+    // Fold rounds: one lexicographic composition step per extra bit.
+    for (std::size_t b = 1; b < bits; ++b) {
+        for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+            EncTable &t = *tables[ti];
+            Scratch &sc = scratch[ti];
+            sc.inner = f.ev->add(
+                f.bump(sc.g[b]),
+                f.mulc(f.oneMinus(sc.sq[b]), sc.inner));
+            for (std::size_t j = b + 1; j < bits; ++j) {
+                sc.g[j] = f.bump(sc.g[j]);
+                sc.sq[j] = f.bump(sc.sq[j]);
+            }
+            for (auto &pl : t.planes)
+                pl = f.bump(pl);
+            t.pay = f.bump(t.pay);
+        }
+    }
+
+    // Direction/mask fold: sel = low * (gt XOR dir), dir plaintext.
+    std::vector<double> flip(slots, 0.0), offset(slots, 0.0);
+    for (std::size_t i = 0; i < layer.low_mask.size(); ++i) {
+        if (!layer.low_mask[i])
+            continue;
+        flip[i] = layer.descending[i] ? -1.0 : 1.0;
+        offset[i] = layer.descending[i] ? 1.0 : 0.0;
+    }
+    std::vector<fhe::Ciphertext> sel(tables.size());
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+        EncTable &t = *tables[ti];
+        sel[ti] = f.addp(f.mulp(scratch[ti].inner, flip), offset);
+        for (auto &pl : t.planes)
+            pl = f.bump(pl);
+        t.pay = f.bump(t.pay);
+    }
+
+    // Blend select: x + s*(rot(x,d)-x) + rot(s,-d)*(rot(x,-d)-x).
+    for (std::size_t ti = 0; ti < tables.size(); ++ti) {
+        EncTable &t = *tables[ti];
+        const auto &s = sel[ti];
+        auto s_up = f.rot(s, -d);
+        auto blend = [&](fhe::Ciphertext &x) {
+            auto lo = f.mulc(s, f.ev->sub(f.rot(x, d), x));
+            auto hi = f.mulc(s_up, f.ev->sub(f.rot(x, -d), x));
+            x = f.ev->add(f.ev->add(f.bump(x), lo), hi);
+        };
+        for (auto &pl : t.planes)
+            blend(pl);
+        blend(t.pay);
+    }
+
+    // Re-anchor every survivor on the waterline scale.
+    for (EncTable *t : tables) {
+        for (auto &pl : t->planes)
+            pl = f.anchor(pl);
+        t->pay = f.anchor(t->pay);
+    }
+}
+
+std::vector<int64_t>
+roundedSlots(const FheRound &f, const fhe::Ciphertext &ct,
+             const fhe::SecretKey &sk, std::size_t count)
+{
+    const auto slots =
+        f.enc->decode(f.ev->decrypt(ct, sk), ct.scale);
+    std::vector<int64_t> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = std::llround(slots[i].real());
+    return out;
+}
+
+} // namespace
+
+JoinResult
+encryptedObliviousJoin(const ObliviousJoinShape &shape,
+                       const JoinTable &r, const JoinTable &s,
+                       uint64_t key_seed)
+{
+    const std::size_t bits =
+        static_cast<std::size_t>(shape.key_bits);
+    const std::size_t layers = shape.sortLayers();
+    // Rounds: per layer 1 (bit terms) + bits-1 (fold) + 1 (mask) +
+    // 1 (select) + 1 (scale re-anchor); merge 1 (probes) + bits-1
+    // (fold) + 1 (blend).
+    const std::size_t rounds =
+        layers * (bits + 3) + bits + 1;
+    const std::size_t levels = rounds + 2;
+
+    auto params =
+        fhe::CkksParams::makeTest(std::size_t{1} << 8, levels, 4);
+    fhe::CkksContext ctx(params);
+    const std::size_t slots = ctx.slots();
+    CINN_ASSERT(2 * shape.rows <= slots,
+                "table does not fit the slot vector");
+
+    fhe::Encoder enc(ctx);
+    fhe::Evaluator ev(ctx);
+    fhe::KeyGenerator keygen(ctx, key_seed);
+    auto sk = keygen.secretKey();
+    auto relin = keygen.relinKey(sk);
+
+    // Every rotation the network needs: +/- the layer distances, the
+    // merge window offsets, and the total-sum tree strides.
+    std::set<int> steps;
+    for (const auto &layer : bitonicSchedule(shape.rows)) {
+        steps.insert(layer.distance);
+        steps.insert(-layer.distance);
+    }
+    for (int o = 1; o < static_cast<int>(shape.rows); ++o) {
+        steps.insert(o);
+        steps.insert(-o);
+    }
+    for (int d = 1; d < static_cast<int>(shape.rows); d <<= 1)
+        steps.insert(d);
+    auto gks = keygen.galoisKeys(
+        sk, std::vector<int>(steps.begin(), steps.end()));
+
+    FheRound f{&ctx, &enc, &ev, &relin, &gks};
+    Rng rng(key_seed ^ 0x9e3779b97f4a7c15ULL);
+
+    auto encryptTable = [&](const JoinTable &t) {
+        EncTable et;
+        for (std::size_t b = 0; b < bits; ++b) {
+            std::vector<fhe::Cplx> plane(slots, 0.0);
+            for (std::size_t i = 0; i < shape.rows; ++i)
+                plane[i] = fhe::Cplx(
+                    static_cast<double>((t.keys[i] >> b) & 1), 0.0);
+            et.planes.push_back(ev.encrypt(
+                enc.encode(plane, ctx.maxLevel()), params.scale, sk,
+                rng));
+        }
+        std::vector<fhe::Cplx> pay(slots, 0.0);
+        for (std::size_t i = 0; i < shape.rows; ++i)
+            pay[i] = fhe::Cplx(
+                static_cast<double>(t.payloads[i]), 0.0);
+        et.pay = ev.encrypt(enc.encode(pay, ctx.maxLevel()),
+                            params.scale, sk, rng);
+        return et;
+    };
+    EncTable tr = encryptTable(r);
+    EncTable ts = encryptTable(s);
+
+    // Both tables sort through the same rounds so the merge sees
+    // level/scale-aligned operands.
+    for (const auto &layer : bitonicSchedule(shape.rows))
+        encryptedCompareExchange(f, layer, {&tr, &ts}, slots);
+
+    // Merge round 1: key reconstruction for the sorted-R output plus
+    // one squared-difference probe per (offset, bit).
+    fhe::Ciphertext r_keys;
+    for (std::size_t b = 0; b < bits; ++b) {
+        auto term = f.mulp(
+            tr.planes[b],
+            std::vector<double>(slots,
+                                static_cast<double>(1ULL << b)));
+        r_keys = b == 0 ? term : ev.add(r_keys, term);
+    }
+    const int w = static_cast<int>(shape.rows) - 1;
+    std::vector<std::vector<fhe::Ciphertext>> sq;
+    for (int o = -w; o <= w; ++o) {
+        std::vector<fhe::Ciphertext> per_bit;
+        for (std::size_t b = 0; b < bits; ++b) {
+            auto kso =
+                o == 0 ? ts.planes[b] : f.rot(ts.planes[b], o);
+            auto diff = ev.sub(tr.planes[b], kso);
+            per_bit.push_back(f.mulc(diff, diff));
+        }
+        sq.push_back(std::move(per_bit));
+    }
+    tr.pay = f.bump(tr.pay);
+    ts.pay = f.bump(ts.pay);
+
+    // Fold rounds: eq_o = prod_b (1 - sq_{o,b}).
+    std::vector<fhe::Ciphertext> eq(sq.size());
+    for (std::size_t oi = 0; oi < sq.size(); ++oi)
+        eq[oi] = f.oneMinus(sq[oi][0]);
+    for (std::size_t b = 1; b < bits; ++b) {
+        for (std::size_t oi = 0; oi < sq.size(); ++oi) {
+            eq[oi] = f.mulc(eq[oi], f.oneMinus(sq[oi][b]));
+            for (std::size_t j = b + 1; j < bits; ++j)
+                sq[oi][j] = f.bump(sq[oi][j]);
+        }
+        tr.pay = f.bump(tr.pay);
+        ts.pay = f.bump(ts.pay);
+    }
+
+    // Blend round: join[i] = sum_o eq_o[i] * (pr[i] + ps[i + o]).
+    fhe::Ciphertext join;
+    std::size_t oi = 0;
+    for (int o = -w; o <= w; ++o, ++oi) {
+        auto pso = o == 0 ? ts.pay : f.rot(ts.pay, o);
+        auto contrib = f.mulc(eq[oi], ev.add(tr.pay, pso));
+        join = oi == 0 ? contrib : ev.add(join, contrib);
+    }
+
+    // Log-depth rotate-accumulate for the aggregate total.
+    auto total = join;
+    for (int d = 1; d < static_cast<int>(shape.rows); d <<= 1)
+        total = ev.add(total, f.rot(total, d));
+
+    JoinResult out;
+    out.r_keys_sorted = roundedSlots(f, r_keys, sk, shape.rows);
+    out.join = roundedSlots(f, join, sk, shape.rows);
+    out.total = roundedSlots(f, total, sk, 1)[0];
+    return out;
+}
+
+} // namespace cinnamon::workloads

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The oblivious equi-join family (`Workload::ObliviousJoin`).
+ *
+ * Encrypted-analytics counterpart to the ML benchmarks: a fully
+ * data-independent sort-merge join in the style of Krastnikov et al.
+ * (PVLDB'20), expressed over packed CKKS slots. Both join tables are
+ * sorted by a bitonic sorting network whose compare-exchange is a
+ * rotate + masked select (the comparator outcome is a {0,1} slot
+ * vector, so every swap is an arithmetic blend — no data-dependent
+ * control flow ever exists), then merged by an aligned window of
+ * equality probes, and reduced by a log-depth aggregation tree.
+ *
+ * Two faces share one schedule:
+ *
+ *  - DSL kernels (`bitonicSortKernel` / `alignedMergeJoinKernel` /
+ *    `obliviousJoinKernel`) feed the compiler, simulator, catalog,
+ *    and PlanTuner. Their rotate-heavy compare-exchange layers and
+ *    wide merge fan-in stress the keyswitch pass very differently
+ *    from the BSGS matvec shapes of the ML suite.
+ *
+ *  - A real-FHE pipeline (`encryptedObliviousJoin`) runs the same
+ *    network through fhe::Evaluator with keys encoded bitwise, so
+ *    comparisons are exact {0,1} arithmetic and the decrypted join
+ *    output matches `plainSortMergeJoin` bit for bit after rounding.
+ */
+
+#ifndef CINNAMON_WORKLOADS_OBLIVIOUS_JOIN_H_
+#define CINNAMON_WORKLOADS_OBLIVIOUS_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/dsl.h"
+#include "workloads/benchmarks.h"
+
+namespace cinnamon::workloads {
+
+/** The structural knobs of an oblivious-join instance. */
+struct ObliviousJoinShape
+{
+    std::size_t rows = 4; ///< rows per table (a power of two)
+    int key_bits = 3;     ///< keys drawn from [1, 2^key_bits)
+    /**
+     * Depth of the comparator chain a DSL compare-exchange layer
+     * models (the real pipeline's depth follows key_bits instead).
+     */
+    int cmp_depth = 1;
+
+    /** Compare-exchange layers of the bitonic network: lg^2 form. */
+    std::size_t sortLayers() const;
+
+    /** Levels one DSL compare-exchange layer consumes. */
+    std::size_t
+    layerLevels() const
+    {
+        return static_cast<std::size_t>(cmp_depth) + 2;
+    }
+
+    /** Levels the DSL sort kernel consumes. */
+    std::size_t
+    sortLevels() const
+    {
+        return sortLayers() * layerLevels();
+    }
+
+    /** Levels the DSL merge kernel consumes. */
+    std::size_t
+    mergeLevels() const
+    {
+        return static_cast<std::size_t>(cmp_depth) + 1;
+    }
+
+    /** Levels the fused DSL join kernel consumes. */
+    std::size_t
+    consumed() const
+    {
+        return sortLevels() + mergeLevels();
+    }
+
+    /** Merge window width: every offset in (-rows, rows). */
+    std::size_t
+    window() const
+    {
+        return 2 * rows - 1;
+    }
+
+    /** 4-row miniature fitting the ~16-level test chains. */
+    static ObliviousJoinShape mini();
+
+    /** The paper-parameter variant (16-row tables, deeper keys). */
+    static ObliviousJoinShape paper();
+};
+
+/**
+ * One compare-exchange layer of the bitonic network over `rows`
+ * slots. Pairs are (i, i + distance) for every slot i with
+ * low_mask[i] = 1; descending[i] says whether the pair at low slot i
+ * orders descending. Both masks are data-independent functions of the
+ * slot index only, which is what lets them be *plaintext* masks under
+ * CKKS packing.
+ */
+struct CompareExchangeLayer
+{
+    int distance = 1;
+    std::vector<uint8_t> low_mask;   ///< size rows; 1 = low element
+    std::vector<uint8_t> descending; ///< size rows; dir at low slot
+};
+
+/** The full layer schedule for a `rows`-input bitonic sort. */
+std::vector<CompareExchangeLayer> bitonicSchedule(std::size_t rows);
+
+/**
+ * Apply the bitonic network to a plain vector (ascending). Exactly
+ * the arithmetic the encrypted path performs — including the
+ * swap-on-equal convention in descending blocks — so it doubles as
+ * the 0-1-principle test oracle.
+ */
+std::vector<int64_t> applyBitonicNetwork(std::vector<int64_t> v);
+
+/** Longest rotate-to-rotate dependence chain in a DSL program. */
+std::size_t rotationChainDepth(const compiler::Program &prog);
+
+// ---------------------------------------------------------------
+// DSL kernels (compiler / simulator / catalog face)
+// ---------------------------------------------------------------
+
+/**
+ * Bitonic sort of one packed table (keys + payload ciphertexts):
+ * per layer, rotate by ±distance, a cmp_depth comparator chain, a
+ * masked direction fold, and the blend select. Consumes
+ * shape.sortLevels() levels from `level`.
+ */
+compiler::Program
+bitonicSortKernel(const fhe::CkksContext &ctx, std::size_t level,
+                  const ObliviousJoinShape &shape,
+                  const std::string &name = "oblivious_sort");
+
+/**
+ * Aligned merge of two sorted tables: every window offset rotates
+ * the S table, probes key equality, and blends the payload pair;
+ * contributions reduce through a log-depth addition tree, and a
+ * rotate-accumulate tree emits the aggregate total. Consumes
+ * shape.mergeLevels() levels.
+ */
+compiler::Program
+alignedMergeJoinKernel(const fhe::CkksContext &ctx, std::size_t level,
+                       const ObliviousJoinShape &shape,
+                       const std::string &name = "oblivious_merge");
+
+/**
+ * The fused pipeline: both table sorts as two concurrent streams
+ * (program-level parallelism), then the aligned merge + aggregation
+ * in stream 0. Consumes shape.consumed() levels.
+ */
+compiler::Program
+obliviousJoinKernel(const fhe::CkksContext &ctx, std::size_t level,
+                    const ObliviousJoinShape &shape);
+
+/**
+ * The catalog benchmark: two sort invocations exposing 2-wide
+ * program parallelism, then the merge phase. Shape auto-scales to
+ * the context (paper variant at a >= 51-level chain, the miniature
+ * otherwise).
+ */
+Benchmark obliviousJoinBenchmark(const fhe::CkksContext &ctx);
+
+// ---------------------------------------------------------------
+// Plaintext reference + real-FHE pipeline
+// ---------------------------------------------------------------
+
+/** One plaintext join table: distinct keys with integer payloads. */
+struct JoinTable
+{
+    std::vector<uint64_t> keys;
+    std::vector<int64_t> payloads;
+};
+
+/**
+ * Deterministic random table for `seed`: shape.rows distinct keys
+ * from [1, 2^key_bits) (0 is reserved as slot padding) and small
+ * positive payloads.
+ */
+JoinTable randomJoinTable(const ObliviousJoinShape &shape,
+                          uint64_t seed);
+
+/** The reference outputs the encrypted pipeline must reproduce. */
+struct JoinResult
+{
+    /** R's keys after the sort network (slot i = rank i). */
+    std::vector<int64_t> r_keys_sorted;
+    /**
+     * Slot i: payload_R[i] + payload_S[match] when sorted-R row i's
+     * key exists in S, else 0 — the join vector.
+     */
+    std::vector<int64_t> join;
+    int64_t total = 0; ///< sum of the join vector
+};
+
+/** Plain sort + merge join (the oracle). */
+JoinResult plainSortMergeJoin(const ObliviousJoinShape &shape,
+                              const JoinTable &r, const JoinTable &s);
+
+/**
+ * The real-FHE pipeline: encrypt both tables (keys as per-bit
+ * ciphertext planes), run the bitonic network and aligned merge
+ * homomorphically, decrypt, and round slots to integers. With
+ * bitwise keys every comparator is exact {0,1} arithmetic, so the
+ * rounded outputs equal plainSortMergeJoin exactly. Builds its own
+ * small CKKS deployment sized to the network depth.
+ */
+JoinResult encryptedObliviousJoin(const ObliviousJoinShape &shape,
+                                  const JoinTable &r,
+                                  const JoinTable &s,
+                                  uint64_t key_seed = 777);
+
+} // namespace cinnamon::workloads
+
+#endif // CINNAMON_WORKLOADS_OBLIVIOUS_JOIN_H_

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the oblivious equi-join workload family: the bitonic
+ * network against the 0-1 principle, the encrypted pipeline against
+ * the plaintext oracle (bit-for-bit after rounding), the catalog /
+ * serving registration, batched-vs-unbatched digest identity for
+ * ObliviousJoin requests, and PlanTuner decision determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "compiler/strategy.h"
+#include "serve/catalog.h"
+#include "serve/server.h"
+#include "serve/tuner.h"
+#include "workloads/benchmarks.h"
+#include "workloads/oblivious_join.h"
+
+using namespace cinnamon;
+using namespace cinnamon::serve;
+using namespace cinnamon::workloads;
+
+namespace {
+
+/** Same 16-level test chain the serving tests use. */
+const fhe::CkksContext &
+serveContext()
+{
+    static fhe::CkksContext ctx(
+        fhe::CkksParams::makeTest(1 << 8, 16, 4));
+    return ctx;
+}
+
+ServeOptions
+smallOptions()
+{
+    ServeOptions opt;
+    opt.chips = 8;
+    opt.group_size = 4;
+    opt.workers = 2;
+    opt.queue_capacity = 64;
+    return opt;
+}
+
+std::map<uint64_t, uint64_t>
+completedHashes(const Server &server)
+{
+    std::map<uint64_t, uint64_t> hashes;
+    for (const auto &r : server.responses())
+        if (r.status == RequestStatus::Completed)
+            hashes[r.id] = r.output_hash;
+    return hashes;
+}
+
+} // namespace
+
+TEST(BitonicNetwork, ZeroOnePrincipleExhaustiveAtSmallWidths)
+{
+    // By the 0-1 principle, a comparator network that sorts every
+    // binary vector sorts every vector. Exhaust all 2^rows binary
+    // inputs at widths 4 and 8.
+    for (const std::size_t rows : {4ul, 8ul}) {
+        for (std::size_t bits = 0; bits < (1ul << rows); ++bits) {
+            std::vector<int64_t> v(rows);
+            for (std::size_t i = 0; i < rows; ++i)
+                v[i] = (bits >> i) & 1;
+            const auto sorted = applyBitonicNetwork(v);
+            EXPECT_TRUE(
+                std::is_sorted(sorted.begin(), sorted.end()))
+                << "rows=" << rows << " input mask " << bits;
+        }
+    }
+}
+
+TEST(BitonicNetwork, SortsIntegerPermutations)
+{
+    // Belt and suspenders on top of the 0-1 principle: random
+    // integer permutations at the paper width.
+    const std::size_t rows = 16;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        std::vector<int64_t> v(rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            v[i] = static_cast<int64_t>(i) * 3 - 7;
+        Rng rng(seed);
+        for (std::size_t i = rows - 1; i > 0; --i)
+            std::swap(v[i], v[rng.uniformMod(i + 1)]);
+        auto want = v;
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(applyBitonicNetwork(v), want) << "seed " << seed;
+    }
+}
+
+TEST(BitonicSchedule, LayerStructureIsDataIndependent)
+{
+    // lg(lg+1)/2 layers; per layer the masks are functions of the
+    // slot index only and cover every slot pair exactly once.
+    for (const std::size_t rows : {4ul, 8ul, 16ul}) {
+        const auto schedule = bitonicSchedule(rows);
+        ObliviousJoinShape shape;
+        shape.rows = rows;
+        EXPECT_EQ(schedule.size(), shape.sortLayers());
+        for (const auto &layer : schedule) {
+            ASSERT_EQ(layer.low_mask.size(), rows);
+            ASSERT_EQ(layer.descending.size(), rows);
+            std::size_t lows = 0;
+            for (std::size_t i = 0; i < rows; ++i) {
+                if (!layer.low_mask[i])
+                    continue;
+                ++lows;
+                EXPECT_EQ(i & static_cast<std::size_t>(
+                                  layer.distance),
+                          0u)
+                    << "low element not aligned to the distance";
+                EXPECT_LT(i + layer.distance, rows);
+            }
+            EXPECT_EQ(lows, rows / 2)
+                << "every slot must be in exactly one pair";
+        }
+    }
+}
+
+TEST(ObliviousJoin, EncryptedMatchesPlainReferenceAcrossSeeds)
+{
+    // The tentpole contract: decrypting the encrypted pipeline and
+    // rounding must reproduce the plaintext sort-merge join exactly
+    // — join vector, sorted keys, and aggregate — across seeds.
+    const auto shape = ObliviousJoinShape::mini();
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto r = randomJoinTable(shape, seed);
+        const auto s = randomJoinTable(shape, seed + 100);
+        const auto want = plainSortMergeJoin(shape, r, s);
+        const auto got = encryptedObliviousJoin(shape, r, s);
+        EXPECT_EQ(got.r_keys_sorted, want.r_keys_sorted)
+            << "seed " << seed;
+        EXPECT_EQ(got.join, want.join) << "seed " << seed;
+        EXPECT_EQ(got.total, want.total) << "seed " << seed;
+    }
+}
+
+TEST(ObliviousJoin, KernelLevelBudgetsFitTheirContexts)
+{
+    // The miniature must fit the serving test chain (input level
+    // maxLevel - 2) and the paper variant the >= 51-level chain the
+    // paper suite compiles at (input level 50).
+    const auto &ctx = serveContext();
+    const auto mini = ObliviousJoinShape::mini();
+    EXPECT_LE(mini.consumed(), ctx.maxLevel() - 2);
+    EXPECT_LE(ObliviousJoinShape::paper().consumed(), 50u);
+
+    const auto kernel =
+        obliviousJoinKernel(ctx, ctx.maxLevel() - 2, mini);
+    EXPECT_GT(kernel.ops().size(), 0u);
+    // Each compare-exchange layer rotates at least once along the
+    // critical path, and the merge adds its rotate-accumulate tree.
+    EXPECT_GE(rotationChainDepth(kernel), mini.sortLayers());
+}
+
+TEST(WorkloadCatalog, ObliviousJoinRegisteredEndToEnd)
+{
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+
+    // Name round-trip for every workload, including the new one.
+    for (Workload w : {Workload::Bootstrap, Workload::ResNet,
+                       Workload::Helr, Workload::Bert,
+                       Workload::Keyswitch,
+                       Workload::ObliviousJoin}) {
+        Workload parsed;
+        ASSERT_TRUE(workloadFromName(workloadName(w), &parsed));
+        EXPECT_EQ(parsed, w);
+    }
+    Workload parsed;
+    EXPECT_FALSE(workloadFromName("no_such_workload", &parsed));
+    EXPECT_STREQ(workloadName(Workload::ObliviousJoin),
+                 "oblivious_join");
+
+    // The catalog benchmark mirrors the kernel structure: two sort
+    // invocations exposing 2-wide program parallelism, then the
+    // merge.
+    const auto &bench = catalog.benchmark(Workload::ObliviousJoin);
+    ASSERT_EQ(bench.phases.size(), 2u);
+    EXPECT_EQ(bench.phases[0].name, "sort");
+    EXPECT_EQ(bench.phases[0].invocations, 2u);
+    EXPECT_EQ(bench.phases[0].parallelism, 2u);
+    EXPECT_EQ(bench.phases[1].name, "merge");
+}
+
+TEST(Server, ObliviousJoinBatchedDigestsBitIdenticalToUnbatched)
+{
+    // A pure ObliviousJoin trace served with continuous batching
+    // must reproduce the unbatched digests bit for bit (the
+    // workload-matrix CI gate, as a unit test).
+    const std::size_t kRequests = 8;
+
+    ServeOptions solo = smallOptions();
+    solo.workers = 1;
+    Server unbatched(serveContext(), solo);
+    unbatched.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(unbatched.submit(Workload::ObliviousJoin,
+                                     9700 + i));
+    unbatched.drainAndStop();
+    const auto expected = completedHashes(unbatched);
+    ASSERT_EQ(expected.size(), kRequests);
+
+    ServeOptions opt = smallOptions();
+    opt.workers = 1; // one batch former: deterministic batch shapes
+    opt.batch_max_streams = 2;
+    opt.batch_linger_ms = 50.0;
+    Server server(serveContext(), opt);
+    server.start();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        ASSERT_TRUE(server.submit(Workload::ObliviousJoin,
+                                  9700 + i));
+    server.drainAndStop();
+
+    EXPECT_EQ(completedHashes(server), expected)
+        << "batched digests must be bit-identical to unbatched";
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_GT(stats.batched_completed, 0u)
+        << "the trace must have formed real multi-stream batches";
+}
+
+TEST(PlanTuner, ObliviousJoinDecisionIsDeterministic)
+{
+    // The tuner must treat the join like any other catalog entry: a
+    // fresh runner + tuner pair reproduces the decision bit for bit,
+    // and the tuned plan never loses to the default plan.
+    const auto &ctx = serveContext();
+    WorkloadCatalog catalog(ctx);
+    sim::HardwareConfig hw = ServeOptions().hw;
+    hw.n = ctx.n();
+
+    workloads::BenchmarkRunner runner_a(ctx);
+    workloads::BenchmarkRunner runner_b(ctx);
+    PlanTuner tuner_a(runner_a);
+    PlanTuner tuner_b(runner_b);
+
+    const auto &bench = catalog.benchmark(Workload::ObliviousJoin);
+    const TunedPlan &a = tuner_a.plan(bench, 4, hw);
+    const TunedPlan &b = tuner_b.plan(bench, 4, hw);
+
+    EXPECT_LE(a.tuned_seconds, a.default_seconds + 1e-12);
+    EXPECT_GT(a.candidates, 0u);
+    EXPECT_NE(
+        compiler::StrategyRegistry::global().find(a.strategy),
+        nullptr)
+        << "winner must be a registry strategy";
+    EXPECT_EQ(a.group * a.streams, 4u);
+
+    EXPECT_EQ(a.strategy, b.strategy);
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.streams, b.streams);
+    EXPECT_EQ(a.tuned_seconds, b.tuned_seconds);
+    EXPECT_EQ(a.default_seconds, b.default_seconds);
+}
